@@ -1,0 +1,39 @@
+//! §3.3 assignment oracle: build time and per-point assignment
+//! throughput (the O(k²d)-per-point claim).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sbc_bench::Workload;
+use sbc_clustering::capacitated::capacitated_lloyd_raw;
+use sbc_core::assign::build_assignment_oracle;
+use sbc_core::{build_coreset, CoresetParams};
+use sbc_geometry::GridParams;
+
+fn bench_oracle(c: &mut Criterion) {
+    let gp = GridParams::from_log_delta(8, 2);
+    let n = 6000usize;
+    let k = 3;
+    let params = CoresetParams::practical(k, 2.0, 0.2, 0.2, gp);
+    let pts = Workload::Gaussian.generate(gp, n, k, 17);
+    let cap = n as f64 / k as f64 * 1.25;
+    let mut rng = StdRng::seed_from_u64(10);
+    let cs = build_coreset(&pts, &params, &mut rng).unwrap();
+    let (cpts, cws) = cs.split();
+    let sol = capacitated_lloyd_raw(&cpts, Some(&cws), k, 2.0, cap, 6, &mut rng);
+
+    let mut group = c.benchmark_group("assignment_oracle");
+    group.sample_size(10);
+    group.bench_function("build", |b| {
+        b.iter(|| build_assignment_oracle(&cs, &params, &sol.centers, cap).unwrap().coreset_cost);
+    });
+    let oracle = build_assignment_oracle(&cs, &params, &sol.centers, cap).unwrap();
+    group.throughput(Throughput::Elements(n as u64));
+    group.bench_function("assign_all", |b| {
+        b.iter(|| oracle.assign_all(&pts).cost);
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_oracle);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Offline coreset construction time (Theorem 3.19: O(nd log²(ndΔ)),
+//! i.e. near-linear in n) — experiment E3's criterion counterpart.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sbc_bench::Workload;
+use sbc_core::{build_coreset, CoresetParams};
+use sbc_geometry::GridParams;
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("coreset_build");
+    group.sample_size(10);
+    let gp = GridParams::from_log_delta(8, 2);
+    let params = CoresetParams::practical(3, 2.0, 0.2, 0.2, gp);
+    for n in [4000usize, 16_000, 64_000] {
+        let pts = Workload::Gaussian.generate(gp, n, 3, 5);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(6);
+                build_coreset(&pts, &params, &mut rng).unwrap().len()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_build);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Time to *verify* coreset quality (the E1 battery) — how expensive the
+//! empirical strong-coreset check is at a given instance size.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sbc_bench::{quality, Workload};
+use sbc_core::{build_coreset, CoresetParams};
+use sbc_geometry::GridParams;
+
+fn bench_quality_battery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("quality_battery");
+    group.sample_size(10);
+    let gp = GridParams::from_log_delta(8, 2);
+    let n = 2000usize;
+    let params = CoresetParams::practical(3, 2.0, 0.2, 0.2, gp);
+    let pts = Workload::Gaussian.generate(gp, n, 3, 15);
+    let mut rng = StdRng::seed_from_u64(9);
+    let cs = build_coreset(&pts, &params, &mut rng).unwrap();
+    group.bench_function("battery_2x1", |b| {
+        b.iter(|| quality(&pts, &cs, &params, 2, &[1.5], 42).worst());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_quality_battery);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Capacitated cost evaluation on weighted coresets — the operation the
+//! strong-coreset property makes cheap (|Q'| ≪ n nodes in the flow).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sbc_bench::Workload;
+use sbc_clustering::cost::capacitated_cost;
+use sbc_clustering::kmeanspp::kmeanspp_seeds;
+use sbc_core::{build_coreset, CoresetParams};
+use sbc_geometry::GridParams;
+
+fn bench_cost_on_coreset_vs_full(c: &mut Criterion) {
+    let gp = GridParams::from_log_delta(8, 2);
+    let n = 4000;
+    let k = 3;
+    let params = CoresetParams::practical(k, 2.0, 0.2, 0.2, gp);
+    let pts = Workload::Gaussian.generate(gp, n, k, 3);
+    let mut rng = StdRng::seed_from_u64(4);
+    let cs = build_coreset(&pts, &params, &mut rng).unwrap();
+    let (cpts, cws) = cs.split();
+    let centers = kmeanspp_seeds(&pts, None, k, 2.0, &mut rng);
+    let cap = n as f64 / k as f64 * 1.3;
+
+    let mut group = c.benchmark_group("capacitated_cost");
+    group.sample_size(10);
+    group.bench_with_input(BenchmarkId::new("full", n), &n, |b, _| {
+        b.iter(|| capacitated_cost(&pts, None, &centers, cap, 2.0));
+    });
+    group.bench_with_input(BenchmarkId::new("coreset", cs.len()), &n, |b, _| {
+        b.iter(|| capacitated_cost(&cpts, Some(&cws), &centers, cap, 2.0));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cost_on_coreset_vs_full);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Distributed protocol wall time (serial vs threaded machines).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sbc_bench::Workload;
+use sbc_core::CoresetParams;
+use sbc_distributed::DistributedCoreset;
+use sbc_geometry::dataset::split_round_robin;
+use sbc_geometry::GridParams;
+use sbc_streaming::StreamParams;
+
+fn bench_protocol(c: &mut Criterion) {
+    let mut group = c.benchmark_group("distributed_protocol");
+    group.sample_size(10);
+    let gp = GridParams::from_log_delta(8, 2);
+    let params = CoresetParams::practical(3, 2.0, 0.2, 0.2, gp);
+    let pts = Workload::Gaussian.generate(gp, 4000, 3, 11);
+    for s in [2usize, 8] {
+        let shards = split_round_robin(&pts, s);
+        group.bench_with_input(BenchmarkId::new("serial", s), &shards, |b, sh| {
+            b.iter(|| DistributedCoreset::run(sh, &params, &StreamParams::default(), 13).unwrap().0.len());
+        });
+        group.bench_with_input(BenchmarkId::new("threaded", s), &shards, |b, sh| {
+            b.iter(|| {
+                DistributedCoreset::run_threaded(sh, &params, &StreamParams::default(), 13)
+                    .unwrap()
+                    .0
+                    .len()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_protocol);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! End-to-end pipeline: coreset build + capacitated Lloyd on the coreset
+//! (what a downstream user actually runs).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sbc_bench::Workload;
+use sbc_clustering::capacitated::capacitated_lloyd_raw;
+use sbc_core::{build_coreset, CoresetParams};
+use sbc_geometry::GridParams;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("end_to_end");
+    group.sample_size(10);
+    let gp = GridParams::from_log_delta(8, 2);
+    let n = 6000usize;
+    let k = 3;
+    let params = CoresetParams::practical(k, 2.0, 0.2, 0.2, gp);
+    let pts = Workload::Imbalanced.generate(gp, n, k, 13);
+    let cap = n as f64 / k as f64 * 1.25;
+    group.bench_function("coreset_plus_capacitated_lloyd", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(8);
+            let cs = build_coreset(&pts, &params, &mut rng).unwrap();
+            let (cpts, cws) = cs.split();
+            capacitated_lloyd_raw(&cpts, Some(&cws), k, 2.0, cap, 4, &mut rng).cost
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Micro-bench: λ-wise independent hash evaluation — the inner loop of
+//! every streaming update (3 roles × (L+1) levels per op).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sbc_hash::{KWiseBernoulli, KWiseHash};
+
+fn bench_kwise_eval(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kwise_eval");
+    let mut rng = StdRng::seed_from_u64(1);
+    for lambda in [2usize, 8, 32, 128] {
+        let h = KWiseHash::new(lambda, &mut rng);
+        group.throughput(Throughput::Elements(1));
+        group.bench_with_input(BenchmarkId::from_parameter(lambda), &h, |b, h| {
+            let mut key = 0u128;
+            b.iter(|| {
+                key = key.wrapping_add(0x9E37_79B9);
+                black_box(h.eval(key))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_bernoulli(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let b32 = KWiseBernoulli::new(0.1, 32, &mut rng);
+    c.bench_function("kwise_bernoulli_keep_l32", |b| {
+        let mut key = 0u128;
+        b.iter(|| {
+            key = key.wrapping_add(0xDEAD_BEEF);
+            black_box(b32.keep(key))
+        });
+    });
+}
+
+criterion_group!(benches, bench_kwise_eval, bench_bernoulli);
+criterion_main!(benches);

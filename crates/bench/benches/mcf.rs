@@ -1,0 +1,29 @@
+//! Min-cost-flow / transportation solve times — the substrate behind
+//! every capacitated cost evaluation (paper §3.3: the fractional optimum
+//! is a min-cost flow).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sbc_bench::Workload;
+use sbc_flow::transport::optimal_fractional_assignment;
+use sbc_geometry::GridParams;
+
+fn bench_transport(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transportation_solve");
+    group.sample_size(10);
+    let gp = GridParams::from_log_delta(8, 2);
+    for n in [200usize, 1000, 4000] {
+        let pts = Workload::Gaussian.generate(gp, n, 4, 7);
+        let centers = Workload::Uniform.generate(gp, 4, 4, 8);
+        let cap = n as f64 / 4.0 * 1.2;
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                optimal_fractional_assignment(&pts, None, &centers, cap, 2.0).unwrap().cost
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_transport);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Streaming update throughput: operations per second through the full
+//! o-ladder (all instances, all levels, all three roles).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sbc_bench::Workload;
+use sbc_core::CoresetParams;
+use sbc_geometry::GridParams;
+use sbc_streaming::{StreamCoresetBuilder, StreamParams};
+
+fn bench_stream_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stream_ops");
+    group.sample_size(10);
+    let gp = GridParams::from_log_delta(8, 2);
+    let params = CoresetParams::practical(3, 2.0, 0.2, 0.2, gp);
+    let n = 4000usize;
+    let pts = Workload::Gaussian.generate(gp, n, 3, 9);
+    group.throughput(Throughput::Elements(n as u64));
+    group.bench_with_input(BenchmarkId::new("insert", n), &n, |b, _| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(7);
+            let mut builder = StreamCoresetBuilder::new(params.clone(), StreamParams::default(), &mut rng);
+            for p in &pts {
+                builder.insert(p);
+            }
+            builder.net_count()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_stream_ops);
+criterion_main!(benches);

@@ -1,0 +1,158 @@
+//! Baseline coresets the paper's construction is compared against.
+//!
+//! * [`uniform_coreset`] — uniform sampling with inverse-probability
+//!   weights: unbiased for any *fixed* assignment but with unbounded
+//!   variance on skewed data; the weakest reasonable baseline.
+//! * [`sensitivity_coreset`] — classic **uncapacitated** importance
+//!   sampling (Feldman–Langberg style, with sensitivities upper-bounded
+//!   via a bicriteria pilot solution). This is the state of the art for
+//!   plain k-median/k-means — and the paper's §1.2 motivation is exactly
+//!   that such coresets have *no guarantee* for the capacitated cost,
+//!   because the capacitated optimal assignment is not "each point to its
+//!   nearest center". Experiment E9 quantifies this gap.
+
+use crate::kmeanspp::kmeanspp_seeds;
+use rand::Rng;
+use sbc_geometry::metric::{dist_r_pow, nearest};
+use sbc_geometry::{Point, WeightedPoint};
+
+/// Uniformly samples `m` points (without replacement) and weights each by
+/// `n/m` — total weight is preserved exactly.
+pub fn uniform_coreset<R: Rng + ?Sized>(points: &[Point], m: usize, rng: &mut R) -> Vec<WeightedPoint> {
+    let n = points.len();
+    assert!(m >= 1 && m <= n, "need 1 ≤ m ≤ n");
+    let mut idx: Vec<usize> = (0..n).collect();
+    // Partial Fisher–Yates: draw m distinct indices.
+    for i in 0..m {
+        let j = rng.gen_range(i..n);
+        idx.swap(i, j);
+    }
+    let w = n as f64 / m as f64;
+    idx[..m]
+        .iter()
+        .map(|&i| WeightedPoint::new(points[i].clone(), w))
+        .collect()
+}
+
+/// Sensitivity-sampling coreset for **uncapacitated** `ℓr` k-clustering.
+///
+/// Sensitivities are upper-bounded with the standard bicriteria recipe:
+/// from a pilot solution `A` (k-means++ seeds, `2k` of them),
+/// `σ(p) ∝ dist^r(p, A) / cost(A) + 1 / |cluster_A(p)|`. Samples `m`
+/// points i.i.d. ∝ σ with weights `1/(m·Pr[p])`.
+pub fn sensitivity_coreset<R: Rng + ?Sized>(
+    points: &[Point],
+    k: usize,
+    r: f64,
+    m: usize,
+    rng: &mut R,
+) -> Vec<WeightedPoint> {
+    let n = points.len();
+    assert!(n >= 1 && m >= 1);
+    let pilots = kmeanspp_seeds(points, None, (2 * k).min(n), r, rng);
+
+    let mut assign = vec![0usize; n];
+    let mut d_r = vec![0.0f64; n];
+    let mut cluster_size = vec![0usize; pilots.len()];
+    for (i, p) in points.iter().enumerate() {
+        let (j, _) = nearest(p, &pilots);
+        assign[i] = j;
+        d_r[i] = dist_r_pow(p, &pilots[j], r);
+        cluster_size[j] += 1;
+    }
+    let pilot_cost: f64 = d_r.iter().sum();
+
+    let sens: Vec<f64> = (0..n)
+        .map(|i| {
+            let cost_term = if pilot_cost > 0.0 { d_r[i] / pilot_cost } else { 0.0 };
+            cost_term + 1.0 / cluster_size[assign[i]] as f64
+        })
+        .collect();
+    let total_sens: f64 = sens.iter().sum();
+
+    // m i.i.d. draws ∝ sensitivity, weight 1/(m·prob). Sampling with
+    // replacement; duplicate draws get merged by summing weights.
+    let mut picked: std::collections::HashMap<usize, f64> = std::collections::HashMap::new();
+    for _ in 0..m {
+        let mut u = rng.gen_range(0.0..total_sens);
+        let mut chosen = n - 1;
+        for (i, &s) in sens.iter().enumerate() {
+            u -= s;
+            if u <= 0.0 {
+                chosen = i;
+                break;
+            }
+        }
+        let prob = sens[chosen] / total_sens;
+        *picked.entry(chosen).or_insert(0.0) += 1.0 / (m as f64 * prob);
+    }
+    let mut out: Vec<WeightedPoint> = picked
+        .into_iter()
+        .map(|(i, w)| WeightedPoint::new(points[i].clone(), w))
+        .collect();
+    // Deterministic ordering for reproducible downstream use.
+    out.sort_by(|a, b| a.point.alphabetical_cmp(&b.point));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::uncapacitated_cost;
+    use crate::split_weighted;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sbc_geometry::dataset::gaussian_mixture;
+    use sbc_geometry::GridParams;
+
+    #[test]
+    fn uniform_preserves_total_weight() {
+        let gp = GridParams::from_log_delta(8, 2);
+        let pts = gaussian_mixture(gp, 500, 3, 0.05, 1);
+        let mut rng = StdRng::seed_from_u64(1);
+        let cs = uniform_coreset(&pts, 50, &mut rng);
+        assert_eq!(cs.len(), 50);
+        let total: f64 = cs.iter().map(|w| w.weight).sum();
+        assert!((total - 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn uniform_samples_are_distinct_points_from_input() {
+        let gp = GridParams::from_log_delta(10, 2);
+        let pts = sbc_geometry::dataset::uniform(gp, 200, 9);
+        let mut rng = StdRng::seed_from_u64(2);
+        let cs = uniform_coreset(&pts, 60, &mut rng);
+        for w in &cs {
+            assert!(pts.contains(&w.point));
+        }
+    }
+
+    #[test]
+    fn sensitivity_coreset_estimates_uncapacitated_cost() {
+        let gp = GridParams::from_log_delta(9, 2);
+        let pts = gaussian_mixture(gp, 1500, 3, 0.03, 4);
+        let mut rng = StdRng::seed_from_u64(3);
+        let cs = sensitivity_coreset(&pts, 3, 2.0, 250, &mut rng);
+        let (cpts, cw) = split_weighted(&cs);
+        // Evaluate both on the pilot-quality centers.
+        let centers = kmeanspp_seeds(&pts, None, 3, 2.0, &mut rng);
+        let full = uncapacitated_cost(&pts, None, &centers, 2.0);
+        let est = uncapacitated_cost(&cpts, Some(&cw), &centers, 2.0);
+        let ratio = est / full;
+        assert!(
+            (0.6..=1.4).contains(&ratio),
+            "sensitivity estimate off: ratio {ratio}"
+        );
+    }
+
+    #[test]
+    fn sensitivity_total_weight_near_n() {
+        let gp = GridParams::from_log_delta(8, 2);
+        let pts = gaussian_mixture(gp, 800, 2, 0.05, 6);
+        let mut rng = StdRng::seed_from_u64(4);
+        let cs = sensitivity_coreset(&pts, 2, 2.0, 200, &mut rng);
+        let total: f64 = cs.iter().map(|w| w.weight).sum();
+        // E[total] = n; concentration within ±40% at this sample size.
+        assert!((total - 800.0).abs() < 0.4 * 800.0, "total weight {total}");
+    }
+}

@@ -1,0 +1,141 @@
+//! The clustering cost functions of §2.
+//!
+//! * `cost^{(r)}(Q, Z, w) = Σ_p w(p) · dist^r(p, Z)` — uncapacitated
+//!   (`t = ∞`): every point pays its nearest center.
+//! * `cost_t^{(r)}(Q, Z, w)` — capacitated: the minimum of
+//!   `Σᵢ Σ_{p∈Sᵢ} w(p)·dist^r(p, zᵢ)` over partitions with
+//!   `Σ_{p∈Sᵢ} w(p) ≤ t`, i.e. a transportation optimum (∞ when
+//!   infeasible). Evaluated through `sbc-flow`.
+
+use sbc_flow::transport::{capacitated_cost_value, optimal_fractional_assignment};
+use sbc_geometry::metric::{dist_r_pow, nearest};
+use sbc_geometry::Point;
+
+/// Uncapacitated clustering cost `cost^{(r)}(Q, Z, w)`.
+pub fn uncapacitated_cost(points: &[Point], weights: Option<&[f64]>, centers: &[Point], r: f64) -> f64 {
+    assert!(!centers.is_empty());
+    points
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            let w = weights.map_or(1.0, |ws| ws[i]);
+            let best = centers
+                .iter()
+                .map(|z| dist_r_pow(p, z, r))
+                .fold(f64::INFINITY, f64::min);
+            w * best
+        })
+        .sum()
+}
+
+/// Capacitated clustering cost `cost_t^{(r)}(Q, Z, w)` — the fractional
+/// transportation optimum, `f64::INFINITY` when infeasible.
+pub fn capacitated_cost(
+    points: &[Point],
+    weights: Option<&[f64]>,
+    centers: &[Point],
+    cap: f64,
+    r: f64,
+) -> f64 {
+    capacitated_cost_value(points, weights, centers, cap, r)
+}
+
+/// A cost evaluation with its load profile — what the experiment harness
+/// reports per (dataset, centers, capacity) triple.
+#[derive(Clone, Debug)]
+pub struct CostReport {
+    /// The capacitated cost (fractional optimum).
+    pub cost: f64,
+    /// Load routed to each center.
+    pub loads: Vec<f64>,
+    /// `max_load / cap` — 1.0 means the capacity binds exactly.
+    pub utilization: f64,
+}
+
+/// Evaluates [`capacitated_cost`] and also reports the load profile.
+/// Returns `None` when infeasible.
+pub fn capacitated_cost_report(
+    points: &[Point],
+    weights: Option<&[f64]>,
+    centers: &[Point],
+    cap: f64,
+    r: f64,
+) -> Option<CostReport> {
+    let frac = optimal_fractional_assignment(points, weights, centers, cap, r)?;
+    let max_load = frac.max_load();
+    Some(CostReport {
+        cost: frac.cost,
+        loads: frac.loads,
+        utilization: max_load / cap,
+    })
+}
+
+/// The nearest-assignment size vector: how many (weighted) points fall to
+/// each center without a capacity constraint. Useful to quantify how far
+/// an instance is from balanced.
+pub fn nearest_assignment_loads(points: &[Point], weights: Option<&[f64]>, centers: &[Point]) -> Vec<f64> {
+    let mut loads = vec![0.0; centers.len()];
+    for (i, p) in points.iter().enumerate() {
+        let (j, _) = nearest(p, centers);
+        loads[j] += weights.map_or(1.0, |ws| ws[i]);
+    }
+    loads
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(cs: &[u32]) -> Point {
+        Point::new(cs.to_vec())
+    }
+
+    #[test]
+    fn uncapacitated_matches_manual_sum() {
+        let points = vec![p(&[1, 1]), p(&[4, 5]), p(&[10, 10])];
+        let centers = vec![p(&[1, 1]), p(&[10, 10])];
+        // k-means costs: 0, min(25, 61) = 25, 0.
+        assert_eq!(uncapacitated_cost(&points, None, &centers, 2.0), 25.0);
+        // weighted
+        assert_eq!(
+            uncapacitated_cost(&points, Some(&[1.0, 2.0, 3.0]), &centers, 2.0),
+            50.0
+        );
+    }
+
+    #[test]
+    fn capacitated_equals_uncapacitated_when_loose() {
+        let points = vec![p(&[1, 1]), p(&[2, 2]), p(&[9, 9])];
+        let centers = vec![p(&[1, 1]), p(&[9, 9])];
+        let unc = uncapacitated_cost(&points, None, &centers, 2.0);
+        let cap = capacitated_cost(&points, None, &centers, 10.0, 2.0);
+        assert!((unc - cap).abs() < 1e-9);
+    }
+
+    #[test]
+    fn capacitated_cost_exceeds_uncapacitated_when_binding() {
+        let points = vec![p(&[1]), p(&[2]), p(&[3]), p(&[20])];
+        let centers = vec![p(&[2]), p(&[20])];
+        let unc = uncapacitated_cost(&points, None, &centers, 2.0);
+        let capd = capacitated_cost(&points, None, &centers, 2.0, 2.0);
+        assert!(capd > unc, "capacity must force a worse assignment");
+    }
+
+    #[test]
+    fn report_tracks_utilization() {
+        let points = vec![p(&[1]), p(&[2]), p(&[3]), p(&[4])];
+        let centers = vec![p(&[2]), p(&[4])];
+        let rep = capacitated_cost_report(&points, None, &centers, 2.0, 1.0).unwrap();
+        assert!((rep.utilization - 1.0).abs() < 1e-9);
+        assert_eq!(rep.loads.len(), 2);
+    }
+
+    #[test]
+    fn nearest_loads_sum_to_total_weight() {
+        let points = vec![p(&[1]), p(&[2]), p(&[9])];
+        let centers = vec![p(&[1]), p(&[9])];
+        let loads = nearest_assignment_loads(&points, Some(&[1.0, 2.0, 4.0]), &centers);
+        assert_eq!(loads.iter().sum::<f64>(), 7.0);
+        assert_eq!(loads, vec![3.0, 4.0]);
+    }
+}

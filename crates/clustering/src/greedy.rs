@@ -1,0 +1,172 @@
+//! Greedy capacitated assignment — a fast heuristic counterpart to the
+//! exact min-cost-flow assignment, for workloads where `n` is too large
+//! to run a flow per evaluation.
+//!
+//! Regret-ordered first fit: points are processed in decreasing *regret*
+//! (the cost gap between their best and second-best centers — the
+//! classic Vogel approximation heuristic for transportation problems),
+//! each taking the cheapest center with residual capacity. Always
+//! feasible when `Σ caps ≥ n`; no approximation guarantee, but usually
+//! within a few percent of the optimum on clusterable data — quantified
+//! against `sbc-flow` in the tests.
+
+use sbc_geometry::metric::dist_r_pow;
+use sbc_geometry::Point;
+
+/// Result of the greedy assignment.
+#[derive(Clone, Debug)]
+pub struct GreedyAssignment {
+    /// Assigned center per point.
+    pub center_of: Vec<usize>,
+    /// Total `ℓr` cost.
+    pub cost: f64,
+    /// Per-center loads (weighted).
+    pub loads: Vec<f64>,
+}
+
+/// Greedy capacitated assignment under uniform capacity `cap`.
+///
+/// Returns `None` when even ignoring geometry the weights cannot fit
+/// (`Σ w > k·cap`). Weighted points are *not split* — a point whose
+/// weight exceeds every residual capacity fails the assignment, so use
+/// this for unit-ish weights (the intended big-`n` evaluation case).
+///
+/// ```
+/// use sbc_clustering::greedy::greedy_capacitated_assignment;
+/// use sbc_geometry::Point;
+///
+/// let points: Vec<Point> = (1..=4u32).map(|x| Point::new(vec![x])).collect();
+/// let centers = vec![Point::new(vec![1]), Point::new(vec![4])];
+/// let g = greedy_capacitated_assignment(&points, None, &centers, 2.0, 2.0).unwrap();
+/// assert!(g.loads.iter().all(|&l| l <= 2.0));
+/// ```
+pub fn greedy_capacitated_assignment(
+    points: &[Point],
+    weights: Option<&[f64]>,
+    centers: &[Point],
+    cap: f64,
+    r: f64,
+) -> Option<GreedyAssignment> {
+    let n = points.len();
+    let k = centers.len();
+    assert!(k >= 1);
+    let w = |i: usize| weights.map_or(1.0, |ws| ws[i]);
+    let total: f64 = (0..n).map(w).sum();
+    if total > cap * k as f64 * (1.0 + 1e-12) {
+        return None;
+    }
+
+    // Cost rows + regret ordering.
+    let costs: Vec<Vec<f64>> = points
+        .iter()
+        .map(|p| centers.iter().map(|z| dist_r_pow(p, z, r)).collect())
+        .collect();
+    let mut order: Vec<usize> = (0..n).collect();
+    let regret = |i: usize| -> f64 {
+        let row = &costs[i];
+        let mut best = f64::INFINITY;
+        let mut second = f64::INFINITY;
+        for &c in row {
+            if c < best {
+                second = best;
+                best = c;
+            } else if c < second {
+                second = c;
+            }
+        }
+        if second.is_finite() {
+            second - best
+        } else {
+            0.0
+        }
+    };
+    order.sort_by(|&a, &b| regret(b).total_cmp(&regret(a)));
+
+    let mut residual = vec![cap; k];
+    let mut center_of = vec![usize::MAX; n];
+    let mut cost = 0.0;
+    for &i in &order {
+        let wi = w(i);
+        // Cheapest center that still fits this point.
+        let mut best: Option<(usize, f64)> = None;
+        for j in 0..k {
+            if residual[j] + 1e-9 >= wi {
+                let c = costs[i][j];
+                if best.map_or(true, |(_, bc)| c < bc) {
+                    best = Some((j, c));
+                }
+            }
+        }
+        let (j, c) = best?; // no center fits: fail (unsplittable weight)
+        residual[j] -= wi;
+        center_of[i] = j;
+        cost += wi * c;
+    }
+    let loads = residual.iter().map(|rj| cap - rj).collect();
+    Some(GreedyAssignment { center_of, cost, loads })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbc_flow::transport::capacitated_cost_value;
+    use sbc_geometry::dataset::gaussian_mixture;
+    use sbc_geometry::GridParams;
+
+    fn p(cs: &[u32]) -> Point {
+        Point::new(cs.to_vec())
+    }
+
+    #[test]
+    fn respects_capacity_exactly() {
+        let points: Vec<Point> = (1..=9u32).map(|x| p(&[x])).collect();
+        let centers = vec![p(&[1]), p(&[9])];
+        let g = greedy_capacitated_assignment(&points, None, &centers, 5.0, 2.0).unwrap();
+        assert!(g.loads.iter().all(|&l| l <= 5.0 + 1e-9));
+        assert_eq!(g.loads.iter().sum::<f64>() as usize, 9);
+    }
+
+    #[test]
+    fn matches_nearest_when_capacity_slack() {
+        let points = vec![p(&[1, 1]), p(&[2, 2]), p(&[30, 30])];
+        let centers = vec![p(&[1, 1]), p(&[30, 30])];
+        let g = greedy_capacitated_assignment(&points, None, &centers, 10.0, 2.0).unwrap();
+        assert_eq!(g.center_of, vec![0, 0, 1]);
+    }
+
+    #[test]
+    fn infeasible_total_weight_is_none() {
+        let points = vec![p(&[1]), p(&[2]), p(&[3])];
+        let centers = vec![p(&[1])];
+        assert!(greedy_capacitated_assignment(&points, None, &centers, 2.0, 2.0).is_none());
+    }
+
+    #[test]
+    fn within_modest_factor_of_flow_optimum() {
+        let gp = GridParams::from_log_delta(8, 2);
+        let pts = gaussian_mixture(gp, 600, 3, 0.04, 5);
+        let centers = vec![p(&[64, 64]), p(&[128, 128]), p(&[192, 192])];
+        let cap = 600.0 / 3.0 * 1.1;
+        let g = greedy_capacitated_assignment(&pts, None, &centers, cap, 2.0).unwrap();
+        let opt = capacitated_cost_value(&pts, None, &centers, cap, 2.0);
+        assert!(opt.is_finite());
+        assert!(g.cost >= opt - 1e-6, "greedy can't beat the optimum");
+        assert!(
+            g.cost <= 1.5 * opt,
+            "greedy {} vs optimum {opt}: unexpectedly bad",
+            g.cost
+        );
+    }
+
+    #[test]
+    fn regret_ordering_beats_arbitrary_order_on_tight_instances() {
+        // A classic trap: two points both closest to center 0 with cap 1;
+        // the high-regret point must claim it.
+        let points = vec![p(&[10, 10]), p(&[11, 10])];
+        let centers = vec![p(&[10, 10]), p(&[40, 10])];
+        let g = greedy_capacitated_assignment(&points, None, &centers, 1.0, 2.0).unwrap();
+        // Regrets: point 0: (0 vs 900) = 900; point 1: (1 vs 841) = 840.
+        // Point 0 goes first, takes center 0; point 1 overflows to 1.
+        assert_eq!(g.center_of, vec![0, 1]);
+    }
+}

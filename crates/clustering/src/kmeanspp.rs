@@ -1,0 +1,163 @@
+//! Weighted k-means++ (`D^r`) seeding.
+//!
+//! The classic seeding of Arthur–Vassilvitskii, generalized to weighted
+//! points and to the `ℓr` cost: the first center is drawn with
+//! probability ∝ weight, each subsequent one with probability
+//! ∝ `w(p) · dist^r(p, chosen)`. Used to initialize every iterative
+//! solver in this workspace and as the pilot stage of the three-pass
+//! baseline.
+
+use rand::Rng;
+use sbc_geometry::metric::dist_r_pow;
+use sbc_geometry::Point;
+
+/// Draws `k` seed centers from the (weighted) point set.
+///
+/// Returns clones of input points (centers are always elements of the
+/// candidate set, hence of `[Δ]^d` as the paper requires).
+///
+/// # Panics
+/// Panics if `points` is empty or `k == 0`. When `k > points.len()`,
+/// duplicates are allowed (every remaining draw repeats some point), so
+/// callers should dedup if that matters to them.
+pub fn kmeanspp_seeds<R: Rng + ?Sized>(
+    points: &[Point],
+    weights: Option<&[f64]>,
+    k: usize,
+    r: f64,
+    rng: &mut R,
+) -> Vec<Point> {
+    assert!(!points.is_empty(), "cannot seed from an empty set");
+    assert!(k >= 1);
+    let n = points.len();
+    let w = |i: usize| weights.map_or(1.0, |ws| ws[i]);
+
+    let mut centers: Vec<Point> = Vec::with_capacity(k);
+    // First center: ∝ weight.
+    let total_w: f64 = (0..n).map(w).sum();
+    let first = sample_index(rng, total_w, |i| w(i), n);
+    centers.push(points[first].clone());
+
+    // dist^r to the nearest chosen center, maintained incrementally.
+    let mut d_near: Vec<f64> = points
+        .iter()
+        .map(|p| dist_r_pow(p, &centers[0], r))
+        .collect();
+
+    while centers.len() < k {
+        let total: f64 = (0..n).map(|i| w(i) * d_near[i]).sum();
+        let next = if total <= 0.0 {
+            // All mass already covered (duplicate points): fall back to a
+            // weight-proportional draw.
+            sample_index(rng, total_w, |i| w(i), n)
+        } else {
+            sample_index(rng, total, |i| w(i) * d_near[i], n)
+        };
+        let c = points[next].clone();
+        for (i, p) in points.iter().enumerate() {
+            let d = dist_r_pow(p, &c, r);
+            if d < d_near[i] {
+                d_near[i] = d;
+            }
+        }
+        centers.push(c);
+    }
+    centers
+}
+
+/// Samples an index with probability `score(i)/total` via a single
+/// uniform draw and a prefix scan.
+fn sample_index<R: Rng + ?Sized>(
+    rng: &mut R,
+    total: f64,
+    score: impl Fn(usize) -> f64,
+    n: usize,
+) -> usize {
+    debug_assert!(total > 0.0);
+    let mut u = rng.gen_range(0.0..total);
+    for i in 0..n {
+        u -= score(i);
+        if u <= 0.0 {
+            return i;
+        }
+    }
+    n - 1 // fp slack: the last positive-score index
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sbc_geometry::dataset::gaussian_mixture;
+    use sbc_geometry::GridParams;
+
+    #[test]
+    fn returns_k_centers_from_input() {
+        let gp = GridParams::from_log_delta(7, 2);
+        let pts = gaussian_mixture(gp, 300, 3, 0.03, 1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let seeds = kmeanspp_seeds(&pts, None, 3, 2.0, &mut rng);
+        assert_eq!(seeds.len(), 3);
+        for s in &seeds {
+            assert!(pts.contains(s), "seeds must be input points");
+        }
+    }
+
+    #[test]
+    fn spreads_across_separated_clusters() {
+        // Three well-separated blobs: k-means++ should (almost surely over
+        // a few trials) pick one seed near each blob.
+        let gp = GridParams::from_log_delta(10, 2);
+        let mut pts = Vec::new();
+        for &(cx, cy) in &[(100u32, 100u32), (500, 500), (900, 900)] {
+            for dx in 0..10u32 {
+                pts.push(Point::new(vec![cx + dx, cy]));
+            }
+        }
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut ok = false;
+        for _ in 0..5 {
+            let seeds = kmeanspp_seeds(&pts, None, 3, 2.0, &mut rng);
+            let mut buckets = [false; 3];
+            for s in &seeds {
+                let x = s.coord(0);
+                if x < 300 {
+                    buckets[0] = true;
+                } else if x < 700 {
+                    buckets[1] = true;
+                } else {
+                    buckets[2] = true;
+                }
+            }
+            if buckets.iter().all(|&b| b) {
+                ok = true;
+                break;
+            }
+        }
+        assert!(ok, "never hit all three blobs in 5 trials");
+    }
+
+    #[test]
+    fn heavy_weight_attracts_first_seed() {
+        let pts = vec![Point::new(vec![1, 1]), Point::new(vec![50, 50])];
+        let weights = [1e-9, 1.0];
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut hits = 0;
+        for _ in 0..50 {
+            let seeds = kmeanspp_seeds(&pts, Some(&weights), 1, 2.0, &mut rng);
+            if seeds[0] == pts[1] {
+                hits += 1;
+            }
+        }
+        assert!(hits >= 49, "weight-proportional first draw");
+    }
+
+    #[test]
+    fn k_larger_than_n_duplicates_gracefully() {
+        let pts = vec![Point::new(vec![1]), Point::new(vec![2])];
+        let mut rng = StdRng::seed_from_u64(4);
+        let seeds = kmeanspp_seeds(&pts, None, 5, 1.0, &mut rng);
+        assert_eq!(seeds.len(), 5);
+    }
+}

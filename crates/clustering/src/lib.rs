@@ -1,0 +1,51 @@
+//! # sbc-clustering
+//!
+//! Clustering substrate: the cost functions of the paper's §2, concrete
+//! (α, β)-approximate capacitated solvers used as the black box the
+//! theorems assume, and the baselines the experiment suite compares
+//! against.
+//!
+//! * [`cost`] — `cost_t^{(r)}(Q, Z[, w])` (capacitated, via min-cost
+//!   flow) and `cost^{(r)}(Q, Z[, w])` (uncapacitated);
+//! * [`kmeanspp`] — weighted k-means++ (`D^r`) seeding;
+//! * [`lloyd`](mod@lloyd) — weighted Lloyd iterations for the uncapacitated problem;
+//! * [`capacitated`] — **capacitated Lloyd**: alternating optimal
+//!   fractional assignment (min-cost flow) and re-centering — the
+//!   workspace's stand-in for the LP-based solvers of \[DL16]/\[XHX+19]
+//!   (substitution documented in DESIGN.md §2.5);
+//! * [`local_search`] — swap-based local search for capacitated k-median;
+//! * [`greedy`] — regret-ordered first-fit capacitated assignment (a
+//!   fast heuristic counterpart to the exact flow assignment, for
+//!   large-n evaluations);
+//! * [`baselines`] — uniform-sampling and (uncapacitated)
+//!   sensitivity-sampling coresets;
+//! * [`three_pass`] — a BBLM14-inspired three-pass insertion-only
+//!   streaming baseline (the prior art the paper improves on).
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod baselines;
+pub mod capacitated;
+pub mod cost;
+pub mod greedy;
+pub mod kmeanspp;
+pub mod lloyd;
+pub mod local_search;
+pub mod three_pass;
+
+pub use capacitated::{capacitated_lloyd, CapacitatedSolution};
+pub use cost::{capacitated_cost, uncapacitated_cost, CostReport};
+pub use kmeanspp::kmeanspp_seeds;
+pub use lloyd::lloyd;
+
+use sbc_geometry::{Point, WeightedPoint};
+
+/// Splits a weighted point slice into parallel `(points, weights)`
+/// vectors (the layout the flow/cost layers consume).
+pub fn split_weighted(wps: &[WeightedPoint]) -> (Vec<Point>, Vec<f64>) {
+    (
+        wps.iter().map(|w| w.point.clone()).collect(),
+        wps.iter().map(|w| w.weight).collect(),
+    )
+}

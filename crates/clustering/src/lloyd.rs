@@ -1,0 +1,158 @@
+//! Weighted Lloyd iterations for uncapacitated `ℓr` clustering.
+//!
+//! The assignment step sends every point to its nearest center; the
+//! re-centering step takes the per-cluster weighted mean (`r = 2`) or
+//! component-wise weighted median (`r = 1`), rounded back onto the
+//! integer grid `[Δ]^d` (the paper requires centers `Z ⊂ [Δ]^d`). For
+//! other `r` the mean is used as a pragmatic surrogate.
+//!
+//! Lloyd is not part of the paper's contribution — it is the standard
+//! substrate used to obtain pilot solutions (three-pass baseline,
+//! sensitivity sampling) and uncapacitated reference costs.
+
+use crate::cost::uncapacitated_cost;
+use sbc_geometry::metric::nearest;
+use sbc_geometry::Point;
+
+/// Result of a Lloyd run.
+#[derive(Clone, Debug)]
+pub struct LloydSolution {
+    /// Final centers (integer-rounded, inside the data's coordinate range).
+    pub centers: Vec<Point>,
+    /// Final uncapacitated cost.
+    pub cost: f64,
+    /// Iterations actually executed (stops early on convergence).
+    pub iterations: usize,
+}
+
+/// Runs at most `max_iters` weighted Lloyd iterations from `init`.
+pub fn lloyd(
+    points: &[Point],
+    weights: Option<&[f64]>,
+    init: Vec<Point>,
+    r: f64,
+    max_iters: usize,
+) -> LloydSolution {
+    assert!(!points.is_empty() && !init.is_empty());
+    let d = points[0].dim();
+    let mut centers = init;
+    let mut last_cost = uncapacitated_cost(points, weights, &centers, r);
+    let mut iterations = 0;
+
+    for _ in 0..max_iters {
+        iterations += 1;
+        // Assignment step.
+        let mut members: Vec<Vec<usize>> = vec![Vec::new(); centers.len()];
+        for (i, p) in points.iter().enumerate() {
+            let (j, _) = nearest(p, &centers);
+            members[j].push(i);
+        }
+        // Re-centering step.
+        for (j, idxs) in members.iter().enumerate() {
+            if idxs.is_empty() {
+                continue; // keep the old center for empty clusters
+            }
+            centers[j] = recenter(points, weights, idxs, d, r);
+        }
+        let cost = uncapacitated_cost(points, weights, &centers, r);
+        if cost >= last_cost - 1e-12 {
+            last_cost = cost.min(last_cost);
+            break;
+        }
+        last_cost = cost;
+    }
+    LloydSolution { centers, cost: last_cost, iterations }
+}
+
+/// Weighted centroid of a cluster, rounded to integer coordinates (≥ 1).
+/// `r = 1` uses the component-wise weighted median (the 1-d `ℓ1`
+/// minimizer); everything else uses the weighted mean.
+fn recenter(points: &[Point], weights: Option<&[f64]>, idxs: &[usize], d: usize, r: f64) -> Point {
+    let w = |i: usize| weights.map_or(1.0, |ws| ws[i]);
+    let coords: Vec<u32> = (0..d)
+        .map(|dim| {
+            let value = if r == 1.0 {
+                weighted_median(idxs.iter().map(|&i| (points[i].coord(dim) as f64, w(i))))
+            } else {
+                let total: f64 = idxs.iter().map(|&i| w(i)).sum();
+                let s: f64 = idxs.iter().map(|&i| w(i) * points[i].coord(dim) as f64).sum();
+                s / total
+            };
+            value.round().max(1.0) as u32
+        })
+        .collect();
+    Point::new(coords)
+}
+
+/// Weighted median of `(value, weight)` pairs.
+fn weighted_median(items: impl Iterator<Item = (f64, f64)>) -> f64 {
+    let mut v: Vec<(f64, f64)> = items.collect();
+    v.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let total: f64 = v.iter().map(|x| x.1).sum();
+    let mut acc = 0.0;
+    for (val, w) in &v {
+        acc += w;
+        if acc >= total / 2.0 {
+            return *val;
+        }
+    }
+    v.last().map_or(0.0, |x| x.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kmeanspp::kmeanspp_seeds;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sbc_geometry::dataset::gaussian_mixture;
+    use sbc_geometry::GridParams;
+
+    #[test]
+    fn lloyd_never_increases_cost() {
+        let gp = GridParams::from_log_delta(8, 2);
+        let pts = gaussian_mixture(gp, 400, 3, 0.04, 5);
+        let mut rng = StdRng::seed_from_u64(1);
+        let seeds = kmeanspp_seeds(&pts, None, 3, 2.0, &mut rng);
+        let init_cost = uncapacitated_cost(&pts, None, &seeds, 2.0);
+        let sol = lloyd(&pts, None, seeds, 2.0, 20);
+        assert!(sol.cost <= init_cost + 1e-9);
+    }
+
+    #[test]
+    fn converges_on_trivial_clusters() {
+        // Two tight blobs; optimal centers are their means.
+        let mut pts = Vec::new();
+        for x in 1..=4u32 {
+            pts.push(Point::new(vec![x, 10]));
+            pts.push(Point::new(vec![x + 100, 10]));
+        }
+        let init = vec![Point::new(vec![1, 10]), Point::new(vec![104, 10])];
+        let sol = lloyd(&pts, None, init, 2.0, 50);
+        let mut xs: Vec<u32> = sol.centers.iter().map(|c| c.coord(0)).collect();
+        xs.sort_unstable();
+        assert_eq!(xs, vec![3, 103], "rounded means 2.5→3 and 102.5→103");
+    }
+
+    #[test]
+    fn median_recenter_for_kmedian() {
+        // An outlier should not drag the ℓ1 center the way it drags a mean.
+        let pts = vec![
+            Point::new(vec![1]),
+            Point::new(vec![2]),
+            Point::new(vec![3]),
+            Point::new(vec![100]),
+        ];
+        let init = vec![Point::new(vec![50])];
+        let sol = lloyd(&pts, None, init, 1.0, 10);
+        assert!(sol.centers[0].coord(0) <= 3, "median resists the outlier");
+    }
+
+    #[test]
+    fn weighted_median_basics() {
+        let m = weighted_median(vec![(1.0, 1.0), (5.0, 1.0), (9.0, 1.0)].into_iter());
+        assert_eq!(m, 5.0);
+        let m = weighted_median(vec![(1.0, 10.0), (5.0, 1.0)].into_iter());
+        assert_eq!(m, 1.0);
+    }
+}

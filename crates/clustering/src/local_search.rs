@@ -1,0 +1,141 @@
+//! Swap-based local search for capacitated k-median.
+//!
+//! The second (α, β) black box of the experiment suite: starting from
+//! k-means++ seeds, repeatedly propose swapping one current center for a
+//! candidate point and accept when the capacitated cost (evaluated
+//! exactly by min-cost flow) improves. Single-swap local search is the
+//! classical constant-factor heuristic for k-median; here the assignment
+//! step being capacity-aware makes it a capacitated solver.
+//!
+//! Cost evaluations dominate, so candidates are subsampled per round.
+
+use crate::cost::capacitated_cost;
+use crate::kmeanspp::kmeanspp_seeds;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use sbc_geometry::{Point, WeightedPoint};
+
+/// Configuration for [`local_search_kmedian`].
+#[derive(Clone, Copy, Debug)]
+pub struct LocalSearchConfig {
+    /// Maximum improvement rounds.
+    pub max_rounds: usize,
+    /// Candidate swaps evaluated per round.
+    pub candidates_per_round: usize,
+    /// Minimum relative improvement to accept a swap.
+    pub min_gain: f64,
+}
+
+impl Default for LocalSearchConfig {
+    fn default() -> Self {
+        Self { max_rounds: 20, candidates_per_round: 24, min_gain: 1e-4 }
+    }
+}
+
+/// Result of local search.
+#[derive(Clone, Debug)]
+pub struct LocalSearchSolution {
+    /// Final centers.
+    pub centers: Vec<Point>,
+    /// Final capacitated cost.
+    pub cost: f64,
+    /// Number of accepted swaps.
+    pub swaps: usize,
+}
+
+/// Runs capacitated k-median (or general `r`) single-swap local search on
+/// a weighted point set with per-center capacity `cap`.
+pub fn local_search_kmedian<R: Rng + ?Sized>(
+    wps: &[WeightedPoint],
+    k: usize,
+    r: f64,
+    cap: f64,
+    config: LocalSearchConfig,
+    rng: &mut R,
+) -> LocalSearchSolution {
+    assert!(!wps.is_empty());
+    let (points, weights) = crate::split_weighted(wps);
+    let mut centers = kmeanspp_seeds(&points, Some(&weights), k, r, rng);
+    let mut cost = capacitated_cost(&points, Some(&weights), &centers, cap, r);
+    assert!(cost.is_finite(), "infeasible capacitated instance");
+    let mut swaps = 0usize;
+
+    let mut candidate_idx: Vec<usize> = (0..points.len()).collect();
+    for _ in 0..config.max_rounds {
+        candidate_idx.shuffle(rng);
+        let mut improved = false;
+        for &cand in candidate_idx.iter().take(config.candidates_per_round) {
+            let candidate = &points[cand];
+            if centers.contains(candidate) {
+                continue;
+            }
+            // Try replacing each current center with the candidate.
+            for j in 0..k {
+                let saved = std::mem::replace(&mut centers[j], candidate.clone());
+                let new_cost = capacitated_cost(&points, Some(&weights), &centers, cap, r);
+                if new_cost < cost * (1.0 - config.min_gain) {
+                    cost = new_cost;
+                    swaps += 1;
+                    improved = true;
+                    break;
+                } else {
+                    centers[j] = saved;
+                }
+            }
+            if improved {
+                break; // re-shuffle and continue from the new solution
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    LocalSearchSolution { centers, cost, swaps }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sbc_geometry::dataset::gaussian_mixture;
+    use sbc_geometry::GridParams;
+
+    fn wp(points: Vec<Point>) -> Vec<WeightedPoint> {
+        points.into_iter().map(|p| WeightedPoint::new(p, 1.0)).collect()
+    }
+
+    #[test]
+    fn improves_over_random_seeds_or_stays() {
+        let gp = GridParams::from_log_delta(7, 2);
+        let pts = gaussian_mixture(gp, 80, 3, 0.05, 21);
+        let mut rng = StdRng::seed_from_u64(1);
+        let sol = local_search_kmedian(
+            &wp(pts.clone()),
+            3,
+            1.0,
+            40.0,
+            LocalSearchConfig { max_rounds: 6, candidates_per_round: 10, min_gain: 1e-4 },
+            &mut rng,
+        );
+        assert!(sol.cost.is_finite());
+        // Re-evaluating the returned centers reproduces the reported cost.
+        let re = capacitated_cost(&pts, None, &sol.centers, 40.0, 1.0);
+        assert!((re - sol.cost).abs() < 1e-6);
+    }
+
+    #[test]
+    fn finds_obvious_centers_on_two_tight_blobs() {
+        let mut pts = Vec::new();
+        for x in 0..12u32 {
+            pts.push(Point::new(vec![10 + x % 3, 10]));
+            pts.push(Point::new(vec![100 + x % 3, 100]));
+        }
+        let mut rng = StdRng::seed_from_u64(6);
+        let sol = local_search_kmedian(&wp(pts), 2, 1.0, 12.0, LocalSearchConfig::default(), &mut rng);
+        // Each blob spans x∈{c,c+1,c+2}; an optimal medoid costs ≤ 16 per blob.
+        assert!(sol.cost <= 40.0, "cost {} too high", sol.cost);
+        let xs: Vec<u32> = sol.centers.iter().map(|c| c.coord(0)).collect();
+        assert!(xs.iter().any(|&x| x < 50) && xs.iter().any(|&x| x > 50));
+    }
+}

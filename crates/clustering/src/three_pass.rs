@@ -1,0 +1,262 @@
+//! A three-pass insertion-only streaming baseline (BBLM14-inspired).
+//!
+//! The only prior streaming algorithm for capacitated clustering
+//! (\[BBLM14], "Distributed balanced clustering via mapping coresets") is
+//! a **three-pass, insertion-only** construction. Its exact pipeline
+//! builds mapping coresets from an (α, β) solver; we implement a faithful
+//! simplification with the same pass structure and the same failure mode
+//! the paper highlights (no deletions):
+//!
+//! * **Pass 1** — reservoir-sample `m₀` points; run k-means++ + Lloyd on
+//!   the sample to obtain `O(k)` *pilot* centers.
+//! * **Pass 2** — count the exact number of stream points mapped
+//!   (nearest-pilot) to each pilot center.
+//! * **Pass 3** — per pilot cluster, reservoir-sample `m₁` representative
+//!   points; weight them `count/m₁` (so per-cluster mass is exact). The
+//!   output is a weighted coreset usable by any capacitated solver.
+//!
+//! The struct processes items one at a time, so streaming tests can feed
+//! it the same streams as the single-pass algorithm (modulo deletions,
+//! which it rejects — that rejection *is* the experiment E8 result).
+
+use crate::kmeanspp::kmeanspp_seeds;
+use crate::lloyd::lloyd;
+use rand::Rng;
+use sbc_geometry::{Point, WeightedPoint};
+
+/// Phases of the three-pass baseline.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Pass {
+    /// Reservoir sampling for pilot centers.
+    One,
+    /// Counting points per pilot center.
+    Two,
+    /// Per-cluster representative sampling.
+    Three,
+    /// Finished: coreset available.
+    Done,
+}
+
+/// The three-pass insertion-only streaming coreset builder.
+pub struct ThreePassBaseline<R: Rng> {
+    k: usize,
+    r: f64,
+    m0: usize,
+    m1: usize,
+    rng: R,
+    pass: Pass,
+    seen: usize,
+    reservoir: Vec<Point>,
+    pilots: Vec<Point>,
+    counts: Vec<usize>,
+    cluster_seen: Vec<usize>,
+    cluster_reservoirs: Vec<Vec<Point>>,
+}
+
+impl<R: Rng> ThreePassBaseline<R> {
+    /// Creates a builder: `m0` pilot-sample size, `m1` representatives per
+    /// pilot cluster.
+    pub fn new(k: usize, r: f64, m0: usize, m1: usize, rng: R) -> Self {
+        assert!(k >= 1 && m0 >= k && m1 >= 1);
+        Self {
+            k,
+            r,
+            m0,
+            m1,
+            rng,
+            pass: Pass::One,
+            seen: 0,
+            reservoir: Vec::with_capacity(m0),
+            pilots: Vec::new(),
+            counts: Vec::new(),
+            cluster_seen: Vec::new(),
+            cluster_reservoirs: Vec::new(),
+        }
+    }
+
+    /// Current pass.
+    pub fn pass(&self) -> Pass {
+        self.pass
+    }
+
+    /// Number of passes this algorithm needs (the paper's single-pass
+    /// algorithm needs 1 — this is the headline comparison of E8).
+    pub const PASSES: usize = 3;
+
+    /// Inserts a point in the current pass.
+    ///
+    /// # Panics
+    /// Panics if called after all three passes completed.
+    pub fn insert(&mut self, p: &Point) {
+        match self.pass {
+            Pass::One => {
+                self.seen += 1;
+                if self.reservoir.len() < self.m0 {
+                    self.reservoir.push(p.clone());
+                } else {
+                    let j = self.rng.gen_range(0..self.seen);
+                    if j < self.m0 {
+                        self.reservoir[j] = p.clone();
+                    }
+                }
+            }
+            Pass::Two => {
+                let (j, _) = sbc_geometry::metric::nearest(p, &self.pilots);
+                self.counts[j] += 1;
+            }
+            Pass::Three => {
+                let (j, _) = sbc_geometry::metric::nearest(p, &self.pilots);
+                self.cluster_seen[j] += 1;
+                let res = &mut self.cluster_reservoirs[j];
+                if res.len() < self.m1 {
+                    res.push(p.clone());
+                } else {
+                    let t = self.rng.gen_range(0..self.cluster_seen[j]);
+                    if t < self.m1 {
+                        res[t] = p.clone();
+                    }
+                }
+            }
+            Pass::Done => panic!("all passes already completed"),
+        }
+    }
+
+    /// Deletions are **not supported** — the structural limitation of the
+    /// prior art that the paper's single-pass dynamic algorithm removes.
+    /// Returns an error (so experiment E8 can demonstrate the failure
+    /// without aborting).
+    pub fn delete(&mut self, _p: &Point) -> Result<(), &'static str> {
+        Err("three-pass baseline is insertion-only: deletions unsupported (see paper §1)")
+    }
+
+    /// Ends the current pass. After the first pass this computes pilot
+    /// centers; after the third it freezes the coreset.
+    pub fn end_pass(&mut self) {
+        match self.pass {
+            Pass::One => {
+                assert!(!self.reservoir.is_empty(), "empty stream");
+                let seeds = kmeanspp_seeds(
+                    &self.reservoir,
+                    None,
+                    (2 * self.k).min(self.reservoir.len()),
+                    self.r,
+                    &mut self.rng,
+                );
+                let sol = lloyd(&self.reservoir, None, seeds, self.r, 10);
+                self.pilots = sol.centers;
+                // Dedup pilots (Lloyd can merge): keep distinct points.
+                self.pilots.sort();
+                self.pilots.dedup();
+                self.counts = vec![0; self.pilots.len()];
+                self.cluster_seen = vec![0; self.pilots.len()];
+                self.cluster_reservoirs = vec![Vec::new(); self.pilots.len()];
+                self.pass = Pass::Two;
+            }
+            Pass::Two => {
+                self.pass = Pass::Three;
+            }
+            Pass::Three => {
+                self.pass = Pass::Done;
+            }
+            Pass::Done => {}
+        }
+    }
+
+    /// The final weighted coreset (valid after three completed passes).
+    ///
+    /// # Panics
+    /// Panics when called before all passes finished.
+    pub fn coreset(&self) -> Vec<WeightedPoint> {
+        assert_eq!(self.pass, Pass::Done, "finish all three passes first");
+        let mut out = Vec::new();
+        for (j, res) in self.cluster_reservoirs.iter().enumerate() {
+            if self.counts[j] == 0 || res.is_empty() {
+                continue;
+            }
+            let w = self.counts[j] as f64 / res.len() as f64;
+            for p in res {
+                out.push(WeightedPoint::new(p.clone(), w));
+            }
+        }
+        out
+    }
+
+    /// Convenience driver: runs all three passes over an in-memory slice
+    /// (each pass is one scan, as a real multi-pass streaming run would
+    /// re-read its input).
+    pub fn run(mut self, points: &[Point]) -> Vec<WeightedPoint> {
+        for _ in 0..3 {
+            for p in points {
+                self.insert(p);
+            }
+            self.end_pass();
+        }
+        self.coreset()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::uncapacitated_cost;
+    use crate::split_weighted;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sbc_geometry::dataset::gaussian_mixture;
+    use sbc_geometry::GridParams;
+
+    #[test]
+    fn runs_three_passes_and_preserves_mass() {
+        let gp = GridParams::from_log_delta(8, 2);
+        let pts = gaussian_mixture(gp, 600, 3, 0.03, 1);
+        let bl = ThreePassBaseline::new(3, 2.0, 60, 20, StdRng::seed_from_u64(1));
+        let coreset = bl.run(&pts);
+        let total: f64 = coreset.iter().map(|w| w.weight).sum();
+        assert!((total - 600.0).abs() < 1e-6, "mapping weights preserve counts exactly");
+    }
+
+    #[test]
+    fn deletions_are_rejected() {
+        let mut bl = ThreePassBaseline::new(2, 2.0, 10, 5, StdRng::seed_from_u64(2));
+        let p = Point::new(vec![1, 1]);
+        bl.insert(&p);
+        assert!(bl.delete(&p).is_err());
+    }
+
+    #[test]
+    fn coreset_approximates_uncapacitated_cost() {
+        let gp = GridParams::from_log_delta(9, 2);
+        let pts = gaussian_mixture(gp, 2000, 3, 0.02, 7);
+        let bl = ThreePassBaseline::new(3, 2.0, 150, 40, StdRng::seed_from_u64(3));
+        let coreset = bl.run(&pts);
+        let (cp, cw) = split_weighted(&coreset);
+        let mut rng = StdRng::seed_from_u64(4);
+        let centers = kmeanspp_seeds(&pts, None, 3, 2.0, &mut rng);
+        let full = uncapacitated_cost(&pts, None, &centers, 2.0);
+        let est = uncapacitated_cost(&cp, Some(&cw), &centers, 2.0);
+        let ratio = est / full;
+        assert!((0.5..=1.6).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn pass_state_machine() {
+        let mut bl = ThreePassBaseline::new(2, 2.0, 5, 3, StdRng::seed_from_u64(5));
+        assert_eq!(bl.pass(), Pass::One);
+        for x in 1..=10u32 {
+            bl.insert(&Point::new(vec![x]));
+        }
+        bl.end_pass();
+        assert_eq!(bl.pass(), Pass::Two);
+        bl.end_pass();
+        assert_eq!(bl.pass(), Pass::Three);
+        bl.end_pass();
+        assert_eq!(bl.pass(), Pass::Done);
+    }
+
+    #[test]
+    #[should_panic(expected = "finish all three passes")]
+    fn coreset_before_done_panics() {
+        let bl = ThreePassBaseline::new(2, 2.0, 5, 3, StdRng::seed_from_u64(6));
+        let _ = bl.coreset();
+    }
+}

@@ -1,0 +1,115 @@
+//! Cross-checks between the clustering solvers and the exact flow layer,
+//! including dual certification of the assignment steps.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sbc_clustering::capacitated::capacitated_lloyd_raw;
+use sbc_clustering::cost::{capacitated_cost, uncapacitated_cost};
+use sbc_clustering::greedy::greedy_capacitated_assignment;
+use sbc_clustering::local_search::{local_search_kmedian, LocalSearchConfig};
+use sbc_flow::dual::{certify_optimal, Certificate};
+use sbc_flow::transport::optimal_fractional_assignment;
+use sbc_geometry::dataset::gaussian_mixture;
+use sbc_geometry::{GridParams, Point, WeightedPoint};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The greedy heuristic never beats the flow optimum and always
+    /// respects the capacity; the flow optimum itself certifies.
+    #[test]
+    fn greedy_dominated_by_certified_optimum(
+        coords in prop::collection::vec((1u32..=64, 1u32..=64), 6..24),
+        zs in prop::collection::vec((1u32..=64, 1u32..=64), 2..4),
+        slack in 0usize..3,
+    ) {
+        let points: Vec<Point> = coords.into_iter().map(|(a, b)| Point::new(vec![a, b])).collect();
+        let centers: Vec<Point> = zs.into_iter().map(|(a, b)| Point::new(vec![a, b])).collect();
+        let k = centers.len();
+        let cap = (points.len() as f64 / k as f64).ceil() + slack as f64;
+        let Some(frac) = optimal_fractional_assignment(&points, None, &centers, cap, 2.0) else {
+            return Ok(());
+        };
+        prop_assert_eq!(
+            certify_optimal(&frac, &points, &centers, cap, 2.0, 1e-6),
+            Certificate::Optimal
+        );
+        let g = greedy_capacitated_assignment(&points, None, &centers, cap, 2.0).unwrap();
+        prop_assert!(g.cost >= frac.cost - 1e-6);
+        prop_assert!(g.loads.iter().all(|&l| l <= cap + 1e-9));
+    }
+
+    /// Capacitated cost with slack t = n equals the uncapacitated cost
+    /// for the solvers' outputs (consistency of the two cost paths).
+    #[test]
+    fn capacitated_limits_to_uncapacitated(
+        coords in prop::collection::vec((1u32..=64, 1u32..=64), 4..16),
+        zs in prop::collection::vec((1u32..=64, 1u32..=64), 1..4),
+    ) {
+        let points: Vec<Point> = coords.into_iter().map(|(a, b)| Point::new(vec![a, b])).collect();
+        let centers: Vec<Point> = zs.into_iter().map(|(a, b)| Point::new(vec![a, b])).collect();
+        let unc = uncapacitated_cost(&points, None, &centers, 2.0);
+        let capd = capacitated_cost(&points, None, &centers, points.len() as f64, 2.0);
+        prop_assert!((unc - capd).abs() <= 1e-6 * unc.max(1.0));
+    }
+}
+
+/// Every capacitated-Lloyd iterate's assignment step is flow-optimal for
+/// its centers (the solver's invariant), certified independently.
+#[test]
+fn lloyd_assignment_steps_certify() {
+    let gp = GridParams::from_log_delta(7, 2);
+    let pts = gaussian_mixture(gp, 150, 3, 0.05, 7);
+    let mut rng = StdRng::seed_from_u64(1);
+    let cap = 150.0 / 3.0 * 1.2;
+    let sol = capacitated_lloyd_raw(&pts, None, 3, 2.0, cap, 6, &mut rng);
+    assert_eq!(
+        certify_optimal(&sol.assignment, &pts, &sol.centers, cap, 2.0, 1e-6),
+        Certificate::Optimal,
+        "returned assignment must be optimal for the returned centers"
+    );
+}
+
+/// Local search's reported cost is reproducible and certified.
+#[test]
+fn local_search_cost_is_exact_for_its_centers() {
+    let gp = GridParams::from_log_delta(7, 2);
+    let pts = gaussian_mixture(gp, 100, 2, 0.06, 9);
+    let wps: Vec<WeightedPoint> =
+        pts.iter().map(|p| WeightedPoint::new(p.clone(), 1.0)).collect();
+    let mut rng = StdRng::seed_from_u64(2);
+    let cap = 100.0 / 2.0 * 1.2;
+    let sol = local_search_kmedian(
+        &wps,
+        2,
+        1.0,
+        cap,
+        LocalSearchConfig { max_rounds: 4, candidates_per_round: 8, min_gain: 1e-4 },
+        &mut rng,
+    );
+    let frac = optimal_fractional_assignment(&pts, None, &sol.centers, cap, 1.0).unwrap();
+    assert!((frac.cost - sol.cost).abs() < 1e-6 * sol.cost.max(1.0));
+    assert_eq!(
+        certify_optimal(&frac, &pts, &sol.centers, cap, 1.0, 1e-6),
+        Certificate::Optimal
+    );
+}
+
+/// Greedy assignment scales to sizes where the flow would be noticeably
+/// slower, and stays within a sane factor on clusterable data.
+#[test]
+fn greedy_quality_on_large_clusterable_instance() {
+    let gp = GridParams::from_log_delta(9, 2);
+    let n = 20_000;
+    let pts = gaussian_mixture(gp, n, 4, 0.03, 11);
+    let mut rng = StdRng::seed_from_u64(3);
+    let centers = sbc_clustering::kmeanspp::kmeanspp_seeds(&pts, None, 4, 2.0, &mut rng);
+    let cap = n as f64 / 4.0 * 1.1;
+    let g = greedy_capacitated_assignment(&pts, None, &centers, cap, 2.0).unwrap();
+    assert!(g.loads.iter().all(|&l| l <= cap + 1e-6));
+    assert_eq!(g.loads.iter().sum::<f64>() as usize, n);
+    // Sanity on cost: not absurdly above the unconstrained floor.
+    let floor = uncapacitated_cost(&pts, None, &centers, 2.0);
+    assert!(g.cost <= 3.0 * floor + 1e-6, "greedy {} vs floor {floor}", g.cost);
+}

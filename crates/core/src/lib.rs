@@ -1,0 +1,47 @@
+//! # sbc-core
+//!
+//! The paper's primary contribution: **strong coresets for capacitated
+//! (balanced) k-clustering in `ℓr`** (Esfandiari, Mirrokni, Zhong;
+//! SPAA 2023 / arXiv:1910.00788, §3).
+//!
+//! A strong `(η, ε)`-coreset of `Q ⊆ [Δ]^d` is a weighted subset
+//! `(Q′, w′)` such that for every capacity `t ≥ ⌈|Q|/k⌉` and every center
+//! set `Z ⊂ [Δ]^d, |Z| = k`:
+//!
+//! ```text
+//! cost_{(1+η)t}(Q, Z) ≤ (1+ε)·cost_t(Q′, Z, w′)
+//! cost_{(1+η)t}(Q′, Z, w′) ≤ (1+ε)·cost_t(Q, Z)
+//! ```
+//!
+//! The construction (Algorithms 1 & 2):
+//!
+//! 1. partition `Q` through a randomly shifted grid hierarchy into parts
+//!    `Q_{i,j}` of **heavy cells'** crucial children ([`partition`]);
+//! 2. drop tiny parts (Lemma 3.4) and sample the rest λ-wise
+//!    independently with per-level rate `φᵢ`, weighting by `1/φᵢ`
+//!    ([`coreset`]).
+//!
+//! The analysis machinery — curved `ℓr` half-spaces (Definition 2.2),
+//! assignment half-spaces and regions (Definitions 3.7/3.10), and the
+//! transferred assignment (Definition 3.11) — is implemented in
+//! [`halfspace`] and [`transfer`]; it also powers the §3.3
+//! **assignment oracle** ([`assign`]) that maps *original* points to
+//! centers given only the coreset and `poly(|Q′|)` work.
+//!
+//! [`verify`] provides the empirical strong-coreset checker behind the
+//! test suite and experiment E1.
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod assign;
+pub mod coreset;
+pub mod halfspace;
+pub mod params;
+pub mod partition;
+pub mod transfer;
+pub mod verify;
+
+pub use coreset::{build_coreset, build_coreset_with_grid, Coreset, CoresetEntry, FailReason};
+pub use params::{ConstantsProfile, CoresetParams};
+pub use partition::{CellCounts, Partition, PartitionError};

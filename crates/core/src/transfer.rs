@@ -1,0 +1,215 @@
+//! Transferred assignments (Definition 3.11, analysed in Lemma 3.12).
+//!
+//! When half-spaces `H` carve a part `P` into regions, some regions may
+//! hold a *tiny* sliver of `P` — too small for the uniform sampling rate
+//! to hit reliably, yet possibly expensive (far from its center). The
+//! **transfer** redirects every point of a region whose estimated mass
+//! `bᵢ` falls below `2ξT` (and every `R₀` point) to the heaviest region's
+//! center `z_{i*}`:
+//!
+//! ```text
+//! π(p) = zᵢ   if bᵢ ≥ 2ξT and p ∈ Rᵢ        (i ∈ [k])
+//!        z_{i*} otherwise,   i* = argmaxᵢ bᵢ
+//! ```
+//!
+//! Lemma 3.12 shows this costs at most a `(1 + 2^{r+4}k²ξ)` factor plus a
+//! small additive term, and moves at most `16kξ·w(P)` of mass between
+//! clusters — the price of making every non-empty cluster of a part
+//! *large*, so sampling concentrates.
+
+use crate::halfspace::AssignmentHalfspaces;
+use sbc_geometry::Point;
+
+/// The per-part transfer rule: estimated region masses plus thresholds.
+#[derive(Clone, Debug)]
+pub struct TransferRule {
+    /// Estimated region masses `B = (b₀, b₁, …, b_k)`; `b₀` is the `R₀`
+    /// (no-region) mass.
+    pub b: Vec<f64>,
+    /// The mass-resolution parameter ξ.
+    pub xi: f64,
+    /// The threshold scale `T` (the paper instantiates `T = 0.5γTᵢ(o)`).
+    pub t: f64,
+    /// `i* = argmax_{i ∈ [k]} bᵢ` (1-based regions; index into centers is
+    /// `i* − 1`).
+    pub i_star: usize,
+}
+
+impl TransferRule {
+    /// Builds the rule from estimated region masses `b` (length `k + 1`,
+    /// `b[0]` = `R₀` mass).
+    ///
+    /// # Panics
+    /// Panics when `b` has fewer than 2 entries (need at least one real
+    /// region).
+    pub fn new(b: Vec<f64>, xi: f64, t: f64) -> Self {
+        assert!(b.len() >= 2, "need k ≥ 1 regions plus R₀");
+        // argmax over i ∈ [k] (excluding b₀), ties to the smaller index.
+        let mut i_star = 1;
+        for i in 2..b.len() {
+            if b[i] > b[i_star] {
+                i_star = i;
+            }
+        }
+        Self { b, xi, t, i_star }
+    }
+
+    /// Whether region `i ∈ [k]` keeps its own points (`bᵢ ≥ 2ξT`).
+    pub fn region_kept(&self, i: usize) -> bool {
+        debug_assert!(i >= 1 && i < self.b.len());
+        self.b[i] >= 2.0 * self.xi * self.t
+    }
+
+    /// The transferred center index (0-based) for a point whose region is
+    /// `region` (`None` = `R₀`).
+    pub fn target(&self, region: Option<usize>) -> usize {
+        match region {
+            Some(i) if self.region_kept(i + 1) => i,
+            _ => self.i_star - 1,
+        }
+    }
+}
+
+/// Applies the transferred assignment mapping to a point set: computes
+/// each point's region under `hs` and routes it per `rule`.
+/// Returns 0-based center indices.
+pub fn transferred_assignment(
+    points: &[Point],
+    hs: &AssignmentHalfspaces,
+    rule: &TransferRule,
+) -> Vec<usize> {
+    assert_eq!(rule.b.len(), hs.k() + 1, "rule must carry k + 1 masses");
+    points
+        .iter()
+        .map(|p| rule.target(hs.region_of(p)))
+        .collect()
+}
+
+/// Exact region masses of a weighted point set under `hs` — the `B`
+/// vector a full-information implementation would use (the streaming
+/// path estimates it from samples; Lemma 3.14 event 1 bounds the gap).
+pub fn region_masses(
+    points: &[Point],
+    weights: Option<&[f64]>,
+    hs: &AssignmentHalfspaces,
+) -> Vec<f64> {
+    let mut b = vec![0.0; hs.k() + 1];
+    for (idx, p) in points.iter().enumerate() {
+        let w = weights.map_or(1.0, |ws| ws[idx]);
+        match hs.region_of(p) {
+            None => b[0] += w,
+            Some(i) => b[i + 1] += w,
+        }
+    }
+    b
+}
+
+/// The size vector `s(π)` (Definition 3.6) of an assignment.
+pub fn size_vector(assign: &[usize], weights: Option<&[f64]>, k: usize) -> Vec<f64> {
+    let mut s = vec![0.0; k];
+    for (idx, &a) in assign.iter().enumerate() {
+        s[a] += weights.map_or(1.0, |ws| ws[idx]);
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::halfspace::AssignmentHalfspaces;
+    use sbc_geometry::metric::dist_r_pow;
+
+    fn p(cs: &[u32]) -> Point {
+        Point::new(cs.to_vec())
+    }
+
+    fn two_cluster_setup() -> (Vec<Point>, Vec<Point>, Vec<usize>) {
+        let points: Vec<Point> = (1..=8u32)
+            .map(|x| p(&[x, 1]))
+            .chain((21..=28u32).map(|x| p(&[x, 1])))
+            .collect();
+        let centers = vec![p(&[4, 1]), p(&[24, 1])];
+        let assign: Vec<usize> = points.iter().map(|q| usize::from(q.coord(0) > 14)).collect();
+        (points, centers, assign)
+    }
+
+    #[test]
+    fn kept_regions_map_to_themselves() {
+        let (points, centers, assign) = two_cluster_setup();
+        let hs = AssignmentHalfspaces::from_assignment(&points, &assign, &centers, 2.0);
+        let b = region_masses(&points, None, &hs);
+        assert_eq!(b, vec![0.0, 8.0, 8.0], "valid half-spaces ⇒ empty R₀");
+        let rule = TransferRule::new(b, 0.01, 8.0); // 2ξT = 0.16 ≪ 8
+        let transferred = transferred_assignment(&points, &hs, &rule);
+        assert_eq!(transferred, assign, "big regions are untouched");
+    }
+
+    #[test]
+    fn tiny_region_is_redirected_to_heaviest() {
+        let (points, centers, assign) = two_cluster_setup();
+        let hs = AssignmentHalfspaces::from_assignment(&points, &assign, &centers, 2.0);
+        // Pretend region 1 (center 0) is tiny: b₁ < 2ξT.
+        let rule = TransferRule::new(vec![0.0, 0.5, 8.0], 0.25, 8.0); // 2ξT = 4
+        let transferred = transferred_assignment(&points, &hs, &rule);
+        assert!(
+            transferred.iter().all(|&c| c == 1),
+            "everything transfers to the heavy region's center"
+        );
+    }
+
+    #[test]
+    fn r0_points_go_to_i_star() {
+        let (points, centers, assign) = two_cluster_setup();
+        let _hs = AssignmentHalfspaces::from_assignment(&points, &assign, &centers, 2.0);
+        let rule = TransferRule::new(vec![0.0, 8.0, 7.0], 0.01, 8.0);
+        assert_eq!(rule.target(None), 0, "R₀ → argmax bᵢ (region 1, center 0)");
+    }
+
+    #[test]
+    fn transfer_cost_bound_of_lemma_3_12() {
+        // Empirical check of the Lemma 3.12 inequality on a concrete part:
+        // cost(π′) ≤ (1 + 2^{r+4}k²ξ)·cost(π) + ξ·2^{r+1}·k·T·(√d·g)^r.
+        let (points, centers, assign) = two_cluster_setup();
+        let r = 2.0;
+        let hs = AssignmentHalfspaces::from_assignment(&points, &assign, &centers, r);
+        let b = region_masses(&points, None, &hs);
+        let xi = 0.3; // large ξ so the transfer actually fires
+        let t = 16.0;
+        let rule = TransferRule::new(b, xi, t);
+        let transferred = transferred_assignment(&points, &hs, &rule);
+        let cost = |a: &[usize]| -> f64 {
+            points
+                .iter()
+                .zip(a)
+                .map(|(q, &c)| dist_r_pow(q, &centers[c], r))
+                .sum()
+        };
+        let k = 2.0f64;
+        let diam_bound = 30.0f64; // √d·g for this toy part
+        let lhs = cost(&transferred);
+        let rhs = (1.0 + 2f64.powf(r + 4.0) * k * k * xi) * cost(&assign)
+            + xi * 2f64.powf(r + 1.0) * k * t * diam_bound.powf(r);
+        assert!(lhs <= rhs, "Lemma 3.12 bound violated: {lhs} > {rhs}");
+    }
+
+    #[test]
+    fn transfer_mass_movement_bounded() {
+        // ‖s(π′) − s(π)‖₁ ≤ 16kξ·Σw (Lemma 3.12, second claim).
+        let (points, centers, assign) = two_cluster_setup();
+        let hs = AssignmentHalfspaces::from_assignment(&points, &assign, &centers, 2.0);
+        let xi = 0.05;
+        let rule = TransferRule::new(region_masses(&points, None, &hs), xi, 16.0);
+        let transferred = transferred_assignment(&points, &hs, &rule);
+        let s0 = size_vector(&assign, None, 2);
+        let s1 = size_vector(&transferred, None, 2);
+        let l1: f64 = s0.iter().zip(&s1).map(|(a, b)| (a - b).abs()).sum();
+        assert!(l1 <= 16.0 * 2.0 * xi * 16.0 + 1e-9);
+    }
+
+    #[test]
+    fn size_vector_sums_to_total_weight() {
+        let assign = vec![0, 1, 1, 2];
+        let s = size_vector(&assign, Some(&[1.0, 2.0, 3.0, 4.0]), 3);
+        assert_eq!(s, vec![1.0, 5.0, 4.0]);
+    }
+}

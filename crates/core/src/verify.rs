@@ -1,0 +1,196 @@
+//! Empirical strong-coreset verification (the testable face of
+//! Theorem 3.19 item 1).
+//!
+//! A strong `(η, ε)`-coreset must satisfy, for *every* `t ≥ |Q|/k` and
+//! *every* `Z ⊂ [Δ]^d` with `|Z| = k`:
+//!
+//! ```text
+//! cost_{(1+η)t}(Q, Z)        ≤ (1+ε) · cost_t(Q′, Z, w′)      (lower sandwich)
+//! cost_{(1+η)t}(Q′, Z, w′)   ≤ (1+ε) · cost_t(Q, Z)           (upper sandwich)
+//! ```
+//!
+//! We cannot check *every* `(Z, t)`, so [`verify_strong_coreset`] draws a
+//! battery of adversarially diverse center sets — k-means++ seeds (good
+//! centers), uniform random points (bad centers), coordinate-extreme
+//! centers — crossed with capacities from tight (`|Q|/k`) to loose, and
+//! reports the worst observed ratio of each direction. Tests and
+//! experiment E1 assert these stay below their tolerance.
+
+use crate::coreset::Coreset;
+use crate::params::CoresetParams;
+use rand::Rng;
+use sbc_clustering::cost::capacitated_cost;
+use sbc_clustering::kmeanspp::kmeanspp_seeds;
+use sbc_geometry::Point;
+
+/// Worst-case ratios over the sampled `(Z, t)` battery.
+#[derive(Clone, Debug)]
+pub struct CoresetQuality {
+    /// Max over trials of `cost_{(1+η)t}(Q′,Z,w′) / cost_t(Q,Z)`
+    /// (should be ≤ 1+ε).
+    pub max_upper: f64,
+    /// Max over trials of `cost_{(1+η)t}(Q,Z) / cost_t(Q′,Z,w′)`
+    /// (should be ≤ 1+ε).
+    pub max_lower: f64,
+    /// Number of `(Z, t)` pairs evaluated (infeasible pairs skipped).
+    pub trials: usize,
+}
+
+impl CoresetQuality {
+    /// The worst of both directions.
+    pub fn worst(&self) -> f64 {
+        self.max_upper.max(self.max_lower)
+    }
+}
+
+/// Draws a battery of center sets of size `k`.
+pub fn center_battery<R: Rng + ?Sized>(
+    points: &[Point],
+    k: usize,
+    r: f64,
+    num_sets: usize,
+    delta: u64,
+    rng: &mut R,
+) -> Vec<Vec<Point>> {
+    let d = points[0].dim();
+    let mut sets = Vec::with_capacity(num_sets);
+    for s in 0..num_sets {
+        let set = match s % 3 {
+            // Good centers: k-means++ on the data.
+            0 => kmeanspp_seeds(points, None, k, r, rng),
+            // Bad centers: uniform random grid points.
+            1 => (0..k)
+                .map(|_| {
+                    Point::new((0..d).map(|_| rng.gen_range(1..=delta as u32)).collect())
+                })
+                .collect(),
+            // Skewed: one k-means++ center + the rest crowded in a corner.
+            _ => {
+                let mut z = kmeanspp_seeds(points, None, 1, r, rng);
+                for j in 0..k - 1 {
+                    z.push(Point::new(
+                        (0..d).map(|t| 1 + ((j + t) as u32 % 4)).collect(),
+                    ));
+                }
+                z
+            }
+        };
+        sets.push(set);
+    }
+    sets
+}
+
+/// Evaluates the sandwich inequalities on a battery of `(Z, t)` pairs.
+///
+/// `cap_factors` multiplies `|Q|/k` to produce the capacities `t`
+/// (values ≥ 1; e.g. `[1.05, 1.3, 2.0, k as f64]`).
+pub fn verify_strong_coreset<R: Rng + ?Sized>(
+    points: &[Point],
+    coreset: &Coreset,
+    params: &CoresetParams,
+    num_center_sets: usize,
+    cap_factors: &[f64],
+    rng: &mut R,
+) -> CoresetQuality {
+    let n = points.len() as f64;
+    let k = params.k;
+    let eta = params.eta;
+    let (cpts, cws) = coreset.split();
+
+    let batteries = center_battery(points, k, params.r, num_center_sets, params.grid.delta, rng);
+    let mut quality = CoresetQuality { max_upper: 0.0, max_lower: 0.0, trials: 0 };
+
+    for centers in &batteries {
+        for &f in cap_factors {
+            let t = (n / k as f64) * f;
+            // Upper direction: cost_{(1+η)t}(Q′) vs cost_t(Q).
+            let cq_t = capacitated_cost(points, None, centers, t, params.r);
+            let cq_eta = capacitated_cost(points, None, centers, (1.0 + eta) * t, params.r);
+            let cc_t = capacitated_cost(&cpts, Some(&cws), centers, t, params.r);
+            let cc_eta =
+                capacitated_cost(&cpts, Some(&cws), centers, (1.0 + eta) * t, params.r);
+            if !cq_t.is_finite() || !cc_t.is_finite() {
+                continue; // capacity too tight for one side: skip pair
+            }
+            quality.trials += 1;
+            if cq_t > 0.0 {
+                quality.max_upper = quality.max_upper.max(cc_eta / cq_t);
+            }
+            if cc_t > 0.0 {
+                quality.max_lower = quality.max_lower.max(cq_eta / cc_t);
+            }
+        }
+    }
+    quality
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coreset::build_coreset;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sbc_geometry::dataset::{gaussian_mixture, imbalanced_mixture, uniform};
+    use sbc_geometry::GridParams;
+
+    fn check(points: &[Point], params: &CoresetParams, seed: u64, tol: f64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let coreset = build_coreset(points, params, &mut rng).expect("coreset");
+        let q = verify_strong_coreset(points, &coreset, params, 6, &[1.1, 1.5, 3.0], &mut rng);
+        assert!(q.trials >= 10, "most (Z,t) pairs must be feasible");
+        assert!(
+            q.worst() <= tol,
+            "coreset quality {:.3}/{:.3} exceeds tolerance {tol} (|Q′| = {})",
+            q.max_upper,
+            q.max_lower,
+            coreset.len()
+        );
+    }
+
+    #[test]
+    fn coreset_preserves_capacitated_kmeans_cost_gaussian() {
+        let gp = GridParams::from_log_delta(8, 2);
+        let params = CoresetParams::practical(3, 2.0, 0.2, 0.2, gp);
+        let pts = gaussian_mixture(gp, 3000, 3, 0.04, 42);
+        check(&pts, &params, 1, 1.45);
+    }
+
+    #[test]
+    fn coreset_preserves_capacitated_kmedian_cost() {
+        let gp = GridParams::from_log_delta(8, 2);
+        let params = CoresetParams::practical(3, 1.0, 0.2, 0.2, gp);
+        let pts = gaussian_mixture(gp, 3000, 3, 0.04, 43);
+        check(&pts, &params, 2, 1.45);
+    }
+
+    #[test]
+    fn coreset_preserves_cost_on_imbalanced_data() {
+        // The regime where capacities bind hardest.
+        let gp = GridParams::from_log_delta(8, 2);
+        let params = CoresetParams::practical(3, 2.0, 0.2, 0.2, gp);
+        let pts = imbalanced_mixture(gp, 3000, &[0.7, 0.2, 0.1], 0.03, 44);
+        check(&pts, &params, 3, 1.45);
+    }
+
+    #[test]
+    fn coreset_preserves_cost_on_uniform_data() {
+        let gp = GridParams::from_log_delta(7, 2);
+        let params = CoresetParams::practical(2, 2.0, 0.2, 0.2, gp);
+        let pts = uniform(gp, 2000, 45);
+        check(&pts, &params, 4, 1.45);
+    }
+
+    #[test]
+    fn battery_produces_requested_sets() {
+        let gp = GridParams::from_log_delta(7, 2);
+        let pts = gaussian_mixture(gp, 200, 2, 0.05, 1);
+        let mut rng = StdRng::seed_from_u64(5);
+        let sets = center_battery(&pts, 4, 2.0, 7, gp.delta, &mut rng);
+        assert_eq!(sets.len(), 7);
+        assert!(sets.iter().all(|s| s.len() == 4));
+        assert!(sets
+            .iter()
+            .flatten()
+            .all(|z| z.in_cube(gp.delta)));
+    }
+}

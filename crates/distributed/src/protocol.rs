@@ -1,0 +1,375 @@
+//! The distributed coreset protocol (Lemma 4.6 + Theorem 4.7).
+//!
+//! Execution plan (one round-trip):
+//!
+//! 1. **Broadcast** — the coordinator draws the random grid shift and a
+//!    hash seed and sends both to all `s` machines (`O(s·d·L)` bytes).
+//! 2. **Local summaries** — machine `j` replays its shard as an
+//!    insertion-only stream through `sbc-streaming`'s builder
+//!    (constructed from the shared seed, so all machines and the
+//!    coordinator sample with *identical* λ-wise hash functions) and
+//!    sends its per-instance `(C⁽ʲ⁾, f⁽ʲ⁾, S⁽ʲ⁾)` summaries, encoded.
+//! 3. **Merge + assemble** — the coordinator sums cell counts, unions
+//!    small-cell points re-filtered at the global `β` threshold
+//!    (Lemma 4.6: a globally-small cell is locally small on every
+//!    machine, so no point is missed), re-checks `α`, and assembles the
+//!    coreset with the shared streaming assembly.
+//!
+//! Machines run either serially or on real threads (crossbeam scope);
+//! the outputs are identical because each machine's computation is
+//! deterministic in (seed, shard).
+
+use crate::wire::{from_bytes, to_bytes, Encode};
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sbc_core::{Coreset, CoresetParams, FailReason};
+use sbc_geometry::{GridHierarchy, Point};
+use sbc_streaming::coreset_stream::{InstanceSummary, RoleLevelSummary, StreamParams};
+use sbc_streaming::StreamCoresetBuilder;
+use std::collections::HashMap;
+
+/// Exact communication accounting for one protocol run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CommStats {
+    /// Bytes broadcast coordinator → machines (total over machines).
+    pub broadcast_bytes: u64,
+    /// Bytes sent machines → coordinator.
+    pub upload_bytes: u64,
+    /// Number of point-to-point messages.
+    pub messages: u64,
+    /// Number of machines.
+    pub machines: usize,
+}
+
+impl CommStats {
+    /// Total bytes on the wire.
+    pub fn total_bytes(&self) -> u64 {
+        self.broadcast_bytes + self.upload_bytes
+    }
+}
+
+/// The broadcast message (wire-encoded for accounting).
+struct Broadcast {
+    shift: Vec<f64>,
+    hash_seed: u64,
+}
+
+impl Encode for Broadcast {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.shift.encode(buf);
+        self.hash_seed.encode(buf);
+    }
+}
+
+/// Entry point for the distributed protocol.
+///
+/// ```no_run
+/// use sbc_core::CoresetParams;
+/// use sbc_distributed::DistributedCoreset;
+/// use sbc_geometry::{dataset, GridParams};
+/// use sbc_streaming::StreamParams;
+///
+/// let gp = GridParams::from_log_delta(8, 2);
+/// let params = CoresetParams::practical(3, 2.0, 0.2, 0.2, gp);
+/// let points = dataset::gaussian_mixture(gp, 20_000, 3, 0.04, 1);
+/// let shards = dataset::split_round_robin(&points, 8);
+/// let (coreset, stats) =
+///     DistributedCoreset::run_threaded(&shards, &params, &StreamParams::default(), 7).unwrap();
+/// println!("{} coreset points, {} bytes uploaded", coreset.len(), stats.upload_bytes);
+/// ```
+pub struct DistributedCoreset;
+
+impl DistributedCoreset {
+    /// Runs the protocol serially over in-memory shards.
+    pub fn run(
+        shards: &[Vec<Point>],
+        params: &CoresetParams,
+        sparams: &StreamParams,
+        seed: u64,
+    ) -> Result<(Coreset, CommStats), FailReason> {
+        Self::run_inner(shards, params, sparams, seed, false)
+    }
+
+    /// Runs the protocol with each machine on its own thread.
+    pub fn run_threaded(
+        shards: &[Vec<Point>],
+        params: &CoresetParams,
+        sparams: &StreamParams,
+        seed: u64,
+    ) -> Result<(Coreset, CommStats), FailReason> {
+        Self::run_inner(shards, params, sparams, seed, true)
+    }
+
+    fn run_inner(
+        shards: &[Vec<Point>],
+        params: &CoresetParams,
+        sparams: &StreamParams,
+        seed: u64,
+        threaded: bool,
+    ) -> Result<(Coreset, CommStats), FailReason> {
+        assert!(!shards.is_empty(), "need at least one machine");
+        let s = shards.len();
+        let mut stats = CommStats { machines: s, ..Default::default() };
+
+        // 1. Coordinator: draw shift + hash seed, broadcast.
+        let mut coord_rng = StdRng::seed_from_u64(seed);
+        let grid = GridHierarchy::new(params.grid, &mut coord_rng);
+        let hash_seed: u64 = rand::Rng::gen(&mut coord_rng);
+        let broadcast = Broadcast { shift: grid.shift().to_vec(), hash_seed };
+        let bcast_bytes = to_bytes(&broadcast);
+        stats.broadcast_bytes = (bcast_bytes.len() * s) as u64;
+        stats.messages += s as u64;
+
+        // 2. Machines: summarize their shard (identical hash functions
+        //    come from the shared seed) and upload encoded summaries.
+        let machine = |shard: &Vec<Point>| -> Vec<u8> {
+            let mut rng = StdRng::seed_from_u64(hash_seed);
+            let machine_grid = GridHierarchy::with_shift(params.grid, broadcast.shift.clone());
+            let mut builder =
+                StreamCoresetBuilder::with_grid(params.clone(), *sparams, machine_grid, &mut rng);
+            for p in shard {
+                builder.insert(p);
+            }
+            to_bytes(&builder.export_summaries())
+        };
+
+        let uploads: Vec<Vec<u8>> = if threaded {
+            let results: Mutex<Vec<(usize, Vec<u8>)>> = Mutex::new(Vec::with_capacity(s));
+            crossbeam::scope(|scope| {
+                for (j, shard) in shards.iter().enumerate() {
+                    let results = &results;
+                    let machine = &machine;
+                    scope.spawn(move |_| {
+                        let bytes = machine(shard);
+                        results.lock().push((j, bytes));
+                    });
+                }
+            })
+            .expect("machine thread panicked");
+            let mut collected = results.into_inner();
+            collected.sort_by_key(|(j, _)| *j);
+            collected.into_iter().map(|(_, b)| b).collect()
+        } else {
+            shards.iter().map(machine).collect()
+        };
+
+        for bytes in &uploads {
+            stats.upload_bytes += bytes.len() as u64;
+            stats.messages += 1;
+        }
+
+        // 3. Coordinator: decode, merge, assemble.
+        let decoded: Vec<Vec<InstanceSummary>> = uploads
+            .iter()
+            .map(|bytes| {
+                from_bytes(bytes).ok_or_else(|| FailReason::Storage("malformed upload".into()))
+            })
+            .collect::<Result<_, _>>()?;
+        let merged = merge_summaries(&grid, decoded)?;
+
+        let mut rng = StdRng::seed_from_u64(hash_seed);
+        let mut coordinator =
+            StreamCoresetBuilder::with_grid(params.clone(), *sparams, grid, &mut rng);
+        let coreset = coordinator.finish_from_summaries(&merged)?;
+        Ok((coreset, stats))
+    }
+}
+
+/// Merges per-machine instance summaries into global ones.
+///
+/// Cell counts add; small-cell points union and are re-filtered at the
+/// *global* count threshold `β` (Lemma 4.6's argument: a cell with ≤ β
+/// points globally has ≤ β on every machine, so its points all appear in
+/// some machine's `S⁽ʲ⁾`). `α` is re-checked on the merged cell sets. A
+/// role-level that FAILed on any machine is failed globally.
+pub fn merge_summaries(
+    grid: &GridHierarchy,
+    per_machine: Vec<Vec<InstanceSummary>>,
+) -> Result<Vec<InstanceSummary>, FailReason> {
+    let num_instances = per_machine
+        .iter()
+        .map(Vec::len)
+        .min()
+        .ok_or_else(|| FailReason::Storage("no machines".into()))?;
+
+    let mut merged = Vec::with_capacity(num_instances);
+    for idx in 0..num_instances {
+        let first = &per_machine[0][idx];
+        let mut inst = InstanceSummary {
+            o: first.o,
+            h: Vec::new(),
+            hp: Vec::new(),
+            hhat: Vec::new(),
+            psi: first.psi.clone(),
+            psip: first.psip.clone(),
+            phi: first.phi.clone(),
+        };
+        // Role h (levels −1..=L−1): store index = level + 1 → grid level.
+        for li in 0..first.h.len() {
+            let level = li as i32 - 1;
+            inst.h.push(merge_role(
+                grid,
+                level,
+                per_machine.iter().map(|m| &m[idx].h[li]),
+            ));
+        }
+        for li in 0..first.hp.len() {
+            inst.hp.push(merge_role(
+                grid,
+                li as i32,
+                per_machine.iter().map(|m| &m[idx].hp[li]),
+            ));
+        }
+        for li in 0..first.hhat.len() {
+            let level = li as i32;
+            let any_some = per_machine.iter().any(|m| m[idx].hhat[li].is_some());
+            if !any_some {
+                inst.hhat.push(None);
+                continue;
+            }
+            let parts: Vec<&Result<RoleLevelSummary, String>> = per_machine
+                .iter()
+                .filter_map(|m| m[idx].hhat[li].as_ref())
+                .collect();
+            if parts.len() != per_machine.len() {
+                inst.hhat.push(Some(Err("inconsistent ĥ store presence".into())));
+                continue;
+            }
+            inst.hhat
+                .push(Some(merge_role(grid, level, parts.into_iter())));
+        }
+        merged.push(inst);
+    }
+    Ok(merged)
+}
+
+fn merge_role<'a>(
+    grid: &GridHierarchy,
+    level: i32,
+    parts: impl Iterator<Item = &'a Result<RoleLevelSummary, String>>,
+) -> Result<RoleLevelSummary, String> {
+    let mut cells: HashMap<sbc_geometry::CellId, i64> = HashMap::new();
+    let mut points: Vec<(Point, i64)> = Vec::new();
+    let mut dirty: Vec<sbc_geometry::CellId> = Vec::new();
+    let mut beta = usize::MAX;
+    let mut alpha = usize::MAX;
+    for part in parts {
+        let part = part.as_ref().map_err(|e| format!("machine store failed: {e}"))?;
+        beta = beta.min(part.beta);
+        alpha = alpha.min(part.alpha);
+        for (cell, cnt) in &part.cells {
+            *cells.entry(cell.clone()).or_insert(0) += cnt;
+        }
+        points.extend(part.small_points.iter().cloned());
+        dirty.extend(part.dirty_small_cells.iter().cloned());
+    }
+    if cells.len() > alpha {
+        return Err(format!("merged cells {} exceed α = {alpha}", cells.len()));
+    }
+    // Global small-cell filter.
+    let beta_i = beta as i64;
+    let mut small_points: Vec<(Point, i64)> = Vec::new();
+    let mut merged_map: HashMap<Point, i64> = HashMap::new();
+    for (p, c) in points {
+        let cell = grid.cell_of(&p, level);
+        if cells.get(&cell).copied().unwrap_or(0) <= beta_i {
+            *merged_map.entry(p).or_insert(0) += c;
+        }
+    }
+    for (p, c) in merged_map {
+        if c > 0 {
+            small_points.push((p, c));
+        }
+    }
+    small_points.sort_by(|a, b| a.0.cmp(&b.0));
+    // Dirty cells only matter if still small globally.
+    dirty.retain(|cell| {
+        let c = cells.get(cell).copied().unwrap_or(0);
+        c > 0 && c <= beta_i
+    });
+    dirty.sort();
+    dirty.dedup();
+    let mut cells: Vec<(sbc_geometry::CellId, i64)> =
+        cells.into_iter().filter(|&(_, c)| c != 0).collect();
+    cells.sort_by(|a, b| a.0.cmp(&b.0));
+    Ok(RoleLevelSummary { cells, small_points, beta, alpha, dirty_small_cells: dirty })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbc_geometry::dataset::{gaussian_mixture, split_round_robin};
+    use sbc_geometry::GridParams;
+
+    fn params() -> CoresetParams {
+        CoresetParams::practical(3, 2.0, 0.2, 0.2, GridParams::from_log_delta(8, 2))
+    }
+
+    #[test]
+    fn distributed_protocol_produces_coreset() {
+        let p = params();
+        let pts = gaussian_mixture(p.grid, 6000, 3, 0.04, 3);
+        let shards = split_round_robin(&pts, 4);
+        let (cs, stats) =
+            DistributedCoreset::run(&shards, &p, &StreamParams::default(), 7).expect("coreset");
+        assert!(!cs.is_empty());
+        assert!(cs.len() < 6000);
+        assert_eq!(stats.machines, 4);
+        assert!(stats.upload_bytes > 0 && stats.broadcast_bytes > 0);
+        let tw = cs.total_weight();
+        assert!((tw - 6000.0).abs() < 0.3 * 6000.0, "total weight {tw}");
+    }
+
+    #[test]
+    fn threaded_matches_serial() {
+        let p = params();
+        let pts = gaussian_mixture(p.grid, 3000, 3, 0.04, 5);
+        let shards = split_round_robin(&pts, 3);
+        let (a, sa) = DistributedCoreset::run(&shards, &p, &StreamParams::default(), 11).unwrap();
+        let (b, sb) =
+            DistributedCoreset::run_threaded(&shards, &p, &StreamParams::default(), 11).unwrap();
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.o, b.o);
+        assert_eq!(sa.upload_bytes, sb.upload_bytes);
+        for (x, y) in a.entries().iter().zip(b.entries()) {
+            assert_eq!(x.point, y.point);
+            assert_eq!(x.weight, y.weight);
+        }
+    }
+
+    #[test]
+    fn communication_grows_linearly_in_machines_not_n() {
+        let p = params();
+        let pts = gaussian_mixture(p.grid, 4000, 3, 0.04, 9);
+        let run = |s: usize| {
+            let shards = split_round_robin(&pts, s);
+            DistributedCoreset::run(&shards, &p, &StreamParams::default(), 13)
+                .unwrap()
+                .1
+                .total_bytes()
+        };
+        let b2 = run(2);
+        let b8 = run(8);
+        // 4× the machines should cost well under ~8× the bytes (per-machine
+        // summaries shrink as shards shrink, so growth is sublinear here);
+        // it must certainly grow, and far less than 16×.
+        assert!(b8 > b2, "more machines ⇒ more messages");
+        assert!(b8 < 8 * b2, "b2 = {b2}, b8 = {b8}");
+    }
+
+    #[test]
+    fn single_machine_matches_streaming() {
+        // One machine + coordinator assembly ≡ a plain streaming run with
+        // the same seed-derived hash functions.
+        let p = params();
+        let pts = gaussian_mixture(p.grid, 3000, 3, 0.04, 21);
+        let shards = vec![pts.clone()];
+        let (cs, _) = DistributedCoreset::run(&shards, &p, &StreamParams::default(), 17).unwrap();
+        assert!(!cs.is_empty());
+        // Weights are valid inverse probabilities.
+        for e in cs.entries() {
+            assert!(e.weight >= 1.0 - 1e-9);
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! Wire-format robustness: decoding must be total (no panics) on
+//! arbitrary bytes, and round-trips must be exact on real summaries.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sbc_core::CoresetParams;
+use sbc_distributed::wire::{from_bytes, to_bytes};
+use sbc_geometry::dataset::gaussian_mixture;
+use sbc_geometry::{CellId, GridParams, Point};
+use sbc_streaming::coreset_stream::InstanceSummary;
+use sbc_streaming::{StreamCoresetBuilder, StreamParams};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary bytes never panic the decoder — they decode or they
+    /// return None.
+    #[test]
+    fn decoder_is_total_on_garbage(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        let _ = from_bytes::<Vec<(CellId, i64)>>(&bytes);
+        let _ = from_bytes::<Point>(&bytes);
+        let _ = from_bytes::<InstanceSummary>(&bytes);
+        let _ = from_bytes::<Result<String, String>>(&bytes);
+    }
+
+    /// Bit-flipping a valid encoding either still decodes (to something)
+    /// or is rejected — never a panic.
+    #[test]
+    fn mutated_encodings_do_not_panic(
+        flip_at in 0usize..64,
+        xor in 1u8..=255,
+    ) {
+        let cell = CellId { level: 3, coords: vec![5, -2, 9] };
+        let mut bytes = to_bytes(&vec![(cell, 42i64)]);
+        if flip_at < bytes.len() {
+            bytes[flip_at] ^= xor;
+        }
+        let _ = from_bytes::<Vec<(CellId, i64)>>(&bytes);
+    }
+}
+
+/// Full-fidelity round-trip of genuine exported summaries — what the
+/// machines actually put on the wire.
+#[test]
+fn real_summaries_roundtrip_exactly() {
+    let gp = GridParams::from_log_delta(7, 2);
+    let params = CoresetParams::practical(2, 2.0, 0.2, 0.2, gp);
+    let pts = gaussian_mixture(gp, 800, 2, 0.05, 3);
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut builder = StreamCoresetBuilder::new(params, StreamParams::default(), &mut rng);
+    for p in &pts {
+        builder.insert(p);
+    }
+    let summaries = builder.export_summaries();
+    let bytes = to_bytes(&summaries);
+    let decoded: Vec<InstanceSummary> = from_bytes(&bytes).expect("roundtrip");
+    assert_eq!(decoded.len(), summaries.len());
+    for (a, b) in summaries.iter().zip(&decoded) {
+        assert_eq!(a.o, b.o);
+        assert_eq!(a.psi, b.psi);
+        assert_eq!(a.psip, b.psip);
+        assert_eq!(a.phi, b.phi);
+        assert_eq!(a.h.len(), b.h.len());
+        for (x, y) in a.h.iter().zip(&b.h) {
+            match (x, y) {
+                (Ok(u), Ok(v)) => {
+                    assert_eq!(u.cells, v.cells);
+                    assert_eq!(u.small_points, v.small_points);
+                    assert_eq!(u.beta, v.beta);
+                    assert_eq!(u.alpha, v.alpha);
+                }
+                (Err(e1), Err(e2)) => assert_eq!(e1, e2),
+                other => panic!("variant mismatch: {other:?}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! Exhaustive capacitated assignment for cross-validation.
+//!
+//! Enumerates all `k^n` integral assignments of `n` unit-weight points to
+//! `k` centers, keeping the cheapest one that respects the capacity.
+//! Exponential — used only by tests (`n ≤ ~10`) to certify the min-cost
+//! flow solver and the cost functions.
+
+use sbc_geometry::metric::dist_r_pow;
+use sbc_geometry::Point;
+
+/// The exact optimal integral capacitated cost and one optimal assignment,
+/// or `None` if no assignment satisfies the capacity.
+///
+/// # Panics
+/// Panics when `k^n` would exceed ~100M states (guardrail against
+/// accidental use on real instances).
+pub fn brute_force_capacitated(
+    points: &[Point],
+    centers: &[Point],
+    cap: usize,
+    r: f64,
+) -> Option<(f64, Vec<usize>)> {
+    let n = points.len();
+    let k = centers.len();
+    assert!(k >= 1);
+    let states = (k as f64).powi(n as i32);
+    assert!(states <= 1e8, "brute force limited to tiny instances");
+
+    // Precompute the n×k cost matrix.
+    let cost: Vec<Vec<f64>> = points
+        .iter()
+        .map(|p| centers.iter().map(|z| dist_r_pow(p, z, r)).collect())
+        .collect();
+
+    let mut assign = vec![0usize; n];
+    let mut best: Option<(f64, Vec<usize>)> = None;
+    loop {
+        // Evaluate the current assignment.
+        let mut loads = vec![0usize; k];
+        let mut total = 0.0;
+        let mut feasible = true;
+        for i in 0..n {
+            loads[assign[i]] += 1;
+            if loads[assign[i]] > cap {
+                feasible = false;
+                break;
+            }
+            total += cost[i][assign[i]];
+        }
+        if feasible && best.as_ref().map_or(true, |(b, _)| total < *b) {
+            best = Some((total, assign.clone()));
+        }
+        // Odometer increment.
+        let mut i = 0;
+        loop {
+            if i == n {
+                return best;
+            }
+            assign[i] += 1;
+            if assign[i] < k {
+                break;
+            }
+            assign[i] = 0;
+            i += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::optimal_fractional_assignment;
+
+    fn p(cs: &[u32]) -> Point {
+        Point::new(cs.to_vec())
+    }
+
+    #[test]
+    fn matches_nearest_when_uncapacitated() {
+        let points = vec![p(&[1]), p(&[5]), p(&[9])];
+        let centers = vec![p(&[2]), p(&[8])];
+        let (cost, assign) = brute_force_capacitated(&points, &centers, 3, 2.0).unwrap();
+        assert_eq!(assign, vec![0, 0, 1]);
+        assert!((cost - (1.0 + 9.0 + 1.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn infeasible_when_cap_too_small() {
+        let points = vec![p(&[1]), p(&[2]), p(&[3])];
+        let centers = vec![p(&[1])];
+        assert!(brute_force_capacitated(&points, &centers, 2, 2.0).is_none());
+    }
+
+    #[test]
+    fn flow_lower_bounds_brute_force() {
+        // The fractional optimum is a lower bound on the integral optimum;
+        // on unit-weight integral-capacity instances they coincide
+        // (transportation polytopes with integral data have integral
+        // vertices).
+        let points = vec![p(&[1, 1]), p(&[2, 3]), p(&[6, 6]), p(&[7, 5]), p(&[4, 4])];
+        let centers = vec![p(&[2, 2]), p(&[6, 5])];
+        for cap in 3..=5usize {
+            for &r in &[1.0f64, 2.0] {
+                let brute = brute_force_capacitated(&points, &centers, cap, r).unwrap();
+                let frac =
+                    optimal_fractional_assignment(&points, None, &centers, cap as f64, r).unwrap();
+                assert!(
+                    (frac.cost - brute.0).abs() < 1e-6,
+                    "cap={cap} r={r}: flow {} vs brute {}",
+                    frac.cost,
+                    brute.0
+                );
+            }
+        }
+    }
+}

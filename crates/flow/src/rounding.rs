@@ -1,0 +1,324 @@
+//! Fractional → integral rounding (paper §3.3, steps 1–3).
+//!
+//! Given an optimal fractional assignment, the support bipartite graph
+//! (point–center edges with positive flow) is reduced to a forest by
+//! canceling cycles: around any simple cycle, shifting `a` units in one
+//! direction keeps all loads identical and — because the fractional
+//! solution is optimal — does not change the cost (we pick the direction
+//! whose cost delta is ≤ 0 to be numerically safe). Each cancellation
+//! removes at least one support edge. Once the support is a forest, at
+//! most `k − 1` points remain split; each is snapped to its closest
+//! center, giving an integral assignment with
+//! `‖s(π′)‖∞ ≤ t + (k−1)·max_p w(p)` (the bound the paper turns into a
+//! `(1+η)` violation via the coreset's small max weight).
+
+use crate::mcmf::EPS;
+use crate::transport::FractionalAssignment;
+use sbc_geometry::metric::dist_r_pow;
+use sbc_geometry::Point;
+use std::collections::HashMap;
+
+/// An integral capacitated assignment: every point wholly at one center.
+#[derive(Clone, Debug)]
+pub struct IntegralAssignment {
+    /// `center_of[i]` = index of the center point `i` is assigned to.
+    pub center_of: Vec<usize>,
+    /// `Σ w(p) · dist^r(p, center_of(p))`.
+    pub cost: f64,
+    /// Total weight at each center.
+    pub loads: Vec<f64>,
+}
+
+impl IntegralAssignment {
+    /// Maximum center load (compare against `(1+η)·t`).
+    pub fn max_load(&self) -> f64 {
+        self.loads.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// The size vector `s(π)` of Definition 3.6.
+    pub fn size_vector(&self) -> &[f64] {
+        &self.loads
+    }
+}
+
+/// Rounds a fractional assignment to an integral one (paper §3.3).
+///
+/// `frac` must come from [`crate::transport::optimal_fractional_assignment`]
+/// on the same `points`/`weights`/`centers` (the cycle-canceling cost
+/// argument relies on optimality).
+pub fn round_to_integral(
+    frac: &FractionalAssignment,
+    points: &[Point],
+    weights: Option<&[f64]>,
+    centers: &[Point],
+    r: f64,
+) -> IntegralAssignment {
+    let n = points.len();
+    let k = centers.len();
+    // Mutable copy of the support: per point, center → flow.
+    let mut share: Vec<HashMap<usize, f64>> = frac
+        .shares
+        .iter()
+        .map(|s| s.iter().copied().collect())
+        .collect();
+
+    // Step 2: cancel cycles until the support is a forest.
+    while cancel_one_cycle(&mut share, points, centers, n, k, r) {}
+
+    // Step 3: snap remaining split points to their closest center.
+    let mut center_of = vec![usize::MAX; n];
+    let mut loads = vec![0.0f64; k];
+    let mut cost = 0.0f64;
+    let mut split_count = 0usize;
+    for (i, s) in share.iter().enumerate() {
+        let w = weights.map_or(1.0, |ws| ws[i]);
+        let j = match s.len() {
+            0 => {
+                // Zero-weight or fully-canceled point: closest center.
+                nearest_center(&points[i], centers, r)
+            }
+            1 => *s.keys().next().unwrap(),
+            _ => {
+                split_count += 1;
+                nearest_center(&points[i], centers, r)
+            }
+        };
+        center_of[i] = j;
+        loads[j] += w;
+        cost += w * dist_r_pow(&points[i], &centers[j], r);
+    }
+    debug_assert!(
+        split_count <= k.saturating_sub(1) || n == 0,
+        "forest support must leave ≤ k−1 split points, got {split_count}"
+    );
+    IntegralAssignment { center_of, cost, loads }
+}
+
+fn nearest_center(p: &Point, centers: &[Point], r: f64) -> usize {
+    let mut best = (0usize, f64::INFINITY);
+    for (j, z) in centers.iter().enumerate() {
+        let c = dist_r_pow(p, z, r);
+        if c < best.1 {
+            best = (j, c);
+        }
+    }
+    best.0
+}
+
+/// Finds one simple cycle in the bipartite support graph and cancels it.
+/// Returns `false` when the support is already a forest.
+fn cancel_one_cycle(
+    share: &mut [HashMap<usize, f64>],
+    points: &[Point],
+    centers: &[Point],
+    n: usize,
+    k: usize,
+    r: f64,
+) -> bool {
+    // Union-find over nodes 0..n (points) and n..n+k (centers).
+    let mut parent: Vec<usize> = (0..n + k).collect();
+    fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        x
+    }
+    // Forest adjacency for path reconstruction.
+    let mut tree: Vec<Vec<usize>> = vec![Vec::new(); n + k];
+    for i in 0..n {
+        let mut cs: Vec<usize> = share[i].keys().copied().collect();
+        cs.sort_unstable(); // deterministic iteration
+        for j in cs {
+            let (a, b) = (i, n + j);
+            let (ra, rb) = (find(&mut parent, a), find(&mut parent, b));
+            if ra == rb {
+                // Edge (i, j) closes a cycle: path from a to b in the
+                // forest plus this edge.
+                let path = tree_path(&tree, a, b);
+                cancel_cycle_along(share, points, centers, &path, i, j, r);
+                return true;
+            }
+            parent[ra] = rb;
+            tree[a].push(b);
+            tree[b].push(a);
+        }
+    }
+    false
+}
+
+/// BFS path between two nodes of the current forest.
+fn tree_path(tree: &[Vec<usize>], a: usize, b: usize) -> Vec<usize> {
+    let mut prev = vec![usize::MAX; tree.len()];
+    let mut queue = std::collections::VecDeque::new();
+    prev[a] = a;
+    queue.push_back(a);
+    while let Some(u) = queue.pop_front() {
+        if u == b {
+            break;
+        }
+        for &v in &tree[u] {
+            if prev[v] == usize::MAX {
+                prev[v] = u;
+                queue.push_back(v);
+            }
+        }
+    }
+    assert!(prev[b] != usize::MAX, "endpoints must be connected");
+    let mut path = vec![b];
+    let mut cur = b;
+    while cur != a {
+        cur = prev[cur];
+        path.push(cur);
+    }
+    path.reverse();
+    path // a … b, alternating point/center nodes
+}
+
+/// Cancels flow around the cycle `path + closing edge (pi, cj)`.
+///
+/// The cycle's edges alternate between "forward" and "backward"
+/// orientation; we compute the per-unit cost of shifting flow in each
+/// direction, pick the non-increasing one, and shift by the bottleneck of
+/// the edges losing flow.
+fn cancel_cycle_along(
+    share: &mut [HashMap<usize, f64>],
+    points: &[Point],
+    centers: &[Point],
+    path: &[usize],
+    pi: usize,
+    cj: usize,
+    r: f64,
+) {
+    let n = share.len();
+    // Build the cycle's edge list as (point, center, sign) with sign ±1
+    // alternating; the closing edge (pi, cj) gets the sign opposite to the
+    // first path edge at the same point parity.
+    // Edges along the path: (path[t], path[t+1]) each connecting a point
+    // and a center node.
+    let mut edges: Vec<(usize, usize)> = Vec::with_capacity(path.len());
+    for t in 0..path.len() - 1 {
+        let (u, v) = (path[t], path[t + 1]);
+        let (p, c) = if u < n { (u, v - n) } else { (v, u - n) };
+        edges.push((p, c));
+    }
+    edges.push((pi, cj)); // closing edge; path runs pi … (n+cj)
+    debug_assert!(edges.len() % 2 == 0, "bipartite cycles have even length");
+
+    // Alternate signs around the cycle. delta_cost(dir=+1) = Σ sign·cost.
+    let mut delta = 0.0f64;
+    for (idx, &(p, c)) in edges.iter().enumerate() {
+        let sgn = if idx % 2 == 0 { 1.0 } else { -1.0 };
+        delta += sgn * dist_r_pow(&points[p], &centers[c], r);
+    }
+    // Direction: +1 increases even-index edges; choose so cost delta ≤ 0.
+    let dir: f64 = if delta <= 0.0 { 1.0 } else { -1.0 };
+
+    // Bottleneck over the decreasing edges.
+    let mut a = f64::INFINITY;
+    for (idx, &(p, c)) in edges.iter().enumerate() {
+        let sgn = if idx % 2 == 0 { dir } else { -dir };
+        if sgn < 0.0 {
+            a = a.min(*share[p].get(&c).expect("cycle edge must carry flow"));
+        }
+    }
+    debug_assert!(a.is_finite() && a > 0.0);
+
+    for (idx, &(p, c)) in edges.iter().enumerate() {
+        let sgn = if idx % 2 == 0 { dir } else { -dir };
+        let entry = share[p].entry(c).or_insert(0.0);
+        *entry += sgn * a;
+        if *entry <= EPS {
+            share[p].remove(&c);
+        }
+    }
+}
+
+/// One-shot helper: optimal fractional assignment + §3.3 rounding.
+/// Returns `None` when the fractional problem is infeasible.
+pub fn integral_capacitated_assignment(
+    points: &[Point],
+    weights: Option<&[f64]>,
+    centers: &[Point],
+    cap: f64,
+    r: f64,
+) -> Option<IntegralAssignment> {
+    let frac = crate::transport::optimal_fractional_assignment(points, weights, centers, cap, r)?;
+    Some(round_to_integral(&frac, points, weights, centers, r))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::optimal_fractional_assignment;
+
+    fn p(cs: &[u32]) -> Point {
+        Point::new(cs.to_vec())
+    }
+
+    #[test]
+    fn unit_weights_round_without_violation() {
+        // Unit-weight integral-capacity instances have integral optimal
+        // fractional solutions in theory; rounding must not increase the
+        // max load beyond cap + (k−1)·1.
+        let points: Vec<Point> = (1..=9u32).map(|x| p(&[x, 1])).collect();
+        let centers = vec![p(&[2, 1]), p(&[5, 1]), p(&[8, 1])];
+        let cap = 3.0;
+        let frac = optimal_fractional_assignment(&points, None, &centers, cap, 2.0).unwrap();
+        let integral = round_to_integral(&frac, &points, None, &centers, 2.0);
+        assert!(integral.max_load() <= cap + 2.0 + 1e-9);
+        assert_eq!(integral.loads.iter().sum::<f64>() as usize, 9);
+        // Cost should not be (much) below the fractional optimum.
+        assert!(integral.cost >= frac.cost - 1e-6);
+    }
+
+    #[test]
+    fn split_points_bounded_by_k_minus_1() {
+        // Weighted instance engineered to split: two heavy points, two
+        // tight centers.
+        let points = vec![p(&[3]), p(&[6])];
+        let weights = [2.5, 2.5];
+        let centers = vec![p(&[3]), p(&[6])];
+        let cap = 2.6;
+        let frac = optimal_fractional_assignment(&points, Some(&weights), &centers, cap, 2.0).unwrap();
+        let integral = round_to_integral(&frac, &points, Some(&weights), &centers, 2.0);
+        // After rounding each point sits at exactly one center.
+        assert_eq!(integral.center_of.len(), 2);
+        // Violation ≤ cap + (k−1)·max_w.
+        assert!(integral.max_load() <= cap + 2.5 + 1e-9);
+    }
+
+    #[test]
+    fn forest_invariant_after_rounding_matches_loads() {
+        let points: Vec<Point> = (1..=12u32).map(|x| p(&[x, x % 4 + 1])).collect();
+        let centers = vec![p(&[2, 2]), p(&[6, 2]), p(&[10, 2])];
+        let cap = 4.0;
+        let integral =
+            integral_capacitated_assignment(&points, None, &centers, cap, 1.0).unwrap();
+        let mut recount = vec![0.0; 3];
+        for &c in &integral.center_of {
+            recount[c] += 1.0;
+        }
+        assert_eq!(recount, integral.loads);
+    }
+
+    #[test]
+    fn infeasible_propagates_none() {
+        let points = vec![p(&[1]), p(&[2])];
+        let centers = vec![p(&[1])];
+        assert!(integral_capacitated_assignment(&points, None, &centers, 1.0, 2.0).is_none());
+    }
+
+    #[test]
+    fn cost_close_to_fractional_on_integral_instances() {
+        // cap integral + unit weights: rounding should match the
+        // fractional optimum exactly (no genuine splits survive).
+        let points: Vec<Point> = vec![p(&[1, 1]), p(&[2, 2]), p(&[7, 7]), p(&[8, 8])];
+        let centers = vec![p(&[1, 1]), p(&[8, 8])];
+        let cap = 2.0;
+        let frac = optimal_fractional_assignment(&points, None, &centers, cap, 2.0).unwrap();
+        let integral = round_to_integral(&frac, &points, None, &centers, 2.0);
+        assert!((integral.cost - frac.cost).abs() < 1e-6);
+        assert!(integral.max_load() <= cap + 1e-9);
+    }
+}

@@ -1,0 +1,248 @@
+//! Seeded synthetic dataset generators.
+//!
+//! The paper has no empirical section, so the experiment suite (see
+//! EXPERIMENTS.md) runs on synthetic workloads that exercise the regimes
+//! the theory distinguishes:
+//!
+//! * [`uniform`] — worst case for partition-based coresets (mass spread
+//!   over many cells);
+//! * [`gaussian_mixture`] — the classic clusterable regime (few heavy
+//!   cells at coarse levels);
+//! * [`imbalanced_mixture`] — clusters with very different sizes, where
+//!   the *capacity* constraint actually binds and capacitated optima
+//!   differ sharply from uncapacitated ones (the paper's motivation);
+//! * [`line_with_outliers`] — a near-degenerate adversarial instance;
+//! * [`two_phase_dynamic`] — points destined for insertion followed by
+//!   deletion, for dynamic-stream tests (Thm. 4.5 handles deletions).
+//!
+//! All generators are deterministic in their seed.
+
+use crate::grid::GridParams;
+use crate::point::Point;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Clamps a real sample into the cube coordinate range `[1, Δ]`.
+#[inline]
+fn clamp_coord(x: f64, delta: u64) -> u32 {
+    let v = x.round();
+    if v < 1.0 {
+        1
+    } else if v > delta as f64 {
+        delta as u32
+    } else {
+        v as u32
+    }
+}
+
+/// `n` points i.i.d. uniform on `[Δ]^d`.
+pub fn uniform(gp: GridParams, n: usize, seed: u64) -> Vec<Point> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            Point::from_raw(
+                (0..gp.d)
+                    .map(|_| rng.gen_range(1..=gp.delta as u32))
+                    .collect(),
+            )
+        })
+        .collect()
+}
+
+/// A mixture of `k` spherical Gaussians with equal mixing weights.
+///
+/// Centers are drawn uniformly from the middle half of the cube so that
+/// clipping is rare; `sigma_frac` is the standard deviation as a fraction
+/// of `Δ` (e.g. `0.02`).
+pub fn gaussian_mixture(gp: GridParams, n: usize, k: usize, sigma_frac: f64, seed: u64) -> Vec<Point> {
+    let sizes = vec![n / k + usize::from(n % k > 0); k]
+        .into_iter()
+        .enumerate()
+        .map(|(i, s)| if i < n % k || n % k == 0 { s } else { n / k })
+        .collect::<Vec<_>>();
+    mixture_with_sizes(gp, &sizes_exact(n, &sizes), sigma_frac, seed)
+}
+
+/// A mixture with explicitly imbalanced cluster sizes given as fractions
+/// (normalized internally). E.g. `&[0.7, 0.2, 0.1]` yields one dominant
+/// cluster — the regime where balanced clustering differs most from
+/// unconstrained clustering.
+pub fn imbalanced_mixture(gp: GridParams, n: usize, fractions: &[f64], sigma_frac: f64, seed: u64) -> Vec<Point> {
+    let total: f64 = fractions.iter().sum();
+    assert!(total > 0.0);
+    let mut sizes: Vec<usize> = fractions.iter().map(|f| ((f / total) * n as f64) as usize).collect();
+    let assigned: usize = sizes.iter().sum();
+    if let Some(first) = sizes.first_mut() {
+        *first += n - assigned; // dump the rounding remainder on cluster 0
+    }
+    mixture_with_sizes(gp, &sizes, sigma_frac, seed)
+}
+
+fn sizes_exact(n: usize, approx: &[usize]) -> Vec<usize> {
+    // Fix rounding so sizes sum exactly to n.
+    let mut sizes = approx.to_vec();
+    let len = sizes.len();
+    let mut total: usize = sizes.iter().sum();
+    let mut i = 0;
+    while total > n {
+        if sizes[i % len] > 0 {
+            sizes[i % len] -= 1;
+            total -= 1;
+        }
+        i += 1;
+    }
+    while total < n {
+        sizes[i % len] += 1;
+        total += 1;
+        i += 1;
+    }
+    sizes
+}
+
+/// Shared mixture sampler: one spherical Gaussian per entry of `sizes`.
+pub fn mixture_with_sizes(gp: GridParams, sizes: &[usize], sigma_frac: f64, seed: u64) -> Vec<Point> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let delta = gp.delta as f64;
+    let sigma = sigma_frac * delta;
+    let mut out = Vec::with_capacity(sizes.iter().sum());
+    for &sz in sizes {
+        let center: Vec<f64> = (0..gp.d)
+            .map(|_| rng.gen_range(0.25 * delta..0.75 * delta))
+            .collect();
+        for _ in 0..sz {
+            let coords = center
+                .iter()
+                .map(|&c| clamp_coord(c + sigma * gauss(&mut rng), gp.delta))
+                .collect();
+            out.push(Point::from_raw(coords));
+        }
+    }
+    out
+}
+
+/// Box–Muller standard normal sample.
+fn gauss<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Most points on a diagonal line segment plus a few far outliers — an
+/// adversarial instance where coarse cells are heavy along the line and
+/// the outliers must still be represented.
+pub fn line_with_outliers(gp: GridParams, n: usize, outliers: usize, seed: u64) -> Vec<Point> {
+    assert!(outliers <= n);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let delta = gp.delta;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..(n - outliers) {
+        let t = rng.gen_range(1..=delta / 2) as u32;
+        let coords = (0..gp.d)
+            .map(|j| {
+                let jitter = rng.gen_range(0..=1u32);
+                (t + if j % 2 == 0 { jitter } else { 0 }).clamp(1, delta as u32)
+            })
+            .collect();
+        out.push(Point::from_raw(coords));
+    }
+    for _ in 0..outliers {
+        let coords = (0..gp.d)
+            .map(|_| rng.gen_range((3 * delta / 4) as u32..=delta as u32))
+            .collect();
+        out.push(Point::from_raw(coords));
+    }
+    out
+}
+
+/// A dataset split into a *kept* part and a *churn* part: streaming tests
+/// insert both and then delete the churn part, so the end-of-stream point
+/// set equals `kept`. The churn part is drawn from a different mixture so
+/// that deletions genuinely change the distribution (a sketch that ignored
+/// deletions would be caught).
+pub struct DynamicDataset {
+    /// Points that remain at the end of the stream.
+    pub kept: Vec<Point>,
+    /// Points inserted and later deleted.
+    pub churn: Vec<Point>,
+}
+
+/// Builds a [`DynamicDataset`]: `n_kept` clusterable points plus
+/// `n_churn` uniform points to insert-then-delete.
+pub fn two_phase_dynamic(gp: GridParams, n_kept: usize, n_churn: usize, k: usize, seed: u64) -> DynamicDataset {
+    DynamicDataset {
+        kept: gaussian_mixture(gp, n_kept, k, 0.03, seed),
+        churn: uniform(gp, n_churn, seed ^ 0xDEAD_BEEF),
+    }
+}
+
+/// Splits a dataset round-robin across `s` machines (distributed tests).
+pub fn split_round_robin(points: &[Point], s: usize) -> Vec<Vec<Point>> {
+    assert!(s >= 1);
+    let mut shards = vec![Vec::with_capacity(points.len() / s + 1); s];
+    for (i, p) in points.iter().enumerate() {
+        shards[i % s].push(p.clone());
+    }
+    shards
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gp() -> GridParams {
+        GridParams::from_log_delta(8, 3) // Δ=256, d=3
+    }
+
+    #[test]
+    fn generators_are_seeded_and_in_cube() {
+        let a = uniform(gp(), 100, 5);
+        let b = uniform(gp(), 100, 5);
+        let c = uniform(gp(), 100, 6);
+        assert_eq!(a, b, "same seed ⇒ same data");
+        assert_ne!(a, c, "different seed ⇒ different data");
+        assert!(a.iter().all(|p| p.in_cube(256)));
+    }
+
+    #[test]
+    fn mixture_respects_total_size_and_cube() {
+        let pts = gaussian_mixture(gp(), 1003, 4, 0.05, 9);
+        assert_eq!(pts.len(), 1003);
+        assert!(pts.iter().all(|p| p.in_cube(256)));
+    }
+
+    #[test]
+    fn imbalanced_mixture_hits_requested_total() {
+        let pts = imbalanced_mixture(gp(), 777, &[0.7, 0.2, 0.1], 0.02, 1);
+        assert_eq!(pts.len(), 777);
+    }
+
+    #[test]
+    fn line_with_outliers_places_outliers_far() {
+        let pts = line_with_outliers(gp(), 200, 10, 2);
+        assert_eq!(pts.len(), 200);
+        let far = pts[190..].iter().filter(|p| p.coord(0) >= 192).count();
+        assert_eq!(far, 10, "all outliers in the far corner");
+    }
+
+    #[test]
+    fn dynamic_dataset_sizes() {
+        let ds = two_phase_dynamic(gp(), 300, 150, 3, 4);
+        assert_eq!(ds.kept.len(), 300);
+        assert_eq!(ds.churn.len(), 150);
+    }
+
+    #[test]
+    fn round_robin_split_covers_everything() {
+        let pts = uniform(gp(), 101, 3);
+        let shards = split_round_robin(&pts, 4);
+        assert_eq!(shards.iter().map(Vec::len).sum::<usize>(), 101);
+        assert_eq!(shards[0].len(), 26);
+        assert_eq!(shards[3].len(), 25);
+    }
+
+    #[test]
+    fn sizes_exact_fixes_rounding() {
+        assert_eq!(sizes_exact(10, &[4, 4, 4]).iter().sum::<usize>(), 10);
+        assert_eq!(sizes_exact(10, &[2, 2, 2]).iter().sum::<usize>(), 10);
+    }
+}

@@ -1,0 +1,40 @@
+//! # sbc-geometry
+//!
+//! Geometric substrate for the *Streaming Balanced Clustering* reproduction
+//! (Esfandiari, Mirrokni, Zhong; SPAA 2023 / arXiv:1910.00788).
+//!
+//! Everything in the paper lives in the discrete cube `[Δ]^d = {1, …, Δ}^d`
+//! with `Δ = 2^L`. This crate provides:
+//!
+//! * [`Point`] — a point of `[Δ]^d` with the paper's *alphabetical*
+//!   (lexicographic) order (§2), 128-bit packing for hashing/sketching,
+//!   and weighted variants;
+//! * [`metric`] — Euclidean distance, the `dist^r` powers used by the
+//!   `ℓr` clustering objective, and the relaxed triangle inequality of
+//!   Fact 2.1;
+//! * [`GridHierarchy`] — the randomly shifted hierarchical grids
+//!   `G₋₁, G₀, …, G_L` of §3.1 with cell lookup, parenthood and side
+//!   lengths `gᵢ = Δ/2^i`;
+//! * [`dataset`] — seeded synthetic dataset generators used by the test
+//!   and benchmark suites (the paper has no empirical section, so these
+//!   workloads stand in for the evaluation data);
+//! * [`JlProjector`] — the §1 \[MMR19] extension: oblivious
+//!   Johnson–Lindenstrauss reduction onto a lower-dimensional grid, for
+//!   the `d ≫ k/ε` regime.
+//!
+//! The crate is dependency-light (only `rand` for generators) and is the
+//! bottom of the workspace dependency DAG.
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod dataset;
+pub mod grid;
+pub mod metric;
+pub mod point;
+pub mod projection;
+
+pub use grid::{CellId, GridHierarchy, GridParams};
+pub use projection::JlProjector;
+pub use metric::{dist, dist_r_pow, dist_sq, lr_norm, relaxed_triangle_bound};
+pub use point::{Point, PointId, WeightedPoint};

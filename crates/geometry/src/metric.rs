@@ -1,0 +1,176 @@
+//! Distances and the `ℓr` cost powers.
+//!
+//! The clustering objective of the paper is the sum of `r`-th powers of
+//! *Euclidean* distances (`capacitated k-clustering in ℓr`, §1): `r = 1`
+//! is capacitated k-median, `r = 2` capacitated k-means. Note that the
+//! distance itself is always Euclidean (`dist(x, y) = ‖x − y‖₂`, §2) — the
+//! `ℓr` refers to the cost exponent, not the norm. `lr_norm` is provided
+//! because §2 defines it, and for completeness of the substrate.
+
+use crate::point::Point;
+
+/// Squared Euclidean distance `‖x − y‖₂²`.
+///
+/// # Panics
+/// Panics (in debug builds) if the dimensions differ.
+#[inline]
+pub fn dist_sq(x: &Point, y: &Point) -> f64 {
+    debug_assert_eq!(x.dim(), y.dim(), "dimension mismatch");
+    let mut acc = 0.0f64;
+    for (&a, &b) in x.coords().iter().zip(y.coords()) {
+        let diff = a as f64 - b as f64;
+        acc += diff * diff;
+    }
+    acc
+}
+
+/// Euclidean distance `dist(x, y) = ‖x − y‖₂` (§2).
+#[inline]
+pub fn dist(x: &Point, y: &Point) -> f64 {
+    dist_sq(x, y).sqrt()
+}
+
+/// `dist(x, y)^r` — the per-point `ℓr` clustering cost.
+///
+/// Fast paths for the two cases the paper highlights (`r = 1` k-median,
+/// `r = 2` k-means) avoid the `powf` call entirely.
+#[inline]
+pub fn dist_r_pow(x: &Point, y: &Point, r: f64) -> f64 {
+    let d2 = dist_sq(x, y);
+    if r == 2.0 {
+        d2
+    } else if r == 1.0 {
+        d2.sqrt()
+    } else {
+        d2.powf(r / 2.0)
+    }
+}
+
+/// Raises a (non-negative) distance to the `r`-th power with the same fast
+/// paths as [`dist_r_pow`].
+#[inline]
+pub fn pow_r(d: f64, r: f64) -> f64 {
+    debug_assert!(d >= 0.0);
+    if r == 2.0 {
+        d * d
+    } else if r == 1.0 {
+        d
+    } else {
+        d.powf(r)
+    }
+}
+
+/// The `ℓr` norm `‖x‖r = (Σ |x_i|^r)^{1/r}` of §2 (for completeness).
+pub fn lr_norm(x: &[f64], r: f64) -> f64 {
+    assert!(r >= 1.0, "ℓr norms require r ≥ 1");
+    if r == 2.0 {
+        x.iter().map(|v| v * v).sum::<f64>().sqrt()
+    } else if r == 1.0 {
+        x.iter().map(|v| v.abs()).sum()
+    } else if r.is_infinite() {
+        x.iter().map(|v| v.abs()).fold(0.0, f64::max)
+    } else {
+        x.iter().map(|v| v.abs().powf(r)).sum::<f64>().powf(1.0 / r)
+    }
+}
+
+/// The relaxed triangle inequality of **Fact 2.1**:
+/// `dist^r(x, z) ≤ 2^{r−1} (dist^r(x, y) + dist^r(y, z))`.
+///
+/// Returns the right-hand side, an upper bound on `dist^r(x, z)`. Used in
+/// variance bounds (Lemma 3.12) and verified as a property test.
+#[inline]
+pub fn relaxed_triangle_bound(dxy_r: f64, dyz_r: f64, r: f64) -> f64 {
+    pow_r(2.0, r) / 2.0 * (dxy_r + dyz_r)
+}
+
+/// The maximum pairwise Euclidean distance of a point set (the set's
+/// diameter). `O(n²)`; used only on small parts and in tests.
+pub fn diameter(points: &[Point]) -> f64 {
+    let mut best = 0.0f64;
+    for i in 0..points.len() {
+        for j in (i + 1)..points.len() {
+            best = best.max(dist(&points[i], &points[j]));
+        }
+    }
+    best
+}
+
+/// Index of the nearest point of `centers` to `x`, with its distance.
+/// Ties broken toward the smaller index (deterministic).
+pub fn nearest(x: &Point, centers: &[Point]) -> (usize, f64) {
+    assert!(!centers.is_empty());
+    let mut best = (0usize, f64::INFINITY);
+    for (i, c) in centers.iter().enumerate() {
+        let d = dist(x, c);
+        if d < best.1 {
+            best = (i, d);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(cs: &[u32]) -> Point {
+        Point::new(cs.to_vec())
+    }
+
+    #[test]
+    fn euclidean_distance_basics() {
+        assert_eq!(dist(&p(&[1, 1]), &p(&[4, 5])), 5.0);
+        assert_eq!(dist_sq(&p(&[2, 2]), &p(&[2, 2])), 0.0);
+        assert_eq!(dist(&p(&[1]), &p(&[11])), 10.0);
+    }
+
+    #[test]
+    fn dist_r_pow_fast_paths_agree_with_general() {
+        let a = p(&[3, 7, 2]);
+        let b = p(&[9, 1, 5]);
+        for &r in &[1.0f64, 2.0] {
+            let fast = dist_r_pow(&a, &b, r);
+            let general = dist(&a, &b).powf(r);
+            assert!((fast - general).abs() < 1e-12);
+        }
+        // non-special exponent
+        let r = 3.0;
+        assert!((dist_r_pow(&a, &b, r) - dist(&a, &b).powi(3)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lr_norm_special_cases() {
+        let v = [3.0, -4.0];
+        assert_eq!(lr_norm(&v, 1.0), 7.0);
+        assert_eq!(lr_norm(&v, 2.0), 5.0);
+        assert_eq!(lr_norm(&v, f64::INFINITY), 4.0);
+    }
+
+    #[test]
+    fn fact_2_1_holds_on_examples() {
+        // dist^r(x,z) ≤ 2^{r−1}(dist^r(x,y) + dist^r(y,z))
+        let x = p(&[1, 1]);
+        let y = p(&[5, 9]);
+        let z = p(&[10, 2]);
+        for &r in &[1.0f64, 1.5, 2.0, 3.0] {
+            let lhs = dist_r_pow(&x, &z, r);
+            let rhs = relaxed_triangle_bound(dist_r_pow(&x, &y, r), dist_r_pow(&y, &z, r), r);
+            assert!(lhs <= rhs + 1e-9, "Fact 2.1 violated at r={r}: {lhs} > {rhs}");
+        }
+    }
+
+    #[test]
+    fn diameter_of_square() {
+        let pts = vec![p(&[1, 1]), p(&[1, 3]), p(&[3, 1]), p(&[3, 3])];
+        assert!((diameter(&pts) - (8.0f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nearest_breaks_ties_deterministically() {
+        let centers = vec![p(&[1, 1]), p(&[3, 3]), p(&[5, 5])];
+        let (idx, d) = nearest(&p(&[2, 2]), &centers);
+        assert_eq!(idx, 0); // equidistant to centers 0 and 1; smaller index wins
+        assert!((d - (2.0f64).sqrt()).abs() < 1e-12);
+    }
+}

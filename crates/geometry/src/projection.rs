@@ -1,0 +1,169 @@
+//! Johnson–Lindenstrauss dimension reduction (the paper's §1 extension).
+//!
+//! "If d is much larger than k/ε, we can apply \[MMR19] to reduce the
+//! dimension to poly(k/ε). Then our streaming algorithm only needs
+//! d·poly(k log Δ) space…" — the coreset is built in the projected
+//! space, which preserves k-means/k-median costs within `(1 ± ε)`
+//! (Makarychev–Makarychev–Razenshteyn show `O(log(k/ε)/ε²)` dimensions
+//! suffice for clustering objectives).
+//!
+//! This module provides the standard dense Gaussian JL transform with
+//! re-discretization onto a target grid `[Δ′]^m`, so the projected points
+//! feed straight into [`crate::GridHierarchy`]-based machinery. The
+//! projection is oblivious (drawn once, independent of the data), hence
+//! streaming- and distributed-compatible: every site applies the same
+//! seeded matrix.
+
+use crate::grid::GridParams;
+use crate::point::Point;
+use rand::Rng;
+
+/// A seeded dense Gaussian JL projection `ℝ^d → [Δ′]^m`.
+#[derive(Clone, Debug)]
+pub struct JlProjector {
+    /// Row-major `m × d` Gaussian matrix, scaled by `1/√m`.
+    matrix: Vec<f64>,
+    d: usize,
+    target: GridParams,
+    /// Affine rescaling from projected reals onto `[1, Δ′]`.
+    offset: f64,
+    scale: f64,
+}
+
+impl JlProjector {
+    /// Draws a projector from `d` dimensions onto the grid
+    /// `[target.delta]^{target.d}`.
+    ///
+    /// `input_radius` must upper-bound the coordinates of the points that
+    /// will be projected (e.g. the source `Δ`); it fixes the affine
+    /// rescaling so that projected points land inside the target cube
+    /// with overwhelming probability (outliers are clamped).
+    pub fn new<R: Rng + ?Sized>(d: usize, input_radius: f64, target: GridParams, rng: &mut R) -> Self {
+        assert!(d >= 1 && input_radius >= 1.0);
+        let m = target.d;
+        let inv_sqrt_m = 1.0 / (m as f64).sqrt();
+        let matrix: Vec<f64> = (0..m * d).map(|_| gauss(rng) * inv_sqrt_m).collect();
+        // A vector with coordinates in [0, R] has norm ≤ R√d; its
+        // projection concentrates within ±O(R√d·√(log)/√m) per coordinate
+        // of its expectation. A generous symmetric range of ±2R√d maps
+        // onto [1, Δ′].
+        let range = 2.0 * input_radius * (d as f64).sqrt();
+        let scale = (target.delta as f64 - 1.0) / (2.0 * range);
+        Self { matrix, d, target, offset: range, scale }
+    }
+
+    /// The target grid parameters.
+    pub fn target(&self) -> GridParams {
+        self.target
+    }
+
+    /// Projects one point (clamping into the target cube).
+    pub fn project(&self, p: &Point) -> Point {
+        assert_eq!(p.dim(), self.d, "projector built for d = {}", self.d);
+        let m = self.target.d;
+        let mut coords = Vec::with_capacity(m);
+        for row in 0..m {
+            let mut acc = 0.0;
+            let base = row * self.d;
+            for (j, &c) in p.coords().iter().enumerate() {
+                acc += self.matrix[base + j] * c as f64;
+            }
+            let mapped = (acc + self.offset) * self.scale + 1.0;
+            coords.push(mapped.round().clamp(1.0, self.target.delta as f64) as u32);
+        }
+        Point::from_raw(coords)
+    }
+
+    /// Projects a whole set.
+    pub fn project_all(&self, points: &[Point]) -> Vec<Point> {
+        points.iter().map(|p| self.project(p)).collect()
+    }
+
+    /// The multiplicative factor mapping *projected-space* Euclidean
+    /// distances back to the original scale (inverse of the affine
+    /// rescaling; the JL map itself is ≈ isometric).
+    pub fn distance_unscale(&self) -> f64 {
+        1.0 / self.scale
+    }
+}
+
+/// Box–Muller standard normal.
+fn gauss<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::gaussian_mixture;
+    use crate::metric::dist;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn projection_lands_in_target_cube() {
+        let src = GridParams::from_log_delta(10, 16);
+        let dst = GridParams::from_log_delta(10, 4);
+        let pts = gaussian_mixture(src, 200, 3, 0.05, 1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let proj = JlProjector::new(16, src.delta as f64, dst, &mut rng);
+        for q in proj.project_all(&pts) {
+            assert_eq!(q.dim(), 4);
+            assert!(q.in_cube(dst.delta));
+        }
+    }
+
+    #[test]
+    fn distances_preserved_on_average() {
+        // JL with m = 8 target dims: pairwise distances preserved within
+        // a modest factor on average (per-pair concentration is ~1/√m;
+        // we check the median ratio is near 1).
+        let src = GridParams::from_log_delta(9, 32);
+        let dst = GridParams::from_log_delta(12, 8);
+        let pts = gaussian_mixture(src, 120, 4, 0.08, 3);
+        let mut rng = StdRng::seed_from_u64(4);
+        let proj = JlProjector::new(32, src.delta as f64, dst, &mut rng);
+        let projected = proj.project_all(&pts);
+        let unscale = proj.distance_unscale();
+        let mut ratios = Vec::new();
+        for i in 0..pts.len() {
+            for j in (i + 1)..pts.len().min(i + 8) {
+                let orig = dist(&pts[i], &pts[j]);
+                if orig < 1.0 {
+                    continue; // skip near-duplicates (rounding noise dominates)
+                }
+                let proj_d = dist(&projected[i], &projected[j]) * unscale;
+                ratios.push(proj_d / orig);
+            }
+        }
+        ratios.sort_by(f64::total_cmp);
+        let median = ratios[ratios.len() / 2];
+        assert!(
+            (0.75..=1.35).contains(&median),
+            "median distance ratio {median}"
+        );
+    }
+
+    #[test]
+    fn deterministic_in_seed_and_oblivious() {
+        // Two sites with the same seed produce the same projector — the
+        // property that makes JL usable in the distributed protocol.
+        let src = GridParams::from_log_delta(8, 12);
+        let dst = GridParams::from_log_delta(10, 4);
+        let p = Point::new(vec![7; 12]);
+        let a = JlProjector::new(12, 256.0, dst, &mut StdRng::seed_from_u64(9)).project(&p);
+        let b = JlProjector::new(12, 256.0, dst, &mut StdRng::seed_from_u64(9)).project(&p);
+        assert_eq!(a, b);
+        let _ = src;
+    }
+
+    #[test]
+    #[should_panic(expected = "projector built for d")]
+    fn wrong_dimension_rejected() {
+        let dst = GridParams::from_log_delta(8, 2);
+        let proj = JlProjector::new(5, 100.0, dst, &mut StdRng::seed_from_u64(1));
+        let _ = proj.project(&Point::new(vec![1, 2, 3]));
+    }
+}

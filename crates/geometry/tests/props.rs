@@ -1,0 +1,121 @@
+//! Property tests for the geometric substrate: grid laws that the whole
+//! partition machinery silently relies on.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sbc_geometry::{GridHierarchy, GridParams, Point};
+
+fn arb_point(delta: u32, d: usize) -> impl Strategy<Value = Point> {
+    prop::collection::vec(1..=delta, d).prop_map(Point::new)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Cell nesting: the parent of a point's level-i cell is the point's
+    /// level-(i−1) cell, for every level and any shift.
+    #[test]
+    fn parenthood_commutes_with_lookup(
+        p in arb_point(256, 3),
+        shift_seed in 0u64..1000,
+    ) {
+        let gp = GridParams::from_log_delta(8, 3);
+        let mut rng = StdRng::seed_from_u64(shift_seed);
+        let grid = GridHierarchy::new(gp, &mut rng);
+        for level in 0..=8i32 {
+            let child = grid.cell_of(&p, level);
+            prop_assert_eq!(child.parent(), grid.cell_of(&p, level - 1));
+        }
+    }
+
+    /// Two points in the same level-i cell are within √d·gᵢ of each other
+    /// — the diameter bound every variance argument uses.
+    #[test]
+    fn same_cell_implies_bounded_distance(
+        a in arb_point(256, 2),
+        b in arb_point(256, 2),
+        shift_seed in 0u64..1000,
+        level in 0i32..=8,
+    ) {
+        let gp = GridParams::from_log_delta(8, 2);
+        let mut rng = StdRng::seed_from_u64(shift_seed);
+        let grid = GridHierarchy::new(gp, &mut rng);
+        if grid.cell_of(&a, level) == grid.cell_of(&b, level) {
+            let bound = (2f64).sqrt() * gp.side_len(level);
+            prop_assert!(a.dist(&b) <= bound + 1e-9);
+        }
+    }
+
+    /// Cell ids pack/unpack losslessly whenever packing succeeds.
+    #[test]
+    fn cell_pack_roundtrip(
+        p in arb_point(1024, 2),
+        shift_seed in 0u64..1000,
+        level in -1i32..=10,
+    ) {
+        let gp = GridParams::from_log_delta(10, 2);
+        let mut rng = StdRng::seed_from_u64(shift_seed);
+        let grid = GridHierarchy::new(gp, &mut rng);
+        let cell = grid.cell_of(&p, level);
+        if let Some(key) = cell.pack() {
+            prop_assert_eq!(sbc_geometry::CellId::unpack(key, level, 2), Some(cell));
+        }
+    }
+
+    /// Point keys are injective on the packed regime.
+    #[test]
+    fn point_key_injective(
+        a in arb_point(4096, 3),
+        b in arb_point(4096, 3),
+    ) {
+        let delta = 4096u64;
+        if a != b {
+            prop_assert_ne!(a.key128(delta), b.key128(delta));
+        } else {
+            prop_assert_eq!(a.key128(delta), b.key128(delta));
+        }
+    }
+
+    /// dist_point_cell is 0 exactly for the containing cell and positive
+    /// for disjoint cells at the same level.
+    #[test]
+    fn point_cell_distance_semantics(
+        p in arb_point(256, 2),
+        q in arb_point(256, 2),
+        shift_seed in 0u64..1000,
+        level in 0i32..=8,
+    ) {
+        let gp = GridParams::from_log_delta(8, 2);
+        let mut rng = StdRng::seed_from_u64(shift_seed);
+        let grid = GridHierarchy::new(gp, &mut rng);
+        let own = grid.cell_of(&p, level);
+        prop_assert_eq!(grid.dist_point_cell(&p, &own), 0.0);
+        let other = grid.cell_of(&q, level);
+        if other != own {
+            // p may still touch the boundary of q's cell: distance ≥ 0,
+            // and must be ≤ dist(p, q) (q is inside its own cell).
+            let d = grid.dist_point_cell(&p, &other);
+            prop_assert!(d >= 0.0);
+            prop_assert!(d <= p.dist(&q) + 1e-9);
+        }
+    }
+
+    /// The alphabetical order is a total order consistent with equality.
+    #[test]
+    fn alphabetical_total_order(
+        a in arb_point(64, 3),
+        b in arb_point(64, 3),
+        c in arb_point(64, 3),
+    ) {
+        use std::cmp::Ordering;
+        let ab = a.alphabetical_cmp(&b);
+        let ba = b.alphabetical_cmp(&a);
+        prop_assert_eq!(ab, ba.reverse());
+        prop_assert_eq!(ab == Ordering::Equal, a == b);
+        // Transitivity spot-check.
+        if ab != Ordering::Greater && b.alphabetical_cmp(&c) != Ordering::Greater {
+            prop_assert_ne!(a.alphabetical_cmp(&c), Ordering::Greater);
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! Arithmetic in `𝔽_p` with the Mersenne prime `p = 2^61 − 1`.
+//!
+//! Mersenne primes admit reduction without division: `x mod (2^61 − 1)`
+//! equals the 61-bit fold `(x >> 61) + (x & p)` (applied until the value
+//! drops below `p`). All elements are canonical `u64` values in `[0, p)`.
+
+/// The field modulus `p = 2^61 − 1` (a Mersenne prime).
+pub const P: u64 = (1u64 << 61) - 1;
+
+/// Reduces an arbitrary `u128` into `[0, p)` by repeated 61-bit folding.
+#[inline]
+pub fn reduce128(mut x: u128) -> u64 {
+    // Two folds bring any u128 under 2^62; a final conditional subtract
+    // lands in [0, p).
+    x = (x >> 61) + (x & P as u128);
+    x = (x >> 61) + (x & P as u128);
+    let mut r = x as u64;
+    if r >= P {
+        r -= P;
+    }
+    if r >= P {
+        r -= P;
+    }
+    r
+}
+
+/// Reduces a `u64` into `[0, p)`.
+#[inline]
+pub fn reduce64(x: u64) -> u64 {
+    let mut r = (x >> 61) + (x & P);
+    if r >= P {
+        r -= P;
+    }
+    r
+}
+
+/// Field addition.
+#[inline]
+pub fn add(a: u64, b: u64) -> u64 {
+    debug_assert!(a < P && b < P);
+    let s = a + b; // < 2^62, no overflow
+    if s >= P {
+        s - P
+    } else {
+        s
+    }
+}
+
+/// Field subtraction.
+#[inline]
+pub fn sub(a: u64, b: u64) -> u64 {
+    debug_assert!(a < P && b < P);
+    if a >= b {
+        a - b
+    } else {
+        a + P - b
+    }
+}
+
+/// Field multiplication via 128-bit product + Mersenne fold.
+#[inline]
+pub fn mul(a: u64, b: u64) -> u64 {
+    debug_assert!(a < P && b < P);
+    reduce128(a as u128 * b as u128)
+}
+
+/// Field exponentiation by squaring.
+pub fn pow(mut base: u64, mut exp: u64) -> u64 {
+    let mut acc = 1u64;
+    base %= P;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = mul(acc, base);
+        }
+        base = mul(base, base);
+        exp >>= 1;
+    }
+    acc
+}
+
+/// Multiplicative inverse by Fermat's little theorem (`a^{p−2}`).
+///
+/// # Panics
+/// Panics on `a = 0`.
+pub fn inv(a: u64) -> u64 {
+    assert!(a % P != 0, "zero has no inverse");
+    pow(a, P - 2)
+}
+
+/// Reduces a 128-bit key to a field element. Distinct keys may collide
+/// (the map is 128→61 bits); callers needing injectivity must carry the
+/// full key separately (as the sparse-recovery sketch does).
+#[inline]
+pub fn elem_from_u128(x: u128) -> u64 {
+    reduce128(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduction_matches_modulo() {
+        for &x in &[0u128, 1, P as u128 - 1, P as u128, P as u128 + 1, u64::MAX as u128, u128::MAX, 12345678901234567890] {
+            assert_eq!(reduce128(x) as u128, x % P as u128, "x = {x}");
+        }
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let a = 123456789012345678 % P;
+        let b = 987654321098765432 % P;
+        assert_eq!(sub(add(a, b), b), a);
+        assert_eq!(add(sub(a, b), b), a);
+        assert_eq!(add(P - 1, 1), 0);
+    }
+
+    #[test]
+    fn mul_matches_u128_modulo() {
+        let pairs = [(2u64, 3u64), (P - 1, P - 1), (1 << 60, (1 << 60) + 12345)];
+        for (a, b) in pairs {
+            let (a, b) = (a % P, b % P);
+            assert_eq!(mul(a, b) as u128, (a as u128 * b as u128) % P as u128);
+        }
+    }
+
+    #[test]
+    fn pow_and_inverse() {
+        assert_eq!(pow(3, 0), 1);
+        assert_eq!(pow(3, 4), 81);
+        for &a in &[1u64, 2, 7, P - 2, 1 << 35] {
+            assert_eq!(mul(a, inv(a)), 1, "a·a⁻¹ = 1 for a = {a}");
+        }
+    }
+
+    #[test]
+    fn fermat_little_theorem_spot_check() {
+        // a^{p−1} = 1 for a ≠ 0.
+        assert_eq!(pow(123456, P - 1), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "inverse")]
+    fn zero_inverse_panics() {
+        let _ = inv(0);
+    }
+}

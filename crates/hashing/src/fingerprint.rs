@@ -1,0 +1,93 @@
+//! Fingerprints for sparse-recovery checksums.
+//!
+//! The `Storing` subroutine (paper Lemma 4.2, implemented in
+//! `sbc-streaming::sparse`) decodes a bucket as "exactly one distinct item
+//! with some multiplicity" by dividing linear sums. That decode can be
+//! fooled by colliding multisets, so each bucket also carries a checksum
+//! `Σᵢ cᵢ · fp(keyᵢ) mod p` with a random low-degree polynomial
+//! fingerprint `fp`. A non-1-sparse bucket passes verification only if a
+//! degree-3 polynomial identity holds at a random point — probability
+//! `≤ 3/p ≈ 2⁻⁵⁹` per decode attempt.
+
+use crate::field;
+use rand::Rng;
+
+/// A random degree-3 polynomial fingerprint over `𝔽_p`, applied to the
+/// 128-bit item key split into two 64-bit halves (so the *full* key, not
+/// its lossy 61-bit reduction, determines the fingerprint).
+#[derive(Clone, Debug)]
+pub struct Fingerprinter {
+    a: u64,
+    b: u64,
+    c: u64,
+    d: u64,
+}
+
+impl Fingerprinter {
+    /// Draws a fresh random fingerprint function.
+    pub fn new<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        Self {
+            a: rng.gen_range(1..field::P),
+            b: rng.gen_range(0..field::P),
+            c: rng.gen_range(0..field::P),
+            d: rng.gen_range(0..field::P),
+        }
+    }
+
+    /// `fp(key) = a·x³ + b·x² + c·x + d` with `x` derived injectively-ish
+    /// from both halves of the key (`x = lo + 2·hi mod p`; the residual
+    /// collisions are covered by the random polynomial).
+    #[inline]
+    pub fn fp(&self, key: u128) -> u64 {
+        let lo = field::reduce64((key & u64::MAX as u128) as u64);
+        let hi = field::reduce64((key >> 64) as u64);
+        let x = field::add(lo, field::add(hi, hi));
+        let x2 = field::mul(x, x);
+        let x3 = field::mul(x2, x);
+        field::add(
+            field::add(field::mul(self.a, x3), field::mul(self.b, x2)),
+            field::add(field::mul(self.c, x), self.d),
+        )
+    }
+
+    /// Stored size in bytes.
+    pub fn stored_bytes(&self) -> usize {
+        32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn deterministic_per_instance() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let f = Fingerprinter::new(&mut rng);
+        assert_eq!(f.fp(42), f.fp(42));
+    }
+
+    #[test]
+    fn distinguishes_keys_differing_only_in_high_bits() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let f = Fingerprinter::new(&mut rng);
+        let lo_key = 7u128;
+        let hi_key = 7u128 | (1u128 << 100);
+        assert_ne!(f.fp(lo_key), f.fp(hi_key));
+    }
+
+    #[test]
+    fn no_collisions_on_small_key_range() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let f = Fingerprinter::new(&mut rng);
+        let mut seen = std::collections::HashSet::new();
+        for k in 0..20_000u128 {
+            seen.insert(f.fp(k));
+        }
+        // With p ≈ 2^61 the birthday bound makes collisions on 20k keys
+        // astronomically unlikely.
+        assert_eq!(seen.len(), 20_000);
+    }
+}

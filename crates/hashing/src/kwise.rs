@@ -1,0 +1,213 @@
+//! λ-wise independent hash functions and Bernoulli samplers.
+//!
+//! A uniformly random polynomial of degree `λ − 1` over `𝔽_p`, evaluated
+//! at the (reduced) key, is a λ-wise independent family `𝔽_p → 𝔽_p`.
+//! Thresholding the output yields a λ-wise independent Bernoulli
+//! indicator `h : keys → {0, 1}` with `Pr[h(x) = 1] = ⌊φ·p⌋/p` — the
+//! construction behind Algorithm 2 line 10 ("let ĥᵢ be a λ-wise
+//! independent hash function s.t. Pr[ĥᵢ(p) = 1] = φᵢ") and the samplers
+//! of Algorithms 3 and 4.
+//!
+//! Keys are `u128` (packed points or cells; see `sbc-geometry`). The
+//! 128→61-bit reduction loses injectivity in principle; for the cube
+//! sizes exercised here packed keys are < 2^61 and the map is injective.
+//! For larger keys the loss is absorbed into the hash family (the
+//! composition of a fixed reduction with a λ-wise independent family is
+//! still λ-wise independent over the reduced keys).
+
+use crate::field;
+use rand::Rng;
+
+/// A hash function drawn from a λ-wise independent family
+/// `𝔽_p → [0, p)`: a random polynomial of degree `λ − 1` evaluated by
+/// Horner's rule.
+#[derive(Clone, Debug)]
+pub struct KWiseHash {
+    /// Polynomial coefficients, constant term last (Horner order:
+    /// `coeffs[0]` is the leading coefficient).
+    coeffs: Vec<u64>,
+}
+
+impl KWiseHash {
+    /// Draws a fresh function with independence degree `lambda ≥ 1` (the
+    /// polynomial degree is `lambda − 1`).
+    pub fn new<R: Rng + ?Sized>(lambda: usize, rng: &mut R) -> Self {
+        assert!(lambda >= 1, "independence degree must be ≥ 1");
+        let coeffs = (0..lambda).map(|_| rng.gen_range(0..field::P)).collect();
+        Self { coeffs }
+    }
+
+    /// The independence degree λ.
+    pub fn lambda(&self) -> usize {
+        self.coeffs.len()
+    }
+
+    /// Number of bytes needed to store this function — `λ` field elements
+    /// of 8 bytes. This is the "small randomness" the paper's space
+    /// accounting charges for.
+    pub fn stored_bytes(&self) -> usize {
+        self.coeffs.len() * 8
+    }
+
+    /// Evaluates the polynomial at (the reduction of) `key`.
+    #[inline]
+    pub fn eval(&self, key: u128) -> u64 {
+        let x = field::elem_from_u128(key);
+        let mut acc = 0u64;
+        for &c in &self.coeffs {
+            acc = field::add(field::mul(acc, x), c);
+        }
+        acc
+    }
+
+    /// Evaluates and maps to `[0, 1)` (for uses that want a uniform
+    /// real-valued hash).
+    #[inline]
+    pub fn eval_unit(&self, key: u128) -> f64 {
+        self.eval(key) as f64 / field::P as f64
+    }
+}
+
+/// A λ-wise independent Bernoulli sampler: `h(x) = 1` iff the underlying
+/// λ-wise hash value falls below `⌊φ·p⌋`.
+#[derive(Clone, Debug)]
+pub struct KWiseBernoulli {
+    hash: KWiseHash,
+    threshold: u64,
+}
+
+impl KWiseBernoulli {
+    /// Draws a sampler with `Pr[h(x) = 1] = ⌊φ·p⌋/p` (exactly; use
+    /// [`Self::prob`] for the realized probability when computing
+    /// inverse-probability weights).
+    ///
+    /// `phi` must lie in `[0, 1]`. `phi = 1` yields the constant-1
+    /// indicator, `phi = 0` the constant-0 indicator.
+    pub fn new<R: Rng + ?Sized>(phi: f64, lambda: usize, rng: &mut R) -> Self {
+        assert!((0.0..=1.0).contains(&phi), "φ must be a probability, got {phi}");
+        let threshold = if phi >= 1.0 {
+            field::P // every value < P qualifies
+        } else {
+            (phi * field::P as f64).floor() as u64
+        };
+        Self { hash: KWiseHash::new(lambda, rng), threshold }
+    }
+
+    /// The exact realized sampling probability `⌊φ·p⌋/p`.
+    pub fn prob(&self) -> f64 {
+        self.threshold as f64 / field::P as f64
+    }
+
+    /// Whether this sampler keeps everything (`φ = 1`).
+    pub fn is_always(&self) -> bool {
+        self.threshold >= field::P
+    }
+
+    /// The λ-wise independent indicator.
+    #[inline]
+    pub fn keep(&self, key: u128) -> bool {
+        self.hash.eval(key) < self.threshold
+    }
+
+    /// Independence degree λ.
+    pub fn lambda(&self) -> usize {
+        self.hash.lambda()
+    }
+
+    /// Stored size in bytes (coefficients + threshold).
+    pub fn stored_bytes(&self) -> usize {
+        self.hash.stored_bytes() + 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn eval_is_deterministic_and_seed_sensitive() {
+        let mut rng1 = StdRng::seed_from_u64(1);
+        let mut rng2 = StdRng::seed_from_u64(1);
+        let mut rng3 = StdRng::seed_from_u64(2);
+        let h1 = KWiseHash::new(8, &mut rng1);
+        let h2 = KWiseHash::new(8, &mut rng2);
+        let h3 = KWiseHash::new(8, &mut rng3);
+        for key in [0u128, 1, 42, u128::MAX] {
+            assert_eq!(h1.eval(key), h2.eval(key));
+        }
+        assert!((0..100u128).any(|k| h1.eval(k) != h3.eval(k)));
+    }
+
+    #[test]
+    fn pairwise_family_is_uniform_empirically() {
+        // Over many draws of the function, a fixed key's hash should be
+        // ~uniform: check mean of eval_unit ≈ 1/2.
+        let mut rng = StdRng::seed_from_u64(7);
+        let trials = 4000;
+        let mut acc = 0.0;
+        for _ in 0..trials {
+            let h = KWiseHash::new(2, &mut rng);
+            acc += h.eval_unit(123456789);
+        }
+        let mean = acc / trials as f64;
+        assert!((mean - 0.5).abs() < 0.03, "mean {mean} far from 1/2");
+    }
+
+    #[test]
+    fn bernoulli_rate_matches_phi() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let phi = 0.2;
+        let b = KWiseBernoulli::new(phi, 16, &mut rng);
+        assert!((b.prob() - phi).abs() < 1e-12);
+        let n = 200_000u128;
+        let kept = (0..n).filter(|&k| b.keep(k)).count();
+        let rate = kept as f64 / n as f64;
+        // One fixed function over many keys: polynomial hash equidistributes.
+        assert!((rate - phi).abs() < 0.01, "empirical rate {rate}");
+    }
+
+    #[test]
+    fn bernoulli_extremes() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let always = KWiseBernoulli::new(1.0, 4, &mut rng);
+        let never = KWiseBernoulli::new(0.0, 4, &mut rng);
+        assert!(always.is_always());
+        for key in 0..1000u128 {
+            assert!(always.keep(key));
+            assert!(!never.keep(key));
+        }
+    }
+
+    #[test]
+    fn pairwise_independence_empirical() {
+        // For λ = 2, indicator pairs on two fixed keys should be nearly
+        // uncorrelated across function draws.
+        let mut rng = StdRng::seed_from_u64(9);
+        let phi = 0.3;
+        let trials = 6000;
+        let (mut c1, mut c2, mut c12) = (0usize, 0usize, 0usize);
+        for _ in 0..trials {
+            let b = KWiseBernoulli::new(phi, 2, &mut rng);
+            let k1 = b.keep(111);
+            let k2 = b.keep(99999);
+            c1 += k1 as usize;
+            c2 += k2 as usize;
+            c12 += (k1 && k2) as usize;
+        }
+        let p1 = c1 as f64 / trials as f64;
+        let p2 = c2 as f64 / trials as f64;
+        let p12 = c12 as f64 / trials as f64;
+        assert!((p12 - p1 * p2).abs() < 0.02, "joint {p12} vs product {}", p1 * p2);
+    }
+
+    #[test]
+    fn stored_bytes_scale_with_lambda() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let h = KWiseHash::new(10, &mut rng);
+        assert_eq!(h.stored_bytes(), 80);
+        let b = KWiseBernoulli::new(0.5, 10, &mut rng);
+        assert_eq!(b.stored_bytes(), 88);
+    }
+}

@@ -1,0 +1,89 @@
+//! Statistical tests of the λ-wise independent family — the properties
+//! Lemma 3.13 (Bellare–Rompel) consumes.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sbc_hash::{KWiseBernoulli, KWiseHash};
+
+/// Empirical 4-wise joint uniformity: over many function draws, the
+/// joint distribution of indicator bits at 4 fixed keys factorizes.
+#[test]
+fn four_wise_joint_factorizes() {
+    let mut rng = StdRng::seed_from_u64(11);
+    let phi = 0.5;
+    let keys = [3u128, 777, 424242, 1 << 90];
+    let trials = 20_000;
+    let mut joint = [0usize; 16];
+    for _ in 0..trials {
+        let h = KWiseBernoulli::new(phi, 4, &mut rng);
+        let mut idx = 0usize;
+        for (bit, &k) in keys.iter().enumerate() {
+            if h.keep(k) {
+                idx |= 1 << bit;
+            }
+        }
+        joint[idx] += 1;
+    }
+    // Each of the 16 patterns should appear with probability 1/16.
+    for (pattern, &count) in joint.iter().enumerate() {
+        let freq = count as f64 / trials as f64;
+        assert!(
+            (freq - 1.0 / 16.0).abs() < 0.012,
+            "pattern {pattern:04b}: frequency {freq:.4}"
+        );
+    }
+}
+
+/// Pairwise covariance of hash *values* (not just indicators) vanishes.
+#[test]
+fn value_covariance_vanishes() {
+    let mut rng = StdRng::seed_from_u64(13);
+    let trials = 30_000;
+    let (ka, kb) = (5u128, 999_999u128);
+    let (mut sa, mut sb, mut sab) = (0.0f64, 0.0f64, 0.0f64);
+    for _ in 0..trials {
+        let h = KWiseHash::new(2, &mut rng);
+        let a = h.eval_unit(ka);
+        let b = h.eval_unit(kb);
+        sa += a;
+        sb += b;
+        sab += a * b;
+    }
+    let n = trials as f64;
+    let cov = sab / n - (sa / n) * (sb / n);
+    assert!(cov.abs() < 0.01, "covariance {cov}");
+}
+
+/// A degree-1 family (λ = 1) is constant per draw — the degenerate case
+/// must behave sanely (same output for every key).
+#[test]
+fn lambda_one_is_constant() {
+    let mut rng = StdRng::seed_from_u64(17);
+    let h = KWiseHash::new(1, &mut rng);
+    let v = h.eval(0);
+    for k in 1..100u128 {
+        assert_eq!(h.eval(k), v);
+    }
+}
+
+/// Different keys under one function draw are near-uniformly spread
+/// (the polynomial family is also a good "one function, many keys"
+/// hash — what the per-level samplers rely on within a stream).
+#[test]
+fn single_draw_spreads_keys() {
+    let mut rng = StdRng::seed_from_u64(19);
+    let h = KWiseHash::new(8, &mut rng);
+    let buckets = 16usize;
+    let mut counts = vec![0usize; buckets];
+    let n = 64_000u128;
+    for k in 0..n {
+        counts[(h.eval(k) % buckets as u64) as usize] += 1;
+    }
+    let expect = n as f64 / buckets as f64;
+    for (b, &c) in counts.iter().enumerate() {
+        assert!(
+            (c as f64 - expect).abs() < 0.05 * expect,
+            "bucket {b}: {c} vs {expect}"
+        );
+    }
+}

@@ -1,0 +1,715 @@
+//! Algorithm 4 — the one-pass dynamic-streaming coreset (Theorem 4.5).
+//!
+//! For every guess `o` in the geometric ladder
+//! `{1, 2, 4, …, Δ^d·(√d·Δ)^r}` the builder maintains, per grid level,
+//! three λ-wise-subsampled substream summaries (`Storing` structures):
+//!
+//! * role **h** at rate `ψᵢ = min(1, c/Tᵢ(o))` over levels `−1..L−1` —
+//!   drives the heavy-cell marking (Algorithm 3 → Algorithm 1);
+//! * role **h′** at rate `ψ′ᵢ = min(1, c/(γTᵢ(o)))` over levels `0..L` —
+//!   estimates the part masses `τ(Q_{i,j})`;
+//! * role **ĥ** at rate `φᵢ` over levels `0..L` — carries the candidate
+//!   coreset points (levels with `Tᵢ(o) ≤ 1` cannot contain non-empty
+//!   crucial cells and are skipped).
+//!
+//! One λ-wise hash per (level, role) is shared across the ladder — the
+//! instances differ only in thresholds, which are *nested* (larger `o` ⇒
+//! lower rate), so each instance sees exactly the sample a dedicated
+//! hash would have produced. At end of stream, instances are decoded in
+//! ascending `o`; the first one that passes Algorithm 1/2's FAIL checks
+//! and the practical `o`-selection budget yields the coreset, assembled
+//! by the *same* `CoresetBuilderCtx` the offline path uses (including
+//! the per-part nested sub-thresholding of `CoresetParams::part_phi`).
+
+use crate::model::StreamOp;
+use crate::storing::{Backend, Storing, StoringConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sbc_core::coreset::{bernoulli_threshold, opt_upper_estimate, realized_prob, CoresetBuilderCtx, CoresetEntry};
+use sbc_core::partition::{CellCounts, PartMasses, Partition};
+use sbc_core::{Coreset, CoresetParams, FailReason};
+use sbc_geometry::{CellId, GridHierarchy, Point};
+use sbc_hash::KWiseHash;
+
+/// Streaming-specific knobs (the coreset parameters proper live in
+/// [`CoresetParams`]).
+#[derive(Clone, Copy, Debug)]
+pub struct StreamParams {
+    /// Expected number of size-estimation samples at the heavy-cell
+    /// threshold: `ψᵢ = min(1, est_rate/Tᵢ(o))` (the paper's
+    /// `10⁶λ′/Tᵢ(o)`, Algorithm 3). Larger ⇒ sharper `τ` estimates,
+    /// more space.
+    pub est_rate: f64,
+    /// Multiplier for the per-store cell budget `α`.
+    pub alpha_factor: f64,
+    /// Rows in each `Storing` structure.
+    pub rows: usize,
+    /// Hard per-store distinct-cell cap of the exact backend (runaway
+    /// instances die at this occupancy and free their memory).
+    pub cap_cells: usize,
+    /// Optional upper end for the `o` ladder (e.g. derived from an
+    /// expected stream size); `None` uses the paper's full range
+    /// `Δ^d·(√d·Δ)^r`.
+    pub o_ladder_max: Option<f64>,
+}
+
+impl Default for StreamParams {
+    fn default() -> Self {
+        Self {
+            est_rate: 192.0,
+            alpha_factor: 8.0,
+            rows: 4,
+            cap_cells: 1 << 16,
+            o_ladder_max: None,
+        }
+    }
+}
+
+struct OInstance {
+    o: f64,
+    /// Realized probabilities and thresholds; `psi` indexed by
+    /// `level + 1` (levels `−1..=L−1`), `psip`/`phi` by `level`
+    /// (levels `0..=L`).
+    psi: Vec<f64>,
+    psi_thr: Vec<u64>,
+    psip: Vec<f64>,
+    psip_thr: Vec<u64>,
+    phi: Vec<f64>,
+    phi_thr: Vec<u64>,
+    h_stores: Vec<Storing>,
+    hp_stores: Vec<Storing>,
+    hhat_stores: Vec<Option<Storing>>,
+}
+
+/// Space accounting snapshot.
+#[derive(Clone, Copy, Debug)]
+pub struct SpaceReport {
+    /// Bytes of hash-function state (shared across instances).
+    pub hash_bytes: usize,
+    /// Measured bytes across all live `Storing` structures.
+    pub store_bytes: usize,
+    /// The Lemma 4.2-style fully-allocated sketch accounting for the
+    /// same configurations (what a space-bounded deployment reserves).
+    pub nominal_sketch_bytes: usize,
+    /// Ladder size.
+    pub instances: usize,
+    /// Stores that overflowed and freed their memory.
+    pub dead_stores: usize,
+}
+
+/// Decoded output of one `Storing` structure: the `(C, f, S)` triple of
+/// Lemma 4.2, plus the `β` it was filtered at (needed to re-apply the
+/// small-cell filter after a distributed merge).
+#[derive(Clone, Debug)]
+pub struct RoleLevelSummary {
+    /// Non-empty cells with counts.
+    pub cells: Vec<(CellId, i64)>,
+    /// Points in cells with ≤ β points.
+    pub small_points: Vec<(Point, i64)>,
+    /// The small-cell threshold β of this store.
+    pub beta: usize,
+    /// The cell budget α of this store (re-checked after merging).
+    pub alpha: usize,
+    /// Small cells whose points were lost to mid-stream eviction (exact
+    /// backend; see `StoringOutput::dirty_small_cells`).
+    pub dirty_small_cells: Vec<CellId>,
+}
+
+/// Per-`o`-instance summaries of all three roles — what one machine
+/// sends the coordinator in the Lemma 4.6 protocol, and what the
+/// coordinator assembles coresets from. A `Err(description)` marks a
+/// store that FAILed (overflow / decode / budget).
+#[derive(Clone, Debug)]
+pub struct InstanceSummary {
+    /// The guess `o`.
+    pub o: f64,
+    /// Role h, levels `−1..=L−1` (index `level + 1`).
+    pub h: Vec<Result<RoleLevelSummary, String>>,
+    /// Role h′, levels `0..=L`.
+    pub hp: Vec<Result<RoleLevelSummary, String>>,
+    /// Role ĥ, levels `0..=L` (`None` where `Tᵢ(o) ≤ 1`).
+    pub hhat: Vec<Option<Result<RoleLevelSummary, String>>>,
+    /// Realized rates (copied from the instance so a coordinator can
+    /// scale counts without reconstructing stores).
+    pub psi: Vec<f64>,
+    /// Realized `ψ′ᵢ`.
+    pub psip: Vec<f64>,
+    /// Realized level rates `φᵢ`.
+    pub phi: Vec<f64>,
+}
+
+/// One-pass dynamic-streaming coreset builder.
+///
+/// ```no_run
+/// use sbc_core::CoresetParams;
+/// use sbc_geometry::{dataset, GridParams, Point};
+/// use sbc_streaming::{StreamCoresetBuilder, StreamParams};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let gp = GridParams::from_log_delta(8, 2);
+/// let params = CoresetParams::practical(3, 2.0, 0.2, 0.2, gp);
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let mut builder = StreamCoresetBuilder::new(params, StreamParams::default(), &mut rng);
+///
+/// for p in dataset::gaussian_mixture(gp, 10_000, 3, 0.04, 2) {
+///     builder.insert(&p);          // and .delete(&p) for dynamic streams
+/// }
+/// let coreset = builder.finish().expect("one-pass coreset");
+/// assert!(coreset.len() < 10_000);
+/// ```
+pub struct StreamCoresetBuilder {
+    params: CoresetParams,
+    sparams: StreamParams,
+    grid: GridHierarchy,
+    h_hashes: Vec<KWiseHash>,
+    hp_hashes: Vec<KWiseHash>,
+    hhat_hashes: Vec<KWiseHash>,
+    instances: Vec<OInstance>,
+    net_count: i64,
+    rng: StdRng,
+}
+
+impl StreamCoresetBuilder {
+    /// Creates a builder with a freshly drawn grid shift.
+    pub fn new<R: Rng + ?Sized>(params: CoresetParams, sparams: StreamParams, rng: &mut R) -> Self {
+        let grid = GridHierarchy::new(params.grid, rng);
+        Self::with_grid(params, sparams, grid, rng)
+    }
+
+    /// Creates a builder over a caller-supplied grid (distributed
+    /// machines must agree on the coordinator's shift).
+    pub fn with_grid<R: Rng + ?Sized>(
+        params: CoresetParams,
+        sparams: StreamParams,
+        grid: GridHierarchy,
+        rng: &mut R,
+    ) -> Self {
+        let l = params.l() as i32;
+        let lambda = params.lambda().min(1 << 12);
+        let h_hashes = (0..=l).map(|_| KWiseHash::new(lambda, rng)).collect();
+        let hp_hashes = (0..=l).map(|_| KWiseHash::new(lambda, rng)).collect();
+        let hhat_hashes = (0..=l).map(|_| KWiseHash::new(lambda, rng)).collect();
+
+        let o_max = sparams
+            .o_ladder_max
+            .unwrap_or_else(|| {
+                let gp = params.grid;
+                (gp.delta as f64).powi(gp.d as i32)
+                    * sbc_geometry::metric::pow_r((gp.d as f64).sqrt() * gp.delta as f64, params.r)
+            })
+            .max(2.0);
+        let mut instances = Vec::new();
+        let mut o = 1.0f64;
+        while o <= o_max {
+            instances.push(OInstance::new(&params, &sparams, &grid, o, rng));
+            o *= 2.0;
+        }
+
+        Self {
+            params,
+            sparams,
+            grid,
+            h_hashes,
+            hp_hashes,
+            hhat_hashes,
+            instances,
+            net_count: 0,
+            rng: StdRng::seed_from_u64(rng.gen()),
+        }
+    }
+
+    /// The grid hierarchy in use.
+    pub fn grid(&self) -> &GridHierarchy {
+        &self.grid
+    }
+
+    /// The streaming knobs this builder was configured with.
+    pub fn stream_params(&self) -> &StreamParams {
+        &self.sparams
+    }
+
+    /// Net number of live points (`#inserts − #deletes`).
+    pub fn net_count(&self) -> i64 {
+        self.net_count
+    }
+
+    /// Processes one stream operation.
+    pub fn process(&mut self, op: &StreamOp) {
+        self.apply(op.point(), op.delta());
+    }
+
+    /// Processes a whole stream.
+    pub fn process_all(&mut self, ops: &[StreamOp]) {
+        for op in ops {
+            self.process(op);
+        }
+    }
+
+    /// Inserts a point.
+    pub fn insert(&mut self, p: &Point) {
+        self.apply(p, 1);
+    }
+
+    /// Deletes a previously inserted point.
+    pub fn delete(&mut self, p: &Point) {
+        self.apply(p, -1);
+    }
+
+    fn apply(&mut self, p: &Point, delta: i64) {
+        let gp = self.params.grid;
+        let l = gp.l as i32;
+        debug_assert_eq!(p.dim(), gp.d);
+        let key = p.key128(gp.delta);
+        // Cells and hash values once per level, shared by every instance.
+        let cells: Vec<CellId> = (-1..=l).map(|i| self.grid.cell_of(p, i)).collect();
+        let cell_keys: Vec<u128> = cells.iter().map(CellId::key128).collect();
+        let hv: Vec<u64> = self.h_hashes.iter().map(|h| h.eval(key)).collect();
+        let hpv: Vec<u64> = self.hp_hashes.iter().map(|h| h.eval(key)).collect();
+        let hhv: Vec<u64> = self.hhat_hashes.iter().map(|h| h.eval(key)).collect();
+
+        for inst in &mut self.instances {
+            // Role h: levels −1..=L−1, store/threshold/hash index = level + 1.
+            for idx in 0..=(l as usize) {
+                if hv[idx] < inst.psi_thr[idx] {
+                    inst.h_stores[idx].update_precomputed(p, key, &cells[idx], cell_keys[idx], delta);
+                }
+            }
+            // Role h′ and ĥ: levels 0..=L, index = level.
+            for level in 0..=(l as usize) {
+                if hpv[level] < inst.psip_thr[level] {
+                    inst.hp_stores[level].update_precomputed(
+                        p,
+                        key,
+                        &cells[level + 1],
+                        cell_keys[level + 1],
+                        delta,
+                    );
+                }
+                if let Some(st) = &mut inst.hhat_stores[level] {
+                    if hhv[level] < inst.phi_thr[level] {
+                        st.update_precomputed(p, key, &cells[level + 1], cell_keys[level + 1], delta);
+                    }
+                }
+            }
+        }
+        self.net_count += delta;
+    }
+
+    /// Space accounting across the whole ladder.
+    pub fn space_report(&self) -> SpaceReport {
+        let hash_bytes = self
+            .h_hashes
+            .iter()
+            .chain(&self.hp_hashes)
+            .chain(&self.hhat_hashes)
+            .map(KWiseHash::stored_bytes)
+            .sum();
+        let mut store_bytes = 0usize;
+        let mut nominal = 0usize;
+        let mut dead = 0usize;
+        for inst in &self.instances {
+            for st in inst
+                .h_stores
+                .iter()
+                .chain(&inst.hp_stores)
+                .chain(inst.hhat_stores.iter().flatten())
+            {
+                store_bytes += st.stored_bytes();
+                dead += st.is_dead() as usize;
+            }
+            nominal += inst.nominal_bytes();
+        }
+        SpaceReport {
+            hash_bytes,
+            store_bytes,
+            nominal_sketch_bytes: nominal,
+            instances: self.instances.len(),
+            dead_stores: dead,
+        }
+    }
+
+    /// Exports the decoded per-instance summaries — the machine side of
+    /// the distributed protocol (Lemma 4.6), also used internally by
+    /// [`Self::finish`].
+    pub fn export_summaries(&self) -> Vec<InstanceSummary> {
+        self.instances.iter().map(OInstance::summarize).collect()
+    }
+
+    /// Ends the pass: decodes instances in ascending `o` and returns the
+    /// coreset of the first fully workable guess.
+    pub fn finish(mut self) -> Result<Coreset, FailReason> {
+        let summaries = self.export_summaries();
+        self.instances.clear();
+        self.finish_from_summaries(&summaries)
+    }
+
+    /// Coordinator-side assembly: runs the ascending-`o` selection over
+    /// (possibly merged) instance summaries. The builder supplies the
+    /// grid, parameters and the shared ĥ hashes for per-part
+    /// sub-thresholding — its own stores are not consulted.
+    pub fn finish_from_summaries(
+        &mut self,
+        summaries: &[InstanceSummary],
+    ) -> Result<Coreset, FailReason> {
+        let mut last_err = FailReason::NoWorkableO;
+        let mut fallback: Option<Coreset> = None;
+        for inst in summaries {
+            match self.try_instance(inst) {
+                Ok(coreset) => {
+                    if coreset.is_empty() {
+                        last_err = FailReason::Storage("empty coreset".into());
+                        continue;
+                    }
+                    // o-window acceptance, mirroring the offline anchor:
+                    // the assembled coreset itself estimates OPT well, so
+                    // reject guesses far outside [≈OPT/32, ≈64·OPT]. Too
+                    // small ⇒ tiny parts and no compression; too large ⇒
+                    // a degenerate one-part partition. The first workable
+                    // instance is kept as a fallback in case every guess
+                    // sits below the window.
+                    let (pts, ws) = coreset.split();
+                    let est = opt_upper_estimate(
+                        &pts,
+                        Some(&ws),
+                        self.params.k,
+                        self.params.r,
+                        &mut self.rng,
+                    )
+                    .max(1.0);
+                    if inst.o > est * 64.0 && est > 1.0 {
+                        // Out the top of the window (skip this check for
+                        // degenerate zero-cost data where est bottoms out).
+                        if fallback.is_none() {
+                            fallback = Some(coreset);
+                        }
+                        last_err = FailReason::Storage(format!(
+                            "o = {:.3e} far above estimated OPT {:.3e}",
+                            inst.o, est
+                        ));
+                        continue;
+                    }
+                    if inst.o < est / 32.0 {
+                        if fallback.is_none() {
+                            fallback = Some(coreset);
+                        }
+                        continue; // prefer a guess nearer OPT
+                    }
+                    return Ok(coreset);
+                }
+                Err(e) => last_err = e,
+            }
+        }
+        if let Some(cs) = fallback {
+            return Ok(cs);
+        }
+        Err(last_err)
+    }
+
+    fn try_instance(&self, inst: &InstanceSummary) -> Result<Coreset, FailReason> {
+        let l = self.params.l() as i32;
+        let storage = |role: &str, level: i32, e: &String| {
+            FailReason::Storage(format!("o={:.3e} {role} level {level}: {e}", inst.o))
+        };
+
+        // Role h → cell occupancy estimates (Algorithm 3 step 3).
+        let mut counts = CellCounts::new(self.params.l());
+        for idx in 0..=(l as usize) {
+            let level = idx as i32 - 1;
+            let out = inst.h[idx].as_ref().map_err(|e| storage("h", level, e))?;
+            let psi = inst.psi[idx];
+            for (cell, cnt) in &out.cells {
+                counts.set(cell.clone(), *cnt as f64 / psi);
+            }
+        }
+
+        // Algorithm 1 on the estimates.
+        let partition =
+            Partition::build(&counts, &self.params, inst.o).map_err(FailReason::Partition)?;
+        if let Some(sel) = self.params.selection_heavy_budget() {
+            if partition.num_heavy() as f64 > sel {
+                return Err(FailReason::Partition(
+                    sbc_core::PartitionError::TooManyHeavyCells {
+                        count: partition.num_heavy(),
+                        budget: sel.ceil() as usize,
+                    },
+                ));
+            }
+        }
+
+        // Role h′ → part masses (Algorithm 3 step 5).
+        let mut hp_counts = CellCounts::new(self.params.l());
+        for level in 0..=(l as usize) {
+            let out = inst.hp[level]
+                .as_ref()
+                .map_err(|e| storage("h'", level as i32, e))?;
+            let psip = inst.psip[level];
+            for (cell, cnt) in &out.cells {
+                hp_counts.set(cell.clone(), *cnt as f64 / psip);
+            }
+        }
+        let pm = PartMasses::from_counts(&hp_counts, &partition);
+
+        // Algorithm 2 checks + assembly context.
+        let ctx = CoresetBuilderCtx::new(&self.params, inst.o, partition, pm)?;
+
+        // Role ĥ → coreset samples with per-part nested sub-thresholds.
+        let mut entries = Vec::new();
+        let mut part_phis: Vec<std::collections::HashMap<usize, f64>> =
+            vec![std::collections::HashMap::new(); l as usize + 1];
+        let mut level_phis = vec![0.0f64; l as usize + 1];
+        for level in 0..=(l as usize) {
+            level_phis[level] = inst.phi[level];
+            let Some(summary) = &inst.hhat[level] else {
+                continue; // Tᵢ(o) ≤ 1 ⇒ no non-empty crucial cells
+            };
+            let out = summary.as_ref().map_err(|e| storage("ĥ", level as i32, e))?;
+            // Coreset samples must be complete: a dirty small cell that
+            // belongs to a kept part means lost samples — reject the
+            // instance (conservatively, without checking part membership).
+            if !out.dirty_small_cells.is_empty() {
+                return Err(FailReason::Storage(format!(
+                    "o={:.3e} ĥ level {level}: {} dirty small cells",
+                    inst.o,
+                    out.dirty_small_cells.len()
+                )));
+            }
+            for (point, mult) in &out.small_points {
+                let Some((lvl, part)) = ctx.accept(&self.grid, point, Some(level as i32)) else {
+                    continue;
+                };
+                debug_assert_eq!(lvl as usize, level);
+                let phi_part = ctx.part_phi(lvl, part);
+                let thr = bernoulli_threshold(phi_part);
+                let key = point.key128(self.params.grid.delta);
+                if self.hhat_hashes[level].eval(key) < thr {
+                    let realized = realized_prob(phi_part);
+                    part_phis[level].insert(part, realized);
+                    entries.push(CoresetEntry {
+                        point: point.clone(),
+                        weight: *mult as f64 / realized,
+                        level: lvl,
+                        part,
+                    });
+                }
+            }
+        }
+        Ok(ctx.finish(entries, level_phis, part_phis, self.grid.shift().to_vec()))
+    }
+}
+
+impl OInstance {
+    fn new<R: Rng + ?Sized>(
+        params: &CoresetParams,
+        sparams: &StreamParams,
+        grid: &GridHierarchy,
+        o: f64,
+        rng: &mut R,
+    ) -> Self {
+        let l = params.l() as i32;
+        let gamma = params.gamma();
+        let kl = params.k as f64 * params.l().max(1) as f64;
+        let dpow = params.d_pow().min(16.0);
+
+        let mut psi = Vec::new();
+        let mut psi_thr = Vec::new();
+        let mut h_stores = Vec::new();
+        for level in -1..=(l - 1) {
+            let t = params.t_threshold(level, o);
+            let rate = (sparams.est_rate / t).min(1.0);
+            psi.push(realized_prob(rate));
+            psi_thr.push(bernoulli_threshold(rate));
+            let alpha =
+                (sparams.alpha_factor * (kl + dpow * t.min(sparams.est_rate) + 8.0)).ceil() as usize;
+            h_stores.push(Storing::new(
+                grid,
+                level,
+                StoringConfig { alpha, beta: 1, rows: sparams.rows },
+                Backend::Exact { cap_cells: (8 * alpha + 1024).min(sparams.cap_cells).max(alpha + 1) },
+                rng,
+            ));
+        }
+
+        let mut psip = Vec::new();
+        let mut psip_thr = Vec::new();
+        let mut hp_stores = Vec::new();
+        let mut phi = Vec::new();
+        let mut phi_thr = Vec::new();
+        let mut hhat_stores = Vec::new();
+        for level in 0..=l {
+            let t = params.t_threshold(level, o);
+            let ratep = (sparams.est_rate / (gamma * t)).min(1.0);
+            psip.push(realized_prob(ratep));
+            psip_thr.push(bernoulli_threshold(ratep));
+            let alpha_p = (sparams.alpha_factor
+                * (kl + dpow * t.min(sparams.est_rate / gamma) + 8.0))
+                .ceil() as usize;
+            hp_stores.push(Storing::new(
+                grid,
+                level,
+                StoringConfig { alpha: alpha_p, beta: 1, rows: sparams.rows },
+                Backend::Exact {
+                    cap_cells: (8 * alpha_p + 1024).min(sparams.cap_cells).max(alpha_p + 1),
+                },
+                rng,
+            ));
+
+            let phi_level = params.phi(level, o);
+            phi.push(realized_prob(phi_level));
+            phi_thr.push(bernoulli_threshold(phi_level));
+            if t <= 1.0 {
+                // Crucial cells at this level are necessarily empty.
+                hhat_stores.push(None);
+            } else {
+                let samples_per_cell = (phi_level * t).max(1.0);
+                let alpha_hat =
+                    (sparams.alpha_factor * (kl + dpow * samples_per_cell + 8.0)).ceil() as usize;
+                let beta_hat = (8.0 * samples_per_cell + 32.0).ceil() as usize;
+                hhat_stores.push(Some(Storing::new(
+                    grid,
+                    level,
+                    StoringConfig { alpha: alpha_hat, beta: beta_hat, rows: sparams.rows },
+                    Backend::Exact {
+                        cap_cells: (8 * alpha_hat + 1024).min(sparams.cap_cells).max(alpha_hat + 1),
+                    },
+                    rng,
+                )));
+            }
+        }
+
+        Self {
+            o,
+            psi,
+            psi_thr,
+            psip,
+            psip_thr,
+            phi,
+            phi_thr,
+            h_stores,
+            hp_stores,
+            hhat_stores,
+        }
+    }
+
+    fn summarize(&self) -> InstanceSummary {
+        let to_summary = |st: &Storing| -> Result<RoleLevelSummary, String> {
+            st.finish()
+                .map(|out| RoleLevelSummary {
+                    cells: out.cells,
+                    small_points: out.small_points,
+                    beta: st.beta(),
+                    alpha: st.alpha(),
+                    dirty_small_cells: out.dirty_small_cells,
+                })
+                .map_err(|e| format!("{e:?}"))
+        };
+        InstanceSummary {
+            o: self.o,
+            h: self.h_stores.iter().map(to_summary).collect(),
+            hp: self.hp_stores.iter().map(to_summary).collect(),
+            hhat: self
+                .hhat_stores
+                .iter()
+                .map(|s| s.as_ref().map(to_summary))
+                .collect(),
+            psi: self.psi.clone(),
+            psip: self.psip.clone(),
+            phi: self.phi.clone(),
+        }
+    }
+
+    fn nominal_bytes(&self) -> usize {
+        // Lemma 4.2-style accounting: what a space-bounded deployment of
+        // the same configurations reserves as linear sketches.
+        let cfg_bytes = |st: &Storing| {
+            let _ = st;
+            0usize
+        };
+        let _ = cfg_bytes;
+        // Stores know their config only internally; approximate with the
+        // measured size for live stores (exact backends) — the dedicated
+        // E4 experiment instantiates sketch backends directly for the
+        // nominal numbers.
+        self.h_stores
+            .iter()
+            .chain(&self.hp_stores)
+            .chain(self.hhat_stores.iter().flatten())
+            .map(Storing::stored_bytes)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{insert_delete_stream, insertion_stream};
+    use sbc_geometry::dataset::{gaussian_mixture, two_phase_dynamic};
+    use sbc_geometry::GridParams;
+
+    fn params() -> CoresetParams {
+        CoresetParams::practical(3, 2.0, 0.2, 0.2, GridParams::from_log_delta(8, 2))
+    }
+
+    #[test]
+    fn insertion_only_stream_produces_coreset() {
+        let p = params();
+        let pts = gaussian_mixture(p.grid, 6000, 3, 0.04, 11);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut b = StreamCoresetBuilder::new(p, StreamParams::default(), &mut rng);
+        b.process_all(&insertion_stream(&pts));
+        assert_eq!(b.net_count(), 6000);
+        let cs = b.finish().expect("stream coreset");
+        assert!(!cs.is_empty());
+        assert!(cs.len() < 6000);
+        let tw = cs.total_weight();
+        assert!((tw - 6000.0).abs() < 0.3 * 6000.0, "total weight {tw}");
+    }
+
+    #[test]
+    fn deletions_are_respected() {
+        // Insert kept ∪ churn, delete churn: the result must reflect only
+        // the kept points (total weight ≈ |kept|, not |kept| + |churn|).
+        let p = params();
+        let ds = two_phase_dynamic(p.grid, 5000, 2500, 3, 7);
+        let mut rng = StdRng::seed_from_u64(2);
+        let ops = insert_delete_stream(&ds.kept, &ds.churn, &mut rng);
+        let mut b = StreamCoresetBuilder::new(p, StreamParams::default(), &mut rng);
+        b.process_all(&ops);
+        assert_eq!(b.net_count(), 5000);
+        let cs = b.finish().expect("dynamic coreset");
+        let tw = cs.total_weight();
+        assert!(
+            (tw - 5000.0).abs() < 0.35 * 5000.0,
+            "total weight {tw} should track the kept 5000, not 7500"
+        );
+        // Every surviving coreset point must be a kept point (churn points
+        // are gone; a sketch that ignored deletions would leak them).
+        let kept: std::collections::HashSet<&Point> = ds.kept.iter().collect();
+        let leaked = cs
+            .entries()
+            .iter()
+            .filter(|e| !kept.contains(&e.point))
+            .count();
+        assert_eq!(leaked, 0, "{leaked} deleted points leaked into the coreset");
+    }
+
+    #[test]
+    fn space_report_is_populated() {
+        let p = params();
+        let pts = gaussian_mixture(p.grid, 2000, 3, 0.04, 5);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut b = StreamCoresetBuilder::new(p, StreamParams::default(), &mut rng);
+        b.process_all(&insertion_stream(&pts));
+        let rep = b.space_report();
+        assert!(rep.instances > 10);
+        assert!(rep.hash_bytes > 0);
+        assert!(rep.store_bytes > 0);
+    }
+
+    #[test]
+    fn empty_stream_fails_gracefully() {
+        let p = params();
+        let mut rng = StdRng::seed_from_u64(4);
+        let b = StreamCoresetBuilder::new(p, StreamParams::default(), &mut rng);
+        assert!(b.finish().is_err());
+    }
+}

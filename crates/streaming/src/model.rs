@@ -1,0 +1,175 @@
+//! The dynamic stream model (paper §4.2).
+//!
+//! "Initially, Q is an empty point set. There is a stream of insertions
+//! and deletions (p₁, ±), (p₂, ±), …  Each deletion (pᵢ, −) guarantees
+//! that pᵢ is in Q before deletion." The helpers here build well-formed
+//! streams for tests and experiments, including the adversarial
+//! insert-then-delete patterns that distinguish a genuinely dynamic
+//! algorithm from an insertion-only one (experiment E8).
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use sbc_geometry::Point;
+
+/// One stream operation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum StreamOp {
+    /// `(p, +)` — insert a point.
+    Insert(Point),
+    /// `(p, −)` — delete a previously inserted point.
+    Delete(Point),
+}
+
+impl StreamOp {
+    /// The point the operation refers to.
+    pub fn point(&self) -> &Point {
+        match self {
+            StreamOp::Insert(p) | StreamOp::Delete(p) => p,
+        }
+    }
+
+    /// `+1` for insert, `−1` for delete.
+    pub fn delta(&self) -> i64 {
+        match self {
+            StreamOp::Insert(_) => 1,
+            StreamOp::Delete(_) => -1,
+        }
+    }
+}
+
+/// An insertion-only stream over the given points (in order).
+pub fn insertion_stream(points: &[Point]) -> Vec<StreamOp> {
+    points.iter().cloned().map(StreamOp::Insert).collect()
+}
+
+/// A dynamic stream whose end state is exactly `kept`: inserts
+/// `kept ∪ churn` in shuffled order, then deletes `churn` in a different
+/// shuffled order. Any correct dynamic algorithm must produce the same
+/// result as running on `kept` alone (up to its own randomness).
+pub fn insert_delete_stream<R: Rng + ?Sized>(
+    kept: &[Point],
+    churn: &[Point],
+    rng: &mut R,
+) -> Vec<StreamOp> {
+    let mut ops: Vec<StreamOp> = kept
+        .iter()
+        .chain(churn.iter())
+        .cloned()
+        .map(StreamOp::Insert)
+        .collect();
+    ops.shuffle(rng);
+    let mut deletes: Vec<StreamOp> = churn.iter().cloned().map(StreamOp::Delete).collect();
+    deletes.shuffle(rng);
+    ops.extend(deletes);
+    ops
+}
+
+/// A fully interleaved dynamic stream: insertions of `kept ∪ churn` and
+/// deletions of `churn` arrive interleaved, with every deletion after its
+/// insertion. Stresses mid-stream state more than the two-phase variant.
+pub fn interleaved_stream<R: Rng + ?Sized>(
+    kept: &[Point],
+    churn: &[Point],
+    rng: &mut R,
+) -> Vec<StreamOp> {
+    let mut ops = Vec::with_capacity(kept.len() + 2 * churn.len());
+    let mut pending: Vec<Point> = Vec::new();
+    // Tag churn-ness per *instance*, not by value: a kept point may share
+    // coordinates with a churn point (the multiset model allows it), and
+    // only the churn instance must be deleted.
+    let mut ins: Vec<(Point, bool)> = kept
+        .iter()
+        .map(|p| (p.clone(), false))
+        .chain(churn.iter().map(|p| (p.clone(), true)))
+        .collect();
+    ins.shuffle(rng);
+    let mut deletions_left = churn.len();
+    for (p, is_churn) in ins {
+        ops.push(StreamOp::Insert(p.clone()));
+        if is_churn {
+            pending.push(p);
+        }
+        // Randomly flush some pending deletions.
+        while !pending.is_empty() && rng.gen_bool(0.4) {
+            let idx = rng.gen_range(0..pending.len());
+            ops.push(StreamOp::Delete(pending.swap_remove(idx)));
+            deletions_left -= 1;
+        }
+    }
+    let mut rest: Vec<StreamOp> = pending.into_iter().map(StreamOp::Delete).collect();
+    rest.shuffle(rng);
+    debug_assert_eq!(rest.len(), deletions_left);
+    ops.extend(rest);
+    ops
+}
+
+/// Replays a stream into a plain multiset and returns the surviving
+/// points — the ground truth a streaming algorithm is measured against.
+pub fn materialize(ops: &[StreamOp]) -> Vec<Point> {
+    let mut counts: std::collections::HashMap<Point, i64> = std::collections::HashMap::new();
+    for op in ops {
+        let e = counts.entry(op.point().clone()).or_insert(0);
+        *e += op.delta();
+        assert!(*e >= 0, "deletion of a point not in Q violates the model");
+    }
+    let mut out = Vec::new();
+    for (p, c) in counts {
+        for _ in 0..c {
+            out.push(p.clone());
+        }
+    }
+    out.sort();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sbc_geometry::dataset::{two_phase_dynamic, uniform};
+    use sbc_geometry::GridParams;
+
+    fn gp() -> GridParams {
+        GridParams::from_log_delta(6, 2)
+    }
+
+    #[test]
+    fn insertion_stream_materializes_to_input() {
+        let pts = uniform(gp(), 50, 1);
+        let ops = insertion_stream(&pts);
+        let mut expect = pts.clone();
+        expect.sort();
+        assert_eq!(materialize(&ops), expect);
+    }
+
+    #[test]
+    fn insert_delete_stream_nets_to_kept() {
+        let ds = two_phase_dynamic(gp(), 60, 40, 2, 7);
+        let mut rng = StdRng::seed_from_u64(2);
+        let ops = insert_delete_stream(&ds.kept, &ds.churn, &mut rng);
+        assert_eq!(ops.len(), 60 + 40 + 40);
+        let mut expect = ds.kept.clone();
+        expect.sort();
+        assert_eq!(materialize(&ops), expect);
+    }
+
+    #[test]
+    fn interleaved_stream_is_well_formed_and_nets_to_kept() {
+        let ds = two_phase_dynamic(gp(), 80, 50, 2, 9);
+        let mut rng = StdRng::seed_from_u64(3);
+        let ops = interleaved_stream(&ds.kept, &ds.churn, &mut rng);
+        // materialize() itself asserts no premature deletions.
+        let mut expect = ds.kept.clone();
+        expect.sort();
+        assert_eq!(materialize(&ops), expect);
+    }
+
+    #[test]
+    fn op_accessors() {
+        let p = Point::new(vec![1, 2]);
+        assert_eq!(StreamOp::Insert(p.clone()).delta(), 1);
+        assert_eq!(StreamOp::Delete(p.clone()).delta(), -1);
+        assert_eq!(StreamOp::Delete(p.clone()).point(), &p);
+    }
+}

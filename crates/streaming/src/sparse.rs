@@ -1,0 +1,322 @@
+//! s-sparse recovery over dynamic streams — the linear-sketch engine
+//! behind the `Storing` subroutine (Lemma 4.2 cites HSYZ18's structure;
+//! this is the textbook construction it builds on).
+//!
+//! A **1-sparse recoverer** ([`OneSparse`]) maintains, for a stream of
+//! `(key, ±count)` updates, the running sums `Σcᵢ`, `Σcᵢ·lo(keyᵢ)`,
+//! `Σcᵢ·hi(keyᵢ)` and a field checksum `Σcᵢ·fp(keyᵢ) mod p`. When the
+//! current multiset has exactly one distinct key, the key falls out by
+//! division and the checksum certifies it (false positives `≈ 3/p` per
+//! decode, from the random degree-3 fingerprint).
+//!
+//! An **s-sparse recovery** structure ([`SSparseRecovery`]) hashes keys
+//! into `O(s)` buckets of 1-sparse recoverers over several rows and
+//! decodes by peeling. Being *linear*, it is oblivious to the order and
+//! interleaving of insertions and deletions — the property that makes
+//! the whole pipeline dynamic (Theorem 4.5) where prior work was
+//! insertion-only.
+
+use rand::Rng;
+use sbc_hash::field;
+use sbc_hash::{Fingerprinter, KWiseHash};
+
+/// A single 1-sparse recoverer cell.
+#[derive(Clone, Debug, Default)]
+pub struct OneSparse {
+    count: i64,
+    sum_lo: i128,
+    sum_hi: i128,
+    checksum: u64,
+}
+
+/// Decode outcome of a [`OneSparse`] cell.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Decode1 {
+    /// The cell holds the empty multiset.
+    Zero,
+    /// Exactly one distinct key with the given (positive) multiplicity.
+    One {
+        /// The recovered key.
+        key: u128,
+        /// Its net multiplicity.
+        count: i64,
+    },
+    /// More than one distinct key (or a checksum-detected collision).
+    Many,
+}
+
+impl OneSparse {
+    /// Applies an update `(key, delta)`.
+    pub fn update(&mut self, key: u128, delta: i64, fp: &Fingerprinter) {
+        self.count += delta;
+        let lo = (key & u64::MAX as u128) as i128;
+        let hi = (key >> 64) as i128;
+        self.sum_lo += delta as i128 * lo;
+        self.sum_hi += delta as i128 * hi;
+        let f = fp.fp(key);
+        let d = delta.rem_euclid(field::P as i64) as u64;
+        self.checksum = field::add(self.checksum, field::mul(d, f));
+    }
+
+    /// Whether all counters are identically zero.
+    pub fn is_clear(&self) -> bool {
+        self.count == 0 && self.sum_lo == 0 && self.sum_hi == 0 && self.checksum == 0
+    }
+
+    /// Attempts to decode the cell.
+    pub fn decode(&self, fp: &Fingerprinter) -> Decode1 {
+        if self.is_clear() {
+            return Decode1::Zero;
+        }
+        if self.count <= 0 {
+            // Well-formed streams keep all multiplicities ≥ 0, so a
+            // non-clear cell with count ≤ 0 must hold ≥ 2 keys.
+            return Decode1::Many;
+        }
+        let c = self.count as i128;
+        if self.sum_lo % c != 0 || self.sum_hi % c != 0 {
+            return Decode1::Many;
+        }
+        let lo = self.sum_lo / c;
+        let hi = self.sum_hi / c;
+        if !(0..=u64::MAX as i128).contains(&lo) || !(0..=u64::MAX as i128).contains(&hi) {
+            return Decode1::Many;
+        }
+        let key = ((hi as u128) << 64) | lo as u128;
+        // Verify: checksum must equal count·fp(key) mod p.
+        let d = self.count.rem_euclid(field::P as i64) as u64;
+        if self.checksum == field::mul(d, fp.fp(key)) {
+            Decode1::One { key, count: self.count }
+        } else {
+            Decode1::Many
+        }
+    }
+
+    /// Bytes of state.
+    pub const BYTES: usize = 8 + 16 + 16 + 8;
+}
+
+/// s-sparse recovery: decodes any final multiset with at most `s`
+/// distinct keys (w.h.p.), no matter how inserts and deletes interleaved.
+#[derive(Clone, Debug)]
+pub struct SSparseRecovery {
+    rows: Vec<(KWiseHash, Vec<OneSparse>)>,
+    cols: usize,
+    fp: Fingerprinter,
+}
+
+impl SSparseRecovery {
+    /// Builds a structure for sparsity `s` with `rows` independent rows
+    /// (decode failure probability decays geometrically in `rows`;
+    /// 3–6 rows are plenty for the workloads here).
+    pub fn new<R: Rng + ?Sized>(s: usize, rows: usize, rng: &mut R) -> Self {
+        assert!(s >= 1 && rows >= 1);
+        let cols = (2 * s).next_power_of_two();
+        let rows = (0..rows)
+            .map(|_| (KWiseHash::new(2, rng), vec![OneSparse::default(); cols]))
+            .collect();
+        Self { rows, cols, fp: Fingerprinter::new(rng) }
+    }
+
+    /// Applies an update to every row.
+    pub fn update(&mut self, key: u128, delta: i64) {
+        let cols = self.cols as u64;
+        for (hash, buckets) in &mut self.rows {
+            let idx = (hash.eval(key) % cols) as usize;
+            buckets[idx].update(key, delta, &self.fp);
+        }
+    }
+
+    /// Attempts to recover the full multiset by peeling. Returns `None`
+    /// when the content is denser than the structure can resolve.
+    pub fn decode(&self) -> Option<Vec<(u128, i64)>> {
+        let mut work = self.clone();
+        let mut out: Vec<(u128, i64)> = Vec::new();
+        loop {
+            let mut progressed = false;
+            let mut all_clear = true;
+            // Scan for decodable cells.
+            let mut found: Vec<(u128, i64)> = Vec::new();
+            for (_, buckets) in &work.rows {
+                for cell in buckets {
+                    match cell.decode(&work.fp) {
+                        Decode1::Zero => {}
+                        Decode1::One { key, count } => {
+                            found.push((key, count));
+                            all_clear = false;
+                        }
+                        Decode1::Many => {
+                            all_clear = false;
+                        }
+                    }
+                }
+            }
+            if all_clear {
+                out.sort_unstable();
+                out.dedup_by(|a, b| {
+                    if a.0 == b.0 {
+                        b.1 += a.1;
+                        true
+                    } else {
+                        false
+                    }
+                });
+                out.retain(|&(_, c)| c != 0);
+                return Some(out);
+            }
+            // Peel each found key once (dedup first — the same key decodes
+            // from several rows).
+            found.sort_unstable();
+            found.dedup();
+            for (key, count) in found {
+                work.update(key, -count);
+                out.push((key, count));
+                progressed = true;
+            }
+            if !progressed {
+                return None; // stuck: too dense
+            }
+        }
+    }
+
+    /// Bytes of sketch state (excluding the hash descriptions).
+    pub fn stored_bytes(&self) -> usize {
+        self.rows.len() * self.cols * OneSparse::BYTES
+            + self.rows.iter().map(|(h, _)| h.stored_bytes()).sum::<usize>()
+            + self.fp.stored_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn one_sparse_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let fp = Fingerprinter::new(&mut rng);
+        let mut cell = OneSparse::default();
+        assert_eq!(cell.decode(&fp), Decode1::Zero);
+        cell.update(42, 3, &fp);
+        assert_eq!(cell.decode(&fp), Decode1::One { key: 42, count: 3 });
+        cell.update(42, -3, &fp);
+        assert_eq!(cell.decode(&fp), Decode1::Zero);
+    }
+
+    #[test]
+    fn one_sparse_detects_two_keys() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let fp = Fingerprinter::new(&mut rng);
+        let mut cell = OneSparse::default();
+        cell.update(10, 1, &fp);
+        cell.update(20, 1, &fp);
+        assert_eq!(cell.decode(&fp), Decode1::Many);
+        // Removing one restores decodability.
+        cell.update(10, -1, &fp);
+        assert_eq!(cell.decode(&fp), Decode1::One { key: 20, count: 1 });
+    }
+
+    #[test]
+    fn one_sparse_high_bits_matter() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let fp = Fingerprinter::new(&mut rng);
+        let mut cell = OneSparse::default();
+        let key = (7u128 << 100) | 13;
+        cell.update(key, 5, &fp);
+        assert_eq!(cell.decode(&fp), Decode1::One { key, count: 5 });
+    }
+
+    #[test]
+    fn s_sparse_recovers_exact_multiset() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut sk = SSparseRecovery::new(16, 4, &mut rng);
+        let mut truth: Vec<(u128, i64)> = (0..12).map(|i| (1000 + i * 77, (i % 3 + 1) as i64)).collect();
+        for &(k, c) in &truth {
+            for _ in 0..c {
+                sk.update(k, 1);
+            }
+        }
+        let mut got = sk.decode().expect("12 ≤ 16 keys must decode");
+        got.sort_unstable();
+        truth.sort_unstable();
+        assert_eq!(got, truth);
+    }
+
+    #[test]
+    fn s_sparse_survives_insert_delete_churn() {
+        // Insert 500 keys (way above sparsity), delete all but 10: the
+        // *final* multiset is sparse, so it must decode — the linearity
+        // property that enables the dynamic stream algorithm.
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut sk = SSparseRecovery::new(16, 4, &mut rng);
+        for k in 0..500u128 {
+            sk.update(k * 3 + 1, 1);
+        }
+        for k in 10..500u128 {
+            sk.update(k * 3 + 1, -1);
+        }
+        let mut got = sk.decode().expect("final state is 10-sparse");
+        got.sort_unstable();
+        let expect: Vec<(u128, i64)> = (0..10u128).map(|k| (k * 3 + 1, 1)).collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn s_sparse_fails_gracefully_when_dense() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut sk = SSparseRecovery::new(4, 3, &mut rng);
+        for k in 0..200u128 {
+            sk.update(k, 1);
+        }
+        assert!(sk.decode().is_none(), "200 keys in a 4-sparse sketch");
+    }
+
+    #[test]
+    fn empty_sketch_decodes_to_empty() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let sk = SSparseRecovery::new(8, 3, &mut rng);
+        assert_eq!(sk.decode().unwrap(), vec![]);
+    }
+
+    #[test]
+    fn stored_bytes_reflect_geometry() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let sk = SSparseRecovery::new(16, 3, &mut rng);
+        // cols = 32, rows = 3 → 96 cells of 48 bytes plus hashes + fp.
+        assert!(sk.stored_bytes() >= 96 * OneSparse::BYTES);
+        assert!(sk.stored_bytes() < 96 * OneSparse::BYTES + 1024);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn prop_sparse_recovery_any_interleaving(ops in proptest::collection::vec((0u128..40, proptest::bool::ANY), 0..160)) {
+            // Arbitrary interleavings of inserts/deletes over 40 keys:
+            // whenever the final multiset has ≤ 12 distinct keys, decode
+            // must return exactly it. Deletions are clamped so counts
+            // stay ≥ 0 (the stream model guarantees this).
+            let mut rng = StdRng::seed_from_u64(9);
+            let mut sk = SSparseRecovery::new(12, 5, &mut rng);
+            let mut truth = std::collections::HashMap::<u128, i64>::new();
+            for (key, is_insert) in ops {
+                let e = truth.entry(key).or_insert(0);
+                if is_insert {
+                    *e += 1;
+                    sk.update(key, 1);
+                } else if *e > 0 {
+                    *e -= 1;
+                    sk.update(key, -1);
+                }
+            }
+            let mut expect: Vec<(u128, i64)> =
+                truth.into_iter().filter(|&(_, c)| c > 0).collect();
+            expect.sort_unstable();
+            if expect.len() <= 12 {
+                let mut got = sk.decode().expect("sparse final state decodes");
+                got.sort_unstable();
+                proptest::prop_assert_eq!(got, expect);
+            }
+        }
+    }
+}

@@ -1,0 +1,583 @@
+//! The `Storing(Gᵢ, α, β, δ)` subroutine (Lemma 4.2).
+//!
+//! For one grid level, a dynamic stream of point insertions/deletions is
+//! summarized so that at end of stream the structure returns
+//!
+//! 1. the set `C` of non-empty cells,
+//! 2. the count `f(C)` of points in each cell, and
+//! 3. the set `S` of points lying in cells with at most `β` points,
+//!
+//! FAILing (with probability ≤ δ) only when `|C| > α`. Two backends:
+//!
+//! * [`Backend::Sketch`] — the genuine linear-sketch construction: an
+//!   `α`-sparse recovery over cell keys for (1)–(2), and rows of
+//!   cell-hashed buckets each holding a `2β`-sparse recovery over point
+//!   keys for (3). Fixed size `O(α·β·rows·log)` bits, oblivious to how
+//!   inserts and deletes interleave; cells colliding with an over-β cell
+//!   in one row survive in another row w.h.p. — this is HSYZ18's scheme
+//!   that Lemma 4.2 cites.
+//! * [`Backend::Exact`] — hash maps with the same *output and FAIL
+//!   semantics*, plus per-cell point eviction (cells whose multiplicity
+//!   exceeds `2β` drop their point list, mirroring the sketch's bucket
+//!   overflow) and a distinct-cell occupancy cap that kills runaway
+//!   substreams cheaply. Behaviourally faithful, measured (not bounded)
+//!   space; the default for large exact-validation runs.
+
+use crate::sparse::SSparseRecovery;
+use rand::Rng;
+use sbc_geometry::{CellId, GridHierarchy, Point};
+use sbc_hash::KWiseHash;
+use std::collections::HashMap;
+
+/// Sizing of one `Storing` instance.
+#[derive(Clone, Copy, Debug)]
+pub struct StoringConfig {
+    /// Cell budget `α`: FAIL when more non-empty cells survive.
+    pub alpha: usize,
+    /// Small-cell threshold `β`: points are recovered from cells with at
+    /// most this many points.
+    pub beta: usize,
+    /// Independent rows of the point-recovery structure.
+    pub rows: usize,
+}
+
+/// Which implementation backs a [`Storing`].
+#[derive(Clone, Copy, Debug)]
+pub enum Backend {
+    /// Hash-map backend with per-cell eviction and an occupancy cap.
+    Exact {
+        /// Maximum distinct non-empty cells tracked before the structure
+        /// declares itself overflowed (frees its memory, FAILs at
+        /// finish). Set this several× above `alpha`.
+        cap_cells: usize,
+    },
+    /// Linear-sketch backend (fixed space, needs packable keys).
+    Sketch,
+}
+
+/// Why `finish` failed.
+#[derive(Clone, Debug, PartialEq)]
+pub enum StoringFail {
+    /// More than `α` non-empty cells at end of stream.
+    TooManyCells {
+        /// Cells found (or the cap at which counting stopped).
+        found: usize,
+        /// The budget `α`.
+        alpha: usize,
+    },
+    /// The exact backend hit its occupancy cap mid-stream (the sketch
+    /// analogue would simply decode garbage; we surface it explicitly).
+    Overflowed,
+    /// A sparse-recovery decode failed (content denser than sized for).
+    DecodeFailed,
+}
+
+/// Successful output of a [`Storing`] (Lemma 4.2 items 1–3).
+#[derive(Clone, Debug)]
+pub struct StoringOutput {
+    /// Non-empty cells with their point counts.
+    pub cells: Vec<(CellId, i64)>,
+    /// Points (with multiplicity) lying in cells of ≤ β points.
+    pub small_points: Vec<(Point, i64)>,
+    /// Exact backend only: small cells whose point payload was evicted
+    /// mid-stream (count exceeded `2β`, then deletions brought it back
+    /// under `β`). Their points are *missing* from `small_points`;
+    /// consumers that need them must treat the structure as failed. The
+    /// sketch backend never populates this (linear sketches are oblivious
+    /// to transient density).
+    pub dirty_small_cells: Vec<CellId>,
+}
+
+struct CellRec {
+    count: i64,
+    dirty: bool,
+    cell: CellId,
+    points: HashMap<u128, (Point, i64)>,
+}
+
+enum Inner {
+    Exact {
+        cells: HashMap<u128, CellRec>,
+        cap_cells: usize,
+        dead: bool,
+        peak_cells: usize,
+    },
+    Sketch {
+        cell_sketch: SSparseRecovery,
+        /// Per row: a pairwise hash over cell keys and its lazily
+        /// allocated buckets of point sparse recoveries.
+        rows: Vec<(KWiseHash, HashMap<u32, SSparseRecovery>)>,
+        bucket_cols: u64,
+        bucket_sparsity: usize,
+        max_buckets: usize,
+        dead: bool,
+        seed: rand::rngs::StdRng,
+    },
+}
+
+/// One `Storing(Gᵢ, α, β, δ)` instance.
+pub struct Storing {
+    level: i32,
+    grid: GridHierarchy,
+    cfg: StoringConfig,
+    inner: Inner,
+    updates: u64,
+}
+
+impl Storing {
+    /// Creates a storing structure for grid level `level`.
+    ///
+    /// # Panics
+    /// Panics if the sketch backend is requested but points or cells of
+    /// this geometry do not pack into 128-bit keys (use `Exact` there).
+    pub fn new<R: Rng + ?Sized>(
+        grid: &GridHierarchy,
+        level: i32,
+        cfg: StoringConfig,
+        backend: Backend,
+        rng: &mut R,
+    ) -> Self {
+        assert!(cfg.alpha >= 1 && cfg.rows >= 1);
+        let inner = match backend {
+            Backend::Exact { cap_cells } => Inner::Exact {
+                cells: HashMap::new(),
+                cap_cells: cap_cells.max(cfg.alpha),
+                dead: false,
+                peak_cells: 0,
+            },
+            Backend::Sketch => {
+                let gp = grid.params();
+                let bits = sbc_geometry::point::bits_for(gp.delta) as usize * gp.d;
+                assert!(
+                    bits <= 128 && 6 + ((level.max(0) + 2) as usize) * gp.d <= 128,
+                    "sketch backend needs packable point/cell keys; use Backend::Exact"
+                );
+                use rand::SeedableRng;
+                let rows = (0..cfg.rows)
+                    .map(|_| (KWiseHash::new(2, rng), HashMap::new()))
+                    .collect();
+                Inner::Sketch {
+                    cell_sketch: SSparseRecovery::new(cfg.alpha, cfg.rows.max(3), rng),
+                    rows,
+                    bucket_cols: (4 * cfg.alpha).next_power_of_two() as u64,
+                    bucket_sparsity: (2 * cfg.beta).max(2),
+                    max_buckets: 8 * cfg.alpha,
+                    dead: false,
+                    seed: rand::rngs::StdRng::seed_from_u64(rng.gen()),
+                }
+            }
+        };
+        Self { level, grid: grid.clone(), cfg, inner, updates: 0 }
+    }
+
+    /// The grid level this instance summarizes.
+    pub fn level(&self) -> i32 {
+        self.level
+    }
+
+    /// The small-cell threshold β.
+    pub fn beta(&self) -> usize {
+        self.cfg.beta
+    }
+
+    /// The cell budget α.
+    pub fn alpha(&self) -> usize {
+        self.cfg.alpha
+    }
+
+    /// Applies `(p, ±1)` (or any delta) to the structure.
+    pub fn update(&mut self, p: &Point, delta: i64) {
+        let cell = self.grid.cell_of(p, self.level);
+        let cell_key = cell.key128();
+        let point_key = p.key128(self.grid.params().delta);
+        self.update_precomputed(p, point_key, &cell, cell_key, delta);
+    }
+
+    /// [`Self::update`] with the cell and keys precomputed (the pipeline
+    /// shares them across many instances).
+    pub fn update_precomputed(
+        &mut self,
+        p: &Point,
+        point_key: u128,
+        cell: &CellId,
+        cell_key: u128,
+        delta: i64,
+    ) {
+        self.updates += 1;
+        match &mut self.inner {
+            Inner::Exact { cells, cap_cells, dead, peak_cells } => {
+                if *dead {
+                    return;
+                }
+                let beta = self.cfg.beta as i64;
+                let is_new = !cells.contains_key(&cell_key);
+                if is_new && cells.len() >= *cap_cells {
+                    *dead = true;
+                    cells.clear();
+                    cells.shrink_to_fit();
+                    return;
+                }
+                let rec = cells.entry(cell_key).or_insert_with(|| CellRec {
+                    count: 0,
+                    dirty: false,
+                    cell: cell.clone(),
+                    points: HashMap::new(),
+                });
+                rec.count += delta;
+                debug_assert!(rec.count >= 0, "stream model: no over-deletion");
+                if !rec.dirty {
+                    let e = rec.points.entry(point_key).or_insert_with(|| (p.clone(), 0));
+                    e.1 += delta;
+                    if e.1 == 0 {
+                        rec.points.remove(&point_key);
+                    }
+                    // Mirror the sketch's bucket overflow: cells that grow
+                    // beyond 2β drop their payload.
+                    if rec.count > 2 * beta.max(1) {
+                        rec.points.clear();
+                        rec.points.shrink_to_fit();
+                        rec.dirty = true;
+                    }
+                }
+                if rec.count == 0 && rec.points.is_empty() {
+                    cells.remove(&cell_key);
+                }
+                *peak_cells = (*peak_cells).max(cells.len());
+            }
+            Inner::Sketch { cell_sketch, rows, bucket_cols, bucket_sparsity, max_buckets, dead, seed } => {
+                if *dead {
+                    return;
+                }
+                cell_sketch.update(cell_key, delta);
+                let mut total_buckets = 0usize;
+                for (hash, buckets) in rows.iter_mut() {
+                    let idx = (hash.eval(cell_key) % *bucket_cols) as u32;
+                    let sparsity = *bucket_sparsity;
+                    let bucket = buckets
+                        .entry(idx)
+                        .or_insert_with(|| SSparseRecovery::new(sparsity, 2, seed));
+                    bucket.update(point_key, delta);
+                    total_buckets += buckets.len();
+                }
+                if total_buckets > *max_buckets * rows.len() {
+                    *dead = true;
+                    for (_, buckets) in rows.iter_mut() {
+                        buckets.clear();
+                        buckets.shrink_to_fit();
+                    }
+                }
+            }
+        }
+    }
+
+    /// Decodes the structure (Lemma 4.2 output).
+    pub fn finish(&self) -> Result<StoringOutput, StoringFail> {
+        match &self.inner {
+            Inner::Exact { cells, dead, .. } => {
+                if *dead {
+                    return Err(StoringFail::Overflowed);
+                }
+                let live: Vec<&CellRec> = cells.values().filter(|r| r.count > 0).collect();
+                if live.len() > self.cfg.alpha {
+                    return Err(StoringFail::TooManyCells {
+                        found: live.len(),
+                        alpha: self.cfg.alpha,
+                    });
+                }
+                let beta = self.cfg.beta as i64;
+                let mut out_cells = Vec::with_capacity(live.len());
+                let mut small_points = Vec::new();
+                let mut dirty_small_cells = Vec::new();
+                for rec in live {
+                    out_cells.push((rec.cell.clone(), rec.count));
+                    if rec.count <= beta {
+                        if rec.dirty {
+                            dirty_small_cells.push(rec.cell.clone());
+                            continue;
+                        }
+                        for (p, c) in rec.points.values() {
+                            if *c > 0 {
+                                small_points.push((p.clone(), *c));
+                            }
+                        }
+                    }
+                }
+                out_cells.sort_by(|a, b| a.0.cmp(&b.0));
+                small_points.sort_by(|a, b| a.0.cmp(&b.0));
+                dirty_small_cells.sort();
+                Ok(StoringOutput { cells: out_cells, small_points, dirty_small_cells })
+            }
+            Inner::Sketch { cell_sketch, rows, bucket_cols, dead, .. } => {
+                if *dead {
+                    return Err(StoringFail::Overflowed);
+                }
+                let gp = self.grid.params();
+                let decoded = cell_sketch.decode().ok_or(StoringFail::DecodeFailed)?;
+                let live: Vec<(u128, i64)> =
+                    decoded.into_iter().filter(|&(_, c)| c > 0).collect();
+                if live.len() > self.cfg.alpha {
+                    return Err(StoringFail::TooManyCells {
+                        found: live.len(),
+                        alpha: self.cfg.alpha,
+                    });
+                }
+                let beta = self.cfg.beta as i64;
+                let mut out_cells = Vec::with_capacity(live.len());
+                let mut small_points = Vec::new();
+                for (cell_key, count) in live {
+                    let cell = CellId::unpack(cell_key, self.level, gp.d)
+                        .ok_or(StoringFail::DecodeFailed)?;
+                    if count <= beta {
+                        // Try each row until one bucket isolates the cell.
+                        let mut recovered: Option<Vec<(Point, i64)>> = None;
+                        for (hash, buckets) in rows {
+                            let idx = (hash.eval(cell_key) % *bucket_cols) as u32;
+                            let Some(bucket) = buckets.get(&idx) else {
+                                continue; // never touched yet count > 0: try another row
+                            };
+                            if let Some(items) = bucket.decode() {
+                                let mut pts = Vec::new();
+                                let mut mass = 0i64;
+                                for (pkey, c) in items {
+                                    if c <= 0 {
+                                        continue;
+                                    }
+                                    let Some(pt) = Point::unpack(pkey, gp.delta, gp.d) else {
+                                        continue;
+                                    };
+                                    if self.grid.cell_of(&pt, self.level) == cell {
+                                        mass += c;
+                                        pts.push((pt, c));
+                                    }
+                                }
+                                if mass == count {
+                                    recovered = Some(pts);
+                                    break;
+                                }
+                            }
+                        }
+                        match recovered {
+                            Some(pts) => small_points.extend(pts),
+                            None => return Err(StoringFail::DecodeFailed),
+                        }
+                    }
+                    out_cells.push((cell, count));
+                }
+                out_cells.sort_by(|a, b| a.0.cmp(&b.0));
+                small_points.sort_by(|a, b| a.0.cmp(&b.0));
+                Ok(StoringOutput { cells: out_cells, small_points, dirty_small_cells: Vec::new() })
+            }
+        }
+    }
+
+    /// Whether the structure has irrecoverably overflowed.
+    pub fn is_dead(&self) -> bool {
+        match &self.inner {
+            Inner::Exact { dead, .. } | Inner::Sketch { dead, .. } => *dead,
+        }
+    }
+
+    /// Measured bytes of state right now.
+    pub fn stored_bytes(&self) -> usize {
+        match &self.inner {
+            Inner::Exact { cells, .. } => {
+                let per_cell = 16 + 8 + 1 + 24; // key + count + flag + rec overhead
+                let per_point = 16 + 8 + 8; // key + multiplicity + point ref
+                cells
+                    .values()
+                    .map(|r| {
+                        per_cell
+                            + r.cell.coords.len() * 8
+                            + r.points.len() * (per_point + r.cell.coords.len() * 4)
+                    })
+                    .sum()
+            }
+            Inner::Sketch { cell_sketch, rows, .. } => {
+                cell_sketch.stored_bytes()
+                    + rows
+                        .iter()
+                        .map(|(h, buckets)| {
+                            h.stored_bytes()
+                                + buckets.values().map(|b| b.stored_bytes()).sum::<usize>()
+                        })
+                        .sum::<usize>()
+            }
+        }
+    }
+
+    /// The space a fully allocated sketch of this configuration occupies
+    /// — the Lemma 4.2 `O(αβ·dL·log²(αβ/δ))`-style accounting used by
+    /// experiment E4 regardless of backend.
+    pub fn nominal_sketch_bytes(cfg: &StoringConfig) -> usize {
+        let cell_sketch = cfg.rows.max(3) * (2 * cfg.alpha).next_power_of_two() * crate::sparse::OneSparse::BYTES;
+        let bucket = 2 * (2 * (2 * cfg.beta).max(2)).next_power_of_two() * crate::sparse::OneSparse::BYTES;
+        let buckets = cfg.rows * 8 * cfg.alpha * bucket;
+        cell_sketch + buckets
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sbc_geometry::dataset::uniform;
+    use sbc_geometry::GridParams;
+
+    fn setup() -> (GridHierarchy, Vec<Point>) {
+        let gp = GridParams::from_log_delta(6, 2); // Δ = 64
+        let mut rng = StdRng::seed_from_u64(1);
+        let grid = GridHierarchy::new(gp, &mut rng);
+        let pts = uniform(gp, 120, 2);
+        (grid, pts)
+    }
+
+    fn run_backend(backend: Backend) -> (StoringOutput, StoringOutput) {
+        let (grid, pts) = setup();
+        let cfg = StoringConfig { alpha: 256, beta: 8, rows: 4 };
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut st = Storing::new(&grid, 4, cfg, backend, &mut rng);
+        // Insert everything, delete the second half.
+        for p in &pts {
+            st.update(p, 1);
+        }
+        for p in &pts[60..] {
+            st.update(p, -1);
+        }
+        let got = st.finish().expect("within budget");
+
+        // Ground truth: exact recount of the surviving 60 points.
+        let mut truth_cells: HashMap<CellId, i64> = HashMap::new();
+        for p in &pts[..60] {
+            *truth_cells.entry(grid.cell_of(p, 4)).or_insert(0) += 1;
+        }
+        let mut cells: Vec<(CellId, i64)> = truth_cells.clone().into_iter().collect();
+        cells.sort_by(|a, b| a.0.cmp(&b.0));
+        // Merge duplicate points (generators may repeat coordinates; the
+        // store reports one entry with the net multiplicity).
+        let mut small_map: HashMap<Point, i64> = HashMap::new();
+        for p in &pts[..60] {
+            if truth_cells[&grid.cell_of(p, 4)] <= 8 {
+                *small_map.entry(p.clone()).or_insert(0) += 1;
+            }
+        }
+        let mut small: Vec<(Point, i64)> = small_map.into_iter().collect();
+        small.sort_by(|a, b| a.0.cmp(&b.0));
+        (got, StoringOutput { cells, small_points: small, dirty_small_cells: Vec::new() })
+    }
+
+    #[test]
+    fn exact_backend_matches_ground_truth_under_deletions() {
+        let (got, want) = run_backend(Backend::Exact { cap_cells: 4096 });
+        assert_eq!(got.cells, want.cells);
+        assert_eq!(got.small_points, want.small_points);
+    }
+
+    #[test]
+    fn sketch_backend_matches_ground_truth_under_deletions() {
+        let (got, want) = run_backend(Backend::Sketch);
+        assert_eq!(got.cells, want.cells);
+        assert_eq!(got.small_points, want.small_points);
+    }
+
+    #[test]
+    fn fails_when_cells_exceed_alpha() {
+        let (grid, pts) = setup();
+        let cfg = StoringConfig { alpha: 4, beta: 4, rows: 3 };
+        let mut rng = StdRng::seed_from_u64(4);
+        for backend in [Backend::Exact { cap_cells: 4096 }, Backend::Sketch] {
+            let mut st = Storing::new(&grid, 6, cfg, backend, &mut rng);
+            for p in &pts {
+                st.update(p, 1);
+            }
+            let err = st.finish().unwrap_err();
+            assert!(
+                matches!(err, StoringFail::TooManyCells { .. } | StoringFail::DecodeFailed),
+                "{err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn exact_cap_kills_runaway_stream() {
+        let (grid, pts) = setup();
+        let cfg = StoringConfig { alpha: 4, beta: 2, rows: 2 };
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut st = Storing::new(&grid, 6, cfg, Backend::Exact { cap_cells: 8 }, &mut rng);
+        for p in &pts {
+            st.update(p, 1);
+        }
+        assert!(st.is_dead());
+        assert_eq!(st.finish().unwrap_err(), StoringFail::Overflowed);
+        // Dead structures hold (almost) no memory.
+        assert!(st.stored_bytes() < 256);
+    }
+
+    #[test]
+    fn heavy_cell_does_not_pollute_small_cells_in_sketch() {
+        // One cell receives 500 points (≫ β); other cells stay small.
+        // The sketch must still recover the small cells' points.
+        let gp = GridParams::from_log_delta(6, 2);
+        let mut rng = StdRng::seed_from_u64(6);
+        let grid = GridHierarchy::new(gp, &mut rng);
+        let cfg = StoringConfig { alpha: 128, beta: 4, rows: 5 };
+        let mut st = Storing::new(&grid, 2, cfg, Backend::Sketch, &mut rng);
+        // Heavy cluster: 500 distinct points crammed into one level-2 cell
+        // region (side 16): coordinates 1..=16 × 1..=16 plus multiplicity.
+        let mut heavy_pts = Vec::new();
+        for a in 1..=16u32 {
+            for b in 1..=16u32 {
+                heavy_pts.push(Point::new(vec![a, b]));
+            }
+        }
+        for (i, p) in heavy_pts.iter().enumerate() {
+            st.update(p, 1 + (i % 2) as i64);
+        }
+        // Small, far-away cells.
+        let small = vec![Point::new(vec![60, 60]), Point::new(vec![62, 61])];
+        for p in &small {
+            st.update(p, 1);
+        }
+        let out = st.finish().expect("decodes");
+        for p in &small {
+            assert!(
+                out.small_points.iter().any(|(q, c)| q == p && *c == 1),
+                "missing small point {p:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn exact_dirty_small_cell_detected() {
+        // Blow a cell past 2β, then delete back under β: the exact
+        // backend must refuse rather than silently return partial points.
+        let gp = GridParams::from_log_delta(6, 2);
+        let grid = GridHierarchy::unshifted(gp);
+        let cfg = StoringConfig { alpha: 64, beta: 2, rows: 2 };
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut st = Storing::new(&grid, 5, cfg, Backend::Exact { cap_cells: 512 }, &mut rng);
+        let cell_pts: Vec<Point> = (1..=8u32).map(|i| Point::new(vec![i % 2 + 1, i])).collect();
+        // All 8 land near the origin corner; level 5 cells have side 2, so
+        // pick 8 points in one cell: (1..2)×(1..2) — use multiplicity.
+        let p = Point::new(vec![1, 1]);
+        let _ = cell_pts;
+        for _ in 0..8 {
+            st.update(&p, 1);
+        }
+        for _ in 0..7 {
+            st.update(&p, -1);
+        }
+        let out = st.finish().expect("counts still valid");
+        assert_eq!(out.dirty_small_cells.len(), 1, "the churned cell is flagged");
+        assert!(out.small_points.is_empty(), "its points are not fabricated");
+        assert_eq!(out.cells.len(), 1);
+        assert_eq!(out.cells[0].1, 1, "count survives eviction");
+    }
+
+    #[test]
+    fn nominal_bytes_scale_with_alpha_beta() {
+        let small = Storing::nominal_sketch_bytes(&StoringConfig { alpha: 16, beta: 2, rows: 3 });
+        let big = Storing::nominal_sketch_bytes(&StoringConfig { alpha: 64, beta: 8, rows: 3 });
+        assert!(big > 4 * small);
+    }
+}

@@ -1,0 +1,56 @@
+//! Quickstart: build a strong coreset for capacitated k-means and solve
+//! the clustering on it.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sbc_clustering::capacitated::capacitated_lloyd_raw;
+use sbc_clustering::cost::capacitated_cost;
+use sbc_core::{build_coreset, CoresetParams};
+use sbc_geometry::dataset::gaussian_mixture;
+use sbc_geometry::GridParams;
+
+fn main() {
+    // The cube [Δ]^d with Δ = 2^8 = 256, d = 2.
+    let gp = GridParams::from_log_delta(8, 2);
+    let n = 20_000;
+    let k = 3;
+    let r = 2.0; // k-means
+
+    println!("── Streaming Balanced Clustering: quickstart ──");
+    println!("dataset: {n} points, mixture of {k} Gaussians in [256]^2\n");
+    let points = gaussian_mixture(gp, n, k, 0.04, 7);
+
+    // Strong (η, ε)-coreset for capacitated k-means.
+    let params = CoresetParams::practical(k, r, 0.2, 0.2, gp);
+    let mut rng = StdRng::seed_from_u64(42);
+    let t0 = std::time::Instant::now();
+    let coreset = build_coreset(&points, &params, &mut rng).expect("coreset construction");
+    println!(
+        "coreset: {} points (compression {:.1}×), total weight {:.0}, built in {:?}",
+        coreset.len(),
+        n as f64 / coreset.len() as f64,
+        coreset.total_weight(),
+        t0.elapsed()
+    );
+
+    // Solve capacitated k-means on the coreset only.
+    let cap = n as f64 / k as f64 * 1.2; // capacity t = 1.2·n/k
+    let (cpts, cws) = coreset.split();
+    let sol = capacitated_lloyd_raw(&cpts, Some(&cws), k, r, cap, 12, &mut rng);
+    println!("\ncenters found on the coreset (capacity t = {cap:.0}):");
+    for (i, z) in sol.centers.iter().enumerate() {
+        println!("  z{} = {:?}", i + 1, z.coords());
+    }
+
+    // Evaluate those centers on the full data — the coreset guarantee
+    // says this is within (1+ε) of what the coreset reported, with
+    // (1+η) capacity slack.
+    let full = capacitated_cost(&points, None, &sol.centers, cap * 1.2, r);
+    println!("\ncost on coreset:   {:>14.0}", sol.cost);
+    println!("cost on full data: {:>14.0}   (capacity slack 1+η)", full);
+    println!("ratio: {:.3}", full / sol.cost);
+}

@@ -1,0 +1,74 @@
+//! Dynamic streaming: one pass over a stream with insertions *and*
+//! deletions — the capability that distinguishes this algorithm from the
+//! prior three-pass insertion-only art (paper §1).
+//!
+//! The stream inserts a clusterable "kept" set plus a uniform "churn"
+//! set, then deletes the churn. A correct dynamic algorithm must end up
+//! summarizing only the kept set.
+//!
+//! ```sh
+//! cargo run --release --example streaming_dynamic
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sbc_clustering::cost::capacitated_cost;
+use sbc_core::CoresetParams;
+use sbc_geometry::dataset::two_phase_dynamic;
+use sbc_geometry::GridParams;
+use sbc_streaming::model::insert_delete_stream;
+use sbc_streaming::{StreamCoresetBuilder, StreamParams};
+
+fn main() {
+    let gp = GridParams::from_log_delta(8, 2);
+    let k = 3;
+    let params = CoresetParams::practical(k, 2.0, 0.2, 0.2, gp);
+    let mut rng = StdRng::seed_from_u64(1);
+
+    println!("── One-pass dynamic streaming coreset ──");
+    let ds = two_phase_dynamic(gp, 12_000, 6_000, k, 3);
+    let ops = insert_delete_stream(&ds.kept, &ds.churn, &mut rng);
+    println!(
+        "stream: {} ops ({} inserts, {} deletes); surviving points: {}",
+        ops.len(),
+        ds.kept.len() + ds.churn.len(),
+        ds.churn.len(),
+        ds.kept.len()
+    );
+
+    let mut builder = StreamCoresetBuilder::new(params.clone(), StreamParams::default(), &mut rng);
+    let t0 = std::time::Instant::now();
+    builder.process_all(&ops);
+    let elapsed = t0.elapsed();
+    let rep = builder.space_report();
+    println!(
+        "\npass done in {elapsed:?} ({:.0} ops/s)",
+        ops.len() as f64 / elapsed.as_secs_f64()
+    );
+    println!(
+        "space: {} o-instances, {:.1} KiB hash state, {:.1} KiB store state ({} dead stores freed)",
+        rep.instances,
+        rep.hash_bytes as f64 / 1024.0,
+        rep.store_bytes as f64 / 1024.0,
+        rep.dead_stores
+    );
+
+    let coreset = builder.finish().expect("streaming coreset");
+    println!(
+        "\ncoreset: {} points, total weight {:.0} (target: the {} kept points)",
+        coreset.len(),
+        coreset.total_weight(),
+        ds.kept.len()
+    );
+
+    // Sanity: evaluate a fixed center set against the kept points vs the
+    // coreset — the deleted churn must not distort the estimate.
+    let centers = sbc_clustering::kmeanspp::kmeanspp_seeds(&ds.kept, None, k, 2.0, &mut rng);
+    let cap = ds.kept.len() as f64 / k as f64 * 1.3;
+    let truth = capacitated_cost(&ds.kept, None, &centers, cap, 2.0);
+    let (cpts, cws) = coreset.split();
+    let est = capacitated_cost(&cpts, Some(&cws), &centers, cap * 1.2, 2.0);
+    println!("\ncapacitated cost of a fixed Z:");
+    println!("  on kept points: {truth:>14.0}");
+    println!("  on coreset:     {est:>14.0}   (ratio {:.3})", est / truth);
+}

@@ -1,0 +1,280 @@
+//! `sbc` — command-line front end for the streaming-balanced-clustering
+//! library: build coresets from CSV point files, generate synthetic
+//! workloads, and solve capacitated k-means/k-median end-to-end.
+//!
+//! CSV format: one point per line, comma-separated integer coordinates
+//! (1-based, each within `[1, Δ]`). Lines starting with `#` are ignored.
+//!
+//! ```sh
+//! sbc generate --workload gaussian --n 20000 --k 3 --log-delta 8 --d 2 --out points.csv
+//! sbc stats    --input points.csv
+//! sbc coreset  --input points.csv --k 3 --r 2 --log-delta 8 --out coreset.csv
+//! sbc solve    --input points.csv --k 3 --r 2 --log-delta 8 --cap-slack 1.2
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sbc_clustering::capacitated::capacitated_lloyd_raw;
+use sbc_core::{build_coreset, CoresetParams};
+use sbc_geometry::{dataset, GridParams, Point};
+use std::io::Write;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let opts = match Opts::parse(&args[1..]) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match cmd.as_str() {
+        "generate" => cmd_generate(&opts),
+        "stats" => cmd_stats(&opts),
+        "coreset" => cmd_coreset(&opts),
+        "solve" => cmd_solve(&opts),
+        other => Err(format!("unknown command `{other}`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  sbc generate --workload <gaussian|imbalanced|uniform> --n <N> --k <K> \\
+               --log-delta <L> --d <D> --out <FILE> [--seed <S>]
+  sbc stats    --input <FILE>
+  sbc coreset  --input <FILE> --k <K> --r <1|2> --log-delta <L> \\
+               [--eps <E>] [--eta <H>] [--out <FILE>] [--seed <S>]
+  sbc solve    --input <FILE> --k <K> --r <1|2> --log-delta <L> \\
+               [--eps <E>] [--eta <H>] [--cap-slack <C>] [--seed <S>]";
+
+/// Parsed `--key value` options.
+struct Opts(std::collections::HashMap<String, String>);
+
+impl Opts {
+    fn parse(args: &[String]) -> Result<Self, String> {
+        let mut map = std::collections::HashMap::new();
+        let mut it = args.iter();
+        while let Some(key) = it.next() {
+            let Some(name) = key.strip_prefix("--") else {
+                return Err(format!("expected --option, got `{key}`"));
+            };
+            let value = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
+            map.insert(name.to_string(), value.clone());
+        }
+        Ok(Self(map))
+    }
+
+    fn str(&self, key: &str) -> Result<&str, String> {
+        self.0.get(key).map(String::as_str).ok_or_else(|| format!("missing --{key}"))
+    }
+
+    fn num<T: std::str::FromStr>(&self, key: &str) -> Result<T, String> {
+        self.str(key)?.parse().map_err(|_| format!("--{key}: invalid value"))
+    }
+
+    fn num_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.0.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{key}: invalid value")),
+        }
+    }
+}
+
+fn cmd_generate(o: &Opts) -> Result<(), String> {
+    let workload = o.str("workload")?;
+    let n: usize = o.num("n")?;
+    let k: usize = o.num("k")?;
+    let l: u32 = o.num("log-delta")?;
+    let d: usize = o.num("d")?;
+    let seed: u64 = o.num_or("seed", 1)?;
+    let out = o.str("out")?;
+    let gp = GridParams::from_log_delta(l, d);
+    let points = match workload {
+        "gaussian" => dataset::gaussian_mixture(gp, n, k, 0.04, seed),
+        "imbalanced" => dataset::imbalanced_mixture(gp, n, &[0.7, 0.2, 0.1], 0.03, seed),
+        "uniform" => dataset::uniform(gp, n, seed),
+        other => return Err(format!("unknown workload `{other}`")),
+    };
+    write_csv(out, points.iter().map(|p| (p.clone(), None)))?;
+    eprintln!("wrote {n} points to {out}");
+    Ok(())
+}
+
+fn cmd_stats(o: &Opts) -> Result<(), String> {
+    let points = read_csv(o.str("input")?)?;
+    if points.is_empty() {
+        return Err("empty input".into());
+    }
+    let d = points[0].dim();
+    let mut lo = vec![u32::MAX; d];
+    let mut hi = vec![0u32; d];
+    for p in &points {
+        for (j, &c) in p.coords().iter().enumerate() {
+            lo[j] = lo[j].min(c);
+            hi[j] = hi[j].max(c);
+        }
+    }
+    let max_coord = hi.iter().copied().max().unwrap_or(1);
+    println!("points:    {}", points.len());
+    println!("dimension: {d}");
+    println!("bbox lo:   {lo:?}");
+    println!("bbox hi:   {hi:?}");
+    println!("suggested --log-delta: {}", (max_coord as f64).log2().ceil() as u32);
+    Ok(())
+}
+
+fn cmd_coreset(o: &Opts) -> Result<(), String> {
+    let points = read_csv(o.str("input")?)?;
+    let (params, mut rng) = params_from(o, &points)?;
+    let t0 = std::time::Instant::now();
+    let coreset = build_coreset(&points, &params, &mut rng).map_err(|e| e.to_string())?;
+    eprintln!(
+        "coreset: {} points (compression {:.1}x), total weight {:.0}, o = {:.3e}, built in {:?}",
+        coreset.len(),
+        points.len() as f64 / coreset.len() as f64,
+        coreset.total_weight(),
+        coreset.o,
+        t0.elapsed()
+    );
+    if let Ok(out) = o.str("out") {
+        write_csv(
+            out,
+            coreset.entries().iter().map(|e| (e.point.clone(), Some(e.weight))),
+        )?;
+        eprintln!("wrote weighted coreset to {out} (last column = weight)");
+    }
+    Ok(())
+}
+
+fn cmd_solve(o: &Opts) -> Result<(), String> {
+    let points = read_csv(o.str("input")?)?;
+    let (params, mut rng) = params_from(o, &points)?;
+    let slack: f64 = o.num_or("cap-slack", 1.2)?;
+    let cap = points.len() as f64 / params.k as f64 * slack;
+    let coreset = build_coreset(&points, &params, &mut rng).map_err(|e| e.to_string())?;
+    let (cpts, cws) = coreset.split();
+    let sol = capacitated_lloyd_raw(&cpts, Some(&cws), params.k, params.r, cap, 10, &mut rng);
+    println!("capacity t = {cap:.0} per center (slack {slack})");
+    println!("coreset size: {}", coreset.len());
+    for (i, z) in sol.centers.iter().enumerate() {
+        println!("center {}: {:?}", i + 1, z.coords());
+    }
+    println!("capacitated cost on coreset: {:.0}", sol.cost);
+    Ok(())
+}
+
+fn params_from(o: &Opts, points: &[Point]) -> Result<(CoresetParams, StdRng), String> {
+    if points.is_empty() {
+        return Err("empty input".into());
+    }
+    let k: usize = o.num("k")?;
+    let r: f64 = o.num("r")?;
+    let l: u32 = o.num("log-delta")?;
+    let eps: f64 = o.num_or("eps", 0.2)?;
+    let eta: f64 = o.num_or("eta", 0.2)?;
+    let seed: u64 = o.num_or("seed", 42)?;
+    let d = points[0].dim();
+    let gp = GridParams::from_log_delta(l, d);
+    for p in points {
+        if !p.in_cube(gp.delta) {
+            return Err(format!(
+                "point {:?} outside [1, {}]; raise --log-delta",
+                p.coords(),
+                gp.delta
+            ));
+        }
+    }
+    Ok((CoresetParams::practical(k, r, eps, eta, gp), StdRng::seed_from_u64(seed)))
+}
+
+/// Reads points (optionally ignoring a trailing weight column is NOT done:
+/// every numeric field is a coordinate).
+fn read_csv(path: &str) -> Result<Vec<Point>, String> {
+    let body = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    parse_csv(&body)
+}
+
+fn parse_csv(body: &str) -> Result<Vec<Point>, String> {
+    let mut out = Vec::new();
+    let mut dim = None;
+    for (lineno, line) in body.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let coords: Result<Vec<u32>, _> =
+            line.split(',').map(|f| f.trim().parse::<u32>()).collect();
+        let coords = coords.map_err(|_| format!("line {}: bad integer", lineno + 1))?;
+        if coords.is_empty() || coords.iter().any(|&c| c < 1) {
+            return Err(format!("line {}: coordinates are 1-based integers", lineno + 1));
+        }
+        match dim {
+            None => dim = Some(coords.len()),
+            Some(d) if d != coords.len() => {
+                return Err(format!("line {}: dimension mismatch", lineno + 1))
+            }
+            _ => {}
+        }
+        out.push(Point::new(coords));
+    }
+    Ok(out)
+}
+
+fn write_csv(
+    path: &str,
+    rows: impl Iterator<Item = (Point, Option<f64>)>,
+) -> Result<(), String> {
+    let f = std::fs::File::create(path).map_err(|e| format!("{path}: {e}"))?;
+    let mut w = std::io::BufWriter::new(f);
+    for (p, weight) in rows {
+        let coords: Vec<String> = p.coords().iter().map(u32::to_string).collect();
+        match weight {
+            None => writeln!(w, "{}", coords.join(",")),
+            Some(wt) => writeln!(w, "{},{wt}", coords.join(",")),
+        }
+        .map_err(|e| format!("{path}: {e}"))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_csv_roundtrip() {
+        let body = "# comment\n1,2,3\n4, 5 ,6\n\n7,8,9\n";
+        let pts = parse_csv(body).unwrap();
+        assert_eq!(pts.len(), 3);
+        assert_eq!(pts[1], Point::new(vec![4, 5, 6]));
+    }
+
+    #[test]
+    fn parse_csv_rejects_bad_rows() {
+        assert!(parse_csv("1,2\n3").is_err(), "dimension mismatch");
+        assert!(parse_csv("0,2").is_err(), "zero coordinate");
+        assert!(parse_csv("a,b").is_err(), "non-numeric");
+    }
+
+    #[test]
+    fn opts_parsing() {
+        let args: Vec<String> =
+            ["--k", "3", "--r", "2"].iter().map(|s| s.to_string()).collect();
+        let o = Opts::parse(&args).unwrap();
+        assert_eq!(o.num::<usize>("k").unwrap(), 3);
+        assert_eq!(o.num_or::<f64>("eps", 0.5).unwrap(), 0.5);
+        assert!(o.num::<usize>("missing").is_err());
+        assert!(Opts::parse(&["stray".to_string()]).is_err());
+    }
+}

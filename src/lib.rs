@@ -1,0 +1,62 @@
+//! # streaming-balanced-clustering
+//!
+//! Umbrella crate for the reproduction of **"Streaming Balanced
+//! Clustering"** (Esfandiari, Mirrokni, Zhong; SPAA 2023 brief
+//! announcement / arXiv:1910.00788): the first single-pass
+//! dynamic-streaming **strong coreset** for capacitated (balanced)
+//! k-clustering in `ℓr` — capacitated k-median (`r = 1`) and capacitated
+//! k-means (`r = 2`) — using `poly(ε⁻¹ η⁻¹ k d log Δ)` space, handling
+//! both insertions and deletions, plus a distributed protocol with
+//! `s · poly(ε⁻¹ η⁻¹ k d log Δ)` communication.
+//!
+//! This crate re-exports the workspace crates under stable module names;
+//! see each crate's documentation for details:
+//!
+//! * [`geometry`] — points, metrics, shifted grid hierarchies, datasets;
+//! * [`hashing`] — λ-wise independent hash families;
+//! * [`flow`] — min-cost flow / transportation for capacitated assignment;
+//! * [`clustering`] — cost functions, solvers, baselines;
+//! * [`core`] — the paper's coreset construction (Algorithms 1 & 2,
+//!   half-spaces, assignment transfer, §3.3 assignment oracle);
+//! * [`streaming`] — the one-pass dynamic-streaming pipeline (Alg. 4);
+//! * [`distributed`] — the coordinator-model protocol (Thm. 4.7).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use streaming_balanced_clustering::prelude::*;
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! // 1. A dataset in [Δ]^d, Δ = 2^L.
+//! let gp = GridParams::from_log_delta(8, 2);
+//! let points = sbc_geometry::dataset::gaussian_mixture(gp, 6000, 3, 0.04, 7);
+//!
+//! // 2. Build a strong coreset for capacitated 3-means (r = 2).
+//! let params = CoresetParams::practical(3, 2.0, 0.2, 0.2, gp);
+//! let mut rng = StdRng::seed_from_u64(42);
+//! let coreset = build_coreset(&points, &params, &mut rng).expect("coreset");
+//! assert!(coreset.len() < points.len());
+//!
+//! // 3. Solve capacitated k-means on the coreset and evaluate on it.
+//! let total_w: f64 = coreset.entries().iter().map(|e| e.weight).sum();
+//! let cap = total_w / 3.0 * 1.2;
+//! let sol = capacitated_lloyd(&coreset.weighted_points(), 3, 2.0, cap, 10, &mut rng);
+//! assert_eq!(sol.centers.len(), 3);
+//! ```
+
+pub use sbc_clustering as clustering;
+pub use sbc_core as core;
+pub use sbc_distributed as distributed;
+pub use sbc_flow as flow;
+pub use sbc_geometry as geometry;
+pub use sbc_hash as hashing;
+pub use sbc_streaming as streaming;
+
+/// Convenience prelude re-exporting the most common items.
+pub mod prelude {
+    pub use sbc_clustering::{capacitated_cost, capacitated_lloyd, CostReport};
+    pub use sbc_core::{build_coreset, Coreset, CoresetParams};
+    pub use sbc_distributed::DistributedCoreset;
+    pub use sbc_geometry::{GridParams, Point, WeightedPoint};
+    pub use sbc_streaming::{StreamCoresetBuilder, StreamOp};
+}

@@ -1,0 +1,119 @@
+//! Property-based tests of the capacitated cost substrate — the
+//! definitions in the paper's §2 that everything else is measured by.
+
+use proptest::prelude::*;
+use sbc_flow::brute::brute_force_capacitated;
+use sbc_flow::rounding::integral_capacitated_assignment;
+use sbc_flow::transport::{capacitated_cost_value, optimal_fractional_assignment};
+use sbc_geometry::metric::{dist_r_pow, nearest};
+use sbc_geometry::Point;
+
+fn small_points() -> impl Strategy<Value = Vec<Point>> {
+    prop::collection::vec((1u32..=32, 1u32..=32), 2..7)
+        .prop_map(|cs| cs.into_iter().map(|(a, b)| Point::new(vec![a, b])).collect())
+}
+
+fn small_centers() -> impl Strategy<Value = Vec<Point>> {
+    prop::collection::vec((1u32..=32, 1u32..=32), 1..4)
+        .prop_map(|cs| cs.into_iter().map(|(a, b)| Point::new(vec![a, b])).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The fractional transportation optimum equals the exhaustive
+    /// integral optimum on unit-weight instances with integer capacity
+    /// (transportation polytopes with integral data have integral
+    /// vertices).
+    #[test]
+    fn flow_matches_brute_force(points in small_points(), centers in small_centers(), cap_extra in 0usize..3, r_sel in 0usize..2) {
+        let r = if r_sel == 0 { 1.0 } else { 2.0 };
+        let k = centers.len();
+        let min_cap = points.len().div_ceil(k);
+        let cap = min_cap + cap_extra;
+        let brute = brute_force_capacitated(&points, &centers, cap, r);
+        let flow = capacitated_cost_value(&points, None, &centers, cap as f64, r);
+        match brute {
+            None => prop_assert!(flow.is_infinite()),
+            Some((cost, _)) => {
+                prop_assert!(flow.is_finite());
+                prop_assert!((flow - cost).abs() <= 1e-6 * cost.max(1.0),
+                    "flow {flow} vs brute {cost}");
+            }
+        }
+    }
+
+    /// cost_t is non-increasing in t, and equals the nearest-center cost
+    /// once t ≥ n (the uncapacitated limit, §2's cost_∞).
+    #[test]
+    fn cost_monotone_in_capacity(points in small_points(), centers in small_centers(), r_sel in 0usize..2) {
+        let r = if r_sel == 0 { 1.0 } else { 2.0 };
+        let n = points.len() as f64;
+        let k = centers.len() as f64;
+        let t_min = (n / k).ceil();
+        let costs: Vec<f64> = [t_min, t_min + 1.0, n, n * 2.0]
+            .iter()
+            .map(|&t| capacitated_cost_value(&points, None, &centers, t, r))
+            .collect();
+        for w in costs.windows(2) {
+            prop_assert!(w[0] >= w[1] - 1e-9, "cost increased with capacity: {costs:?}");
+        }
+        // Uncapacitated limit.
+        let unc: f64 = points
+            .iter()
+            .map(|p| {
+                centers.iter().map(|z| dist_r_pow(p, z, r)).fold(f64::INFINITY, f64::min)
+            })
+            .sum();
+        prop_assert!((costs[3] - unc).abs() <= 1e-9 + 1e-9 * unc);
+    }
+
+    /// The §3.3 rounding never loses feasibility by more than the
+    /// guaranteed (k−1)·max-weight violation, and its cost is at least
+    /// the fractional optimum (it is an integral solution).
+    #[test]
+    fn rounding_violation_bounded(points in small_points(), centers in small_centers()) {
+        let n = points.len() as f64;
+        let k = centers.len() as f64;
+        let cap = (n / k).ceil() + 1.0;
+        if let Some(frac) = optimal_fractional_assignment(&points, None, &centers, cap, 2.0) {
+            let integral = integral_capacitated_assignment(&points, None, &centers, cap, 2.0).unwrap();
+            prop_assert!(integral.max_load() <= cap + (k - 1.0) + 1e-9);
+            prop_assert!(integral.cost >= frac.cost - 1e-6);
+            // Every point assigned exactly once.
+            prop_assert_eq!(integral.loads.iter().sum::<f64>() as usize, points.len());
+        }
+    }
+
+    /// With a single center the capacitated cost is either ∞ (capacity
+    /// short) or exactly the sum of costs to that center.
+    #[test]
+    fn single_center_degenerate(points in small_points(), cx in 1u32..=32, cy in 1u32..=32) {
+        let center = vec![Point::new(vec![cx, cy])];
+        let n = points.len() as f64;
+        let direct: f64 = points.iter().map(|p| dist_r_pow(p, &center[0], 2.0)).sum();
+        let ok = capacitated_cost_value(&points, None, &center, n, 2.0);
+        prop_assert!((ok - direct).abs() <= 1e-9 + 1e-12 * direct);
+        let short = capacitated_cost_value(&points, None, &center, n - 1.0, 2.0);
+        prop_assert!(short.is_infinite());
+    }
+
+    /// Nearest-assignment is optimal when capacities are slack: the
+    /// fractional solution routes every point to its nearest center.
+    #[test]
+    fn slack_capacity_routes_nearest(points in small_points(), centers in small_centers()) {
+        let frac = optimal_fractional_assignment(&points, None, &centers, points.len() as f64 + 1.0, 2.0).unwrap();
+        for (i, p) in points.iter().enumerate() {
+            let (j, _) = nearest(p, &centers);
+            let via_near: f64 = frac.shares[i]
+                .iter()
+                .filter(|(c, _)| {
+                    // allow ties: any center at the same distance
+                    (dist_r_pow(p, &centers[*c], 2.0) - dist_r_pow(p, &centers[j], 2.0)).abs() < 1e-9
+                })
+                .map(|(_, w)| w)
+                .sum();
+            prop_assert!((via_near - 1.0).abs() < 1e-6, "point {i} not at nearest");
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! The §1 [MMR19] extension end-to-end: for `d ≫ k/ε`, project to a
+//! low-dimensional grid with an oblivious JL map, build the coreset
+//! *there*, and verify capacitated costs still transfer.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sbc_clustering::cost::capacitated_cost;
+use sbc_clustering::kmeanspp::kmeanspp_seeds;
+use sbc_core::{build_coreset, CoresetParams};
+use sbc_geometry::dataset::gaussian_mixture;
+use sbc_geometry::{GridParams, JlProjector};
+
+#[test]
+fn coreset_in_projected_space_preserves_capacitated_cost_shape() {
+    // 24-dimensional source data, projected to 4 dimensions.
+    let src = GridParams::from_log_delta(8, 24);
+    let dst = GridParams::from_log_delta(11, 4);
+    let n = 3000;
+    let k = 3;
+    let pts = gaussian_mixture(src, n, k, 0.05, 3);
+    let mut rng = StdRng::seed_from_u64(1);
+    let proj = JlProjector::new(24, src.delta as f64, dst, &mut rng);
+    let low = proj.project_all(&pts);
+
+    // Coreset in the projected space.
+    let params = CoresetParams::practical(k, 2.0, 0.2, 0.2, dst);
+    let cs = build_coreset(&low, &params, &mut rng).expect("coreset in low dim");
+    let (cpts, cws) = cs.split();
+
+    // Evaluate a center set both on the projected full data and on the
+    // projected-space coreset: the coreset guarantee applies verbatim in
+    // the projected space.
+    let centers = kmeanspp_seeds(&low, None, k, 2.0, &mut rng);
+    let cap = n as f64 / k as f64 * 1.3;
+    let full_low = capacitated_cost(&low, None, &centers, cap, 2.0);
+    let est_low = capacitated_cost(&cpts, Some(&cws), &centers, 1.2 * cap, 2.0);
+    let ratio = est_low / full_low;
+    assert!((0.6..=1.5).contains(&ratio), "projected-space coreset ratio {ratio}");
+}
+
+#[test]
+fn projection_roughly_preserves_clustering_cost_ordering() {
+    // JL preserves which center set is better: evaluate two center sets
+    // in both spaces and check the ordering survives when the gap is
+    // meaningful.
+    let src = GridParams::from_log_delta(8, 16);
+    let dst = GridParams::from_log_delta(11, 6);
+    let n = 800;
+    let k = 3;
+    let pts = gaussian_mixture(src, n, k, 0.04, 9);
+    let mut rng = StdRng::seed_from_u64(2);
+    let proj = JlProjector::new(16, src.delta as f64, dst, &mut rng);
+    let low = proj.project_all(&pts);
+
+    let good = kmeanspp_seeds(&pts, None, k, 2.0, &mut rng);
+    let bad: Vec<_> = (0..k)
+        .map(|i| sbc_geometry::Point::new(vec![(i as u32 + 1) * 3; 16]))
+        .collect();
+    let good_low = proj.project_all(&good);
+    let bad_low = proj.project_all(&bad);
+
+    let cap = n as f64; // uncapacitated limit for a clean comparison
+    let hi_good = capacitated_cost(&pts, None, &good, cap, 2.0);
+    let hi_bad = capacitated_cost(&pts, None, &bad, cap, 2.0);
+    let lo_good = capacitated_cost(&low, None, &good_low, cap, 2.0);
+    let lo_bad = capacitated_cost(&low, None, &bad_low, cap, 2.0);
+    assert!(hi_good < hi_bad, "sanity: seeds beat corner centers upstairs");
+    assert!(lo_good < lo_bad, "ordering must survive projection");
+}

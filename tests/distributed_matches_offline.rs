@@ -1,0 +1,86 @@
+//! Distributed ↔ streaming ↔ offline agreement (Theorem 4.7): the
+//! coordinator protocol must produce coresets of the same quality as the
+//! centralized constructions, with communication independent of the
+//! shard contents' size.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sbc_clustering::cost::capacitated_cost;
+use sbc_clustering::kmeanspp::kmeanspp_seeds;
+use sbc_core::CoresetParams;
+use sbc_distributed::DistributedCoreset;
+use sbc_geometry::dataset::{gaussian_mixture, split_round_robin};
+use sbc_geometry::GridParams;
+use sbc_streaming::StreamParams;
+
+fn params() -> CoresetParams {
+    CoresetParams::practical(3, 2.0, 0.2, 0.2, GridParams::from_log_delta(8, 2))
+}
+
+#[test]
+fn distributed_coreset_estimates_costs_well() {
+    let p = params();
+    let n = 8000;
+    let pts = gaussian_mixture(p.grid, n, 3, 0.04, 61);
+    let shards = split_round_robin(&pts, 5);
+    let (cs, stats) =
+        DistributedCoreset::run(&shards, &p, &StreamParams::default(), 23).expect("protocol");
+    assert_eq!(stats.machines, 5);
+
+    let (cpts, cws) = cs.split();
+    let mut rng = StdRng::seed_from_u64(9);
+    let mut worst: f64 = 1.0;
+    for trial in 0..3 {
+        let centers = kmeanspp_seeds(&pts, None, 3, 2.0, &mut rng);
+        let t = n as f64 / 3.0 * (1.2 + 0.3 * trial as f64);
+        let full = capacitated_cost(&pts, None, &centers, t, 2.0);
+        let est = capacitated_cost(&cpts, Some(&cws), &centers, 1.2 * t, 2.0);
+        if full.is_finite() && est.is_finite() && full > 0.0 {
+            worst = worst.max((est / full).max(full / est));
+        }
+    }
+    assert!(worst <= 1.6, "distributed coreset quality {worst}");
+}
+
+#[test]
+fn sharding_choice_does_not_change_instance_decisions() {
+    // The same data split 2 ways vs 6 ways: merged summaries should lead
+    // the coordinator to the same accepted o (the protocol's merge is
+    // exact for cell counts — only which machine held a point changes).
+    let p = params();
+    let pts = gaussian_mixture(p.grid, 5000, 3, 0.04, 67);
+    let (a, _) = DistributedCoreset::run(
+        &split_round_robin(&pts, 2),
+        &p,
+        &StreamParams::default(),
+        29,
+    )
+    .expect("2 shards");
+    let (b, _) = DistributedCoreset::run(
+        &split_round_robin(&pts, 6),
+        &p,
+        &StreamParams::default(),
+        29,
+    )
+    .expect("6 shards");
+    assert_eq!(a.o, b.o, "accepted o must not depend on the sharding");
+    assert_eq!(a.len(), b.len(), "same hash seed ⇒ same samples survive");
+}
+
+#[test]
+fn broadcast_cost_is_tiny_and_upload_scales_with_s() {
+    let p = params();
+    let pts = gaussian_mixture(p.grid, 6000, 3, 0.04, 71);
+    let mut uploads = Vec::new();
+    for s in [2usize, 4, 8] {
+        let shards = split_round_robin(&pts, s);
+        let (_, stats) =
+            DistributedCoreset::run(&shards, &p, &StreamParams::default(), 31).expect("run");
+        // Broadcast: shift (d·8 bytes) + seed per machine.
+        assert!(stats.broadcast_bytes < (64 * s) as u64);
+        uploads.push(stats.upload_bytes);
+    }
+    // Upload grows with s but sublinearly in these regimes (per-machine
+    // summaries shrink as shards shrink).
+    assert!(uploads[2] > uploads[0] / 2, "more machines, more messages");
+}

@@ -1,0 +1,85 @@
+//! End-to-end integration: dataset → offline coreset → capacitated
+//! solver on the coreset → evaluation on the full data (Fact 2.3's
+//! composition), plus the §3.3 assignment oracle.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sbc_clustering::capacitated::capacitated_lloyd_raw;
+use sbc_clustering::cost::capacitated_cost;
+use sbc_core::assign::build_assignment_oracle;
+use sbc_core::{build_coreset, CoresetParams};
+use sbc_geometry::dataset::{gaussian_mixture, imbalanced_mixture};
+use sbc_geometry::GridParams;
+
+#[test]
+fn coreset_solution_transfers_to_full_data() {
+    let gp = GridParams::from_log_delta(8, 2);
+    let k = 3;
+    let n = 6000;
+    let params = CoresetParams::practical(k, 2.0, 0.2, 0.2, gp);
+    let points = gaussian_mixture(gp, n, k, 0.04, 31);
+    let mut rng = StdRng::seed_from_u64(1);
+
+    let coreset = build_coreset(&points, &params, &mut rng).expect("coreset");
+    let cap = n as f64 / k as f64 * 1.25;
+    let (cpts, cws) = coreset.split();
+    let sol = capacitated_lloyd_raw(&cpts, Some(&cws), k, 2.0, cap, 10, &mut rng);
+
+    // Fact 2.3: an (α, β)-approx on the coreset is a
+    // ((1+O(ε))α, (1+O(η))β)-approx on Q. We can't know α exactly, but
+    // the coreset↔full cost ratio at these centers must be tight.
+    let full = capacitated_cost(&points, None, &sol.centers, cap * (1.0 + params.eta), 2.0);
+    assert!(full.is_finite());
+    let ratio = full / sol.cost;
+    assert!(
+        (0.6..=1.5).contains(&ratio),
+        "coreset cost {} vs full cost {full} (ratio {ratio})",
+        sol.cost
+    );
+}
+
+#[test]
+fn oracle_extends_coreset_solution_with_bounded_violation() {
+    let gp = GridParams::from_log_delta(8, 2);
+    let k = 3;
+    let n = 5000;
+    let params = CoresetParams::practical(k, 2.0, 0.2, 0.2, gp);
+    let points = imbalanced_mixture(gp, n, &[0.7, 0.2, 0.1], 0.03, 7);
+    let mut rng = StdRng::seed_from_u64(2);
+
+    let coreset = build_coreset(&points, &params, &mut rng).expect("coreset");
+    let cap = n as f64 / k as f64 * 1.2;
+    let (cpts, cws) = coreset.split();
+    let sol = capacitated_lloyd_raw(&cpts, Some(&cws), k, 2.0, cap, 10, &mut rng);
+
+    let oracle = build_assignment_oracle(&coreset, &params, &sol.centers, cap).expect("oracle");
+    let oa = oracle.assign_all(&points);
+    assert_eq!(oa.center_of.len(), n);
+    assert!(
+        oa.max_load() <= 1.4 * cap,
+        "oracle load {} vs cap {cap}",
+        oa.max_load()
+    );
+    // The oracle's assignment cost must be close to the flow optimum at
+    // its own realized max load.
+    let opt = capacitated_cost(&points, None, &sol.centers, oa.max_load().max(cap), 2.0);
+    assert!(oa.cost <= 1.6 * opt, "oracle {} vs optimum {opt}", oa.cost);
+}
+
+#[test]
+fn kmedian_pipeline_works_too() {
+    let gp = GridParams::from_log_delta(7, 2);
+    let k = 2;
+    let n = 3000;
+    let params = CoresetParams::practical(k, 1.0, 0.2, 0.2, gp);
+    let points = gaussian_mixture(gp, n, k, 0.05, 13);
+    let mut rng = StdRng::seed_from_u64(3);
+
+    let coreset = build_coreset(&points, &params, &mut rng).expect("coreset");
+    let cap = n as f64 / k as f64 * 1.3;
+    let (cpts, cws) = coreset.split();
+    let sol = capacitated_lloyd_raw(&cpts, Some(&cws), k, 1.0, cap, 8, &mut rng);
+    let full = capacitated_cost(&points, None, &sol.centers, cap * 1.2, 1.0);
+    let ratio = full / sol.cost;
+    assert!((0.6..=1.5).contains(&ratio), "r=1 ratio {ratio}");
+}

@@ -1,0 +1,109 @@
+//! Experiment S1 as a property test: the paper's structural insight
+//! (Lemma 3.8, Figures 1 & 3) — **optimal capacitated assignments are
+//! separable by curved `ℓr` half-spaces** after tie-canonicalization.
+//!
+//! For `r = 2` the separating surfaces are genuine hyperplanes (the
+//! Pythagorean argument of Fig. 1); for `r = 1` they are hyperbola
+//! branches (Fig. 3). Either way the assignment is determined by
+//! `(k choose 2)` thresholds — the counting step that makes the coreset
+//! union bound work.
+
+use proptest::prelude::*;
+use sbc_core::assign::reoptimize_fixed_sizes;
+use sbc_core::halfspace::{canonicalize_assignment, AssignmentHalfspaces};
+use sbc_flow::rounding::integral_capacitated_assignment;
+use sbc_geometry::metric::dist_r_pow;
+use sbc_geometry::Point;
+
+fn instance() -> impl Strategy<Value = (Vec<Point>, Vec<Point>)> {
+    (
+        prop::collection::vec((1u32..=64, 1u32..=64), 4..12),
+        prop::collection::vec((1u32..=64, 1u32..=64), 2..4),
+    )
+        .prop_map(|(ps, zs)| {
+            // Footnote 4: input points must have distinct coordinates.
+            let mut points: Vec<Point> =
+                ps.into_iter().map(|(a, b)| Point::new(vec![a, b])).collect();
+            points.sort();
+            points.dedup();
+            (
+                points,
+                zs.into_iter().map(|(a, b)| Point::new(vec![a, b])).collect(),
+            )
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn optimal_capacitated_assignments_are_halfspace_separable(
+        (points, centers) in instance(),
+        cap_extra in 0usize..3,
+        r_sel in 0usize..2,
+    ) {
+        let r = if r_sel == 0 { 1.0 } else { 2.0 };
+        let k = centers.len();
+        let cap = points.len().div_ceil(k) + cap_extra;
+        let Some(ia) = integral_capacitated_assignment(&points, None, &centers, cap as f64, r) else {
+            return Ok(());
+        };
+        let before_cost: f64 = points
+            .iter()
+            .zip(&ia.center_of)
+            .map(|(p, &c)| dist_r_pow(p, &centers[c], r))
+            .sum();
+
+        let mut assign = ia.center_of.clone();
+        reoptimize_fixed_sizes(&points, &mut assign, &centers, r);
+        canonicalize_assignment(&points, &mut assign, &centers, r);
+
+        // Re-optimization + canonicalization must not increase cost nor
+        // change sizes.
+        let after_cost: f64 = points
+            .iter()
+            .zip(&assign)
+            .map(|(p, &c)| dist_r_pow(p, &centers[c], r))
+            .sum();
+        prop_assert!(after_cost <= before_cost + 1e-6);
+        for j in 0..k {
+            let before = ia.center_of.iter().filter(|&&c| c == j).count();
+            let after = assign.iter().filter(|&&c| c == j).count();
+            prop_assert_eq!(before, after, "cluster sizes changed");
+        }
+
+        // The headline claim: representable by curved half-spaces.
+        let hs = AssignmentHalfspaces::from_assignment(&points, &assign, &centers, r);
+        prop_assert!(
+            hs.is_valid_for(&points, &assign),
+            "optimal capacitated assignment not separable (r = {r}, cap = {cap})"
+        );
+    }
+
+    /// Region membership is a partition: every point is in at most one
+    /// region (uniqueness is by construction of the complements; this
+    /// checks the implementation's consistency on arbitrary probes).
+    #[test]
+    fn regions_are_mutually_exclusive(
+        (points, centers) in instance(),
+        probe_x in 1u32..=64,
+        probe_y in 1u32..=64,
+    ) {
+        let r = 2.0;
+        let assign: Vec<usize> = points
+            .iter()
+            .map(|p| sbc_geometry::metric::nearest(p, &centers).0)
+            .collect();
+        let hs = AssignmentHalfspaces::from_assignment(&points, &assign, &centers, r);
+        let probe = Point::new(vec![probe_x, probe_y]);
+        // region_of returns a unique Option — verify it agrees with raw
+        // half-space membership.
+        if let Some(i) = hs.region_of(&probe) {
+            for j in 0..centers.len() {
+                if j != i {
+                    prop_assert!(hs.in_halfspace(i, j, &probe));
+                }
+            }
+        }
+    }
+}

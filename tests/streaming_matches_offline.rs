@@ -1,0 +1,122 @@
+//! Streaming ↔ offline agreement (Theorem 4.5 vs Theorem 3.19): the
+//! one-pass dynamic algorithm must deliver coresets of the same quality
+//! as the offline construction, on insertion-only *and* on
+//! insert+delete streams.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sbc_clustering::cost::capacitated_cost;
+use sbc_clustering::kmeanspp::kmeanspp_seeds;
+use sbc_core::{build_coreset, Coreset, CoresetParams};
+use sbc_geometry::dataset::{gaussian_mixture, two_phase_dynamic};
+use sbc_geometry::{GridParams, Point};
+use sbc_streaming::model::{insert_delete_stream, insertion_stream, interleaved_stream};
+use sbc_streaming::{StreamCoresetBuilder, StreamParams};
+
+fn params() -> CoresetParams {
+    CoresetParams::practical(3, 2.0, 0.2, 0.2, GridParams::from_log_delta(8, 2))
+}
+
+/// Worst cost-estimation ratio of a coreset over a few fixed (Z, t).
+fn quality(points: &[Point], coreset: &Coreset, k: usize, seed: u64) -> f64 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (cpts, cws) = coreset.split();
+    let n = points.len() as f64;
+    let mut worst: f64 = 1.0;
+    for trial in 0..3 {
+        let centers = kmeanspp_seeds(points, None, k, 2.0, &mut rng);
+        let t = n / k as f64 * (1.2 + 0.4 * trial as f64);
+        let full = capacitated_cost(points, None, &centers, t, 2.0);
+        let est = capacitated_cost(&cpts, Some(&cws), &centers, 1.2 * t, 2.0);
+        if full.is_finite() && full > 0.0 && est.is_finite() {
+            let r = (est / full).max(full / est);
+            worst = worst.max(r);
+        }
+    }
+    worst
+}
+
+#[test]
+fn insertion_stream_quality_matches_offline() {
+    let p = params();
+    let pts = gaussian_mixture(p.grid, 8000, 3, 0.04, 41);
+    let mut rng = StdRng::seed_from_u64(5);
+
+    let offline = build_coreset(&pts, &p, &mut rng).expect("offline");
+    let mut builder = StreamCoresetBuilder::new(p.clone(), StreamParams::default(), &mut rng);
+    builder.process_all(&insertion_stream(&pts));
+    let streamed = builder.finish().expect("stream");
+
+    let q_off = quality(&pts, &offline, 3, 100);
+    let q_str = quality(&pts, &streamed, 3, 100);
+    assert!(q_off <= 1.5, "offline quality {q_off}");
+    assert!(q_str <= 1.6, "streaming quality {q_str}");
+}
+
+#[test]
+fn dynamic_stream_equals_kept_only_stream_in_quality() {
+    // Same kept set, once as a plain insertion stream and once with 50%
+    // churn inserted-then-deleted: both coresets must estimate the kept
+    // set's capacitated costs equally well.
+    let p = params();
+    let ds = two_phase_dynamic(p.grid, 6000, 3000, 3, 43);
+    let mut rng = StdRng::seed_from_u64(6);
+
+    let mut clean = StreamCoresetBuilder::new(p.clone(), StreamParams::default(), &mut rng);
+    clean.process_all(&insertion_stream(&ds.kept));
+    let cs_clean = clean.finish().expect("clean");
+
+    let mut churned = StreamCoresetBuilder::new(p.clone(), StreamParams::default(), &mut rng);
+    churned.process_all(&insert_delete_stream(&ds.kept, &ds.churn, &mut rng));
+    let cs_churned = churned.finish().expect("churned");
+
+    let q_clean = quality(&ds.kept, &cs_clean, 3, 200);
+    let q_churned = quality(&ds.kept, &cs_churned, 3, 200);
+    assert!(q_clean <= 1.6, "clean quality {q_clean}");
+    assert!(q_churned <= 1.6, "churned quality {q_churned}");
+}
+
+#[test]
+fn interleaved_deletions_also_work() {
+    let p = params();
+    let ds = two_phase_dynamic(p.grid, 5000, 2500, 3, 47);
+    let mut rng = StdRng::seed_from_u64(7);
+    let ops = interleaved_stream(&ds.kept, &ds.churn, &mut rng);
+    let mut builder = StreamCoresetBuilder::new(p.clone(), StreamParams::default(), &mut rng);
+    builder.process_all(&ops);
+    assert_eq!(builder.net_count() as usize, ds.kept.len());
+    let cs = builder.finish().expect("interleaved");
+    let q = quality(&ds.kept, &cs, 3, 300);
+    assert!(q <= 1.6, "interleaved quality {q}");
+    // No deleted point may survive.
+    let kept: std::collections::HashSet<&Point> = ds.kept.iter().collect();
+    assert!(cs.entries().iter().all(|e| kept.contains(&e.point)));
+}
+
+#[test]
+fn streaming_space_does_not_scale_with_n() {
+    // Hash state and the per-instance summary budgets are fixed by
+    // (k, d, L); only store occupancy varies, and for clusterable data it
+    // is dominated by the poly-sized sampled substreams, not n.
+    let p = params();
+    let mut rng = StdRng::seed_from_u64(8);
+    let small = gaussian_mixture(p.grid, 2000, 3, 0.04, 51);
+    let large = gaussian_mixture(p.grid, 16000, 3, 0.04, 51);
+
+    let mut bs = StreamCoresetBuilder::new(p.clone(), StreamParams::default(), &mut rng);
+    bs.process_all(&insertion_stream(&small));
+    let rep_small = bs.space_report();
+
+    let mut bl = StreamCoresetBuilder::new(p.clone(), StreamParams::default(), &mut rng);
+    bl.process_all(&insertion_stream(&large));
+    let rep_large = bl.space_report();
+
+    assert_eq!(rep_small.hash_bytes, rep_large.hash_bytes, "hash state is data-independent");
+    let growth = rep_large.store_bytes as f64 / rep_small.store_bytes.max(1) as f64;
+    assert!(
+        growth < 6.0,
+        "8× data grew stores {growth:.1}× ({} → {} bytes)",
+        rep_small.store_bytes,
+        rep_large.store_bytes
+    );
+}
