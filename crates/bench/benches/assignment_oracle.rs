@@ -25,7 +25,11 @@ fn bench_oracle(c: &mut Criterion) {
     let mut group = c.benchmark_group("assignment_oracle");
     group.sample_size(10);
     group.bench_function("build", |b| {
-        b.iter(|| build_assignment_oracle(&cs, &params, &sol.centers, cap).unwrap().coreset_cost);
+        b.iter(|| {
+            build_assignment_oracle(&cs, &params, &sol.centers, cap)
+                .unwrap()
+                .coreset_cost
+        });
     });
     let oracle = build_assignment_oracle(&cs, &params, &sol.centers, cap).unwrap();
     group.throughput(Throughput::Elements(n as u64));

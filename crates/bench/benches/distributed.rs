@@ -17,7 +17,12 @@ fn bench_protocol(c: &mut Criterion) {
     for s in [2usize, 8] {
         let shards = split_round_robin(&pts, s);
         group.bench_with_input(BenchmarkId::new("serial", s), &shards, |b, sh| {
-            b.iter(|| DistributedCoreset::run(sh, &params, &StreamParams::default(), 13).unwrap().0.len());
+            b.iter(|| {
+                DistributedCoreset::run(sh, &params, &StreamParams::default(), 13)
+                    .unwrap()
+                    .0
+                    .len()
+            });
         });
         group.bench_with_input(BenchmarkId::new("threaded", s), &shards, |b, sh| {
             b.iter(|| {

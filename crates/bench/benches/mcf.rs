@@ -18,7 +18,9 @@ fn bench_transport(c: &mut Criterion) {
         group.throughput(Throughput::Elements(n as u64));
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| {
-                optimal_fractional_assignment(&pts, None, &centers, cap, 2.0).unwrap().cost
+                optimal_fractional_assignment(&pts, None, &centers, cap, 2.0)
+                    .unwrap()
+                    .cost
             });
         });
     }

@@ -41,7 +41,11 @@ struct Scale {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let wanted: Vec<&str> = args.iter().filter(|a| !a.starts_with("--")).map(String::as_str).collect();
+    let wanted: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
     let run = |id: &str| wanted.is_empty() || wanted.contains(&id);
 
     let scale = if quick {
@@ -66,7 +70,10 @@ fn main() {
     };
 
     println!("# Streaming Balanced Clustering — experiment harness");
-    println!("(profile: {}, see EXPERIMENTS.md for the index)\n", if quick { "quick" } else { "full" });
+    println!(
+        "(profile: {}, see EXPERIMENTS.md for the index)\n",
+        if quick { "quick" } else { "full" }
+    );
 
     if run("s1") {
         s1_separability();
@@ -153,7 +160,14 @@ fn e1_coreset_quality(scale: &Scale) {
     println!("## E1 — coreset preserves capacitated cost (Thm 3.19 item 1)\n");
     let n = scale.n_quality;
     let mut table = Table::new(&[
-        "workload", "r", "n", "|Q'|", "compress", "upper", "lower", "bound 1+eps",
+        "workload",
+        "r",
+        "n",
+        "|Q'|",
+        "compress",
+        "upper",
+        "lower",
+        "bound 1+eps",
     ]);
     for w in Workload::all() {
         for &r in &[1.0f64, 2.0] {
@@ -289,7 +303,13 @@ fn e3_build_time(scale: &Scale) {
 fn e4_streaming_space(scale: &Scale) {
     println!("## E4 — streaming space: poly(k d log Δ) summaries, deletions supported (Thm 4.5)\n");
     let mut table = Table::new(&[
-        "n", "deleted", "ops", "hash state", "store state", "dead stores", "|Q'|",
+        "n",
+        "deleted",
+        "ops",
+        "hash state",
+        "store state",
+        "dead stores",
+        "|Q'|",
     ]);
     for &n in &scale.n_stream {
         for &churn_frac in &[0.0f64, 0.5] {
@@ -313,7 +333,8 @@ fn e4_streaming_space(scale: &Scale) {
                 fmt_bytes(rep.hash_bytes as u64),
                 fmt_bytes(rep.store_bytes as u64),
                 rep.dead_stores.to_string(),
-                cs.map(|c| c.len().to_string()).unwrap_or_else(|e| format!("FAIL {e}")),
+                cs.map(|c| c.len().to_string())
+                    .unwrap_or_else(|e| format!("FAIL {e}")),
             ]);
         }
     }
@@ -323,7 +344,11 @@ fn e4_streaming_space(scale: &Scale) {
     println!("fixed at allocation, independent of the stream length):\n");
     let mut table = Table::new(&["alpha", "beta", "sketch bytes"]);
     for (alpha, beta) in [(64usize, 4usize), (256, 8), (1024, 16)] {
-        let cfg = StoringConfig { alpha, beta, rows: 4 };
+        let cfg = StoringConfig {
+            alpha,
+            beta,
+            rows: 4,
+        };
         table.row(vec![
             alpha.to_string(),
             beta.to_string(),
@@ -375,7 +400,14 @@ fn e6_distributed(scale: &Scale) {
     let params = default_params(3, 2.0);
     let n = scale.n_quality * 2;
     let pts = Workload::Gaussian.generate(params.grid, n, 3, 15);
-    let mut table = Table::new(&["s", "broadcast", "upload", "upload/machine", "|Q'|", "worst ratio"]);
+    let mut table = Table::new(&[
+        "s",
+        "broadcast",
+        "upload",
+        "upload/machine",
+        "|Q'|",
+        "worst ratio",
+    ]);
     for &s in &scale.machines {
         let shards = split_round_robin(&pts, s);
         let (cs, stats) =
@@ -402,7 +434,11 @@ fn e7_end_to_end(scale: &Scale) {
     let n = scale.n_quality.min(8000);
     let k = 3;
     let mut table = Table::new(&[
-        "workload", "r", "solve on", "time", "centers' cost on full Q",
+        "workload",
+        "r",
+        "solve on",
+        "time",
+        "centers' cost on full Q",
     ]);
     for w in [Workload::Gaussian, Workload::Imbalanced] {
         for &r in &[1.0f64, 2.0] {
@@ -454,7 +490,14 @@ fn e8_three_pass_baseline(scale: &Scale) {
     let pts = Workload::Imbalanced.generate(params.grid, n, k, 21);
     let mut rng = StdRng::seed_from_u64(12);
 
-    let mut table = Table::new(&["method", "passes", "deletions", "summary size", "upper", "lower"]);
+    let mut table = Table::new(&[
+        "method",
+        "passes",
+        "deletions",
+        "summary size",
+        "upper",
+        "lower",
+    ]);
 
     // Ours, one pass.
     let mut b = StreamCoresetBuilder::new(params.clone(), StreamParams::default(), &mut rng);
@@ -474,10 +517,18 @@ fn e8_three_pass_baseline(scale: &Scale) {
     let m1 = (ours.len() / (2 * k).max(1)).max(8);
     let bl = ThreePassBaseline::new(k, 2.0, 4 * k * k, m1, StdRng::seed_from_u64(13));
     let summary = bl.run(&pts);
-    let (bp, bw): (Vec<_>, Vec<_>) =
-        summary.iter().map(|w| (w.point.clone(), w.weight)).unzip();
+    let (bp, bw): (Vec<_>, Vec<_>) = summary.iter().map(|w| (w.point.clone(), w.weight)).unzip();
     let qb = weighted_summary_quality(
-        &pts, &bp, &bw, k, 2.0, params.eta, 4, &[1.2, 2.0], params.grid.delta, 333,
+        &pts,
+        &bp,
+        &bw,
+        k,
+        2.0,
+        params.eta,
+        4,
+        &[1.2, 2.0],
+        params.grid.delta,
+        333,
     );
     table.row(vec![
         "3-pass baseline".into(),
@@ -526,7 +577,18 @@ fn e9_ablations(scale: &Scale) {
     let m = cs.len();
     let uni = uniform_coreset(&pts, m.min(n), &mut rng);
     let (up, uw): (Vec<_>, Vec<_>) = uni.iter().map(|w| (w.point.clone(), w.weight)).unzip();
-    let qu = weighted_summary_quality(&pts, &up, &uw, k, 2.0, params.eta, 4, &[1.2, 1.6], params.grid.delta, 444);
+    let qu = weighted_summary_quality(
+        &pts,
+        &up,
+        &uw,
+        k,
+        2.0,
+        params.eta,
+        4,
+        &[1.2, 1.6],
+        params.grid.delta,
+        444,
+    );
     table.row(vec![
         "uniform sampling".into(),
         up.len().to_string(),
@@ -537,7 +599,18 @@ fn e9_ablations(scale: &Scale) {
 
     let sens = sensitivity_coreset(&pts, k, 2.0, m.min(n), &mut rng);
     let (sp, sw): (Vec<_>, Vec<_>) = sens.iter().map(|w| (w.point.clone(), w.weight)).unzip();
-    let qs = weighted_summary_quality(&pts, &sp, &sw, k, 2.0, params.eta, 4, &[1.2, 1.6], params.grid.delta, 444);
+    let qs = weighted_summary_quality(
+        &pts,
+        &sp,
+        &sw,
+        k,
+        2.0,
+        params.eta,
+        4,
+        &[1.2, 1.6],
+        params.grid.delta,
+        444,
+    );
     table.row(vec![
         "sensitivity (uncap.)".into(),
         sp.len().to_string(),
@@ -553,7 +626,11 @@ fn e9_ablations(scale: &Scale) {
     let mut table = Table::new(&["S per part", "|Q'|", "compress", "worst ratio"]);
     for &s_pp in &[12.0f64, 24.0, 48.0, 96.0] {
         let mut p2 = params.clone();
-        if let ConstantsProfile::Practical { ref mut samples_per_part, .. } = p2.profile {
+        if let ConstantsProfile::Practical {
+            ref mut samples_per_part,
+            ..
+        } = p2.profile
+        {
             *samples_per_part = s_pp;
         }
         let mut rng = StdRng::seed_from_u64(17);
@@ -596,7 +673,10 @@ fn e10_assignment_oracle(scale: &Scale) {
     let n = scale.n_quality.min(8000);
     let k = 3;
     let mut table = Table::new(&[
-        "workload", "oracle cost / flow opt", "max load / t", "assign time/pt",
+        "workload",
+        "oracle cost / flow opt",
+        "max load / t",
+        "assign time/pt",
     ]);
     for w in [Workload::Gaussian, Workload::Imbalanced] {
         let params = default_params(k, 2.0);

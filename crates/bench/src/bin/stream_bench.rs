@@ -1,0 +1,162 @@
+//! Headline streaming-ingest throughput numbers → `BENCH_streaming.json`.
+//!
+//! Measures ops/sec of the three ingest paths (per-op reference scan,
+//! batched ladder-pruned, batched + instance-sharded parallel) on the
+//! canonical Gaussian n=4000 workload — insert-only and deletion-heavy
+//! mixed-op — and writes a machine-readable JSON report plus a human
+//! summary to stdout.
+//!
+//! Usage: `cargo run --release --bin stream_bench [-- <out.json>]`
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sbc_bench::Workload;
+use sbc_core::CoresetParams;
+use sbc_geometry::GridParams;
+use sbc_streaming::model::{churn_stream, insertion_stream, StreamOp};
+use sbc_streaming::{StreamCoresetBuilder, StreamParams};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Reference throughput of the seed ingest path (per-op linear scan over
+/// the ladder with the SipHash-backed `Storing` maps, i.e. the code
+/// before the batched/ladder-pruned/store-major ingest landed), measured
+/// on this machine with the exact workloads below, best of 3. Kept so
+/// the report records progress against the original implementation even
+/// though the live `per_op` row also benefits from the shared `Storing`
+/// speedups.
+fn seed_baseline(label: &str) -> Option<f64> {
+    match label {
+        "insert_only" => Some(9_926.0),
+        "mixed_deletion_heavy" => Some(8_788.0),
+        _ => None,
+    }
+}
+
+struct PathResult {
+    name: &'static str,
+    ops_per_sec: f64,
+    best_secs: f64,
+}
+
+/// Best-of-`reps` wall-clock of one full ingest; returns ops/sec.
+fn measure(
+    name: &'static str,
+    params: &CoresetParams,
+    sp: StreamParams,
+    ops: &[StreamOp],
+    per_op: bool,
+    reps: usize,
+) -> PathResult {
+    let mut best = f64::INFINITY;
+    let mut sink = 0i64;
+    for _ in 0..reps {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut builder = StreamCoresetBuilder::new(params.clone(), sp, &mut rng);
+        let start = Instant::now();
+        if per_op {
+            for op in ops {
+                builder.process(op);
+            }
+        } else {
+            builder.process_all(ops);
+        }
+        best = best.min(start.elapsed().as_secs_f64());
+        sink = sink.wrapping_add(builder.net_count());
+    }
+    std::hint::black_box(sink);
+    PathResult {
+        name,
+        ops_per_sec: ops.len() as f64 / best,
+        best_secs: best,
+    }
+}
+
+fn bench_workload(
+    label: &str,
+    params: &CoresetParams,
+    ops: &[StreamOp],
+    reps: usize,
+    json: &mut String,
+) {
+    let seq = StreamParams::default();
+    let par = StreamParams {
+        parallel: true,
+        ..seq
+    };
+    let results = [
+        measure("per_op", params, seq, ops, true, reps),
+        measure("batched", params, seq, ops, false, reps),
+        measure("batched_parallel", params, par, ops, false, reps),
+    ];
+    let base = results[0].ops_per_sec;
+    let seed = seed_baseline(label);
+
+    println!("\n{label} ({} ops, best of {reps}):", ops.len());
+    for r in &results {
+        let vs_seed = seed
+            .map(|s| format!("  {:>5.2}x vs seed", r.ops_per_sec / s))
+            .unwrap_or_default();
+        println!(
+            "  {:<18} {:>12.0} ops/s  ({:.3} s)  {:>5.2}x vs per_op{vs_seed}",
+            r.name,
+            r.ops_per_sec,
+            r.best_secs,
+            r.ops_per_sec / base
+        );
+    }
+
+    let _ = writeln!(json, "    \"{label}\": {{\n      \"ops\": {},", ops.len());
+    if let Some(s) = seed {
+        let _ = writeln!(json, "      \"seed_per_op_ops_per_sec\": {s:.1},");
+    }
+    for (i, r) in results.iter().enumerate() {
+        let vs_seed = seed
+            .map(|s| format!(", \"speedup_vs_seed\": {:.3}", r.ops_per_sec / s))
+            .unwrap_or_default();
+        let _ = writeln!(
+            json,
+            "      \"{}\": {{ \"ops_per_sec\": {:.1}, \"seconds\": {:.6}, \"speedup_vs_per_op\": {:.3}{vs_seed} }}{}",
+            r.name,
+            r.ops_per_sec,
+            r.best_secs,
+            r.ops_per_sec / base,
+            if i + 1 < results.len() { "," } else { "" }
+        );
+    }
+    let _ = write!(json, "    }}");
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_streaming.json".into());
+    let reps: usize = std::env::var("STREAM_BENCH_REPS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(5)
+        .max(1); // 0 reps would emit inf/NaN — not representable in JSON
+
+    let gp = GridParams::from_log_delta(8, 2);
+    let params = CoresetParams::practical(3, 2.0, 0.2, 0.2, gp);
+    let n = 4000usize;
+    let pts = Workload::Gaussian.generate(gp, n, 3, 9);
+    let insert_ops = insertion_stream(&pts);
+    let mut rng = StdRng::seed_from_u64(17);
+    let mixed_ops = churn_stream(&pts, 0.3, &mut rng);
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(
+        json,
+        "  \"workload\": \"gaussian\",\n  \"n\": {n},\n  \"grid\": \"log_delta=8, d=2\",\n  \"threads_available\": {},\n  \"groups\": {{",
+        rayon::current_num_threads()
+    );
+    bench_workload("insert_only", &params, &insert_ops, reps, &mut json);
+    json.push_str(",\n");
+    bench_workload("mixed_deletion_heavy", &params, &mixed_ops, reps, &mut json);
+    json.push_str("\n  }\n}\n");
+
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("failed to write {out_path}: {e}"));
+    println!("\nwrote {out_path}");
+}

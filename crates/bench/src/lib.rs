@@ -28,7 +28,12 @@ pub enum Workload {
 impl Workload {
     /// All workloads.
     pub fn all() -> [Workload; 4] {
-        [Workload::Gaussian, Workload::Imbalanced, Workload::Uniform, Workload::Line]
+        [
+            Workload::Gaussian,
+            Workload::Imbalanced,
+            Workload::Uniform,
+            Workload::Line,
+        ]
     }
 
     /// Short display name.
@@ -45,7 +50,9 @@ impl Workload {
     pub fn generate(&self, gp: GridParams, n: usize, k: usize, seed: u64) -> Vec<Point> {
         match self {
             Workload::Gaussian => dataset::gaussian_mixture(gp, n, k, 0.04, seed),
-            Workload::Imbalanced => dataset::imbalanced_mixture(gp, n, &[0.7, 0.2, 0.1], 0.03, seed),
+            Workload::Imbalanced => {
+                dataset::imbalanced_mixture(gp, n, &[0.7, 0.2, 0.1], 0.03, seed)
+            }
             Workload::Uniform => dataset::uniform(gp, n, seed),
             Workload::Line => dataset::line_with_outliers(gp, n, n / 50 + 1, seed),
         }
@@ -84,13 +91,23 @@ pub fn quality(
 ) -> QualitySummary {
     let mut rng = StdRng::seed_from_u64(seed);
     let q = sbc_core::verify::verify_strong_coreset(
-        points, coreset, params, num_sets, cap_factors, &mut rng,
+        points,
+        coreset,
+        params,
+        num_sets,
+        cap_factors,
+        &mut rng,
     );
-    QualitySummary { upper: q.max_upper, lower: q.max_lower, trials: q.trials }
+    QualitySummary {
+        upper: q.max_upper,
+        lower: q.max_lower,
+        trials: q.trials,
+    }
 }
 
 /// Worst |estimate/truth| ratio of an arbitrary weighted summary (used
 /// for the baseline coresets in E8/E9, which are not `Coreset`s).
+#[allow(clippy::too_many_arguments)]
 pub fn weighted_summary_quality(
     points: &[Point],
     summary_points: &[Point],
@@ -106,15 +123,24 @@ pub fn weighted_summary_quality(
     let mut rng = StdRng::seed_from_u64(seed);
     let n = points.len() as f64;
     let batteries = center_battery(points, k, r, num_sets, delta, &mut rng);
-    let mut out = QualitySummary { upper: 0.0, lower: 0.0, trials: 0 };
+    let mut out = QualitySummary {
+        upper: 0.0,
+        lower: 0.0,
+        trials: 0,
+    };
     for centers in &batteries {
         for &f in cap_factors {
             let t = n / k as f64 * f;
             let cq_t = capacitated_cost(points, None, centers, t, r);
             let cq_eta = capacitated_cost(points, None, centers, (1.0 + eta) * t, r);
             let cc_t = capacitated_cost(summary_points, Some(summary_weights), centers, t, r);
-            let cc_eta =
-                capacitated_cost(summary_points, Some(summary_weights), centers, (1.0 + eta) * t, r);
+            let cc_eta = capacitated_cost(
+                summary_points,
+                Some(summary_weights),
+                centers,
+                (1.0 + eta) * t,
+                r,
+            );
             if !cq_t.is_finite() || !cc_t.is_finite() {
                 continue;
             }
@@ -139,7 +165,10 @@ pub struct Table {
 impl Table {
     /// Starts a table with the given column headers.
     pub fn new(headers: &[&str]) -> Self {
-        Self { headers: headers.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+        Self {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row (must match the header count).

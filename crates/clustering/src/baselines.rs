@@ -18,7 +18,11 @@ use sbc_geometry::{Point, WeightedPoint};
 
 /// Uniformly samples `m` points (without replacement) and weights each by
 /// `n/m` — total weight is preserved exactly.
-pub fn uniform_coreset<R: Rng + ?Sized>(points: &[Point], m: usize, rng: &mut R) -> Vec<WeightedPoint> {
+pub fn uniform_coreset<R: Rng + ?Sized>(
+    points: &[Point],
+    m: usize,
+    rng: &mut R,
+) -> Vec<WeightedPoint> {
     let n = points.len();
     assert!(m >= 1 && m <= n, "need 1 ≤ m ≤ n");
     let mut idx: Vec<usize> = (0..n).collect();
@@ -64,7 +68,11 @@ pub fn sensitivity_coreset<R: Rng + ?Sized>(
 
     let sens: Vec<f64> = (0..n)
         .map(|i| {
-            let cost_term = if pilot_cost > 0.0 { d_r[i] / pilot_cost } else { 0.0 };
+            let cost_term = if pilot_cost > 0.0 {
+                d_r[i] / pilot_cost
+            } else {
+                0.0
+            };
             cost_term + 1.0 / cluster_size[assign[i]] as f64
         })
         .collect();

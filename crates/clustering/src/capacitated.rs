@@ -73,7 +73,7 @@ pub fn capacitated_lloyd_raw<R: Rng + ?Sized>(
         iterations += 1;
         let frac = optimal_fractional_assignment(points, weights, &centers, cap, r)
             .expect("infeasible capacitated instance: cap < total_weight / k");
-        let improved = best.as_ref().map_or(true, |b| frac.cost < b.cost - 1e-12);
+        let improved = best.as_ref().is_none_or(|b| frac.cost < b.cost - 1e-12);
         if improved {
             best = Some(CapacitatedSolution {
                 centers: centers.clone(),
@@ -154,8 +154,8 @@ fn recenter_fractional(
         for (i, shares) in frac.shares.iter().enumerate() {
             for &(j, f) in shares {
                 mass[j] += f;
-                for dim in 0..d {
-                    sums[j][dim] += f * points[i].coord(dim) as f64;
+                for (dim, s) in sums[j].iter_mut().enumerate() {
+                    *s += f * points[i].coord(dim) as f64;
                 }
             }
         }
@@ -184,7 +184,10 @@ mod tests {
     use sbc_geometry::GridParams;
 
     fn wp(points: Vec<Point>) -> Vec<WeightedPoint> {
-        points.into_iter().map(|p| WeightedPoint::new(p, 1.0)).collect()
+        points
+            .into_iter()
+            .map(|p| WeightedPoint::new(p, 1.0))
+            .collect()
     }
 
     #[test]
@@ -216,7 +219,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "infeasible")]
     fn infeasible_capacity_panics() {
-        let pts = wp(vec![Point::new(vec![1]), Point::new(vec![2]), Point::new(vec![3])]);
+        let pts = wp(vec![
+            Point::new(vec![1]),
+            Point::new(vec![2]),
+            Point::new(vec![3]),
+        ]);
         let mut rng = StdRng::seed_from_u64(1);
         let _ = capacitated_lloyd(&pts, 2, 2.0, 1.0, 5, &mut rng);
     }

@@ -12,7 +12,12 @@ use sbc_geometry::metric::{dist_r_pow, nearest};
 use sbc_geometry::Point;
 
 /// Uncapacitated clustering cost `cost^{(r)}(Q, Z, w)`.
-pub fn uncapacitated_cost(points: &[Point], weights: Option<&[f64]>, centers: &[Point], r: f64) -> f64 {
+pub fn uncapacitated_cost(
+    points: &[Point],
+    weights: Option<&[f64]>,
+    centers: &[Point],
+    r: f64,
+) -> f64 {
     assert!(!centers.is_empty());
     points
         .iter()
@@ -73,7 +78,11 @@ pub fn capacitated_cost_report(
 /// The nearest-assignment size vector: how many (weighted) points fall to
 /// each center without a capacity constraint. Useful to quantify how far
 /// an instance is from balanced.
-pub fn nearest_assignment_loads(points: &[Point], weights: Option<&[f64]>, centers: &[Point]) -> Vec<f64> {
+pub fn nearest_assignment_loads(
+    points: &[Point],
+    weights: Option<&[f64]>,
+    centers: &[Point],
+) -> Vec<f64> {
     let mut loads = vec![0.0; centers.len()];
     for (i, p) in points.iter().enumerate() {
         let (j, _) = nearest(p, centers);

@@ -92,7 +92,7 @@ pub fn greedy_capacitated_assignment(
         for j in 0..k {
             if residual[j] + 1e-9 >= wi {
                 let c = costs[i][j];
-                if best.map_or(true, |(_, bc)| c < bc) {
+                if best.is_none_or(|(_, bc)| c < bc) {
                     best = Some((j, c));
                 }
             }
@@ -103,7 +103,11 @@ pub fn greedy_capacitated_assignment(
         cost += wi * c;
     }
     let loads = residual.iter().map(|rj| cap - rj).collect();
-    Some(GreedyAssignment { center_of, cost, loads })
+    Some(GreedyAssignment {
+        center_of,
+        cost,
+        loads,
+    })
 }
 
 #[cfg(test)]

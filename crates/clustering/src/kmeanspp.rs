@@ -35,7 +35,7 @@ pub fn kmeanspp_seeds<R: Rng + ?Sized>(
     let mut centers: Vec<Point> = Vec::with_capacity(k);
     // First center: ∝ weight.
     let total_w: f64 = (0..n).map(w).sum();
-    let first = sample_index(rng, total_w, |i| w(i), n);
+    let first = sample_index(rng, total_w, w, n);
     centers.push(points[first].clone());
 
     // dist^r to the nearest chosen center, maintained incrementally.
@@ -49,7 +49,7 @@ pub fn kmeanspp_seeds<R: Rng + ?Sized>(
         let next = if total <= 0.0 {
             // All mass already covered (duplicate points): fall back to a
             // weight-proportional draw.
-            sample_index(rng, total_w, |i| w(i), n)
+            sample_index(rng, total_w, w, n)
         } else {
             sample_index(rng, total, |i| w(i) * d_near[i], n)
         };
@@ -108,7 +108,6 @@ mod tests {
     fn spreads_across_separated_clusters() {
         // Three well-separated blobs: k-means++ should (almost surely over
         // a few trials) pick one seed near each blob.
-        let gp = GridParams::from_log_delta(10, 2);
         let mut pts = Vec::new();
         for &(cx, cy) in &[(100u32, 100u32), (500, 500), (900, 900)] {
             for dx in 0..10u32 {

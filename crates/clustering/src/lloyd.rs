@@ -61,7 +61,11 @@ pub fn lloyd(
         }
         last_cost = cost;
     }
-    LloydSolution { centers, cost: last_cost, iterations }
+    LloydSolution {
+        centers,
+        cost: last_cost,
+        iterations,
+    }
 }
 
 /// Weighted centroid of a cluster, rounded to integer coordinates (≥ 1).
@@ -75,7 +79,10 @@ fn recenter(points: &[Point], weights: Option<&[f64]>, idxs: &[usize], d: usize,
                 weighted_median(idxs.iter().map(|&i| (points[i].coord(dim) as f64, w(i))))
             } else {
                 let total: f64 = idxs.iter().map(|&i| w(i)).sum();
-                let s: f64 = idxs.iter().map(|&i| w(i) * points[i].coord(dim) as f64).sum();
+                let s: f64 = idxs
+                    .iter()
+                    .map(|&i| w(i) * points[i].coord(dim) as f64)
+                    .sum();
                 s / total
             };
             value.round().max(1.0) as u32

@@ -28,7 +28,11 @@ pub struct LocalSearchConfig {
 
 impl Default for LocalSearchConfig {
     fn default() -> Self {
-        Self { max_rounds: 20, candidates_per_round: 24, min_gain: 1e-4 }
+        Self {
+            max_rounds: 20,
+            candidates_per_round: 24,
+            min_gain: 1e-4,
+        }
     }
 }
 
@@ -90,7 +94,11 @@ pub fn local_search_kmedian<R: Rng + ?Sized>(
             break;
         }
     }
-    LocalSearchSolution { centers, cost, swaps }
+    LocalSearchSolution {
+        centers,
+        cost,
+        swaps,
+    }
 }
 
 #[cfg(test)]
@@ -102,7 +110,10 @@ mod tests {
     use sbc_geometry::GridParams;
 
     fn wp(points: Vec<Point>) -> Vec<WeightedPoint> {
-        points.into_iter().map(|p| WeightedPoint::new(p, 1.0)).collect()
+        points
+            .into_iter()
+            .map(|p| WeightedPoint::new(p, 1.0))
+            .collect()
     }
 
     #[test]
@@ -115,7 +126,11 @@ mod tests {
             3,
             1.0,
             40.0,
-            LocalSearchConfig { max_rounds: 6, candidates_per_round: 10, min_gain: 1e-4 },
+            LocalSearchConfig {
+                max_rounds: 6,
+                candidates_per_round: 10,
+                min_gain: 1e-4,
+            },
             &mut rng,
         );
         assert!(sol.cost.is_finite());
@@ -132,7 +147,14 @@ mod tests {
             pts.push(Point::new(vec![100 + x % 3, 100]));
         }
         let mut rng = StdRng::seed_from_u64(6);
-        let sol = local_search_kmedian(&wp(pts), 2, 1.0, 12.0, LocalSearchConfig::default(), &mut rng);
+        let sol = local_search_kmedian(
+            &wp(pts),
+            2,
+            1.0,
+            12.0,
+            LocalSearchConfig::default(),
+            &mut rng,
+        );
         // Each blob spans x∈{c,c+1,c+2}; an optimal medoid costs ≤ 16 per blob.
         assert!(sol.cost <= 40.0, "cost {} too high", sol.cost);
         let xs: Vec<u32> = sol.centers.iter().map(|c| c.coord(0)).collect();

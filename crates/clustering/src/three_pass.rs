@@ -212,7 +212,10 @@ mod tests {
         let bl = ThreePassBaseline::new(3, 2.0, 60, 20, StdRng::seed_from_u64(1));
         let coreset = bl.run(&pts);
         let total: f64 = coreset.iter().map(|w| w.weight).sum();
-        assert!((total - 600.0).abs() < 1e-6, "mapping weights preserve counts exactly");
+        assert!(
+            (total - 600.0).abs() < 1e-6,
+            "mapping weights preserve counts exactly"
+        );
     }
 
     #[test]

@@ -76,8 +76,10 @@ fn lloyd_assignment_steps_certify() {
 fn local_search_cost_is_exact_for_its_centers() {
     let gp = GridParams::from_log_delta(7, 2);
     let pts = gaussian_mixture(gp, 100, 2, 0.06, 9);
-    let wps: Vec<WeightedPoint> =
-        pts.iter().map(|p| WeightedPoint::new(p.clone(), 1.0)).collect();
+    let wps: Vec<WeightedPoint> = pts
+        .iter()
+        .map(|p| WeightedPoint::new(p.clone(), 1.0))
+        .collect();
     let mut rng = StdRng::seed_from_u64(2);
     let cap = 100.0 / 2.0 * 1.2;
     let sol = local_search_kmedian(
@@ -85,7 +87,11 @@ fn local_search_cost_is_exact_for_its_centers() {
         2,
         1.0,
         cap,
-        LocalSearchConfig { max_rounds: 4, candidates_per_round: 8, min_gain: 1e-4 },
+        LocalSearchConfig {
+            max_rounds: 4,
+            candidates_per_round: 8,
+            min_gain: 1e-4,
+        },
         &mut rng,
     );
     let frac = optimal_fractional_assignment(&pts, None, &sol.centers, cap, 1.0).unwrap();
@@ -111,5 +117,9 @@ fn greedy_quality_on_large_clusterable_instance() {
     assert_eq!(g.loads.iter().sum::<f64>() as usize, n);
     // Sanity on cost: not absurdly above the unconstrained floor.
     let floor = uncapacitated_cost(&pts, None, &centers, 2.0);
-    assert!(g.cost <= 3.0 * floor + 1e-6, "greedy {} vs floor {floor}", g.cost);
+    assert!(
+        g.cost <= 3.0 * floor + 1e-6,
+        "greedy {} vs floor {floor}",
+        g.cost
+    );
 }

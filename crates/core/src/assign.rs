@@ -118,7 +118,11 @@ impl AssignmentOracle {
             loads[j] += 1.0;
             cost += dist_r_pow(p, &self.centers[j], self.r);
         }
-        OracleAssignment { center_of, cost, loads }
+        OracleAssignment {
+            center_of,
+            cost,
+            loads,
+        }
     }
 }
 
@@ -157,8 +161,12 @@ pub fn build_assignment_oracle(
     let (pts, ws) = coreset.split();
     let total_w: f64 = ws.iter().sum();
     // Step 1: fractional optimum + rounding.
-    let frac = optimal_fractional_assignment(&pts, Some(&ws), centers, t_prime, params.r)
-        .ok_or(OracleError::Infeasible { total_weight: total_w, capacity: t_prime })?;
+    let frac = optimal_fractional_assignment(&pts, Some(&ws), centers, t_prime, params.r).ok_or(
+        OracleError::Infeasible {
+            total_weight: total_w,
+            capacity: t_prime,
+        },
+    )?;
     let integral = round_to_integral(&frac, &pts, Some(&ws), centers, params.r);
     let mut assign = integral.center_of;
 
@@ -191,7 +199,8 @@ pub fn build_assignment_oracle(
             assign[i] = level_assign[t];
         }
 
-        let hs = AssignmentHalfspaces::from_assignment(&level_pts, &level_assign, centers, params.r);
+        let hs =
+            AssignmentHalfspaces::from_assignment(&level_pts, &level_assign, centers, params.r);
 
         // Step 3: per-part region masses.
         let mut masses: HashMap<usize, Vec<f64>> = HashMap::new();

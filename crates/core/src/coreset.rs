@@ -123,13 +123,23 @@ impl std::fmt::Display for FailReason {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             FailReason::Partition(PartitionError::TooManyHeavyCells { count, budget }) => {
-                write!(f, "FAIL: {count} heavy cells exceeds budget {budget} (o too small)")
+                write!(
+                    f,
+                    "FAIL: {count} heavy cells exceeds budget {budget} (o too small)"
+                )
             }
             FailReason::Partition(PartitionError::RootNotHeavy) => {
                 write!(f, "FAIL: root cell not heavy (o too large)")
             }
-            FailReason::LevelMassExceeded { level, mass, budget } => {
-                write!(f, "FAIL: level {level} part mass {mass:.1} exceeds budget {budget:.1}")
+            FailReason::LevelMassExceeded {
+                level,
+                mass,
+                budget,
+            } => {
+                write!(
+                    f,
+                    "FAIL: level {level} part mass {mass:.1} exceeds budget {budget:.1}"
+                )
             }
             FailReason::Storage(msg) => write!(f, "FAIL: storage: {msg}"),
             FailReason::NoWorkableO => write!(f, "no o guess produced a coreset"),
@@ -176,7 +186,11 @@ impl CoresetBuilderCtx {
             let mass = part_masses.level_mass[level as usize];
             let b = params.max_level_mass(level, o);
             if mass > b {
-                return Err(FailReason::LevelMassExceeded { level, mass, budget: b });
+                return Err(FailReason::LevelMassExceeded {
+                    level,
+                    mass,
+                    budget: b,
+                });
             }
         }
         // Line 9: kept parts.
@@ -191,7 +205,14 @@ impl CoresetBuilderCtx {
             .collect();
         // Line 8: rates.
         let phis = (0..=l).map(|level| params.phi(level, o)).collect();
-        Ok(Self { params: params.clone(), partition, part_masses, qualifying, phis, o })
+        Ok(Self {
+            params: params.clone(),
+            partition,
+            part_masses,
+            qualifying,
+            phis,
+            o,
+        })
     }
 
     /// The accepted guess `o`.
@@ -220,7 +241,10 @@ impl CoresetBuilderCtx {
 
     /// Whether part `(level, j)` is kept (`Q_{i,j} ∈ PIᵢ`).
     pub fn qualifies(&self, level: i32, part: usize) -> bool {
-        self.qualifying[level as usize].get(part).copied().unwrap_or(false)
+        self.qualifying[level as usize]
+            .get(part)
+            .copied()
+            .unwrap_or(false)
     }
 
     /// Classifies a candidate sample: returns the part `(level, j)` when
@@ -327,8 +351,9 @@ pub fn build_coreset_with_grid<R: Rng + ?Sized>(
     // with o, so store the hash and re-threshold per attempt (equivalent
     // to the paper's per-instance functions, but cheaper).
     let lambda = params.lambda().min(1 << 12); // paper-profile λ is astronomical; cap the *materialized* coefficients
-    let hashes: Vec<sbc_hash::KWiseHash> =
-        (0..=l).map(|_| sbc_hash::KWiseHash::new(lambda, rng)).collect();
+    let hashes: Vec<sbc_hash::KWiseHash> = (0..=l)
+        .map(|_| sbc_hash::KWiseHash::new(lambda, rng))
+        .collect();
     let keys: Vec<u128> = points.iter().map(|p| p.key128(params.grid.delta)).collect();
 
     let o_max = params.o_upper_bound(points.len()) * 2.0;
@@ -389,8 +414,7 @@ fn sample_offline(
 ) -> Coreset {
     let l = params.l() as i32;
     // Level target rates (reported; a streaming pass stores at these).
-    let level_realized: Vec<f64> =
-        (0..=l).map(|level| realized_prob(ctx.phi(level))).collect();
+    let level_realized: Vec<f64> = (0..=l).map(|level| realized_prob(ctx.phi(level))).collect();
 
     // Per-part thresholds on the same per-level hash: exact realized
     // probability ⌊φ·p⌋/p so weights are exactly inverse sampling rates.
@@ -481,7 +505,12 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let cs = build_coreset(&pts, &p, &mut rng).expect("coreset");
         assert!(!cs.is_empty());
-        assert!(cs.len() < pts.len() / 2, "coreset {} vs n {}", cs.len(), pts.len());
+        assert!(
+            cs.len() < pts.len() / 2,
+            "coreset {} vs n {}",
+            cs.len(),
+            pts.len()
+        );
         // All coreset points are input points with positive weights ≥ 1.
         for e in cs.entries() {
             assert!(e.weight >= 1.0 - 1e-9, "weights are inverse probabilities");
@@ -553,8 +582,12 @@ mod tests {
             let phi = cs.part_phis[e.level as usize][&e.part];
             // Duplicate input points merge into one entry of weight m/φ.
             let mult = e.weight * phi;
-            assert!((mult - mult.round()).abs() < 1e-9 && mult >= 1.0 - 1e-9,
-                "weight {} not a multiple of 1/φ = {}", e.weight, 1.0 / phi);
+            assert!(
+                (mult - mult.round()).abs() < 1e-9 && mult >= 1.0 - 1e-9,
+                "weight {} not a multiple of 1/φ = {}",
+                e.weight,
+                1.0 / phi
+            );
             // Part rates never exceed the level storage rate.
             assert!(phi <= cs.phis[e.level as usize] + 1e-12);
         }

@@ -41,7 +41,10 @@ pub struct HalfspaceThreshold {
 impl HalfspaceThreshold {
     /// An empty half-space (no point belongs to the `zᵢ` side).
     pub fn empty() -> Self {
-        Self { value: f64::NEG_INFINITY, tie_point: None }
+        Self {
+            value: f64::NEG_INFINITY,
+            tie_point: None,
+        }
     }
 
     /// Whether a point with comparison value `f` falls inside.
@@ -148,11 +151,19 @@ impl AssignmentHalfspaces {
                 }
                 thresholds[pair_index(i, j, k)] = match best {
                     None => HalfspaceThreshold::empty(),
-                    Some((f, p)) => HalfspaceThreshold { value: f, tie_point: Some(p.clone()) },
+                    Some((f, p)) => HalfspaceThreshold {
+                        value: f,
+                        tie_point: Some(p.clone()),
+                    },
                 };
             }
         }
-        Self { k, r, centers: centers.to_vec(), thresholds }
+        Self {
+            k,
+            r,
+            centers: centers.to_vec(),
+            thresholds,
+        }
     }
 
     /// Whether `p ∈ H_{(i,j)}` (for `i > j`, the complement convention of
@@ -172,7 +183,11 @@ impl AssignmentHalfspaces {
     /// encodes the leftover region `R₀`.
     pub fn region_of(&self, p: &Point) -> Option<usize> {
         // Precompute dist^r to every center once: O(kd) + O(k²) compares.
-        let d: Vec<f64> = self.centers.iter().map(|z| dist_r_pow(p, z, self.r)).collect();
+        let d: Vec<f64> = self
+            .centers
+            .iter()
+            .map(|z| dist_r_pow(p, z, self.r))
+            .collect();
         'outer: for i in 0..self.k {
             for j in 0..self.k {
                 if j == i {
@@ -244,8 +259,7 @@ pub fn canonicalize_assignment(
                     continue;
                 }
                 let f = |t: usize| {
-                    dist_r_pow(&points[t], &centers[i], r)
-                        - dist_r_pow(&points[t], &centers[j], r)
+                    dist_r_pow(&points[t], &centers[i], r) - dist_r_pow(&points[t], &centers[j], r)
                 };
                 idx.sort_by(|&a, &b| cmp_f_alpha(f(a), &points[a], f(b), &points[b]));
                 // The first |cluster i| entries should all be cluster i.
@@ -295,7 +309,10 @@ mod tests {
 
     #[test]
     fn threshold_contains_with_ties() {
-        let t = HalfspaceThreshold { value: 3.0, tie_point: Some(p(&[5, 5])) };
+        let t = HalfspaceThreshold {
+            value: 3.0,
+            tie_point: Some(p(&[5, 5])),
+        };
         assert!(t.contains(2.0, &p(&[9, 9])), "strictly below threshold");
         assert!(!t.contains(4.0, &p(&[1, 1])), "strictly above");
         assert!(t.contains(3.0, &p(&[5, 5])), "tie, equal point");
@@ -307,8 +324,7 @@ mod tests {
     fn nearest_assignment_is_always_representable() {
         // Without capacity, assigning each point to its nearest center is
         // representable (thresholds at 0 work); verify via extraction.
-        let points: Vec<Point> =
-            (1..=20u32).map(|x| p(&[x, (x * 7) % 19 + 1])).collect();
+        let points: Vec<Point> = (1..=20u32).map(|x| p(&[x, (x * 7) % 19 + 1])).collect();
         let centers = vec![p(&[3, 3]), p(&[15, 12]), p(&[9, 18])];
         for &r in &[1.0f64, 2.0] {
             let assign: Vec<usize> = points
@@ -329,8 +345,16 @@ mod tests {
         // MCF-optimal capacitated assignments, after canonicalization,
         // are representable by curved half-spaces for both r=1 and r=2.
         let points: Vec<Point> = vec![
-            p(&[1, 1]), p(&[2, 2]), p(&[3, 1]), p(&[4, 4]), p(&[5, 2]),
-            p(&[6, 6]), p(&[7, 3]), p(&[8, 8]), p(&[9, 5]), p(&[10, 1]),
+            p(&[1, 1]),
+            p(&[2, 2]),
+            p(&[3, 1]),
+            p(&[4, 4]),
+            p(&[5, 2]),
+            p(&[6, 6]),
+            p(&[7, 3]),
+            p(&[8, 8]),
+            p(&[9, 5]),
+            p(&[10, 1]),
         ];
         let centers = vec![p(&[2, 2]), p(&[8, 6])];
         for &r in &[1.0f64, 2.0] {
@@ -369,7 +393,10 @@ mod tests {
             .sum();
         let sizes_after = assign.iter().filter(|&&a| a == 0).count();
         assert_eq!(sizes_before, sizes_after, "swaps preserve cluster sizes");
-        assert!(cost_after <= cost_before + 1e-9, "swaps never increase cost");
+        assert!(
+            cost_after <= cost_before + 1e-9,
+            "swaps never increase cost"
+        );
         // And the result is representable.
         let hs = AssignmentHalfspaces::from_assignment(&points, &assign, &centers, r);
         assert!(hs.is_valid_for(&points, &assign));

@@ -94,13 +94,27 @@ impl CoresetParams {
     /// Practical-profile parameters (what examples/experiments use).
     pub fn practical(k: usize, r: f64, eps: f64, eta: f64, grid: GridParams) -> Self {
         Self::validate(k, r, eps, eta);
-        Self { k, r, eps, eta, grid, profile: ConstantsProfile::default_practical() }
+        Self {
+            k,
+            r,
+            eps,
+            eta,
+            grid,
+            profile: ConstantsProfile::default_practical(),
+        }
     }
 
     /// Paper-faithful parameters (constants verbatim from Algorithm 2).
     pub fn paper_faithful(k: usize, r: f64, eps: f64, eta: f64, grid: GridParams) -> Self {
         Self::validate(k, r, eps, eta);
-        Self { k, r, eps, eta, grid, profile: ConstantsProfile::PaperFaithful }
+        Self {
+            k,
+            r,
+            eps,
+            eta,
+            grid,
+            profile: ConstantsProfile::PaperFaithful,
+        }
     }
 
     fn validate(k: usize, r: f64, eps: f64, eta: f64) {
@@ -183,7 +197,11 @@ impl CoresetParams {
                 let num = 2f64.powf(2.0 * (self.r + 10.0)) * lambda;
                 (num / (xi.powi(3) * self.gamma() * t)).min(1.0)
             }
-            ConstantsProfile::Practical { samples_per_part, gamma, .. } => {
+            ConstantsProfile::Practical {
+                samples_per_part,
+                gamma,
+                ..
+            } => {
                 // E[samples from a minimum-size part of γTᵢ points] =
                 // samples_per_part.
                 (samples_per_part / (gamma * t)).min(1.0)
@@ -198,9 +216,9 @@ impl CoresetParams {
         let k = self.k as f64;
         match self.profile {
             ConstantsProfile::PaperFaithful => 20000.0 * (k + self.d_pow()) * l,
-            ConstantsProfile::Practical { max_heavy_factor, .. } => {
-                max_heavy_factor * (k + self.d_pow().min(64.0)) * l
-            }
+            ConstantsProfile::Practical {
+                max_heavy_factor, ..
+            } => max_heavy_factor * (k + self.d_pow().min(64.0)) * l,
         }
     }
 
@@ -212,9 +230,10 @@ impl CoresetParams {
         let t = self.t_threshold(level, o);
         match self.profile {
             ConstantsProfile::PaperFaithful => 10000.0 * (k * l + self.d_pow()) * t,
-            ConstantsProfile::Practical { max_level_mass_factor, .. } => {
-                max_level_mass_factor * (k * l + self.d_pow().min(64.0)) * t
-            }
+            ConstantsProfile::Practical {
+                max_level_mass_factor,
+                ..
+            } => max_level_mass_factor * (k * l + self.d_pow().min(64.0)) * t,
         }
     }
 
@@ -236,11 +255,15 @@ impl CoresetParams {
     pub fn part_phi(&self, level: i32, o: f64, part_mass: f64) -> f64 {
         match self.profile {
             ConstantsProfile::PaperFaithful => self.phi(level, o),
-            ConstantsProfile::Practical { samples_per_part, .. } => {
+            ConstantsProfile::Practical {
+                samples_per_part, ..
+            } => {
                 if part_mass <= 0.0 {
                     return self.phi(level, o);
                 }
-                (samples_per_part / part_mass).min(self.phi(level, o)).min(1.0)
+                (samples_per_part / part_mass)
+                    .min(self.phi(level, o))
+                    .min(1.0)
             }
         }
     }
@@ -250,9 +273,10 @@ impl CoresetParams {
     pub fn selection_heavy_budget(&self) -> Option<f64> {
         match self.profile {
             ConstantsProfile::PaperFaithful => None,
-            ConstantsProfile::Practical { select_heavy_factor, .. } => {
-                Some(select_heavy_factor * self.k as f64 * self.l().max(1) as f64)
-            }
+            ConstantsProfile::Practical {
+                select_heavy_factor,
+                ..
+            } => Some(select_heavy_factor * self.k as f64 * self.l().max(1) as f64),
         }
     }
 
@@ -325,7 +349,8 @@ mod tests {
         let p = CoresetParams::paper_faithful(2, 2.0, 0.3, 0.3, gp());
         let o = 1e30; // force φ < 1 despite the astronomical constants
         let t = p.t_threshold(5, o);
-        let expect = (2f64.powf(24.0) * p.lambda() as f64 / (p.xi().powi(3) * p.gamma() * t)).min(1.0);
+        let expect =
+            (2f64.powf(24.0) * p.lambda() as f64 / (p.xi().powi(3) * p.gamma() * t)).min(1.0);
         assert!((p.phi(5, o) - expect).abs() <= 1e-12 * expect.max(1.0));
     }
 

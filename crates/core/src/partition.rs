@@ -36,7 +36,10 @@ pub struct CellCounts {
 impl CellCounts {
     /// Empty estimates for levels `−1..=L`.
     pub fn new(l: u32) -> Self {
-        Self { levels: vec![HashMap::new(); l as usize + 2], l }
+        Self {
+            levels: vec![HashMap::new(); l as usize + 2],
+            l,
+        }
     }
 
     /// Exact counts of `points` in every cell of every level.
@@ -78,7 +81,9 @@ impl CellCounts {
 
     /// Iterates the non-zero cells of a level (unspecified order).
     pub fn cells_at(&self, level: i32) -> impl Iterator<Item = (&CellId, f64)> {
-        self.levels[(level + 1) as usize].values().map(|(m, c)| (c, *m))
+        self.levels[(level + 1) as usize]
+            .values()
+            .map(|(m, c)| (c, *m))
     }
 
     /// Number of non-empty cells at a level.
@@ -126,7 +131,11 @@ impl Partition {
     ///
     /// Returns an error when the heavy-cell budget (Algorithm 2 line 5)
     /// is exceeded or the root cell fails to be heavy.
-    pub fn build(counts: &CellCounts, params: &CoresetParams, o: f64) -> Result<Self, PartitionError> {
+    pub fn build(
+        counts: &CellCounts,
+        params: &CoresetParams,
+        o: f64,
+    ) -> Result<Self, PartitionError> {
         let l = counts.l();
         let budget = params.max_heavy_cells().ceil() as usize;
         let mut heavy: Vec<HashMap<u128, usize>> = vec![HashMap::new(); l as usize + 1];
@@ -152,7 +161,10 @@ impl Partition {
                 j += 1;
                 total += 1;
                 if total > budget {
-                    return Err(PartitionError::TooManyHeavyCells { count: total, budget });
+                    return Err(PartitionError::TooManyHeavyCells {
+                        count: total,
+                        budget,
+                    });
                 }
             }
             if level == -1 && j == 0 {
@@ -161,7 +173,12 @@ impl Partition {
         }
 
         let s = (0..=l as i32).map(|i| heavy[i as usize].len()).collect();
-        Ok(Self { heavy, s, total_heavy: total, l })
+        Ok(Self {
+            heavy,
+            s,
+            total_heavy: total,
+            l,
+        })
     }
 
     /// `Σᵢ sᵢ` — the total number of heavy cells.
@@ -190,7 +207,9 @@ impl Partition {
     /// The part index `j` of a heavy cell (which names part `Q_{i,j}` at
     /// level `i = cell.level + 1`).
     pub fn heavy_index(&self, cell: &CellId) -> Option<usize> {
-        self.heavy[(cell.level + 1) as usize].get(&cell.key128()).copied()
+        self.heavy[(cell.level + 1) as usize]
+            .get(&cell.key128())
+            .copied()
     }
 
     /// Locates the part containing `p`: the level `i` where `cᵢ(p)` is
@@ -330,7 +349,7 @@ mod tests {
         // With exact counts and a heavy root, locate() places every point.
         for p in &pts {
             let (level, j) = partition.locate(&grid, p).expect("located");
-            assert!(level >= 0 && level <= 7);
+            assert!((0..=7).contains(&level));
             assert!(j < partition.num_parts_at(level));
         }
     }
@@ -352,8 +371,6 @@ mod tests {
         // Exact counts: every point lies in exactly one crucial cell.
         assert_eq!(mass_total, 400.0);
         // Cross-check against locate().
-        let mut located = vec![vec![0.0; 0]; 0];
-        located.resize_with(8 + 1, Vec::new);
         let mut recount: Vec<Vec<f64>> = (0..=7i32)
             .map(|i| vec![0.0; partition.num_parts_at(i)])
             .collect();
@@ -361,8 +378,8 @@ mod tests {
             let (i, j) = partition.locate(&grid, p).unwrap();
             recount[i as usize][j] += 1.0;
         }
-        for i in 0..=7usize {
-            assert_eq!(recount[i], pm.masses[i], "level {i}");
+        for (i, (rc, mass)) in recount.iter().zip(&pm.masses).enumerate() {
+            assert_eq!(rc, mass, "level {i}");
         }
     }
 

@@ -129,7 +129,10 @@ mod tests {
             .chain((21..=28u32).map(|x| p(&[x, 1])))
             .collect();
         let centers = vec![p(&[4, 1]), p(&[24, 1])];
-        let assign: Vec<usize> = points.iter().map(|q| usize::from(q.coord(0) > 14)).collect();
+        let assign: Vec<usize> = points
+            .iter()
+            .map(|q| usize::from(q.coord(0) > 14))
+            .collect();
         (points, centers, assign)
     }
 

@@ -60,9 +60,7 @@ pub fn center_battery<R: Rng + ?Sized>(
             0 => kmeanspp_seeds(points, None, k, r, rng),
             // Bad centers: uniform random grid points.
             1 => (0..k)
-                .map(|_| {
-                    Point::new((0..d).map(|_| rng.gen_range(1..=delta as u32)).collect())
-                })
+                .map(|_| Point::new((0..d).map(|_| rng.gen_range(1..=delta as u32)).collect()))
                 .collect(),
             // Skewed: one k-means++ center + the rest crowded in a corner.
             _ => {
@@ -98,7 +96,11 @@ pub fn verify_strong_coreset<R: Rng + ?Sized>(
     let (cpts, cws) = coreset.split();
 
     let batteries = center_battery(points, k, params.r, num_center_sets, params.grid.delta, rng);
-    let mut quality = CoresetQuality { max_upper: 0.0, max_lower: 0.0, trials: 0 };
+    let mut quality = CoresetQuality {
+        max_upper: 0.0,
+        max_lower: 0.0,
+        trials: 0,
+    };
 
     for centers in &batteries {
         for &f in cap_factors {
@@ -107,8 +109,7 @@ pub fn verify_strong_coreset<R: Rng + ?Sized>(
             let cq_t = capacitated_cost(points, None, centers, t, params.r);
             let cq_eta = capacitated_cost(points, None, centers, (1.0 + eta) * t, params.r);
             let cc_t = capacitated_cost(&cpts, Some(&cws), centers, t, params.r);
-            let cc_eta =
-                capacitated_cost(&cpts, Some(&cws), centers, (1.0 + eta) * t, params.r);
+            let cc_eta = capacitated_cost(&cpts, Some(&cws), centers, (1.0 + eta) * t, params.r);
             if !cq_t.is_finite() || !cc_t.is_finite() {
                 continue; // capacity too tight for one side: skip pair
             }
@@ -188,9 +189,6 @@ mod tests {
         let sets = center_battery(&pts, 4, 2.0, 7, gp.delta, &mut rng);
         assert_eq!(sets.len(), 7);
         assert!(sets.iter().all(|s| s.len() == 4));
-        assert!(sets
-            .iter()
-            .flatten()
-            .all(|z| z.in_cube(gp.delta)));
+        assert!(sets.iter().flatten().all(|z| z.in_cube(gp.delta)));
     }
 }

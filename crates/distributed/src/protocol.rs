@@ -110,13 +110,19 @@ impl DistributedCoreset {
     ) -> Result<(Coreset, CommStats), FailReason> {
         assert!(!shards.is_empty(), "need at least one machine");
         let s = shards.len();
-        let mut stats = CommStats { machines: s, ..Default::default() };
+        let mut stats = CommStats {
+            machines: s,
+            ..Default::default()
+        };
 
         // 1. Coordinator: draw shift + hash seed, broadcast.
         let mut coord_rng = StdRng::seed_from_u64(seed);
         let grid = GridHierarchy::new(params.grid, &mut coord_rng);
         let hash_seed: u64 = rand::Rng::gen(&mut coord_rng);
-        let broadcast = Broadcast { shift: grid.shift().to_vec(), hash_seed };
+        let broadcast = Broadcast {
+            shift: grid.shift().to_vec(),
+            hash_seed,
+        };
         let bcast_bytes = to_bytes(&broadcast);
         stats.broadcast_bytes = (bcast_bytes.len() * s) as u64;
         stats.messages += s as u64;
@@ -128,9 +134,7 @@ impl DistributedCoreset {
             let machine_grid = GridHierarchy::with_shift(params.grid, broadcast.shift.clone());
             let mut builder =
                 StreamCoresetBuilder::with_grid(params.clone(), *sparams, machine_grid, &mut rng);
-            for p in shard {
-                builder.insert(p);
-            }
+            builder.insert_batch(shard);
             to_bytes(&builder.export_summaries())
         };
 
@@ -233,7 +237,8 @@ pub fn merge_summaries(
                 .filter_map(|m| m[idx].hhat[li].as_ref())
                 .collect();
             if parts.len() != per_machine.len() {
-                inst.hhat.push(Some(Err("inconsistent ĥ store presence".into())));
+                inst.hhat
+                    .push(Some(Err("inconsistent ĥ store presence".into())));
                 continue;
             }
             inst.hhat
@@ -255,7 +260,9 @@ fn merge_role<'a>(
     let mut beta = usize::MAX;
     let mut alpha = usize::MAX;
     for part in parts {
-        let part = part.as_ref().map_err(|e| format!("machine store failed: {e}"))?;
+        let part = part
+            .as_ref()
+            .map_err(|e| format!("machine store failed: {e}"))?;
         beta = beta.min(part.beta);
         alpha = alpha.min(part.alpha);
         for (cell, cnt) in &part.cells {
@@ -293,7 +300,13 @@ fn merge_role<'a>(
     let mut cells: Vec<(sbc_geometry::CellId, i64)> =
         cells.into_iter().filter(|&(_, c)| c != 0).collect();
     cells.sort_by(|a, b| a.0.cmp(&b.0));
-    Ok(RoleLevelSummary { cells, small_points, beta, alpha, dirty_small_cells: dirty })
+    Ok(RoleLevelSummary {
+        cells,
+        small_points,
+        beta,
+        alpha,
+        dirty_small_cells: dirty,
+    })
 }
 
 #[cfg(test)]

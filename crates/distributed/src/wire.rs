@@ -199,7 +199,10 @@ impl Encode for CellId {
 }
 impl Decode for CellId {
     fn decode(buf: &[u8], cursor: &mut usize) -> Option<Self> {
-        Some(CellId { level: i32::decode(buf, cursor)?, coords: Vec::decode(buf, cursor)? })
+        Some(CellId {
+            level: i32::decode(buf, cursor)?,
+            coords: Vec::decode(buf, cursor)?,
+        })
     }
 }
 
@@ -274,8 +277,14 @@ mod tests {
     #[test]
     fn geometry_roundtrips() {
         roundtrip(Point::new(vec![1, 2, 300]));
-        roundtrip(CellId { level: -1, coords: vec![0, 0] });
-        roundtrip(CellId { level: 7, coords: vec![12, -3, 99] });
+        roundtrip(CellId {
+            level: -1,
+            coords: vec![0, 0],
+        });
+        roundtrip(CellId {
+            level: 7,
+            coords: vec![12, -3, 99],
+        });
     }
 
     #[test]

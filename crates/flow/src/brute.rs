@@ -47,7 +47,7 @@ pub fn brute_force_capacitated(
             }
             total += cost[i][assign[i]];
         }
-        if feasible && best.as_ref().map_or(true, |(b, _)| total < *b) {
+        if feasible && best.as_ref().is_none_or(|(b, _)| total < *b) {
             best = Some((total, assign.clone()));
         }
         // Odometer increment.

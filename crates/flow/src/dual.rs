@@ -124,7 +124,10 @@ pub fn certify_optimal(
                 guard += 1;
             }
             walk.reverse();
-            return Certificate::Improvable { walk, gain: dist[jp] };
+            return Certificate::Improvable {
+                walk,
+                gain: dist[jp],
+            };
         }
     }
     Certificate::Optimal
@@ -176,8 +179,7 @@ mod tests {
                 .collect();
             let r = if trial % 2 == 0 { 2.0 } else { 1.0 };
             let cap = (n as f64 / k as f64).ceil() + rng.gen_range(0..3) as f64;
-            let Some(frac) = optimal_fractional_assignment(&points, None, &centers, cap, r)
-            else {
+            let Some(frac) = optimal_fractional_assignment(&points, None, &centers, cap, r) else {
                 continue;
             };
             let cert = certify_optimal(&frac, &points, &centers, cap, r, 1e-6);

@@ -89,7 +89,10 @@ impl MinCostFlow {
     pub fn add_edge(&mut self, u: usize, v: usize, cap: f64, cost: f64) -> EdgeId {
         assert!(u < self.adj.len() && v < self.adj.len());
         assert!(cap >= 0.0, "negative capacity");
-        assert!(cost >= -EPS, "SSP with zero potentials needs non-negative costs");
+        assert!(
+            cost >= -EPS,
+            "SSP with zero potentials needs non-negative costs"
+        );
         let id = self.to.len();
         self.adj[u].push(id as u32);
         self.to.push(v as u32);
@@ -130,7 +133,10 @@ impl MinCostFlow {
             dist.iter_mut().for_each(|d| *d = f64::INFINITY);
             dist[s] = 0.0;
             let mut heap = BinaryHeap::new();
-            heap.push(HeapEntry { dist: 0.0, node: s as u32 });
+            heap.push(HeapEntry {
+                dist: 0.0,
+                node: s as u32,
+            });
             while let Some(HeapEntry { dist: du, node: u }) = heap.pop() {
                 let u = u as usize;
                 if du > dist[u] + EPS {
@@ -148,7 +154,10 @@ impl MinCostFlow {
                     if nd + EPS < dist[v] {
                         dist[v] = nd;
                         prev_edge[v] = eid;
-                        heap.push(HeapEntry { dist: nd, node: v as u32 });
+                        heap.push(HeapEntry {
+                            dist: nd,
+                            node: v as u32,
+                        });
                     }
                 }
             }
@@ -182,7 +191,10 @@ impl MinCostFlow {
             }
             total_flow += bottleneck;
         }
-        FlowResult { flow: total_flow, cost: total_cost }
+        FlowResult {
+            flow: total_flow,
+            cost: total_cost,
+        }
     }
 }
 

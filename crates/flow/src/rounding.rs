@@ -91,7 +91,11 @@ pub fn round_to_integral(
         split_count <= k.saturating_sub(1) || n == 0,
         "forest support must leave ≤ k−1 split points, got {split_count}"
     );
-    IntegralAssignment { center_of, cost, loads }
+    IntegralAssignment {
+        center_of,
+        cost,
+        loads,
+    }
 }
 
 fn nearest_center(p: &Point, centers: &[Point], r: f64) -> usize {
@@ -117,7 +121,7 @@ fn cancel_one_cycle(
 ) -> bool {
     // Union-find over nodes 0..n (points) and n..n+k (centers).
     let mut parent: Vec<usize> = (0..n + k).collect();
-    fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
         while parent[x] != x {
             parent[x] = parent[parent[x]];
             x = parent[x];
@@ -203,7 +207,10 @@ fn cancel_cycle_along(
         edges.push((p, c));
     }
     edges.push((pi, cj)); // closing edge; path runs pi … (n+cj)
-    debug_assert!(edges.len() % 2 == 0, "bipartite cycles have even length");
+    debug_assert!(
+        edges.len().is_multiple_of(2),
+        "bipartite cycles have even length"
+    );
 
     // Alternate signs around the cycle. delta_cost(dir=+1) = Σ sign·cost.
     let mut delta = 0.0f64;
@@ -280,7 +287,8 @@ mod tests {
         let weights = [2.5, 2.5];
         let centers = vec![p(&[3]), p(&[6])];
         let cap = 2.6;
-        let frac = optimal_fractional_assignment(&points, Some(&weights), &centers, cap, 2.0).unwrap();
+        let frac =
+            optimal_fractional_assignment(&points, Some(&weights), &centers, cap, 2.0).unwrap();
         let integral = round_to_integral(&frac, &points, Some(&weights), &centers, 2.0);
         // After rounding each point sits at exactly one center.
         assert_eq!(integral.center_of.len(), 2);
@@ -293,8 +301,7 @@ mod tests {
         let points: Vec<Point> = (1..=12u32).map(|x| p(&[x, x % 4 + 1])).collect();
         let centers = vec![p(&[2, 2]), p(&[6, 2]), p(&[10, 2])];
         let cap = 4.0;
-        let integral =
-            integral_capacitated_assignment(&points, None, &centers, cap, 1.0).unwrap();
+        let integral = integral_capacitated_assignment(&points, None, &centers, cap, 1.0).unwrap();
         let mut recount = vec![0.0; 3];
         for &c in &integral.center_of {
             recount[c] += 1.0;

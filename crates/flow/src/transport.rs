@@ -82,7 +82,11 @@ pub fn optimal_fractional_assignment_caps(
         return None;
     }
     if n == 0 {
-        return Some(FractionalAssignment { shares: Vec::new(), cost: 0.0, loads: vec![0.0; k] });
+        return Some(FractionalAssignment {
+            shares: Vec::new(),
+            cost: 0.0,
+            loads: vec![0.0; k],
+        });
     }
 
     // Node layout: 0 = source, 1..=n points, n+1..=n+k centers, n+k+1 sink.
@@ -120,7 +124,11 @@ pub fn optimal_fractional_assignment_caps(
             }
         }
     }
-    Some(FractionalAssignment { shares, cost, loads })
+    Some(FractionalAssignment {
+        shares,
+        cost,
+        loads,
+    })
 }
 
 /// Convenience: the optimal fractional capacitated cost, or `f64::INFINITY`
@@ -177,7 +185,10 @@ mod tests {
         let points = vec![p(&[1]), p(&[2]), p(&[3])];
         let centers = vec![p(&[1])];
         assert!(optimal_fractional_assignment(&points, None, &centers, 2.0, 2.0).is_none());
-        assert_eq!(capacitated_cost_value(&points, None, &centers, 2.0, 2.0), f64::INFINITY);
+        assert_eq!(
+            capacitated_cost_value(&points, None, &centers, 2.0, 2.0),
+            f64::INFINITY
+        );
     }
 
     #[test]
@@ -190,7 +201,10 @@ mod tests {
         assert_eq!(a.num_split_points(), 1);
         let to0 = a.shares[0].iter().find(|(j, _)| *j == 0).unwrap().1;
         let to1 = a.shares[0].iter().find(|(j, _)| *j == 1).unwrap().1;
-        assert!((to0 - 2.0).abs() < 1e-9, "cheaper center gets its full capacity");
+        assert!(
+            (to0 - 2.0).abs() < 1e-9,
+            "cheaper center gets its full capacity"
+        );
         assert!((to1 - 1.0).abs() < 1e-9);
         assert!((a.cost - (2.0 * 1.0 + 1.0 * 4.0)).abs() < 1e-9);
     }
@@ -212,15 +226,18 @@ mod tests {
         // take only 1 unit, so two of the three nearby points must move.
         let points = vec![p(&[1]), p(&[2]), p(&[3])];
         let centers = vec![p(&[2]), p(&[20])];
-        let a = super::optimal_fractional_assignment_caps(
-            &points, None, &centers, &[1.0, 2.0], 2.0,
-        )
-        .unwrap();
+        let a =
+            super::optimal_fractional_assignment_caps(&points, None, &centers, &[1.0, 2.0], 2.0)
+                .unwrap();
         assert!(a.loads[0] <= 1.0 + 1e-9);
         assert!((a.loads[1] - 2.0).abs() < 1e-9);
         // And infeasible when Σ caps < n.
         assert!(super::optimal_fractional_assignment_caps(
-            &points, None, &centers, &[1.0, 1.5], 2.0
+            &points,
+            None,
+            &centers,
+            &[1.0, 1.5],
+            2.0
         )
         .is_none());
     }

@@ -54,11 +54,23 @@ pub fn uniform(gp: GridParams, n: usize, seed: u64) -> Vec<Point> {
 /// Centers are drawn uniformly from the middle half of the cube so that
 /// clipping is rare; `sigma_frac` is the standard deviation as a fraction
 /// of `Δ` (e.g. `0.02`).
-pub fn gaussian_mixture(gp: GridParams, n: usize, k: usize, sigma_frac: f64, seed: u64) -> Vec<Point> {
-    let sizes = vec![n / k + usize::from(n % k > 0); k]
+pub fn gaussian_mixture(
+    gp: GridParams,
+    n: usize,
+    k: usize,
+    sigma_frac: f64,
+    seed: u64,
+) -> Vec<Point> {
+    let sizes = vec![n / k + usize::from(!n.is_multiple_of(k)); k]
         .into_iter()
         .enumerate()
-        .map(|(i, s)| if i < n % k || n % k == 0 { s } else { n / k })
+        .map(|(i, s)| {
+            if i < n % k || n.is_multiple_of(k) {
+                s
+            } else {
+                n / k
+            }
+        })
         .collect::<Vec<_>>();
     mixture_with_sizes(gp, &sizes_exact(n, &sizes), sigma_frac, seed)
 }
@@ -67,10 +79,19 @@ pub fn gaussian_mixture(gp: GridParams, n: usize, k: usize, sigma_frac: f64, see
 /// (normalized internally). E.g. `&[0.7, 0.2, 0.1]` yields one dominant
 /// cluster — the regime where balanced clustering differs most from
 /// unconstrained clustering.
-pub fn imbalanced_mixture(gp: GridParams, n: usize, fractions: &[f64], sigma_frac: f64, seed: u64) -> Vec<Point> {
+pub fn imbalanced_mixture(
+    gp: GridParams,
+    n: usize,
+    fractions: &[f64],
+    sigma_frac: f64,
+    seed: u64,
+) -> Vec<Point> {
     let total: f64 = fractions.iter().sum();
     assert!(total > 0.0);
-    let mut sizes: Vec<usize> = fractions.iter().map(|f| ((f / total) * n as f64) as usize).collect();
+    let mut sizes: Vec<usize> = fractions
+        .iter()
+        .map(|f| ((f / total) * n as f64) as usize)
+        .collect();
     let assigned: usize = sizes.iter().sum();
     if let Some(first) = sizes.first_mut() {
         *first += n - assigned; // dump the rounding remainder on cluster 0
@@ -100,7 +121,12 @@ fn sizes_exact(n: usize, approx: &[usize]) -> Vec<usize> {
 }
 
 /// Shared mixture sampler: one spherical Gaussian per entry of `sizes`.
-pub fn mixture_with_sizes(gp: GridParams, sizes: &[usize], sigma_frac: f64, seed: u64) -> Vec<Point> {
+pub fn mixture_with_sizes(
+    gp: GridParams,
+    sizes: &[usize],
+    sigma_frac: f64,
+    seed: u64,
+) -> Vec<Point> {
     let mut rng = StdRng::seed_from_u64(seed);
     let delta = gp.delta as f64;
     let sigma = sigma_frac * delta;
@@ -168,7 +194,13 @@ pub struct DynamicDataset {
 
 /// Builds a [`DynamicDataset`]: `n_kept` clusterable points plus
 /// `n_churn` uniform points to insert-then-delete.
-pub fn two_phase_dynamic(gp: GridParams, n_kept: usize, n_churn: usize, k: usize, seed: u64) -> DynamicDataset {
+pub fn two_phase_dynamic(
+    gp: GridParams,
+    n_kept: usize,
+    n_churn: usize,
+    k: usize,
+    seed: u64,
+) -> DynamicDataset {
     DynamicDataset {
         kept: gaussian_mixture(gp, n_kept, k, 0.03, seed),
         churn: uniform(gp, n_churn, seed ^ 0xDEAD_BEEF),

@@ -39,7 +39,11 @@ impl GridParams {
     pub fn from_log_delta(l: u32, d: usize) -> Self {
         assert!(l <= 40, "Δ = 2^L with L ≤ 40 supported");
         assert!(d >= 1);
-        Self { delta: 1u64 << l, l, d }
+        Self {
+            delta: 1u64 << l,
+            l,
+            d,
+        }
     }
 
     /// Builds parameters from `Δ` (must be a power of two) and `d`.
@@ -194,7 +198,10 @@ impl GridHierarchy {
     /// The zero-shift hierarchy (deterministic; degrades the guarantees in
     /// adversarial cases, useful for illustrative tests).
     pub fn unshifted(params: GridParams) -> Self {
-        Self { params, shift: vec![0.0; params.d] }
+        Self {
+            params,
+            shift: vec![0.0; params.d],
+        }
     }
 
     /// The hierarchy's parameters.

@@ -156,7 +156,10 @@ mod tests {
         for &r in &[1.0f64, 1.5, 2.0, 3.0] {
             let lhs = dist_r_pow(&x, &z, r);
             let rhs = relaxed_triangle_bound(dist_r_pow(&x, &y, r), dist_r_pow(&y, &z, r), r);
-            assert!(lhs <= rhs + 1e-9, "Fact 2.1 violated at r={r}: {lhs} > {rhs}");
+            assert!(
+                lhs <= rhs + 1e-9,
+                "Fact 2.1 violated at r={r}: {lhs} > {rhs}"
+            );
         }
     }
 

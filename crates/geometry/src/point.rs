@@ -61,7 +61,9 @@ impl Point {
 
     /// Checks that every coordinate lies in `[1, Δ]`.
     pub fn in_cube(&self, delta: u64) -> bool {
-        self.coords.iter().all(|&c| (c as u64) >= 1 && (c as u64) <= delta)
+        self.coords
+            .iter()
+            .all(|&c| (c as u64) >= 1 && (c as u64) <= delta)
     }
 
     /// Packs the point into a single `u128` key when the coordinates fit,
@@ -97,7 +99,11 @@ impl Point {
         if (bits as usize) * d > 128 {
             return None;
         }
-        let mask = if bits == 128 { u128::MAX } else { (1u128 << bits) - 1 };
+        let mask = if bits == 128 {
+            u128::MAX
+        } else {
+            (1u128 << bits) - 1
+        };
         let mut coords = vec![0u32; d];
         for slot in coords.iter_mut().rev() {
             *slot = (key & mask) as u32 + 1;

@@ -38,7 +38,12 @@ impl JlProjector {
     /// will be projected (e.g. the source `Δ`); it fixes the affine
     /// rescaling so that projected points land inside the target cube
     /// with overwhelming probability (outliers are clamped).
-    pub fn new<R: Rng + ?Sized>(d: usize, input_radius: f64, target: GridParams, rng: &mut R) -> Self {
+    pub fn new<R: Rng + ?Sized>(
+        d: usize,
+        input_radius: f64,
+        target: GridParams,
+        rng: &mut R,
+    ) -> Self {
         assert!(d >= 1 && input_radius >= 1.0);
         let m = target.d;
         let inv_sqrt_m = 1.0 / (m as f64).sqrt();
@@ -49,7 +54,13 @@ impl JlProjector {
         // onto [1, Δ′].
         let range = 2.0 * input_radius * (d as f64).sqrt();
         let scale = (target.delta as f64 - 1.0) / (2.0 * range);
-        Self { matrix, d, target, offset: range, scale }
+        Self {
+            matrix,
+            d,
+            target,
+            offset: range,
+            scale,
+        }
     }
 
     /// The target grid parameters.

@@ -1,0 +1,104 @@
+//! Fast, non-cryptographic hashing for `u128`-keyed hash maps.
+//!
+//! The streaming `Storing` structures probe hundreds of per-(instance,
+//! level, role) hash maps on every stream operation, all keyed by packed
+//! 128-bit point/cell keys. The standard library's default SipHash is
+//! collision-resistant against adversarial keys but costs more than the
+//! map probe itself; here the keys are already well-mixed packed
+//! coordinates, so a two-multiply finalizer (Murmur3-style) gives the
+//! avalanche the map needs at a fraction of the cost.
+//!
+//! This hash only positions entries inside a private hash map — it never
+//! reaches any algorithmic output, so swapping it is output-invisible
+//! (decoded summaries are sorted before use).
+
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// A [`Hasher`] specialized for single `u128` (or `u64`) writes.
+#[derive(Default)]
+pub struct Key128Hasher(u64);
+
+impl Key128Hasher {
+    #[inline]
+    fn mix(&mut self, mut x: u64) {
+        // Murmur3 finalizer over the running state: full avalanche, so
+        // both the hashbrown control bits (top 7) and the bucket index
+        // (low bits) are well distributed.
+        x = x.wrapping_add(self.0);
+        x ^= x >> 33;
+        x = x.wrapping_mul(0xff51_afd7_ed55_8ccd);
+        x ^= x >> 33;
+        x = x.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+        x ^= x >> 33;
+        self.0 = x;
+    }
+}
+
+impl Hasher for Key128Hasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    fn write_u128(&mut self, v: u128) {
+        self.mix(v as u64);
+        self.mix((v >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.mix(v);
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // Generic fallback (not on the hot path): fold 8-byte chunks.
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.mix(u64::from_le_bytes(buf));
+        }
+    }
+}
+
+/// A `HashMap` keyed by packed 128-bit keys using [`Key128Hasher`].
+pub type Key128Map<V> = HashMap<u128, V, BuildHasherDefault<Key128Hasher>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::BuildHasher;
+
+    fn hash_of(key: u128) -> u64 {
+        BuildHasherDefault::<Key128Hasher>::default().hash_one(key)
+    }
+
+    #[test]
+    fn distinct_keys_hash_distinctly() {
+        // Packed grid keys differ in few bits; the finalizer must still
+        // spread them. Check no collisions over a dense key range.
+        let mut seen = std::collections::HashSet::new();
+        for k in 0..10_000u128 {
+            assert!(seen.insert(hash_of(k)), "collision at {k}");
+        }
+        // And the low bits (bucket index) must vary too.
+        let low: std::collections::HashSet<u64> = (0..256u128).map(|k| hash_of(k) & 0xff).collect();
+        assert!(
+            low.len() > 128,
+            "low bits poorly distributed: {}",
+            low.len()
+        );
+    }
+
+    #[test]
+    fn map_roundtrip() {
+        let mut m: Key128Map<i64> = Key128Map::default();
+        for k in 0..1000u128 {
+            m.insert(k * k, k as i64);
+        }
+        for k in 0..1000u128 {
+            assert_eq!(m.get(&(k * k)), Some(&(k as i64)));
+        }
+    }
+}

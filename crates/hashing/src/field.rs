@@ -83,7 +83,7 @@ pub fn pow(mut base: u64, mut exp: u64) -> u64 {
 /// # Panics
 /// Panics on `a = 0`.
 pub fn inv(a: u64) -> u64 {
-    assert!(a % P != 0, "zero has no inverse");
+    assert!(!a.is_multiple_of(P), "zero has no inverse");
     pow(a, P - 2)
 }
 
@@ -101,7 +101,16 @@ mod tests {
 
     #[test]
     fn reduction_matches_modulo() {
-        for &x in &[0u128, 1, P as u128 - 1, P as u128, P as u128 + 1, u64::MAX as u128, u128::MAX, 12345678901234567890] {
+        for &x in &[
+            0u128,
+            1,
+            P as u128 - 1,
+            P as u128,
+            P as u128 + 1,
+            u64::MAX as u128,
+            u128::MAX,
+            12345678901234567890,
+        ] {
             assert_eq!(reduce128(x) as u128, x % P as u128, "x = {x}");
         }
     }

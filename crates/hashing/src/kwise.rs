@@ -66,6 +66,34 @@ impl KWiseHash {
     pub fn eval_unit(&self, key: u128) -> f64 {
         self.eval(key) as f64 / field::P as f64
     }
+
+    /// Evaluates the polynomial at every key, appending the values to
+    /// `out` in order. Batched streaming ingest uses this to hash a
+    /// whole batch per (level, role) at once: the coefficient vector is
+    /// walked once per key with no per-call setup, and the tight loop
+    /// lets independent Horner chains overlap across keys.
+    pub fn eval_many(&self, keys: &[u128], out: &mut Vec<u64>) {
+        out.reserve(keys.len());
+        // Reduce all keys into the field first: the reductions are
+        // independent of the Horner recurrences and pipeline ahead of
+        // them.
+        for pair in keys.chunks(2) {
+            match *pair {
+                [a, b] => {
+                    let (xa, xb) = (field::elem_from_u128(a), field::elem_from_u128(b));
+                    let (mut acc_a, mut acc_b) = (0u64, 0u64);
+                    for &c in &self.coeffs {
+                        acc_a = field::add(field::mul(acc_a, xa), c);
+                        acc_b = field::add(field::mul(acc_b, xb), c);
+                    }
+                    out.push(acc_a);
+                    out.push(acc_b);
+                }
+                [a] => out.push(self.eval(a)),
+                _ => unreachable!(),
+            }
+        }
+    }
 }
 
 /// A λ-wise independent Bernoulli sampler: `h(x) = 1` iff the underlying
@@ -84,13 +112,19 @@ impl KWiseBernoulli {
     /// `phi` must lie in `[0, 1]`. `phi = 1` yields the constant-1
     /// indicator, `phi = 0` the constant-0 indicator.
     pub fn new<R: Rng + ?Sized>(phi: f64, lambda: usize, rng: &mut R) -> Self {
-        assert!((0.0..=1.0).contains(&phi), "φ must be a probability, got {phi}");
+        assert!(
+            (0.0..=1.0).contains(&phi),
+            "φ must be a probability, got {phi}"
+        );
         let threshold = if phi >= 1.0 {
             field::P // every value < P qualifies
         } else {
             (phi * field::P as f64).floor() as u64
         };
-        Self { hash: KWiseHash::new(lambda, rng), threshold }
+        Self {
+            hash: KWiseHash::new(lambda, rng),
+            threshold,
+        }
     }
 
     /// The exact realized sampling probability `⌊φ·p⌋/p`.
@@ -199,7 +233,26 @@ mod tests {
         let p1 = c1 as f64 / trials as f64;
         let p2 = c2 as f64 / trials as f64;
         let p12 = c12 as f64 / trials as f64;
-        assert!((p12 - p1 * p2).abs() < 0.02, "joint {p12} vs product {}", p1 * p2);
+        assert!(
+            (p12 - p1 * p2).abs() < 0.02,
+            "joint {p12} vs product {}",
+            p1 * p2
+        );
+    }
+
+    #[test]
+    fn eval_many_matches_eval() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let h = KWiseHash::new(32, &mut rng);
+        for n in [0usize, 1, 2, 7, 64] {
+            let keys: Vec<u128> = (0..n as u128).map(|k| k * k + 3).collect();
+            let mut got = vec![999]; // eval_many appends after existing content
+            h.eval_many(&keys, &mut got);
+            let want: Vec<u64> = std::iter::once(999)
+                .chain(keys.iter().map(|&k| h.eval(k)))
+                .collect();
+            assert_eq!(got, want, "n = {n}");
+        }
     }
 
     #[test]

@@ -20,14 +20,19 @@
 //!   [`KWiseBernoulli`] (λ-wise independent indicator with
 //!   `Pr[h(x) = 1] = φ` exactly, as `⌊φ·p⌋/p`);
 //! * [`fingerprint`] — low-collision fingerprints used as checksums by the
-//!   sparse-recovery sketches in `sbc-streaming`.
+//!   sparse-recovery sketches in `sbc-streaming`;
+//! * [`fastmap`] — a fast non-cryptographic hasher for the `u128`-keyed
+//!   hash maps on the streaming ingest hot path (internal bookkeeping
+//!   only, never part of an algorithmic output).
 
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod fastmap;
 pub mod field;
 pub mod fingerprint;
 pub mod kwise;
 
+pub use fastmap::{Key128Hasher, Key128Map};
 pub use fingerprint::Fingerprinter;
 pub use kwise::{KWiseBernoulli, KWiseHash};

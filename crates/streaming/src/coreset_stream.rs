@@ -25,11 +25,17 @@ use crate::model::StreamOp;
 use crate::storing::{Backend, Storing, StoringConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use sbc_core::coreset::{bernoulli_threshold, opt_upper_estimate, realized_prob, CoresetBuilderCtx, CoresetEntry};
+use sbc_core::coreset::{
+    bernoulli_threshold, opt_upper_estimate, realized_prob, CoresetBuilderCtx, CoresetEntry,
+};
 use sbc_core::partition::{CellCounts, PartMasses, Partition};
 use sbc_core::{Coreset, CoresetParams, FailReason};
 use sbc_geometry::{CellId, GridHierarchy, Point};
 use sbc_hash::KWiseHash;
+
+/// Ops per ingest batch: large enough to amortize precompute and the
+/// parallel fork, small enough that the SoA buffer stays cache-friendly.
+const INGEST_BATCH: usize = 4096;
 
 /// Streaming-specific knobs (the coreset parameters proper live in
 /// [`CoresetParams`]).
@@ -51,6 +57,15 @@ pub struct StreamParams {
     /// expected stream size); `None` uses the paper's full range
     /// `Δ^d·(√d·Δ)^r`.
     pub o_ladder_max: Option<f64>,
+    /// Shard the `o`-instance ladder across threads during batched
+    /// ingest ([`StreamCoresetBuilder::process_all`] /
+    /// [`StreamCoresetBuilder::insert_batch`]). Instances own disjoint
+    /// `Storing` state and share only read-only hash values, so the
+    /// parallel path is bit-identical to the sequential one.
+    pub parallel: bool,
+    /// Thread count for the sharded path; `0` means "all available".
+    /// Ignored unless `parallel` is set.
+    pub threads: usize,
 }
 
 impl Default for StreamParams {
@@ -61,6 +76,8 @@ impl Default for StreamParams {
             rows: 4,
             cap_cells: 1 << 16,
             o_ladder_max: None,
+            parallel: false,
+            threads: 0,
         }
     }
 }
@@ -81,8 +98,98 @@ struct OInstance {
     hhat_stores: Vec<Option<Storing>>,
 }
 
+/// Per-(role, level) threshold ladders, transposed to column-major for
+/// prefix routing.
+///
+/// `t_threshold(level, o)` is strictly increasing in `o` at fixed level,
+/// so every subsampling rate — `ψᵢ`, `ψ′ᵢ`, `φᵢ` — is non-increasing
+/// along the `o` ladder, and so are the realized `u64` acceptance
+/// thresholds. A point with hash value `v` is therefore accepted by
+/// exactly the *prefix* of instances `{j : v < thr[j]}`, found with one
+/// binary search per (role, level) instead of a per-instance scan.
+struct RouteTables {
+    /// `psi[idx][j]`: instance `j`'s role-h threshold at store index
+    /// `idx` (= level + 1); non-increasing in `j`.
+    psi: Vec<Vec<u64>>,
+    /// Role h′ thresholds, indexed by level.
+    psip: Vec<Vec<u64>>,
+    /// Role ĥ thresholds, indexed by level.
+    phi: Vec<Vec<u64>>,
+    /// First instance with a live ĥ store per level. `Tᵢ(o) ≤ 1` (no ĥ
+    /// store) happens for small `o`, so live stores form a *suffix* of
+    /// the ladder.
+    hhat_first: Vec<usize>,
+}
+
+impl RouteTables {
+    fn build(instances: &[OInstance], l: usize) -> Self {
+        let column = |pick: fn(&OInstance, usize) -> u64, idx: usize| -> Vec<u64> {
+            let col: Vec<u64> = instances.iter().map(|inst| pick(inst, idx)).collect();
+            assert!(
+                col.windows(2).all(|w| w[0] >= w[1]),
+                "threshold ladder must be non-increasing along the o ladder"
+            );
+            col
+        };
+        let hhat_first = (0..=l)
+            .map(|level| {
+                let first = instances
+                    .iter()
+                    .position(|inst| inst.hhat_stores[level].is_some())
+                    .unwrap_or(instances.len());
+                assert!(
+                    instances[first..]
+                        .iter()
+                        .all(|i| i.hhat_stores[level].is_some()),
+                    "live ĥ stores must form a suffix of the o ladder"
+                );
+                first
+            })
+            .collect();
+        Self {
+            psi: (0..=l)
+                .map(|idx| column(|i, c| i.psi_thr[c], idx))
+                .collect(),
+            psip: (0..=l)
+                .map(|idx| column(|i, c| i.psip_thr[c], idx))
+                .collect(),
+            phi: (0..=l)
+                .map(|idx| column(|i, c| i.phi_thr[c], idx))
+                .collect(),
+            hhat_first,
+        }
+    }
+
+    /// Number of leading instances whose threshold exceeds `v` — the
+    /// exclusive end of the accepting prefix.
+    #[inline]
+    fn cut(column: &[u64], v: u64) -> u32 {
+        column.partition_point(|&t| t > v) as u32
+    }
+}
+
+/// Structure-of-arrays scratch for one ingest batch: everything that is
+/// shared across the instance ladder, computed once per point.
+///
+/// Hash values and ladder cuts are stored column-major (`(l+1)` columns
+/// of `n` entries each); cells and cell keys row-major (`l+2` levels per
+/// op, level `idx − 1` at offset `idx`).
+#[derive(Default)]
+struct BatchSoa {
+    keys: Vec<u128>,
+    deltas: Vec<i64>,
+    cells: Vec<CellId>,
+    cell_keys: Vec<u128>,
+    hv: Vec<u64>,
+    hpv: Vec<u64>,
+    hhv: Vec<u64>,
+    cut_h: Vec<u32>,
+    cut_hp: Vec<u32>,
+    cut_hhat: Vec<u32>,
+}
+
 /// Space accounting snapshot.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct SpaceReport {
     /// Bytes of hash-function state (shared across instances).
     pub hash_bytes: usize,
@@ -100,7 +207,7 @@ pub struct SpaceReport {
 /// Decoded output of one `Storing` structure: the `(C, f, S)` triple of
 /// Lemma 4.2, plus the `β` it was filtered at (needed to re-apply the
 /// small-cell filter after a distributed merge).
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct RoleLevelSummary {
     /// Non-empty cells with counts.
     pub cells: Vec<(CellId, i64)>,
@@ -119,7 +226,7 @@ pub struct RoleLevelSummary {
 /// sends the coordinator in the Lemma 4.6 protocol, and what the
 /// coordinator assembles coresets from. A `Err(description)` marks a
 /// store that FAILed (overflow / decode / budget).
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct InstanceSummary {
     /// The guess `o`.
     pub o: f64,
@@ -165,6 +272,7 @@ pub struct StreamCoresetBuilder {
     hp_hashes: Vec<KWiseHash>,
     hhat_hashes: Vec<KWiseHash>,
     instances: Vec<OInstance>,
+    routes: RouteTables,
     net_count: i64,
     rng: StdRng,
 }
@@ -204,6 +312,7 @@ impl StreamCoresetBuilder {
             instances.push(OInstance::new(&params, &sparams, &grid, o, rng));
             o *= 2.0;
         }
+        let routes = RouteTables::build(&instances, l as usize);
 
         Self {
             params,
@@ -213,6 +322,7 @@ impl StreamCoresetBuilder {
             hp_hashes,
             hhat_hashes,
             instances,
+            routes,
             net_count: 0,
             rng: StdRng::seed_from_u64(rng.gen()),
         }
@@ -233,26 +343,138 @@ impl StreamCoresetBuilder {
         self.net_count
     }
 
-    /// Processes one stream operation.
+    /// Processes one stream operation through the reference per-op path
+    /// (a linear scan over the instance ladder). Batched ingest via
+    /// [`Self::process_all`] / [`Self::insert_batch`] produces
+    /// bit-identical state and is substantially faster.
     pub fn process(&mut self, op: &StreamOp) {
         self.apply(op.point(), op.delta());
     }
 
-    /// Processes a whole stream.
+    /// Processes a whole stream through the batched fast path: per-point
+    /// keys, cell paths, hash triples and ladder cuts are computed once
+    /// per batch into a structure-of-arrays buffer, then routed to the
+    /// accepting prefix of instances (sharded across threads when
+    /// [`StreamParams::parallel`] is set). State after this call is
+    /// bit-identical to calling [`Self::process`] per op.
     pub fn process_all(&mut self, ops: &[StreamOp]) {
-        for op in ops {
-            self.process(op);
+        for chunk in ops.chunks(INGEST_BATCH) {
+            let batch: Vec<(&Point, i64)> =
+                chunk.iter().map(|op| (op.point(), op.delta())).collect();
+            self.ingest_batch(&batch);
         }
     }
 
-    /// Inserts a point.
+    /// Inserts a whole slice of points through the batched fast path.
+    pub fn insert_batch(&mut self, points: &[Point]) {
+        for chunk in points.chunks(INGEST_BATCH) {
+            let batch: Vec<(&Point, i64)> = chunk.iter().map(|p| (p, 1)).collect();
+            self.ingest_batch(&batch);
+        }
+    }
+
+    /// Inserts a point (per-op reference path).
     pub fn insert(&mut self, p: &Point) {
         self.apply(p, 1);
     }
 
-    /// Deletes a previously inserted point.
+    /// Deletes a previously inserted point (per-op reference path).
     pub fn delete(&mut self, p: &Point) {
         self.apply(p, -1);
+    }
+
+    /// Fills the SoA buffer for one batch: everything instance-independent.
+    fn precompute(&self, ops: &[(&Point, i64)], soa: &mut BatchSoa) {
+        let gp = self.params.grid;
+        let l = gp.l as i32;
+        let n = ops.len();
+        let levels = l as usize + 1;
+
+        soa.keys.clear();
+        soa.deltas.clear();
+        soa.cells.clear();
+        soa.cell_keys.clear();
+        for &(p, delta) in ops {
+            debug_assert_eq!(p.dim(), gp.d);
+            soa.keys.push(p.key128(gp.delta));
+            soa.deltas.push(delta);
+            for i in -1..=l {
+                let cell = self.grid.cell_of(p, i);
+                soa.cell_keys.push(cell.key128());
+                soa.cells.push(cell);
+            }
+        }
+
+        soa.hv.clear();
+        soa.hpv.clear();
+        soa.hhv.clear();
+        for idx in 0..levels {
+            self.h_hashes[idx].eval_many(&soa.keys, &mut soa.hv);
+            self.hp_hashes[idx].eval_many(&soa.keys, &mut soa.hpv);
+            self.hhat_hashes[idx].eval_many(&soa.keys, &mut soa.hhv);
+        }
+
+        soa.cut_h.clear();
+        soa.cut_hp.clear();
+        soa.cut_hhat.clear();
+        for idx in 0..levels {
+            let base = idx * n;
+            for i in 0..n {
+                soa.cut_h
+                    .push(RouteTables::cut(&self.routes.psi[idx], soa.hv[base + i]));
+                soa.cut_hp
+                    .push(RouteTables::cut(&self.routes.psip[idx], soa.hpv[base + i]));
+                soa.cut_hhat
+                    .push(RouteTables::cut(&self.routes.phi[idx], soa.hhv[base + i]));
+            }
+        }
+    }
+
+    /// Routes one precomputed batch into the ladder, sequentially or
+    /// sharded over threads.
+    fn ingest_batch(&mut self, ops: &[(&Point, i64)]) {
+        if ops.is_empty() {
+            return;
+        }
+        let mut soa = BatchSoa::default();
+        self.precompute(ops, &mut soa);
+        self.net_count += soa.deltas.iter().sum::<i64>();
+
+        let levels = self.params.grid.l as usize + 1;
+        let shards = self.effective_shards(ops.len());
+        let instances = &mut self.instances[..];
+        let routes = &self.routes;
+        let soa = &soa;
+        if shards <= 1 {
+            route_range(instances, 0, ops, soa, routes, levels);
+        } else {
+            let chunk = instances.len().div_ceil(shards);
+            rayon::scope(|scope| {
+                for (ci, shard) in instances.chunks_mut(chunk).enumerate() {
+                    scope.spawn(move |_| {
+                        route_range(shard, ci * chunk, ops, soa, routes, levels);
+                    });
+                }
+            });
+        }
+    }
+
+    /// How many instance shards to route a batch of `n` ops across.
+    fn effective_shards(&self, n: usize) -> usize {
+        if !self.sparams.parallel {
+            return 1;
+        }
+        let threads = if self.sparams.threads == 0 {
+            rayon::current_num_threads()
+        } else {
+            self.sparams.threads
+        };
+        // Tiny batches and short ladders don't amortize the fork; fall
+        // back to sequential routing (output is identical either way).
+        if n < 64 || self.instances.len() < 2 {
+            return 1;
+        }
+        threads.min(self.instances.len()).max(1)
     }
 
     fn apply(&mut self, p: &Point, delta: i64) {
@@ -271,7 +493,13 @@ impl StreamCoresetBuilder {
             // Role h: levels −1..=L−1, store/threshold/hash index = level + 1.
             for idx in 0..=(l as usize) {
                 if hv[idx] < inst.psi_thr[idx] {
-                    inst.h_stores[idx].update_precomputed(p, key, &cells[idx], cell_keys[idx], delta);
+                    inst.h_stores[idx].update_precomputed(
+                        p,
+                        key,
+                        &cells[idx],
+                        cell_keys[idx],
+                        delta,
+                    );
                 }
             }
             // Role h′ and ĥ: levels 0..=L, index = level.
@@ -287,7 +515,13 @@ impl StreamCoresetBuilder {
                 }
                 if let Some(st) = &mut inst.hhat_stores[level] {
                     if hhv[level] < inst.phi_thr[level] {
-                        st.update_precomputed(p, key, &cells[level + 1], cell_keys[level + 1], delta);
+                        st.update_precomputed(
+                            p,
+                            key,
+                            &cells[level + 1],
+                            cell_keys[level + 1],
+                            delta,
+                        );
                     }
                 }
             }
@@ -462,7 +696,9 @@ impl StreamCoresetBuilder {
             let Some(summary) = &inst.hhat[level] else {
                 continue; // Tᵢ(o) ≤ 1 ⇒ no non-empty crucial cells
             };
-            let out = summary.as_ref().map_err(|e| storage("ĥ", level as i32, e))?;
+            let out = summary
+                .as_ref()
+                .map_err(|e| storage("ĥ", level as i32, e))?;
             // Coreset samples must be complete: a dirty small cell that
             // belongs to a kept part means lost samples — reject the
             // instance (conservatively, without checking part membership).
@@ -497,6 +733,92 @@ impl StreamCoresetBuilder {
     }
 }
 
+/// Routes every op of a precomputed batch into `shard` (the instances at
+/// global indices `base..base + shard.len()`).
+///
+/// Loop order is *store-major*: for each (level, role, instance) store,
+/// the whole batch is scanned in stream order and the accepted ops
+/// applied consecutively. Each store therefore sees exactly the update
+/// sequence the per-op path feeds it — order across stores is
+/// irrelevant (they share no state), so the result stays bit-identical
+/// — while its hash maps stay cache-hot for the whole streak instead of
+/// being revisited once per op. The scan itself is a branch over the
+/// precomputed ladder cut, and stores past the batch's maximum cut are
+/// skipped without scanning.
+fn route_range(
+    shard: &mut [OInstance],
+    base: usize,
+    ops: &[(&Point, i64)],
+    soa: &BatchSoa,
+    routes: &RouteTables,
+    levels: usize,
+) {
+    let n = ops.len();
+    let len = shard.len();
+    let stride = levels + 1; // cells per op: levels −1..=L
+                             // Number of leading instances of `shard` reached by any op of the
+                             // batch, given this (role, level)'s cut column.
+    let reach = move |cuts: &[u32]| -> usize {
+        let max = cuts.iter().copied().max().unwrap_or(0) as usize;
+        max.saturating_sub(base).min(len)
+    };
+    for idx in 0..levels {
+        let cut_h = &soa.cut_h[idx * n..(idx + 1) * n];
+        for (j, inst) in shard.iter_mut().enumerate().take(reach(cut_h)) {
+            let g = (base + j) as u32;
+            let store = &mut inst.h_stores[idx];
+            for i in 0..n {
+                if cut_h[i] > g {
+                    store.update_precomputed(
+                        ops[i].0,
+                        soa.keys[i],
+                        &soa.cells[i * stride + idx],
+                        soa.cell_keys[i * stride + idx],
+                        soa.deltas[i],
+                    );
+                }
+            }
+        }
+        let cut_hp = &soa.cut_hp[idx * n..(idx + 1) * n];
+        for (j, inst) in shard.iter_mut().enumerate().take(reach(cut_hp)) {
+            let g = (base + j) as u32;
+            let store = &mut inst.hp_stores[idx];
+            for i in 0..n {
+                if cut_hp[i] > g {
+                    store.update_precomputed(
+                        ops[i].0,
+                        soa.keys[i],
+                        &soa.cells[i * stride + idx + 1],
+                        soa.cell_keys[i * stride + idx + 1],
+                        soa.deltas[i],
+                    );
+                }
+            }
+        }
+        // ĥ: live stores are a suffix of the ladder, the accepting
+        // hashes a prefix; walk the intersection.
+        let cut_hhat = &soa.cut_hhat[idx * n..(idx + 1) * n];
+        let lo = routes.hhat_first[idx].saturating_sub(base).min(len);
+        for (j, inst) in shard.iter_mut().enumerate().take(reach(cut_hhat)).skip(lo) {
+            let g = (base + j) as u32;
+            let Some(store) = inst.hhat_stores[idx].as_mut() else {
+                continue;
+            };
+            for i in 0..n {
+                if cut_hhat[i] > g {
+                    store.update_precomputed(
+                        ops[i].0,
+                        soa.keys[i],
+                        &soa.cells[i * stride + idx + 1],
+                        soa.cell_keys[i * stride + idx + 1],
+                        soa.deltas[i],
+                    );
+                }
+            }
+        }
+    }
+}
+
 impl OInstance {
     fn new<R: Rng + ?Sized>(
         params: &CoresetParams,
@@ -518,13 +840,19 @@ impl OInstance {
             let rate = (sparams.est_rate / t).min(1.0);
             psi.push(realized_prob(rate));
             psi_thr.push(bernoulli_threshold(rate));
-            let alpha =
-                (sparams.alpha_factor * (kl + dpow * t.min(sparams.est_rate) + 8.0)).ceil() as usize;
+            let alpha = (sparams.alpha_factor * (kl + dpow * t.min(sparams.est_rate) + 8.0)).ceil()
+                as usize;
             h_stores.push(Storing::new(
                 grid,
                 level,
-                StoringConfig { alpha, beta: 1, rows: sparams.rows },
-                Backend::Exact { cap_cells: (8 * alpha + 1024).min(sparams.cap_cells).max(alpha + 1) },
+                StoringConfig {
+                    alpha,
+                    beta: 1,
+                    rows: sparams.rows,
+                },
+                Backend::Exact {
+                    cap_cells: (8 * alpha + 1024).min(sparams.cap_cells).max(alpha + 1),
+                },
                 rng,
             ));
         }
@@ -546,7 +874,11 @@ impl OInstance {
             hp_stores.push(Storing::new(
                 grid,
                 level,
-                StoringConfig { alpha: alpha_p, beta: 1, rows: sparams.rows },
+                StoringConfig {
+                    alpha: alpha_p,
+                    beta: 1,
+                    rows: sparams.rows,
+                },
                 Backend::Exact {
                     cap_cells: (8 * alpha_p + 1024).min(sparams.cap_cells).max(alpha_p + 1),
                 },
@@ -567,9 +899,15 @@ impl OInstance {
                 hhat_stores.push(Some(Storing::new(
                     grid,
                     level,
-                    StoringConfig { alpha: alpha_hat, beta: beta_hat, rows: sparams.rows },
+                    StoringConfig {
+                        alpha: alpha_hat,
+                        beta: beta_hat,
+                        rows: sparams.rows,
+                    },
                     Backend::Exact {
-                        cap_cells: (8 * alpha_hat + 1024).min(sparams.cap_cells).max(alpha_hat + 1),
+                        cap_cells: (8 * alpha_hat + 1024)
+                            .min(sparams.cap_cells)
+                            .max(alpha_hat + 1),
                     },
                     rng,
                 )));
@@ -619,21 +957,15 @@ impl OInstance {
 
     fn nominal_bytes(&self) -> usize {
         // Lemma 4.2-style accounting: what a space-bounded deployment of
-        // the same configurations reserves as linear sketches.
-        let cfg_bytes = |st: &Storing| {
-            let _ = st;
-            0usize
-        };
-        let _ = cfg_bytes;
-        // Stores know their config only internally; approximate with the
-        // measured size for live stores (exact backends) — the dedicated
-        // E4 experiment instantiates sketch backends directly for the
-        // nominal numbers.
+        // the same configurations reserves as linear sketches. Dead
+        // stores count too — a fixed-size sketch does not give memory
+        // back mid-stream (only `store_bytes`, the measured figure,
+        // drops when the exact backend frees a killed store).
         self.h_stores
             .iter()
             .chain(&self.hp_stores)
             .chain(self.hhat_stores.iter().flatten())
-            .map(Storing::stored_bytes)
+            .map(|st| Storing::nominal_sketch_bytes(st.config()))
             .sum()
     }
 }
@@ -703,6 +1035,53 @@ mod tests {
         assert!(rep.instances > 10);
         assert!(rep.hash_bytes > 0);
         assert!(rep.store_bytes > 0);
+    }
+
+    #[test]
+    fn space_report_tracks_killed_runaway_stores() {
+        // A small cap_cells turns the widest-spread stores into runaways
+        // that get killed mid-stream. The report must count them as dead
+        // (under the sharded path too), show the freed memory in the
+        // measured store_bytes, and keep charging the full nominal
+        // sketch reservation — a fixed-size sketch never shrinks.
+        let p = params();
+        let pts = gaussian_mixture(p.grid, 2000, 3, 0.04, 5);
+        let run = |sp: StreamParams| {
+            let mut rng = StdRng::seed_from_u64(3);
+            let mut b = StreamCoresetBuilder::new(p.clone(), sp, &mut rng);
+            b.process_all(&insertion_stream(&pts));
+            b.space_report()
+        };
+        let healthy = run(StreamParams::default());
+        let capped = StreamParams {
+            cap_cells: 64,
+            ..StreamParams::default()
+        };
+        let starved = run(capped);
+        let starved_parallel = run(StreamParams {
+            parallel: true,
+            threads: 4,
+            ..capped
+        });
+
+        assert_eq!(
+            healthy.dead_stores, 0,
+            "default cap must not kill stores here"
+        );
+        assert!(starved.dead_stores > 0, "cap 64 must kill runaway stores");
+        assert_eq!(starved, starved_parallel, "sharded accounting must agree");
+        assert!(
+            starved.store_bytes < healthy.store_bytes,
+            "killed stores must free measured memory ({} vs {})",
+            starved.store_bytes,
+            healthy.store_bytes
+        );
+        assert!(
+            starved.nominal_sketch_bytes > 0
+                && starved.nominal_sketch_bytes == healthy.nominal_sketch_bytes,
+            "nominal accounting is configuration-determined, not data-dependent"
+        );
+        assert_eq!(healthy.instances, starved.instances);
     }
 
     #[test]

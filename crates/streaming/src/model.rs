@@ -103,6 +103,21 @@ pub fn interleaved_stream<R: Rng + ?Sized>(
     ops
 }
 
+/// A deletion-heavy mixed-op stream over `points`: only a `survive`
+/// fraction of the points outlive the stream, the rest are inserted and
+/// later deleted, fully interleaved. With `survive` well below one half,
+/// most operations are churn — the regime where per-op overhead (not
+/// end-state size) dominates ingest cost, used by the throughput benches.
+pub fn churn_stream<R: Rng + ?Sized>(points: &[Point], survive: f64, rng: &mut R) -> Vec<StreamOp> {
+    assert!(
+        (0.0..=1.0).contains(&survive),
+        "survive must be a fraction, got {survive}"
+    );
+    let kept_len = ((points.len() as f64) * survive).round() as usize;
+    let (kept, churn) = points.split_at(kept_len.min(points.len()));
+    interleaved_stream(kept, churn, rng)
+}
+
 /// Replays a stream into a plain multiset and returns the surviving
 /// points — the ground truth a streaming algorithm is measured against.
 pub fn materialize(ops: &[StreamOp]) -> Vec<Point> {
@@ -161,6 +176,20 @@ mod tests {
         let ops = interleaved_stream(&ds.kept, &ds.churn, &mut rng);
         // materialize() itself asserts no premature deletions.
         let mut expect = ds.kept.clone();
+        expect.sort();
+        assert_eq!(materialize(&ops), expect);
+    }
+
+    #[test]
+    fn churn_stream_is_deletion_heavy_and_nets_to_survivors() {
+        let pts = uniform(gp(), 200, 11);
+        let mut rng = StdRng::seed_from_u64(4);
+        let ops = churn_stream(&pts, 0.3, &mut rng);
+        // 60 survivors: 200 inserts + 140 deletes.
+        assert_eq!(ops.len(), 340);
+        let deletes = ops.iter().filter(|op| op.delta() < 0).count();
+        assert_eq!(deletes, 140);
+        let mut expect: Vec<Point> = pts[..60].to_vec();
         expect.sort();
         assert_eq!(materialize(&ops), expect);
     }

@@ -86,7 +86,10 @@ impl OneSparse {
         // Verify: checksum must equal count·fp(key) mod p.
         let d = self.count.rem_euclid(field::P as i64) as u64;
         if self.checksum == field::mul(d, fp.fp(key)) {
-            Decode1::One { key, count: self.count }
+            Decode1::One {
+                key,
+                count: self.count,
+            }
         } else {
             Decode1::Many
         }
@@ -115,7 +118,11 @@ impl SSparseRecovery {
         let rows = (0..rows)
             .map(|_| (KWiseHash::new(2, rng), vec![OneSparse::default(); cols]))
             .collect();
-        Self { rows, cols, fp: Fingerprinter::new(rng) }
+        Self {
+            rows,
+            cols,
+            fp: Fingerprinter::new(rng),
+        }
     }
 
     /// Applies an update to every row.
@@ -182,7 +189,11 @@ impl SSparseRecovery {
     /// Bytes of sketch state (excluding the hash descriptions).
     pub fn stored_bytes(&self) -> usize {
         self.rows.len() * self.cols * OneSparse::BYTES
-            + self.rows.iter().map(|(h, _)| h.stored_bytes()).sum::<usize>()
+            + self
+                .rows
+                .iter()
+                .map(|(h, _)| h.stored_bytes())
+                .sum::<usize>()
             + self.fp.stored_bytes()
     }
 }
@@ -232,7 +243,9 @@ mod tests {
     fn s_sparse_recovers_exact_multiset() {
         let mut rng = StdRng::seed_from_u64(4);
         let mut sk = SSparseRecovery::new(16, 4, &mut rng);
-        let mut truth: Vec<(u128, i64)> = (0..12).map(|i| (1000 + i * 77, (i % 3 + 1) as i64)).collect();
+        let mut truth: Vec<(u128, i64)> = (0..12)
+            .map(|i| (1000 + i * 77, (i % 3 + 1) as i64))
+            .collect();
         for &(k, c) in &truth {
             for _ in 0..c {
                 sk.update(k, 1);

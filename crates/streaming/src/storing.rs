@@ -26,7 +26,8 @@
 use crate::sparse::SSparseRecovery;
 use rand::Rng;
 use sbc_geometry::{CellId, GridHierarchy, Point};
-use sbc_hash::KWiseHash;
+use sbc_hash::{KWiseHash, Key128Map};
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 
 /// Sizing of one `Storing` instance.
@@ -92,12 +93,12 @@ struct CellRec {
     count: i64,
     dirty: bool,
     cell: CellId,
-    points: HashMap<u128, (Point, i64)>,
+    points: Key128Map<(Point, i64)>,
 }
 
 enum Inner {
     Exact {
-        cells: HashMap<u128, CellRec>,
+        cells: Key128Map<CellRec>,
         cap_cells: usize,
         dead: bool,
         peak_cells: usize,
@@ -113,6 +114,34 @@ enum Inner {
         dead: bool,
         seed: rand::rngs::StdRng,
     },
+}
+
+/// Applies one update to a cell's point payload (exact backend): tracks
+/// net multiplicities while the cell is small, and mirrors the sketch's
+/// bucket overflow by dropping the payload once the cell grows past `2β`.
+#[inline]
+fn update_points(rec: &mut CellRec, p: &Point, point_key: u128, delta: i64, beta: i64) {
+    if rec.dirty {
+        return;
+    }
+    match rec.points.entry(point_key) {
+        Entry::Vacant(v) => {
+            if delta != 0 {
+                v.insert((p.clone(), delta));
+            }
+        }
+        Entry::Occupied(mut o) => {
+            o.get_mut().1 += delta;
+            if o.get().1 == 0 {
+                o.remove();
+            }
+        }
+    }
+    if rec.count > 2 * beta.max(1) {
+        rec.points.clear();
+        rec.points.shrink_to_fit();
+        rec.dirty = true;
+    }
 }
 
 /// One `Storing(Gᵢ, α, β, δ)` instance.
@@ -140,7 +169,7 @@ impl Storing {
         assert!(cfg.alpha >= 1 && cfg.rows >= 1);
         let inner = match backend {
             Backend::Exact { cap_cells } => Inner::Exact {
-                cells: HashMap::new(),
+                cells: Key128Map::default(),
                 cap_cells: cap_cells.max(cfg.alpha),
                 dead: false,
                 peak_cells: 0,
@@ -167,7 +196,13 @@ impl Storing {
                 }
             }
         };
-        Self { level, grid: grid.clone(), cfg, inner, updates: 0 }
+        Self {
+            level,
+            grid: grid.clone(),
+            cfg,
+            inner,
+            updates: 0,
+        }
     }
 
     /// The grid level this instance summarizes.
@@ -183,6 +218,17 @@ impl Storing {
     /// The cell budget α.
     pub fn alpha(&self) -> usize {
         self.cfg.alpha
+    }
+
+    /// The full sizing configuration (for nominal space accounting).
+    pub fn config(&self) -> &StoringConfig {
+        &self.cfg
+    }
+
+    /// Total updates this structure has absorbed (including ones ignored
+    /// because the structure was already dead).
+    pub fn update_count(&self) -> u64 {
+        self.updates
     }
 
     /// Applies `(p, ±1)` (or any delta) to the structure.
@@ -205,46 +251,60 @@ impl Storing {
     ) {
         self.updates += 1;
         match &mut self.inner {
-            Inner::Exact { cells, cap_cells, dead, peak_cells } => {
+            Inner::Exact {
+                cells,
+                cap_cells,
+                dead,
+                peak_cells,
+            } => {
                 if *dead {
                     return;
                 }
                 let beta = self.cfg.beta as i64;
-                let is_new = !cells.contains_key(&cell_key);
-                if is_new && cells.len() >= *cap_cells {
-                    *dead = true;
-                    cells.clear();
-                    cells.shrink_to_fit();
-                    return;
-                }
-                let rec = cells.entry(cell_key).or_insert_with(|| CellRec {
-                    count: 0,
-                    dirty: false,
-                    cell: cell.clone(),
-                    points: HashMap::new(),
-                });
+                // Single probe: the entry does the new-cell check, the
+                // update, and (via the occupied entry) the emptied-cell
+                // removal without re-hashing.
+                let len = cells.len();
+                let mut rec_entry = match cells.entry(cell_key) {
+                    Entry::Vacant(v) => {
+                        if len >= *cap_cells {
+                            let _ = v;
+                            *dead = true;
+                            cells.clear();
+                            cells.shrink_to_fit();
+                            return;
+                        }
+                        *peak_cells = (*peak_cells).max(len + 1);
+                        let rec = v.insert(CellRec {
+                            count: 0,
+                            dirty: false,
+                            cell: cell.clone(),
+                            points: Key128Map::default(),
+                        });
+                        rec.count += delta;
+                        debug_assert!(rec.count >= 0, "stream model: no over-deletion");
+                        update_points(rec, p, point_key, delta, beta);
+                        return; // a just-inserted record cannot net to zero
+                    }
+                    Entry::Occupied(o) => o,
+                };
+                let rec = rec_entry.get_mut();
                 rec.count += delta;
                 debug_assert!(rec.count >= 0, "stream model: no over-deletion");
-                if !rec.dirty {
-                    let e = rec.points.entry(point_key).or_insert_with(|| (p.clone(), 0));
-                    e.1 += delta;
-                    if e.1 == 0 {
-                        rec.points.remove(&point_key);
-                    }
-                    // Mirror the sketch's bucket overflow: cells that grow
-                    // beyond 2β drop their payload.
-                    if rec.count > 2 * beta.max(1) {
-                        rec.points.clear();
-                        rec.points.shrink_to_fit();
-                        rec.dirty = true;
-                    }
-                }
+                update_points(rec, p, point_key, delta, beta);
                 if rec.count == 0 && rec.points.is_empty() {
-                    cells.remove(&cell_key);
+                    rec_entry.remove();
                 }
-                *peak_cells = (*peak_cells).max(cells.len());
             }
-            Inner::Sketch { cell_sketch, rows, bucket_cols, bucket_sparsity, max_buckets, dead, seed } => {
+            Inner::Sketch {
+                cell_sketch,
+                rows,
+                bucket_cols,
+                bucket_sparsity,
+                max_buckets,
+                dead,
+                seed,
+            } => {
                 if *dead {
                     return;
                 }
@@ -305,16 +365,25 @@ impl Storing {
                 out_cells.sort_by(|a, b| a.0.cmp(&b.0));
                 small_points.sort_by(|a, b| a.0.cmp(&b.0));
                 dirty_small_cells.sort();
-                Ok(StoringOutput { cells: out_cells, small_points, dirty_small_cells })
+                Ok(StoringOutput {
+                    cells: out_cells,
+                    small_points,
+                    dirty_small_cells,
+                })
             }
-            Inner::Sketch { cell_sketch, rows, bucket_cols, dead, .. } => {
+            Inner::Sketch {
+                cell_sketch,
+                rows,
+                bucket_cols,
+                dead,
+                ..
+            } => {
                 if *dead {
                     return Err(StoringFail::Overflowed);
                 }
                 let gp = self.grid.params();
                 let decoded = cell_sketch.decode().ok_or(StoringFail::DecodeFailed)?;
-                let live: Vec<(u128, i64)> =
-                    decoded.into_iter().filter(|&(_, c)| c > 0).collect();
+                let live: Vec<(u128, i64)> = decoded.into_iter().filter(|&(_, c)| c > 0).collect();
                 if live.len() > self.cfg.alpha {
                     return Err(StoringFail::TooManyCells {
                         found: live.len(),
@@ -365,7 +434,11 @@ impl Storing {
                 }
                 out_cells.sort_by(|a, b| a.0.cmp(&b.0));
                 small_points.sort_by(|a, b| a.0.cmp(&b.0));
-                Ok(StoringOutput { cells: out_cells, small_points, dirty_small_cells: Vec::new() })
+                Ok(StoringOutput {
+                    cells: out_cells,
+                    small_points,
+                    dirty_small_cells: Vec::new(),
+                })
             }
         }
     }
@@ -392,7 +465,9 @@ impl Storing {
                     })
                     .sum()
             }
-            Inner::Sketch { cell_sketch, rows, .. } => {
+            Inner::Sketch {
+                cell_sketch, rows, ..
+            } => {
                 cell_sketch.stored_bytes()
                     + rows
                         .iter()
@@ -409,8 +484,10 @@ impl Storing {
     /// — the Lemma 4.2 `O(αβ·dL·log²(αβ/δ))`-style accounting used by
     /// experiment E4 regardless of backend.
     pub fn nominal_sketch_bytes(cfg: &StoringConfig) -> usize {
-        let cell_sketch = cfg.rows.max(3) * (2 * cfg.alpha).next_power_of_two() * crate::sparse::OneSparse::BYTES;
-        let bucket = 2 * (2 * (2 * cfg.beta).max(2)).next_power_of_two() * crate::sparse::OneSparse::BYTES;
+        let cell_sketch =
+            cfg.rows.max(3) * (2 * cfg.alpha).next_power_of_two() * crate::sparse::OneSparse::BYTES;
+        let bucket =
+            2 * (2 * (2 * cfg.beta).max(2)).next_power_of_two() * crate::sparse::OneSparse::BYTES;
         let buckets = cfg.rows * 8 * cfg.alpha * bucket;
         cell_sketch + buckets
     }
@@ -434,7 +511,11 @@ mod tests {
 
     fn run_backend(backend: Backend) -> (StoringOutput, StoringOutput) {
         let (grid, pts) = setup();
-        let cfg = StoringConfig { alpha: 256, beta: 8, rows: 4 };
+        let cfg = StoringConfig {
+            alpha: 256,
+            beta: 8,
+            rows: 4,
+        };
         let mut rng = StdRng::seed_from_u64(3);
         let mut st = Storing::new(&grid, 4, cfg, backend, &mut rng);
         // Insert everything, delete the second half.
@@ -463,7 +544,14 @@ mod tests {
         }
         let mut small: Vec<(Point, i64)> = small_map.into_iter().collect();
         small.sort_by(|a, b| a.0.cmp(&b.0));
-        (got, StoringOutput { cells, small_points: small, dirty_small_cells: Vec::new() })
+        (
+            got,
+            StoringOutput {
+                cells,
+                small_points: small,
+                dirty_small_cells: Vec::new(),
+            },
+        )
     }
 
     #[test]
@@ -483,7 +571,11 @@ mod tests {
     #[test]
     fn fails_when_cells_exceed_alpha() {
         let (grid, pts) = setup();
-        let cfg = StoringConfig { alpha: 4, beta: 4, rows: 3 };
+        let cfg = StoringConfig {
+            alpha: 4,
+            beta: 4,
+            rows: 3,
+        };
         let mut rng = StdRng::seed_from_u64(4);
         for backend in [Backend::Exact { cap_cells: 4096 }, Backend::Sketch] {
             let mut st = Storing::new(&grid, 6, cfg, backend, &mut rng);
@@ -492,7 +584,10 @@ mod tests {
             }
             let err = st.finish().unwrap_err();
             assert!(
-                matches!(err, StoringFail::TooManyCells { .. } | StoringFail::DecodeFailed),
+                matches!(
+                    err,
+                    StoringFail::TooManyCells { .. } | StoringFail::DecodeFailed
+                ),
                 "{err:?}"
             );
         }
@@ -501,7 +596,11 @@ mod tests {
     #[test]
     fn exact_cap_kills_runaway_stream() {
         let (grid, pts) = setup();
-        let cfg = StoringConfig { alpha: 4, beta: 2, rows: 2 };
+        let cfg = StoringConfig {
+            alpha: 4,
+            beta: 2,
+            rows: 2,
+        };
         let mut rng = StdRng::seed_from_u64(5);
         let mut st = Storing::new(&grid, 6, cfg, Backend::Exact { cap_cells: 8 }, &mut rng);
         for p in &pts {
@@ -520,7 +619,11 @@ mod tests {
         let gp = GridParams::from_log_delta(6, 2);
         let mut rng = StdRng::seed_from_u64(6);
         let grid = GridHierarchy::new(gp, &mut rng);
-        let cfg = StoringConfig { alpha: 128, beta: 4, rows: 5 };
+        let cfg = StoringConfig {
+            alpha: 128,
+            beta: 4,
+            rows: 5,
+        };
         let mut st = Storing::new(&grid, 2, cfg, Backend::Sketch, &mut rng);
         // Heavy cluster: 500 distinct points crammed into one level-2 cell
         // region (side 16): coordinates 1..=16 × 1..=16 plus multiplicity.
@@ -553,7 +656,11 @@ mod tests {
         // backend must refuse rather than silently return partial points.
         let gp = GridParams::from_log_delta(6, 2);
         let grid = GridHierarchy::unshifted(gp);
-        let cfg = StoringConfig { alpha: 64, beta: 2, rows: 2 };
+        let cfg = StoringConfig {
+            alpha: 64,
+            beta: 2,
+            rows: 2,
+        };
         let mut rng = StdRng::seed_from_u64(7);
         let mut st = Storing::new(&grid, 5, cfg, Backend::Exact { cap_cells: 512 }, &mut rng);
         let cell_pts: Vec<Point> = (1..=8u32).map(|i| Point::new(vec![i % 2 + 1, i])).collect();
@@ -568,7 +675,11 @@ mod tests {
             st.update(&p, -1);
         }
         let out = st.finish().expect("counts still valid");
-        assert_eq!(out.dirty_small_cells.len(), 1, "the churned cell is flagged");
+        assert_eq!(
+            out.dirty_small_cells.len(),
+            1,
+            "the churned cell is flagged"
+        );
         assert!(out.small_points.is_empty(), "its points are not fabricated");
         assert_eq!(out.cells.len(), 1);
         assert_eq!(out.cells[0].1, 1, "count survives eviction");
@@ -576,8 +687,16 @@ mod tests {
 
     #[test]
     fn nominal_bytes_scale_with_alpha_beta() {
-        let small = Storing::nominal_sketch_bytes(&StoringConfig { alpha: 16, beta: 2, rows: 3 });
-        let big = Storing::nominal_sketch_bytes(&StoringConfig { alpha: 64, beta: 8, rows: 3 });
+        let small = Storing::nominal_sketch_bytes(&StoringConfig {
+            alpha: 16,
+            beta: 2,
+            rows: 3,
+        });
+        let big = Storing::nominal_sketch_bytes(&StoringConfig {
+            alpha: 64,
+            beta: 8,
+            rows: 3,
+        });
         assert!(big > 4 * small);
     }
 }

@@ -70,7 +70,11 @@ proptest! {
 fn churned_cell_sketch_recovers_exact_flags() {
     let gp = GridParams::from_log_delta(5, 2);
     let grid = GridHierarchy::unshifted(gp);
-    let cfg = StoringConfig { alpha: 64, beta: 2, rows: 5 };
+    let cfg = StoringConfig {
+        alpha: 64,
+        beta: 2,
+        rows: 5,
+    };
     let mut rng = StdRng::seed_from_u64(3);
     let mut exact = Storing::new(&grid, 4, cfg, Backend::Exact { cap_cells: 1024 }, &mut rng);
     let mut sketch = Storing::new(&grid, 4, cfg, Backend::Sketch, &mut rng);
@@ -87,13 +91,21 @@ fn churned_cell_sketch_recovers_exact_flags() {
         }
     }
     let sk = sketch.finish().expect("sketch is oblivious to churn");
-    assert_eq!(sk.small_points, vec![(a.clone(), 1)], "sketch recovers the survivor");
+    assert_eq!(
+        sk.small_points,
+        vec![(a.clone(), 1)],
+        "sketch recovers the survivor"
+    );
     assert!(sk.dirty_small_cells.is_empty());
 
     let ex = exact.finish().expect("counts remain exact");
     assert_eq!(ex.cells, sk.cells, "counts agree");
     assert!(ex.small_points.is_empty(), "payload was evicted");
-    assert_eq!(ex.dirty_small_cells.len(), 1, "exact backend flags the evicted cell");
+    assert_eq!(
+        ex.dirty_small_cells.len(),
+        1,
+        "exact backend flags the evicted cell"
+    );
 
     // Draining a dirty cell all the way to zero clears it entirely — an
     // empty cell needs no flag.

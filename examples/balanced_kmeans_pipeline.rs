@@ -40,7 +40,11 @@ fn main() {
 
     // 1. Coreset.
     let coreset = build_coreset(&points, &params, &mut rng).expect("coreset");
-    println!("coreset: {} points ({:.1}× compression)", coreset.len(), n as f64 / coreset.len() as f64);
+    println!(
+        "coreset: {} points ({:.1}× compression)",
+        coreset.len(),
+        n as f64 / coreset.len() as f64
+    );
 
     // 2. Capacitated k-means on the coreset. Capacity t = 1.15·n/k forces
     //    near-balance.
@@ -51,7 +55,10 @@ fn main() {
     // How imbalanced would the *unconstrained* assignment to these
     // centers be?
     let natural = nearest_assignment_loads(&points, None, &sol.centers);
-    println!("\nnearest-center loads (no capacity): {:?}", rounded(&natural));
+    println!(
+        "\nnearest-center loads (no capacity): {:?}",
+        rounded(&natural)
+    );
     println!("capacity target t = {cap:.0} per center");
 
     // 3. Assignment oracle: extend to all original points.

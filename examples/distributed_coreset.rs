@@ -22,7 +22,10 @@ fn main() {
 
     println!("── Distributed coreset (coordinator model) ──");
     println!("{n} points total\n");
-    println!("{:>4} {:>12} {:>14} {:>14} {:>10}", "s", "coreset", "broadcast B", "upload B", "B/machine");
+    println!(
+        "{:>4} {:>12} {:>14} {:>14} {:>10}",
+        "s", "coreset", "broadcast B", "upload B", "B/machine"
+    );
     for s in [2usize, 4, 8, 16] {
         let shards = split_round_robin(&points, s);
         let (coreset, stats) =

@@ -76,11 +76,16 @@ impl Opts {
     }
 
     fn str(&self, key: &str) -> Result<&str, String> {
-        self.0.get(key).map(String::as_str).ok_or_else(|| format!("missing --{key}"))
+        self.0
+            .get(key)
+            .map(String::as_str)
+            .ok_or_else(|| format!("missing --{key}"))
     }
 
     fn num<T: std::str::FromStr>(&self, key: &str) -> Result<T, String> {
-        self.str(key)?.parse().map_err(|_| format!("--{key}: invalid value"))
+        self.str(key)?
+            .parse()
+            .map_err(|_| format!("--{key}: invalid value"))
     }
 
     fn num_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
@@ -130,7 +135,10 @@ fn cmd_stats(o: &Opts) -> Result<(), String> {
     println!("dimension: {d}");
     println!("bbox lo:   {lo:?}");
     println!("bbox hi:   {hi:?}");
-    println!("suggested --log-delta: {}", (max_coord as f64).log2().ceil() as u32);
+    println!(
+        "suggested --log-delta: {}",
+        (max_coord as f64).log2().ceil() as u32
+    );
     Ok(())
 }
 
@@ -150,7 +158,10 @@ fn cmd_coreset(o: &Opts) -> Result<(), String> {
     if let Ok(out) = o.str("out") {
         write_csv(
             out,
-            coreset.entries().iter().map(|e| (e.point.clone(), Some(e.weight))),
+            coreset
+                .entries()
+                .iter()
+                .map(|e| (e.point.clone(), Some(e.weight))),
         )?;
         eprintln!("wrote weighted coreset to {out} (last column = weight)");
     }
@@ -195,7 +206,10 @@ fn params_from(o: &Opts, points: &[Point]) -> Result<(CoresetParams, StdRng), St
             ));
         }
     }
-    Ok((CoresetParams::practical(k, r, eps, eta, gp), StdRng::seed_from_u64(seed)))
+    Ok((
+        CoresetParams::practical(k, r, eps, eta, gp),
+        StdRng::seed_from_u64(seed),
+    ))
 }
 
 /// Reads points (optionally ignoring a trailing weight column is NOT done:
@@ -217,7 +231,10 @@ fn parse_csv(body: &str) -> Result<Vec<Point>, String> {
             line.split(',').map(|f| f.trim().parse::<u32>()).collect();
         let coords = coords.map_err(|_| format!("line {}: bad integer", lineno + 1))?;
         if coords.is_empty() || coords.iter().any(|&c| c < 1) {
-            return Err(format!("line {}: coordinates are 1-based integers", lineno + 1));
+            return Err(format!(
+                "line {}: coordinates are 1-based integers",
+                lineno + 1
+            ));
         }
         match dim {
             None => dim = Some(coords.len()),
@@ -231,10 +248,7 @@ fn parse_csv(body: &str) -> Result<Vec<Point>, String> {
     Ok(out)
 }
 
-fn write_csv(
-    path: &str,
-    rows: impl Iterator<Item = (Point, Option<f64>)>,
-) -> Result<(), String> {
+fn write_csv(path: &str, rows: impl Iterator<Item = (Point, Option<f64>)>) -> Result<(), String> {
     let f = std::fs::File::create(path).map_err(|e| format!("{path}: {e}"))?;
     let mut w = std::io::BufWriter::new(f);
     for (p, weight) in rows {
@@ -269,8 +283,10 @@ mod tests {
 
     #[test]
     fn opts_parsing() {
-        let args: Vec<String> =
-            ["--k", "3", "--r", "2"].iter().map(|s| s.to_string()).collect();
+        let args: Vec<String> = ["--k", "3", "--r", "2"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         let o = Opts::parse(&args).unwrap();
         assert_eq!(o.num::<usize>("k").unwrap(), 3);
         assert_eq!(o.num_or::<f64>("eps", 0.5).unwrap(), 0.5);

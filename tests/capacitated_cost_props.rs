@@ -9,13 +9,19 @@ use sbc_geometry::metric::{dist_r_pow, nearest};
 use sbc_geometry::Point;
 
 fn small_points() -> impl Strategy<Value = Vec<Point>> {
-    prop::collection::vec((1u32..=32, 1u32..=32), 2..7)
-        .prop_map(|cs| cs.into_iter().map(|(a, b)| Point::new(vec![a, b])).collect())
+    prop::collection::vec((1u32..=32, 1u32..=32), 2..7).prop_map(|cs| {
+        cs.into_iter()
+            .map(|(a, b)| Point::new(vec![a, b]))
+            .collect()
+    })
 }
 
 fn small_centers() -> impl Strategy<Value = Vec<Point>> {
-    prop::collection::vec((1u32..=32, 1u32..=32), 1..4)
-        .prop_map(|cs| cs.into_iter().map(|(a, b)| Point::new(vec![a, b])).collect())
+    prop::collection::vec((1u32..=32, 1u32..=32), 1..4).prop_map(|cs| {
+        cs.into_iter()
+            .map(|(a, b)| Point::new(vec![a, b]))
+            .collect()
+    })
 }
 
 proptest! {

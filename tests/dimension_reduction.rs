@@ -35,7 +35,10 @@ fn coreset_in_projected_space_preserves_capacitated_cost_shape() {
     let full_low = capacitated_cost(&low, None, &centers, cap, 2.0);
     let est_low = capacitated_cost(&cpts, Some(&cws), &centers, 1.2 * cap, 2.0);
     let ratio = est_low / full_low;
-    assert!((0.6..=1.5).contains(&ratio), "projected-space coreset ratio {ratio}");
+    assert!(
+        (0.6..=1.5).contains(&ratio),
+        "projected-space coreset ratio {ratio}"
+    );
 }
 
 #[test]
@@ -64,6 +67,9 @@ fn projection_roughly_preserves_clustering_cost_ordering() {
     let hi_bad = capacitated_cost(&pts, None, &bad, cap, 2.0);
     let lo_good = capacitated_cost(&low, None, &good_low, cap, 2.0);
     let lo_bad = capacitated_cost(&low, None, &bad_low, cap, 2.0);
-    assert!(hi_good < hi_bad, "sanity: seeds beat corner centers upstairs");
+    assert!(
+        hi_good < hi_bad,
+        "sanity: seeds beat corner centers upstairs"
+    );
     assert!(lo_good < lo_bad, "ordering must survive projection");
 }

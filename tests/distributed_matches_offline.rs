@@ -30,16 +30,22 @@ fn distributed_coreset_estimates_costs_well() {
     let (cpts, cws) = cs.split();
     let mut rng = StdRng::seed_from_u64(9);
     let mut worst: f64 = 1.0;
+    let mut compared = 0;
     for trial in 0..3 {
         let centers = kmeanspp_seeds(&pts, None, 3, 2.0, &mut rng);
         let t = n as f64 / 3.0 * (1.2 + 0.3 * trial as f64);
+        // Compare at EQUAL capacity: at these tight capacities the
+        // objective is capacity-dominated, so giving the estimate side
+        // slack changes the problem being solved, not the estimate.
         let full = capacitated_cost(&pts, None, &centers, t, 2.0);
-        let est = capacitated_cost(&cpts, Some(&cws), &centers, 1.2 * t, 2.0);
+        let est = capacitated_cost(&cpts, Some(&cws), &centers, t, 2.0);
         if full.is_finite() && est.is_finite() && full > 0.0 {
             worst = worst.max((est / full).max(full / est));
+            compared += 1;
         }
     }
-    assert!(worst <= 1.6, "distributed coreset quality {worst}");
+    assert!(compared >= 2, "too few feasible trials ({compared})");
+    assert!(worst <= 1.25, "distributed coreset quality {worst}");
 }
 
 #[test]

@@ -21,7 +21,10 @@ fn oracle_rejects_infeasible_capacity() {
     let centers = vec![Point::new(vec![10, 10]), Point::new(vec![100, 100])];
     // Capacity 10 ≪ total weight/2.
     match build_assignment_oracle(&coreset, &params, &centers, 10.0) {
-        Err(OracleError::Infeasible { total_weight, capacity }) => {
+        Err(OracleError::Infeasible {
+            total_weight,
+            capacity,
+        }) => {
             assert!(total_weight > 2.0 * capacity);
         }
         other => panic!("expected Infeasible, got {other:?}"),
@@ -39,7 +42,11 @@ fn storing_overflow_and_alpha_fail_paths() {
     let mut st = Storing::new(
         &grid,
         6,
-        StoringConfig { alpha: 8, beta: 2, rows: 2 },
+        StoringConfig {
+            alpha: 8,
+            beta: 2,
+            rows: 2,
+        },
         Backend::Exact { cap_cells: 10_000 },
         &mut rng,
     );
@@ -52,7 +59,11 @@ fn storing_overflow_and_alpha_fail_paths() {
     let mut st2 = Storing::new(
         &grid,
         6,
-        StoringConfig { alpha: 8, beta: 2, rows: 2 },
+        StoringConfig {
+            alpha: 8,
+            beta: 2,
+            rows: 2,
+        },
         Backend::Exact { cap_cells: 16 },
         &mut rng,
     );
@@ -66,7 +77,11 @@ fn storing_overflow_and_alpha_fail_paths() {
     let mut st3 = Storing::new(
         &grid,
         6,
-        StoringConfig { alpha: 8, beta: 2, rows: 3 },
+        StoringConfig {
+            alpha: 8,
+            beta: 2,
+            rows: 3,
+        },
         Backend::Sketch,
         &mut rng,
     );
@@ -107,7 +122,10 @@ fn delete_everything_leaves_unbuildable_state() {
         b.delete(p);
     }
     assert_eq!(b.net_count(), 0);
-    assert!(b.finish().is_err(), "empty final set must not yield a coreset");
+    assert!(
+        b.finish().is_err(),
+        "empty final set must not yield a coreset"
+    );
 }
 
 #[test]
@@ -122,10 +140,17 @@ fn paper_profile_constants_are_usable_but_sample_everything() {
     // φ = 1 everywhere ⇒ every located point is kept; duplicates merge
     // into weighted entries, so *total weight* (not distinct count)
     // tracks n (minus at most the dropped small parts).
-    assert!(cs.total_weight() >= 0.9 * pts.len() as f64, "tw {}", cs.total_weight());
+    assert!(
+        cs.total_weight() >= 0.9 * pts.len() as f64,
+        "tw {}",
+        cs.total_weight()
+    );
     for e in cs.entries() {
         let m = e.weight.round();
-        assert!((e.weight - m).abs() < 1e-9 && m >= 1.0, "φ = 1 ⇒ integer multiplicity weights");
+        assert!(
+            (e.weight - m).abs() < 1e-9 && m >= 1.0,
+            "φ = 1 ⇒ integer multiplicity weights"
+        );
     }
 }
 

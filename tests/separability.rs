@@ -22,13 +22,17 @@ fn instance() -> impl Strategy<Value = (Vec<Point>, Vec<Point>)> {
     )
         .prop_map(|(ps, zs)| {
             // Footnote 4: input points must have distinct coordinates.
-            let mut points: Vec<Point> =
-                ps.into_iter().map(|(a, b)| Point::new(vec![a, b])).collect();
+            let mut points: Vec<Point> = ps
+                .into_iter()
+                .map(|(a, b)| Point::new(vec![a, b]))
+                .collect();
             points.sort();
             points.dedup();
             (
                 points,
-                zs.into_iter().map(|(a, b)| Point::new(vec![a, b])).collect(),
+                zs.into_iter()
+                    .map(|(a, b)| Point::new(vec![a, b]))
+                    .collect(),
             )
         })
 }

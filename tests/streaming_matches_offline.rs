@@ -111,7 +111,10 @@ fn streaming_space_does_not_scale_with_n() {
     bl.process_all(&insertion_stream(&large));
     let rep_large = bl.space_report();
 
-    assert_eq!(rep_small.hash_bytes, rep_large.hash_bytes, "hash state is data-independent");
+    assert_eq!(
+        rep_small.hash_bytes, rep_large.hash_bytes,
+        "hash state is data-independent"
+    );
     let growth = rep_large.store_bytes as f64 / rep_small.store_bytes.max(1) as f64;
     assert!(
         growth < 6.0,

@@ -1,0 +1,118 @@
+//! Offline vendored stand-in for the `crossbeam` crate.
+//!
+//! Only scoped threads are provided, built on `std::thread::scope`
+//! (stabilized after crossbeam's scoped API was designed, with the same
+//! guarantees). The one API difference papered over here: crossbeam's
+//! `scope` returns `Err` if any spawned thread panicked, while std
+//! propagates the panic — so the std scope runs inside `catch_unwind`.
+
+// Vendored stand-in: mirrors an external crate's API, not held to the
+// workspace lint bar.
+#![allow(clippy::all)]
+#![deny(missing_docs)]
+
+use std::any::Any;
+
+/// `Result` of a scope or join: `Err` carries a panic payload.
+pub type ThreadResult<T> = Result<T, Box<dyn Any + Send + 'static>>;
+
+/// Scope handle passed to the `scope` closure and to spawned threads.
+///
+/// `Copy` so the spawned thread can own its own handle: crossbeam passes
+/// `&Scope` into each spawned closure, and a copy moved into the thread
+/// outlives the parent closure's borrow.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a thread scoped to `'scope`; it may borrow from `'env`.
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let own = *self;
+        ScopedJoinHandle {
+            inner: self.inner.spawn(move || f(&own)),
+        }
+    }
+}
+
+/// Handle to a spawned scoped thread.
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: std::thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<'scope, T> ScopedJoinHandle<'scope, T> {
+    /// Waits for the thread and returns its result (`Err` on panic).
+    pub fn join(self) -> ThreadResult<T> {
+        self.inner.join()
+    }
+}
+
+/// Creates a scope in which threads borrowing local data can be spawned.
+/// All spawned threads are joined before this returns. Returns `Err`
+/// with the panic payload if the closure or any unjoined thread panics.
+pub fn scope<'env, F, R>(f: F) -> ThreadResult<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        std::thread::scope(|s| f(&Scope { inner: s }))
+    }))
+}
+
+/// Module alias matching `crossbeam::thread::scope` paths.
+pub mod thread {
+    pub use super::{scope, Scope, ScopedJoinHandle};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn threads_borrow_and_join() {
+        let data = vec![1u64, 2, 3, 4];
+        let total = std::sync::atomic::AtomicU64::new(0);
+        super::scope(|s| {
+            for chunk in data.chunks(2) {
+                let total = &total;
+                s.spawn(move |_| {
+                    let sum: u64 = chunk.iter().sum();
+                    total.fetch_add(sum, std::sync::atomic::Ordering::Relaxed);
+                });
+            }
+        })
+        .expect("no panics");
+        assert_eq!(total.into_inner(), 10);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let hit = std::sync::atomic::AtomicBool::new(false);
+        super::scope(|s| {
+            let hit = &hit;
+            s.spawn(move |inner| {
+                inner.spawn(move |_| hit.store(true, std::sync::atomic::Ordering::SeqCst));
+            });
+        })
+        .expect("no panics");
+        assert!(hit.into_inner());
+    }
+
+    #[test]
+    fn panic_becomes_err() {
+        let r = super::scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,89 @@
+//! Offline vendored stand-in for the `rayon` crate.
+//!
+//! Provides the structured-parallelism subset this workspace uses —
+//! [`scope`]/[`Scope::spawn`], [`join`], [`current_num_threads`] — on
+//! top of `std::thread::scope`. Each `spawn` starts an OS thread rather
+//! than queueing onto a work-stealing pool, so callers should spawn
+//! O(threads) coarse tasks (one per shard), not O(items) fine ones.
+//! That is exactly how the streaming ingest shards its instance ladder.
+
+// Vendored stand-in: mirrors an external crate's API, not held to the
+// workspace lint bar.
+#![allow(clippy::all)]
+#![deny(missing_docs)]
+
+/// Number of threads rayon would use: the machine's available
+/// parallelism (the stub has no configurable pool).
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Scope handle passed to the [`scope`] closure; spawns tasks that may
+/// borrow from outside the scope.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a task; it runs to completion before `scope` returns.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce(&Scope<'scope, 'env>) + Send + 'scope,
+    {
+        let inner = self.inner;
+        self.inner.spawn(move || f(&Scope { inner }));
+    }
+}
+
+/// Runs `f` with a scope in which borrowed-data tasks can be spawned;
+/// returns after every spawned task finishes. Panics in tasks propagate.
+pub fn scope<'env, F, R>(f: F) -> R
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    std::thread::scope(|s| f(&Scope { inner: s }))
+}
+
+/// Runs both closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        (ra, hb.join().expect("rayon::join closure panicked"))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scope_tasks_complete_before_return() {
+        let mut parts = vec![0u64; 4];
+        let data: Vec<u64> = (1..=100).collect();
+        super::scope(|s| {
+            for (slot, chunk) in parts.iter_mut().zip(data.chunks(25)) {
+                s.spawn(move |_| *slot = chunk.iter().sum());
+            }
+        });
+        assert_eq!(parts.iter().sum::<u64>(), 5050);
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = super::join(|| 2 + 2, || "ok");
+        assert_eq!(a, 4);
+        assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn thread_count_positive() {
+        assert!(super::current_num_threads() >= 1);
+    }
+}
