@@ -1,0 +1,75 @@
+//! Guard for the `sbc-obs` zero-cost contract: with instrumentation
+//! compiled in but recording disabled ("enabled-but-idle"), the per-call
+//! cost of the metric primitives must stay under 1% of the measured
+//! per-op streaming ingest cost.
+//!
+//! Run with `cargo bench --bench obs_overhead [--features obs]`. This is
+//! a plain `harness = false` guard (it asserts and exits non-zero on
+//! regression) rather than a Criterion tracker, because its job is a
+//! pass/fail bound, not a trend line.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sbc_bench::Workload;
+use sbc_core::CoresetParams;
+use sbc_geometry::GridParams;
+use sbc_streaming::model::insertion_stream;
+use sbc_streaming::{StreamCoresetBuilder, StreamParams};
+use std::time::Instant;
+
+/// Generous bound on instrumentation call sites executed per ingest op
+/// (amortized): one sign tally plus, per batch of 4096 ops, the batch
+/// counters, two spans, and the per-(level, role) prune tallies.
+const SITES_PER_OP: f64 = 16.0;
+
+/// Best-of-`reps` seconds for one full ingest of `ops`.
+fn ingest_secs(params: &CoresetParams, ops: &[sbc_streaming::model::StreamOp], reps: usize) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut b = StreamCoresetBuilder::new(params.clone(), StreamParams::default(), &mut rng);
+        let start = Instant::now();
+        b.process_all(ops);
+        best = best.min(start.elapsed().as_secs_f64());
+        std::hint::black_box(b.net_count());
+    }
+    best
+}
+
+/// Nanoseconds per idle `Counter::add` call (the gate is one relaxed
+/// atomic load + a predictable branch; a no-op build measures ~0).
+fn idle_counter_ns_per_call(calls: u64) -> f64 {
+    let c = sbc_obs::counter("bench.obs_overhead.idle");
+    let start = Instant::now();
+    for i in 0..calls {
+        c.add(std::hint::black_box(i & 1));
+    }
+    start.elapsed().as_secs_f64() * 1e9 / calls as f64
+}
+
+fn main() {
+    sbc_obs::set_enabled(false); // enabled-but-idle is the state under test
+
+    let gp = GridParams::from_log_delta(8, 2);
+    let params = CoresetParams::practical(3, 2.0, 0.2, 0.2, gp);
+    let pts = Workload::Gaussian.generate(gp, 4000, 3, 9);
+    let ops = insertion_stream(&pts);
+
+    let op_ns = ingest_secs(&params, &ops, 3) * 1e9 / ops.len() as f64;
+    let call_ns = idle_counter_ns_per_call(50_000_000);
+    let overhead = SITES_PER_OP * call_ns / op_ns;
+
+    println!("ingest: {op_ns:.1} ns/op");
+    println!("idle counter: {call_ns:.3} ns/call");
+    println!(
+        "worst-case idle instrumentation share ({SITES_PER_OP:.0} sites/op): {:.4}%",
+        overhead * 100.0
+    );
+    assert!(
+        overhead < 0.01,
+        "enabled-but-idle overhead {:.3}% breaches the 1% budget \
+         ({call_ns:.3} ns/call vs {op_ns:.1} ns/op)",
+        overhead * 100.0
+    );
+    println!("OK: enabled-but-idle overhead is within the 1% budget");
+}

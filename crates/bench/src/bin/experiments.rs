@@ -10,6 +10,9 @@
 //! cargo run --release -p sbc-bench --bin experiments -- e1 e4   # subset
 //! cargo run --release -p sbc-bench --bin experiments -- --quick # smaller sizes
 //! ```
+//!
+//! With the `obs` feature, `--metrics-out <path>` writes the metrics
+//! snapshot accumulated across the selected experiments as JSON.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -41,12 +44,27 @@ struct Scale {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let metrics_out = args
+        .iter()
+        .position(|a| a == "--metrics-out")
+        .map(|i| args.get(i + 1).expect("--metrics-out needs a path").clone());
+    let mut skip_next = false;
     let wanted: Vec<&str> = args
         .iter()
-        .filter(|a| !a.starts_with("--"))
+        .filter(|a| {
+            if skip_next {
+                skip_next = false;
+                return false;
+            }
+            if *a == "--metrics-out" {
+                skip_next = true;
+            }
+            !a.starts_with("--")
+        })
         .map(String::as_str)
         .collect();
     let run = |id: &str| wanted.is_empty() || wanted.contains(&id);
+    sbc_obs::set_enabled(true); // no-op unless built with the obs feature
 
     let scale = if quick {
         Scale {
@@ -107,6 +125,17 @@ fn main() {
     }
     if run("e10") {
         e10_assignment_oracle(&scale);
+    }
+
+    if let Some(path) = metrics_out {
+        let snapshot = sbc_obs::snapshot();
+        std::fs::write(&path, snapshot.to_json().render_pretty())
+            .unwrap_or_else(|e| panic!("failed to write {path}: {e}"));
+        println!(
+            "wrote {path} ({} counters, {} histograms)",
+            snapshot.counters.len(),
+            snapshot.histograms.len()
+        );
     }
 }
 

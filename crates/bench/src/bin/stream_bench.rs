@@ -6,13 +6,19 @@
 //! mixed-op — and writes a machine-readable JSON report plus a human
 //! summary to stdout.
 //!
-//! Usage: `cargo run --release --bin stream_bench [-- <out.json>]`
+//! With the `obs` feature the run also records the workspace metrics
+//! registry: the report gains a `"metrics"` section and `--metrics-out
+//! <path>` dumps the full snapshot to its own JSON file.
+//!
+//! Usage: `cargo run --release --bin stream_bench [--features obs] \
+//!            [-- <out.json>] [--metrics-out <metrics.json>]`
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sbc_bench::Workload;
 use sbc_core::CoresetParams;
-use sbc_geometry::GridParams;
+use sbc_distributed::DistributedCoreset;
+use sbc_geometry::{dataset, GridParams};
 use sbc_streaming::model::{churn_stream, insertion_stream, StreamOp};
 use sbc_streaming::{StreamCoresetBuilder, StreamParams};
 use std::fmt::Write as _;
@@ -127,10 +133,53 @@ fn bench_workload(
     let _ = write!(json, "    }}");
 }
 
+/// The current git commit, or `"unknown"` outside a checkout.
+fn git_commit() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".into())
+}
+
+/// Drives the downstream pipeline once so the `flow.*`, `dist.wire.*`,
+/// `cluster.*` and `core.oracle.*` metrics carry real values alongside
+/// the `stream.ingest.*` ones: a 2-machine distributed coreset over the
+/// same workload, then an assignment oracle on its output.
+fn exercise_pipeline(params: &CoresetParams, pts: &[sbc_geometry::Point]) {
+    let shards = dataset::split_round_robin(pts, 2);
+    let Ok((coreset, _stats)) =
+        DistributedCoreset::run(&shards, params, &StreamParams::default(), 23)
+    else {
+        return;
+    };
+    let (cpts, cws) = coreset.split();
+    let mut rng = StdRng::seed_from_u64(29);
+    let centers =
+        sbc_clustering::kmeanspp::kmeanspp_seeds(&cpts, Some(&cws), params.k, params.r, &mut rng);
+    let cap = cws.iter().sum::<f64>() / params.k as f64 * 1.3;
+    let _ = sbc_clustering::cost::capacitated_cost(&cpts, Some(&cws), &centers, cap, params.r);
+    let _ = sbc_core::assign::build_assignment_oracle(&coreset, params, &centers, cap);
+}
+
 fn main() {
-    let out_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_streaming.json".into());
+    let mut out_path: Option<String> = None;
+    let mut metrics_out: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--metrics-out" => {
+                metrics_out = Some(args.next().expect("--metrics-out needs a path"));
+            }
+            flag if flag.starts_with("--") => panic!("unknown flag {flag}"),
+            path => out_path = Some(path.to_string()),
+        }
+    }
+    let out_path = out_path.unwrap_or_else(|| "BENCH_streaming.json".into());
     let reps: usize = std::env::var("STREAM_BENCH_REPS")
         .ok()
         .and_then(|s| s.parse().ok())
@@ -149,14 +198,46 @@ fn main() {
     json.push_str("{\n");
     let _ = writeln!(
         json,
+        "  \"schema_version\": 2,\n  \"git_commit\": \"{}\",\n  \"generated_at\": \"{}\",",
+        git_commit(),
+        sbc_obs::iso8601_utc_now()
+    );
+    let _ = writeln!(
+        json,
         "  \"workload\": \"gaussian\",\n  \"n\": {n},\n  \"grid\": \"log_delta=8, d=2\",\n  \"threads_available\": {},\n  \"groups\": {{",
         rayon::current_num_threads()
     );
     bench_workload("insert_only", &params, &insert_ops, reps, &mut json);
     json.push_str(",\n");
     bench_workload("mixed_deletion_heavy", &params, &mixed_ops, reps, &mut json);
-    json.push_str("\n  }\n}\n");
+    json.push_str("\n  },\n");
+
+    // Metrics recording starts after the timed section so the counters
+    // describe one clean, reproducible pass (and never skew the numbers
+    // above). Without the `obs` feature this records nothing and the
+    // section reports `"feature_enabled": false`.
+    sbc_obs::reset();
+    sbc_obs::set_enabled(true);
+    if sbc_obs::enabled() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut builder =
+            StreamCoresetBuilder::new(params.clone(), StreamParams::default(), &mut rng);
+        builder.process_all(&insert_ops);
+        exercise_pipeline(&params, &pts);
+    }
+    sbc_obs::set_enabled(false);
+    let snapshot = sbc_obs::snapshot();
+    let _ = writeln!(json, "  \"metrics\": {}\n}}", snapshot.to_json());
 
     std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("failed to write {out_path}: {e}"));
     println!("\nwrote {out_path}");
+    if let Some(mpath) = metrics_out {
+        std::fs::write(&mpath, snapshot.to_json().render_pretty())
+            .unwrap_or_else(|e| panic!("failed to write {mpath}: {e}"));
+        println!(
+            "wrote {mpath} ({} counters, {} histograms)",
+            snapshot.counters.len(),
+            snapshot.histograms.len()
+        );
+    }
 }

@@ -19,6 +19,7 @@ pub fn uncapacitated_cost(
     r: f64,
 ) -> f64 {
     assert!(!centers.is_empty());
+    sbc_obs::counter!("cluster.cost.uncapacitated_evals").incr();
     points
         .iter()
         .enumerate()
@@ -42,6 +43,7 @@ pub fn capacitated_cost(
     cap: f64,
     r: f64,
 ) -> f64 {
+    sbc_obs::counter!("cluster.cost.capacitated_evals").incr();
     capacitated_cost_value(points, weights, centers, cap, r)
 }
 

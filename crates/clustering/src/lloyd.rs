@@ -34,6 +34,8 @@ pub fn lloyd(
     max_iters: usize,
 ) -> LloydSolution {
     assert!(!points.is_empty() && !init.is_empty());
+    sbc_obs::counter!("cluster.lloyd.runs").incr();
+    let _span = sbc_obs::span!("cluster.lloyd.run_ns");
     let d = points[0].dim();
     let mut centers = init;
     let mut last_cost = uncapacitated_cost(points, weights, &centers, r);
@@ -61,6 +63,7 @@ pub fn lloyd(
         }
         last_cost = cost;
     }
+    sbc_obs::counter!("cluster.lloyd.iterations").add(iterations as u64);
     LloydSolution {
         centers,
         cost: last_cost,

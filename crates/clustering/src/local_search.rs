@@ -58,6 +58,8 @@ pub fn local_search_kmedian<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> LocalSearchSolution {
     assert!(!wps.is_empty());
+    sbc_obs::counter!("cluster.local_search.runs").incr();
+    let _span = sbc_obs::span!("cluster.local_search.run_ns");
     let (points, weights) = crate::split_weighted(wps);
     let mut centers = kmeanspp_seeds(&points, Some(&weights), k, r, rng);
     let mut cost = capacitated_cost(&points, Some(&weights), &centers, cap, r);
@@ -94,6 +96,7 @@ pub fn local_search_kmedian<R: Rng + ?Sized>(
             break;
         }
     }
+    sbc_obs::counter!("cluster.local_search.swaps_accepted").add(swaps as u64);
     LocalSearchSolution {
         centers,
         cost,

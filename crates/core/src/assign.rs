@@ -109,6 +109,7 @@ impl AssignmentOracle {
     /// Assigns a whole point set, returning per-point centers, the total
     /// cost and per-center loads.
     pub fn assign_all(&self, points: &[Point]) -> OracleAssignment {
+        sbc_obs::counter!("core.oracle.assign_calls").add(points.len() as u64);
         let mut center_of = Vec::with_capacity(points.len());
         let mut loads = vec![0.0; self.centers.len()];
         let mut cost = 0.0;
@@ -157,6 +158,8 @@ pub fn build_assignment_oracle(
     if coreset.is_empty() {
         return Err(OracleError::EmptyCoreset);
     }
+    sbc_obs::counter!("core.oracle.builds").incr();
+    let _span = sbc_obs::span!("core.oracle.build_ns");
     let k = centers.len();
     let (pts, ws) = coreset.split();
     let total_w: f64 = ws.iter().sum();

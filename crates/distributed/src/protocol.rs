@@ -110,6 +110,9 @@ impl DistributedCoreset {
     ) -> Result<(Coreset, CommStats), FailReason> {
         assert!(!shards.is_empty(), "need at least one machine");
         let s = shards.len();
+        sbc_obs::counter!("dist.protocol.runs").incr();
+        sbc_obs::counter!("dist.protocol.machines").add(s as u64);
+        let _span = sbc_obs::span!("dist.protocol.run_ns");
         let mut stats = CommStats {
             machines: s,
             ..Default::default()
@@ -126,6 +129,8 @@ impl DistributedCoreset {
         let bcast_bytes = to_bytes(&broadcast);
         stats.broadcast_bytes = (bcast_bytes.len() * s) as u64;
         stats.messages += s as u64;
+        sbc_obs::counter!("dist.wire.broadcast_bytes").add(stats.broadcast_bytes);
+        sbc_obs::counter!("dist.wire.messages_down").add(s as u64);
 
         // 2. Machines: summarize their shard (identical hash functions
         //    come from the shared seed) and upload encoded summaries.
@@ -161,7 +166,10 @@ impl DistributedCoreset {
         for bytes in &uploads {
             stats.upload_bytes += bytes.len() as u64;
             stats.messages += 1;
+            sbc_obs::histogram!("dist.wire.upload_msg_bytes").record(bytes.len() as u64);
         }
+        sbc_obs::counter!("dist.wire.upload_bytes").add(stats.upload_bytes);
+        sbc_obs::counter!("dist.wire.messages_up").add(uploads.len() as u64);
 
         // 3. Coordinator: decode, merge, assemble.
         let decoded: Vec<Vec<InstanceSummary>> = uploads

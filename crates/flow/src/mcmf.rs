@@ -121,12 +121,19 @@ impl MinCostFlow {
     /// cost. Pass `f64::INFINITY` to compute a min-cost *max* flow.
     pub fn min_cost_flow(&mut self, s: usize, t: usize, max_flow: f64) -> FlowResult {
         assert!(s < self.adj.len() && t < self.adj.len() && s != t);
+        sbc_obs::counter!("flow.mcmf.solves").incr();
+        let _span = sbc_obs::span!("flow.mcmf.solve_ns");
         let n = self.adj.len();
         let mut potential = vec![0.0f64; n];
         let mut dist = vec![f64::INFINITY; n];
         let mut prev_edge: Vec<u32> = vec![u32::MAX; n];
         let mut total_flow = 0.0;
         let mut total_cost = 0.0;
+        // Work counters, flushed once after the loop; plain locals so the
+        // hot path costs nothing when instrumentation is compiled out.
+        let mut augmentations = 0u64;
+        let mut heap_pops = 0u64;
+        let mut relaxations = 0u64;
 
         while total_flow + EPS < max_flow {
             // Dijkstra on reduced costs.
@@ -138,6 +145,7 @@ impl MinCostFlow {
                 node: s as u32,
             });
             while let Some(HeapEntry { dist: du, node: u }) = heap.pop() {
+                heap_pops += 1;
                 let u = u as usize;
                 if du > dist[u] + EPS {
                     continue;
@@ -152,6 +160,7 @@ impl MinCostFlow {
                     debug_assert!(rc > -1e-6, "negative reduced cost {rc}");
                     let nd = dist[u] + rc.max(0.0);
                     if nd + EPS < dist[v] {
+                        relaxations += 1;
                         dist[v] = nd;
                         prev_edge[v] = eid;
                         heap.push(HeapEntry {
@@ -190,7 +199,11 @@ impl MinCostFlow {
                 v = self.to[e ^ 1] as usize;
             }
             total_flow += bottleneck;
+            augmentations += 1;
         }
+        sbc_obs::counter!("flow.mcmf.augmentations").add(augmentations);
+        sbc_obs::counter!("flow.mcmf.heap_pops").add(heap_pops);
+        sbc_obs::counter!("flow.mcmf.relaxations").add(relaxations);
         FlowResult {
             flow: total_flow,
             cost: total_cost,

@@ -62,8 +62,15 @@ pub fn round_to_integral(
         .map(|s| s.iter().copied().collect())
         .collect();
 
+    sbc_obs::counter!("flow.rounding.rounds").incr();
+    let _span = sbc_obs::span!("flow.rounding.round_ns");
+
     // Step 2: cancel cycles until the support is a forest.
-    while cancel_one_cycle(&mut share, points, centers, n, k, r) {}
+    let mut cycles = 0u64;
+    while cancel_one_cycle(&mut share, points, centers, n, k, r) {
+        cycles += 1;
+    }
+    sbc_obs::counter!("flow.rounding.cycles_canceled").add(cycles);
 
     // Step 3: snap remaining split points to their closest center.
     let mut center_of = vec![usize::MAX; n];
@@ -91,6 +98,13 @@ pub fn round_to_integral(
         split_count <= k.saturating_sub(1) || n == 0,
         "forest support must leave ≤ k−1 split points, got {split_count}"
     );
+    sbc_obs::counter!("flow.rounding.snapped_points").add(split_count as u64);
+    if sbc_obs::enabled() {
+        // Achieved integrality gap (rounding cost over the fractional
+        // optimum) in parts-per-million; 0 when rounding is exact.
+        let gap = ((cost - frac.cost).max(0.0) / frac.cost.max(f64::MIN_POSITIVE)) * 1e6;
+        sbc_obs::histogram!("flow.rounding.integrality_gap_ppm").record(gap.min(1e12) as u64);
+    }
     IntegralAssignment {
         center_of,
         cost,

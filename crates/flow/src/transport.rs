@@ -69,6 +69,8 @@ pub fn optimal_fractional_assignment_caps(
     assert!(k >= 1, "need at least one center");
     assert_eq!(caps.len(), k, "one capacity per center");
     assert!(caps.iter().all(|&c| c >= 0.0));
+    sbc_obs::counter!("flow.transport.solves").incr();
+    let _span = sbc_obs::span!("flow.transport.solve_ns");
     if let Some(w) = weights {
         assert_eq!(w.len(), n);
     }
@@ -79,6 +81,7 @@ pub fn optimal_fractional_assignment_caps(
     // Feasibility: total weight must fit in Σ caps (with fp slack).
     let cap_total: f64 = caps.iter().sum();
     if total_weight > cap_total * (1.0 + 1e-12) + EPS {
+        sbc_obs::counter!("flow.transport.infeasible").incr();
         return None;
     }
     if n == 0 {

@@ -1,0 +1,109 @@
+//! The no-op surface, compiled when the `obs` feature is off.
+//!
+//! Every type is zero-sized and every method an empty
+//! `#[inline(always)]` function, so instrumented call sites — and any
+//! local accumulators that only feed them — compile away entirely.
+//! `tests/noop.rs` pins the zero-size and no-op properties.
+
+use crate::MetricsSnapshot;
+
+/// No-op: recording cannot be enabled without the `obs` feature.
+#[inline(always)]
+pub fn set_enabled(_on: bool) {}
+
+/// Always false without the `obs` feature (lets callers guard optional
+/// bookkeeping with `if sbc_obs::enabled()` and have it compiled out).
+#[inline(always)]
+pub fn enabled() -> bool {
+    false
+}
+
+/// Zero-sized counter stand-in.
+#[derive(Clone, Copy, Default)]
+pub struct Counter;
+
+impl Counter {
+    /// No-op.
+    #[inline(always)]
+    pub fn add(&self, _n: u64) {}
+
+    /// No-op.
+    #[inline(always)]
+    pub fn incr(&self) {}
+}
+
+/// Zero-sized histogram stand-in.
+#[derive(Clone, Copy, Default)]
+pub struct Histogram;
+
+impl Histogram {
+    /// No-op.
+    #[inline(always)]
+    pub fn record(&self, _v: u64) {}
+}
+
+/// No-op intern.
+#[inline(always)]
+pub fn counter(_name: &str) -> Counter {
+    Counter
+}
+
+/// No-op intern.
+#[inline(always)]
+pub fn histogram(_name: &str) -> Histogram {
+    Histogram
+}
+
+/// Zero-sized call-site cache stand-in.
+pub struct LazyCounter;
+
+impl LazyCounter {
+    /// Const no-op.
+    pub const fn new(_name: &'static str) -> Self {
+        LazyCounter
+    }
+
+    /// No-op handle.
+    #[inline(always)]
+    pub fn get(&self) -> Counter {
+        Counter
+    }
+}
+
+/// Zero-sized call-site cache stand-in.
+pub struct LazyHistogram;
+
+impl LazyHistogram {
+    /// Const no-op.
+    pub const fn new(_name: &'static str) -> Self {
+        LazyHistogram
+    }
+
+    /// No-op handle.
+    #[inline(always)]
+    pub fn get(&self) -> Histogram {
+        Histogram
+    }
+}
+
+/// Zero-sized span stand-in (no `Drop` impl, nothing recorded, the
+/// clock is never read).
+#[must_use = "a span records on drop; binding it to _ ends it immediately"]
+pub struct SpanTimer;
+
+impl SpanTimer {
+    /// No-op.
+    #[inline(always)]
+    pub fn start(_h: Histogram) -> Self {
+        SpanTimer
+    }
+}
+
+/// No-op.
+#[inline(always)]
+pub fn reset() {}
+
+/// An empty snapshot with `feature_enabled: false`.
+pub fn snapshot() -> MetricsSnapshot {
+    MetricsSnapshot::default()
+}

@@ -1,0 +1,229 @@
+//! A minimal JSON value model with a stable renderer.
+//!
+//! The offline build environment has no `serde`; this module is the
+//! workspace's stand-in for snapshot/report serialization. Objects
+//! preserve insertion order so emitted documents are deterministic and
+//! diff-friendly, and all strings are escaped per RFC 8259.
+
+use std::fmt;
+
+/// A JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An unsigned integer (rendered without a fraction).
+    UInt(u64),
+    /// A signed integer.
+    Int(i64),
+    /// A finite float. Non-finite values render as `null` (JSON has no
+    /// NaN/Inf).
+    Float(f64),
+    /// A string (escaped on render).
+    Str(String),
+    /// An ordered array.
+    Array(Vec<JsonValue>),
+    /// An ordered object (insertion order preserved).
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Convenience constructor for an object builder chain.
+    pub fn object() -> Self {
+        JsonValue::Object(Vec::new())
+    }
+
+    /// Appends a field to an object; panics on non-objects.
+    pub fn field(mut self, key: &str, value: impl Into<JsonValue>) -> Self {
+        match &mut self {
+            JsonValue::Object(fields) => fields.push((key.to_string(), value.into())),
+            _ => panic!("field() on non-object JsonValue"),
+        }
+        self
+    }
+
+    /// Renders compactly (no whitespace).
+    pub fn render(&self) -> String {
+        self.to_string()
+    }
+
+    /// Renders with two-space indentation.
+    pub fn render_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write_pretty(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write_pretty(&self, out: &mut String, depth: usize) {
+        let pad = |out: &mut String, d: usize| out.push_str(&"  ".repeat(d));
+        match self {
+            JsonValue::Array(items) if !items.is_empty() => {
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    pad(out, depth + 1);
+                    item.write_pretty(out, depth + 1);
+                    if i + 1 < items.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                pad(out, depth);
+                out.push(']');
+            }
+            JsonValue::Object(fields) if !fields.is_empty() => {
+                out.push_str("{\n");
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    pad(out, depth + 1);
+                    out.push_str(&format!("{}: ", Escaped(k)));
+                    v.write_pretty(out, depth + 1);
+                    if i + 1 < fields.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                pad(out, depth);
+                out.push('}');
+            }
+            other => out.push_str(&other.to_string()),
+        }
+    }
+}
+
+impl fmt::Display for JsonValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JsonValue::Null => write!(f, "null"),
+            JsonValue::Bool(b) => write!(f, "{b}"),
+            JsonValue::UInt(n) => write!(f, "{n}"),
+            JsonValue::Int(n) => write!(f, "{n}"),
+            JsonValue::Float(x) if x.is_finite() => write!(f, "{x}"),
+            JsonValue::Float(_) => write!(f, "null"),
+            JsonValue::Str(s) => write!(f, "{}", Escaped(s)),
+            JsonValue::Array(items) => {
+                write!(f, "[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                write!(f, "]")
+            }
+            JsonValue::Object(fields) => {
+                write!(f, "{{")?;
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{}:{v}", Escaped(k))?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+struct Escaped<'a>(&'a str);
+
+impl fmt::Display for Escaped<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "\"")?;
+        for c in self.0.chars() {
+            match c {
+                '"' => write!(f, "\\\"")?,
+                '\\' => write!(f, "\\\\")?,
+                '\n' => write!(f, "\\n")?,
+                '\r' => write!(f, "\\r")?,
+                '\t' => write!(f, "\\t")?,
+                c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+                c => write!(f, "{c}")?,
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+impl From<bool> for JsonValue {
+    fn from(v: bool) -> Self {
+        JsonValue::Bool(v)
+    }
+}
+impl From<u64> for JsonValue {
+    fn from(v: u64) -> Self {
+        JsonValue::UInt(v)
+    }
+}
+impl From<usize> for JsonValue {
+    fn from(v: usize) -> Self {
+        JsonValue::UInt(v as u64)
+    }
+}
+impl From<i64> for JsonValue {
+    fn from(v: i64) -> Self {
+        JsonValue::Int(v)
+    }
+}
+impl From<f64> for JsonValue {
+    fn from(v: f64) -> Self {
+        JsonValue::Float(v)
+    }
+}
+impl From<&str> for JsonValue {
+    fn from(v: &str) -> Self {
+        JsonValue::Str(v.to_string())
+    }
+}
+impl From<String> for JsonValue {
+    fn from(v: String) -> Self {
+        JsonValue::Str(v)
+    }
+}
+impl From<Vec<JsonValue>> for JsonValue {
+    fn from(v: Vec<JsonValue>) -> Self {
+        JsonValue::Array(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_compact_and_escaped() {
+        let v = JsonValue::object()
+            .field("a", 1u64)
+            .field("s", "q\"uo\nte")
+            .field("arr", vec![JsonValue::Bool(true), JsonValue::Null])
+            .field("neg", -3i64)
+            .field("f", 1.5f64);
+        assert_eq!(
+            v.render(),
+            r#"{"a":1,"s":"q\"uo\nte","arr":[true,null],"neg":-3,"f":1.5}"#
+        );
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(JsonValue::Float(f64::NAN).render(), "null");
+        assert_eq!(JsonValue::Float(f64::INFINITY).render(), "null");
+    }
+
+    #[test]
+    fn pretty_rendering_is_valid_and_ordered() {
+        let v = JsonValue::object()
+            .field("z", 1u64)
+            .field("a", JsonValue::object().field("inner", 2u64));
+        let s = v.render_pretty();
+        // Insertion order preserved: "z" before "a".
+        assert!(s.find("\"z\"").unwrap() < s.find("\"a\"").unwrap());
+        assert!(s.ends_with("}\n"));
+    }
+
+    #[test]
+    fn control_chars_escaped() {
+        assert_eq!(JsonValue::Str("\u{1}".into()).render(), "\"\\u0001\"");
+    }
+}

@@ -1,0 +1,126 @@
+//! Pins the zero-cost contract on both sides of the `obs` feature gate.
+//!
+//! Run both ways:
+//! ```sh
+//! cargo test -p sbc-obs                  # no-op side
+//! cargo test -p sbc-obs --features obs   # real side
+//! ```
+
+/// Feature OFF: every handle must be zero-sized and every call a no-op,
+/// proving the instrumentation macros expand to nothing at compile time.
+#[cfg(not(feature = "obs"))]
+mod noop_side {
+    use std::mem::size_of;
+
+    #[test]
+    fn handles_are_zero_sized() {
+        assert_eq!(size_of::<sbc_obs::Counter>(), 0);
+        assert_eq!(size_of::<sbc_obs::Histogram>(), 0);
+        assert_eq!(size_of::<sbc_obs::SpanTimer>(), 0);
+        assert_eq!(size_of::<sbc_obs::LazyCounter>(), 0);
+        assert_eq!(size_of::<sbc_obs::LazyHistogram>(), 0);
+    }
+
+    #[test]
+    fn recording_is_inert_even_when_asked_to_enable() {
+        sbc_obs::set_enabled(true);
+        assert!(!sbc_obs::enabled(), "no-op build cannot enable recording");
+        sbc_obs::counter!("noop.test.counter").add(5);
+        sbc_obs::histogram!("noop.test.hist").record(42);
+        {
+            let _span = sbc_obs::span!("noop.test.span_ns");
+        }
+        let snap = sbc_obs::snapshot();
+        assert!(!snap.feature_enabled);
+        assert!(snap.counters.is_empty(), "nothing registers");
+        assert!(snap.histograms.is_empty());
+        assert!(snap.is_empty());
+    }
+}
+
+/// Feature ON: the registry records, gates on the runtime flag, resets,
+/// and snapshots deterministically.
+#[cfg(feature = "obs")]
+mod enabled_side {
+    use std::sync::Mutex;
+
+    /// The registry (and the enable flag) are process-global; tests in
+    /// this binary serialize on this lock instead of racing.
+    static GUARD: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn registry_records_gates_and_resets() {
+        let _g = GUARD.lock().unwrap();
+        // Runtime-disabled: registered but idle.
+        sbc_obs::reset();
+        sbc_obs::set_enabled(false);
+        sbc_obs::counter!("obs.test.idle").add(9);
+        assert_eq!(sbc_obs::snapshot().counter("obs.test.idle"), Some(0));
+
+        // Enabled: counts accumulate, macro caching returns one handle.
+        sbc_obs::set_enabled(true);
+        for _ in 0..3 {
+            sbc_obs::counter!("obs.test.c").add(2);
+        }
+        sbc_obs::counter("obs.test.c").incr(); // slow path, same metric
+        assert_eq!(sbc_obs::snapshot().counter("obs.test.c"), Some(7));
+
+        // Histogram bucketing: 0 → le 0; 5 → le 7; 1024 → le 2047.
+        let h = sbc_obs::histogram!("obs.test.h");
+        h.record(0);
+        h.record(5);
+        h.record(1024);
+        let snap = sbc_obs::snapshot();
+        let hs = snap.histogram("obs.test.h").unwrap();
+        assert_eq!(hs.count, 3);
+        assert_eq!(hs.sum, 1029);
+        assert_eq!(hs.buckets, vec![(0, 1), (7, 1), (2047, 1)]);
+
+        // Span records some elapsed ns.
+        {
+            let _span = sbc_obs::span!("obs.test.span_ns");
+            std::hint::black_box(1 + 1);
+        }
+        let snap = sbc_obs::snapshot();
+        assert!(snap.feature_enabled);
+        assert_eq!(snap.histogram("obs.test.span_ns").unwrap().count, 1);
+
+        // Names are sorted in snapshots.
+        let names: Vec<&String> = snap.counters.iter().map(|(n, _)| n).collect();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted);
+
+        // Reset zeroes values but keeps registration.
+        sbc_obs::reset();
+        let snap = sbc_obs::snapshot();
+        assert_eq!(snap.counter("obs.test.c"), Some(0));
+        assert_eq!(snap.histogram("obs.test.h").unwrap().count, 0);
+        assert!(snap.is_empty());
+        sbc_obs::set_enabled(false);
+    }
+
+    #[test]
+    fn parallel_increments_merge_exactly() {
+        // Atomic counters must not lose updates under contention.
+        let _g = GUARD.lock().unwrap();
+        sbc_obs::reset();
+        sbc_obs::set_enabled(true);
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                std::thread::spawn(|| {
+                    for _ in 0..10_000 {
+                        sbc_obs::counter!("obs.test.parallel").incr();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(
+            sbc_obs::snapshot().counter("obs.test.parallel"),
+            Some(80_000)
+        );
+    }
+}

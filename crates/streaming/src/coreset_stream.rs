@@ -22,7 +22,7 @@
 //! the per-part nested sub-thresholding of `CoresetParams::part_phi`).
 
 use crate::model::StreamOp;
-use crate::storing::{Backend, Storing, StoringConfig};
+use crate::storing::{Backend, StoreDeath, Storing, StoringConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sbc_core::coreset::{
@@ -32,6 +32,7 @@ use sbc_core::partition::{CellCounts, PartMasses, Partition};
 use sbc_core::{Coreset, CoresetParams, FailReason};
 use sbc_geometry::{CellId, GridHierarchy, Point};
 use sbc_hash::KWiseHash;
+use sbc_obs::json::JsonValue;
 
 /// Ops per ingest batch: large enough to amortize precompute and the
 /// parallel fork, small enough that the SoA buffer stays cache-friendly.
@@ -200,8 +201,31 @@ pub struct SpaceReport {
     pub nominal_sketch_bytes: usize,
     /// Ladder size.
     pub instances: usize,
-    /// Stores that overflowed and freed their memory.
+    /// Stores that overflowed and freed their memory (all causes; equals
+    /// `runaway_killed + sketch_overflowed`).
     pub dead_stores: usize,
+    /// Stores still live — on track for a natural end of stream.
+    pub live_stores: usize,
+    /// Exact-backend stores killed mid-stream at their occupancy cap.
+    pub runaway_killed: usize,
+    /// Sketch-backend stores abandoned on bucket overflow.
+    pub sketch_overflowed: usize,
+}
+
+impl SpaceReport {
+    /// Serializes the report for embedding in a metrics snapshot (the
+    /// workspace's offline stand-in for a `serde::Serialize` derive).
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::object()
+            .field("hash_bytes", self.hash_bytes)
+            .field("store_bytes", self.store_bytes)
+            .field("nominal_sketch_bytes", self.nominal_sketch_bytes)
+            .field("instances", self.instances)
+            .field("dead_stores", self.dead_stores)
+            .field("live_stores", self.live_stores)
+            .field("runaway_killed", self.runaway_killed)
+            .field("sketch_overflowed", self.sketch_overflowed)
+    }
 }
 
 /// Decoded output of one `Storing` structure: the `(C, f, S)` triple of
@@ -245,6 +269,52 @@ pub struct InstanceSummary {
     pub phi: Vec<f64>,
 }
 
+/// Interned `stream.ingest.*` metric handles, resolved once per builder
+/// so the batched hot path never touches the registry. All handles are
+/// zero-sized no-ops when `sbc-obs`'s `obs` feature is off.
+struct IngestMetrics {
+    ops_inserted: sbc_obs::Counter,
+    ops_deleted: sbc_obs::Counter,
+    batches: sbc_obs::Counter,
+    batch_size: sbc_obs::Histogram,
+    precompute_ns: sbc_obs::Histogram,
+    route_ns: sbc_obs::Histogram,
+    /// Per store index (= level + 1 for role h, level for h′/ĥ):
+    /// `(accepted_instances, pruned_instances)` — the ladder
+    /// `partition_point` prune's hit accounting. An op contributes
+    /// `cut` accepted and `ladder − cut` pruned instances.
+    prune_h: Vec<(sbc_obs::Counter, sbc_obs::Counter)>,
+    prune_hp: Vec<(sbc_obs::Counter, sbc_obs::Counter)>,
+    prune_hhat: Vec<(sbc_obs::Counter, sbc_obs::Counter)>,
+}
+
+impl IngestMetrics {
+    fn new(l: usize) -> Self {
+        let ladder = |role: &str, level_offset: i32| {
+            (0..=l)
+                .map(|idx| {
+                    let level = idx as i32 + level_offset;
+                    (
+                        sbc_obs::counter(&format!("stream.ingest.prune.{role}.l{level}.accepted")),
+                        sbc_obs::counter(&format!("stream.ingest.prune.{role}.l{level}.pruned")),
+                    )
+                })
+                .collect()
+        };
+        Self {
+            ops_inserted: sbc_obs::counter("stream.ingest.ops_inserted"),
+            ops_deleted: sbc_obs::counter("stream.ingest.ops_deleted"),
+            batches: sbc_obs::counter("stream.ingest.batches"),
+            batch_size: sbc_obs::histogram("stream.ingest.batch_size"),
+            precompute_ns: sbc_obs::histogram("stream.ingest.precompute_ns"),
+            route_ns: sbc_obs::histogram("stream.ingest.route_ns"),
+            prune_h: ladder("h", -1),
+            prune_hp: ladder("hp", 0),
+            prune_hhat: ladder("hhat", 0),
+        }
+    }
+}
+
 /// One-pass dynamic-streaming coreset builder.
 ///
 /// ```no_run
@@ -275,6 +345,7 @@ pub struct StreamCoresetBuilder {
     routes: RouteTables,
     net_count: i64,
     rng: StdRng,
+    metrics: IngestMetrics,
 }
 
 impl StreamCoresetBuilder {
@@ -325,6 +396,7 @@ impl StreamCoresetBuilder {
             routes,
             net_count: 0,
             rng: StdRng::seed_from_u64(rng.gen()),
+            metrics: IngestMetrics::new(l as usize),
         }
     }
 
@@ -436,9 +508,18 @@ impl StreamCoresetBuilder {
         if ops.is_empty() {
             return;
         }
+        self.metrics.batches.incr();
+        self.metrics.batch_size.record(ops.len() as u64);
         let mut soa = BatchSoa::default();
-        self.precompute(ops, &mut soa);
+        {
+            let _span = sbc_obs::SpanTimer::start(self.metrics.precompute_ns);
+            self.precompute(ops, &mut soa);
+        }
         self.net_count += soa.deltas.iter().sum::<i64>();
+        if sbc_obs::enabled() {
+            self.record_batch_metrics(&soa);
+        }
+        let _route_span = sbc_obs::SpanTimer::start(self.metrics.route_ns);
 
         let levels = self.params.grid.l as usize + 1;
         let shards = self.effective_shards(ops.len());
@@ -457,6 +538,31 @@ impl StreamCoresetBuilder {
                 }
             });
         }
+    }
+
+    /// Tallies op signs and the ladder prune's per-(role, level) hit
+    /// rate out of one precomputed batch. Called only while recording is
+    /// enabled; reads the SoA cut columns the router uses, so the
+    /// counters describe exactly the routing that happens.
+    fn record_batch_metrics(&self, soa: &BatchSoa) {
+        let n = soa.deltas.len() as u64;
+        let ladder = self.instances.len() as u64;
+        let inserted = soa.deltas.iter().filter(|&&d| d > 0).count() as u64;
+        self.metrics.ops_inserted.add(inserted);
+        self.metrics.ops_deleted.add(n - inserted);
+        let tally = |cuts: &[u32], handles: &[(sbc_obs::Counter, sbc_obs::Counter)]| {
+            for (idx, (accepted, pruned)) in handles.iter().enumerate() {
+                let hits: u64 = cuts[idx * n as usize..(idx + 1) * n as usize]
+                    .iter()
+                    .map(|&c| c as u64)
+                    .sum();
+                accepted.add(hits);
+                pruned.add(ladder * n - hits);
+            }
+        };
+        tally(&soa.cut_h, &self.metrics.prune_h);
+        tally(&soa.cut_hp, &self.metrics.prune_hp);
+        tally(&soa.cut_hhat, &self.metrics.prune_hhat);
     }
 
     /// How many instance shards to route a batch of `n` ops across.
@@ -478,6 +584,11 @@ impl StreamCoresetBuilder {
     }
 
     fn apply(&mut self, p: &Point, delta: i64) {
+        if delta > 0 {
+            self.metrics.ops_inserted.incr();
+        } else {
+            self.metrics.ops_deleted.incr();
+        }
         let gp = self.params.grid;
         let l = gp.l as i32;
         debug_assert_eq!(p.dim(), gp.d);
@@ -540,7 +651,9 @@ impl StreamCoresetBuilder {
             .sum();
         let mut store_bytes = 0usize;
         let mut nominal = 0usize;
-        let mut dead = 0usize;
+        let mut live_stores = 0usize;
+        let mut runaway_killed = 0usize;
+        let mut sketch_overflowed = 0usize;
         for inst in &self.instances {
             for st in inst
                 .h_stores
@@ -549,7 +662,11 @@ impl StreamCoresetBuilder {
                 .chain(inst.hhat_stores.iter().flatten())
             {
                 store_bytes += st.stored_bytes();
-                dead += st.is_dead() as usize;
+                match st.death() {
+                    Some(StoreDeath::RunawayKill) => runaway_killed += 1,
+                    Some(StoreDeath::SketchOverflow) => sketch_overflowed += 1,
+                    None => live_stores += 1,
+                }
             }
             nominal += inst.nominal_bytes();
         }
@@ -558,7 +675,10 @@ impl StreamCoresetBuilder {
             store_bytes,
             nominal_sketch_bytes: nominal,
             instances: self.instances.len(),
-            dead_stores: dead,
+            dead_stores: runaway_killed + sketch_overflowed,
+            live_stores,
+            runaway_killed,
+            sketch_overflowed,
         }
     }
 
@@ -1035,6 +1155,24 @@ mod tests {
         assert!(rep.instances > 10);
         assert!(rep.hash_bytes > 0);
         assert!(rep.store_bytes > 0);
+        assert!(rep.live_stores > 0);
+        // The JSON stand-in carries every field.
+        let json = rep.to_json().to_string();
+        for key in [
+            "hash_bytes",
+            "store_bytes",
+            "nominal_sketch_bytes",
+            "instances",
+            "dead_stores",
+            "live_stores",
+            "runaway_killed",
+            "sketch_overflowed",
+        ] {
+            assert!(
+                json.contains(&format!("\"{key}\"")),
+                "missing {key}: {json}"
+            );
+        }
     }
 
     #[test]
@@ -1068,7 +1206,18 @@ mod tests {
             healthy.dead_stores, 0,
             "default cap must not kill stores here"
         );
+        assert_eq!(healthy.runaway_killed, 0);
+        assert_eq!(healthy.sketch_overflowed, 0);
         assert!(starved.dead_stores > 0, "cap 64 must kill runaway stores");
+        // Exact backends die only by the cap: the breakdown must put every
+        // death in the runaway bucket and balance against the live count.
+        assert_eq!(starved.runaway_killed, starved.dead_stores);
+        assert_eq!(starved.sketch_overflowed, 0);
+        assert_eq!(
+            starved.live_stores + starved.dead_stores,
+            healthy.live_stores + healthy.dead_stores,
+            "total store count is configuration-determined"
+        );
         assert_eq!(starved, starved_parallel, "sharded accounting must agree");
         assert!(
             starved.store_bytes < healthy.store_bytes,

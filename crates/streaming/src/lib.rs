@@ -32,7 +32,7 @@ pub mod model;
 pub mod sparse;
 pub mod storing;
 
-pub use coreset_stream::{SpaceReport, StreamCoresetBuilder, StreamParams};
+pub use coreset_stream::{InstanceSummary, SpaceReport, StreamCoresetBuilder, StreamParams};
 pub use model::{insert_delete_stream, insertion_stream, StreamOp};
 pub use sparse::{OneSparse, SSparseRecovery};
 pub use storing::{Storing, StoringConfig, StoringFail, StoringOutput};

@@ -56,6 +56,17 @@ pub enum Backend {
     Sketch,
 }
 
+/// How a store died mid-stream (see [`Storing::death`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StoreDeath {
+    /// Exact backend: distinct-cell occupancy hit `cap_cells` and the
+    /// runaway substream was killed to reclaim its memory.
+    RunawayKill,
+    /// Sketch backend: the lazily-allocated bucket population overflowed
+    /// its bound and the sketch was abandoned.
+    SketchOverflow,
+}
+
 /// Why `finish` failed.
 #[derive(Clone, Debug, PartialEq)]
 pub enum StoringFail {
@@ -124,6 +135,8 @@ fn update_points(rec: &mut CellRec, p: &Point, point_key: u128, delta: i64, beta
     if rec.dirty {
         return;
     }
+    let obs_on = sbc_obs::enabled();
+    let cap_before = if obs_on { rec.points.capacity() } else { 0 };
     match rec.points.entry(point_key) {
         Entry::Vacant(v) => {
             if delta != 0 {
@@ -135,6 +148,12 @@ fn update_points(rec: &mut CellRec, p: &Point, point_key: u128, delta: i64, beta
             if o.get().1 == 0 {
                 o.remove();
             }
+        }
+    }
+    if obs_on {
+        sbc_obs::counter!("stream.store.map_probes").incr();
+        if rec.points.capacity() != cap_before {
+            sbc_obs::counter!("stream.store.map_resizes").incr();
         }
     }
     if rec.count > 2 * beta.max(1) {
@@ -196,6 +215,7 @@ impl Storing {
                 }
             }
         };
+        sbc_obs::counter!("stream.store.spawned").incr();
         Self {
             level,
             grid: grid.clone(),
@@ -250,6 +270,7 @@ impl Storing {
         delta: i64,
     ) {
         self.updates += 1;
+        sbc_obs::counter!("stream.store.updates").incr();
         match &mut self.inner {
             Inner::Exact {
                 cells,
@@ -260,6 +281,13 @@ impl Storing {
                 if *dead {
                     return;
                 }
+                let obs_on = sbc_obs::enabled();
+                let cap_before = if obs_on {
+                    sbc_obs::counter!("stream.store.map_probes").incr();
+                    cells.capacity()
+                } else {
+                    0
+                };
                 let beta = self.cfg.beta as i64;
                 // Single probe: the entry does the new-cell check, the
                 // update, and (via the occupied entry) the emptied-cell
@@ -272,6 +300,7 @@ impl Storing {
                             *dead = true;
                             cells.clear();
                             cells.shrink_to_fit();
+                            sbc_obs::counter!("stream.store.killed_runaway").incr();
                             return;
                         }
                         *peak_cells = (*peak_cells).max(len + 1);
@@ -284,6 +313,9 @@ impl Storing {
                         rec.count += delta;
                         debug_assert!(rec.count >= 0, "stream model: no over-deletion");
                         update_points(rec, p, point_key, delta, beta);
+                        if obs_on && cells.capacity() != cap_before {
+                            sbc_obs::counter!("stream.store.map_resizes").incr();
+                        }
                         return; // a just-inserted record cannot net to zero
                     }
                     Entry::Occupied(o) => o,
@@ -325,6 +357,7 @@ impl Storing {
                         buckets.clear();
                         buckets.shrink_to_fit();
                     }
+                    sbc_obs::counter!("stream.store.killed_sketch_overflow").incr();
                 }
             }
         }
@@ -447,6 +480,16 @@ impl Storing {
     pub fn is_dead(&self) -> bool {
         match &self.inner {
             Inner::Exact { dead, .. } | Inner::Sketch { dead, .. } => *dead,
+        }
+    }
+
+    /// How the structure died, or `None` if it is still live (will reach
+    /// its natural end of stream).
+    pub fn death(&self) -> Option<StoreDeath> {
+        match &self.inner {
+            Inner::Exact { dead: true, .. } => Some(StoreDeath::RunawayKill),
+            Inner::Sketch { dead: true, .. } => Some(StoreDeath::SketchOverflow),
+            _ => None,
         }
     }
 
