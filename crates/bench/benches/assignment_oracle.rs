@@ -14,7 +14,7 @@ fn bench_oracle(c: &mut Criterion) {
     let gp = GridParams::from_log_delta(8, 2);
     let n = 6000usize;
     let k = 3;
-    let params = CoresetParams::practical(k, 2.0, 0.2, 0.2, gp);
+    let params = CoresetParams::builder(k, gp).build().unwrap();
     let pts = Workload::Gaussian.generate(gp, n, k, 17);
     let cap = n as f64 / k as f64 * 1.25;
     let mut rng = StdRng::seed_from_u64(10);

@@ -12,7 +12,7 @@ fn bench_build(c: &mut Criterion) {
     let mut group = c.benchmark_group("coreset_build");
     group.sample_size(10);
     let gp = GridParams::from_log_delta(8, 2);
-    let params = CoresetParams::practical(3, 2.0, 0.2, 0.2, gp);
+    let params = CoresetParams::builder(3, gp).build().unwrap();
     for n in [4000usize, 16_000, 64_000] {
         let pts = Workload::Gaussian.generate(gp, n, 3, 5);
         group.throughput(Throughput::Elements(n as u64));

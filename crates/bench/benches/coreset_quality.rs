@@ -13,7 +13,7 @@ fn bench_quality_battery(c: &mut Criterion) {
     group.sample_size(10);
     let gp = GridParams::from_log_delta(8, 2);
     let n = 2000usize;
-    let params = CoresetParams::practical(3, 2.0, 0.2, 0.2, gp);
+    let params = CoresetParams::builder(3, gp).build().unwrap();
     let pts = Workload::Gaussian.generate(gp, n, 3, 15);
     let mut rng = StdRng::seed_from_u64(9);
     let cs = build_coreset(&pts, &params, &mut rng).unwrap();

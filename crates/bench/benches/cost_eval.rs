@@ -14,7 +14,7 @@ fn bench_cost_on_coreset_vs_full(c: &mut Criterion) {
     let gp = GridParams::from_log_delta(8, 2);
     let n = 4000;
     let k = 3;
-    let params = CoresetParams::practical(k, 2.0, 0.2, 0.2, gp);
+    let params = CoresetParams::builder(k, gp).build().unwrap();
     let pts = Workload::Gaussian.generate(gp, n, k, 3);
     let mut rng = StdRng::seed_from_u64(4);
     let cs = build_coreset(&pts, &params, &mut rng).unwrap();

@@ -12,7 +12,7 @@ fn bench_protocol(c: &mut Criterion) {
     let mut group = c.benchmark_group("distributed_protocol");
     group.sample_size(10);
     let gp = GridParams::from_log_delta(8, 2);
-    let params = CoresetParams::practical(3, 2.0, 0.2, 0.2, gp);
+    let params = CoresetParams::builder(3, gp).build().unwrap();
     let pts = Workload::Gaussian.generate(gp, 4000, 3, 11);
     for s in [2usize, 8] {
         let shards = split_round_robin(&pts, s);

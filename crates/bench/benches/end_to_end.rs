@@ -15,7 +15,7 @@ fn bench_pipeline(c: &mut Criterion) {
     let gp = GridParams::from_log_delta(8, 2);
     let n = 6000usize;
     let k = 3;
-    let params = CoresetParams::practical(k, 2.0, 0.2, 0.2, gp);
+    let params = CoresetParams::builder(k, gp).build().unwrap();
     let pts = Workload::Imbalanced.generate(gp, n, k, 13);
     let cap = n as f64 / k as f64 * 1.25;
     group.bench_function("coreset_plus_capacitated_lloyd", |b| {

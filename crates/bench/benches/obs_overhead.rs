@@ -51,7 +51,7 @@ fn main() {
     sbc_obs::set_enabled(false); // enabled-but-idle is the state under test
 
     let gp = GridParams::from_log_delta(8, 2);
-    let params = CoresetParams::practical(3, 2.0, 0.2, 0.2, gp);
+    let params = CoresetParams::builder(3, gp).build().unwrap();
     let pts = Workload::Gaussian.generate(gp, 4000, 3, 9);
     let ops = insertion_stream(&pts);
 

@@ -22,7 +22,7 @@ fn bench_ingest_paths(c: &mut Criterion, group_name: &str, ops: &[StreamOp]) {
     let mut group = c.benchmark_group(group_name);
     group.sample_size(10);
     let gp = GridParams::from_log_delta(8, 2);
-    let params = CoresetParams::practical(3, 2.0, 0.2, 0.2, gp);
+    let params = CoresetParams::builder(3, gp).build().unwrap();
     let n = ops.len();
     group.throughput(Throughput::Elements(n as u64));
 

@@ -140,7 +140,10 @@ fn main() {
 }
 
 fn default_params(k: usize, r: f64) -> CoresetParams {
-    CoresetParams::practical(k, r, 0.2, 0.2, GridParams::from_log_delta(8, 2))
+    CoresetParams::builder(k, GridParams::from_log_delta(8, 2))
+        .r(r)
+        .build()
+        .unwrap()
 }
 
 /// S1 — half-space separability of optimal capacitated assignments
@@ -273,7 +276,7 @@ fn e2_size_scaling(scale: &Scale) {
     // d sweep.
     for &d in &[2usize, 4, 6] {
         let gp = GridParams::from_log_delta(8, d);
-        let params = CoresetParams::practical(3, 2.0, 0.2, 0.2, gp);
+        let params = CoresetParams::builder(3, gp).build().unwrap();
         let n = scale.n_quality * 2;
         let pts = Workload::Gaussian.generate(gp, n, 3, 7);
         let mut rng = StdRng::seed_from_u64(3);
@@ -289,7 +292,7 @@ fn e2_size_scaling(scale: &Scale) {
     // L = log Δ sweep.
     for &l in &[6u32, 8, 10] {
         let gp = GridParams::from_log_delta(l, 2);
-        let params = CoresetParams::practical(3, 2.0, 0.2, 0.2, gp);
+        let params = CoresetParams::builder(3, gp).build().unwrap();
         let n = scale.n_quality * 2;
         let pts = Workload::Gaussian.generate(gp, n, 3, 8);
         let mut rng = StdRng::seed_from_u64(4);

@@ -10,8 +10,18 @@
 //! registry: the report gains a `"metrics"` section and `--metrics-out
 //! <path>` dumps the full snapshot to its own JSON file.
 //!
+//! After the timed section, an untimed **robustness pass** re-ingests
+//! the insert-only workload under an optional fault profile
+//! (`--fault-profile drop8|dup8|kill-early|overflow-early|chaos[@seed]`)
+//! while exercising checkpoint → restore every `--checkpoint-every N`
+//! ops; its space report (including the kill taxonomy) lands in the
+//! JSON under `"robustness"`, and `--checkpoint-out <path>` keeps the
+//! final checkpoint bytes as an artifact.
+//!
 //! Usage: `cargo run --release --bin stream_bench [--features obs] \
-//!            [-- <out.json>] [--metrics-out <metrics.json>]`
+//!            [-- <out.json>] [--metrics-out <metrics.json>] \
+//!            [--fault-profile <spec>] [--checkpoint-every <N>] \
+//!            [--checkpoint-out <ckpt.bin>]`
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -19,8 +29,9 @@ use sbc_bench::Workload;
 use sbc_core::CoresetParams;
 use sbc_distributed::DistributedCoreset;
 use sbc_geometry::{dataset, GridParams};
+use sbc_obs::fault::FaultPlan;
 use sbc_streaming::model::{churn_stream, insertion_stream, StreamOp};
-use sbc_streaming::{StreamCoresetBuilder, StreamParams};
+use sbc_streaming::{Snapshot, StreamCoresetBuilder, StreamParams};
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -166,19 +177,74 @@ fn exercise_pipeline(params: &CoresetParams, pts: &[sbc_geometry::Point]) {
     let _ = sbc_core::assign::build_assignment_oracle(&coreset, params, &centers, cap);
 }
 
+/// Untimed robustness pass: ingest under `plan`, checkpointing (and
+/// actually restoring — the resumed builder replaces the original, so a
+/// broken restore cannot go unnoticed) every `checkpoint_every` ops.
+/// Returns `(space report, checkpoints taken, last checkpoint bytes)`.
+fn robustness_pass(
+    params: &CoresetParams,
+    plan: FaultPlan,
+    ops: &[StreamOp],
+    checkpoint_every: Option<usize>,
+    checkpoint_out: Option<&str>,
+) -> (sbc_streaming::SpaceReport, usize, Vec<u8>) {
+    let sp = StreamParams::builder().faults(plan).build().expect("valid");
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut builder = StreamCoresetBuilder::new(params.clone(), sp, &mut rng);
+    let chunk = checkpoint_every.unwrap_or(ops.len().max(1));
+    let mut taken = 0usize;
+    let mut last_bytes = Vec::new();
+    for slice in ops.chunks(chunk) {
+        builder.process_all(slice);
+        if checkpoint_every.is_some() {
+            last_bytes = builder.checkpoint().expect("exact backend").to_bytes();
+            let snap = Snapshot::from_bytes(&last_bytes).expect("own bytes decode");
+            builder = StreamCoresetBuilder::restore(&snap).expect("own snapshot restores");
+            taken += 1;
+        }
+    }
+    if checkpoint_every.is_none() {
+        last_bytes = builder.checkpoint().expect("exact backend").to_bytes();
+    }
+    if let Some(path) = checkpoint_out {
+        std::fs::write(path, &last_bytes).unwrap_or_else(|e| panic!("failed to write {path}: {e}"));
+        println!("wrote {path} ({} checkpoint bytes)", last_bytes.len());
+    }
+    (builder.space_report(), taken, last_bytes)
+}
+
 fn main() {
     let mut out_path: Option<String> = None;
     let mut metrics_out: Option<String> = None;
+    let mut fault_profile = "none".to_string();
+    let mut checkpoint_every: Option<usize> = None;
+    let mut checkpoint_out: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--metrics-out" => {
                 metrics_out = Some(args.next().expect("--metrics-out needs a path"));
             }
+            "--fault-profile" => {
+                fault_profile = args.next().expect("--fault-profile needs a profile name");
+            }
+            "--checkpoint-every" => {
+                let n: usize = args
+                    .next()
+                    .expect("--checkpoint-every needs an op count")
+                    .parse()
+                    .expect("--checkpoint-every takes a positive integer");
+                assert!(n > 0, "--checkpoint-every takes a positive integer");
+                checkpoint_every = Some(n);
+            }
+            "--checkpoint-out" => {
+                checkpoint_out = Some(args.next().expect("--checkpoint-out needs a path"));
+            }
             flag if flag.starts_with("--") => panic!("unknown flag {flag}"),
             path => out_path = Some(path.to_string()),
         }
     }
+    let plan = FaultPlan::parse(&fault_profile).unwrap_or_else(|e| panic!("{e}"));
     let out_path = out_path.unwrap_or_else(|| "BENCH_streaming.json".into());
     let reps: usize = std::env::var("STREAM_BENCH_REPS")
         .ok()
@@ -187,7 +253,7 @@ fn main() {
         .max(1); // 0 reps would emit inf/NaN — not representable in JSON
 
     let gp = GridParams::from_log_delta(8, 2);
-    let params = CoresetParams::practical(3, 2.0, 0.2, 0.2, gp);
+    let params = CoresetParams::builder(3, gp).build().unwrap();
     let n = 4000usize;
     let pts = Workload::Gaussian.generate(gp, n, 3, 9);
     let insert_ops = insertion_stream(&pts);
@@ -211,6 +277,29 @@ fn main() {
     json.push_str(",\n");
     bench_workload("mixed_deletion_heavy", &params, &mixed_ops, reps, &mut json);
     json.push_str("\n  },\n");
+
+    // Robustness pass (untimed): fault injection + checkpoint/restore
+    // cycling. Its space report carries the canonical kill taxonomy —
+    // `runaway_kill` / `sketch_overflow`, the same snake_case names
+    // `SpaceReport::to_json` emits (pinned by the bench schema test).
+    let (rep, ckpts_taken, last_ckpt) = robustness_pass(
+        &params,
+        plan,
+        &insert_ops,
+        checkpoint_every,
+        checkpoint_out.as_deref(),
+    );
+    println!(
+        "\nrobustness pass (profile `{fault_profile}`): {} dead stores \
+         ({} runaway_kill, {} sketch_overflow), {} checkpoint/restore cycles",
+        rep.dead_stores, rep.runaway_kill, rep.sketch_overflow, ckpts_taken
+    );
+    let _ = writeln!(
+        json,
+        "  \"robustness\": {{\n    \"fault_profile\": \"{fault_profile}\",\n    \"checkpoints_taken\": {ckpts_taken},\n    \"checkpoint_bytes_last\": {},\n    \"space_report\": {}\n  }},",
+        last_ckpt.len(),
+        rep.to_json()
+    );
 
     // Metrics recording starts after the timed section so the counters
     // describe one clean, reproducible pass (and never skew the numbers

@@ -1,0 +1,62 @@
+//! Golden-file schema agreement: the kill taxonomy must be spelled the
+//! same way everywhere it appears — `SpaceReport::to_json`, the live
+//! `SpaceReport` emitted by `stream_bench`'s robustness pass, and the
+//! checked-in `BENCH_streaming.json` artifact. The canonical names are
+//! snake_case `runaway_kill` / `sketch_overflow`; the pre-rename
+//! spellings (`runaway_killed` / `sketch_overflowed`) must not resurface
+//! in either place.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sbc_core::CoresetParams;
+use sbc_geometry::{dataset, GridParams};
+use sbc_streaming::{StreamCoresetBuilder, StreamParams};
+
+const CANONICAL: [&str; 2] = ["runaway_kill", "sketch_overflow"];
+const LEGACY: [&str; 2] = ["runaway_killed", "sketch_overflowed"];
+
+fn quoted(key: &str) -> String {
+    format!("\"{key}\"")
+}
+
+#[test]
+fn space_report_json_uses_canonical_kill_taxonomy() {
+    let gp = GridParams::from_log_delta(6, 2);
+    let params = CoresetParams::builder(2, gp).build().unwrap();
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut b = StreamCoresetBuilder::new(params, StreamParams::default(), &mut rng);
+    b.insert_batch(&dataset::gaussian_mixture(gp, 400, 2, 0.05, 3));
+    let json = b.space_report().to_json().to_string();
+    for key in CANONICAL {
+        assert!(json.contains(&quoted(key)), "missing {key} in {json}");
+    }
+    for key in LEGACY {
+        assert!(
+            !json.contains(&quoted(key)),
+            "legacy kill-taxonomy key {key} resurfaced in {json}"
+        );
+    }
+}
+
+#[test]
+fn bench_streaming_golden_file_agrees_with_space_report() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_streaming.json");
+    let text = std::fs::read_to_string(path)
+        .expect("BENCH_streaming.json must be checked in at the repo root");
+    assert!(
+        text.contains("\"space_report\""),
+        "BENCH_streaming.json lost its robustness space_report section"
+    );
+    for key in CANONICAL {
+        assert!(
+            text.contains(&quoted(key)),
+            "BENCH_streaming.json disagrees with SpaceReport::to_json: missing {key}"
+        );
+    }
+    for key in LEGACY {
+        assert!(
+            !text.contains(&quoted(key)),
+            "BENCH_streaming.json uses the legacy kill-taxonomy key {key}"
+        );
+    }
+}

@@ -305,7 +305,7 @@ mod tests {
         seed: u64,
     ) -> (CoresetParams, Vec<Point>, Coreset, Vec<Point>, f64) {
         let gp = GridParams::from_log_delta(8, 2);
-        let params = CoresetParams::practical(k, 2.0, 0.2, 0.2, gp);
+        let params = CoresetParams::builder(k, gp).build().unwrap();
         let pts = gaussian_mixture(gp, n, k, 0.04, seed);
         let mut rng = StdRng::seed_from_u64(seed ^ 0xABC);
         let coreset = build_coreset(&pts, &params, &mut rng).expect("coreset");
@@ -360,7 +360,7 @@ mod tests {
     #[test]
     fn oracle_handles_imbalanced_instances() {
         let gp = GridParams::from_log_delta(8, 2);
-        let params = CoresetParams::practical(3, 2.0, 0.2, 0.2, gp);
+        let params = CoresetParams::builder(3, gp).build().unwrap();
         let pts = imbalanced_mixture(gp, 1500, &[0.8, 0.1, 0.1], 0.03, 4);
         let mut rng = StdRng::seed_from_u64(9);
         let coreset = build_coreset(&pts, &params, &mut rng).expect("coreset");

@@ -25,7 +25,7 @@ use sbc_geometry::{GridHierarchy, Point, WeightedPoint};
 use sbc_hash::KWiseBernoulli;
 
 /// One coreset point with its provenance.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct CoresetEntry {
     /// The sampled point (an element of the input `Q`).
     pub point: Point,
@@ -318,7 +318,7 @@ pub fn opt_upper_estimate<R: Rng + ?Sized>(
 ///
 /// let gp = GridParams::from_log_delta(7, 2);
 /// let points = dataset::gaussian_mixture(gp, 2000, 2, 0.05, 1);
-/// let params = CoresetParams::practical(2, 2.0, 0.2, 0.2, gp);
+/// let params = CoresetParams::builder(2, gp).build().unwrap();
 /// let mut rng = StdRng::seed_from_u64(7);
 /// let coreset = build_coreset(&points, &params, &mut rng).unwrap();
 /// assert!(!coreset.is_empty());
@@ -495,7 +495,9 @@ mod tests {
     use sbc_geometry::GridParams;
 
     fn params(k: usize) -> CoresetParams {
-        CoresetParams::practical(k, 2.0, 0.2, 0.2, GridParams::from_log_delta(8, 2))
+        CoresetParams::builder(k, GridParams::from_log_delta(8, 2))
+            .build()
+            .unwrap()
     }
 
     #[test]

@@ -43,5 +43,5 @@ pub mod transfer;
 pub mod verify;
 
 pub use coreset::{build_coreset, build_coreset_with_grid, Coreset, CoresetEntry, FailReason};
-pub use params::{ConstantsProfile, CoresetParams};
+pub use params::{ConstantsProfile, CoresetParams, CoresetParamsBuilder, ParamsError};
 pub use partition::{CellCounts, Partition, PartitionError};

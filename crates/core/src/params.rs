@@ -28,6 +28,57 @@
 
 use sbc_geometry::GridParams;
 
+/// A parameter rejected at `build()` time by one of the fluent builders
+/// ([`CoresetParams::builder`], `StreamParams::builder` in
+/// `sbc-streaming`). Carries enough to render an actionable message
+/// without any crate-specific context.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ParamsError {
+    /// A numeric field fell outside its documented range.
+    OutOfRange {
+        /// Field name as written at the call site.
+        name: &'static str,
+        /// The offending value (integral fields are widened).
+        value: f64,
+        /// Human-readable description of the accepted range.
+        allowed: &'static str,
+    },
+    /// A required field was never set.
+    Missing {
+        /// Field name as written at the call site.
+        name: &'static str,
+    },
+}
+
+impl ParamsError {
+    /// Convenience constructor for [`ParamsError::OutOfRange`].
+    pub fn out_of_range(name: &'static str, value: f64, allowed: &'static str) -> Self {
+        ParamsError::OutOfRange {
+            name,
+            value,
+            allowed,
+        }
+    }
+}
+
+impl std::fmt::Display for ParamsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParamsError::OutOfRange {
+                name,
+                value,
+                allowed,
+            } => write!(
+                f,
+                "parameter {name} = {value} out of range (need {allowed})"
+            ),
+            ParamsError::Missing { name } => write!(f, "required parameter {name} not set"),
+        }
+    }
+}
+
+impl std::error::Error for ParamsError {}
+
 /// Which constant regime to derive γ, ξ, λ, φᵢ and the FAIL thresholds in.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub enum ConstantsProfile {
@@ -74,7 +125,7 @@ impl ConstantsProfile {
 }
 
 /// All parameters of one coreset construction.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct CoresetParams {
     /// Number of clusters `k`.
     pub k: usize,
@@ -91,7 +142,25 @@ pub struct CoresetParams {
 }
 
 impl CoresetParams {
+    /// Starts a fluent builder (practical profile unless overridden);
+    /// validation happens at [`CoresetParamsBuilder::build`] instead of
+    /// panicking mid-construction.
+    pub fn builder(k: usize, grid: GridParams) -> CoresetParamsBuilder {
+        CoresetParamsBuilder {
+            k,
+            r: 2.0,
+            eps: 0.2,
+            eta: 0.2,
+            grid,
+            profile: ConstantsProfile::default_practical(),
+        }
+    }
+
     /// Practical-profile parameters (what examples/experiments use).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `CoresetParams::builder(k, grid)` — it validates at `build()` instead of panicking"
+    )]
     pub fn practical(k: usize, r: f64, eps: f64, eta: f64, grid: GridParams) -> Self {
         Self::validate(k, r, eps, eta);
         Self {
@@ -105,6 +174,10 @@ impl CoresetParams {
     }
 
     /// Paper-faithful parameters (constants verbatim from Algorithm 2).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `CoresetParams::builder(k, grid).paper_faithful()` — it validates at `build()` instead of panicking"
+    )]
     pub fn paper_faithful(k: usize, r: f64, eps: f64, eta: f64, grid: GridParams) -> Self {
         Self::validate(k, r, eps, eta);
         Self {
@@ -122,6 +195,22 @@ impl CoresetParams {
         assert!(r >= 1.0, "the paper requires constant r ≥ 1");
         assert!((0.0..0.5).contains(&eps) && eps > 0.0, "ε ∈ (0, 0.5)");
         assert!((0.0..0.5).contains(&eta) && eta > 0.0, "η ∈ (0, 0.5)");
+    }
+
+    fn check(k: usize, r: f64, eps: f64, eta: f64) -> Result<(), ParamsError> {
+        if k < 1 {
+            return Err(ParamsError::out_of_range("k", k as f64, "≥ 1"));
+        }
+        if !(r >= 1.0 && r.is_finite()) {
+            return Err(ParamsError::out_of_range("r", r, "≥ 1 (constant r)"));
+        }
+        if !(eps > 0.0 && eps < 0.5) {
+            return Err(ParamsError::out_of_range("eps", eps, "∈ (0, 0.5)"));
+        }
+        if !(eta > 0.0 && eta < 0.5) {
+            return Err(ParamsError::out_of_range("eta", eta, "∈ (0, 0.5)"));
+        }
+        Ok(())
     }
 
     /// `L = log₂ Δ`.
@@ -288,6 +377,75 @@ impl CoresetParams {
     }
 }
 
+/// Fluent, validated construction of [`CoresetParams`].
+///
+/// ```
+/// use sbc_core::CoresetParams;
+/// use sbc_geometry::GridParams;
+///
+/// let params = CoresetParams::builder(3, GridParams::from_log_delta(8, 2))
+///     .r(2.0)
+///     .eps(0.2)
+///     .eta(0.2)
+///     .build()
+///     .expect("valid parameters");
+/// assert_eq!(params.k, 3);
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct CoresetParamsBuilder {
+    k: usize,
+    r: f64,
+    eps: f64,
+    eta: f64,
+    grid: GridParams,
+    profile: ConstantsProfile,
+}
+
+impl CoresetParamsBuilder {
+    /// Sets the cost exponent `r` (1 = k-median, 2 = k-means).
+    pub fn r(mut self, r: f64) -> Self {
+        self.r = r;
+        self
+    }
+
+    /// Sets the cost accuracy `ε`.
+    pub fn eps(mut self, eps: f64) -> Self {
+        self.eps = eps;
+        self
+    }
+
+    /// Sets the capacity slack `η`.
+    pub fn eta(mut self, eta: f64) -> Self {
+        self.eta = eta;
+        self
+    }
+
+    /// Overrides the full constants profile.
+    pub fn profile(mut self, profile: ConstantsProfile) -> Self {
+        self.profile = profile;
+        self
+    }
+
+    /// Switches to the paper's printed constants, verbatim.
+    pub fn paper_faithful(mut self) -> Self {
+        self.profile = ConstantsProfile::PaperFaithful;
+        self
+    }
+
+    /// Validates all fields and returns the parameters.
+    pub fn build(self) -> Result<CoresetParams, ParamsError> {
+        CoresetParams::check(self.k, self.r, self.eps, self.eta)?;
+        Ok(CoresetParams {
+            k: self.k,
+            r: self.r,
+            eps: self.eps,
+            eta: self.eta,
+            grid: self.grid,
+            profile: self.profile,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -299,7 +457,11 @@ mod tests {
     #[test]
     fn paper_gamma_formula() {
         // γ = 2^{−2(r+10)}·min(η/(kL), ε/((k+d^{1.5r})L)) at r = 2:
-        let p = CoresetParams::paper_faithful(4, 2.0, 0.2, 0.3, gp());
+        let p = CoresetParams::builder(4, gp())
+            .eta(0.3)
+            .paper_faithful()
+            .build()
+            .unwrap();
         let d_pow = 3f64.powf(3.0); // d^{1.5·2} = d³ = 27
         let expected = 2f64.powf(-24.0) * (0.3f64 / 32.0).min(0.2 / ((4.0 + d_pow) * 8.0));
         assert!((p.gamma() - expected).abs() < 1e-18);
@@ -307,7 +469,13 @@ mod tests {
 
     #[test]
     fn paper_xi_formula() {
-        let p = CoresetParams::paper_faithful(2, 1.0, 0.1, 0.4, gp());
+        let p = CoresetParams::builder(2, gp())
+            .r(1.0)
+            .eps(0.1)
+            .eta(0.4)
+            .paper_faithful()
+            .build()
+            .unwrap();
         let d_pow = 3f64.powf(1.5);
         let expected = 2f64.powf(-22.0) * 0.1 / (2.0 * (2.0 + d_pow) * 64.0);
         assert!((p.xi() - expected).abs() < 1e-18);
@@ -315,14 +483,20 @@ mod tests {
 
     #[test]
     fn paper_lambda_formula() {
-        let p = CoresetParams::paper_faithful(2, 1.0, 0.1, 0.1, gp());
+        let p = CoresetParams::builder(2, gp())
+            .r(1.0)
+            .eps(0.1)
+            .eta(0.1)
+            .paper_faithful()
+            .build()
+            .unwrap();
         // λ = 10⁶·r·k³·d·L·⌈ln(kdL)⌉ = 10⁶·1·8·3·8·⌈ln 48⌉ = 10⁶·8·3·8·4
         assert_eq!(p.lambda(), 768_000_000);
     }
 
     #[test]
     fn t_threshold_matches_definition_and_doubles_per_level() {
-        let p = CoresetParams::practical(3, 2.0, 0.2, 0.2, gp());
+        let p = CoresetParams::builder(3, gp()).build().unwrap();
         let o = 1000.0;
         // Tᵢ(o) = 0.01·o/(√d·gᵢ)^r; g halves per level ⇒ T quadruples (r=2).
         let t0 = p.t_threshold(0, o);
@@ -334,7 +508,7 @@ mod tests {
 
     #[test]
     fn phi_caps_at_one_and_decreases_with_o() {
-        let p = CoresetParams::practical(3, 2.0, 0.2, 0.2, gp());
+        let p = CoresetParams::builder(3, gp()).build().unwrap();
         // Tiny o ⇒ tiny Tᵢ ⇒ φ = 1.
         assert_eq!(p.phi(0, 1e-9), 1.0);
         // Large o ⇒ φ < 1 and monotone non-increasing in o.
@@ -346,7 +520,12 @@ mod tests {
 
     #[test]
     fn paper_phi_formula_spot_check() {
-        let p = CoresetParams::paper_faithful(2, 2.0, 0.3, 0.3, gp());
+        let p = CoresetParams::builder(2, gp())
+            .eps(0.3)
+            .eta(0.3)
+            .paper_faithful()
+            .build()
+            .unwrap();
         let o = 1e30; // force φ < 1 despite the astronomical constants
         let t = p.t_threshold(5, o);
         let expect =
@@ -356,27 +535,35 @@ mod tests {
 
     #[test]
     fn budgets_positive_and_scale_with_l() {
-        let small = CoresetParams::practical(3, 2.0, 0.2, 0.2, GridParams::from_log_delta(4, 2));
-        let large = CoresetParams::practical(3, 2.0, 0.2, 0.2, GridParams::from_log_delta(12, 2));
+        let small = CoresetParams::builder(3, GridParams::from_log_delta(4, 2))
+            .build()
+            .unwrap();
+        let large = CoresetParams::builder(3, GridParams::from_log_delta(12, 2))
+            .build()
+            .unwrap();
         assert!(small.max_heavy_cells() > 0.0);
         assert!(large.max_heavy_cells() > small.max_heavy_cells());
     }
 
     #[test]
     fn o_upper_bound_dominates_any_cost() {
-        let p = CoresetParams::practical(2, 2.0, 0.2, 0.2, gp());
+        let p = CoresetParams::builder(2, gp()).build().unwrap();
         // max per-point cost is (√d·Δ)^r; n points.
         assert_eq!(p.o_upper_bound(10), 10.0 * (3f64.sqrt() * 256.0).powi(2));
     }
 
+    // The deprecated free-form constructors keep their documented
+    // panicking contract until removal; these two tests pin it.
     #[test]
     #[should_panic(expected = "ε ∈ (0, 0.5)")]
+    #[allow(deprecated)]
     fn rejects_out_of_range_eps() {
         let _ = CoresetParams::practical(2, 2.0, 0.7, 0.2, gp());
     }
 
     #[test]
     #[should_panic(expected = "r ≥ 1")]
+    #[allow(deprecated)]
     fn rejects_r_below_one() {
         let _ = CoresetParams::practical(2, 0.5, 0.2, 0.2, gp());
     }

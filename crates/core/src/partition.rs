@@ -316,7 +316,7 @@ mod tests {
         let pts = sbc_geometry::dataset::uniform(gp, 2000, 2);
         let mut rng = StdRng::seed_from_u64(3);
         let grid = GridHierarchy::new(gp, &mut rng);
-        let params = CoresetParams::practical(3, 2.0, 0.2, 0.2, gp);
+        let params = CoresetParams::builder(3, gp).build().unwrap();
         let counts = CellCounts::exact(&pts, &grid);
         // Tiny o ⇒ every tiny cell is heavy ⇒ budget blown.
         assert!(matches!(
@@ -333,7 +333,7 @@ mod tests {
     #[test]
     fn moderate_o_partitions_every_point() {
         let (gp, pts, grid) = setup(500, 3);
-        let params = CoresetParams::practical(3, 2.0, 0.2, 0.2, gp);
+        let params = CoresetParams::builder(3, gp).build().unwrap();
         let counts = CellCounts::exact(&pts, &grid);
         // Find a workable o by doubling (mirrors Theorem 3.19's driver).
         let mut chosen = None;
@@ -357,7 +357,7 @@ mod tests {
     #[test]
     fn part_masses_sum_to_located_points() {
         let (gp, pts, grid) = setup(400, 4);
-        let params = CoresetParams::practical(3, 2.0, 0.2, 0.2, gp);
+        let params = CoresetParams::builder(3, gp).build().unwrap();
         let counts = CellCounts::exact(&pts, &grid);
         let mut o = 1.0;
         let partition = loop {
@@ -386,7 +386,7 @@ mod tests {
     #[test]
     fn heavy_nesting_is_enforced() {
         let (gp, pts, grid) = setup(300, 5);
-        let params = CoresetParams::practical(2, 2.0, 0.2, 0.2, gp);
+        let params = CoresetParams::builder(2, gp).build().unwrap();
         let counts = CellCounts::exact(&pts, &grid);
         let mut o = 1.0;
         let partition = loop {

@@ -151,7 +151,7 @@ mod tests {
     #[test]
     fn coreset_preserves_capacitated_kmeans_cost_gaussian() {
         let gp = GridParams::from_log_delta(8, 2);
-        let params = CoresetParams::practical(3, 2.0, 0.2, 0.2, gp);
+        let params = CoresetParams::builder(3, gp).build().unwrap();
         let pts = gaussian_mixture(gp, 3000, 3, 0.04, 42);
         check(&pts, &params, 1, 1.45);
     }
@@ -159,7 +159,7 @@ mod tests {
     #[test]
     fn coreset_preserves_capacitated_kmedian_cost() {
         let gp = GridParams::from_log_delta(8, 2);
-        let params = CoresetParams::practical(3, 1.0, 0.2, 0.2, gp);
+        let params = CoresetParams::builder(3, gp).r(1.0).build().unwrap();
         let pts = gaussian_mixture(gp, 3000, 3, 0.04, 43);
         check(&pts, &params, 2, 1.45);
     }
@@ -168,7 +168,7 @@ mod tests {
     fn coreset_preserves_cost_on_imbalanced_data() {
         // The regime where capacities bind hardest.
         let gp = GridParams::from_log_delta(8, 2);
-        let params = CoresetParams::practical(3, 2.0, 0.2, 0.2, gp);
+        let params = CoresetParams::builder(3, gp).build().unwrap();
         let pts = imbalanced_mixture(gp, 3000, &[0.7, 0.2, 0.1], 0.03, 44);
         check(&pts, &params, 3, 1.45);
     }
@@ -176,7 +176,7 @@ mod tests {
     #[test]
     fn coreset_preserves_cost_on_uniform_data() {
         let gp = GridParams::from_log_delta(7, 2);
-        let params = CoresetParams::practical(2, 2.0, 0.2, 0.2, gp);
+        let params = CoresetParams::builder(2, gp).build().unwrap();
         let pts = uniform(gp, 2000, 45);
         check(&pts, &params, 4, 1.45);
     }

@@ -18,8 +18,16 @@
 //! Machines run either serially or on real threads (crossbeam scope);
 //! the outputs are identical because each machine's computation is
 //! deterministic in (seed, shard).
+//!
+//! Uploads travel in [`Envelope`]s through a simulated network that can
+//! drop or duplicate deliveries per the `StreamParams` fault plan
+//! (`sbc_obs::fault`). Dropped sends are retried with exponential
+//! backoff (accounted, not slept) up to the plan's attempt budget;
+//! duplicates are discarded by `(machine, seq)`. Under any survivable
+//! loss schedule the coordinator therefore assembles the *same* coreset
+//! as a lossless run — asserted by the fault tests below.
 
-use crate::wire::{from_bytes, to_bytes, Encode};
+use crate::wire::{from_bytes, to_bytes, Encode, Envelope};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -27,19 +35,30 @@ use sbc_core::{Coreset, CoresetParams, FailReason};
 use sbc_geometry::{GridHierarchy, Point};
 use sbc_streaming::coreset_stream::{InstanceSummary, RoleLevelSummary, StreamParams};
 use sbc_streaming::StreamCoresetBuilder;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// Exact communication accounting for one protocol run.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct CommStats {
     /// Bytes broadcast coordinator → machines (total over machines).
     pub broadcast_bytes: u64,
-    /// Bytes sent machines → coordinator.
+    /// Bytes sent machines → coordinator (every transmission counts,
+    /// including dropped and duplicated copies).
     pub upload_bytes: u64,
-    /// Number of point-to-point messages.
+    /// Number of point-to-point messages put on the wire.
     pub messages: u64,
     /// Number of machines.
     pub machines: usize,
+    /// Uploads lost to injected drops (each triggers a retry).
+    pub dropped: u64,
+    /// Retransmissions after a drop (`messages` includes them).
+    pub retransmissions: u64,
+    /// Extra delivered copies from injected duplication, discarded by
+    /// the coordinator's `(machine, seq)` dedupe.
+    pub duplicates: u64,
+    /// Simulated exponential-backoff cost: Σ 2^(attempt−1) over all
+    /// retransmissions (unit = the base retry delay).
+    pub backoff_units: u64,
 }
 
 impl CommStats {
@@ -71,7 +90,7 @@ impl Encode for Broadcast {
 /// use sbc_streaming::StreamParams;
 ///
 /// let gp = GridParams::from_log_delta(8, 2);
-/// let params = CoresetParams::practical(3, 2.0, 0.2, 0.2, gp);
+/// let params = CoresetParams::builder(3, gp).build().unwrap();
 /// let points = dataset::gaussian_mixture(gp, 20_000, 3, 0.04, 1);
 /// let shards = dataset::split_round_robin(&points, 8);
 /// let (coreset, stats) =
@@ -163,18 +182,80 @@ impl DistributedCoreset {
             shards.iter().map(machine).collect()
         };
 
-        for bytes in &uploads {
-            stats.upload_bytes += bytes.len() as u64;
-            stats.messages += 1;
-            sbc_obs::histogram!("dist.wire.upload_msg_bytes").record(bytes.len() as u64);
+        // 3. The (simulated) network: each upload travels in an
+        //    `Envelope` and may be dropped or duplicated per the fault
+        //    plan. Transmissions are indexed by a sequential counter;
+        //    the delivery loop runs in the coordinator, serially in
+        //    machine order after the (possibly threaded) compute
+        //    barrier, so the threaded and serial paths inject identical
+        //    faults. Dropped sends are retried with simulated
+        //    exponential backoff; delivered duplicates are discarded by
+        //    `(machine, seq)` before decode, making re-delivery
+        //    idempotent.
+        let plan = sparams.faults;
+        let max_attempts = plan.max_retries.max(1) as u64;
+        let mut received: Vec<Option<Vec<u8>>> = vec![None; s];
+        let mut seen: HashSet<(u32, u64)> = HashSet::new();
+        let mut delivery_idx = 0u64;
+        for (j, payload) in uploads.into_iter().enumerate() {
+            let env = Envelope {
+                machine: j as u32,
+                seq: 0,
+                payload,
+            };
+            let env_bytes = to_bytes(&env);
+            sbc_obs::histogram!("dist.wire.upload_msg_bytes").record(env_bytes.len() as u64);
+            let mut delivered = false;
+            for attempt in 0..max_attempts {
+                let idx = delivery_idx;
+                delivery_idx += 1;
+                stats.messages += 1;
+                stats.upload_bytes += env_bytes.len() as u64;
+                if attempt > 0 {
+                    stats.retransmissions += 1;
+                    stats.backoff_units += 1 << (attempt - 1);
+                    sbc_obs::counter!("dist.fault.retransmit").incr();
+                }
+                if plan.drops_delivery(idx) {
+                    stats.dropped += 1;
+                    sbc_obs::counter!("dist.fault.drop").incr();
+                    continue;
+                }
+                let copies = if plan.duplicates_delivery(idx) {
+                    stats.duplicates += 1;
+                    sbc_obs::counter!("dist.fault.dup").incr();
+                    2
+                } else {
+                    1
+                };
+                for _ in 0..copies {
+                    let env: Envelope = from_bytes(&env_bytes)
+                        .ok_or_else(|| FailReason::Storage("malformed envelope".into()))?;
+                    if seen.insert((env.machine, env.seq)) {
+                        received[env.machine as usize] = Some(env.payload);
+                    } else {
+                        sbc_obs::counter!("dist.fault.dedup").incr();
+                    }
+                }
+                delivered = true;
+                break;
+            }
+            if !delivered {
+                return Err(FailReason::Storage(format!(
+                    "machine {j}: upload lost after {max_attempts} send attempt(s)"
+                )));
+            }
         }
         sbc_obs::counter!("dist.wire.upload_bytes").add(stats.upload_bytes);
-        sbc_obs::counter!("dist.wire.messages_up").add(uploads.len() as u64);
+        sbc_obs::counter!("dist.wire.messages_up").add(stats.messages - s as u64);
 
-        // 3. Coordinator: decode, merge, assemble.
-        let decoded: Vec<Vec<InstanceSummary>> = uploads
+        // 4. Coordinator: decode, merge, assemble.
+        let decoded: Vec<Vec<InstanceSummary>> = received
             .iter()
-            .map(|bytes| {
+            .map(|slot| {
+                let bytes = slot
+                    .as_ref()
+                    .ok_or_else(|| FailReason::Storage("missing upload".into()))?;
                 from_bytes(bytes).ok_or_else(|| FailReason::Storage("malformed upload".into()))
             })
             .collect::<Result<_, _>>()?;
@@ -324,7 +405,9 @@ mod tests {
     use sbc_geometry::GridParams;
 
     fn params() -> CoresetParams {
-        CoresetParams::practical(3, 2.0, 0.2, 0.2, GridParams::from_log_delta(8, 2))
+        CoresetParams::builder(3, GridParams::from_log_delta(8, 2))
+            .build()
+            .unwrap()
     }
 
     #[test]
@@ -377,6 +460,76 @@ mod tests {
         // it must certainly grow, and far less than 16×.
         assert!(b8 > b2, "more machines ⇒ more messages");
         assert!(b8 < 8 * b2, "b2 = {b2}, b8 = {b8}");
+    }
+
+    #[test]
+    fn drop_profile_converges_to_lossless_coreset() {
+        // With 1-in-8 deliveries dropped and retries enabled, every
+        // upload eventually lands, so the assembled coreset must be
+        // identical to the lossless run's — the protocol's convergence
+        // guarantee under loss.
+        let p = params();
+        let pts = gaussian_mixture(p.grid, 4000, 3, 0.04, 13);
+        let shards = split_round_robin(&pts, 6);
+        let lossless = StreamParams::default();
+        let lossy = StreamParams {
+            faults: sbc_obs::fault::FaultPlan::parse("drop8").unwrap(),
+            ..lossless
+        };
+        let (a, sa) = DistributedCoreset::run(&shards, &p, &lossless, 19).unwrap();
+        let (b, sb) = DistributedCoreset::run(&shards, &p, &lossy, 19).unwrap();
+        assert_eq!(a.o, b.o);
+        assert_eq!(a.entries(), b.entries(), "coreset must survive drops");
+        assert!(sb.dropped > 0, "drop8 over 6 machines must drop something");
+        assert_eq!(sb.retransmissions, sb.dropped);
+        assert!(sb.backoff_units >= sb.retransmissions);
+        assert!(
+            sb.upload_bytes > sa.upload_bytes,
+            "retransmissions cost bytes"
+        );
+        // The threaded path injects the very same faults.
+        let (c, sc) = DistributedCoreset::run_threaded(&shards, &p, &lossy, 19).unwrap();
+        assert_eq!(b.entries(), c.entries());
+        assert_eq!(sb.dropped, sc.dropped);
+        assert_eq!(sb.upload_bytes, sc.upload_bytes);
+    }
+
+    #[test]
+    fn duplicated_deliveries_are_idempotent() {
+        let p = params();
+        let pts = gaussian_mixture(p.grid, 3000, 3, 0.04, 23);
+        let shards = split_round_robin(&pts, 8);
+        let lossless = StreamParams::default();
+        let dupy = StreamParams {
+            faults: sbc_obs::fault::FaultPlan::parse("dup8@5").unwrap(),
+            ..lossless
+        };
+        let (a, _) = DistributedCoreset::run(&shards, &p, &lossless, 29).unwrap();
+        let (b, sb) = DistributedCoreset::run(&shards, &p, &dupy, 29).unwrap();
+        assert!(sb.duplicates > 0, "dup8 over 8 machines must duplicate");
+        assert_eq!(a.entries(), b.entries(), "dedupe must make dups invisible");
+    }
+
+    #[test]
+    fn exhausted_retries_surface_as_storage_failure() {
+        // drop_every = 1 drops *every* delivery; one attempt per message
+        // means no upload ever arrives.
+        let p = params();
+        let pts = gaussian_mixture(p.grid, 500, 2, 0.04, 31);
+        let shards = split_round_robin(&pts, 2);
+        let doomed = StreamParams {
+            faults: sbc_obs::fault::FaultPlan {
+                drop_every: Some(1),
+                max_retries: 1,
+                ..sbc_obs::fault::FaultPlan::NONE
+            },
+            ..StreamParams::default()
+        };
+        let err = DistributedCoreset::run(&shards, &p, &doomed, 37).unwrap_err();
+        assert!(
+            matches!(err, FailReason::Storage(ref m) if m.contains("lost after")),
+            "{err:?}"
+        );
     }
 
     #[test]

@@ -45,7 +45,7 @@ proptest! {
 #[test]
 fn real_summaries_roundtrip_exactly() {
     let gp = GridParams::from_log_delta(7, 2);
-    let params = CoresetParams::practical(2, 2.0, 0.2, 0.2, gp);
+    let params = CoresetParams::builder(2, gp).build().unwrap();
     let pts = gaussian_mixture(gp, 800, 2, 0.05, 3);
     let mut rng = StdRng::seed_from_u64(5);
     let mut builder = StreamCoresetBuilder::new(params, StreamParams::default(), &mut rng);

@@ -42,6 +42,22 @@ impl KWiseHash {
         self.coeffs.len()
     }
 
+    /// The polynomial coefficients (leading coefficient first) — the
+    /// function's entire state, exposed for checkpoint serialization.
+    pub fn coeffs(&self) -> &[u64] {
+        &self.coeffs
+    }
+
+    /// Rebuilds a function from coefficients captured by
+    /// [`Self::coeffs`]. Coefficients are reduced into the field, so a
+    /// round trip through an untrusted checkpoint cannot produce a
+    /// function outside the family.
+    pub fn from_coeffs(coeffs: Vec<u64>) -> Self {
+        assert!(!coeffs.is_empty(), "independence degree must be ≥ 1");
+        let coeffs = coeffs.into_iter().map(|c| c % field::P).collect();
+        Self { coeffs }
+    }
+
     /// Number of bytes needed to store this function — `λ` field elements
     /// of 8 bytes. This is the "small randomness" the paper's space
     /// accounting charges for.

@@ -1,0 +1,287 @@
+//! Seeded, deterministic fault injection.
+//!
+//! A [`FaultPlan`] is a small `Copy` description of *which* faults to
+//! inject and *where*; every decision is a pure function of
+//! `(plan.seed, site, local index)`, so two runs with the same plan
+//! inject byte-identical fault sequences regardless of threading,
+//! batching, or process restarts. That determinism is what lets the
+//! robustness tests assert exact equality between a faulted run and its
+//! reference: the checkpoint/restore proptests replay store deaths at
+//! the same per-store update index on both sides, and the distributed
+//! tests drop the same 1-in-k deliveries on every execution.
+//!
+//! Sites are named by fixed salts (the [`site`] registry). A store is
+//! identified by a salt derived from its position in the ladder
+//! (instance/role/level), **not** by arrival order of global ops —
+//! per-op, batched, and parallel ingest paths therefore agree on which
+//! store dies and when, because each store counts only its own updates.
+//!
+//! The plan is threaded explicitly through `StreamParams` and the
+//! distributed protocol config rather than held in process-global
+//! state, so concurrent tests cannot contaminate each other. The module
+//! lives in `sbc-obs` (always compiled, independent of the `obs` cargo
+//! feature) because every other crate already depends on it and fault
+//! decisions must not vary with the metrics feature state.
+
+/// Fixed site salts — the failpoint registry. Each injection point in
+/// the workspace mixes exactly one of these into its decisions so that
+/// e.g. message-drop choices are independent of message-dup choices
+/// under the same seed.
+pub mod site {
+    /// A `Storing` instance reaching its configured kill index.
+    pub const STORE_KILL: u64 = 0x51ee_7e57_0001;
+    /// A coordinator-bound message delivery being dropped.
+    pub const MSG_DROP: u64 = 0x51ee_7e57_0002;
+    /// A coordinator-bound message delivery being duplicated.
+    pub const MSG_DUP: u64 = 0x51ee_7e57_0003;
+}
+
+/// Which terminal state an injected store fault forces.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum StoreFaultKind {
+    /// Kill as if the cell cap was exceeded (`RunawayKill`).
+    #[default]
+    RunawayKill,
+    /// Kill as if the recovery sketch saturated (`SketchOverflow`).
+    SketchOverflow,
+}
+
+/// A deterministic fault-injection plan. `Default` injects nothing, so
+/// the zero plan is the production configuration and every legacy code
+/// path is byte-identical to pre-fault-injection builds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Seed mixed into every decision; two plans differing only in seed
+    /// fault different stores/messages at the same rates.
+    pub seed: u64,
+    /// Kill selected stores once their own update count reaches this
+    /// index (counted per store, so the decision is identical across
+    /// per-op, batched, and parallel ingest).
+    pub store_kill_at: Option<u64>,
+    /// Fraction of stores (out of 1000) subject to `store_kill_at`.
+    pub store_kill_permille: u16,
+    /// Terminal state injected store faults force.
+    pub store_fault_kind: StoreFaultKind,
+    /// Drop one coordinator delivery per window of this many (seeded
+    /// position within each window).
+    pub drop_every: Option<u64>,
+    /// Duplicate one coordinator delivery per window of this many.
+    pub dup_every: Option<u64>,
+    /// Send attempts allowed per message (1 = no retries). Dropped
+    /// sends are retried with simulated exponential backoff until this
+    /// budget is exhausted.
+    pub max_retries: u32,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::NONE
+    }
+}
+
+/// splitmix64 — the mixing function behind every fault decision.
+#[inline]
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+#[inline]
+fn mix3(seed: u64, salt: u64, idx: u64) -> u64 {
+    splitmix64(splitmix64(seed ^ salt).wrapping_add(idx))
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing (same as `Default`).
+    pub const NONE: FaultPlan = FaultPlan {
+        seed: 0,
+        store_kill_at: None,
+        store_kill_permille: 0,
+        store_fault_kind: StoreFaultKind::RunawayKill,
+        drop_every: None,
+        dup_every: None,
+        max_retries: 1,
+    };
+
+    /// Whether this plan can inject any fault at all. The hot paths
+    /// check this once and skip all per-op decision work when inactive.
+    #[inline]
+    pub fn is_active(&self) -> bool {
+        (self.store_kill_at.is_some() && self.store_kill_permille > 0)
+            || self.drop_every.is_some()
+            || self.dup_every.is_some()
+    }
+
+    /// Returns the fault to inject when the store identified by
+    /// `store_salt` performs its `update_idx`-th update (0-based), or
+    /// `None`. Pure in `(self, store_salt, update_idx)`.
+    #[inline]
+    pub fn store_fault(&self, store_salt: u64, update_idx: u64) -> Option<StoreFaultKind> {
+        let at = self.store_kill_at?;
+        if update_idx != at || self.store_kill_permille == 0 {
+            return None;
+        }
+        let roll = mix3(self.seed, site::STORE_KILL, store_salt) % 1000;
+        (roll < self.store_kill_permille as u64).then_some(self.store_fault_kind)
+    }
+
+    /// Whether the `idx`-th coordinator delivery (0-based, in protocol
+    /// order) is dropped. Exactly one delivery per window of
+    /// `drop_every` is lost, at a seeded position within the window.
+    #[inline]
+    pub fn drops_delivery(&self, idx: u64) -> bool {
+        window_hit(self.seed, site::MSG_DROP, self.drop_every, idx)
+    }
+
+    /// Whether the `idx`-th coordinator delivery is duplicated
+    /// (delivered twice; the receiver must deduplicate).
+    #[inline]
+    pub fn duplicates_delivery(&self, idx: u64) -> bool {
+        window_hit(self.seed, site::MSG_DUP, self.dup_every, idx)
+    }
+
+    /// Parses a named profile, optionally suffixed with `@<seed>`
+    /// (e.g. `drop8@42`). Profiles:
+    ///
+    /// * `none` — inject nothing;
+    /// * `drop8` — drop 1-in-8 coordinator deliveries, 4 send attempts;
+    /// * `dup8` — duplicate 1-in-8 coordinator deliveries;
+    /// * `kill-early` — kill 25% of stores at their 64th update;
+    /// * `overflow-early` — same selection, forced `SketchOverflow`;
+    /// * `chaos` — all of the above at once.
+    pub fn parse(s: &str) -> Result<FaultPlan, String> {
+        let (name, seed) = match s.split_once('@') {
+            Some((n, v)) => (
+                n,
+                v.parse::<u64>()
+                    .map_err(|_| format!("bad fault seed {v:?} in profile {s:?}"))?,
+            ),
+            None => (s, 0),
+        };
+        let mut plan = match name {
+            "none" => FaultPlan::NONE,
+            "drop8" => FaultPlan {
+                drop_every: Some(8),
+                max_retries: 4,
+                ..FaultPlan::NONE
+            },
+            "dup8" => FaultPlan {
+                dup_every: Some(8),
+                ..FaultPlan::NONE
+            },
+            "kill-early" => FaultPlan {
+                store_kill_at: Some(64),
+                store_kill_permille: 250,
+                ..FaultPlan::NONE
+            },
+            "overflow-early" => FaultPlan {
+                store_kill_at: Some(64),
+                store_kill_permille: 250,
+                store_fault_kind: StoreFaultKind::SketchOverflow,
+                ..FaultPlan::NONE
+            },
+            "chaos" => FaultPlan {
+                store_kill_at: Some(64),
+                store_kill_permille: 250,
+                drop_every: Some(8),
+                dup_every: Some(8),
+                max_retries: 4,
+                ..FaultPlan::NONE
+            },
+            other => {
+                return Err(format!(
+                    "unknown fault profile {other:?} \
+                     (try none|drop8|dup8|kill-early|overflow-early|chaos, \
+                     optionally with @<seed>)"
+                ))
+            }
+        };
+        plan.seed = seed;
+        Ok(plan)
+    }
+}
+
+#[inline]
+fn window_hit(seed: u64, salt: u64, every: Option<u64>, idx: u64) -> bool {
+    match every {
+        Some(k) if k > 0 => mix3(seed, salt, idx / k) % k == idx % k,
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_plan_is_inert() {
+        let plan = FaultPlan::default();
+        assert!(!plan.is_active());
+        assert_eq!(plan, FaultPlan::NONE);
+        for i in 0..1000 {
+            assert!(plan.store_fault(i, i).is_none());
+            assert!(!plan.drops_delivery(i));
+            assert!(!plan.duplicates_delivery(i));
+        }
+    }
+
+    #[test]
+    fn drop_rate_is_exactly_one_per_window() {
+        let plan = FaultPlan::parse("drop8@7").unwrap();
+        for w in 0..100u64 {
+            let hits = (w * 8..(w + 1) * 8)
+                .filter(|&i| plan.drops_delivery(i))
+                .count();
+            assert_eq!(hits, 1, "window {w}");
+        }
+    }
+
+    #[test]
+    fn decisions_are_seed_sensitive_and_site_independent() {
+        let a = FaultPlan::parse("chaos@1").unwrap();
+        let b = FaultPlan::parse("chaos@2").unwrap();
+        let drops_a: Vec<u64> = (0..256).filter(|&i| a.drops_delivery(i)).collect();
+        let drops_b: Vec<u64> = (0..256).filter(|&i| b.drops_delivery(i)).collect();
+        assert_ne!(drops_a, drops_b);
+        // Same seed, different sites: drop and dup choices differ.
+        let dups_a: Vec<u64> = (0..256).filter(|&i| a.duplicates_delivery(i)).collect();
+        assert_ne!(drops_a, dups_a);
+    }
+
+    #[test]
+    fn store_fault_fires_only_at_kill_index() {
+        let plan = FaultPlan::parse("kill-early@3").unwrap();
+        // Find a salt the plan selects.
+        let salt = (0..10_000u64)
+            .find(|&s| plan.store_fault(s, 64).is_some())
+            .expect("25% of salts should be selected");
+        assert_eq!(
+            plan.store_fault(salt, 64),
+            Some(StoreFaultKind::RunawayKill)
+        );
+        assert!(plan.store_fault(salt, 63).is_none());
+        assert!(plan.store_fault(salt, 65).is_none());
+        // Selection rate is roughly 25%.
+        let hit = (0..4000u64)
+            .filter(|&s| plan.store_fault(s, 64).is_some())
+            .count();
+        assert!((800..1200).contains(&hit), "selected {hit}/4000");
+    }
+
+    #[test]
+    fn profile_parsing() {
+        assert_eq!(FaultPlan::parse("none").unwrap(), FaultPlan::NONE);
+        let p = FaultPlan::parse("drop8@99").unwrap();
+        assert_eq!(p.drop_every, Some(8));
+        assert_eq!(p.seed, 99);
+        assert_eq!(p.max_retries, 4);
+        assert_eq!(
+            FaultPlan::parse("overflow-early").unwrap().store_fault_kind,
+            StoreFaultKind::SketchOverflow
+        );
+        assert!(FaultPlan::parse("bogus").is_err());
+        assert!(FaultPlan::parse("drop8@x").is_err());
+    }
+}

@@ -206,6 +206,33 @@ pub fn reset() {
     }
 }
 
+/// Folds a previously exported snapshot back into the live registry
+/// (names are interned as needed, values added on top of whatever is
+/// already recorded). Checkpoint restore uses this so metrics carried in
+/// a snapshot survive a process restart; merging respects the runtime
+/// enable flag the same way direct recording does.
+pub fn merge_snapshot(snap: &MetricsSnapshot) {
+    if !enabled() {
+        return;
+    }
+    for (name, v) in &snap.counters {
+        if *v > 0 {
+            counter(name).0.value.fetch_add(*v, Ordering::Relaxed);
+        }
+    }
+    for (name, h) in &snap.histograms {
+        if h.count == 0 {
+            continue;
+        }
+        let inner = histogram(name).0;
+        inner.count.fetch_add(h.count, Ordering::Relaxed);
+        inner.sum.fetch_add(h.sum, Ordering::Relaxed);
+        for &(ub, c) in &h.buckets {
+            inner.buckets[bucket_index(ub)].fetch_add(c, Ordering::Relaxed);
+        }
+    }
+}
+
 /// Exports every registered metric, sorted by name.
 pub fn snapshot() -> MetricsSnapshot {
     let reg = registry();

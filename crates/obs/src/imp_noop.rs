@@ -103,6 +103,10 @@ impl SpanTimer {
 #[inline(always)]
 pub fn reset() {}
 
+/// No-op: without the `obs` feature there is no registry to merge into.
+#[inline(always)]
+pub fn merge_snapshot(_snap: &MetricsSnapshot) {}
+
 /// An empty snapshot with `feature_enabled: false`.
 pub fn snapshot() -> MetricsSnapshot {
     MetricsSnapshot::default()

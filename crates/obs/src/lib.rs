@@ -34,6 +34,7 @@
 //! feature on/off, enabled or idle, serial or parallel is bit-identical
 //! in every output (property-tested in `sbc-streaming`).
 
+pub mod fault;
 pub mod json;
 
 use json::JsonValue;

@@ -1,0 +1,213 @@
+//! # sbc — streaming balanced clustering, one front door
+//!
+//! Facade over the workspace reproducing **"Streaming Balanced
+//! Clustering"** (Esfandiari, Mirrokni, Zhong; SPAA 2023 /
+//! arXiv:1910.00788). Downstream code imports this one crate and gets:
+//!
+//! * **one import surface** — [`prelude`] carries the handful of types
+//!   almost every program needs; the full per-subsystem APIs stay
+//!   reachable through the module re-exports ([`geometry`], [`core`],
+//!   [`streaming`], [`distributed`], [`clustering`], [`flow`],
+//!   [`hashing`], [`obs`]);
+//! * **fluent, validating builders** — [`CoresetParams::builder`] and
+//!   [`StreamParams::builder`] return `Result` at `build()` instead of
+//!   panicking mid-construction the way the deprecated free-form
+//!   constructors did;
+//! * **a single error type** — [`SbcError`] absorbs every layer's
+//!   failure enum (`ParamsError`, `FailReason`, `StoringFail`,
+//!   `CheckpointError`), so application code can use `?` throughout and
+//!   still match on the precise cause when it wants to.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use sbc::prelude::*;
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! fn main() -> Result<(), SbcError> {
+//!     let gp = GridParams::from_log_delta(7, 2);
+//!     let points = sbc::geometry::dataset::gaussian_mixture(gp, 4000, 3, 0.05, 7);
+//!
+//!     // Offline: strong coreset for capacitated 3-means.
+//!     let params = CoresetParams::builder(3, gp).r(2.0).eps(0.2).eta(0.2).build()?;
+//!     let mut rng = StdRng::seed_from_u64(42);
+//!     let coreset = build_coreset(&points, &params, &mut rng)?;
+//!     assert!(coreset.len() < points.len());
+//!
+//!     // Streaming: same guarantee, one pass, insertions and deletions.
+//!     let sp = StreamParams::builder().build()?;
+//!     let mut builder = StreamCoresetBuilder::new(params, sp, &mut rng);
+//!     builder.insert_batch(&points);
+//!     let streamed = builder.finish()?;
+//!     assert!(streamed.len() > 0);
+//!     Ok(())
+//! }
+//! ```
+//!
+//! ## Checkpoint / restore
+//!
+//! Long streaming runs survive interruption: [`StreamCoresetBuilder::checkpoint`]
+//! serializes the full builder state to a versioned byte format and
+//! [`StreamCoresetBuilder::restore`] resumes it in a fresh process,
+//! bit-identically. See `DESIGN.md` §7 and the `streaming_dynamic`
+//! example.
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub use sbc_clustering as clustering;
+pub use sbc_core as core;
+pub use sbc_distributed as distributed;
+pub use sbc_flow as flow;
+pub use sbc_geometry as geometry;
+pub use sbc_hash as hashing;
+pub use sbc_obs as obs;
+pub use sbc_streaming as streaming;
+
+pub use sbc_clustering::{capacitated_cost, capacitated_lloyd, CapacitatedSolution, CostReport};
+pub use sbc_core::{
+    build_coreset, ConstantsProfile, Coreset, CoresetEntry, CoresetParams, CoresetParamsBuilder,
+    FailReason, ParamsError,
+};
+pub use sbc_distributed::{CommStats, DistributedCoreset};
+pub use sbc_geometry::{GridHierarchy, GridParams, Point, WeightedPoint};
+pub use sbc_obs::fault::{FaultPlan, StoreFaultKind};
+pub use sbc_streaming::{
+    CheckpointError, Snapshot, SpaceReport, StoringFail, StreamCoresetBuilder, StreamOp,
+    StreamParams, StreamParamsBuilder,
+};
+
+/// Convenience prelude: the types nearly every program touches.
+pub mod prelude {
+    pub use crate::SbcError;
+    pub use sbc_clustering::{capacitated_cost, capacitated_lloyd};
+    pub use sbc_core::{build_coreset, Coreset, CoresetParams};
+    pub use sbc_distributed::DistributedCoreset;
+    pub use sbc_geometry::{GridParams, Point, WeightedPoint};
+    pub use sbc_obs::fault::FaultPlan;
+    pub use sbc_streaming::{Snapshot, StreamCoresetBuilder, StreamOp, StreamParams};
+}
+
+/// Unified error for the whole pipeline.
+///
+/// Every subsystem keeps its own precise error enum; this type absorbs
+/// them all via `From`, so application code writes `?` against one
+/// error and still gets the original cause back through [`source`] or
+/// by matching the variant.
+///
+/// [`source`]: std::error::Error::source
+#[derive(Clone, Debug, PartialEq)]
+pub enum SbcError {
+    /// Parameter validation failed ([`CoresetParams::builder`] /
+    /// [`StreamParams::builder`]).
+    Params(ParamsError),
+    /// Coreset construction failed — offline, streaming `finish`, or
+    /// the distributed protocol.
+    Build(FailReason),
+    /// A `Storing` summary structure failed (overflow / decode).
+    Store(StoringFail),
+    /// A checkpoint could not be written, decoded, or restored.
+    Checkpoint(CheckpointError),
+}
+
+impl std::fmt::Display for SbcError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SbcError::Params(e) => write!(f, "invalid parameters: {e}"),
+            SbcError::Build(e) => write!(f, "coreset construction failed: {e}"),
+            SbcError::Store(e) => write!(f, "summary structure failed: {e}"),
+            SbcError::Checkpoint(e) => write!(f, "checkpoint error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SbcError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SbcError::Params(e) => Some(e),
+            SbcError::Build(e) => Some(e),
+            SbcError::Store(e) => Some(e),
+            SbcError::Checkpoint(e) => Some(e),
+        }
+    }
+}
+
+impl From<ParamsError> for SbcError {
+    fn from(e: ParamsError) -> Self {
+        SbcError::Params(e)
+    }
+}
+impl From<FailReason> for SbcError {
+    fn from(e: FailReason) -> Self {
+        SbcError::Build(e)
+    }
+}
+impl From<StoringFail> for SbcError {
+    fn from(e: StoringFail) -> Self {
+        SbcError::Store(e)
+    }
+}
+impl From<CheckpointError> for SbcError {
+    fn from(e: CheckpointError) -> Self {
+        SbcError::Checkpoint(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn question_mark_composes_across_layers() {
+        fn offline() -> Result<CoresetParams, SbcError> {
+            Ok(CoresetParams::builder(3, GridParams::from_log_delta(6, 2)).build()?)
+        }
+        fn stream() -> Result<StreamParams, SbcError> {
+            Ok(StreamParams::builder().build()?)
+        }
+        assert!(offline().is_ok());
+        assert!(stream().is_ok());
+    }
+
+    #[test]
+    fn params_errors_map_and_display() {
+        let err = CoresetParams::builder(0, GridParams::from_log_delta(6, 2))
+            .build()
+            .map_err(SbcError::from)
+            .unwrap_err();
+        assert!(matches!(err, SbcError::Params(_)));
+        let msg = err.to_string();
+        assert!(msg.contains("invalid parameters"), "{msg}");
+        use std::error::Error;
+        assert!(err.source().is_some());
+    }
+
+    #[test]
+    fn checkpoint_errors_map() {
+        let err: SbcError = CheckpointError::BadMagic.into();
+        assert_eq!(err, SbcError::Checkpoint(CheckpointError::BadMagic));
+        assert!(err.to_string().contains("checkpoint"));
+    }
+
+    #[test]
+    fn prelude_supports_the_full_pipeline() {
+        use crate::prelude::*;
+        use rand::{rngs::StdRng, SeedableRng};
+
+        let gp = GridParams::from_log_delta(6, 2);
+        let points = sbc_geometry::dataset::gaussian_mixture(gp, 600, 2, 0.05, 3);
+        let params = CoresetParams::builder(2, gp).build().unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let coreset = build_coreset(&points, &params, &mut rng).expect("offline coreset");
+        assert!(!coreset.is_empty());
+
+        let sp = StreamParams::builder().build().unwrap();
+        let mut b = StreamCoresetBuilder::new(params, sp, &mut rng);
+        b.insert_batch(&points);
+        let snap = b.checkpoint().expect("checkpointable");
+        let restored = StreamCoresetBuilder::restore(&snap).expect("restores");
+        let a = b.finish().expect("stream coreset");
+        let c = restored.finish_ref().expect("restored coreset");
+        assert_eq!(a.entries(), c.entries());
+    }
+}

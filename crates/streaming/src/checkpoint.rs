@@ -1,0 +1,513 @@
+//! Versioned, self-describing checkpoints of the streaming builder.
+//!
+//! A [`Snapshot`] captures *everything* that determines the rest of a
+//! run: the coreset and stream parameters, the grid shift, the three
+//! hash-polynomial coefficient families, the net point count, the
+//! builder's RNG state, every `Storing` instance's cells and counters,
+//! and (when the `obs` feature is on) the metrics registry. Restoring a
+//! snapshot in a fresh process and continuing the stream is
+//! **bit-identical** to the uninterrupted run — property-tested in
+//! `tests/checkpoint_determinism.rs`, including runs with injected
+//! mid-stream store deaths and the sharded parallel path.
+//!
+//! The byte format reuses the little-endian [`crate::codec`] and adds an
+//! 8-byte magic plus a `u32` version so stale files fail loudly instead
+//! of decoding garbage. Collections are canonically ordered (sorted by
+//! packed key at snapshot time), so encode → decode → encode is the
+//! identity on bytes.
+//!
+//! Only the exact store backend supports checkpointing; a ladder with
+//! sketch-backed stores yields [`CheckpointError::UnsupportedBackend`].
+
+use sbc_core::{ConstantsProfile, CoresetParams};
+use sbc_geometry::GridParams;
+use sbc_obs::fault::{FaultPlan, StoreFaultKind};
+use sbc_obs::{HistogramSnapshot, MetricsSnapshot};
+
+use crate::codec::{Decode, Encode};
+use crate::coreset_stream::StreamParams;
+use crate::storing::{CellSnapshot, StoreDeath, StoringSnapshot};
+
+/// File magic: identifies a byte buffer as an sbc checkpoint.
+pub const MAGIC: [u8; 8] = *b"SBCCKPT\0";
+
+/// Current checkpoint format version.
+pub const VERSION: u32 = 1;
+
+/// Why a checkpoint could not be taken, serialized, or restored.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// A store uses the sketch backend, whose probed bucket rows have no
+    /// canonical serialization. Configure exact stores to checkpoint.
+    UnsupportedBackend,
+    /// The buffer does not start with the checkpoint magic.
+    BadMagic,
+    /// The buffer's format version is not [`VERSION`].
+    UnsupportedVersion {
+        /// The version found in the header.
+        found: u32,
+    },
+    /// The body failed to decode (truncation, bad tags, or a shape that
+    /// contradicts the embedded parameters).
+    Malformed,
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::UnsupportedBackend => {
+                write!(f, "sketch-backed stores cannot be checkpointed")
+            }
+            CheckpointError::BadMagic => write!(f, "not an sbc checkpoint (bad magic)"),
+            CheckpointError::UnsupportedVersion { found } => {
+                write!(
+                    f,
+                    "checkpoint version {found} unsupported (expected {VERSION})"
+                )
+            }
+            CheckpointError::Malformed => write!(f, "malformed checkpoint body"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+/// One `o`-instance's store states: roles h, h′ and ĥ in ladder order.
+/// Realized rates and acceptance thresholds are *not* stored — they are
+/// pure functions of the parameters and are rebuilt on restore.
+#[derive(Clone, Debug, PartialEq)]
+pub struct InstanceCheckpoint {
+    /// Role h, levels `−1..=L−1`.
+    pub h: Vec<StoringSnapshot>,
+    /// Role h′, levels `0..=L`.
+    pub hp: Vec<StoringSnapshot>,
+    /// Role ĥ, levels `0..=L` (`None` where `Tᵢ(o) ≤ 1`).
+    pub hhat: Vec<Option<StoringSnapshot>>,
+}
+
+/// A complete, restartable image of a [`crate::StreamCoresetBuilder`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct Snapshot {
+    /// Coreset construction parameters.
+    pub params: CoresetParams,
+    /// Streaming knobs (including the fault-injection plan, so a
+    /// restored run keeps the same failure schedule).
+    pub sparams: StreamParams,
+    /// The grid hierarchy's random shift vector.
+    pub shift: Vec<f64>,
+    /// Role-h hash coefficients, one polynomial per level.
+    pub h_coeffs: Vec<Vec<u64>>,
+    /// Role-h′ hash coefficients.
+    pub hp_coeffs: Vec<Vec<u64>>,
+    /// Role-ĥ hash coefficients.
+    pub hhat_coeffs: Vec<Vec<u64>>,
+    /// Net number of live points (`#inserts − #deletes`).
+    pub net_count: i64,
+    /// The builder's xoshiro256++ state (drives end-of-stream assembly).
+    pub rng_state: [u64; 4],
+    /// Per-`o`-instance store states, ascending `o`.
+    pub instances: Vec<InstanceCheckpoint>,
+    /// Metrics registry at checkpoint time (empty when `obs` is off);
+    /// merged back on restore so counters survive the restart.
+    pub metrics: MetricsSnapshot,
+}
+
+impl Snapshot {
+    /// Serializes the snapshot with its magic/version header.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&MAGIC);
+        VERSION.encode(&mut buf);
+        self.encode(&mut buf);
+        buf
+    }
+
+    /// Parses a snapshot, checking magic and version and requiring every
+    /// byte be consumed.
+    pub fn from_bytes(buf: &[u8]) -> Result<Self, CheckpointError> {
+        if buf.len() < MAGIC.len() || buf[..MAGIC.len()] != MAGIC {
+            return Err(CheckpointError::BadMagic);
+        }
+        let mut cursor = MAGIC.len();
+        let version = u32::decode(buf, &mut cursor).ok_or(CheckpointError::Malformed)?;
+        if version != VERSION {
+            return Err(CheckpointError::UnsupportedVersion { found: version });
+        }
+        let snap = Snapshot::decode(buf, &mut cursor).ok_or(CheckpointError::Malformed)?;
+        (cursor == buf.len())
+            .then_some(snap)
+            .ok_or(CheckpointError::Malformed)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Codec impls. `Encode`/`Decode` are local traits, so implementing them
+// for foreign parameter types is orphan-rule-safe.
+// ---------------------------------------------------------------------
+
+impl Encode for GridParams {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.delta.encode(buf);
+        self.l.encode(buf);
+        self.d.encode(buf);
+    }
+}
+impl Decode for GridParams {
+    fn decode(buf: &[u8], cursor: &mut usize) -> Option<Self> {
+        let delta = u64::decode(buf, cursor)?;
+        let l = u32::decode(buf, cursor)?;
+        let d = usize::decode(buf, cursor)?;
+        (delta.is_power_of_two() && delta == 1u64 << l && l <= 40 && d >= 1).then_some(GridParams {
+            delta,
+            l,
+            d,
+        })
+    }
+}
+
+impl Encode for ConstantsProfile {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            ConstantsProfile::PaperFaithful => 0u8.encode(buf),
+            ConstantsProfile::Practical {
+                samples_per_part,
+                gamma,
+                lambda,
+                max_heavy_factor,
+                max_level_mass_factor,
+                select_heavy_factor,
+            } => {
+                1u8.encode(buf);
+                samples_per_part.encode(buf);
+                gamma.encode(buf);
+                lambda.encode(buf);
+                max_heavy_factor.encode(buf);
+                max_level_mass_factor.encode(buf);
+                select_heavy_factor.encode(buf);
+            }
+        }
+    }
+}
+impl Decode for ConstantsProfile {
+    fn decode(buf: &[u8], cursor: &mut usize) -> Option<Self> {
+        match u8::decode(buf, cursor)? {
+            0 => Some(ConstantsProfile::PaperFaithful),
+            1 => Some(ConstantsProfile::Practical {
+                samples_per_part: f64::decode(buf, cursor)?,
+                gamma: f64::decode(buf, cursor)?,
+                lambda: usize::decode(buf, cursor)?,
+                max_heavy_factor: f64::decode(buf, cursor)?,
+                max_level_mass_factor: f64::decode(buf, cursor)?,
+                select_heavy_factor: f64::decode(buf, cursor)?,
+            }),
+            _ => None,
+        }
+    }
+}
+
+impl Encode for CoresetParams {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.k.encode(buf);
+        self.r.encode(buf);
+        self.eps.encode(buf);
+        self.eta.encode(buf);
+        self.grid.encode(buf);
+        self.profile.encode(buf);
+    }
+}
+impl Decode for CoresetParams {
+    fn decode(buf: &[u8], cursor: &mut usize) -> Option<Self> {
+        Some(CoresetParams {
+            k: usize::decode(buf, cursor)?,
+            r: f64::decode(buf, cursor)?,
+            eps: f64::decode(buf, cursor)?,
+            eta: f64::decode(buf, cursor)?,
+            grid: GridParams::decode(buf, cursor)?,
+            profile: ConstantsProfile::decode(buf, cursor)?,
+        })
+    }
+}
+
+impl Encode for StoreFaultKind {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            StoreFaultKind::RunawayKill => 0u8.encode(buf),
+            StoreFaultKind::SketchOverflow => 1u8.encode(buf),
+        }
+    }
+}
+impl Decode for StoreFaultKind {
+    fn decode(buf: &[u8], cursor: &mut usize) -> Option<Self> {
+        match u8::decode(buf, cursor)? {
+            0 => Some(StoreFaultKind::RunawayKill),
+            1 => Some(StoreFaultKind::SketchOverflow),
+            _ => None,
+        }
+    }
+}
+
+impl Encode for FaultPlan {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.seed.encode(buf);
+        self.store_kill_at.encode(buf);
+        self.store_kill_permille.encode(buf);
+        self.store_fault_kind.encode(buf);
+        self.drop_every.encode(buf);
+        self.dup_every.encode(buf);
+        self.max_retries.encode(buf);
+    }
+}
+impl Decode for FaultPlan {
+    fn decode(buf: &[u8], cursor: &mut usize) -> Option<Self> {
+        Some(FaultPlan {
+            seed: u64::decode(buf, cursor)?,
+            store_kill_at: Option::decode(buf, cursor)?,
+            store_kill_permille: u16::decode(buf, cursor)?,
+            store_fault_kind: StoreFaultKind::decode(buf, cursor)?,
+            drop_every: Option::decode(buf, cursor)?,
+            dup_every: Option::decode(buf, cursor)?,
+            max_retries: u32::decode(buf, cursor)?,
+        })
+    }
+}
+
+impl Encode for StreamParams {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.est_rate.encode(buf);
+        self.alpha_factor.encode(buf);
+        self.rows.encode(buf);
+        self.cap_cells.encode(buf);
+        self.o_ladder_max.encode(buf);
+        self.parallel.encode(buf);
+        self.threads.encode(buf);
+        self.faults.encode(buf);
+    }
+}
+impl Decode for StreamParams {
+    fn decode(buf: &[u8], cursor: &mut usize) -> Option<Self> {
+        Some(StreamParams {
+            est_rate: f64::decode(buf, cursor)?,
+            alpha_factor: f64::decode(buf, cursor)?,
+            rows: usize::decode(buf, cursor)?,
+            cap_cells: usize::decode(buf, cursor)?,
+            o_ladder_max: Option::decode(buf, cursor)?,
+            parallel: bool::decode(buf, cursor)?,
+            threads: usize::decode(buf, cursor)?,
+            faults: FaultPlan::decode(buf, cursor)?,
+        })
+    }
+}
+
+impl Encode for StoreDeath {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            StoreDeath::RunawayKill => 0u8.encode(buf),
+            StoreDeath::SketchOverflow => 1u8.encode(buf),
+        }
+    }
+}
+impl Decode for StoreDeath {
+    fn decode(buf: &[u8], cursor: &mut usize) -> Option<Self> {
+        match u8::decode(buf, cursor)? {
+            0 => Some(StoreDeath::RunawayKill),
+            1 => Some(StoreDeath::SketchOverflow),
+            _ => None,
+        }
+    }
+}
+
+impl Encode for CellSnapshot {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.cell.encode(buf);
+        self.count.encode(buf);
+        self.dirty.encode(buf);
+        self.points.encode(buf);
+    }
+}
+impl Decode for CellSnapshot {
+    fn decode(buf: &[u8], cursor: &mut usize) -> Option<Self> {
+        Some(CellSnapshot {
+            cell: Decode::decode(buf, cursor)?,
+            count: i64::decode(buf, cursor)?,
+            dirty: bool::decode(buf, cursor)?,
+            points: Vec::decode(buf, cursor)?,
+        })
+    }
+}
+
+impl Encode for StoringSnapshot {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.updates.encode(buf);
+        self.death.encode(buf);
+        self.injected.encode(buf);
+        self.peak_cells.encode(buf);
+        self.cells.encode(buf);
+    }
+}
+impl Decode for StoringSnapshot {
+    fn decode(buf: &[u8], cursor: &mut usize) -> Option<Self> {
+        Some(StoringSnapshot {
+            updates: u64::decode(buf, cursor)?,
+            death: Option::decode(buf, cursor)?,
+            injected: bool::decode(buf, cursor)?,
+            peak_cells: u64::decode(buf, cursor)?,
+            cells: Vec::decode(buf, cursor)?,
+        })
+    }
+}
+
+impl Encode for InstanceCheckpoint {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.h.encode(buf);
+        self.hp.encode(buf);
+        self.hhat.encode(buf);
+    }
+}
+impl Decode for InstanceCheckpoint {
+    fn decode(buf: &[u8], cursor: &mut usize) -> Option<Self> {
+        Some(InstanceCheckpoint {
+            h: Vec::decode(buf, cursor)?,
+            hp: Vec::decode(buf, cursor)?,
+            hhat: Vec::decode(buf, cursor)?,
+        })
+    }
+}
+
+impl Encode for HistogramSnapshot {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.count.encode(buf);
+        self.sum.encode(buf);
+        self.buckets.encode(buf);
+    }
+}
+impl Decode for HistogramSnapshot {
+    fn decode(buf: &[u8], cursor: &mut usize) -> Option<Self> {
+        Some(HistogramSnapshot {
+            count: u64::decode(buf, cursor)?,
+            sum: u64::decode(buf, cursor)?,
+            buckets: Vec::decode(buf, cursor)?,
+        })
+    }
+}
+
+impl Encode for MetricsSnapshot {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.feature_enabled.encode(buf);
+        self.counters.encode(buf);
+        self.histograms.encode(buf);
+    }
+}
+impl Decode for MetricsSnapshot {
+    fn decode(buf: &[u8], cursor: &mut usize) -> Option<Self> {
+        Some(MetricsSnapshot {
+            feature_enabled: bool::decode(buf, cursor)?,
+            counters: Vec::decode(buf, cursor)?,
+            histograms: Vec::decode(buf, cursor)?,
+        })
+    }
+}
+
+impl Encode for Snapshot {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.params.encode(buf);
+        self.sparams.encode(buf);
+        self.shift.encode(buf);
+        self.h_coeffs.encode(buf);
+        self.hp_coeffs.encode(buf);
+        self.hhat_coeffs.encode(buf);
+        self.net_count.encode(buf);
+        self.rng_state.encode(buf);
+        self.instances.encode(buf);
+        self.metrics.encode(buf);
+    }
+}
+impl Decode for Snapshot {
+    fn decode(buf: &[u8], cursor: &mut usize) -> Option<Self> {
+        let snap = Snapshot {
+            params: CoresetParams::decode(buf, cursor)?,
+            sparams: StreamParams::decode(buf, cursor)?,
+            shift: Vec::decode(buf, cursor)?,
+            h_coeffs: Vec::decode(buf, cursor)?,
+            hp_coeffs: Vec::decode(buf, cursor)?,
+            hhat_coeffs: Vec::decode(buf, cursor)?,
+            net_count: i64::decode(buf, cursor)?,
+            rng_state: <[u64; 4]>::decode(buf, cursor)?,
+            instances: Vec::decode(buf, cursor)?,
+            metrics: MetricsSnapshot::decode(buf, cursor)?,
+        };
+        // Shape checks that don't need the rebuilt ladder: the shift must
+        // match the grid's dimension and lie in [0, Δ).
+        let gp = snap.params.grid;
+        (snap.shift.len() == gp.d
+            && snap
+                .shift
+                .iter()
+                .all(|&s| (0.0..gp.delta as f64).contains(&s)))
+        .then_some(snap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::to_bytes;
+
+    #[test]
+    fn params_roundtrip() {
+        let gp = GridParams::from_log_delta(6, 2);
+        let params = CoresetParams::builder(3, gp).build().unwrap();
+        let bytes = to_bytes(&params);
+        let mut cursor = 0;
+        let back = CoresetParams::decode(&bytes, &mut cursor).expect("decodes");
+        assert_eq!(cursor, bytes.len());
+        assert_eq!(back, params);
+    }
+
+    #[test]
+    fn stream_params_roundtrip_with_faults() {
+        let sp = StreamParams {
+            faults: FaultPlan::parse("chaos@42").unwrap(),
+            o_ladder_max: Some(1e9),
+            parallel: true,
+            threads: 3,
+            ..StreamParams::default()
+        };
+        let bytes = to_bytes(&sp);
+        let mut cursor = 0;
+        let back = StreamParams::decode(&bytes, &mut cursor).expect("decodes");
+        assert_eq!(cursor, bytes.len());
+        assert_eq!(back.faults, sp.faults);
+        assert_eq!(back.o_ladder_max, sp.o_ladder_max);
+        assert!(back.parallel);
+    }
+
+    #[test]
+    fn header_is_checked() {
+        assert_eq!(
+            Snapshot::from_bytes(b"junk"),
+            Err(CheckpointError::BadMagic)
+        );
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&MAGIC);
+        99u32.encode(&mut buf);
+        assert_eq!(
+            Snapshot::from_bytes(&buf),
+            Err(CheckpointError::UnsupportedVersion { found: 99 })
+        );
+        let mut buf2 = Vec::new();
+        buf2.extend_from_slice(&MAGIC);
+        VERSION.encode(&mut buf2);
+        assert_eq!(Snapshot::from_bytes(&buf2), Err(CheckpointError::Malformed));
+    }
+
+    #[test]
+    fn grid_params_decode_validates() {
+        // delta must equal 2^l.
+        let mut buf = Vec::new();
+        3u64.encode(&mut buf); // not a power of two
+        2u32.encode(&mut buf);
+        2usize.encode(&mut buf);
+        let mut cursor = 0;
+        assert!(GridParams::decode(&buf, &mut cursor).is_none());
+    }
+}

@@ -21,6 +21,7 @@
 //! by the *same* `CoresetBuilderCtx` the offline path uses (including
 //! the per-part nested sub-thresholding of `CoresetParams::part_phi`).
 
+use crate::checkpoint::{CheckpointError, InstanceCheckpoint, Snapshot};
 use crate::model::StreamOp;
 use crate::storing::{Backend, StoreDeath, Storing, StoringConfig};
 use rand::rngs::StdRng;
@@ -29,9 +30,10 @@ use sbc_core::coreset::{
     bernoulli_threshold, opt_upper_estimate, realized_prob, CoresetBuilderCtx, CoresetEntry,
 };
 use sbc_core::partition::{CellCounts, PartMasses, Partition};
-use sbc_core::{Coreset, CoresetParams, FailReason};
+use sbc_core::{Coreset, CoresetParams, FailReason, ParamsError};
 use sbc_geometry::{CellId, GridHierarchy, Point};
 use sbc_hash::KWiseHash;
+use sbc_obs::fault::{splitmix64, FaultPlan};
 use sbc_obs::json::JsonValue;
 
 /// Ops per ingest batch: large enough to amortize precompute and the
@@ -40,7 +42,7 @@ const INGEST_BATCH: usize = 4096;
 
 /// Streaming-specific knobs (the coreset parameters proper live in
 /// [`CoresetParams`]).
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct StreamParams {
     /// Expected number of size-estimation samples at the heavy-cell
     /// threshold: `ψᵢ = min(1, est_rate/Tᵢ(o))` (the paper's
@@ -67,6 +69,10 @@ pub struct StreamParams {
     /// Thread count for the sharded path; `0` means "all available".
     /// Ignored unless `parallel` is set.
     pub threads: usize,
+    /// Deterministic fault-injection plan (store kills here; message
+    /// drops/duplication when the same params drive the distributed
+    /// protocol). The default injects nothing and adds no per-op work.
+    pub faults: FaultPlan,
 }
 
 impl Default for StreamParams {
@@ -79,7 +85,110 @@ impl Default for StreamParams {
             o_ladder_max: None,
             parallel: false,
             threads: 0,
+            faults: FaultPlan::NONE,
         }
+    }
+}
+
+impl StreamParams {
+    /// Starts a fluent builder over the defaults; validation happens at
+    /// [`StreamParamsBuilder::build`].
+    pub fn builder() -> StreamParamsBuilder {
+        StreamParamsBuilder {
+            inner: StreamParams::default(),
+        }
+    }
+}
+
+/// Fluent, validated construction of [`StreamParams`] (the facade-first
+/// entry point; field-struct literals remain available for tests).
+#[derive(Clone, Copy, Debug)]
+pub struct StreamParamsBuilder {
+    inner: StreamParams,
+}
+
+impl StreamParamsBuilder {
+    /// Sets the size-estimation sample rate (must be positive).
+    pub fn est_rate(mut self, v: f64) -> Self {
+        self.inner.est_rate = v;
+        self
+    }
+
+    /// Sets the per-store cell-budget multiplier (must be positive).
+    pub fn alpha_factor(mut self, v: f64) -> Self {
+        self.inner.alpha_factor = v;
+        self
+    }
+
+    /// Sets the number of rows per `Storing` structure (must be ≥ 1).
+    pub fn rows(mut self, v: usize) -> Self {
+        self.inner.rows = v;
+        self
+    }
+
+    /// Sets the hard per-store distinct-cell cap (must be ≥ 1).
+    pub fn cap_cells(mut self, v: usize) -> Self {
+        self.inner.cap_cells = v;
+        self
+    }
+
+    /// Caps the `o` ladder (must be ≥ 1 when set).
+    pub fn o_ladder_max(mut self, v: f64) -> Self {
+        self.inner.o_ladder_max = Some(v);
+        self
+    }
+
+    /// Enables instance-sharded parallel ingest.
+    pub fn parallel(mut self, on: bool) -> Self {
+        self.inner.parallel = on;
+        self
+    }
+
+    /// Sets the shard thread count (`0` = all available).
+    pub fn threads(mut self, v: usize) -> Self {
+        self.inner.threads = v;
+        self
+    }
+
+    /// Installs a deterministic fault-injection plan.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.inner.faults = plan;
+        self
+    }
+
+    /// Validates and returns the parameters.
+    pub fn build(self) -> Result<StreamParams, ParamsError> {
+        let p = self.inner;
+        if !(p.est_rate > 0.0 && p.est_rate.is_finite()) {
+            return Err(ParamsError::out_of_range(
+                "est_rate",
+                p.est_rate,
+                "positive and finite",
+            ));
+        }
+        if !(p.alpha_factor > 0.0 && p.alpha_factor.is_finite()) {
+            return Err(ParamsError::out_of_range(
+                "alpha_factor",
+                p.alpha_factor,
+                "positive and finite",
+            ));
+        }
+        if p.rows == 0 {
+            return Err(ParamsError::out_of_range("rows", 0.0, "≥ 1"));
+        }
+        if p.cap_cells == 0 {
+            return Err(ParamsError::out_of_range("cap_cells", 0.0, "≥ 1"));
+        }
+        if let Some(m) = p.o_ladder_max {
+            if !(m >= 1.0 && m.is_finite()) {
+                return Err(ParamsError::out_of_range(
+                    "o_ladder_max",
+                    m,
+                    "≥ 1 and finite",
+                ));
+            }
+        }
+        Ok(p)
     }
 }
 
@@ -202,14 +311,17 @@ pub struct SpaceReport {
     /// Ladder size.
     pub instances: usize,
     /// Stores that overflowed and freed their memory (all causes; equals
-    /// `runaway_killed + sketch_overflowed`).
+    /// `runaway_kill + sketch_overflow`).
     pub dead_stores: usize,
     /// Stores still live — on track for a natural end of stream.
     pub live_stores: usize,
-    /// Exact-backend stores killed mid-stream at their occupancy cap.
-    pub runaway_killed: usize,
-    /// Sketch-backend stores abandoned on bucket overflow.
-    pub sketch_overflowed: usize,
+    /// Stores dead by `StoreDeath::RunawayKill` (occupancy-cap kills,
+    /// natural or injected). Snake_case of the taxonomy variant — the
+    /// same token the metrics counters and BENCH_streaming.json use.
+    pub runaway_kill: usize,
+    /// Stores dead by `StoreDeath::SketchOverflow` (bucket overflows,
+    /// natural or injected).
+    pub sketch_overflow: usize,
 }
 
 impl SpaceReport {
@@ -223,8 +335,8 @@ impl SpaceReport {
             .field("instances", self.instances)
             .field("dead_stores", self.dead_stores)
             .field("live_stores", self.live_stores)
-            .field("runaway_killed", self.runaway_killed)
-            .field("sketch_overflowed", self.sketch_overflowed)
+            .field("runaway_kill", self.runaway_kill)
+            .field("sketch_overflow", self.sketch_overflow)
     }
 }
 
@@ -324,7 +436,7 @@ impl IngestMetrics {
 /// use rand::{rngs::StdRng, SeedableRng};
 ///
 /// let gp = GridParams::from_log_delta(8, 2);
-/// let params = CoresetParams::practical(3, 2.0, 0.2, 0.2, gp);
+/// let params = CoresetParams::builder(3, gp).build().unwrap();
 /// let mut rng = StdRng::seed_from_u64(1);
 /// let mut builder = StreamCoresetBuilder::new(params, StreamParams::default(), &mut rng);
 ///
@@ -369,20 +481,7 @@ impl StreamCoresetBuilder {
         let hp_hashes = (0..=l).map(|_| KWiseHash::new(lambda, rng)).collect();
         let hhat_hashes = (0..=l).map(|_| KWiseHash::new(lambda, rng)).collect();
 
-        let o_max = sparams
-            .o_ladder_max
-            .unwrap_or_else(|| {
-                let gp = params.grid;
-                (gp.delta as f64).powi(gp.d as i32)
-                    * sbc_geometry::metric::pow_r((gp.d as f64).sqrt() * gp.delta as f64, params.r)
-            })
-            .max(2.0);
-        let mut instances = Vec::new();
-        let mut o = 1.0f64;
-        while o <= o_max {
-            instances.push(OInstance::new(&params, &sparams, &grid, o, rng));
-            o *= 2.0;
-        }
+        let instances = Self::build_ladder(&params, &sparams, &grid, rng);
         let routes = RouteTables::build(&instances, l as usize);
 
         Self {
@@ -398,6 +497,32 @@ impl StreamCoresetBuilder {
             rng: StdRng::seed_from_u64(rng.gen()),
             metrics: IngestMetrics::new(l as usize),
         }
+    }
+
+    /// Builds the geometric `o` ladder of instances. Exact-backend store
+    /// construction never consumes `rng` — restore relies on this to
+    /// rebuild the ladder structurally with a throwaway RNG.
+    fn build_ladder<R: Rng + ?Sized>(
+        params: &CoresetParams,
+        sparams: &StreamParams,
+        grid: &GridHierarchy,
+        rng: &mut R,
+    ) -> Vec<OInstance> {
+        let o_max = sparams
+            .o_ladder_max
+            .unwrap_or_else(|| {
+                let gp = params.grid;
+                (gp.delta as f64).powi(gp.d as i32)
+                    * sbc_geometry::metric::pow_r((gp.d as f64).sqrt() * gp.delta as f64, params.r)
+            })
+            .max(2.0);
+        let mut instances = Vec::new();
+        let mut o = 1.0f64;
+        while o <= o_max {
+            instances.push(OInstance::new(params, sparams, grid, o, rng));
+            o *= 2.0;
+        }
+        instances
     }
 
     /// The grid hierarchy in use.
@@ -652,8 +777,8 @@ impl StreamCoresetBuilder {
         let mut store_bytes = 0usize;
         let mut nominal = 0usize;
         let mut live_stores = 0usize;
-        let mut runaway_killed = 0usize;
-        let mut sketch_overflowed = 0usize;
+        let mut runaway_kill = 0usize;
+        let mut sketch_overflow = 0usize;
         for inst in &self.instances {
             for st in inst
                 .h_stores
@@ -663,8 +788,8 @@ impl StreamCoresetBuilder {
             {
                 store_bytes += st.stored_bytes();
                 match st.death() {
-                    Some(StoreDeath::RunawayKill) => runaway_killed += 1,
-                    Some(StoreDeath::SketchOverflow) => sketch_overflowed += 1,
+                    Some(StoreDeath::RunawayKill) => runaway_kill += 1,
+                    Some(StoreDeath::SketchOverflow) => sketch_overflow += 1,
                     None => live_stores += 1,
                 }
             }
@@ -675,10 +800,10 @@ impl StreamCoresetBuilder {
             store_bytes,
             nominal_sketch_bytes: nominal,
             instances: self.instances.len(),
-            dead_stores: runaway_killed + sketch_overflowed,
+            dead_stores: runaway_kill + sketch_overflow,
             live_stores,
-            runaway_killed,
-            sketch_overflowed,
+            runaway_kill,
+            sketch_overflow,
         }
     }
 
@@ -689,12 +814,160 @@ impl StreamCoresetBuilder {
         self.instances.iter().map(OInstance::summarize).collect()
     }
 
+    /// Captures a complete, restartable image of the builder: parameters,
+    /// grid shift, hash coefficients, RNG state, every store's cells and
+    /// counters, and the metrics registry. Restoring it (in this process
+    /// or a fresh one) and continuing the stream is bit-identical to
+    /// never having stopped — see [`crate::checkpoint`].
+    ///
+    /// Fails with [`CheckpointError::UnsupportedBackend`] if any store
+    /// uses the sketch backend.
+    pub fn checkpoint(&self) -> Result<Snapshot, CheckpointError> {
+        let snap_store = |st: &Storing| st.to_snapshot().ok_or(CheckpointError::UnsupportedBackend);
+        let mut instances = Vec::with_capacity(self.instances.len());
+        for inst in &self.instances {
+            instances.push(InstanceCheckpoint {
+                h: inst
+                    .h_stores
+                    .iter()
+                    .map(snap_store)
+                    .collect::<Result<_, _>>()?,
+                hp: inst
+                    .hp_stores
+                    .iter()
+                    .map(snap_store)
+                    .collect::<Result<_, _>>()?,
+                hhat: inst
+                    .hhat_stores
+                    .iter()
+                    .map(|slot| slot.as_ref().map(snap_store).transpose())
+                    .collect::<Result<_, _>>()?,
+            });
+        }
+        let coeffs = |hs: &[KWiseHash]| hs.iter().map(|h| h.coeffs().to_vec()).collect();
+        Ok(Snapshot {
+            params: self.params.clone(),
+            sparams: self.sparams,
+            shift: self.grid.shift().to_vec(),
+            h_coeffs: coeffs(&self.h_hashes),
+            hp_coeffs: coeffs(&self.hp_hashes),
+            hhat_coeffs: coeffs(&self.hhat_hashes),
+            net_count: self.net_count,
+            rng_state: self.rng.state(),
+            instances,
+            metrics: sbc_obs::snapshot(),
+        })
+    }
+
+    /// Reconstructs a builder from a [`Snapshot`], e.g. in a fresh
+    /// process after a crash. The instance ladder and routing tables are
+    /// rebuilt from the embedded parameters (they are pure functions of
+    /// them), then every store's state is loaded back; the snapshot's
+    /// metrics are merged into the registry so counters survive the
+    /// restart (callers resuming in the *same* process should
+    /// [`sbc_obs::reset`] first to avoid double counting).
+    pub fn restore(snap: &Snapshot) -> Result<Self, CheckpointError> {
+        let params = snap.params.clone();
+        let sparams = snap.sparams;
+        let gp = params.grid;
+        let l = params.l() as usize;
+        if snap.shift.len() != gp.d
+            || !snap
+                .shift
+                .iter()
+                .all(|&s| (0.0..gp.delta as f64).contains(&s))
+        {
+            return Err(CheckpointError::Malformed);
+        }
+        let grid = GridHierarchy::with_shift(gp, snap.shift.clone());
+
+        let lambda = params.lambda().min(1 << 12);
+        let rebuild = |coeffs: &[Vec<u64>]| -> Result<Vec<KWiseHash>, CheckpointError> {
+            if coeffs.len() != l + 1 || coeffs.iter().any(|c| c.len() != lambda) {
+                return Err(CheckpointError::Malformed);
+            }
+            Ok(coeffs
+                .iter()
+                .map(|c| KWiseHash::from_coeffs(c.clone()))
+                .collect())
+        };
+        let h_hashes = rebuild(&snap.h_coeffs)?;
+        let hp_hashes = rebuild(&snap.hp_coeffs)?;
+        let hhat_hashes = rebuild(&snap.hhat_coeffs)?;
+
+        // Exact-backend construction draws nothing from the RNG, so a
+        // throwaway seed rebuilds the ladder (thresholds, budgets, fault
+        // arming) exactly; only store *contents* come from the snapshot.
+        let mut throwaway = StdRng::seed_from_u64(0);
+        let mut instances = Self::build_ladder(&params, &sparams, &grid, &mut throwaway);
+        if instances.len() != snap.instances.len() {
+            return Err(CheckpointError::Malformed);
+        }
+        for (inst, ck) in instances.iter_mut().zip(&snap.instances) {
+            if inst.h_stores.len() != ck.h.len()
+                || inst.hp_stores.len() != ck.hp.len()
+                || inst.hhat_stores.len() != ck.hhat.len()
+            {
+                return Err(CheckpointError::Malformed);
+            }
+            for (st, s) in inst
+                .h_stores
+                .iter_mut()
+                .zip(&ck.h)
+                .chain(inst.hp_stores.iter_mut().zip(&ck.hp))
+            {
+                if !st.load_snapshot(s) {
+                    return Err(CheckpointError::UnsupportedBackend);
+                }
+            }
+            for (slot, s) in inst.hhat_stores.iter_mut().zip(&ck.hhat) {
+                match (slot, s) {
+                    (Some(st), Some(s)) => {
+                        if !st.load_snapshot(s) {
+                            return Err(CheckpointError::UnsupportedBackend);
+                        }
+                    }
+                    (None, None) => {}
+                    _ => return Err(CheckpointError::Malformed),
+                }
+            }
+        }
+        let routes = RouteTables::build(&instances, l);
+        sbc_obs::merge_snapshot(&snap.metrics);
+
+        Ok(Self {
+            params,
+            sparams,
+            grid,
+            h_hashes,
+            hp_hashes,
+            hhat_hashes,
+            instances,
+            routes,
+            net_count: snap.net_count,
+            rng: StdRng::from_state(snap.rng_state),
+            metrics: IngestMetrics::new(l),
+        })
+    }
+
     /// Ends the pass: decodes instances in ascending `o` and returns the
     /// coreset of the first fully workable guess.
     pub fn finish(mut self) -> Result<Coreset, FailReason> {
         let summaries = self.export_summaries();
         self.instances.clear();
         self.finish_from_summaries(&summaries)
+    }
+
+    /// Ends the pass without consuming the builder: the stream can keep
+    /// going afterwards (and the result can be emitted at checkpoints).
+    ///
+    /// Assembly draws from a *clone* of the builder's RNG that is not
+    /// written back, so emitting a mid-stream coreset leaves the
+    /// continued run bit-identical to one that never called this.
+    pub fn finish_ref(&self) -> Result<Coreset, FailReason> {
+        let summaries = self.export_summaries();
+        let mut rng = self.rng.clone();
+        self.assemble(&summaries, &mut rng)
     }
 
     /// Coordinator-side assembly: runs the ascending-`o` selection over
@@ -704,6 +977,19 @@ impl StreamCoresetBuilder {
     pub fn finish_from_summaries(
         &mut self,
         summaries: &[InstanceSummary],
+    ) -> Result<Coreset, FailReason> {
+        let mut rng = self.rng.clone();
+        let out = self.assemble(summaries, &mut rng);
+        self.rng = rng;
+        out
+    }
+
+    /// Shared assembly core behind [`Self::finish_from_summaries`] and
+    /// [`Self::finish_ref`]; the caller owns the RNG-advance policy.
+    fn assemble(
+        &self,
+        summaries: &[InstanceSummary],
+        rng: &mut StdRng,
     ) -> Result<Coreset, FailReason> {
         let mut last_err = FailReason::NoWorkableO;
         let mut fallback: Option<Coreset> = None;
@@ -722,14 +1008,9 @@ impl StreamCoresetBuilder {
                     // instance is kept as a fallback in case every guess
                     // sits below the window.
                     let (pts, ws) = coreset.split();
-                    let est = opt_upper_estimate(
-                        &pts,
-                        Some(&ws),
-                        self.params.k,
-                        self.params.r,
-                        &mut self.rng,
-                    )
-                    .max(1.0);
+                    let est =
+                        opt_upper_estimate(&pts, Some(&ws), self.params.k, self.params.r, rng)
+                            .max(1.0);
                     if inst.o > est * 64.0 && est > 1.0 {
                         // Out the top of the window (skip this check for
                         // degenerate zero-cost data where est bottoms out).
@@ -939,6 +1220,13 @@ fn route_range(
     }
 }
 
+/// Fault-injection salt for the store at ladder position `(o, role, idx)`.
+/// Roles: 0 = h, 1 = h′, 2 = ĥ. Positional, not RNG-derived, so the
+/// same logical store is targeted no matter how the run is sliced.
+fn store_salt(o: f64, role: u64, idx: usize) -> u64 {
+    splitmix64(o.to_bits() ^ (role << 56) ^ ((idx as u64) << 40))
+}
+
 impl OInstance {
     fn new<R: Rng + ?Sized>(
         params: &CoresetParams,
@@ -1034,6 +1322,25 @@ impl OInstance {
             }
         }
 
+        // Arm deterministic fault injection. Salts derive from the
+        // store's position in the ladder (o, role, level slot) — never
+        // from the RNG — so an injected kill lands on the same store at
+        // the same per-store update index across the per-op, batched,
+        // and sharded ingest paths, and across checkpoint/restore.
+        if sparams.faults.is_active() {
+            for (i, st) in h_stores.iter_mut().enumerate() {
+                st.arm_fault(sparams.faults, store_salt(o, 0, i));
+            }
+            for (i, st) in hp_stores.iter_mut().enumerate() {
+                st.arm_fault(sparams.faults, store_salt(o, 1, i));
+            }
+            for (i, slot) in hhat_stores.iter_mut().enumerate() {
+                if let Some(st) = slot {
+                    st.arm_fault(sparams.faults, store_salt(o, 2, i));
+                }
+            }
+        }
+
         Self {
             o,
             psi,
@@ -1098,7 +1405,9 @@ mod tests {
     use sbc_geometry::GridParams;
 
     fn params() -> CoresetParams {
-        CoresetParams::practical(3, 2.0, 0.2, 0.2, GridParams::from_log_delta(8, 2))
+        CoresetParams::builder(3, GridParams::from_log_delta(8, 2))
+            .build()
+            .unwrap()
     }
 
     #[test]
@@ -1165,8 +1474,8 @@ mod tests {
             "instances",
             "dead_stores",
             "live_stores",
-            "runaway_killed",
-            "sketch_overflowed",
+            "runaway_kill",
+            "sketch_overflow",
         ] {
             assert!(
                 json.contains(&format!("\"{key}\"")),
@@ -1206,13 +1515,13 @@ mod tests {
             healthy.dead_stores, 0,
             "default cap must not kill stores here"
         );
-        assert_eq!(healthy.runaway_killed, 0);
-        assert_eq!(healthy.sketch_overflowed, 0);
+        assert_eq!(healthy.runaway_kill, 0);
+        assert_eq!(healthy.sketch_overflow, 0);
         assert!(starved.dead_stores > 0, "cap 64 must kill runaway stores");
         // Exact backends die only by the cap: the breakdown must put every
         // death in the runaway bucket and balance against the live count.
-        assert_eq!(starved.runaway_killed, starved.dead_stores);
-        assert_eq!(starved.sketch_overflowed, 0);
+        assert_eq!(starved.runaway_kill, starved.dead_stores);
+        assert_eq!(starved.sketch_overflow, 0);
         assert_eq!(
             starved.live_stores + starved.dead_stores,
             healthy.live_stores + healthy.dead_stores,

@@ -23,16 +23,27 @@
 //! replays Algorithms 1 + 2 on the estimates of the smallest workable
 //! `o` — reusing `sbc-core`'s `CoresetBuilderCtx` so offline and
 //! streaming agree bit-for-bit on the assembly logic.
+//!
+//! Long runs can be interrupted and resumed: [`checkpoint`] defines a
+//! versioned byte format for [`StreamCoresetBuilder::checkpoint`] /
+//! [`StreamCoresetBuilder::restore`] such that restore-then-continue is
+//! bit-identical to an uninterrupted pass. The underlying little-endian
+//! codec ([`codec`]) is shared with `sbc-distributed`'s wire format.
 
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod checkpoint;
+pub mod codec;
 pub mod coreset_stream;
 pub mod model;
 pub mod sparse;
 pub mod storing;
 
-pub use coreset_stream::{InstanceSummary, SpaceReport, StreamCoresetBuilder, StreamParams};
+pub use checkpoint::{CheckpointError, Snapshot};
+pub use coreset_stream::{
+    InstanceSummary, SpaceReport, StreamCoresetBuilder, StreamParams, StreamParamsBuilder,
+};
 pub use model::{insert_delete_stream, insertion_stream, StreamOp};
 pub use sparse::{OneSparse, SSparseRecovery};
 pub use storing::{Storing, StoringConfig, StoringFail, StoringOutput};

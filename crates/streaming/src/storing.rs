@@ -27,6 +27,7 @@ use crate::sparse::SSparseRecovery;
 use rand::Rng;
 use sbc_geometry::{CellId, GridHierarchy, Point};
 use sbc_hash::{KWiseHash, Key128Map};
+use sbc_obs::fault::{FaultPlan, StoreFaultKind};
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 
@@ -83,6 +84,20 @@ pub enum StoringFail {
     /// A sparse-recovery decode failed (content denser than sized for).
     DecodeFailed,
 }
+
+impl std::fmt::Display for StoringFail {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoringFail::TooManyCells { found, alpha } => {
+                write!(f, "store held {found} non-empty cells, budget α = {alpha}")
+            }
+            StoringFail::Overflowed => write!(f, "store overflowed its occupancy cap mid-stream"),
+            StoringFail::DecodeFailed => write!(f, "sparse-recovery decode failed"),
+        }
+    }
+}
+
+impl std::error::Error for StoringFail {}
 
 /// Successful output of a [`Storing`] (Lemma 4.2 items 1–3).
 #[derive(Clone, Debug)]
@@ -163,6 +178,39 @@ fn update_points(rec: &mut CellRec, p: &Point, point_key: u128, delta: i64, beta
     }
 }
 
+/// Checkpointable state of one exact-backend [`Storing`] instance —
+/// everything [`Storing::from_snapshot`] needs to resume bit-identically
+/// (the grid and sizing configuration are *not* included; they are
+/// structural and re-derived by the builder on restore). Cells and
+/// per-cell points are sorted by packed key, so encoding a snapshot is
+/// canonical: encode → decode → encode is the identity on bytes.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StoringSnapshot {
+    /// Updates absorbed so far (drives fault-injection indices).
+    pub updates: u64,
+    /// Whether the store died mid-stream, and how.
+    pub death: Option<StoreDeath>,
+    /// Whether the death was injected (vs the natural occupancy cap).
+    pub injected: bool,
+    /// High-water mark of distinct non-empty cells.
+    pub peak_cells: u64,
+    /// Live cells, sorted by packed cell key.
+    pub cells: Vec<CellSnapshot>,
+}
+
+/// One cell's state inside a [`StoringSnapshot`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct CellSnapshot {
+    /// The cell.
+    pub cell: CellId,
+    /// Net point count.
+    pub count: i64,
+    /// Whether the point payload was evicted mid-stream.
+    pub dirty: bool,
+    /// Point payload (with multiplicities), sorted by packed point key.
+    pub points: Vec<(Point, i64)>,
+}
+
 /// One `Storing(Gᵢ, α, β, δ)` instance.
 pub struct Storing {
     level: i32,
@@ -170,6 +218,11 @@ pub struct Storing {
     cfg: StoringConfig,
     inner: Inner,
     updates: u64,
+    fault: FaultPlan,
+    fault_salt: u64,
+    /// Set when a death was *injected* (the natural kind is derivable
+    /// from the backend; an injected one can force either kind).
+    injected: Option<StoreDeath>,
 }
 
 impl Storing {
@@ -222,6 +275,51 @@ impl Storing {
             cfg,
             inner,
             updates: 0,
+            fault: FaultPlan::NONE,
+            fault_salt: 0,
+            injected: None,
+        }
+    }
+
+    /// Arms deterministic fault injection: the store dies (with the
+    /// plan's configured kind) when its own update count reaches the
+    /// plan's kill index, if `salt` is among the selected fraction.
+    /// `salt` must identify the store's *position* (instance/role/level)
+    /// rather than anything arrival-order-dependent, so per-op, batched,
+    /// and parallel ingest kill the same stores at the same points.
+    pub fn arm_fault(&mut self, plan: FaultPlan, salt: u64) {
+        self.fault = plan;
+        self.fault_salt = salt;
+    }
+
+    /// Kills the store as an injected fault of the given kind: memory is
+    /// freed exactly like the corresponding natural death, and
+    /// [`Self::death`] reports the forced kind.
+    fn kill_injected(&mut self, kind: StoreFaultKind) {
+        let death = match kind {
+            StoreFaultKind::RunawayKill => StoreDeath::RunawayKill,
+            StoreFaultKind::SketchOverflow => StoreDeath::SketchOverflow,
+        };
+        self.injected = Some(death);
+        match &mut self.inner {
+            Inner::Exact { cells, dead, .. } => {
+                *dead = true;
+                cells.clear();
+                cells.shrink_to_fit();
+            }
+            Inner::Sketch { rows, dead, .. } => {
+                *dead = true;
+                for (_, buckets) in rows.iter_mut() {
+                    buckets.clear();
+                    buckets.shrink_to_fit();
+                }
+            }
+        }
+        match death {
+            StoreDeath::RunawayKill => sbc_obs::counter!("stream.store.kill.runaway_kill").incr(),
+            StoreDeath::SketchOverflow => {
+                sbc_obs::counter!("stream.store.kill.sketch_overflow").incr()
+            }
         }
     }
 
@@ -271,6 +369,14 @@ impl Storing {
     ) {
         self.updates += 1;
         sbc_obs::counter!("stream.store.updates").incr();
+        // Injected faults fire *before* the update at the kill index is
+        // applied; the update counter still advances while dead so the
+        // decision index stays path-independent.
+        if self.injected.is_none() && self.fault.is_active() && !self.is_dead() {
+            if let Some(kind) = self.fault.store_fault(self.fault_salt, self.updates - 1) {
+                self.kill_injected(kind);
+            }
+        }
         match &mut self.inner {
             Inner::Exact {
                 cells,
@@ -300,7 +406,7 @@ impl Storing {
                             *dead = true;
                             cells.clear();
                             cells.shrink_to_fit();
-                            sbc_obs::counter!("stream.store.killed_runaway").incr();
+                            sbc_obs::counter!("stream.store.kill.runaway_kill").incr();
                             return;
                         }
                         *peak_cells = (*peak_cells).max(len + 1);
@@ -357,7 +463,7 @@ impl Storing {
                         buckets.clear();
                         buckets.shrink_to_fit();
                     }
-                    sbc_obs::counter!("stream.store.killed_sketch_overflow").incr();
+                    sbc_obs::counter!("stream.store.kill.sketch_overflow").incr();
                 }
             }
         }
@@ -484,8 +590,12 @@ impl Storing {
     }
 
     /// How the structure died, or `None` if it is still live (will reach
-    /// its natural end of stream).
+    /// its natural end of stream). An injected death reports its forced
+    /// kind, which may differ from the backend's natural one.
     pub fn death(&self) -> Option<StoreDeath> {
+        if let Some(kind) = self.injected {
+            return Some(kind);
+        }
         match &self.inner {
             Inner::Exact { dead: true, .. } => Some(StoreDeath::RunawayKill),
             Inner::Sketch { dead: true, .. } => Some(StoreDeath::SketchOverflow),
@@ -521,6 +631,85 @@ impl Storing {
                         .sum::<usize>()
             }
         }
+    }
+
+    /// Captures the exact backend's full dynamic state for
+    /// checkpointing, with cells and per-cell points sorted by packed
+    /// key so the encoding is canonical. Returns `None` for the sketch
+    /// backend (not yet checkpointable; the builder surfaces this as an
+    /// `UnsupportedBackend` checkpoint error).
+    pub fn to_snapshot(&self) -> Option<StoringSnapshot> {
+        let Inner::Exact {
+            cells, peak_cells, ..
+        } = &self.inner
+        else {
+            return None;
+        };
+        let mut cell_snaps: Vec<(u128, CellSnapshot)> = cells
+            .iter()
+            .map(|(key, rec)| {
+                let mut points: Vec<(u128, (Point, i64))> =
+                    rec.points.iter().map(|(k, v)| (*k, v.clone())).collect();
+                points.sort_unstable_by_key(|(k, _)| *k);
+                (
+                    *key,
+                    CellSnapshot {
+                        cell: rec.cell.clone(),
+                        count: rec.count,
+                        dirty: rec.dirty,
+                        points: points.into_iter().map(|(_, pv)| pv).collect(),
+                    },
+                )
+            })
+            .collect();
+        cell_snaps.sort_unstable_by_key(|(k, _)| *k);
+        Some(StoringSnapshot {
+            updates: self.updates,
+            death: self.death(),
+            injected: self.injected.is_some(),
+            peak_cells: *peak_cells as u64,
+            cells: cell_snaps.into_iter().map(|(_, c)| c).collect(),
+        })
+    }
+
+    /// Overwrites this store's dynamic state with a snapshot's. The
+    /// store must be freshly built with the same structural parameters
+    /// (grid, level, config, backend) the snapshot was taken under —
+    /// the builder guarantees this by reconstructing the ladder from the
+    /// checkpointed parameters before loading. Returns `false` (and
+    /// leaves the store untouched) on the sketch backend.
+    pub fn load_snapshot(&mut self, snap: &StoringSnapshot) -> bool {
+        let delta = self.grid.params().delta;
+        let Inner::Exact {
+            cells,
+            dead,
+            peak_cells,
+            ..
+        } = &mut self.inner
+        else {
+            return false;
+        };
+        cells.clear();
+        for c in &snap.cells {
+            let mut points = Key128Map::default();
+            for (p, m) in &c.points {
+                points.insert(p.key128(delta), (p.clone(), *m));
+            }
+            cells.insert(
+                c.cell.key128(),
+                CellRec {
+                    count: c.count,
+                    dirty: c.dirty,
+                    cell: c.cell.clone(),
+                    points,
+                },
+            );
+        }
+        *dead = snap.death.is_some();
+        *peak_cells = snap.peak_cells as usize;
+        self.updates = snap.updates;
+        self.injected = if snap.injected { snap.death } else { None };
+        true
     }
 
     /// The space a fully allocated sketch of this configuration occupies

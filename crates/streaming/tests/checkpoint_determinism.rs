@@ -1,0 +1,288 @@
+//! Checkpoint/restore must be invisible: interrupting a run at an
+//! arbitrary op index, serializing the builder, restoring it from bytes
+//! (fresh-process semantics — nothing survives but the byte buffer),
+//! and resuming must produce *bit-identical* results to the
+//! uninterrupted run — summaries, space accounting, and the assembled
+//! coreset. Exercised over insertion and dynamic streams, the sharded
+//! parallel path, and runs with injected mid-stream store deaths.
+//!
+//! The serialization itself must be canonical: encode → decode → encode
+//! is the identity on bytes.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sbc_core::CoresetParams;
+use sbc_geometry::dataset::{gaussian_mixture, two_phase_dynamic};
+use sbc_geometry::GridParams;
+use sbc_obs::fault::FaultPlan;
+use sbc_streaming::model::{insertion_stream, interleaved_stream, StreamOp};
+use sbc_streaming::{CheckpointError, Snapshot, StreamCoresetBuilder, StreamParams};
+
+fn params(log_delta: u32) -> CoresetParams {
+    CoresetParams::builder(3, GridParams::from_log_delta(log_delta, 2))
+        .build()
+        .unwrap()
+}
+
+fn build(p: &CoresetParams, sp: StreamParams, seed: u64) -> StreamCoresetBuilder {
+    let mut rng = StdRng::seed_from_u64(seed);
+    StreamCoresetBuilder::new(p.clone(), sp, &mut rng)
+}
+
+/// Runs `ops` uninterrupted, and again with a checkpoint → bytes →
+/// restore cycle at `cut`; every observable output must match exactly.
+fn assert_restore_invisible(
+    p: &CoresetParams,
+    sp: StreamParams,
+    ops: &[StreamOp],
+    seed: u64,
+    cut: usize,
+) {
+    let mut reference = build(p, sp, seed);
+    reference.process_all(ops);
+
+    let mut first_leg = build(p, sp, seed);
+    first_leg.process_all(&ops[..cut]);
+    let bytes = first_leg
+        .checkpoint()
+        .expect("exact stores checkpoint")
+        .to_bytes();
+    drop(first_leg); // nothing of the original builder survives
+
+    let snap = Snapshot::from_bytes(&bytes).expect("round-trips");
+    let mut resumed = StreamCoresetBuilder::restore(&snap).expect("restores");
+    resumed.process_all(&ops[cut..]);
+
+    assert_eq!(reference.net_count(), resumed.net_count(), "cut {cut}");
+    assert_eq!(
+        reference.export_summaries(),
+        resumed.export_summaries(),
+        "summaries diverged after restore at cut {cut}"
+    );
+    assert_eq!(
+        reference.space_report(),
+        resumed.space_report(),
+        "space accounting diverged at cut {cut}"
+    );
+    match (reference.finish(), resumed.finish()) {
+        (Ok(a), Ok(b)) => {
+            assert_eq!(a.o, b.o, "cut {cut}");
+            assert_eq!(a.entries(), b.entries(), "coreset diverged at cut {cut}");
+        }
+        (Err(a), Err(b)) => assert_eq!(format!("{a:?}"), format!("{b:?}")),
+        (a, b) => panic!(
+            "runs disagree on success at cut {cut}: reference {:?}, resumed {:?}",
+            a.is_ok(),
+            b.is_ok()
+        ),
+    }
+}
+
+fn cuts_for(len: usize) -> Vec<usize> {
+    vec![0, 1, len / 3, len / 2, len - 1, len]
+}
+
+#[test]
+fn restore_then_continue_is_bit_identical_serial() {
+    let p = params(7);
+    let pts = gaussian_mixture(p.grid, 1400, 3, 0.05, 2);
+    let ops: Vec<StreamOp> = insertion_stream(&pts);
+    for cut in cuts_for(ops.len()) {
+        assert_restore_invisible(&p, StreamParams::default(), &ops, 2, cut);
+    }
+}
+
+#[test]
+fn restore_then_continue_is_bit_identical_dynamic() {
+    let p = params(7);
+    let ds = two_phase_dynamic(p.grid, 900, 600, 3, 5);
+    let mut rng = StdRng::seed_from_u64(5);
+    let ops = interleaved_stream(&ds.kept, &ds.churn, &mut rng);
+    for cut in cuts_for(ops.len()) {
+        assert_restore_invisible(&p, StreamParams::default(), &ops, 5, cut);
+    }
+}
+
+#[test]
+fn restore_then_continue_is_bit_identical_parallel() {
+    // The resumed run uses the sharded parallel ingest path; restore
+    // must hand it state it cannot tell apart from its own.
+    let p = params(7);
+    let pts = gaussian_mixture(p.grid, 1600, 3, 0.05, 7);
+    let ops: Vec<StreamOp> = insertion_stream(&pts);
+    let sp = StreamParams {
+        parallel: true,
+        threads: 4,
+        ..StreamParams::default()
+    };
+    for cut in [0, ops.len() / 2, ops.len()] {
+        assert_restore_invisible(&p, sp, &ops, 7, cut);
+    }
+}
+
+#[test]
+fn restore_preserves_injected_store_deaths() {
+    // Kill a quarter of the stores at their 64th update. Whether a kill
+    // fires before or after the cut, the restored run must agree with
+    // the uninterrupted one — the fault plan travels in the snapshot
+    // and per-store update counters are restored exactly.
+    let p = params(7);
+    let sp = StreamParams {
+        faults: FaultPlan::parse("kill-early@3").unwrap(),
+        ..StreamParams::default()
+    };
+    let ds = two_phase_dynamic(p.grid, 800, 500, 3, 9);
+    let mut rng = StdRng::seed_from_u64(9);
+    let ops = interleaved_stream(&ds.kept, &ds.churn, &mut rng);
+
+    let mut probe = build(&p, sp, 9);
+    probe.process_all(&ops);
+    assert!(
+        probe.space_report().dead_stores > 0,
+        "kill-early must kill stores for this test to bite"
+    );
+
+    for cut in [1, 40, ops.len() / 2, ops.len() - 1] {
+        assert_restore_invisible(&p, sp, &ops, 9, cut);
+    }
+}
+
+#[test]
+fn natural_mid_stream_deaths_survive_restore() {
+    // Cap-driven (non-injected) deaths: dead stores checkpoint as dead
+    // and stay dead after restore.
+    let p = params(7);
+    let sp = StreamParams {
+        cap_cells: 48,
+        ..StreamParams::default()
+    };
+    let ds = two_phase_dynamic(p.grid, 900, 600, 3, 12);
+    let mut rng = StdRng::seed_from_u64(12);
+    let ops = interleaved_stream(&ds.kept, &ds.churn, &mut rng);
+
+    let mut probe = build(&p, sp, 12);
+    probe.process_all(&ops);
+    assert!(probe.space_report().dead_stores > 0);
+
+    for cut in [ops.len() / 4, ops.len() / 2, 3 * ops.len() / 4] {
+        assert_restore_invisible(&p, sp, &ops, 12, cut);
+    }
+}
+
+#[test]
+fn encode_decode_encode_is_byte_identity() {
+    let p = params(6);
+    let pts = gaussian_mixture(p.grid, 800, 2, 0.05, 17);
+    let mut b = build(&p, StreamParams::default(), 17);
+    b.insert_batch(&pts);
+    let bytes = b.checkpoint().expect("checkpoints").to_bytes();
+    let snap = Snapshot::from_bytes(&bytes).expect("decodes");
+    assert_eq!(
+        snap.to_bytes(),
+        bytes,
+        "snapshot serialization is not canonical"
+    );
+}
+
+#[test]
+fn finish_ref_emits_without_perturbing_the_run() {
+    // Emitting mid-stream coresets (e.g. at every checkpoint) must not
+    // change anything downstream: the final coreset equals the one from
+    // a run that never called finish_ref, and finish_ref at end of
+    // stream equals finish.
+    let p = params(7);
+    let pts = gaussian_mixture(p.grid, 1400, 3, 0.05, 19);
+
+    let mut quiet = build(&p, StreamParams::default(), 19);
+    quiet.insert_batch(&pts);
+
+    let mut chatty = build(&p, StreamParams::default(), 19);
+    chatty.insert_batch(&pts[..700]);
+    let _ = chatty.finish_ref(); // mid-stream emission, result ignored
+    chatty.insert_batch(&pts[700..]);
+    let preview = chatty.finish_ref().expect("end-of-stream preview");
+
+    let final_quiet = quiet.finish().expect("coreset");
+    let final_chatty = chatty.finish().expect("coreset");
+    assert_eq!(final_quiet.o, final_chatty.o);
+    assert_eq!(final_quiet.entries(), final_chatty.entries());
+    assert_eq!(preview.o, final_chatty.o);
+    assert_eq!(preview.entries(), final_chatty.entries());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Property: for arbitrary workload seeds, sizes and cut points,
+    /// encode → decode → encode is the byte identity and the decoded
+    /// snapshot equals the original structurally.
+    #[test]
+    fn snapshot_serialization_round_trips(
+        seed in 0u64..1_000,
+        n in 60usize..400,
+        cut_permille in 0u32..=1_000,
+    ) {
+        let p = params(6);
+        let pts = gaussian_mixture(p.grid, n, 2, 0.06, seed);
+        let ops: Vec<StreamOp> = insertion_stream(&pts);
+        let cut = (ops.len() as u64 * cut_permille as u64 / 1_000) as usize;
+        let mut b = build(&p, StreamParams::default(), seed);
+        b.process_all(&ops[..cut]);
+        let snap = b.checkpoint().expect("checkpoints");
+        let bytes = snap.to_bytes();
+        let decoded = Snapshot::from_bytes(&bytes).expect("decodes");
+        prop_assert_eq!(&decoded, &snap);
+        prop_assert_eq!(decoded.to_bytes(), bytes);
+    }
+}
+
+#[test]
+fn corrupted_checkpoints_fail_loudly() {
+    let p = params(6);
+    let pts = gaussian_mixture(p.grid, 400, 2, 0.05, 23);
+    let mut b = build(&p, StreamParams::default(), 23);
+    b.insert_batch(&pts);
+    let bytes = b.checkpoint().unwrap().to_bytes();
+
+    assert_eq!(
+        Snapshot::from_bytes(&bytes[1..]),
+        Err(CheckpointError::BadMagic)
+    );
+    assert_eq!(
+        Snapshot::from_bytes(&bytes[..bytes.len() - 1]),
+        Err(CheckpointError::Malformed)
+    );
+    // Flipping a version byte must not decode as some other snapshot.
+    let mut wrong = bytes.clone();
+    wrong[8] ^= 0xFF;
+    assert!(matches!(
+        Snapshot::from_bytes(&wrong),
+        Err(CheckpointError::UnsupportedVersion { .. })
+    ));
+}
+
+#[test]
+fn restore_rejects_shape_mismatches() {
+    let p = params(6);
+    let pts = gaussian_mixture(p.grid, 400, 2, 0.05, 29);
+    let mut b = build(&p, StreamParams::default(), 29);
+    b.insert_batch(&pts);
+    let snap = b.checkpoint().unwrap();
+
+    // An instance ladder that contradicts the embedded parameters.
+    let mut truncated = snap.clone();
+    truncated.instances.pop();
+    assert!(matches!(
+        StreamCoresetBuilder::restore(&truncated),
+        Err(CheckpointError::Malformed)
+    ));
+
+    // Hash coefficient families of the wrong arity.
+    let mut short_hashes = snap;
+    short_hashes.h_coeffs.pop();
+    assert!(matches!(
+        StreamCoresetBuilder::restore(&short_hashes),
+        Err(CheckpointError::Malformed)
+    ));
+}

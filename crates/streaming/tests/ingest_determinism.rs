@@ -16,7 +16,9 @@ use sbc_streaming::model::{insert_delete_stream, insertion_stream, interleaved_s
 use sbc_streaming::{StreamCoresetBuilder, StreamParams};
 
 fn params(log_delta: u32) -> CoresetParams {
-    CoresetParams::practical(3, 2.0, 0.2, 0.2, GridParams::from_log_delta(log_delta, 2))
+    CoresetParams::builder(3, GridParams::from_log_delta(log_delta, 2))
+        .build()
+        .unwrap()
 }
 
 /// Builds three identically seeded builders, ingests `ops` per-op /

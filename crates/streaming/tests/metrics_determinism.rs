@@ -27,7 +27,9 @@ use std::sync::Mutex;
 static REGISTRY_GUARD: Mutex<()> = Mutex::new(());
 
 fn params(log_delta: u32) -> CoresetParams {
-    CoresetParams::practical(3, 2.0, 0.2, 0.2, GridParams::from_log_delta(log_delta, 2))
+    CoresetParams::builder(3, GridParams::from_log_delta(log_delta, 2))
+        .build()
+        .unwrap()
 }
 
 struct RunResult {

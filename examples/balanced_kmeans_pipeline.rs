@@ -18,28 +18,26 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use sbc_clustering::capacitated::capacitated_lloyd_raw;
-use sbc_clustering::cost::nearest_assignment_loads;
-use sbc_core::assign::build_assignment_oracle;
-use sbc_core::{build_coreset, CoresetParams};
-use sbc_geometry::dataset::imbalanced_mixture;
-use sbc_geometry::GridParams;
+use sbc::clustering::capacitated::capacitated_lloyd_raw;
+use sbc::clustering::cost::nearest_assignment_loads;
+use sbc::core::assign::build_assignment_oracle;
+use sbc::prelude::*;
 
-fn main() {
+fn main() -> Result<(), SbcError> {
     let gp = GridParams::from_log_delta(8, 2);
     let k = 3;
     let n = 15_000;
     let r = 2.0;
     // 75% of the mass in one blob — natural clusters are imbalanced.
-    let points = imbalanced_mixture(gp, n, &[0.75, 0.15, 0.10], 0.03, 11);
-    let params = CoresetParams::practical(k, r, 0.2, 0.2, gp);
+    let points = sbc::geometry::dataset::imbalanced_mixture(gp, n, &[0.75, 0.15, 0.10], 0.03, 11);
+    let params = CoresetParams::builder(k, gp).r(r).build()?;
     let mut rng = StdRng::seed_from_u64(2);
 
     println!("── Balanced k-means pipeline ──");
     println!("{n} points, natural cluster fractions ≈ 75/15/10\n");
 
     // 1. Coreset.
-    let coreset = build_coreset(&points, &params, &mut rng).expect("coreset");
+    let coreset = build_coreset(&points, &params, &mut rng)?;
     println!(
         "coreset: {} points ({:.1}× compression)",
         coreset.len(),
@@ -82,7 +80,7 @@ fn main() {
 
     // Reference: exact capacitated optimum on the full data at the
     // oracle's realized capacity.
-    let frac = sbc_flow::transport::optimal_fractional_assignment(
+    let frac = sbc::flow::transport::optimal_fractional_assignment(
         &points,
         None,
         &sol.centers,
@@ -95,6 +93,7 @@ fn main() {
         frac.cost,
         oa.cost / frac.cost
     );
+    Ok(())
 }
 
 fn rounded(v: &[f64]) -> Vec<i64> {

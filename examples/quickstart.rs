@@ -1,5 +1,5 @@
 //! Quickstart: build a strong coreset for capacitated k-means and solve
-//! the clustering on it.
+//! the clustering on it — everything through the `sbc` facade.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
@@ -7,13 +7,10 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use sbc_clustering::capacitated::capacitated_lloyd_raw;
-use sbc_clustering::cost::capacitated_cost;
-use sbc_core::{build_coreset, CoresetParams};
-use sbc_geometry::dataset::gaussian_mixture;
-use sbc_geometry::GridParams;
+use sbc::clustering::capacitated::capacitated_lloyd_raw;
+use sbc::prelude::*;
 
-fn main() {
+fn main() -> Result<(), SbcError> {
     // The cube [Δ]^d with Δ = 2^8 = 256, d = 2.
     let gp = GridParams::from_log_delta(8, 2);
     let n = 20_000;
@@ -22,13 +19,15 @@ fn main() {
 
     println!("── Streaming Balanced Clustering: quickstart ──");
     println!("dataset: {n} points, mixture of {k} Gaussians in [256]^2\n");
-    let points = gaussian_mixture(gp, n, k, 0.04, 7);
+    let points = sbc::geometry::dataset::gaussian_mixture(gp, n, k, 0.04, 7);
 
-    // Strong (η, ε)-coreset for capacitated k-means.
-    let params = CoresetParams::practical(k, r, 0.2, 0.2, gp);
+    // Strong (η, ε)-coreset for capacitated k-means. The builder
+    // validates at build() and `?` works because SbcError absorbs every
+    // layer's error type.
+    let params = CoresetParams::builder(k, gp).r(r).build()?;
     let mut rng = StdRng::seed_from_u64(42);
     let t0 = std::time::Instant::now();
-    let coreset = build_coreset(&points, &params, &mut rng).expect("coreset construction");
+    let coreset = build_coreset(&points, &params, &mut rng)?;
     println!(
         "coreset: {} points (compression {:.1}×), total weight {:.0}, built in {:?}",
         coreset.len(),
@@ -53,4 +52,5 @@ fn main() {
     println!("\ncost on coreset:   {:>14.0}", sol.cost);
     println!("cost on full data: {:>14.0}   (capacity slack 1+η)", full);
     println!("ratio: {:.3}", full / sol.cost);
+    Ok(())
 }

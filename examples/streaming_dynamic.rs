@@ -1,6 +1,9 @@
 //! Dynamic streaming: one pass over a stream with insertions *and*
 //! deletions — the capability that distinguishes this algorithm from the
-//! prior three-pass insertion-only art (paper §1).
+//! prior three-pass insertion-only art (paper §1) — plus the
+//! checkpoint/restore path: the pass is interrupted halfway, serialized
+//! to bytes, restored (as a fresh process would), and resumed, with a
+//! bit-identical result.
 //!
 //! The stream inserts a clusterable "kept" set plus a uniform "churn"
 //! set, then deletes the churn. A correct dynamic algorithm must end up
@@ -12,21 +15,18 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use sbc_clustering::cost::capacitated_cost;
-use sbc_core::CoresetParams;
-use sbc_geometry::dataset::two_phase_dynamic;
-use sbc_geometry::GridParams;
-use sbc_streaming::model::insert_delete_stream;
-use sbc_streaming::{StreamCoresetBuilder, StreamParams};
+use sbc::prelude::*;
+use sbc::streaming::model::insert_delete_stream;
 
-fn main() {
+fn main() -> Result<(), SbcError> {
     let gp = GridParams::from_log_delta(8, 2);
     let k = 3;
-    let params = CoresetParams::practical(k, 2.0, 0.2, 0.2, gp);
+    let params = CoresetParams::builder(k, gp).build()?;
+    let sparams = StreamParams::builder().build()?;
     let mut rng = StdRng::seed_from_u64(1);
 
     println!("── One-pass dynamic streaming coreset ──");
-    let ds = two_phase_dynamic(gp, 12_000, 6_000, k, 3);
+    let ds = sbc::geometry::dataset::two_phase_dynamic(gp, 12_000, 6_000, k, 3);
     let ops = insert_delete_stream(&ds.kept, &ds.churn, &mut rng);
     println!(
         "stream: {} ops ({} inserts, {} deletes); surviving points: {}",
@@ -36,7 +36,8 @@ fn main() {
         ds.kept.len()
     );
 
-    let mut builder = StreamCoresetBuilder::new(params.clone(), StreamParams::default(), &mut rng);
+    let rng_at_pass_start = rng.clone();
+    let mut builder = StreamCoresetBuilder::new(params.clone(), sparams, &mut rng);
     let t0 = std::time::Instant::now();
     builder.process_all(&ops);
     let elapsed = t0.elapsed();
@@ -53,7 +54,7 @@ fn main() {
         rep.dead_stores
     );
 
-    let coreset = builder.finish().expect("streaming coreset");
+    let coreset = builder.finish()?;
     println!(
         "\ncoreset: {} points, total weight {:.0} (target: the {} kept points)",
         coreset.len(),
@@ -61,9 +62,25 @@ fn main() {
         ds.kept.len()
     );
 
+    // Interrupt/resume: run the same stream again, but checkpoint at the
+    // halfway mark, serialize to bytes, drop the builder, restore from
+    // the bytes alone (fresh-process semantics), and finish the pass.
+    let mut rng2 = rng_at_pass_start; // same randomness as the reference pass
+    let mut first_leg = StreamCoresetBuilder::new(params, sparams, &mut rng2);
+    let cut = ops.len() / 2;
+    first_leg.process_all(&ops[..cut]);
+    let bytes = first_leg.checkpoint()?.to_bytes();
+    drop(first_leg);
+    println!("\ncheckpoint at op {cut}: {} bytes", bytes.len());
+    let mut resumed = StreamCoresetBuilder::restore(&Snapshot::from_bytes(&bytes)?)?;
+    resumed.process_all(&ops[cut..]);
+    let recovered = resumed.finish()?;
+    assert_eq!(coreset.entries(), recovered.entries());
+    println!("restored + resumed: coreset is bit-identical to the uninterrupted pass");
+
     // Sanity: evaluate a fixed center set against the kept points vs the
     // coreset — the deleted churn must not distort the estimate.
-    let centers = sbc_clustering::kmeanspp::kmeanspp_seeds(&ds.kept, None, k, 2.0, &mut rng);
+    let centers = sbc::clustering::kmeanspp::kmeanspp_seeds(&ds.kept, None, k, 2.0, &mut rng);
     let cap = ds.kept.len() as f64 / k as f64 * 1.3;
     let truth = capacitated_cost(&ds.kept, None, &centers, cap, 2.0);
     let (cpts, cws) = coreset.split();
@@ -71,4 +88,5 @@ fn main() {
     println!("\ncapacitated cost of a fixed Z:");
     println!("  on kept points: {truth:>14.0}");
     println!("  on coreset:     {est:>14.0}   (ratio {:.3})", est / truth);
+    Ok(())
 }

@@ -207,7 +207,12 @@ fn params_from(o: &Opts, points: &[Point]) -> Result<(CoresetParams, StdRng), St
         }
     }
     Ok((
-        CoresetParams::practical(k, r, eps, eta, gp),
+        CoresetParams::builder(k, gp)
+            .r(r)
+            .eps(eps)
+            .eta(eta)
+            .build()
+            .unwrap(),
         StdRng::seed_from_u64(seed),
     ))
 }

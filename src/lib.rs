@@ -9,8 +9,11 @@
 //! both insertions and deletions, plus a distributed protocol with
 //! `s · poly(ε⁻¹ η⁻¹ k d log Δ)` communication.
 //!
-//! This crate re-exports the workspace crates under stable module names;
-//! see each crate's documentation for details:
+//! New code should prefer the [`sbc`] facade crate — `sbc::prelude`,
+//! validating builders, and the unified [`sbc::SbcError`] — which this
+//! crate re-exports as [`facade`]. This crate additionally exposes the
+//! workspace crates under stable module names; see each crate's
+//! documentation for details:
 //!
 //! * [`geometry`] — points, metrics, shifted grid hierarchies, datasets;
 //! * [`hashing`] — λ-wise independent hash families;
@@ -32,7 +35,7 @@
 //! let points = sbc_geometry::dataset::gaussian_mixture(gp, 6000, 3, 0.04, 7);
 //!
 //! // 2. Build a strong coreset for capacitated 3-means (r = 2).
-//! let params = CoresetParams::practical(3, 2.0, 0.2, 0.2, gp);
+//! let params = CoresetParams::builder(3, gp).build().unwrap();
 //! let mut rng = StdRng::seed_from_u64(42);
 //! let coreset = build_coreset(&points, &params, &mut rng).expect("coreset");
 //! assert!(coreset.len() < points.len());
@@ -44,6 +47,7 @@
 //! assert_eq!(sol.centers.len(), 3);
 //! ```
 
+pub use sbc as facade;
 pub use sbc_clustering as clustering;
 pub use sbc_core as core;
 pub use sbc_distributed as distributed;
@@ -54,6 +58,7 @@ pub use sbc_streaming as streaming;
 
 /// Convenience prelude re-exporting the most common items.
 pub mod prelude {
+    pub use sbc::SbcError;
     pub use sbc_clustering::{capacitated_cost, capacitated_lloyd, CostReport};
     pub use sbc_core::{build_coreset, Coreset, CoresetParams};
     pub use sbc_distributed::DistributedCoreset;

@@ -23,7 +23,7 @@ fn coreset_in_projected_space_preserves_capacitated_cost_shape() {
     let low = proj.project_all(&pts);
 
     // Coreset in the projected space.
-    let params = CoresetParams::practical(k, 2.0, 0.2, 0.2, dst);
+    let params = CoresetParams::builder(k, dst).build().unwrap();
     let cs = build_coreset(&low, &params, &mut rng).expect("coreset in low dim");
     let (cpts, cws) = cs.split();
 

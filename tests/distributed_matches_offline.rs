@@ -14,7 +14,9 @@ use sbc_geometry::GridParams;
 use sbc_streaming::StreamParams;
 
 fn params() -> CoresetParams {
-    CoresetParams::practical(3, 2.0, 0.2, 0.2, GridParams::from_log_delta(8, 2))
+    CoresetParams::builder(3, GridParams::from_log_delta(8, 2))
+        .build()
+        .unwrap()
 }
 
 #[test]

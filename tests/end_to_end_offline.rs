@@ -16,7 +16,7 @@ fn coreset_solution_transfers_to_full_data() {
     let gp = GridParams::from_log_delta(8, 2);
     let k = 3;
     let n = 6000;
-    let params = CoresetParams::practical(k, 2.0, 0.2, 0.2, gp);
+    let params = CoresetParams::builder(k, gp).build().unwrap();
     let points = gaussian_mixture(gp, n, k, 0.04, 31);
     let mut rng = StdRng::seed_from_u64(1);
 
@@ -43,7 +43,7 @@ fn oracle_extends_coreset_solution_with_bounded_violation() {
     let gp = GridParams::from_log_delta(8, 2);
     let k = 3;
     let n = 5000;
-    let params = CoresetParams::practical(k, 2.0, 0.2, 0.2, gp);
+    let params = CoresetParams::builder(k, gp).build().unwrap();
     let points = imbalanced_mixture(gp, n, &[0.7, 0.2, 0.1], 0.03, 7);
     let mut rng = StdRng::seed_from_u64(2);
 
@@ -71,7 +71,7 @@ fn kmedian_pipeline_works_too() {
     let gp = GridParams::from_log_delta(7, 2);
     let k = 2;
     let n = 3000;
-    let params = CoresetParams::practical(k, 1.0, 0.2, 0.2, gp);
+    let params = CoresetParams::builder(k, gp).r(1.0).build().unwrap();
     let points = gaussian_mixture(gp, n, k, 0.05, 13);
     let mut rng = StdRng::seed_from_u64(3);
 

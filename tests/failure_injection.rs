@@ -14,7 +14,7 @@ use sbc_streaming::{StreamCoresetBuilder, StreamParams};
 #[test]
 fn oracle_rejects_infeasible_capacity() {
     let gp = GridParams::from_log_delta(7, 2);
-    let params = CoresetParams::practical(2, 2.0, 0.2, 0.2, gp);
+    let params = CoresetParams::builder(2, gp).build().unwrap();
     let pts = gaussian_mixture(gp, 2000, 2, 0.05, 1);
     let mut rng = StdRng::seed_from_u64(1);
     let coreset = build_coreset(&pts, &params, &mut rng).unwrap();
@@ -99,7 +99,7 @@ fn stream_of_one_point_still_works() {
     // Degenerate but legal: a single point must produce a one-point
     // coreset of weight ≈ 1 at some instance.
     let gp = GridParams::from_log_delta(6, 2);
-    let params = CoresetParams::practical(1, 2.0, 0.2, 0.2, gp);
+    let params = CoresetParams::builder(1, gp).build().unwrap();
     let mut rng = StdRng::seed_from_u64(3);
     let mut b = StreamCoresetBuilder::new(params, StreamParams::default(), &mut rng);
     b.insert(&Point::new(vec![17, 23]));
@@ -111,7 +111,7 @@ fn stream_of_one_point_still_works() {
 #[test]
 fn delete_everything_leaves_unbuildable_state() {
     let gp = GridParams::from_log_delta(6, 2);
-    let params = CoresetParams::practical(2, 2.0, 0.2, 0.2, gp);
+    let params = CoresetParams::builder(2, gp).build().unwrap();
     let pts = sbc_geometry::dataset::uniform(gp, 100, 5);
     let mut rng = StdRng::seed_from_u64(4);
     let mut b = StreamCoresetBuilder::new(params, StreamParams::default(), &mut rng);
@@ -133,7 +133,12 @@ fn paper_profile_constants_are_usable_but_sample_everything() {
     // The paper-faithful constants produce φᵢ = 1 at laptop scale — the
     // construction still runs and simply keeps every located point.
     let gp = GridParams::from_log_delta(6, 2);
-    let params = CoresetParams::paper_faithful(2, 2.0, 0.3, 0.3, gp);
+    let params = CoresetParams::builder(2, gp)
+        .eps(0.3)
+        .eta(0.3)
+        .paper_faithful()
+        .build()
+        .unwrap();
     let pts = gaussian_mixture(gp, 500, 2, 0.05, 6);
     let mut rng = StdRng::seed_from_u64(5);
     let cs = build_coreset(&pts, &params, &mut rng).expect("paper profile");
@@ -157,7 +162,7 @@ fn paper_profile_constants_are_usable_but_sample_everything() {
 #[test]
 fn dimension_mismatch_is_caught() {
     let gp = GridParams::from_log_delta(6, 3);
-    let params = CoresetParams::practical(2, 2.0, 0.2, 0.2, gp);
+    let params = CoresetParams::builder(2, gp).build().unwrap();
     let pts = vec![Point::new(vec![1, 2])]; // d = 2, grid expects 3
     let mut rng = StdRng::seed_from_u64(7);
     let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {

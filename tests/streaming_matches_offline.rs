@@ -14,7 +14,9 @@ use sbc_streaming::model::{insert_delete_stream, insertion_stream, interleaved_s
 use sbc_streaming::{StreamCoresetBuilder, StreamParams};
 
 fn params() -> CoresetParams {
-    CoresetParams::practical(3, 2.0, 0.2, 0.2, GridParams::from_log_delta(8, 2))
+    CoresetParams::builder(3, GridParams::from_log_delta(8, 2))
+        .build()
+        .unwrap()
 }
 
 /// Worst cost-estimation ratio of a coreset over a few fixed (Z, t).

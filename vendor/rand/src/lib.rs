@@ -147,6 +147,24 @@ pub mod rngs {
         s: [u64; 4],
     }
 
+    impl StdRng {
+        /// The raw xoshiro256++ state, for checkpoint/restore of
+        /// long-running deterministic computations.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from a state captured by [`Self::state`].
+        /// The all-zero state is a fixed point of xoshiro and is nudged
+        /// exactly as [`SeedableRng::from_seed`] does.
+        pub fn from_state(mut s: [u64; 4]) -> Self {
+            if s == [0, 0, 0, 0] {
+                s = [0x9E37_79B9_7F4A_7C15, 1, 2, 3];
+            }
+            Self { s }
+        }
+    }
+
     impl RngCore for StdRng {
         #[inline]
         fn next_u64(&mut self) -> u64 {
