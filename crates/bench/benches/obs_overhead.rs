@@ -1,7 +1,10 @@
 //! Guard for the `sbc-obs` zero-cost contract: with instrumentation
 //! compiled in but recording disabled ("enabled-but-idle"), the per-call
 //! cost of the metric primitives must stay under 1% of the measured
-//! per-op streaming ingest cost.
+//! per-op streaming ingest cost. The same budget applies to the flight
+//! recorder's disabled fast path, and with the recorder *on* at its
+//! default 64Ki-event ring the whole batched ingest may slow down by at
+//! most 5%.
 //!
 //! Run with `cargo bench --bench obs_overhead [--features obs]`. This is
 //! a plain `harness = false` guard (it asserts and exits non-zero on
@@ -47,8 +50,24 @@ fn idle_counter_ns_per_call(calls: u64) -> f64 {
     start.elapsed().as_secs_f64() * 1e9 / calls as f64
 }
 
+/// Nanoseconds per `trace::instant` call with the recorder disabled
+/// (the gate is one relaxed atomic load, same as the idle counter).
+fn idle_trace_ns_per_call(calls: u64) -> f64 {
+    use sbc_obs::trace::CausalIds;
+    let start = Instant::now();
+    for i in 0..calls {
+        sbc_obs::trace::instant(
+            "bench.obs_overhead.trace_idle",
+            CausalIds::NONE,
+            std::hint::black_box(i & 1),
+        );
+    }
+    start.elapsed().as_secs_f64() * 1e9 / calls as f64
+}
+
 fn main() {
     sbc_obs::set_enabled(false); // enabled-but-idle is the state under test
+    sbc_obs::trace::set_enabled(false);
 
     let gp = GridParams::from_log_delta(8, 2);
     let params = CoresetParams::builder(3, gp).build().unwrap();
@@ -72,4 +91,45 @@ fn main() {
         overhead * 100.0
     );
     println!("OK: enabled-but-idle overhead is within the 1% budget");
+
+    // Flight recorder, disabled: same 1% budget as the metric gate.
+    let trace_call_ns = idle_trace_ns_per_call(50_000_000);
+    let trace_idle_overhead = SITES_PER_OP * trace_call_ns / op_ns;
+    println!("idle trace event: {trace_call_ns:.3} ns/call");
+    println!(
+        "worst-case idle tracing share ({SITES_PER_OP:.0} sites/op): {:.4}%",
+        trace_idle_overhead * 100.0
+    );
+    assert!(
+        trace_idle_overhead < 0.01,
+        "tracing-enabled-but-idle overhead {:.3}% breaches the 1% budget \
+         ({trace_call_ns:.3} ns/call vs {op_ns:.1} ns/op)",
+        trace_idle_overhead * 100.0
+    );
+    println!("OK: tracing-enabled-but-idle overhead is within the 1% budget");
+
+    // Flight recorder, recording at the default 64Ki-event ring: the
+    // whole batched ingest (spans, prune instants, ring pushes) must
+    // cost at most 5% over the untraced run measured above.
+    sbc_obs::trace::set_capacity(64 * 1024);
+    sbc_obs::trace::set_enabled(true);
+    let traced_op_ns = ingest_secs(&params, &ops, 3) * 1e9 / ops.len() as f64;
+    sbc_obs::trace::set_enabled(false);
+    let recorded = sbc_obs::trace::snapshot().total_events();
+    let steady_overhead = traced_op_ns / op_ns - 1.0;
+    println!("traced ingest: {traced_op_ns:.1} ns/op ({recorded} events in ring)");
+    println!(
+        "recorder steady-state overhead: {:.2}%",
+        steady_overhead * 100.0
+    );
+    assert!(
+        steady_overhead < 0.05,
+        "64Ki-ring recorder overhead {:.2}% breaches the 5% budget \
+         ({traced_op_ns:.1} ns/op traced vs {op_ns:.1} ns/op untraced)",
+        steady_overhead * 100.0
+    );
+    if cfg!(feature = "obs") {
+        assert!(recorded > 0, "recording run captured no events");
+    }
+    println!("OK: 64Ki-ring recorder steady-state overhead is within the 5% budget");
 }

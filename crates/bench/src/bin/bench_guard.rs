@@ -1,0 +1,162 @@
+//! Guards `BENCH_streaming.json` against regressions and schema drift.
+//!
+//! Compares a freshly generated report against the committed baseline
+//! and exits non-zero when
+//!
+//! * the fresh report violates the expected schema (version, required
+//!   sections, per-path fields), or
+//! * a machine-independent throughput ratio (`speedup_vs_per_op` of the
+//!   batched paths) regressed by more than the tolerance (15%).
+//!
+//! Absolute ops/sec are *not* compared — they vary with the host — only
+//! the relative speedups of the batched paths over the per-op reference
+//! path measured in the same process.
+//!
+//! Usage: `cargo run -p sbc-bench --bin bench_guard -- <fresh.json> [<baseline.json>]`
+//! (the baseline defaults to the committed `BENCH_streaming.json`).
+
+use sbc_obs::json::JsonValue;
+
+/// Maximum tolerated relative drop in a speedup ratio.
+const TOLERANCE: f64 = 0.15;
+
+/// Schema the fresh report must satisfy.
+const SCHEMA_VERSION: u64 = 3;
+const REQUIRED_TOP: [&str; 9] = [
+    "schema_version",
+    "git_commit",
+    "generated_at",
+    "workload",
+    "n",
+    "groups",
+    "robustness",
+    "trace",
+    "metrics",
+];
+const GROUPS: [&str; 2] = ["insert_only", "mixed_deletion_heavy"];
+const PATHS: [&str; 3] = ["per_op", "batched", "batched_parallel"];
+const PATH_FIELDS: [&str; 3] = ["ops_per_sec", "seconds", "speedup_vs_per_op"];
+const TRACE_FIELDS: [&str; 5] = [
+    "feature_enabled",
+    "buffer_events",
+    "total_events",
+    "dropped",
+    "threads",
+];
+
+fn load(path: &str) -> JsonValue {
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+    JsonValue::parse(&text).unwrap_or_else(|e| fail(&format!("{path} is not valid JSON: {e}")))
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("bench_guard: FAIL: {msg}");
+    std::process::exit(1);
+}
+
+/// Checks the fresh report's shape; returns an error string on drift.
+fn check_schema(doc: &JsonValue, path: &str) -> Result<(), String> {
+    let version = doc
+        .get("schema_version")
+        .and_then(JsonValue::as_u64)
+        .ok_or_else(|| format!("{path}: missing schema_version"))?;
+    if version != SCHEMA_VERSION {
+        return Err(format!(
+            "{path}: schema_version {version}, expected {SCHEMA_VERSION}"
+        ));
+    }
+    for key in REQUIRED_TOP {
+        if doc.get(key).is_none() {
+            return Err(format!("{path}: missing top-level section \"{key}\""));
+        }
+    }
+    for key in TRACE_FIELDS {
+        if doc.get("trace").and_then(|t| t.get(key)).is_none() {
+            return Err(format!("{path}: trace section missing \"{key}\""));
+        }
+    }
+    let groups = doc.get("groups").unwrap();
+    for group in GROUPS {
+        let g = groups
+            .get(group)
+            .ok_or_else(|| format!("{path}: missing group \"{group}\""))?;
+        for p in PATHS {
+            let pj = g
+                .get(p)
+                .ok_or_else(|| format!("{path}: group {group} missing path \"{p}\""))?;
+            for field in PATH_FIELDS {
+                if pj.get(field).and_then(JsonValue::as_f64).is_none() {
+                    return Err(format!("{path}: {group}.{p} missing numeric \"{field}\""));
+                }
+            }
+        }
+    }
+    if doc
+        .get("robustness")
+        .and_then(|r| r.get("space_report"))
+        .is_none()
+    {
+        return Err(format!("{path}: robustness section missing space_report"));
+    }
+    Ok(())
+}
+
+fn speedup(doc: &JsonValue, group: &str, path: &str) -> Option<f64> {
+    doc.get("groups")?
+        .get(group)?
+        .get(path)?
+        .get("speedup_vs_per_op")?
+        .as_f64()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let fresh_path = args
+        .first()
+        .cloned()
+        .unwrap_or_else(|| fail("usage: bench_guard <fresh.json> [<baseline.json>]"));
+    let baseline_path = args
+        .get(1)
+        .cloned()
+        .unwrap_or_else(|| format!("{}/../../BENCH_streaming.json", env!("CARGO_MANIFEST_DIR")));
+
+    let fresh = load(&fresh_path);
+    let baseline = load(&baseline_path);
+
+    if let Err(msg) = check_schema(&fresh, &fresh_path) {
+        fail(&format!("schema drift — {msg}"));
+    }
+
+    // The per-op path is the shared denominator, so regressions in the
+    // batched paths show up here no matter how fast the host is.
+    let mut checked = 0usize;
+    for group in GROUPS {
+        for path in ["batched", "batched_parallel"] {
+            let Some(base) = speedup(&baseline, group, path) else {
+                // A pre-v3 baseline without this ratio cannot gate it.
+                println!("bench_guard: note: baseline lacks {group}.{path}, skipping");
+                continue;
+            };
+            let new = speedup(&fresh, group, path)
+                .unwrap_or_else(|| fail(&format!("fresh report lacks {group}.{path}")));
+            let floor = base * (1.0 - TOLERANCE);
+            checked += 1;
+            if new < floor {
+                fail(&format!(
+                    "throughput regression — {group}.{path} speedup_vs_per_op {new:.3} \
+                     is below {floor:.3} (baseline {base:.3} − {:.0}%)",
+                    TOLERANCE * 100.0
+                ));
+            }
+            println!("bench_guard: {group}.{path}: {new:.3}x vs baseline {base:.3}x — ok");
+        }
+    }
+    if checked == 0 {
+        fail("baseline exposed no comparable speedup ratios");
+    }
+    println!(
+        "bench_guard: PASS ({checked} ratios within {:.0}%)",
+        TOLERANCE * 100.0
+    );
+}

@@ -12,7 +12,10 @@
 //! ```
 //!
 //! With the `obs` feature, `--metrics-out <path>` writes the metrics
-//! snapshot accumulated across the selected experiments as JSON.
+//! snapshot accumulated across the selected experiments as JSON,
+//! `--trace-out <path>` exports the flight-recorder timeline as Chrome
+//! `trace_event` JSON (plus a `.folded` flamegraph file next to it),
+//! and `--trace-buffer-events <N>` sizes the per-thread ring buffers.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -44,10 +47,24 @@ struct Scale {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let metrics_out = args
-        .iter()
-        .position(|a| a == "--metrics-out")
-        .map(|i| args.get(i + 1).expect("--metrics-out needs a path").clone());
+    // Flags that take a value; their value token is not an experiment id.
+    const VALUE_FLAGS: [&str; 3] = ["--metrics-out", "--trace-out", "--trace-buffer-events"];
+    let flag_value = |flag: &str| {
+        args.iter().position(|a| a == flag).map(|i| {
+            args.get(i + 1)
+                .unwrap_or_else(|| panic!("{flag} needs a value"))
+                .clone()
+        })
+    };
+    let metrics_out = flag_value("--metrics-out");
+    let trace_out = flag_value("--trace-out");
+    let trace_buffer: Option<usize> = flag_value("--trace-buffer-events").map(|s| {
+        let n = s
+            .parse()
+            .expect("--trace-buffer-events takes a positive integer");
+        assert!(n > 0, "--trace-buffer-events takes a positive integer");
+        n
+    });
     let mut skip_next = false;
     let wanted: Vec<&str> = args
         .iter()
@@ -56,7 +73,7 @@ fn main() {
                 skip_next = false;
                 return false;
             }
-            if *a == "--metrics-out" {
+            if VALUE_FLAGS.contains(&a.as_str()) {
                 skip_next = true;
             }
             !a.starts_with("--")
@@ -65,6 +82,12 @@ fn main() {
         .collect();
     let run = |id: &str| wanted.is_empty() || wanted.contains(&id);
     sbc_obs::set_enabled(true); // no-op unless built with the obs feature
+    if let Some(n) = trace_buffer {
+        sbc_obs::trace::set_capacity(n);
+    }
+    if trace_out.is_some() {
+        sbc_obs::trace::set_enabled(true); // likewise a no-op without `obs`
+    }
 
     let scale = if quick {
         Scale {
@@ -135,6 +158,20 @@ fn main() {
             "wrote {path} ({} counters, {} histograms)",
             snapshot.counters.len(),
             snapshot.histograms.len()
+        );
+    }
+    if let Some(tpath) = trace_out {
+        sbc_obs::trace::set_enabled(false);
+        let tsnap = sbc_obs::trace::snapshot();
+        std::fs::write(&tpath, sbc_obs::trace::chrome_trace(&tsnap).render_pretty())
+            .unwrap_or_else(|e| panic!("failed to write {tpath}: {e}"));
+        let folded_path = format!("{}.folded", tpath.strip_suffix(".json").unwrap_or(&tpath));
+        std::fs::write(&folded_path, sbc_obs::trace::folded_stacks(&tsnap))
+            .unwrap_or_else(|e| panic!("failed to write {folded_path}: {e}"));
+        println!(
+            "wrote {tpath} + {folded_path} ({} events, {} dropped)",
+            tsnap.total_events(),
+            tsnap.dropped
         );
     }
 }

@@ -18,10 +18,18 @@
 //! JSON under `"robustness"`, and `--checkpoint-out <path>` keeps the
 //! final checkpoint bytes as an artifact.
 //!
+//! The robustness and metrics passes also run under the flight
+//! recorder: `--trace-out <path>` exports the captured timeline as
+//! Chrome `trace_event` JSON (open it in Perfetto) plus a folded-stack
+//! text file next to it, `--trace-buffer-events <N>` sizes the
+//! per-thread ring buffers, and any injected fault or store death dumps
+//! the last events as `crash-<label>.json` next to the report.
+//!
 //! Usage: `cargo run --release --bin stream_bench [--features obs] \
 //!            [-- <out.json>] [--metrics-out <metrics.json>] \
 //!            [--fault-profile <spec>] [--checkpoint-every <N>] \
-//!            [--checkpoint-out <ckpt.bin>]`
+//!            [--checkpoint-out <ckpt.bin>] [--trace-out <t.trace.json>] \
+//!            [--trace-buffer-events <N>]`
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -219,11 +227,25 @@ fn main() {
     let mut fault_profile = "none".to_string();
     let mut checkpoint_every: Option<usize> = None;
     let mut checkpoint_out: Option<String> = None;
+    let mut trace_out: Option<String> = None;
+    let mut trace_buffer: Option<usize> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--metrics-out" => {
                 metrics_out = Some(args.next().expect("--metrics-out needs a path"));
+            }
+            "--trace-out" => {
+                trace_out = Some(args.next().expect("--trace-out needs a path"));
+            }
+            "--trace-buffer-events" => {
+                let n: usize = args
+                    .next()
+                    .expect("--trace-buffer-events needs an event count")
+                    .parse()
+                    .expect("--trace-buffer-events takes a positive integer");
+                assert!(n > 0, "--trace-buffer-events takes a positive integer");
+                trace_buffer = Some(n);
             }
             "--fault-profile" => {
                 fault_profile = args.next().expect("--fault-profile needs a profile name");
@@ -264,7 +286,7 @@ fn main() {
     json.push_str("{\n");
     let _ = writeln!(
         json,
-        "  \"schema_version\": 2,\n  \"git_commit\": \"{}\",\n  \"generated_at\": \"{}\",",
+        "  \"schema_version\": 3,\n  \"git_commit\": \"{}\",\n  \"generated_at\": \"{}\",",
         git_commit(),
         sbc_obs::iso8601_utc_now()
     );
@@ -277,6 +299,21 @@ fn main() {
     json.push_str(",\n");
     bench_workload("mixed_deletion_heavy", &params, &mixed_ops, reps, &mut json);
     json.push_str("\n  },\n");
+
+    // Flight recorder: the robustness and metrics passes run traced
+    // (never the timed section above). Crash dumps from injected faults
+    // land next to the report JSON.
+    if let Some(n) = trace_buffer {
+        sbc_obs::trace::set_capacity(n);
+    }
+    let crash_dir = std::path::Path::new(&out_path)
+        .parent()
+        .filter(|p| !p.as_os_str().is_empty())
+        .map(std::path::Path::to_path_buf)
+        .unwrap_or_else(|| std::path::PathBuf::from("."));
+    sbc_obs::trace::set_crash_dir(Some(crash_dir));
+    sbc_obs::trace::reset();
+    sbc_obs::trace::set_enabled(true);
 
     // Robustness pass (untimed): fault injection + checkpoint/restore
     // cycling. Its space report carries the canonical kill taxonomy —
@@ -316,10 +353,37 @@ fn main() {
     }
     sbc_obs::set_enabled(false);
     let snapshot = sbc_obs::snapshot();
+
+    sbc_obs::trace::set_enabled(false);
+    let tsnap = sbc_obs::trace::snapshot();
+    let _ = writeln!(
+        json,
+        "  \"trace\": {{\n    \"feature_enabled\": {},\n    \"buffer_events\": {},\n    \"total_events\": {},\n    \"dropped\": {},\n    \"threads\": {}\n  }},",
+        tsnap.feature_enabled,
+        tsnap.capacity,
+        tsnap.total_events(),
+        tsnap.dropped,
+        tsnap.threads.len()
+    );
+    println!(
+        "\nflight recorder: {} events across {} threads ({} dropped)",
+        tsnap.total_events(),
+        tsnap.threads.len(),
+        tsnap.dropped
+    );
+
     let _ = writeln!(json, "  \"metrics\": {}\n}}", snapshot.to_json());
 
     std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("failed to write {out_path}: {e}"));
     println!("\nwrote {out_path}");
+    if let Some(tpath) = trace_out {
+        std::fs::write(&tpath, sbc_obs::trace::chrome_trace(&tsnap).render_pretty())
+            .unwrap_or_else(|e| panic!("failed to write {tpath}: {e}"));
+        let folded_path = format!("{}.folded", tpath.strip_suffix(".json").unwrap_or(&tpath));
+        std::fs::write(&folded_path, sbc_obs::trace::folded_stacks(&tsnap))
+            .unwrap_or_else(|e| panic!("failed to write {folded_path}: {e}"));
+        println!("wrote {tpath} + {folded_path}");
+    }
     if let Some(mpath) = metrics_out {
         std::fs::write(&mpath, snapshot.to_json().render_pretty())
             .unwrap_or_else(|e| panic!("failed to write {mpath}: {e}"));

@@ -60,3 +60,53 @@ fn bench_streaming_golden_file_agrees_with_space_report() {
         );
     }
 }
+
+#[test]
+fn bench_streaming_golden_file_matches_schema_v3() {
+    // The committed baseline must parse as JSON and carry the v3 schema
+    // (trace section included) — the same shape `bench_guard` validates
+    // on fresh reports, so a drifting writer cannot slip past CI.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_streaming.json");
+    let text = std::fs::read_to_string(path)
+        .expect("BENCH_streaming.json must be checked in at the repo root");
+    let doc = sbc_obs::json::JsonValue::parse(&text).expect("baseline parses as JSON");
+    assert_eq!(
+        doc.get("schema_version").and_then(|v| v.as_u64()),
+        Some(3),
+        "committed BENCH_streaming.json must be schema_version 3"
+    );
+    for key in [
+        "git_commit",
+        "generated_at",
+        "groups",
+        "robustness",
+        "trace",
+        "metrics",
+    ] {
+        assert!(doc.get(key).is_some(), "baseline missing \"{key}\" section");
+    }
+    let trace = doc.get("trace").unwrap();
+    for key in [
+        "feature_enabled",
+        "buffer_events",
+        "total_events",
+        "dropped",
+        "threads",
+    ] {
+        assert!(trace.get(key).is_some(), "trace section missing \"{key}\"");
+    }
+    for group in ["insert_only", "mixed_deletion_heavy"] {
+        let g = doc.get("groups").unwrap().get(group);
+        let g = g.unwrap_or_else(|| panic!("baseline missing group {group}"));
+        for p in ["per_op", "batched", "batched_parallel"] {
+            let ratio = g
+                .get(p)
+                .and_then(|pj| pj.get("speedup_vs_per_op"))
+                .and_then(|v| v.as_f64());
+            assert!(
+                ratio.is_some_and(|r| r > 0.0),
+                "baseline {group}.{p} lacks a positive speedup_vs_per_op"
+            );
+        }
+    }
+}

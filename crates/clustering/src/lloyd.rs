@@ -36,6 +36,11 @@ pub fn lloyd(
     assert!(!points.is_empty() && !init.is_empty());
     sbc_obs::counter!("cluster.lloyd.runs").incr();
     let _span = sbc_obs::span!("cluster.lloyd.run_ns");
+    let _trace_span = sbc_obs::trace::span(
+        "cluster.lloyd.run",
+        sbc_obs::trace::CausalIds::NONE,
+        points.len() as u64,
+    );
     let d = points[0].dim();
     let mut centers = init;
     let mut last_cost = uncapacitated_cost(points, weights, &centers, r);

@@ -60,6 +60,11 @@ pub fn local_search_kmedian<R: Rng + ?Sized>(
     assert!(!wps.is_empty());
     sbc_obs::counter!("cluster.local_search.runs").incr();
     let _span = sbc_obs::span!("cluster.local_search.run_ns");
+    let _trace_span = sbc_obs::trace::span(
+        "cluster.local_search.run",
+        sbc_obs::trace::CausalIds::NONE,
+        wps.len() as u64,
+    );
     let (points, weights) = crate::split_weighted(wps);
     let mut centers = kmeanspp_seeds(&points, Some(&weights), k, r, rng);
     let mut cost = capacitated_cost(&points, Some(&weights), &centers, cap, r);

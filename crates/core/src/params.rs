@@ -156,47 +156,6 @@ impl CoresetParams {
         }
     }
 
-    /// Practical-profile parameters (what examples/experiments use).
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `CoresetParams::builder(k, grid)` — it validates at `build()` instead of panicking"
-    )]
-    pub fn practical(k: usize, r: f64, eps: f64, eta: f64, grid: GridParams) -> Self {
-        Self::validate(k, r, eps, eta);
-        Self {
-            k,
-            r,
-            eps,
-            eta,
-            grid,
-            profile: ConstantsProfile::default_practical(),
-        }
-    }
-
-    /// Paper-faithful parameters (constants verbatim from Algorithm 2).
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `CoresetParams::builder(k, grid).paper_faithful()` — it validates at `build()` instead of panicking"
-    )]
-    pub fn paper_faithful(k: usize, r: f64, eps: f64, eta: f64, grid: GridParams) -> Self {
-        Self::validate(k, r, eps, eta);
-        Self {
-            k,
-            r,
-            eps,
-            eta,
-            grid,
-            profile: ConstantsProfile::PaperFaithful,
-        }
-    }
-
-    fn validate(k: usize, r: f64, eps: f64, eta: f64) {
-        assert!(k >= 1, "k ≥ 1");
-        assert!(r >= 1.0, "the paper requires constant r ≥ 1");
-        assert!((0.0..0.5).contains(&eps) && eps > 0.0, "ε ∈ (0, 0.5)");
-        assert!((0.0..0.5).contains(&eta) && eta > 0.0, "η ∈ (0, 0.5)");
-    }
-
     fn check(k: usize, r: f64, eps: f64, eta: f64) -> Result<(), ParamsError> {
         if k < 1 {
             return Err(ParamsError::out_of_range("k", k as f64, "≥ 1"));
@@ -552,19 +511,18 @@ mod tests {
         assert_eq!(p.o_upper_bound(10), 10.0 * (3f64.sqrt() * 256.0).powi(2));
     }
 
-    // The deprecated free-form constructors keep their documented
-    // panicking contract until removal; these two tests pin it.
     #[test]
-    #[should_panic(expected = "ε ∈ (0, 0.5)")]
-    #[allow(deprecated)]
     fn rejects_out_of_range_eps() {
-        let _ = CoresetParams::practical(2, 2.0, 0.7, 0.2, gp());
+        let err = CoresetParams::builder(2, gp())
+            .eps(0.7)
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("eps"), "{err}");
     }
 
     #[test]
-    #[should_panic(expected = "r ≥ 1")]
-    #[allow(deprecated)]
     fn rejects_r_below_one() {
-        let _ = CoresetParams::practical(2, 0.5, 0.2, 0.2, gp());
+        let err = CoresetParams::builder(2, gp()).r(0.5).build().unwrap_err();
+        assert!(err.to_string().contains('r'), "{err}");
     }
 }

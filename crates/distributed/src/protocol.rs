@@ -33,6 +33,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sbc_core::{Coreset, CoresetParams, FailReason};
 use sbc_geometry::{GridHierarchy, Point};
+use sbc_obs::trace::{self, CausalIds, TraceKind};
 use sbc_streaming::coreset_stream::{InstanceSummary, RoleLevelSummary, StreamParams};
 use sbc_streaming::StreamCoresetBuilder;
 use std::collections::{HashMap, HashSet};
@@ -205,25 +206,30 @@ impl DistributedCoreset {
             };
             let env_bytes = to_bytes(&env);
             sbc_obs::histogram!("dist.wire.upload_msg_bytes").record(env_bytes.len() as u64);
+            let wire_ids = CausalIds::NONE.on_machine(j as u16);
             let mut delivered = false;
             for attempt in 0..max_attempts {
                 let idx = delivery_idx;
                 delivery_idx += 1;
                 stats.messages += 1;
                 stats.upload_bytes += env_bytes.len() as u64;
+                trace::instant("wire.send", wire_ids, idx);
                 if attempt > 0 {
                     stats.retransmissions += 1;
                     stats.backoff_units += 1 << (attempt - 1);
                     sbc_obs::counter!("dist.fault.retransmit").incr();
+                    trace::instant("wire.retry", wire_ids, attempt);
                 }
                 if plan.drops_delivery(idx) {
                     stats.dropped += 1;
                     sbc_obs::counter!("dist.fault.drop").incr();
+                    trace::event(TraceKind::Fault, "wire.drop", wire_ids, idx);
                     continue;
                 }
                 let copies = if plan.duplicates_delivery(idx) {
                     stats.duplicates += 1;
                     sbc_obs::counter!("dist.fault.dup").incr();
+                    trace::event(TraceKind::Fault, "wire.dup", wire_ids, idx);
                     2
                 } else {
                     1
@@ -235,6 +241,7 @@ impl DistributedCoreset {
                         received[env.machine as usize] = Some(env.payload);
                     } else {
                         sbc_obs::counter!("dist.fault.dedup").incr();
+                        trace::instant("wire.dedup", wire_ids, idx);
                     }
                 }
                 delivered = true;

@@ -123,6 +123,11 @@ impl MinCostFlow {
         assert!(s < self.adj.len() && t < self.adj.len() && s != t);
         sbc_obs::counter!("flow.mcmf.solves").incr();
         let _span = sbc_obs::span!("flow.mcmf.solve_ns");
+        let _trace_span = sbc_obs::trace::span(
+            "flow.mcmf.solve",
+            sbc_obs::trace::CausalIds::NONE,
+            self.adj.len() as u64,
+        );
         let n = self.adj.len();
         let mut potential = vec![0.0f64; n];
         let mut dist = vec![f64::INFINITY; n];
@@ -200,6 +205,13 @@ impl MinCostFlow {
             }
             total_flow += bottleneck;
             augmentations += 1;
+            // One instant per augmentation round; `arg` numbers the round
+            // so a stalled solve shows exactly where progress stopped.
+            sbc_obs::trace::instant(
+                "flow.mcmf.augment",
+                sbc_obs::trace::CausalIds::NONE,
+                augmentations,
+            );
         }
         sbc_obs::counter!("flow.mcmf.augmentations").add(augmentations);
         sbc_obs::counter!("flow.mcmf.heap_pops").add(heap_pops);

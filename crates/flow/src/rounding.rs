@@ -64,11 +64,21 @@ pub fn round_to_integral(
 
     sbc_obs::counter!("flow.rounding.rounds").incr();
     let _span = sbc_obs::span!("flow.rounding.round_ns");
+    let _trace_span = sbc_obs::trace::span(
+        "flow.rounding.round",
+        sbc_obs::trace::CausalIds::NONE,
+        n as u64,
+    );
 
     // Step 2: cancel cycles until the support is a forest.
     let mut cycles = 0u64;
     while cancel_one_cycle(&mut share, points, centers, n, k, r) {
         cycles += 1;
+        sbc_obs::trace::instant(
+            "flow.rounding.cycle_canceled",
+            sbc_obs::trace::CausalIds::NONE,
+            cycles,
+        );
     }
     sbc_obs::counter!("flow.rounding.cycles_canceled").add(cycles);
 

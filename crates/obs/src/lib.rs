@@ -36,6 +36,7 @@
 
 pub mod fault;
 pub mod json;
+pub mod trace;
 
 use json::JsonValue;
 

@@ -19,6 +19,25 @@ mod noop_side {
         assert_eq!(size_of::<sbc_obs::SpanTimer>(), 0);
         assert_eq!(size_of::<sbc_obs::LazyCounter>(), 0);
         assert_eq!(size_of::<sbc_obs::LazyHistogram>(), 0);
+        assert_eq!(size_of::<sbc_obs::trace::TraceSpan>(), 0);
+    }
+
+    #[test]
+    fn trace_recorder_is_inert_even_when_asked_to_enable() {
+        use sbc_obs::trace::{self, CausalIds, TraceKind};
+        trace::set_enabled(true);
+        assert!(!trace::enabled(), "no-op build cannot enable tracing");
+        assert_eq!(trace::capacity(), 0);
+        trace::event(TraceKind::Instant, "noop.test", CausalIds::NONE, 1);
+        trace::instant("noop.test", CausalIds::NONE, 2);
+        {
+            let _span = trace::span("noop.test.span", CausalIds::NONE, 3);
+        }
+        assert!(!trace::crash_dump_now("noop", "never written"));
+        let snap = trace::snapshot();
+        assert!(!snap.feature_enabled);
+        assert_eq!(snap.total_events(), 0);
+        assert!(snap.threads.is_empty());
     }
 
     #[test]

@@ -1,0 +1,127 @@
+//! Property tests for the flight-recorder exporters.
+//!
+//! The Chrome `trace_event` exporter must emit well-formed JSON with
+//! properly nested `B`/`E` span pairs per thread for *any* captured
+//! event sequence — including ring-wrapped ones where a span's begin
+//! was evicted (orphan `E`) or its end never recorded (unclosed `B`).
+//! These tests build [`TraceSnapshot`]s directly from generated event
+//! sequences, so they exercise the exporters identically with and
+//! without the `obs` feature.
+
+use proptest::prelude::*;
+use sbc_obs::json::JsonValue;
+use sbc_obs::trace::{
+    chrome_trace, folded_stacks, CausalIds, ThreadTrace, TraceKind, TraceRecord, TraceSnapshot,
+};
+
+const LABELS: [&str; 4] = ["ingest", "solve", "route", "decode"];
+
+fn kind_strategy() -> impl Strategy<Value = TraceKind> {
+    // Spans get extra weight so generated sequences contain deep and
+    // unbalanced nesting, not mostly instants.
+    (0usize..12).prop_map(|i| match i {
+        0..=2 => TraceKind::SpanBegin,
+        3..=5 => TraceKind::SpanEnd,
+        6 => TraceKind::Instant,
+        7 => TraceKind::Fault,
+        8 => TraceKind::StoreSpawn,
+        9 => TraceKind::StoreKill,
+        10 => TraceKind::Checkpoint,
+        _ => TraceKind::Restore,
+    })
+}
+
+/// A snapshot of 1–3 threads, each with an arbitrary (possibly
+/// unbalanced) event sequence and per-thread monotone ticks.
+fn snapshot_strategy() -> impl Strategy<Value = TraceSnapshot> {
+    let event = (kind_strategy(), 0..LABELS.len(), 0u64..1_000, any::<u64>());
+    prop::collection::vec(prop::collection::vec(event, 0..40), 1..4).prop_map(|threads| {
+        let mut seq = 0u64;
+        let threads = threads
+            .into_iter()
+            .enumerate()
+            .map(|(tid, events)| {
+                let mut tick = 0u64;
+                let events = events
+                    .into_iter()
+                    .map(|(kind, label, dt, arg)| {
+                        seq += 1;
+                        tick += dt;
+                        TraceRecord {
+                            seq,
+                            tick_ns: tick,
+                            kind,
+                            label: LABELS[label],
+                            ids: CausalIds::NONE.op(seq).at((label as i16) - 1, label as u8),
+                            arg,
+                        }
+                    })
+                    .collect();
+                ThreadTrace {
+                    tid: tid as u64,
+                    events,
+                }
+            })
+            .collect();
+        TraceSnapshot {
+            feature_enabled: true,
+            capacity: 64,
+            dropped: 0,
+            threads,
+        }
+    })
+}
+
+proptest! {
+    #[test]
+    fn chrome_export_is_well_formed_and_spans_nest(snap in snapshot_strategy()) {
+        let doc = chrome_trace(&snap);
+
+        // Well-formed: the compact and pretty renderings both parse back.
+        let parsed = JsonValue::parse(&doc.to_string()).expect("compact render parses");
+        JsonValue::parse(&doc.render_pretty()).expect("pretty render parses");
+
+        let events = parsed
+            .get("traceEvents")
+            .and_then(|v| v.as_array())
+            .expect("traceEvents array");
+
+        // Spans nest per thread: walking each thread's events in order,
+        // every E closes the most recently opened B with the same name
+        // and no stack is left open at the end.
+        let mut stacks: std::collections::HashMap<u64, Vec<String>> = Default::default();
+        let mut prev_ts: std::collections::HashMap<u64, f64> = Default::default();
+        for e in events {
+            let ph = e.get("ph").and_then(|v| v.as_str()).expect("ph");
+            if ph == "M" {
+                continue; // metadata carries no timeline semantics
+            }
+            let tid = e.get("tid").and_then(|v| v.as_u64()).expect("tid");
+            let ts = e.get("ts").and_then(|v| v.as_f64()).expect("ts");
+            let last = prev_ts.entry(tid).or_insert(f64::NEG_INFINITY);
+            prop_assert!(ts >= *last, "timestamps must be monotone per thread");
+            *last = ts;
+            match ph {
+                "B" => {
+                    let name = e.get("name").and_then(|v| v.as_str()).expect("name");
+                    stacks.entry(tid).or_default().push(name.to_string());
+                }
+                "E" => {
+                    let top = stacks.entry(tid).or_default().pop();
+                    prop_assert!(top.is_some(), "E without matching B on thread {tid}");
+                }
+                "i" => {}
+                other => prop_assert!(false, "unexpected phase {other}"),
+            }
+        }
+        for (tid, stack) in stacks {
+            prop_assert!(stack.is_empty(), "thread {tid} left spans open: {stack:?}");
+        }
+
+        // The folded exporter never panics and emits "stack count" lines.
+        for line in folded_stacks(&snap).lines() {
+            prop_assert!(line.rsplit_once(' ').is_some_and(|(_, n)| n.parse::<u64>().is_ok()),
+                "malformed folded line: {line}");
+        }
+    }
+}

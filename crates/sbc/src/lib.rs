@@ -10,13 +10,16 @@
 //!   [`streaming`], [`distributed`], [`clustering`], [`flow`],
 //!   [`hashing`], [`obs`]);
 //! * **fluent, validating builders** — [`CoresetParams::builder`] and
-//!   [`StreamParams::builder`] return `Result` at `build()` instead of
-//!   panicking mid-construction the way the deprecated free-form
-//!   constructors did;
+//!   [`StreamParams::builder`] are the only way to construct parameters
+//!   and return `Result` at `build()` instead of panicking
+//!   mid-construction;
 //! * **a single error type** — [`SbcError`] absorbs every layer's
 //!   failure enum (`ParamsError`, `FailReason`, `StoringFail`,
 //!   `CheckpointError`), so application code can use `?` throughout and
-//!   still match on the precise cause when it wants to.
+//!   still match on the precise cause when it wants to. Hard run-time
+//!   failures are also recorded in the flight recorder
+//!   ([`sbc_obs::trace`]), so a crash dump shows the events leading up
+//!   to the error.
 //!
 //! ## Quickstart
 //!
@@ -134,23 +137,36 @@ impl std::error::Error for SbcError {
 
 impl From<ParamsError> for SbcError {
     fn from(e: ParamsError) -> Self {
+        // Validation happens before any run starts; an instant is enough.
+        sbc_obs::trace::instant("error.params", sbc_obs::trace::CausalIds::NONE, 0);
         SbcError::Params(e)
     }
 }
 impl From<FailReason> for SbcError {
     fn from(e: FailReason) -> Self {
+        record_hard_error("error.build");
         SbcError::Build(e)
     }
 }
 impl From<StoringFail> for SbcError {
     fn from(e: StoringFail) -> Self {
+        record_hard_error("error.store");
         SbcError::Store(e)
     }
 }
 impl From<CheckpointError> for SbcError {
     fn from(e: CheckpointError) -> Self {
+        record_hard_error("error.checkpoint");
         SbcError::Checkpoint(e)
     }
+}
+
+/// Records a hard run-time failure as a flight-recorder `Fault` event —
+/// which also triggers a crash dump of the last-N events when a crash
+/// directory is configured ([`sbc_obs::trace::set_crash_dir`]).
+fn record_hard_error(label: &'static str) {
+    use sbc_obs::trace::{CausalIds, TraceKind};
+    sbc_obs::trace::event(TraceKind::Fault, label, CausalIds::NONE, 0);
 }
 
 #[cfg(test)]

@@ -31,8 +31,10 @@ use crate::storing::{CellSnapshot, StoreDeath, StoringSnapshot};
 /// File magic: identifies a byte buffer as an sbc checkpoint.
 pub const MAGIC: [u8; 8] = *b"SBCCKPT\0";
 
-/// Current checkpoint format version.
-pub const VERSION: u32 = 1;
+/// Current checkpoint format version. Version 2 added [`Snapshot::ops_seen`]
+/// so a restored run's trace stitches onto the pre-cut one at the right
+/// stream-op index.
+pub const VERSION: u32 = 2;
 
 /// Why a checkpoint could not be taken, serialized, or restored.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -103,6 +105,10 @@ pub struct Snapshot {
     pub hhat_coeffs: Vec<Vec<u64>>,
     /// Net number of live points (`#inserts − #deletes`).
     pub net_count: i64,
+    /// Total stream operations absorbed (inserts + deletes, gross).
+    /// Restores the trace recorder's causal op index so the post-restore
+    /// timeline continues where the pre-cut one stopped.
+    pub ops_seen: u64,
     /// The builder's xoshiro256++ state (drives end-of-stream assembly).
     pub rng_state: [u64; 4],
     /// Per-`o`-instance store states, ascending `o`.
@@ -416,6 +422,7 @@ impl Encode for Snapshot {
         self.hp_coeffs.encode(buf);
         self.hhat_coeffs.encode(buf);
         self.net_count.encode(buf);
+        self.ops_seen.encode(buf);
         self.rng_state.encode(buf);
         self.instances.encode(buf);
         self.metrics.encode(buf);
@@ -431,6 +438,7 @@ impl Decode for Snapshot {
             hp_coeffs: Vec::decode(buf, cursor)?,
             hhat_coeffs: Vec::decode(buf, cursor)?,
             net_count: i64::decode(buf, cursor)?,
+            ops_seen: u64::decode(buf, cursor)?,
             rng_state: <[u64; 4]>::decode(buf, cursor)?,
             instances: Vec::decode(buf, cursor)?,
             metrics: MetricsSnapshot::decode(buf, cursor)?,

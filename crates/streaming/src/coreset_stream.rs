@@ -35,6 +35,7 @@ use sbc_geometry::{CellId, GridHierarchy, Point};
 use sbc_hash::KWiseHash;
 use sbc_obs::fault::{splitmix64, FaultPlan};
 use sbc_obs::json::JsonValue;
+use sbc_obs::trace::{self, CausalIds, TraceKind};
 
 /// Ops per ingest batch: large enough to amortize precompute and the
 /// parallel fork, small enough that the SoA buffer stays cache-friendly.
@@ -456,6 +457,9 @@ pub struct StreamCoresetBuilder {
     instances: Vec<OInstance>,
     routes: RouteTables,
     net_count: i64,
+    /// Gross stream operations absorbed (inserts + deletes): the causal
+    /// op index stamped on trace events and carried across checkpoints.
+    ops_seen: u64,
     rng: StdRng,
     metrics: IngestMetrics,
 }
@@ -494,6 +498,7 @@ impl StreamCoresetBuilder {
             instances,
             routes,
             net_count: 0,
+            ops_seen: 0,
             rng: StdRng::seed_from_u64(rng.gen()),
             metrics: IngestMetrics::new(l as usize),
         }
@@ -538,6 +543,12 @@ impl StreamCoresetBuilder {
     /// Net number of live points (`#inserts − #deletes`).
     pub fn net_count(&self) -> i64 {
         self.net_count
+    }
+
+    /// Gross number of stream operations absorbed so far (the causal op
+    /// index the next operation will be stamped with).
+    pub fn ops_seen(&self) -> u64 {
+        self.ops_seen
     }
 
     /// Processes one stream operation through the reference per-op path
@@ -633,6 +644,13 @@ impl StreamCoresetBuilder {
         if ops.is_empty() {
             return;
         }
+        let base = self.ops_seen;
+        self.ops_seen += ops.len() as u64;
+        let _batch_span = trace::span(
+            "stream.ingest.batch",
+            CausalIds::NONE.op(base),
+            ops.len() as u64,
+        );
         self.metrics.batches.incr();
         self.metrics.batch_size.record(ops.len() as u64);
         let mut soa = BatchSoa::default();
@@ -641,7 +659,9 @@ impl StreamCoresetBuilder {
             self.precompute(ops, &mut soa);
         }
         self.net_count += soa.deltas.iter().sum::<i64>();
-        if sbc_obs::enabled() {
+        // Counters and trace events both gate internally, so one shared
+        // tally pass serves whichever of the two is recording.
+        if sbc_obs::enabled() || trace::enabled() {
             self.record_batch_metrics(&soa);
         }
         let _route_span = sbc_obs::SpanTimer::start(self.metrics.route_ns);
@@ -675,7 +695,8 @@ impl StreamCoresetBuilder {
         let inserted = soa.deltas.iter().filter(|&&d| d > 0).count() as u64;
         self.metrics.ops_inserted.add(inserted);
         self.metrics.ops_deleted.add(n - inserted);
-        let tally = |cuts: &[u32], handles: &[(sbc_obs::Counter, sbc_obs::Counter)]| {
+        let op_base = self.ops_seen - n;
+        let tally = |cuts: &[u32], handles: &[(sbc_obs::Counter, sbc_obs::Counter)], role: u8| {
             for (idx, (accepted, pruned)) in handles.iter().enumerate() {
                 let hits: u64 = cuts[idx * n as usize..(idx + 1) * n as usize]
                     .iter()
@@ -683,11 +704,19 @@ impl StreamCoresetBuilder {
                     .sum();
                 accepted.add(hits);
                 pruned.add(ladder * n - hits);
+                // One prune-decision instant per (role, level) per batch:
+                // `arg` = accepted routings out of `ladder * n` candidates.
+                let level = idx as i16 - i16::from(role == trace::role::H);
+                trace::instant(
+                    "stream.prune",
+                    CausalIds::NONE.op(op_base).at(level, role),
+                    hits,
+                );
             }
         };
-        tally(&soa.cut_h, &self.metrics.prune_h);
-        tally(&soa.cut_hp, &self.metrics.prune_hp);
-        tally(&soa.cut_hhat, &self.metrics.prune_hhat);
+        tally(&soa.cut_h, &self.metrics.prune_h, trace::role::H);
+        tally(&soa.cut_hp, &self.metrics.prune_hp, trace::role::HP);
+        tally(&soa.cut_hhat, &self.metrics.prune_hhat, trace::role::HHAT);
     }
 
     /// How many instance shards to route a batch of `n` ops across.
@@ -763,6 +792,7 @@ impl StreamCoresetBuilder {
             }
         }
         self.net_count += delta;
+        self.ops_seen += 1;
     }
 
     /// Space accounting across the whole ladder.
@@ -845,6 +875,12 @@ impl StreamCoresetBuilder {
             });
         }
         let coeffs = |hs: &[KWiseHash]| hs.iter().map(|h| h.coeffs().to_vec()).collect();
+        trace::event(
+            TraceKind::Checkpoint,
+            "checkpoint.cut",
+            CausalIds::NONE.op(self.ops_seen),
+            self.net_count.unsigned_abs(),
+        );
         Ok(Snapshot {
             params: self.params.clone(),
             sparams: self.sparams,
@@ -853,6 +889,7 @@ impl StreamCoresetBuilder {
             hp_coeffs: coeffs(&self.hp_hashes),
             hhat_coeffs: coeffs(&self.hhat_hashes),
             net_count: self.net_count,
+            ops_seen: self.ops_seen,
             rng_state: self.rng.state(),
             instances,
             metrics: sbc_obs::snapshot(),
@@ -934,6 +971,15 @@ impl StreamCoresetBuilder {
         }
         let routes = RouteTables::build(&instances, l);
         sbc_obs::merge_snapshot(&snap.metrics);
+        // The restore cut carries the same op index the checkpoint cut
+        // recorded, so the post-restore timeline stitches onto the
+        // pre-cut one at a visibly matching point.
+        trace::event(
+            TraceKind::Restore,
+            "checkpoint.restore",
+            CausalIds::NONE.op(snap.ops_seen),
+            snap.net_count.unsigned_abs(),
+        );
 
         Ok(Self {
             params,
@@ -945,6 +991,7 @@ impl StreamCoresetBuilder {
             instances,
             routes,
             net_count: snap.net_count,
+            ops_seen: snap.ops_seen,
             rng: StdRng::from_state(snap.rng_state),
             metrics: IngestMetrics::new(l),
         })
@@ -1322,22 +1369,30 @@ impl OInstance {
             }
         }
 
-        // Arm deterministic fault injection. Salts derive from the
-        // store's position in the ladder (o, role, level slot) — never
-        // from the RNG — so an injected kill lands on the same store at
-        // the same per-store update index across the per-op, batched,
-        // and sharded ingest paths, and across checkpoint/restore.
-        if sparams.faults.is_active() {
-            for (i, st) in h_stores.iter_mut().enumerate() {
-                st.arm_fault(sparams.faults, store_salt(o, 0, i));
+        // Assign store identity and arm deterministic fault injection.
+        // Salts derive from the store's position in the ladder (o, role,
+        // level slot) — never from the RNG — so an injected kill lands on
+        // the same store at the same per-store update index across the
+        // per-op, batched, and sharded ingest paths, and across
+        // checkpoint/restore. The same positional salt doubles as the
+        // trace store id, giving lifecycle events a stable identity even
+        // when no faults are armed.
+        let init_store = |st: &mut Storing, role: u8, i: usize| {
+            let salt = store_salt(o, u64::from(role), i);
+            st.set_trace_ids(CausalIds::NONE.store(salt).at(st.level() as i16, role));
+            if sparams.faults.is_active() {
+                st.arm_fault(sparams.faults, salt);
             }
-            for (i, st) in hp_stores.iter_mut().enumerate() {
-                st.arm_fault(sparams.faults, store_salt(o, 1, i));
-            }
-            for (i, slot) in hhat_stores.iter_mut().enumerate() {
-                if let Some(st) = slot {
-                    st.arm_fault(sparams.faults, store_salt(o, 2, i));
-                }
+        };
+        for (i, st) in h_stores.iter_mut().enumerate() {
+            init_store(st, trace::role::H, i);
+        }
+        for (i, st) in hp_stores.iter_mut().enumerate() {
+            init_store(st, trace::role::HP, i);
+        }
+        for (i, slot) in hhat_stores.iter_mut().enumerate() {
+            if let Some(st) = slot {
+                init_store(st, trace::role::HHAT, i);
             }
         }
 

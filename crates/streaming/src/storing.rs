@@ -28,6 +28,7 @@ use rand::Rng;
 use sbc_geometry::{CellId, GridHierarchy, Point};
 use sbc_hash::{KWiseHash, Key128Map};
 use sbc_obs::fault::{FaultPlan, StoreFaultKind};
+use sbc_obs::trace::{self, CausalIds, TraceKind};
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 
@@ -223,6 +224,10 @@ pub struct Storing {
     /// Set when a death was *injected* (the natural kind is derivable
     /// from the backend; an injected one can force either kind).
     injected: Option<StoreDeath>,
+    /// Trace identity: positional store id + `(level, role)` tags stamped
+    /// on this store's lifecycle events. [`CausalIds::NONE`] until the
+    /// ladder assigns it via [`Self::set_trace_ids`].
+    ids: CausalIds,
 }
 
 impl Storing {
@@ -278,7 +283,17 @@ impl Storing {
             fault: FaultPlan::NONE,
             fault_salt: 0,
             injected: None,
+            ids: CausalIds::NONE,
         }
+    }
+
+    /// Assigns the store's causal trace identity (positional store id,
+    /// grid level, ladder role) and records its spawn in the flight
+    /// recorder. Called once by the ladder right after construction; the
+    /// spawn event's `arg` carries the cell budget `α`.
+    pub fn set_trace_ids(&mut self, ids: CausalIds) {
+        self.ids = ids;
+        trace::event(TraceKind::StoreSpawn, "store", ids, self.cfg.alpha as u64);
     }
 
     /// Arms deterministic fault injection: the store dies (with the
@@ -321,6 +336,13 @@ impl Storing {
                 sbc_obs::counter!("stream.store.kill.sketch_overflow").incr()
             }
         }
+        let label = match death {
+            StoreDeath::RunawayKill => "runaway_kill",
+            StoreDeath::SketchOverflow => "sketch_overflow",
+        };
+        // An injected kill is a Fault event (it also triggers a crash
+        // dump); `arg` is the update index the kill fired at.
+        trace::event(TraceKind::Fault, label, self.ids, self.updates);
     }
 
     /// The grid level this instance summarizes.
@@ -407,6 +429,12 @@ impl Storing {
                             cells.clear();
                             cells.shrink_to_fit();
                             sbc_obs::counter!("stream.store.kill.runaway_kill").incr();
+                            trace::event(
+                                TraceKind::StoreKill,
+                                "runaway_kill",
+                                self.ids,
+                                self.updates,
+                            );
                             return;
                         }
                         *peak_cells = (*peak_cells).max(len + 1);
@@ -421,6 +449,7 @@ impl Storing {
                         update_points(rec, p, point_key, delta, beta);
                         if obs_on && cells.capacity() != cap_before {
                             sbc_obs::counter!("stream.store.map_resizes").incr();
+                            trace::instant("store.map_resize", self.ids, self.updates);
                         }
                         return; // a just-inserted record cannot net to zero
                     }
@@ -464,6 +493,12 @@ impl Storing {
                         buckets.shrink_to_fit();
                     }
                     sbc_obs::counter!("stream.store.kill.sketch_overflow").incr();
+                    trace::event(
+                        TraceKind::StoreKill,
+                        "sketch_overflow",
+                        self.ids,
+                        self.updates,
+                    );
                 }
             }
         }
