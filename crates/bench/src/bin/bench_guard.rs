@@ -22,13 +22,14 @@ const TOLERANCE: f64 = 0.15;
 
 /// Schema the fresh report must satisfy.
 const SCHEMA_VERSION: u64 = 3;
-const REQUIRED_TOP: [&str; 9] = [
+const REQUIRED_TOP: [&str; 10] = [
     "schema_version",
     "git_commit",
     "generated_at",
     "workload",
     "n",
     "groups",
+    "sharding",
     "robustness",
     "trace",
     "metrics",
@@ -98,6 +99,40 @@ fn check_schema(doc: &JsonValue, path: &str) -> Result<(), String> {
         .is_none()
     {
         return Err(format!("{path}: robustness section missing space_report"));
+    }
+    // Sharding carries wall-clock comparisons that are deliberately NOT
+    // gated (the speedup depends on the host's core count — see
+    // threads_available); only its shape is pinned.
+    let sharding = doc.get("sharding").unwrap();
+    for key in ["shards", "threads_available", "speedup_vs_single"] {
+        if sharding.get(key).and_then(JsonValue::as_f64).is_none() {
+            return Err(format!(
+                "{path}: sharding section missing numeric \"{key}\""
+            ));
+        }
+    }
+    for side in ["single_shard", "sharded"] {
+        for field in ["seconds", "ops_per_sec"] {
+            if sharding
+                .get(side)
+                .and_then(|s| s.get(field))
+                .and_then(JsonValue::as_f64)
+                .is_none()
+            {
+                return Err(format!(
+                    "{path}: sharding.{side} missing numeric \"{field}\""
+                ));
+            }
+        }
+    }
+    for key in ["shards", "total", "max_per_shard"] {
+        if sharding
+            .get("space_report")
+            .and_then(|s| s.get(key))
+            .is_none()
+        {
+            return Err(format!("{path}: sharding.space_report missing \"{key}\""));
+        }
     }
     Ok(())
 }

@@ -25,11 +25,19 @@
 //! per-thread ring buffers, and any injected fault or store death dumps
 //! the last events as `crash-<label>.json` next to the report.
 //!
+//! A second, larger workload measures **sharded ingest**: a Gaussian
+//! n=64k stream pushed through `sbc::ShardedIngest` with `--shards N`
+//! (default 8) shard builders folded up the binary merge tree, against
+//! the same stream through a single shard. Wall-clock for both, the
+//! speedup ratio, and the cross-shard `ShardedSpaceReport` land under
+//! `"sharding"` in the JSON — alongside `threads_available`, since the
+//! ratio is only meaningful on a multicore host.
+//!
 //! Usage: `cargo run --release --bin stream_bench [--features obs] \
 //!            [-- <out.json>] [--metrics-out <metrics.json>] \
 //!            [--fault-profile <spec>] [--checkpoint-every <N>] \
 //!            [--checkpoint-out <ckpt.bin>] [--trace-out <t.trace.json>] \
-//!            [--trace-buffer-events <N>]`
+//!            [--trace-buffer-events <N>] [--shards <N>]`
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -185,6 +193,65 @@ fn exercise_pipeline(params: &CoresetParams, pts: &[sbc_geometry::Point]) {
     let _ = sbc_core::assign::build_assignment_oracle(&coreset, params, &centers, cap);
 }
 
+/// Timed sharded-ingest comparison on a larger stream: `shards` builders
+/// fed by point-identity routing and folded up the merge tree, vs the
+/// identical stream through one shard. Appends the `"sharding"` section.
+fn bench_sharding(params: &CoresetParams, shards: usize, reps: usize, json: &mut String) {
+    let n = 64_000usize;
+    let pts = Workload::Gaussian.generate(params.grid, n, 3, 9);
+    let ops = insertion_stream(&pts);
+
+    let run = |s: usize, parallel: bool| -> (f64, usize, sbc::ShardedSpaceReport) {
+        let sp = StreamParams::builder()
+            .shards(s)
+            .parallel(parallel)
+            .threads(s)
+            .build()
+            .expect("valid stream params");
+        let mut best = f64::INFINITY;
+        let mut len = 0usize;
+        let mut space = None;
+        for _ in 0..reps {
+            let mut ingest =
+                sbc::ShardedIngest::new(params.clone(), sp, 7).expect("valid shard config");
+            let start = Instant::now();
+            ingest.process_all(&ops);
+            space = Some(ingest.space_report());
+            let coreset = ingest.finish().expect("sharded coreset");
+            best = best.min(start.elapsed().as_secs_f64());
+            len = coreset.len();
+        }
+        (best, len, space.expect("at least one rep"))
+    };
+
+    let (single_secs, single_len, _) = run(1, false);
+    let (sharded_secs, sharded_len, space) = run(shards, true);
+    let speedup = single_secs / sharded_secs;
+    let threads = rayon::current_num_threads();
+    assert_eq!(
+        single_len, sharded_len,
+        "sharded coreset must match the single-shard one"
+    );
+
+    println!("\nsharded ingest (gaussian n={n}, best of {reps}):");
+    println!(
+        "  single_shard       {:>12.0} ops/s  ({single_secs:.3} s)",
+        n as f64 / single_secs
+    );
+    println!(
+        "  {shards:>2} shards          {:>12.0} ops/s  ({sharded_secs:.3} s)  {speedup:>5.2}x vs single ({threads} threads available)",
+        n as f64 / sharded_secs
+    );
+
+    let _ = writeln!(
+        json,
+        "  \"sharding\": {{\n    \"workload\": \"gaussian\",\n    \"n\": {n},\n    \"shards\": {shards},\n    \"threads_available\": {threads},\n    \"single_shard\": {{ \"seconds\": {single_secs:.6}, \"ops_per_sec\": {:.1} }},\n    \"sharded\": {{ \"seconds\": {sharded_secs:.6}, \"ops_per_sec\": {:.1} }},\n    \"speedup_vs_single\": {speedup:.3},\n    \"merged_coreset_len\": {sharded_len},\n    \"space_report\": {}\n  }},",
+        n as f64 / single_secs,
+        n as f64 / sharded_secs,
+        space.to_json()
+    );
+}
+
 /// Untimed robustness pass: ingest under `plan`, checkpointing (and
 /// actually restoring — the resumed builder replaces the original, so a
 /// broken restore cannot go unnoticed) every `checkpoint_every` ops.
@@ -229,6 +296,7 @@ fn main() {
     let mut checkpoint_out: Option<String> = None;
     let mut trace_out: Option<String> = None;
     let mut trace_buffer: Option<usize> = None;
+    let mut shards = 8usize;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -261,6 +329,14 @@ fn main() {
             }
             "--checkpoint-out" => {
                 checkpoint_out = Some(args.next().expect("--checkpoint-out needs a path"));
+            }
+            "--shards" => {
+                shards = args
+                    .next()
+                    .expect("--shards needs a shard count")
+                    .parse()
+                    .expect("--shards takes a positive integer");
+                assert!(shards > 0, "--shards takes a positive integer");
             }
             flag if flag.starts_with("--") => panic!("unknown flag {flag}"),
             path => out_path = Some(path.to_string()),
@@ -299,6 +375,10 @@ fn main() {
     json.push_str(",\n");
     bench_workload("mixed_deletion_heavy", &params, &mixed_ops, reps, &mut json);
     json.push_str("\n  },\n");
+
+    // Sharded merge-tree ingest on the larger stream (fewer reps — each
+    // rep ingests 16× the ops of the headline workload).
+    bench_sharding(&params, shards, reps.min(2), &mut json);
 
     // Flight recorder: the robustness and metrics passes run traced
     // (never the timed section above). Crash dumps from injected faults

@@ -79,6 +79,7 @@ fn bench_streaming_golden_file_matches_schema_v3() {
         "git_commit",
         "generated_at",
         "groups",
+        "sharding",
         "robustness",
         "trace",
         "metrics",
@@ -108,5 +109,28 @@ fn bench_streaming_golden_file_matches_schema_v3() {
                 "baseline {group}.{p} lacks a positive speedup_vs_per_op"
             );
         }
+    }
+    // The sharding section's wall-clock numbers are host-dependent and
+    // not gated, but its shape (and the honest threads_available tag
+    // next to the speedup) must be present.
+    let sharding = doc.get("sharding").unwrap();
+    for key in [
+        "shards",
+        "threads_available",
+        "single_shard",
+        "sharded",
+        "speedup_vs_single",
+        "space_report",
+    ] {
+        assert!(
+            sharding.get(key).is_some(),
+            "sharding section missing \"{key}\""
+        );
+    }
+    for key in ["shards", "total", "max_per_shard"] {
+        assert!(
+            sharding.get("space_report").unwrap().get(key).is_some(),
+            "sharding.space_report missing \"{key}\""
+        );
     }
 }

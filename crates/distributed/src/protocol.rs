@@ -33,6 +33,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sbc_core::{Coreset, CoresetParams, FailReason};
 use sbc_geometry::{GridHierarchy, Point};
+use sbc_obs::fault::FaultPlan;
 use sbc_obs::trace::{self, CausalIds, TraceKind};
 use sbc_streaming::coreset_stream::{InstanceSummary, RoleLevelSummary, StreamParams};
 use sbc_streaming::StreamCoresetBuilder;
@@ -108,7 +109,7 @@ impl DistributedCoreset {
         sparams: &StreamParams,
         seed: u64,
     ) -> Result<(Coreset, CommStats), FailReason> {
-        Self::run_inner(shards, params, sparams, seed, false)
+        Self::run_inner(shards, params, sparams, seed, false, false)
     }
 
     /// Runs the protocol with each machine on its own thread.
@@ -118,7 +119,40 @@ impl DistributedCoreset {
         sparams: &StreamParams,
         seed: u64,
     ) -> Result<(Coreset, CommStats), FailReason> {
-        Self::run_inner(shards, params, sparams, seed, true)
+        Self::run_inner(shards, params, sparams, seed, true, false)
+    }
+
+    /// Runs the protocol with **binary-tree aggregation**: instead of
+    /// every machine uploading straight to the coordinator, summaries
+    /// are merged pairwise up a fixed binary tree (shard index = leaf
+    /// order, pairs `(0,1), (2,3), …`; an odd node passes through
+    /// unsent). Every non-root merged node re-enters the faulty
+    /// envelope network as `Envelope { machine: node, seq: level }`, so
+    /// drops, duplicates, retries, and backoff are accounted at every
+    /// level — the communication pattern of the paper's Theorem 5.1
+    /// protocol when machines form an aggregation tree.
+    ///
+    /// For these insertion-only shards the pairwise `β`-filter commutes
+    /// with the flat merge (counts only grow up the tree), so the
+    /// assembled coreset is **identical** to [`DistributedCoreset::run`]
+    /// — asserted by the tree tests below.
+    pub fn run_tree(
+        shards: &[Vec<Point>],
+        params: &CoresetParams,
+        sparams: &StreamParams,
+        seed: u64,
+    ) -> Result<(Coreset, CommStats), FailReason> {
+        Self::run_inner(shards, params, sparams, seed, false, true)
+    }
+
+    /// Tree aggregation with each machine on its own thread.
+    pub fn run_tree_threaded(
+        shards: &[Vec<Point>],
+        params: &CoresetParams,
+        sparams: &StreamParams,
+        seed: u64,
+    ) -> Result<(Coreset, CommStats), FailReason> {
+        Self::run_inner(shards, params, sparams, seed, true, true)
     }
 
     fn run_inner(
@@ -127,6 +161,7 @@ impl DistributedCoreset {
         sparams: &StreamParams,
         seed: u64,
         threaded: bool,
+        tree: bool,
     ) -> Result<(Coreset, CommStats), FailReason> {
         assert!(!shards.is_empty(), "need at least one machine");
         let s = shards.len();
@@ -204,59 +239,26 @@ impl DistributedCoreset {
                 seq: 0,
                 payload,
             };
-            let env_bytes = to_bytes(&env);
-            sbc_obs::histogram!("dist.wire.upload_msg_bytes").record(env_bytes.len() as u64);
-            let wire_ids = CausalIds::NONE.on_machine(j as u16);
-            let mut delivered = false;
-            for attempt in 0..max_attempts {
-                let idx = delivery_idx;
-                delivery_idx += 1;
-                stats.messages += 1;
-                stats.upload_bytes += env_bytes.len() as u64;
-                trace::instant("wire.send", wire_ids, idx);
-                if attempt > 0 {
-                    stats.retransmissions += 1;
-                    stats.backoff_units += 1 << (attempt - 1);
-                    sbc_obs::counter!("dist.fault.retransmit").incr();
-                    trace::instant("wire.retry", wire_ids, attempt);
-                }
-                if plan.drops_delivery(idx) {
-                    stats.dropped += 1;
-                    sbc_obs::counter!("dist.fault.drop").incr();
-                    trace::event(TraceKind::Fault, "wire.drop", wire_ids, idx);
-                    continue;
-                }
-                let copies = if plan.duplicates_delivery(idx) {
-                    stats.duplicates += 1;
-                    sbc_obs::counter!("dist.fault.dup").incr();
-                    trace::event(TraceKind::Fault, "wire.dup", wire_ids, idx);
-                    2
-                } else {
-                    1
-                };
-                for _ in 0..copies {
-                    let env: Envelope = from_bytes(&env_bytes)
-                        .ok_or_else(|| FailReason::Storage("malformed envelope".into()))?;
-                    if seen.insert((env.machine, env.seq)) {
-                        received[env.machine as usize] = Some(env.payload);
-                    } else {
-                        sbc_obs::counter!("dist.fault.dedup").incr();
-                        trace::instant("wire.dedup", wire_ids, idx);
-                    }
-                }
-                delivered = true;
-                break;
-            }
-            if !delivered {
-                return Err(FailReason::Storage(format!(
-                    "machine {j}: upload lost after {max_attempts} send attempt(s)"
-                )));
+            let delivered = send_envelope(
+                env,
+                plan,
+                max_attempts,
+                &mut delivery_idx,
+                &mut stats,
+                &mut seen,
+            )
+            .map_err(|attempts| {
+                FailReason::Storage(format!(
+                    "machine {j}: upload lost after {attempts} send attempt(s)"
+                ))
+            })?;
+            if let Some(payload) = delivered {
+                received[j] = Some(payload);
             }
         }
-        sbc_obs::counter!("dist.wire.upload_bytes").add(stats.upload_bytes);
-        sbc_obs::counter!("dist.wire.messages_up").add(stats.messages - s as u64);
 
-        // 4. Coordinator: decode, merge, assemble.
+        // 4. Coordinator: decode, merge (flat or up the binary tree),
+        //    assemble.
         let decoded: Vec<Vec<InstanceSummary>> = received
             .iter()
             .map(|slot| {
@@ -266,7 +268,21 @@ impl DistributedCoreset {
                 from_bytes(bytes).ok_or_else(|| FailReason::Storage("malformed upload".into()))
             })
             .collect::<Result<_, _>>()?;
-        let merged = merge_summaries(&grid, decoded)?;
+        let merged = if tree {
+            fold_tree(
+                &grid,
+                decoded,
+                plan,
+                max_attempts,
+                &mut delivery_idx,
+                &mut stats,
+                &mut seen,
+            )?
+        } else {
+            merge_summaries(&grid, decoded)?
+        };
+        sbc_obs::counter!("dist.wire.upload_bytes").add(stats.upload_bytes);
+        sbc_obs::counter!("dist.wire.messages_up").add(stats.messages - s as u64);
 
         let mut rng = StdRng::seed_from_u64(hash_seed);
         let mut coordinator =
@@ -274,6 +290,139 @@ impl DistributedCoreset {
         let coreset = coordinator.finish_from_summaries(&merged)?;
         Ok((coreset, stats))
     }
+}
+
+/// Pushes one envelope through the simulated faulty network: every
+/// transmission is accounted in `stats`, drops are retried with
+/// simulated exponential backoff up to `max_attempts`, duplicates are
+/// discarded by the `(machine, seq)` dedupe in `seen`.
+///
+/// Returns the delivered payload (`None` if every arriving copy was a
+/// duplicate of an already-seen envelope) or `Err(attempts)` when the
+/// attempt budget is exhausted.
+fn send_envelope(
+    env: Envelope,
+    plan: FaultPlan,
+    max_attempts: u64,
+    delivery_idx: &mut u64,
+    stats: &mut CommStats,
+    seen: &mut HashSet<(u32, u64)>,
+) -> Result<Option<Vec<u8>>, u64> {
+    let env_bytes = to_bytes(&env);
+    sbc_obs::histogram!("dist.wire.upload_msg_bytes").record(env_bytes.len() as u64);
+    let wire_ids = CausalIds::NONE.on_machine(env.machine as u16);
+    for attempt in 0..max_attempts {
+        let idx = *delivery_idx;
+        *delivery_idx += 1;
+        stats.messages += 1;
+        stats.upload_bytes += env_bytes.len() as u64;
+        trace::instant("wire.send", wire_ids, idx);
+        if attempt > 0 {
+            stats.retransmissions += 1;
+            stats.backoff_units += 1 << (attempt - 1);
+            sbc_obs::counter!("dist.fault.retransmit").incr();
+            trace::instant("wire.retry", wire_ids, attempt);
+        }
+        if plan.drops_delivery(idx) {
+            stats.dropped += 1;
+            sbc_obs::counter!("dist.fault.drop").incr();
+            trace::event(TraceKind::Fault, "wire.drop", wire_ids, idx);
+            continue;
+        }
+        let copies = if plan.duplicates_delivery(idx) {
+            stats.duplicates += 1;
+            sbc_obs::counter!("dist.fault.dup").incr();
+            trace::event(TraceKind::Fault, "wire.dup", wire_ids, idx);
+            2
+        } else {
+            1
+        };
+        let mut delivered = None;
+        for _ in 0..copies {
+            // Round-trip through bytes: the receiver decodes what was
+            // actually on the wire.
+            let env: Envelope = from_bytes(&env_bytes).expect("wire round-trip");
+            if seen.insert((env.machine, env.seq)) {
+                delivered = Some(env.payload);
+            } else {
+                sbc_obs::counter!("dist.fault.dedup").incr();
+                trace::instant("wire.dedup", wire_ids, idx);
+            }
+        }
+        return Ok(delivered);
+    }
+    Err(max_attempts)
+}
+
+/// Folds per-machine summaries up a fixed binary merge tree, pushing
+/// every non-root merged node back through the faulty network.
+///
+/// Leaf order = shard order; level `ℓ ≥ 1` nodes travel as
+/// `Envelope { machine: node index within level, seq: ℓ }`, which never
+/// collides with the leaves' `(j, 0)` dedupe keys. An odd node at the
+/// end of a level is carried up without a re-send (it already arrived).
+fn fold_tree(
+    grid: &GridHierarchy,
+    leaves: Vec<Vec<InstanceSummary>>,
+    plan: FaultPlan,
+    max_attempts: u64,
+    delivery_idx: &mut u64,
+    stats: &mut CommStats,
+    seen: &mut HashSet<(u32, u64)>,
+) -> Result<Vec<InstanceSummary>, FailReason> {
+    let _span = sbc_obs::span!("dist.tree.fold_ns");
+    let mut level = leaves;
+    let mut lvl: u64 = 1;
+    while level.len() > 1 {
+        let next_len = level.len().div_ceil(2);
+        sbc_obs::counter!("dist.tree.levels").incr();
+        let mut next = Vec::with_capacity(next_len);
+        let mut nodes = level.into_iter();
+        let mut node_idx: u32 = 0;
+        while let Some(a) = nodes.next() {
+            let Some(b) = nodes.next() else {
+                // Odd tail: passes through to the next level unsent.
+                next.push(a);
+                break;
+            };
+            let merged = merge_summaries(grid, vec![a, b])?;
+            sbc_obs::counter!("dist.tree.merges").incr();
+            trace::event(
+                TraceKind::Merge,
+                "tree.merge",
+                CausalIds::NONE.on_machine(node_idx as u16),
+                lvl,
+            );
+            if next_len > 1 {
+                // Not the root: the merged summary re-enters the wire on
+                // its way to the next aggregator.
+                let env = Envelope {
+                    machine: node_idx,
+                    seq: lvl,
+                    payload: to_bytes(&merged),
+                };
+                let payload =
+                    send_envelope(env, plan, max_attempts, delivery_idx, stats, seen)
+                        .map_err(|attempts| {
+                            FailReason::Storage(format!(
+                            "tree node {node_idx} (level {lvl}): upload lost after {attempts} send attempt(s)"
+                        ))
+                        })?
+                        .ok_or_else(|| FailReason::Storage("missing tree upload".into()))?;
+                next.push(
+                    from_bytes(&payload)
+                        .ok_or_else(|| FailReason::Storage("malformed tree upload".into()))?,
+                );
+            } else {
+                // The root merge happens at the coordinator itself.
+                next.push(merged);
+            }
+            node_idx += 1;
+        }
+        level = next;
+        lvl += 1;
+    }
+    Ok(level.pop().expect("tree fold leaves one root"))
 }
 
 /// Merges per-machine instance summaries into global ones.
@@ -537,6 +686,60 @@ mod tests {
             matches!(err, FailReason::Storage(ref m) if m.contains("lost after")),
             "{err:?}"
         );
+    }
+
+    #[test]
+    fn tree_aggregation_matches_flat_merge() {
+        // Insertion-only counts only grow up the tree, so the pairwise
+        // β-filter commutes with the flat merge: the tree-aggregated
+        // coreset must be identical, while costing strictly more wire
+        // traffic (the interior-node re-sends).
+        let p = params();
+        let pts = gaussian_mixture(p.grid, 5000, 3, 0.04, 41);
+        for s in [2usize, 5, 8] {
+            let shards = split_round_robin(&pts, s);
+            let (flat, sf) =
+                DistributedCoreset::run(&shards, &p, &StreamParams::default(), 43).unwrap();
+            let (tree, st) =
+                DistributedCoreset::run_tree(&shards, &p, &StreamParams::default(), 43).unwrap();
+            assert_eq!(flat.o, tree.o, "s = {s}");
+            assert_eq!(flat.entries(), tree.entries(), "s = {s}");
+            if s > 2 {
+                assert!(
+                    st.messages > sf.messages && st.upload_bytes > sf.upload_bytes,
+                    "interior nodes must hit the wire (s = {s})"
+                );
+            }
+            let (tree_t, st_t) =
+                DistributedCoreset::run_tree_threaded(&shards, &p, &StreamParams::default(), 43)
+                    .unwrap();
+            assert_eq!(tree.entries(), tree_t.entries(), "s = {s}");
+            assert_eq!(st.upload_bytes, st_t.upload_bytes, "s = {s}");
+        }
+    }
+
+    #[test]
+    fn tree_aggregation_survives_drops_and_dups() {
+        let p = params();
+        let pts = gaussian_mixture(p.grid, 4000, 3, 0.04, 47);
+        let shards = split_round_robin(&pts, 6);
+        let lossless = StreamParams::default();
+        let lossy = StreamParams {
+            faults: sbc_obs::fault::FaultPlan::parse("drop8").unwrap(),
+            ..lossless
+        };
+        let dupy = StreamParams {
+            faults: sbc_obs::fault::FaultPlan::parse("dup8@5").unwrap(),
+            ..lossless
+        };
+        let (a, _) = DistributedCoreset::run_tree(&shards, &p, &lossless, 53).unwrap();
+        let (b, sb) = DistributedCoreset::run_tree(&shards, &p, &lossy, 53).unwrap();
+        assert!(sb.dropped > 0);
+        assert_eq!(sb.retransmissions, sb.dropped);
+        assert_eq!(a.entries(), b.entries(), "tree must converge under drops");
+        let (c, sc) = DistributedCoreset::run_tree(&shards, &p, &dupy, 53).unwrap();
+        assert!(sc.duplicates > 0);
+        assert_eq!(a.entries(), c.entries(), "tree dedupe must absorb dups");
     }
 
     #[test]

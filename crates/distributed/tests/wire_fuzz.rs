@@ -9,7 +9,7 @@ use sbc_distributed::wire::{from_bytes, to_bytes};
 use sbc_geometry::dataset::gaussian_mixture;
 use sbc_geometry::{CellId, GridParams, Point};
 use sbc_streaming::coreset_stream::InstanceSummary;
-use sbc_streaming::{StreamCoresetBuilder, StreamParams};
+use sbc_streaming::{Snapshot, StreamCoresetBuilder, StreamParams};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
@@ -22,6 +22,37 @@ proptest! {
         let _ = from_bytes::<Point>(&bytes);
         let _ = from_bytes::<InstanceSummary>(&bytes);
         let _ = from_bytes::<Result<String, String>>(&bytes);
+    }
+
+    /// Snapshot decoding (which shares the wire codec) is total on
+    /// garbage too — it errors, it never panics. Covers the v3 fields
+    /// (`merge_depth`, `StreamParams::shards`).
+    #[test]
+    fn snapshot_decoder_is_total_on_garbage(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        let _ = Snapshot::from_bytes(&bytes);
+        // Valid magic + version but garbage body must also be rejected
+        // gracefully.
+        let mut framed = b"SBCCKPT\0\x03\0\0\0".to_vec();
+        framed.extend_from_slice(&bytes);
+        let _ = Snapshot::from_bytes(&framed);
+    }
+
+    /// Bit-flipping a real merged-node snapshot never panics the
+    /// decoder: it still decodes or it is rejected.
+    #[test]
+    fn mutated_snapshots_do_not_panic(
+        flip_at in 0usize..4096,
+        xor in 1u8..=255,
+    ) {
+        let bytes = merged_snapshot_bytes();
+        let mut mutated = bytes.clone();
+        let i = flip_at % mutated.len();
+        mutated[i] ^= xor;
+        if let Ok(snap) = Snapshot::from_bytes(&mutated) {
+            // Restoring from a decodable-but-corrupted snapshot may
+            // error (shape mismatch) but must not panic either.
+            let _ = StreamCoresetBuilder::restore(&snap);
+        }
     }
 
     /// Bit-flipping a valid encoding either still decodes (to something)
@@ -38,6 +69,48 @@ proptest! {
         }
         let _ = from_bytes::<Vec<(CellId, i64)>>(&bytes);
     }
+}
+
+/// A checkpoint of a real merged interior node (`merge_depth = 1`, a
+/// non-default `StreamParams::shards`) — the v3 snapshot surface.
+fn merged_snapshot_bytes() -> Vec<u8> {
+    use sbc_geometry::GridHierarchy;
+    let gp = GridParams::from_log_delta(6, 2);
+    let params = CoresetParams::builder(2, gp).build().unwrap();
+    let sp = StreamParams {
+        shards: 2,
+        ..StreamParams::default()
+    };
+    let mut rng = StdRng::seed_from_u64(11);
+    let grid = GridHierarchy::new(gp, &mut rng);
+    let hash_seed: u64 = rand::Rng::gen(&mut rng);
+    let mk = || {
+        let mut hrng = StdRng::seed_from_u64(hash_seed);
+        StreamCoresetBuilder::with_grid(params.clone(), sp, grid.clone(), &mut hrng)
+    };
+    let (mut a, mut b) = (mk(), mk());
+    let pts = gaussian_mixture(gp, 300, 2, 0.06, 13);
+    for (i, p) in pts.iter().enumerate() {
+        if i % 2 == 0 {
+            a.insert(p);
+        } else {
+            b.insert(p);
+        }
+    }
+    let node = a.merge(b).expect("compatible shards");
+    node.checkpoint().expect("checkpoints").to_bytes()
+}
+
+/// The v3 snapshot fields survive a byte round-trip exactly.
+#[test]
+fn merged_snapshot_roundtrips_with_v3_fields() {
+    let bytes = merged_snapshot_bytes();
+    let snap = Snapshot::from_bytes(&bytes).expect("decodes");
+    assert_eq!(snap.merge_depth, 1);
+    assert_eq!(snap.sparams.shards, 2);
+    assert_eq!(snap.to_bytes(), bytes, "canonical encoding");
+    let restored = StreamCoresetBuilder::restore(&snap).expect("restores");
+    assert_eq!(restored.merge_depth(), 1);
 }
 
 /// Full-fidelity round-trip of genuine exported summaries — what the

@@ -69,6 +69,9 @@ pub enum TraceKind {
     Checkpoint,
     /// A restore cut: the run resumes from this op index.
     Restore,
+    /// A merge-tree node folding two shard builders into one; `arg`
+    /// carries the merged node's depth.
+    Merge,
 }
 
 impl TraceKind {
@@ -83,6 +86,7 @@ impl TraceKind {
             TraceKind::StoreKill => "store_kill",
             TraceKind::Checkpoint => "checkpoint",
             TraceKind::Restore => "restore",
+            TraceKind::Merge => "merge",
         }
     }
 }

@@ -58,6 +58,8 @@
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
 
+mod sharded;
+
 pub use sbc_clustering as clustering;
 pub use sbc_core as core;
 pub use sbc_distributed as distributed;
@@ -76,13 +78,15 @@ pub use sbc_distributed::{CommStats, DistributedCoreset};
 pub use sbc_geometry::{GridHierarchy, GridParams, Point, WeightedPoint};
 pub use sbc_obs::fault::{FaultPlan, StoreFaultKind};
 pub use sbc_streaming::{
-    CheckpointError, Snapshot, SpaceReport, StoringFail, StreamCoresetBuilder, StreamOp,
-    StreamParams, StreamParamsBuilder,
+    CheckpointError, EpsSchedule, MergeError, ShardedSpaceReport, Snapshot, SpaceReport,
+    StoringFail, StreamCoresetBuilder, StreamOp, StreamParams, StreamParamsBuilder,
 };
+pub use sharded::ShardedIngest;
 
 /// Convenience prelude: the types nearly every program touches.
 pub mod prelude {
     pub use crate::SbcError;
+    pub use crate::ShardedIngest;
     pub use sbc_clustering::{capacitated_cost, capacitated_lloyd};
     pub use sbc_core::{build_coreset, Coreset, CoresetParams};
     pub use sbc_distributed::DistributedCoreset;
@@ -111,6 +115,9 @@ pub enum SbcError {
     Store(StoringFail),
     /// A checkpoint could not be written, decoded, or restored.
     Checkpoint(CheckpointError),
+    /// Shard builders could not be merged ([`ShardedIngest`] /
+    /// [`StreamCoresetBuilder::merge`]).
+    Merge(MergeError),
 }
 
 impl std::fmt::Display for SbcError {
@@ -120,6 +127,7 @@ impl std::fmt::Display for SbcError {
             SbcError::Build(e) => write!(f, "coreset construction failed: {e}"),
             SbcError::Store(e) => write!(f, "summary structure failed: {e}"),
             SbcError::Checkpoint(e) => write!(f, "checkpoint error: {e}"),
+            SbcError::Merge(e) => write!(f, "merge failed: {e}"),
         }
     }
 }
@@ -131,6 +139,7 @@ impl std::error::Error for SbcError {
             SbcError::Build(e) => Some(e),
             SbcError::Store(e) => Some(e),
             SbcError::Checkpoint(e) => Some(e),
+            SbcError::Merge(e) => Some(e),
         }
     }
 }
@@ -158,6 +167,12 @@ impl From<CheckpointError> for SbcError {
     fn from(e: CheckpointError) -> Self {
         record_hard_error("error.checkpoint");
         SbcError::Checkpoint(e)
+    }
+}
+impl From<MergeError> for SbcError {
+    fn from(e: MergeError) -> Self {
+        record_hard_error("error.merge");
+        SbcError::Merge(e)
     }
 }
 

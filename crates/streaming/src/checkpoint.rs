@@ -33,8 +33,10 @@ pub const MAGIC: [u8; 8] = *b"SBCCKPT\0";
 
 /// Current checkpoint format version. Version 2 added [`Snapshot::ops_seen`]
 /// so a restored run's trace stitches onto the pre-cut one at the right
-/// stream-op index.
-pub const VERSION: u32 = 2;
+/// stream-op index. Version 3 added [`Snapshot::merge_depth`] and
+/// `StreamParams::shards`, so a merge-tree node can checkpoint/restore
+/// mid-fold with its ε-budget accounting intact.
+pub const VERSION: u32 = 3;
 
 /// Why a checkpoint could not be taken, serialized, or restored.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -109,6 +111,10 @@ pub struct Snapshot {
     /// Restores the trace recorder's causal op index so the post-restore
     /// timeline continues where the pre-cut one stopped.
     pub ops_seen: u64,
+    /// Merge-tree height of the builder (`0` = leaf, never merged) —
+    /// preserved so a restored node keeps charging the per-level
+    /// ε-budget schedule from where it stopped.
+    pub merge_depth: u32,
     /// The builder's xoshiro256++ state (drives end-of-stream assembly).
     pub rng_state: [u64; 4],
     /// Per-`o`-instance store states, ascending `o`.
@@ -286,6 +292,7 @@ impl Encode for StreamParams {
         self.o_ladder_max.encode(buf);
         self.parallel.encode(buf);
         self.threads.encode(buf);
+        self.shards.encode(buf);
         self.faults.encode(buf);
     }
 }
@@ -299,6 +306,7 @@ impl Decode for StreamParams {
             o_ladder_max: Option::decode(buf, cursor)?,
             parallel: bool::decode(buf, cursor)?,
             threads: usize::decode(buf, cursor)?,
+            shards: usize::decode(buf, cursor)?,
             faults: FaultPlan::decode(buf, cursor)?,
         })
     }
@@ -423,6 +431,7 @@ impl Encode for Snapshot {
         self.hhat_coeffs.encode(buf);
         self.net_count.encode(buf);
         self.ops_seen.encode(buf);
+        self.merge_depth.encode(buf);
         self.rng_state.encode(buf);
         self.instances.encode(buf);
         self.metrics.encode(buf);
@@ -439,6 +448,7 @@ impl Decode for Snapshot {
             hhat_coeffs: Vec::decode(buf, cursor)?,
             net_count: i64::decode(buf, cursor)?,
             ops_seen: u64::decode(buf, cursor)?,
+            merge_depth: u32::decode(buf, cursor)?,
             rng_state: <[u64; 4]>::decode(buf, cursor)?,
             instances: Vec::decode(buf, cursor)?,
             metrics: MetricsSnapshot::decode(buf, cursor)?,

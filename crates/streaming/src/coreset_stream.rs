@@ -22,6 +22,7 @@
 //! the per-part nested sub-thresholding of `CoresetParams::part_phi`).
 
 use crate::checkpoint::{CheckpointError, InstanceCheckpoint, Snapshot};
+use crate::merge::{EpsSchedule, MergeError};
 use crate::model::StreamOp;
 use crate::storing::{Backend, StoreDeath, Storing, StoringConfig};
 use rand::rngs::StdRng;
@@ -70,6 +71,12 @@ pub struct StreamParams {
     /// Thread count for the sharded path; `0` means "all available".
     /// Ignored unless `parallel` is set.
     pub threads: usize,
+    /// Number of independent stream shards for `sbc`'s `ShardedIngest`
+    /// front-end: the dynamic stream is partitioned by point identity
+    /// across this many builders (sharing one hash family) and folded up
+    /// a binary merge tree at finish. `1` (the default) is plain
+    /// single-builder ingest; the builder itself ignores this knob.
+    pub shards: usize,
     /// Deterministic fault-injection plan (store kills here; message
     /// drops/duplication when the same params drive the distributed
     /// protocol). The default injects nothing and adds no per-op work.
@@ -86,6 +93,7 @@ impl Default for StreamParams {
             o_ladder_max: None,
             parallel: false,
             threads: 0,
+            shards: 1,
             faults: FaultPlan::NONE,
         }
     }
@@ -151,6 +159,12 @@ impl StreamParamsBuilder {
         self
     }
 
+    /// Sets the stream shard count for `ShardedIngest` (must be ≥ 1).
+    pub fn shards(mut self, v: usize) -> Self {
+        self.inner.shards = v;
+        self
+    }
+
     /// Installs a deterministic fault-injection plan.
     pub fn faults(mut self, plan: FaultPlan) -> Self {
         self.inner.faults = plan;
@@ -179,6 +193,9 @@ impl StreamParamsBuilder {
         }
         if p.cap_cells == 0 {
             return Err(ParamsError::out_of_range("cap_cells", 0.0, "≥ 1"));
+        }
+        if p.shards == 0 {
+            return Err(ParamsError::out_of_range("shards", 0.0, "≥ 1"));
         }
         if let Some(m) = p.o_ladder_max {
             if !(m >= 1.0 && m.is_finite()) {
@@ -341,6 +358,76 @@ impl SpaceReport {
     }
 }
 
+/// Space accounting across a sharded ingest: the E4 space claim stays
+/// checkable under sharding because both the fleet-wide totals and the
+/// worst single shard are reported. `total` sums every field over the
+/// shards (its `instances` is therefore `shards × ladder`);
+/// `max_per_shard` takes the field-wise maximum — the per-machine
+/// high-water mark a deployment must provision for.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardedSpaceReport {
+    /// Field-wise sums over all shards.
+    pub total: SpaceReport,
+    /// Field-wise maxima over all shards.
+    pub max_per_shard: SpaceReport,
+    /// Number of shards aggregated.
+    pub shards: usize,
+}
+
+impl ShardedSpaceReport {
+    /// Aggregates per-shard reports (field-wise sum + field-wise max).
+    ///
+    /// # Panics
+    /// Panics on an empty slice — a sharded ingest has ≥ 1 shard.
+    pub fn aggregate(reports: &[SpaceReport]) -> Self {
+        assert!(!reports.is_empty(), "need at least one shard report");
+        let zero = SpaceReport {
+            hash_bytes: 0,
+            store_bytes: 0,
+            nominal_sketch_bytes: 0,
+            instances: 0,
+            dead_stores: 0,
+            live_stores: 0,
+            runaway_kill: 0,
+            sketch_overflow: 0,
+        };
+        let mut total = zero;
+        let mut max = zero;
+        for r in reports {
+            total.hash_bytes += r.hash_bytes;
+            total.store_bytes += r.store_bytes;
+            total.nominal_sketch_bytes += r.nominal_sketch_bytes;
+            total.instances += r.instances;
+            total.dead_stores += r.dead_stores;
+            total.live_stores += r.live_stores;
+            total.runaway_kill += r.runaway_kill;
+            total.sketch_overflow += r.sketch_overflow;
+            max.hash_bytes = max.hash_bytes.max(r.hash_bytes);
+            max.store_bytes = max.store_bytes.max(r.store_bytes);
+            max.nominal_sketch_bytes = max.nominal_sketch_bytes.max(r.nominal_sketch_bytes);
+            max.instances = max.instances.max(r.instances);
+            max.dead_stores = max.dead_stores.max(r.dead_stores);
+            max.live_stores = max.live_stores.max(r.live_stores);
+            max.runaway_kill = max.runaway_kill.max(r.runaway_kill);
+            max.sketch_overflow = max.sketch_overflow.max(r.sketch_overflow);
+        }
+        Self {
+            total,
+            max_per_shard: max,
+            shards: reports.len(),
+        }
+    }
+
+    /// Serializes both aggregates; each sub-object carries the same
+    /// 8-field golden schema as [`SpaceReport::to_json`].
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::object()
+            .field("shards", self.shards)
+            .field("total", self.total.to_json())
+            .field("max_per_shard", self.max_per_shard.to_json())
+    }
+}
+
 /// Decoded output of one `Storing` structure: the `(C, f, S)` triple of
 /// Lemma 4.2, plus the `β` it was filtered at (needed to re-apply the
 /// small-cell filter after a distributed merge).
@@ -460,6 +547,9 @@ pub struct StreamCoresetBuilder {
     /// Gross stream operations absorbed (inserts + deletes): the causal
     /// op index stamped on trace events and carried across checkpoints.
     ops_seen: u64,
+    /// Height of this builder in a merge tree: `0` for a plain (leaf)
+    /// builder, `max(a, b) + 1` after [`Self::merge`].
+    merge_depth: u32,
     rng: StdRng,
     metrics: IngestMetrics,
 }
@@ -499,6 +589,7 @@ impl StreamCoresetBuilder {
             routes,
             net_count: 0,
             ops_seen: 0,
+            merge_depth: 0,
             rng: StdRng::seed_from_u64(rng.gen()),
             metrics: IngestMetrics::new(l as usize),
         }
@@ -549,6 +640,131 @@ impl StreamCoresetBuilder {
     /// index the next operation will be stamped with).
     pub fn ops_seen(&self) -> u64 {
         self.ops_seen
+    }
+
+    /// Height of this builder in a merge tree (`0` = never merged).
+    pub fn merge_depth(&self) -> u32 {
+        self.merge_depth
+    }
+
+    /// The per-level ε-budget schedule for merge trees over this
+    /// builder's parameters (see [`crate::merge::EpsSchedule`]).
+    pub fn eps_schedule(&self) -> EpsSchedule {
+        EpsSchedule::new(self.params.eps)
+    }
+
+    /// Folds another shard builder into this one — one node of a coreset
+    /// merge tree (the composability the distributed protocol exploits,
+    /// Theorem 5.1, applied builder-to-builder).
+    ///
+    /// Both builders must be shards of one logical stream: identical
+    /// parameters, grid shift, and hash-function coefficients (construct
+    /// them from one seed, as `sbc::ShardedIngest` does), with each
+    /// point routed to a fixed shard so deletions meet their insertions.
+    /// Because the hash family is shared, the merged `Storing` states
+    /// are exactly the union of the shards' subsampled substreams —
+    /// store-level merging is lossless, and the merged builder finishes
+    /// like a monolithic one over the concatenated stream.
+    ///
+    /// Deterministic: merging the same two builder states always yields
+    /// the same merged state, bit-for-bit, regardless of thread count or
+    /// call site. The merged node's [`Self::merge_depth`] is
+    /// `max(a, b) + 1`, charging the [`EpsSchedule`] accounting.
+    pub fn merge(mut self, other: Self) -> Result<Self, MergeError> {
+        self.check_mergeable(&other)?;
+        let _span = sbc_obs::span!("stream.merge.merge_ns");
+        let mut stores = 0u64;
+        for (inst, oinst) in self.instances.iter_mut().zip(&other.instances) {
+            let pairs = inst
+                .h_stores
+                .iter_mut()
+                .zip(&oinst.h_stores)
+                .chain(inst.hp_stores.iter_mut().zip(&oinst.hp_stores));
+            for (st, ost) in pairs {
+                if !st.merge_from(ost) {
+                    return Err(MergeError::UnsupportedBackend);
+                }
+                stores += 1;
+            }
+            for (slot, oslot) in inst.hhat_stores.iter_mut().zip(&oinst.hhat_stores) {
+                match (slot, oslot) {
+                    (Some(st), Some(ost)) => {
+                        if !st.merge_from(ost) {
+                            return Err(MergeError::UnsupportedBackend);
+                        }
+                        stores += 1;
+                    }
+                    (None, None) => {}
+                    _ => {
+                        return Err(MergeError::Incompatible(
+                            "ĥ store presence differs (ladder mismatch)".into(),
+                        ))
+                    }
+                }
+            }
+        }
+        self.net_count += other.net_count;
+        self.ops_seen += other.ops_seen;
+        self.merge_depth = self.merge_depth.max(other.merge_depth) + 1;
+        sbc_obs::counter!("stream.merge.nodes").incr();
+        sbc_obs::counter!("stream.merge.stores").add(stores);
+        trace::event(
+            TraceKind::Merge,
+            "merge.node",
+            CausalIds::NONE.op(self.ops_seen),
+            u64::from(self.merge_depth),
+        );
+        Ok(self)
+    }
+
+    /// Folds a whole layer of shard builders up a binary merge tree with
+    /// a fixed fold order — pairs `(0,1), (2,3), …` per level, an odd
+    /// tail carried up unmerged — so the result is bit-identical for a
+    /// given shard→leaf order, independent of threading.
+    pub fn merge_many(mut layer: Vec<Self>) -> Result<Self, MergeError> {
+        if layer.is_empty() {
+            return Err(MergeError::Incompatible("no builders to merge".into()));
+        }
+        while layer.len() > 1 {
+            let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+            let mut it = layer.into_iter();
+            while let Some(a) = it.next() {
+                match it.next() {
+                    Some(b) => next.push(a.merge(b)?),
+                    None => next.push(a),
+                }
+            }
+            layer = next;
+        }
+        Ok(layer.pop().expect("non-empty layer"))
+    }
+
+    /// Structural compatibility for [`Self::merge`]: parameters, grid
+    /// shift, and every hash family must agree, or the two builders'
+    /// subsamples are not samples of one logical stream.
+    fn check_mergeable(&self, other: &Self) -> Result<(), MergeError> {
+        if self.params != other.params {
+            return Err(MergeError::Incompatible("coreset parameters differ".into()));
+        }
+        if self.sparams != other.sparams {
+            return Err(MergeError::Incompatible("stream parameters differ".into()));
+        }
+        if self.grid.shift() != other.grid.shift() {
+            return Err(MergeError::Incompatible("grid shifts differ".into()));
+        }
+        let same = |a: &[KWiseHash], b: &[KWiseHash]| {
+            a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.coeffs() == y.coeffs())
+        };
+        if !same(&self.h_hashes, &other.h_hashes)
+            || !same(&self.hp_hashes, &other.hp_hashes)
+            || !same(&self.hhat_hashes, &other.hhat_hashes)
+        {
+            return Err(MergeError::Incompatible(
+                "hash coefficients differ (builders not seeded together)".into(),
+            ));
+        }
+        debug_assert_eq!(self.instances.len(), other.instances.len());
+        Ok(())
     }
 
     /// Processes one stream operation through the reference per-op path
@@ -890,6 +1106,7 @@ impl StreamCoresetBuilder {
             hhat_coeffs: coeffs(&self.hhat_hashes),
             net_count: self.net_count,
             ops_seen: self.ops_seen,
+            merge_depth: self.merge_depth,
             rng_state: self.rng.state(),
             instances,
             metrics: sbc_obs::snapshot(),
@@ -992,6 +1209,7 @@ impl StreamCoresetBuilder {
             routes,
             net_count: snap.net_count,
             ops_seen: snap.ops_seen,
+            merge_depth: snap.merge_depth,
             rng: StdRng::from_state(snap.rng_state),
             metrics: IngestMetrics::new(l),
         })

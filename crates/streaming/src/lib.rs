@@ -36,14 +36,17 @@
 pub mod checkpoint;
 pub mod codec;
 pub mod coreset_stream;
+pub mod merge;
 pub mod model;
 pub mod sparse;
 pub mod storing;
 
 pub use checkpoint::{CheckpointError, Snapshot};
 pub use coreset_stream::{
-    InstanceSummary, SpaceReport, StreamCoresetBuilder, StreamParams, StreamParamsBuilder,
+    InstanceSummary, ShardedSpaceReport, SpaceReport, StreamCoresetBuilder, StreamParams,
+    StreamParamsBuilder,
 };
+pub use merge::{EpsSchedule, MergeError};
 pub use model::{insert_delete_stream, insertion_stream, StreamOp};
 pub use sparse::{OneSparse, SSparseRecovery};
 pub use storing::{Storing, StoringConfig, StoringFail, StoringOutput};

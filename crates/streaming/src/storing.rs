@@ -747,6 +747,129 @@ impl Storing {
         true
     }
 
+    /// Folds another store's state into this one — the composability
+    /// step of a coreset merge tree (exact backend only; returns `false`
+    /// without touching `self` when either side is sketch-backed).
+    ///
+    /// Both stores must summarize the *same* subsampled substream role
+    /// (same grid, level, sizing) over **disjoint** shards of one
+    /// logical stream; the builder guarantees this structurally. The
+    /// merge mirrors what the monolithic store would have held:
+    ///
+    /// * cell counts add; a cell netting to zero with no pending point
+    ///   payload is removed, exactly like [`Self::update_precomputed`];
+    /// * point payloads union with multiplicity addition (zero entries
+    ///   removed); a cell whose merged count exceeds `2β` evicts its
+    ///   payload and turns dirty, mirroring the mid-stream eviction —
+    ///   for non-negative shard counts this is *associative*: the final
+    ///   dirty set depends only on the merged totals, not the fold shape;
+    /// * a dead side poisons the merge (its substream summary is gone
+    ///   for good), keeping the already-recorded death kind;
+    /// * the merged occupancy is re-checked against `cap_cells`, so a
+    ///   runaway substream that was split under the cap across shards
+    ///   still dies at the merge, like it would have monolithically;
+    /// * update counters add and `peak_cells` takes the max of both
+    ///   sides and the merged occupancy.
+    ///
+    /// No fault-injection decisions fire during a merge — kill indices
+    /// are positional per-store update counts, which each shard already
+    /// advanced; the merged counter is their sum.
+    pub fn merge_from(&mut self, other: &Storing) -> bool {
+        let (Inner::Exact { .. }, Inner::Exact { cells: ocells, .. }) = (&self.inner, &other.inner)
+        else {
+            return false;
+        };
+        let other_peak = match &other.inner {
+            Inner::Exact { peak_cells, .. } => *peak_cells,
+            Inner::Sketch { .. } => unreachable!(),
+        };
+        let other_dead = other.is_dead();
+        let other_injected = other.injected;
+        let beta = self.cfg.beta as i64;
+        let updates = self.updates + other.updates;
+        let ids = self.ids;
+        let Inner::Exact {
+            cells,
+            cap_cells,
+            dead,
+            peak_cells,
+        } = &mut self.inner
+        else {
+            return false;
+        };
+        self.updates = updates;
+        *peak_cells = (*peak_cells).max(other_peak);
+        if *dead || other_dead {
+            if !*dead && self.injected.is_none() {
+                self.injected = other_injected;
+            }
+            *dead = true;
+            cells.clear();
+            cells.shrink_to_fit();
+            sbc_obs::counter!("stream.merge.dead_stores").incr();
+            return true;
+        }
+        for (key, orec) in ocells.iter() {
+            match cells.entry(*key) {
+                Entry::Vacant(v) => {
+                    v.insert(CellRec {
+                        count: orec.count,
+                        dirty: orec.dirty,
+                        cell: orec.cell.clone(),
+                        points: orec.points.clone(),
+                    });
+                }
+                Entry::Occupied(mut o) => {
+                    let rec = o.get_mut();
+                    rec.count += orec.count;
+                    if orec.dirty {
+                        rec.dirty = true;
+                    }
+                    if rec.dirty {
+                        rec.points.clear();
+                        rec.points.shrink_to_fit();
+                    } else {
+                        for (pk, (p, m)) in orec.points.iter() {
+                            match rec.points.entry(*pk) {
+                                Entry::Vacant(v) => {
+                                    if *m != 0 {
+                                        v.insert((p.clone(), *m));
+                                    }
+                                }
+                                Entry::Occupied(mut po) => {
+                                    po.get_mut().1 += *m;
+                                    if po.get().1 == 0 {
+                                        po.remove();
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // Post-pass: the eviction and emptied-cell rules over merged
+        // totals, then the occupancy cap over the merged cell set.
+        cells.retain(|_, rec| {
+            if !rec.dirty && rec.count > 2 * beta.max(1) {
+                rec.points.clear();
+                rec.points.shrink_to_fit();
+                rec.dirty = true;
+            }
+            rec.count != 0 || !rec.points.is_empty()
+        });
+        *peak_cells = (*peak_cells).max(cells.len());
+        sbc_obs::counter!("stream.merge.cells").add(cells.len() as u64);
+        if cells.len() > *cap_cells {
+            *dead = true;
+            cells.clear();
+            cells.shrink_to_fit();
+            sbc_obs::counter!("stream.store.kill.runaway_kill").incr();
+            trace::event(TraceKind::StoreKill, "runaway_kill", ids, updates);
+        }
+        true
+    }
+
     /// The space a fully allocated sketch of this configuration occupies
     /// — the Lemma 4.2 `O(αβ·dL·log²(αβ/δ))`-style accounting used by
     /// experiment E4 regardless of backend.

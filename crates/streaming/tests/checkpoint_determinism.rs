@@ -170,6 +170,125 @@ fn natural_mid_stream_deaths_survive_restore() {
     }
 }
 
+/// Shard builders sharing one grid + hash family, as `ShardedIngest`
+/// and the distributed broadcast construct them.
+fn sharded_builders(
+    p: &CoresetParams,
+    sp: StreamParams,
+    seed: u64,
+    s: usize,
+) -> Vec<StreamCoresetBuilder> {
+    use rand::Rng;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let grid = sbc_geometry::GridHierarchy::new(p.grid, &mut rng);
+    let hash_seed: u64 = rng.gen();
+    (0..s)
+        .map(|_| {
+            let mut hrng = StdRng::seed_from_u64(hash_seed);
+            StreamCoresetBuilder::with_grid(p.clone(), sp, grid.clone(), &mut hrng)
+        })
+        .collect()
+}
+
+/// Routes ops by point identity so deletes meet their inserts.
+fn partition_ops(ops: &[StreamOp], delta: u64, s: usize) -> Vec<Vec<StreamOp>> {
+    let mut per = vec![Vec::new(); s];
+    for op in ops {
+        let key = op.point().key128(delta);
+        let h = sbc_obs::fault::splitmix64((key as u64) ^ ((key >> 64) as u64));
+        per[(h % s as u64) as usize].push(op.clone());
+    }
+    per
+}
+
+#[test]
+fn shard_checkpoint_mid_stream_is_invisible_in_the_merge() {
+    // Interrupt ONE shard of a sharded ingest mid-stream, round-trip it
+    // through checkpoint bytes, resume, merge the fleet: the merged
+    // checkpoint must be byte-identical to the uninterrupted sharded
+    // run's — restore must be invisible even across the merge boundary.
+    let p = params(7);
+    let ds = two_phase_dynamic(p.grid, 900, 600, 3, 33);
+    let mut rng = StdRng::seed_from_u64(33);
+    let ops = interleaved_stream(&ds.kept, &ds.churn, &mut rng);
+    let s = 3;
+    let per_shard = partition_ops(&ops, p.grid.delta, s);
+
+    let reference = {
+        let mut shards = sharded_builders(&p, StreamParams::default(), 35, s);
+        for (b, shard_ops) in shards.iter_mut().zip(&per_shard) {
+            b.process_all(shard_ops);
+        }
+        StreamCoresetBuilder::merge_many(shards).expect("compatible")
+    };
+
+    for cut in [1, per_shard[0].len() / 2, per_shard[0].len()] {
+        let mut shards = sharded_builders(&p, StreamParams::default(), 35, s);
+        // Shard 0 crashes at `cut` and is revived from bytes alone.
+        shards[0].process_all(&per_shard[0][..cut]);
+        let bytes = shards[0].checkpoint().expect("checkpoints").to_bytes();
+        let snap = Snapshot::from_bytes(&bytes).expect("round-trips");
+        shards[0] = StreamCoresetBuilder::restore(&snap).expect("restores");
+        shards[0].process_all(&per_shard[0][cut..]);
+        for (b, shard_ops) in shards.iter_mut().zip(&per_shard).skip(1) {
+            b.process_all(shard_ops);
+        }
+        let merged = StreamCoresetBuilder::merge_many(shards).expect("compatible");
+        assert_eq!(
+            reference.checkpoint().expect("ok").to_bytes(),
+            merged.checkpoint().expect("ok").to_bytes(),
+            "shard restore at cut {cut} leaked into the merged state"
+        );
+    }
+}
+
+#[test]
+fn merge_node_checkpoint_mid_fold_is_invisible() {
+    // Interrupt the merge TREE mid-fold: after merging shards (0,1),
+    // checkpoint that interior node (merge_depth = 1 travels in the
+    // snapshot), restore it, and fold in the rest. Must be bit-identical
+    // to the uninterrupted fold, and the restored node must keep its
+    // ε-budget depth.
+    let p = params(7);
+    let pts = gaussian_mixture(p.grid, 1200, 3, 0.05, 37);
+    let ops: Vec<StreamOp> = insertion_stream(&pts);
+    let s = 4;
+    let per_shard = partition_ops(&ops, p.grid.delta, s);
+
+    let run = |interrupt: bool| -> Vec<u8> {
+        let mut shards = sharded_builders(&p, StreamParams::default(), 39, s);
+        for (b, shard_ops) in shards.iter_mut().zip(&per_shard) {
+            b.process_all(shard_ops);
+        }
+        let mut it = shards.into_iter();
+        let (a, b, c, d) = (
+            it.next().unwrap(),
+            it.next().unwrap(),
+            it.next().unwrap(),
+            it.next().unwrap(),
+        );
+        let mut left = a.merge(b).expect("left node");
+        assert_eq!(left.merge_depth(), 1);
+        if interrupt {
+            let bytes = left.checkpoint().expect("node checkpoints").to_bytes();
+            let snap = Snapshot::from_bytes(&bytes).expect("round-trips");
+            assert_eq!(snap.merge_depth, 1, "depth must travel in the snapshot");
+            left = StreamCoresetBuilder::restore(&snap).expect("node restores");
+            assert_eq!(left.merge_depth(), 1);
+        }
+        let right = c.merge(d).expect("right node");
+        let root = left.merge(right).expect("root");
+        assert_eq!(root.merge_depth(), 2);
+        root.checkpoint().expect("ok").to_bytes()
+    };
+
+    assert_eq!(
+        run(false),
+        run(true),
+        "merge-node restore perturbed the fold"
+    );
+}
+
 #[test]
 fn encode_decode_encode_is_byte_identity() {
     let p = params(6);
