@@ -4,7 +4,9 @@
 //! batched ladder-pruned, batched + instance-sharded parallel) on the
 //! canonical Gaussian n=4000 workload — insert-only and deletion-heavy
 //! mixed-op — and writes a machine-readable JSON report plus a human
-//! summary to stdout.
+//! summary to stdout. A `"kernels"` section compares the scalar and
+//! SIMD/arena ingest kernels (DESIGN.md §9) on the same host and
+//! records their `kernel_speedup` ratio.
 //!
 //! With the `obs` feature the run also records the workspace metrics
 //! registry: the report gains a `"metrics"` section and `--metrics-out
@@ -47,7 +49,7 @@ use sbc_distributed::DistributedCoreset;
 use sbc_geometry::{dataset, GridParams};
 use sbc_obs::fault::FaultPlan;
 use sbc_streaming::model::{churn_stream, insertion_stream, StreamOp};
-use sbc_streaming::{Snapshot, StreamCoresetBuilder, StreamParams};
+use sbc_streaming::{Kernel, Snapshot, StreamCoresetBuilder, StreamParams};
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -158,6 +160,35 @@ fn bench_workload(
         );
     }
     let _ = write!(json, "    }}");
+}
+
+/// Same-host scalar vs SIMD/arena ingest kernels on the batched
+/// insert-only workload. The `kernel_speedup` ratio (SIMD over scalar,
+/// measured in the same process on the same ops) is machine-independent
+/// and gated by `bench_guard`; appends the `"kernels"` section.
+fn bench_kernels(params: &CoresetParams, ops: &[StreamOp], reps: usize, json: &mut String) {
+    let sp = |k: Kernel| StreamParams {
+        kernel: k,
+        ..StreamParams::default()
+    };
+    let scalar = measure("scalar", params, sp(Kernel::Scalar), ops, false, reps);
+    let simd = measure("simd", params, sp(Kernel::Simd), ops, false, reps);
+    let speedup = simd.ops_per_sec / scalar.ops_per_sec;
+
+    println!("\nkernels (insert_only batched, best of {reps}):");
+    for r in [&scalar, &simd] {
+        println!(
+            "  {:<18} {:>12.0} ops/s  ({:.3} s)",
+            r.name, r.ops_per_sec, r.best_secs
+        );
+    }
+    println!("  kernel_speedup     {speedup:>12.2}x (simd vs scalar, same host)");
+
+    let _ = writeln!(
+        json,
+        "  \"kernels\": {{\n    \"workload\": \"insert_only\",\n    \"path\": \"batched\",\n    \"scalar\": {{ \"ops_per_sec\": {:.1}, \"seconds\": {:.6} }},\n    \"simd\": {{ \"ops_per_sec\": {:.1}, \"seconds\": {:.6} }},\n    \"kernel_speedup\": {speedup:.3}\n  }},",
+        scalar.ops_per_sec, scalar.best_secs, simd.ops_per_sec, simd.best_secs
+    );
 }
 
 /// The current git commit, or `"unknown"` outside a checkout.
@@ -362,7 +393,7 @@ fn main() {
     json.push_str("{\n");
     let _ = writeln!(
         json,
-        "  \"schema_version\": 3,\n  \"git_commit\": \"{}\",\n  \"generated_at\": \"{}\",",
+        "  \"schema_version\": 4,\n  \"git_commit\": \"{}\",\n  \"generated_at\": \"{}\",",
         git_commit(),
         sbc_obs::iso8601_utc_now()
     );
@@ -375,6 +406,10 @@ fn main() {
     json.push_str(",\n");
     bench_workload("mixed_deletion_heavy", &params, &mixed_ops, reps, &mut json);
     json.push_str("\n  },\n");
+
+    // Scalar vs SIMD kernel comparison on the headline workload; the
+    // ratio is gated by bench_guard.
+    bench_kernels(&params, &insert_ops, reps, &mut json);
 
     // Sharded merge-tree ingest on the larger stream (fewer reps — each
     // rep ingests 16× the ops of the headline workload).

@@ -62,23 +62,25 @@ fn bench_streaming_golden_file_agrees_with_space_report() {
 }
 
 #[test]
-fn bench_streaming_golden_file_matches_schema_v3() {
-    // The committed baseline must parse as JSON and carry the v3 schema
-    // (trace section included) — the same shape `bench_guard` validates
-    // on fresh reports, so a drifting writer cannot slip past CI.
+fn bench_streaming_golden_file_matches_schema_v4() {
+    // The committed baseline must parse as JSON and carry the v4 schema
+    // (trace and kernels sections included) — the same shape
+    // `bench_guard` validates on fresh reports, so a drifting writer
+    // cannot slip past CI.
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_streaming.json");
     let text = std::fs::read_to_string(path)
         .expect("BENCH_streaming.json must be checked in at the repo root");
     let doc = sbc_obs::json::JsonValue::parse(&text).expect("baseline parses as JSON");
     assert_eq!(
         doc.get("schema_version").and_then(|v| v.as_u64()),
-        Some(3),
-        "committed BENCH_streaming.json must be schema_version 3"
+        Some(4),
+        "committed BENCH_streaming.json must be schema_version 4"
     );
     for key in [
         "git_commit",
         "generated_at",
         "groups",
+        "kernels",
         "sharding",
         "robustness",
         "trace",
@@ -86,6 +88,28 @@ fn bench_streaming_golden_file_matches_schema_v3() {
     ] {
         assert!(doc.get(key).is_some(), "baseline missing \"{key}\" section");
     }
+    // The kernels section carries the SIMD-vs-scalar comparison that
+    // bench_guard gates; its ratio must be present and positive.
+    let kernels = doc.get("kernels").unwrap();
+    for side in ["scalar", "simd"] {
+        for field in ["ops_per_sec", "seconds"] {
+            let v = kernels
+                .get(side)
+                .and_then(|s| s.get(field))
+                .and_then(|v| v.as_f64());
+            assert!(
+                v.is_some_and(|x| x > 0.0),
+                "kernels.{side} lacks a positive \"{field}\""
+            );
+        }
+    }
+    assert!(
+        kernels
+            .get("kernel_speedup")
+            .and_then(|v| v.as_f64())
+            .is_some_and(|r| r > 0.0),
+        "kernels section lacks a positive kernel_speedup"
+    );
     let trace = doc.get("trace").unwrap();
     for key in [
         "feature_enabled",

@@ -8,10 +8,13 @@
 //!   infeasible). Evaluated through `sbc-flow`.
 
 use sbc_flow::transport::{capacitated_cost_value, optimal_fractional_assignment};
-use sbc_geometry::metric::{dist_r_pow, nearest};
+use sbc_geometry::metric::{min_dist_r_pow, nearest};
 use sbc_geometry::Point;
 
 /// Uncapacitated clustering cost `cost^{(r)}(Q, Z, w)`.
+///
+/// The inner nearest-center scan runs through the lane-batched
+/// [`min_dist_r_pow`] kernel (bit-identical to the sequential fold).
 pub fn uncapacitated_cost(
     points: &[Point],
     weights: Option<&[f64]>,
@@ -25,11 +28,7 @@ pub fn uncapacitated_cost(
         .enumerate()
         .map(|(i, p)| {
             let w = weights.map_or(1.0, |ws| ws[i]);
-            let best = centers
-                .iter()
-                .map(|z| dist_r_pow(p, z, r))
-                .fold(f64::INFINITY, f64::min);
-            w * best
+            w * min_dist_r_pow(p, centers, r)
         })
         .sum()
 }

@@ -35,6 +35,6 @@ pub mod point;
 pub mod projection;
 
 pub use grid::{CellId, GridHierarchy, GridParams};
-pub use metric::{dist, dist_r_pow, dist_sq, lr_norm, relaxed_triangle_bound};
+pub use metric::{dist, dist_r_pow, dist_sq, lr_norm, min_dist_r_pow, relaxed_triangle_bound};
 pub use point::{Point, PointId, WeightedPoint};
 pub use projection::JlProjector;

@@ -60,6 +60,43 @@ pub fn pow_r(d: f64, r: f64) -> f64 {
     }
 }
 
+/// `min_z dist(x, z)^r` over a center set — the per-point `ℓr` cost
+/// against its nearest center, evaluated four centers per iteration.
+///
+/// Four independent squared-distance accumulators share one walk of the
+/// center block, filling each other's dependency stalls (the same
+/// explicit-lane scheme as the batched hash kernels; DESIGN.md §9). The
+/// power is taken once, on the winning squared distance, so the result
+/// is bit-identical to folding [`dist_r_pow`] with `f64::min` — `min`
+/// is exact, order-insensitive on non-NaN inputs, and `d ↦ d^{r/2}` is
+/// monotone.
+///
+/// # Panics
+/// Panics if `centers` is empty (a cost against no centers is
+/// meaningless), or in debug builds on dimension mismatch.
+pub fn min_dist_r_pow(x: &Point, centers: &[Point], r: f64) -> f64 {
+    assert!(!centers.is_empty(), "need at least one center");
+    let mut best = f64::INFINITY;
+    let mut quads = centers.chunks_exact(4);
+    for quad in &mut quads {
+        let d0 = dist_sq(x, &quad[0]);
+        let d1 = dist_sq(x, &quad[1]);
+        let d2 = dist_sq(x, &quad[2]);
+        let d3 = dist_sq(x, &quad[3]);
+        best = best.min(d0.min(d1)).min(d2.min(d3));
+    }
+    for z in quads.remainder() {
+        best = best.min(dist_sq(x, z));
+    }
+    if r == 2.0 {
+        best
+    } else if r == 1.0 {
+        best.sqrt()
+    } else {
+        best.powf(r / 2.0)
+    }
+}
+
 /// The `ℓr` norm `‖x‖r = (Σ |x_i|^r)^{1/r}` of §2 (for completeness).
 pub fn lr_norm(x: &[f64], r: f64) -> f64 {
     assert!(r >= 1.0, "ℓr norms require r ≥ 1");
@@ -137,6 +174,26 @@ mod tests {
         // non-special exponent
         let r = 3.0;
         assert!((dist_r_pow(&a, &b, r) - dist(&a, &b).powi(3)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn min_dist_r_pow_matches_sequential_fold() {
+        // Exercise every chunks_exact remainder length (0..=3) and the
+        // powf path; bit-equality, not approximate.
+        let x = p(&[7, 3, 11]);
+        let all: Vec<Point> = (0..11u32)
+            .map(|i| p(&[1 + i * 3 % 13, 1 + i * 7 % 17, 1 + i * 5 % 11]))
+            .collect();
+        for n in 1..=all.len() {
+            let centers = &all[..n];
+            for &r in &[1.0f64, 2.0, 2.7] {
+                let want = centers
+                    .iter()
+                    .map(|z| dist_r_pow(&x, z, r))
+                    .fold(f64::INFINITY, f64::min);
+                assert_eq!(min_dist_r_pow(&x, centers, r), want, "n={n} r={r}");
+            }
+        }
     }
 
     #[test]

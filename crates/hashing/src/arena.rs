@@ -1,0 +1,453 @@
+//! Flat open-addressing tables for the batched ingest kernels.
+//!
+//! The streaming `Storing` structures probe one table per (instance,
+//! level, role) on every stream operation. `std::collections::HashMap`
+//! (even with the cheap [`crate::Key128Hasher`]) pays for SwissTable
+//! control bytes, 128-bit keys, and per-entry boxing of the value; the
+//! ingest kernels instead key cells by *dense packed `u64` ids* and keep
+//! values in a flat arena:
+//!
+//! ```text
+//!   slots:   [ u32 ; capacity ]      power-of-two, linear probing
+//!             EMPTY | TOMB | index into `entries`
+//!   entries: [ (u64 key, V) ; len ]  dense, iterated without gaps
+//! ```
+//!
+//! Probing hashes the key with a SplitMix64 finalizer and walks `slots`
+//! linearly; a hit costs one cache line of `u32`s plus one indexed read
+//! of `entries`. Deletion tombstones the slot and `swap_remove`s the
+//! entry (patching the moved entry's slot), so `entries` stays dense and
+//! iteration is a straight scan — the property the snapshot/finish
+//! boundaries rely on when they sort by key to restore canonical order.
+//!
+//! Growth doubles `slots` when the *live* count crosses ⅞ occupancy;
+//! when live + tombstones cross the same bound first, the table is
+//! rebuilt at the same capacity to purge tombstones. Capacity therefore
+//! never depends on the interleaving of inserts and deletes, only on the
+//! peak live count — see [`slots_for`], which space accounting uses to
+//! report a deterministic capacity independent of transient physical
+//! states (e.g. a freshly restored checkpoint).
+
+/// Slot sentinel: never occupied.
+const EMPTY: u32 = u32::MAX;
+/// Slot sentinel: previously occupied, now deleted.
+const TOMB: u32 = u32::MAX - 1;
+/// Smallest slot array ever allocated.
+const MIN_CAP: usize = 8;
+
+/// SplitMix64 finalizer — the same mixer the sharded router uses; packed
+/// cell keys differ in few low bits and need the avalanche.
+#[inline]
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Whether `live + 1` more entries would overflow ⅞ of `cap` slots.
+#[inline]
+fn over_load(occupied: usize, cap: usize) -> bool {
+    occupied * 8 > cap * 7
+}
+
+/// The deterministic slot capacity an [`OpenTable`] holds after its live
+/// count peaked at `peak`, having started from a size hint of `expected`
+/// entries: the smallest power-of-two ≥ [`MIN_CAP`] whose ⅞ load bound
+/// covers both. Pure in its inputs — space reports use it so that a
+/// restored checkpoint (which never saw the original's transient physical
+/// growth) accounts identically to the original run.
+pub fn slots_for(expected: usize, peak: usize) -> usize {
+    let mut cap = MIN_CAP;
+    while over_load(expected, cap) || over_load(peak, cap) {
+        cap *= 2;
+    }
+    cap
+}
+
+/// A flat open-addressing hash table keyed by `u64`, with dense value
+/// storage. See the module docs for layout and invariants.
+pub struct OpenTable<V> {
+    slots: Vec<u32>,
+    entries: Vec<(u64, V)>,
+    /// Number of `TOMB` slots (deleted, not yet purged).
+    tombs: usize,
+    /// The construction-time size hint, kept so growth and
+    /// [`Self::reported_capacity`] agree with [`slots_for`].
+    expected: usize,
+}
+
+impl<V> Default for OpenTable<V> {
+    fn default() -> Self {
+        Self::with_expected(0)
+    }
+}
+
+impl<V> OpenTable<V> {
+    /// Creates a table pre-sized for about `expected` live entries.
+    pub fn with_expected(expected: usize) -> Self {
+        Self {
+            slots: vec![EMPTY; slots_for(expected, 0)],
+            entries: Vec::new(),
+            tombs: 0,
+            expected,
+        }
+    }
+
+    /// Number of live entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table holds no entries.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Physical slot count right now (may exceed the deterministic
+    /// [`Self::reported_capacity`] after merges; 0 after
+    /// [`Self::clear_shrink`]).
+    #[inline]
+    pub fn physical_slots(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// The deterministic capacity [`slots_for`] yields for this table's
+    /// size hint and the given peak live count. Space accounting reports
+    /// this instead of [`Self::physical_slots`] so that checkpoint
+    /// restore (which rebuilds the table from a sorted snapshot) agrees
+    /// byte-for-byte with the original run.
+    #[inline]
+    pub fn reported_capacity(&self, peak: usize) -> usize {
+        slots_for(self.expected, peak)
+    }
+
+    /// Looks up `key`, returning a reference to its value.
+    #[inline]
+    pub fn get(&self, key: u64) -> Option<&V> {
+        self.find(key).map(|e| &self.entries[e].1)
+    }
+
+    /// Looks up `key`, returning a mutable reference to its value.
+    #[inline]
+    pub fn get_mut(&mut self, key: u64) -> Option<&mut V> {
+        self.find(key).map(|e| &mut self.entries[e].1)
+    }
+
+    /// Index of `key`'s entry, if present.
+    #[inline]
+    fn find(&self, key: u64) -> Option<usize> {
+        if self.slots.is_empty() {
+            return None;
+        }
+        let mask = self.slots.len() - 1;
+        let mut i = splitmix64(key) as usize & mask;
+        loop {
+            match self.slots[i] {
+                EMPTY => return None,
+                TOMB => {}
+                e => {
+                    if self.entries[e as usize].0 == key {
+                        return Some(e as usize);
+                    }
+                }
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// Inserts a key known to be absent (callers probe with
+    /// [`Self::get_mut`] first; the two-step shape lets the `Storing`
+    /// occupancy cap veto the insert without touching the table).
+    /// Returns a reference to the stored value.
+    ///
+    /// # Panics
+    /// Debug-asserts that `key` is indeed absent.
+    pub fn insert_absent(&mut self, key: u64, value: V) -> &mut V {
+        debug_assert!(self.find(key).is_none(), "insert_absent on present key");
+        self.maintain_for_insert();
+        let mask = self.slots.len() - 1;
+        let mut i = splitmix64(key) as usize & mask;
+        loop {
+            match self.slots[i] {
+                EMPTY => break,
+                TOMB => {
+                    self.tombs -= 1;
+                    break;
+                }
+                _ => i = (i + 1) & mask,
+            }
+        }
+        self.slots[i] = self.entries.len() as u32;
+        self.entries.push((key, value));
+        &mut self.entries.last_mut().expect("just pushed").1
+    }
+
+    /// Removes `key`, returning its value if present. The last entry is
+    /// swapped into the hole and its slot patched, keeping `entries`
+    /// dense.
+    pub fn remove(&mut self, key: u64) -> Option<V> {
+        if self.slots.is_empty() {
+            return None;
+        }
+        let mask = self.slots.len() - 1;
+        let mut i = splitmix64(key) as usize & mask;
+        let e = loop {
+            match self.slots[i] {
+                EMPTY => return None,
+                TOMB => {}
+                e => {
+                    if self.entries[e as usize].0 == key {
+                        break e as usize;
+                    }
+                }
+            }
+            i = (i + 1) & mask;
+        };
+        self.slots[i] = TOMB;
+        self.tombs += 1;
+        let last = self.entries.len() - 1;
+        let removed = self.entries.swap_remove(e);
+        if e != last {
+            // Patch the moved entry's slot to its new index.
+            let moved_key = self.entries[e].0;
+            let mut j = splitmix64(moved_key) as usize & mask;
+            loop {
+                if self.slots[j] == last as u32 {
+                    self.slots[j] = e as u32;
+                    break;
+                }
+                j = (j + 1) & mask;
+            }
+        }
+        Some(removed.1)
+    }
+
+    /// Iterates live entries in arena (insertion/swap) order — *not*
+    /// key order; boundaries that need canonical order sort the yielded
+    /// pairs by key.
+    #[inline]
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &V)> {
+        self.entries.iter().map(|(k, v)| (*k, v))
+    }
+
+    /// Mutable variant of [`Self::iter`].
+    #[inline]
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (u64, &mut V)> {
+        self.entries.iter_mut().map(|(k, v)| (*k, v))
+    }
+
+    /// Keeps only entries for which `f` returns `true`, then rebuilds the
+    /// slot array at the current capacity (dropping all tombstones).
+    pub fn retain<F: FnMut(u64, &mut V) -> bool>(&mut self, mut f: F) {
+        self.entries.retain_mut(|(k, v)| f(*k, v));
+        let cap = self.slots.len().max(slots_for(self.expected, 0));
+        self.rebuild(cap);
+    }
+
+    /// Drops all entries and releases the backing memory (the shape a
+    /// killed store leaves behind).
+    pub fn clear_shrink(&mut self) {
+        self.slots = Vec::new();
+        self.entries = Vec::new();
+        self.tombs = 0;
+    }
+
+    /// Grows or purges ahead of one insertion so that a free slot always
+    /// exists and live occupancy stays under ⅞.
+    fn maintain_for_insert(&mut self) {
+        let cap = self.slots.len();
+        if cap == 0 {
+            self.rebuild(slots_for(self.expected, 0));
+            return;
+        }
+        if over_load(self.entries.len() + self.tombs + 1, cap) {
+            let new_cap = if over_load(self.entries.len() + 1, cap) {
+                cap * 2
+            } else {
+                cap // same size: purge tombstones only
+            };
+            self.rebuild(new_cap);
+        }
+    }
+
+    /// Reconstructs `slots` at `cap` from the dense entries.
+    fn rebuild(&mut self, cap: usize) {
+        debug_assert!(cap.is_power_of_two() && !over_load(self.entries.len(), cap));
+        self.slots.clear();
+        self.slots.resize(cap, EMPTY);
+        self.tombs = 0;
+        let mask = cap - 1;
+        for (idx, (k, _)) in self.entries.iter().enumerate() {
+            let mut i = splitmix64(*k) as usize & mask;
+            while self.slots[i] != EMPTY {
+                i = (i + 1) & mask;
+            }
+            self.slots[i] = idx as u32;
+        }
+    }
+}
+
+impl<V: Clone> Clone for OpenTable<V> {
+    fn clone(&self) -> Self {
+        Self {
+            slots: self.slots.clone(),
+            entries: self.entries.clone(),
+            tombs: self.tombs,
+            expected: self.expected,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut t: OpenTable<i64> = OpenTable::with_expected(4);
+        for k in 0..100u64 {
+            assert!(t.get(k * 7).is_none());
+            t.insert_absent(k * 7, k as i64);
+        }
+        assert_eq!(t.len(), 100);
+        for k in 0..100u64 {
+            assert_eq!(t.get(k * 7), Some(&(k as i64)));
+        }
+        for k in (0..100u64).step_by(2) {
+            assert_eq!(t.remove(k * 7), Some(k as i64));
+            assert_eq!(t.remove(k * 7), None);
+        }
+        assert_eq!(t.len(), 50);
+        for k in 0..100u64 {
+            let want = (k % 2 == 1).then_some(k as i64);
+            assert_eq!(t.get(k * 7).copied(), want);
+        }
+    }
+
+    #[test]
+    fn matches_hashmap_under_churn() {
+        // Deterministic pseudo-random workload of mixed inserts/deletes
+        // against a reference HashMap.
+        let mut t: OpenTable<u64> = OpenTable::default();
+        let mut m: HashMap<u64, u64> = HashMap::new();
+        let mut x = 42u64;
+        for step in 0..20_000u64 {
+            x = splitmix64(x);
+            let key = x % 512; // force collisions and reuse
+            if x & 1 == 0 {
+                match t.get_mut(key) {
+                    Some(v) => *v = v.wrapping_add(step),
+                    None => {
+                        t.insert_absent(key, step);
+                    }
+                }
+                m.entry(key)
+                    .and_modify(|v| *v = v.wrapping_add(step))
+                    .or_insert(step);
+            } else {
+                assert_eq!(t.remove(key), m.remove(&key));
+            }
+            assert_eq!(t.len(), m.len());
+        }
+        let mut got: Vec<(u64, u64)> = t.iter().map(|(k, v)| (k, *v)).collect();
+        got.sort_unstable();
+        let mut want: Vec<(u64, u64)> = m.into_iter().collect();
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn tombstone_churn_does_not_grow_capacity() {
+        // Insert/delete cycling at a fixed live count must trigger purges,
+        // not growth: capacity stays the deterministic slots_for value.
+        let mut t: OpenTable<u8> = OpenTable::with_expected(16);
+        let want_cap = slots_for(16, 16);
+        for round in 0..1000u64 {
+            let k = round % 16;
+            if t.get(k).is_some() {
+                t.remove(k);
+            }
+            t.insert_absent(k, 0);
+            assert!(t.len() <= 16);
+            assert_eq!(t.physical_slots(), want_cap, "round {round}");
+        }
+    }
+
+    #[test]
+    fn capacity_is_a_function_of_peak_not_order() {
+        // Two different interleavings reaching the same peak live count
+        // end at the same physical capacity, which matches slots_for.
+        let mut a: OpenTable<u8> = OpenTable::default();
+        for k in 0..200u64 {
+            a.insert_absent(k, 0);
+        }
+        for k in 100..200u64 {
+            a.remove(k);
+        }
+        let mut b: OpenTable<u8> = OpenTable::default();
+        for k in 0..200u64 {
+            b.insert_absent(k, 0);
+            if k >= 100 {
+                b.remove(k);
+            }
+        }
+        assert_eq!(a.physical_slots(), slots_for(0, 200));
+        // b's live count peaked at 101.
+        assert_eq!(b.physical_slots(), slots_for(0, 101));
+        assert_eq!(a.len(), 100);
+        assert_eq!(b.len(), 100);
+    }
+
+    #[test]
+    fn retain_purges_and_keeps_survivors() {
+        let mut t: OpenTable<u64> = OpenTable::default();
+        for k in 0..300u64 {
+            t.insert_absent(k, k * 2);
+        }
+        t.retain(|k, v| {
+            *v += 1;
+            k % 3 == 0
+        });
+        assert_eq!(t.len(), 100);
+        for k in 0..300u64 {
+            let want = (k % 3 == 0).then_some(k * 2 + 1);
+            assert_eq!(t.get(k).copied(), want);
+        }
+    }
+
+    #[test]
+    fn clear_shrink_releases_memory() {
+        let mut t: OpenTable<u64> = OpenTable::default();
+        for k in 0..1000u64 {
+            t.insert_absent(k, k);
+        }
+        t.clear_shrink();
+        assert!(t.is_empty());
+        assert_eq!(t.physical_slots(), 0);
+        assert!(t.get(5).is_none());
+        assert_eq!(t.remove(5), None);
+        // And the table is usable again afterwards.
+        t.insert_absent(5, 7);
+        assert_eq!(t.get(5), Some(&7));
+    }
+
+    #[test]
+    fn slots_for_respects_load_bound() {
+        for expected in [0usize, 1, 7, 8, 100] {
+            for peak in [0usize, 1, 6, 7, 8, 13, 14, 100, 1000] {
+                let cap = slots_for(expected, peak);
+                assert!(cap.is_power_of_two() && cap >= MIN_CAP);
+                assert!(!over_load(peak, cap) && !over_load(expected, cap));
+                // Minimal: half the capacity would violate the bound
+                // (unless already at the floor).
+                if cap > MIN_CAP {
+                    assert!(over_load(peak, cap / 2) || over_load(expected, cap / 2));
+                }
+            }
+        }
+    }
+}

@@ -252,8 +252,8 @@ mod tests {
         assert!(rep.max_per_shard.store_bytes * 4 >= rep.total.store_bytes);
         assert!(rep.max_per_shard.store_bytes <= rep.total.store_bytes);
 
-        // Regression: both sub-objects must carry the exact 8-field
-        // golden schema of SpaceReport::to_json — E4's space claim is
+        // Regression: both sub-objects must carry the exact golden
+        // schema of SpaceReport::to_json — E4's space claim is
         // parsed out of these keys under sharding too.
         let json = rep.to_json().to_string();
         for key in ["shards", "total", "max_per_shard"] {
@@ -266,11 +266,15 @@ mod tests {
             "hash_bytes",
             "store_bytes",
             "nominal_sketch_bytes",
+            "nominal_sketch_bytes_human",
             "instances",
             "dead_stores",
             "live_stores",
             "runaway_kill",
             "sketch_overflow",
+            "arena_slots",
+            "arena_entries",
+            "arena_load_factor",
         ];
         for key in golden {
             assert_eq!(

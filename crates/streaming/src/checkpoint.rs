@@ -299,6 +299,11 @@ impl Encode for StreamParams {
 impl Decode for StreamParams {
     fn decode(buf: &[u8], cursor: &mut usize) -> Option<Self> {
         Some(StreamParams {
+            // Not serialized: the kernel is an execution strategy, not
+            // logical state (both kernels resume a snapshot to
+            // bit-identical outputs), so a restored builder re-derives
+            // it from the restoring host's environment.
+            kernel: crate::coreset_stream::Kernel::env_default(),
             est_rate: f64::decode(buf, cursor)?,
             alpha_factor: f64::decode(buf, cursor)?,
             rows: usize::decode(buf, cursor)?,

@@ -42,10 +42,53 @@ use sbc_obs::trace::{self, CausalIds, TraceKind};
 /// parallel fork, small enough that the SoA buffer stays cache-friendly.
 const INGEST_BATCH: usize = 4096;
 
+/// Which ingest kernel drives the hot loop (see DESIGN.md §9).
+///
+/// Both kernels produce bit-identical coresets, snapshots, summaries
+/// and merge results; they differ only in speed and in the memory
+/// layout of the per-store state (which the space report surfaces via
+/// its `arena_*` fields).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Kernel {
+    /// Portable reference path: per-point `CellId` materialization and
+    /// `u128`-keyed hash-map stores.
+    Scalar,
+    /// Batch kernels: cell paths are derived as bit-packed `u64` keys
+    /// straight from the floored shifted coordinates, hash polynomials
+    /// are evaluated four lanes at a time, and stores are flat
+    /// open-addressing arenas. Automatically falls back to the scalar
+    /// layout when the cube geometry doesn't pack (`6 + (L+2)·d > 64`
+    /// or point keys wider than 128 bits), so this default is always
+    /// the fastest *correct* path.
+    #[default]
+    Simd,
+}
+
+impl Kernel {
+    /// The environment-aware default: [`Kernel::Simd`] unless
+    /// `SBC_FORCE_SCALAR` is set (to anything but `0`), which forces
+    /// the portable path — CI uses this to keep the fallback honest.
+    pub fn env_default() -> Self {
+        match std::env::var_os("SBC_FORCE_SCALAR") {
+            Some(v) if v != "0" => Kernel::Scalar,
+            _ => Kernel::Simd,
+        }
+    }
+}
+
 /// Streaming-specific knobs (the coreset parameters proper live in
 /// [`CoresetParams`]).
-#[derive(Clone, Copy, Debug, PartialEq)]
+///
+/// Equality ignores [`StreamParams::kernel`]: the kernel changes the
+/// execution strategy, never the distribution over outputs, so two
+/// builders differing only in kernel are still shards of one logical
+/// stream (and may be merged or restored into one another).
+#[derive(Clone, Copy, Debug)]
 pub struct StreamParams {
+    /// Ingest kernel selection; see [`Kernel`]. Not serialized in
+    /// checkpoints (a restored builder re-derives it from the
+    /// environment), and ignored by `==`.
+    pub kernel: Kernel,
     /// Expected number of size-estimation samples at the heavy-cell
     /// threshold: `ψᵢ = min(1, est_rate/Tᵢ(o))` (the paper's
     /// `10⁶λ′/Tᵢ(o)`, Algorithm 3). Larger ⇒ sharper `τ` estimates,
@@ -83,9 +126,25 @@ pub struct StreamParams {
     pub faults: FaultPlan,
 }
 
+impl PartialEq for StreamParams {
+    fn eq(&self, other: &Self) -> bool {
+        // `kernel` deliberately excluded — see the struct docs.
+        self.est_rate == other.est_rate
+            && self.alpha_factor == other.alpha_factor
+            && self.rows == other.rows
+            && self.cap_cells == other.cap_cells
+            && self.o_ladder_max == other.o_ladder_max
+            && self.parallel == other.parallel
+            && self.threads == other.threads
+            && self.shards == other.shards
+            && self.faults == other.faults
+    }
+}
+
 impl Default for StreamParams {
     fn default() -> Self {
         Self {
+            kernel: Kernel::env_default(),
             est_rate: 192.0,
             alpha_factor: 8.0,
             rows: 4,
@@ -117,6 +176,13 @@ pub struct StreamParamsBuilder {
 }
 
 impl StreamParamsBuilder {
+    /// Selects the ingest kernel (defaults to [`Kernel::env_default`],
+    /// i.e. the fastest correct path unless `SBC_FORCE_SCALAR` is set).
+    pub fn kernel(mut self, v: Kernel) -> Self {
+        self.inner.kernel = v;
+        self
+    }
+
     /// Sets the size-estimation sample rate (must be positive).
     pub fn est_rate(mut self, v: f64) -> Self {
         self.inner.est_rate = v;
@@ -306,8 +372,13 @@ impl RouteTables {
 struct BatchSoa {
     keys: Vec<u128>,
     deltas: Vec<i64>,
+    /// Materialized cells — left empty by the packed kernel, which
+    /// routes by `cell_keys` alone.
     cells: Vec<CellId>,
     cell_keys: Vec<u128>,
+    /// Scratch: the current point's floored shifted coordinates
+    /// (packed kernel only).
+    us: Vec<i64>,
     hv: Vec<u64>,
     hpv: Vec<u64>,
     hhv: Vec<u64>,
@@ -340,21 +411,65 @@ pub struct SpaceReport {
     /// Stores dead by `StoreDeath::SketchOverflow` (bucket overflows,
     /// natural or injected).
     pub sketch_overflow: usize,
+    /// Total open-addressing slots across live arena-backed stores
+    /// (the packed kernel's flat tables; `0` under the scalar kernel).
+    /// Deterministic: derived from each store's cell high-water mark,
+    /// not from transient allocations.
+    pub arena_slots: usize,
+    /// Live entries occupying those slots. `arena_entries / arena_slots`
+    /// is the fleet-wide load factor (≤ ⅞ by construction) — the
+    /// baseline the memory-diet roadmap item diets against.
+    pub arena_entries: usize,
 }
 
 impl SpaceReport {
     /// Serializes the report for embedding in a metrics snapshot (the
     /// workspace's offline stand-in for a `serde::Serialize` derive).
+    ///
+    /// Alongside the raw fields, two derived ones keep the report
+    /// readable: `nominal_sketch_bytes_human` (the 10^14-range nominal
+    /// accounting scaled to binary units so it stops drowning the real
+    /// `store_bytes` signal) and `arena_load_factor`.
     pub fn to_json(&self) -> JsonValue {
+        let load = if self.arena_slots == 0 {
+            0.0
+        } else {
+            self.arena_entries as f64 / self.arena_slots as f64
+        };
         JsonValue::object()
             .field("hash_bytes", self.hash_bytes)
             .field("store_bytes", self.store_bytes)
             .field("nominal_sketch_bytes", self.nominal_sketch_bytes)
+            .field(
+                "nominal_sketch_bytes_human",
+                human_bytes(self.nominal_sketch_bytes),
+            )
             .field("instances", self.instances)
             .field("dead_stores", self.dead_stores)
             .field("live_stores", self.live_stores)
             .field("runaway_kill", self.runaway_kill)
             .field("sketch_overflow", self.sketch_overflow)
+            .field("arena_slots", self.arena_slots)
+            .field("arena_entries", self.arena_entries)
+            .field("arena_load_factor", load)
+    }
+}
+
+/// Scales a byte count to binary units (`"3.52 GiB"`): fixed format,
+/// two decimals, so space reports stay comparable across runs and
+/// readable next to measured figures.
+pub fn human_bytes(bytes: usize) -> String {
+    const UNITS: [&str; 7] = ["B", "KiB", "MiB", "GiB", "TiB", "PiB", "EiB"];
+    let mut v = bytes as f64;
+    let mut unit = 0;
+    while v >= 1024.0 && unit + 1 < UNITS.len() {
+        v /= 1024.0;
+        unit += 1;
+    }
+    if unit == 0 {
+        format!("{bytes} B")
+    } else {
+        format!("{v:.2} {}", UNITS[unit])
     }
 }
 
@@ -390,6 +505,8 @@ impl ShardedSpaceReport {
             live_stores: 0,
             runaway_kill: 0,
             sketch_overflow: 0,
+            arena_slots: 0,
+            arena_entries: 0,
         };
         let mut total = zero;
         let mut max = zero;
@@ -402,6 +519,8 @@ impl ShardedSpaceReport {
             total.live_stores += r.live_stores;
             total.runaway_kill += r.runaway_kill;
             total.sketch_overflow += r.sketch_overflow;
+            total.arena_slots += r.arena_slots;
+            total.arena_entries += r.arena_entries;
             max.hash_bytes = max.hash_bytes.max(r.hash_bytes);
             max.store_bytes = max.store_bytes.max(r.store_bytes);
             max.nominal_sketch_bytes = max.nominal_sketch_bytes.max(r.nominal_sketch_bytes);
@@ -410,6 +529,8 @@ impl ShardedSpaceReport {
             max.live_stores = max.live_stores.max(r.live_stores);
             max.runaway_kill = max.runaway_kill.max(r.runaway_kill);
             max.sketch_overflow = max.sketch_overflow.max(r.sketch_overflow);
+            max.arena_slots = max.arena_slots.max(r.arena_slots);
+            max.arena_entries = max.arena_entries.max(r.arena_entries);
         }
         Self {
             total,
@@ -543,6 +664,10 @@ pub struct StreamCoresetBuilder {
     hhat_hashes: Vec<KWiseHash>,
     instances: Vec<OInstance>,
     routes: RouteTables,
+    /// Whether the packed kernel is active: [`Kernel::Simd`] requested
+    /// *and* the geometry packs (see [`geometry_packs`]). When set, the
+    /// stores are arena-backed and batches route by dense keys alone.
+    packed: bool,
     net_count: i64,
     /// Gross stream operations absorbed (inserts + deletes): the causal
     /// op index stamped on trace events and carried across checkpoints.
@@ -577,6 +702,7 @@ impl StreamCoresetBuilder {
 
         let instances = Self::build_ladder(&params, &sparams, &grid, rng);
         let routes = RouteTables::build(&instances, l as usize);
+        let packed = sparams.kernel == Kernel::Simd && geometry_packs(&params.grid);
 
         Self {
             params,
@@ -587,6 +713,7 @@ impl StreamCoresetBuilder {
             hhat_hashes,
             instances,
             routes,
+            packed,
             net_count: 0,
             ops_seen: 0,
             merge_depth: 0,
@@ -612,10 +739,11 @@ impl StreamCoresetBuilder {
                     * sbc_geometry::metric::pow_r((gp.d as f64).sqrt() * gp.delta as f64, params.r)
             })
             .max(2.0);
+        let use_arena = sparams.kernel == Kernel::Simd && geometry_packs(&params.grid);
         let mut instances = Vec::new();
         let mut o = 1.0f64;
         while o <= o_max {
-            instances.push(OInstance::new(params, sparams, grid, o, rng));
+            instances.push(OInstance::new(params, sparams, grid, o, use_arena, rng));
             o *= 2.0;
         }
         instances
@@ -818,14 +946,62 @@ impl StreamCoresetBuilder {
         soa.deltas.clear();
         soa.cells.clear();
         soa.cell_keys.clear();
-        for &(p, delta) in ops {
-            debug_assert_eq!(p.dim(), gp.d);
-            soa.keys.push(p.key128(gp.delta));
-            soa.deltas.push(delta);
-            for i in -1..=l {
-                let cell = self.grid.cell_of(p, i);
-                soa.cell_keys.push(cell.key128());
-                soa.cells.push(cell);
+        if self.packed {
+            // Packed cell-path kernel (DESIGN.md §9): one floor per
+            // coordinate yields the level-L index, every coarser level
+            // is a right shift, and the dense key is assembled with the
+            // exact bit layout of `CellId::pack` — no `CellId` is ever
+            // materialized. `route_range` then drives the stores
+            // through the key-only entry point.
+            let shift = self.grid.shift();
+            for &(p, delta) in ops {
+                debug_assert_eq!(p.dim(), gp.d);
+                soa.keys.push(p.key128(gp.delta));
+                soa.deltas.push(delta);
+                soa.us.clear();
+                let mut in_range = true;
+                for (j, &c) in p.coords().iter().enumerate() {
+                    // u = ⌊c + v⌋: the level-L cell index, since g_L = 1.
+                    // Coarser sides are powers of two, f64 divides by
+                    // them exactly, and ⌊·⌋ commutes with halving on
+                    // non-negatives — so level i's index is u >> (L−i)
+                    // (level −1, side 2Δ, is u >> (L+1)).
+                    let u = (c as f64 + shift[j]).floor() as i64;
+                    in_range &= (0..(1i64 << (l + 1))).contains(&u);
+                    soa.us.push(u);
+                }
+                if in_range {
+                    for i in -1..=l {
+                        let (width, down) = if i >= 0 {
+                            ((i + 2) as u32, (l - i) as u32)
+                        } else {
+                            (1, (l + 1) as u32)
+                        };
+                        let mut key = (i + 1) as u128;
+                        for &u in &soa.us {
+                            key = (key << width) | (u >> down) as u128;
+                        }
+                        soa.cell_keys.push(key);
+                    }
+                } else {
+                    // A coordinate outside [Δ]^d (out of the data-model
+                    // contract): take the reference path for this point
+                    // so the keys still match the per-op pipeline.
+                    for i in -1..=l {
+                        soa.cell_keys.push(self.grid.cell_of(p, i).key128());
+                    }
+                }
+            }
+        } else {
+            for &(p, delta) in ops {
+                debug_assert_eq!(p.dim(), gp.d);
+                soa.keys.push(p.key128(gp.delta));
+                soa.deltas.push(delta);
+                for i in -1..=l {
+                    let cell = self.grid.cell_of(p, i);
+                    soa.cell_keys.push(cell.key128());
+                    soa.cells.push(cell);
+                }
             }
         }
 
@@ -886,15 +1062,16 @@ impl StreamCoresetBuilder {
         let shards = self.effective_shards(ops.len());
         let instances = &mut self.instances[..];
         let routes = &self.routes;
+        let packed = self.packed;
         let soa = &soa;
         if shards <= 1 {
-            route_range(instances, 0, ops, soa, routes, levels);
+            route_range(instances, 0, ops, soa, routes, levels, packed);
         } else {
             let chunk = instances.len().div_ceil(shards);
             rayon::scope(|scope| {
                 for (ci, shard) in instances.chunks_mut(chunk).enumerate() {
                     scope.spawn(move |_| {
-                        route_range(shard, ci * chunk, ops, soa, routes, levels);
+                        route_range(shard, ci * chunk, ops, soa, routes, levels, packed);
                     });
                 }
             });
@@ -1025,6 +1202,8 @@ impl StreamCoresetBuilder {
         let mut live_stores = 0usize;
         let mut runaway_kill = 0usize;
         let mut sketch_overflow = 0usize;
+        let mut arena_slots = 0usize;
+        let mut arena_entries = 0usize;
         for inst in &self.instances {
             for st in inst
                 .h_stores
@@ -1038,6 +1217,10 @@ impl StreamCoresetBuilder {
                     Some(StoreDeath::SketchOverflow) => sketch_overflow += 1,
                     None => live_stores += 1,
                 }
+                if let Some((slots, entries)) = st.arena_occupancy() {
+                    arena_slots += slots;
+                    arena_entries += entries;
+                }
             }
             nominal += inst.nominal_bytes();
         }
@@ -1050,6 +1233,8 @@ impl StreamCoresetBuilder {
             live_stores,
             runaway_kill,
             sketch_overflow,
+            arena_slots,
+            arena_entries,
         }
     }
 
@@ -1198,6 +1383,7 @@ impl StreamCoresetBuilder {
             snap.net_count.unsigned_abs(),
         );
 
+        let packed = sparams.kernel == Kernel::Simd && geometry_packs(&params.grid);
         Ok(Self {
             params,
             sparams,
@@ -1207,6 +1393,7 @@ impl StreamCoresetBuilder {
             hhat_hashes,
             instances,
             routes,
+            packed,
             net_count: snap.net_count,
             ops_seen: snap.ops_seen,
             merge_depth: snap.merge_depth,
@@ -1411,6 +1598,17 @@ impl StreamCoresetBuilder {
 /// being revisited once per op. The scan itself is a branch over the
 /// precomputed ladder cut, and stores past the batch's maximum cut are
 /// skipped without scanning.
+/// Whether the cube geometry admits the packed kernel: every cell id of
+/// levels `−1..=L` packs into a dense `u64` (6 bits of level plus a
+/// `(level+2)`-bit offset per coordinate, widest at level `L`) and every
+/// point key is an injective `u128` packing. When this fails the builder
+/// silently runs the scalar layout regardless of [`Kernel`] — correct
+/// first, fast second.
+fn geometry_packs(gp: &sbc_geometry::GridParams) -> bool {
+    6 + (gp.l as usize + 2) * gp.d <= 64
+        && sbc_geometry::point::bits_for(gp.delta) as usize * gp.d <= 128
+}
+
 fn route_range(
     shard: &mut [OInstance],
     base: usize,
@@ -1418,6 +1616,7 @@ fn route_range(
     soa: &BatchSoa,
     routes: &RouteTables,
     levels: usize,
+    packed: bool,
 ) {
     let n = ops.len();
     let len = shard.len();
@@ -1428,59 +1627,56 @@ fn route_range(
         let max = cuts.iter().copied().max().unwrap_or(0) as usize;
         max.saturating_sub(base).min(len)
     };
-    for idx in 0..levels {
-        let cut_h = &soa.cut_h[idx * n..(idx + 1) * n];
-        for (j, inst) in shard.iter_mut().enumerate().take(reach(cut_h)) {
-            let g = (base + j) as u32;
-            let store = &mut inst.h_stores[idx];
+    // Drives every accepted op of the batch into one store. The packed
+    // kernel routes by dense keys alone (no `CellId` exists to pass);
+    // the scalar layout hands the store its precomputed cell.
+    let drive = |store: &mut Storing, cuts: &[u32], g: u32, coff: usize| {
+        if packed {
+            // Lockstep iterators (no per-op bounds checks): the op's
+            // cell row is a `stride`-wide chunk, `coff` picks the level.
+            // The whole accepted scan drains through one batch call so
+            // the store's per-update overhead is hoisted out of the loop.
+            let rows = soa.cell_keys.chunks_exact(stride);
+            store.update_packed_many(
+                cuts.iter()
+                    .zip(&soa.keys)
+                    .zip(&soa.deltas)
+                    .zip(rows)
+                    .filter(|(((&cut, _), _), _)| cut > g)
+                    .map(|(((_, &key), &delta), row)| (key, row[coff], delta)),
+            );
+        } else {
             for i in 0..n {
-                if cut_h[i] > g {
+                if cuts[i] > g {
                     store.update_precomputed(
                         ops[i].0,
                         soa.keys[i],
-                        &soa.cells[i * stride + idx],
-                        soa.cell_keys[i * stride + idx],
+                        &soa.cells[i * stride + coff],
+                        soa.cell_keys[i * stride + coff],
                         soa.deltas[i],
                     );
                 }
             }
         }
+    };
+    for idx in 0..levels {
+        let cut_h = &soa.cut_h[idx * n..(idx + 1) * n];
+        for (j, inst) in shard.iter_mut().enumerate().take(reach(cut_h)) {
+            drive(&mut inst.h_stores[idx], cut_h, (base + j) as u32, idx);
+        }
         let cut_hp = &soa.cut_hp[idx * n..(idx + 1) * n];
         for (j, inst) in shard.iter_mut().enumerate().take(reach(cut_hp)) {
-            let g = (base + j) as u32;
-            let store = &mut inst.hp_stores[idx];
-            for i in 0..n {
-                if cut_hp[i] > g {
-                    store.update_precomputed(
-                        ops[i].0,
-                        soa.keys[i],
-                        &soa.cells[i * stride + idx + 1],
-                        soa.cell_keys[i * stride + idx + 1],
-                        soa.deltas[i],
-                    );
-                }
-            }
+            drive(&mut inst.hp_stores[idx], cut_hp, (base + j) as u32, idx + 1);
         }
         // ĥ: live stores are a suffix of the ladder, the accepting
         // hashes a prefix; walk the intersection.
         let cut_hhat = &soa.cut_hhat[idx * n..(idx + 1) * n];
         let lo = routes.hhat_first[idx].saturating_sub(base).min(len);
         for (j, inst) in shard.iter_mut().enumerate().take(reach(cut_hhat)).skip(lo) {
-            let g = (base + j) as u32;
             let Some(store) = inst.hhat_stores[idx].as_mut() else {
                 continue;
             };
-            for i in 0..n {
-                if cut_hhat[i] > g {
-                    store.update_precomputed(
-                        ops[i].0,
-                        soa.keys[i],
-                        &soa.cells[i * stride + idx + 1],
-                        soa.cell_keys[i * stride + idx + 1],
-                        soa.deltas[i],
-                    );
-                }
-            }
+            drive(store, cut_hhat, (base + j) as u32, idx + 1);
         }
     }
 }
@@ -1498,12 +1694,23 @@ impl OInstance {
         sparams: &StreamParams,
         grid: &GridHierarchy,
         o: f64,
+        use_arena: bool,
         rng: &mut R,
     ) -> Self {
         let l = params.l() as i32;
         let gamma = params.gamma();
         let kl = params.k as f64 * params.l().max(1) as f64;
         let dpow = params.d_pow().min(16.0);
+        // Same caps and FAIL semantics either way; the arena backend is
+        // the flat-layout twin of the exact one (bit-identical outputs).
+        let backend = |alpha: usize| {
+            let cap_cells = (8 * alpha + 1024).min(sparams.cap_cells).max(alpha + 1);
+            if use_arena {
+                Backend::Arena { cap_cells }
+            } else {
+                Backend::Exact { cap_cells }
+            }
+        };
 
         let mut psi = Vec::new();
         let mut psi_thr = Vec::new();
@@ -1523,9 +1730,7 @@ impl OInstance {
                     beta: 1,
                     rows: sparams.rows,
                 },
-                Backend::Exact {
-                    cap_cells: (8 * alpha + 1024).min(sparams.cap_cells).max(alpha + 1),
-                },
+                backend(alpha),
                 rng,
             ));
         }
@@ -1552,9 +1757,7 @@ impl OInstance {
                     beta: 1,
                     rows: sparams.rows,
                 },
-                Backend::Exact {
-                    cap_cells: (8 * alpha_p + 1024).min(sparams.cap_cells).max(alpha_p + 1),
-                },
+                backend(alpha_p),
                 rng,
             ));
 
@@ -1577,11 +1780,7 @@ impl OInstance {
                         beta: beta_hat,
                         rows: sparams.rows,
                     },
-                    Backend::Exact {
-                        cap_cells: (8 * alpha_hat + 1024)
-                            .min(sparams.cap_cells)
-                            .max(alpha_hat + 1),
-                    },
+                    backend(alpha_hat),
                     rng,
                 )));
             }

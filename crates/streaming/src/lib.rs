@@ -43,8 +43,8 @@ pub mod storing;
 
 pub use checkpoint::{CheckpointError, Snapshot};
 pub use coreset_stream::{
-    InstanceSummary, ShardedSpaceReport, SpaceReport, StreamCoresetBuilder, StreamParams,
-    StreamParamsBuilder,
+    human_bytes, InstanceSummary, Kernel, ShardedSpaceReport, SpaceReport, StreamCoresetBuilder,
+    StreamParams, StreamParamsBuilder,
 };
 pub use merge::{EpsSchedule, MergeError};
 pub use model::{insert_delete_stream, insertion_stream, StreamOp};

@@ -26,7 +26,7 @@
 use crate::sparse::SSparseRecovery;
 use rand::Rng;
 use sbc_geometry::{CellId, GridHierarchy, Point};
-use sbc_hash::{KWiseHash, Key128Map};
+use sbc_hash::{KWiseHash, Key128Map, OpenTable};
 use sbc_obs::fault::{FaultPlan, StoreFaultKind};
 use sbc_obs::trace::{self, CausalIds, TraceKind};
 use std::collections::hash_map::Entry;
@@ -52,6 +52,16 @@ pub enum Backend {
         /// Maximum distinct non-empty cells tracked before the structure
         /// declares itself overflowed (frees its memory, FAILs at
         /// finish). Set this several× above `alpha`.
+        cap_cells: usize,
+    },
+    /// Flat open-addressing arena backend (DESIGN.md §9): the same
+    /// output/FAIL/eviction semantics as [`Backend::Exact`], bit for
+    /// bit, but cells are keyed by their *packed* `u64` ids in an
+    /// [`OpenTable`] and point payloads are dense `(packed key,
+    /// multiplicity)` vectors. Requires packable cell and point keys
+    /// (the batched kernel gate checks this before selecting it).
+    Arena {
+        /// Occupancy cap, as for [`Backend::Exact`].
         cap_cells: usize,
     },
     /// Linear-sketch backend (fixed space, needs packable keys).
@@ -101,7 +111,7 @@ impl std::fmt::Display for StoringFail {
 impl std::error::Error for StoringFail {}
 
 /// Successful output of a [`Storing`] (Lemma 4.2 items 1–3).
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct StoringOutput {
     /// Non-empty cells with their point counts.
     pub cells: Vec<(CellId, i64)>,
@@ -123,9 +133,25 @@ struct CellRec {
     points: Key128Map<(Point, i64)>,
 }
 
+/// One cell's state in the arena backend: the cell id lives in the
+/// table key (packed `u64`), points live as packed `u128` keys — both
+/// reconstructed via `unpack` only at finish/snapshot boundaries.
+#[derive(Clone)]
+struct ArenaRec {
+    count: i64,
+    dirty: bool,
+    points: Vec<(u128, i64)>,
+}
+
 enum Inner {
     Exact {
         cells: Key128Map<CellRec>,
+        cap_cells: usize,
+        dead: bool,
+        peak_cells: usize,
+    },
+    Arena {
+        table: OpenTable<ArenaRec>,
         cap_cells: usize,
         dead: bool,
         peak_cells: usize,
@@ -175,6 +201,37 @@ fn update_points(rec: &mut CellRec, p: &Point, point_key: u128, delta: i64, beta
     if rec.count > 2 * beta.max(1) {
         rec.points.clear();
         rec.points.shrink_to_fit();
+        rec.dirty = true;
+    }
+}
+
+/// [`update_points`] for the arena backend: identical semantics over a
+/// dense `(packed key, multiplicity)` vector. Payloads hold at most
+/// ~`2β` entries (the eviction bound), so a linear scan beats a hash
+/// probe on both instructions and cache lines.
+#[inline]
+fn update_points_arena(rec: &mut ArenaRec, point_key: u128, delta: i64, beta: i64) {
+    if rec.dirty {
+        return;
+    }
+    if sbc_obs::enabled() {
+        sbc_obs::counter!("stream.store.map_probes").incr();
+    }
+    match rec.points.iter().position(|&(k, _)| k == point_key) {
+        None => {
+            if delta != 0 {
+                rec.points.push((point_key, delta));
+            }
+        }
+        Some(i) => {
+            rec.points[i].1 += delta;
+            if rec.points[i].1 == 0 {
+                rec.points.swap_remove(i);
+            }
+        }
+    }
+    if rec.count > 2 * beta.max(1) {
+        rec.points = Vec::new();
         rec.dirty = true;
     }
 }
@@ -251,6 +308,21 @@ impl Storing {
                 dead: false,
                 peak_cells: 0,
             },
+            Backend::Arena { cap_cells } => {
+                let gp = grid.params();
+                let cell_width = if level >= 0 { (level + 2) as usize } else { 1 };
+                let point_bits = sbc_geometry::point::bits_for(gp.delta) as usize * gp.d;
+                assert!(
+                    6 + cell_width * gp.d <= 64 && point_bits <= 128,
+                    "arena backend needs u64 cell keys and packable points; use Backend::Exact"
+                );
+                Inner::Arena {
+                    table: OpenTable::with_expected(cfg.alpha),
+                    cap_cells: cap_cells.max(cfg.alpha),
+                    dead: false,
+                    peak_cells: 0,
+                }
+            }
             Backend::Sketch => {
                 let gp = grid.params();
                 let bits = sbc_geometry::point::bits_for(gp.delta) as usize * gp.d;
@@ -322,6 +394,10 @@ impl Storing {
                 cells.clear();
                 cells.shrink_to_fit();
             }
+            Inner::Arena { table, dead, .. } => {
+                *dead = true;
+                table.clear_shrink();
+            }
             Inner::Sketch { rows, dead, .. } => {
                 *dead = true;
                 for (_, buckets) in rows.iter_mut() {
@@ -379,6 +455,21 @@ impl Storing {
         self.update_precomputed(p, point_key, &cell, cell_key, delta);
     }
 
+    /// Shared update prelude: advances the update counter and fires any
+    /// armed injected fault. Injected faults fire *before* the update at
+    /// the kill index is applied; the update counter still advances
+    /// while dead so the decision index stays path-independent.
+    #[inline]
+    fn pre_update(&mut self) {
+        self.updates += 1;
+        sbc_obs::counter!("stream.store.updates").incr();
+        if self.injected.is_none() && self.fault.is_active() && !self.is_dead() {
+            if let Some(kind) = self.fault.store_fault(self.fault_salt, self.updates - 1) {
+                self.kill_injected(kind);
+            }
+        }
+    }
+
     /// [`Self::update`] with the cell and keys precomputed (the pipeline
     /// shares them across many instances).
     pub fn update_precomputed(
@@ -389,118 +480,287 @@ impl Storing {
         cell_key: u128,
         delta: i64,
     ) {
-        self.updates += 1;
-        sbc_obs::counter!("stream.store.updates").incr();
-        // Injected faults fire *before* the update at the kill index is
-        // applied; the update counter still advances while dead so the
-        // decision index stays path-independent.
-        if self.injected.is_none() && self.fault.is_active() && !self.is_dead() {
-            if let Some(kind) = self.fault.store_fault(self.fault_salt, self.updates - 1) {
-                self.kill_injected(kind);
-            }
+        self.pre_update();
+        match &self.inner {
+            Inner::Exact { .. } => self.update_exact(p, point_key, cell, cell_key, delta),
+            Inner::Arena { .. } => self.update_arena(point_key, cell_key, delta),
+            Inner::Sketch { .. } => self.update_sketch(point_key, cell_key, delta),
         }
-        match &mut self.inner {
-            Inner::Exact {
-                cells,
-                cap_cells,
-                dead,
-                peak_cells,
-            } => {
-                if *dead {
-                    return;
+    }
+
+    /// Key-only update for the batched kernel path: no `CellId` or
+    /// [`Point`] is ever materialized. Bit-identical to
+    /// [`Self::update_precomputed`] called with the unpacked cell —
+    /// the arena and sketch backends operate on keys alone, and the
+    /// exact backend (reachable only in mixed configurations) unpacks
+    /// lazily.
+    #[inline]
+    pub fn update_packed(&mut self, point_key: u128, cell_key: u128, delta: i64) {
+        self.pre_update();
+        match &self.inner {
+            Inner::Exact { .. } => {
+                let gp = self.grid.params();
+                let cell = CellId::unpack(cell_key, self.level, gp.d)
+                    .expect("update_packed requires packable cell keys");
+                let p = Point::unpack(point_key, gp.delta, gp.d)
+                    .expect("update_packed requires packable point keys");
+                self.update_exact(&p, point_key, &cell, cell_key, delta);
+            }
+            Inner::Arena { .. } => self.update_arena(point_key, cell_key, delta),
+            Inner::Sketch { .. } => self.update_sketch(point_key, cell_key, delta),
+        }
+    }
+
+    /// Drains a whole batch of key-only updates — semantically identical
+    /// to calling [`Self::update_packed`] once per item, in order. The
+    /// arena fast path hoists the per-update overhead (backend dispatch,
+    /// liveness and fault checks, counter write-back) out of the loop;
+    /// it is taken only when nothing per-update can observe the
+    /// difference: no armed fault plan (kill decisions are indexed by
+    /// individual updates) and no live metrics recording (per-probe
+    /// counters). Everything else falls back to the per-op path.
+    pub fn update_packed_many<I: Iterator<Item = (u128, u128, i64)>>(&mut self, items: I) {
+        if self.fault.is_active() || sbc_obs::enabled() {
+            for (point_key, cell_key, delta) in items {
+                self.update_packed(point_key, cell_key, delta);
+            }
+            return;
+        }
+        let beta = self.cfg.beta as i64;
+        let ids = self.ids;
+        let Inner::Arena {
+            table,
+            cap_cells,
+            dead,
+            peak_cells,
+        } = &mut self.inner
+        else {
+            for (point_key, cell_key, delta) in items {
+                self.update_packed(point_key, cell_key, delta);
+            }
+            return;
+        };
+        // The update counter advances even while dead (it drives
+        // fault-injection indices, which must stay path-independent).
+        if *dead {
+            self.updates += items.count() as u64;
+            return;
+        }
+        let mut updates = self.updates;
+        let mut items = items;
+        while let Some((point_key, cell_key, delta)) = items.next() {
+            updates += 1;
+            debug_assert!(cell_key <= u64::MAX as u128, "arena cell keys fit u64");
+            let key = cell_key as u64;
+            match table.get_mut(key) {
+                Some(rec) => {
+                    rec.count += delta;
+                    debug_assert!(rec.count >= 0, "stream model: no over-deletion");
+                    update_points_arena(rec, point_key, delta, beta);
+                    if rec.count == 0 && rec.points.is_empty() {
+                        table.remove(key);
+                    }
                 }
-                let obs_on = sbc_obs::enabled();
-                let cap_before = if obs_on {
-                    sbc_obs::counter!("stream.store.map_probes").incr();
-                    cells.capacity()
-                } else {
-                    0
-                };
-                let beta = self.cfg.beta as i64;
-                // Single probe: the entry does the new-cell check, the
-                // update, and (via the occupied entry) the emptied-cell
-                // removal without re-hashing.
-                let len = cells.len();
-                let mut rec_entry = match cells.entry(cell_key) {
-                    Entry::Vacant(v) => {
-                        if len >= *cap_cells {
-                            let _ = v;
-                            *dead = true;
-                            cells.clear();
-                            cells.shrink_to_fit();
-                            sbc_obs::counter!("stream.store.kill.runaway_kill").incr();
-                            trace::event(
-                                TraceKind::StoreKill,
-                                "runaway_kill",
-                                self.ids,
-                                self.updates,
-                            );
-                            return;
-                        }
-                        *peak_cells = (*peak_cells).max(len + 1);
-                        let rec = v.insert(CellRec {
+                None => {
+                    let len = table.len();
+                    if len >= *cap_cells {
+                        *dead = true;
+                        table.clear_shrink();
+                        sbc_obs::counter!("stream.store.kill.runaway_kill").incr();
+                        trace::event(TraceKind::StoreKill, "runaway_kill", ids, updates);
+                        updates += items.count() as u64;
+                        break;
+                    }
+                    *peak_cells = (*peak_cells).max(len + 1);
+                    let rec = table.insert_absent(
+                        key,
+                        ArenaRec {
                             count: 0,
                             dirty: false,
-                            cell: cell.clone(),
-                            points: Key128Map::default(),
-                        });
-                        rec.count += delta;
-                        debug_assert!(rec.count >= 0, "stream model: no over-deletion");
-                        update_points(rec, p, point_key, delta, beta);
-                        if obs_on && cells.capacity() != cap_before {
-                            sbc_obs::counter!("stream.store.map_resizes").incr();
-                            trace::instant("store.map_resize", self.ids, self.updates);
-                        }
-                        return; // a just-inserted record cannot net to zero
-                    }
-                    Entry::Occupied(o) => o,
-                };
-                let rec = rec_entry.get_mut();
+                            points: Vec::new(),
+                        },
+                    );
+                    rec.count += delta;
+                    debug_assert!(rec.count >= 0, "stream model: no over-deletion");
+                    update_points_arena(rec, point_key, delta, beta);
+                }
+            }
+        }
+        self.updates = updates;
+    }
+
+    /// Post-prelude update body for [`Inner::Exact`].
+    fn update_exact(
+        &mut self,
+        p: &Point,
+        point_key: u128,
+        cell: &CellId,
+        cell_key: u128,
+        delta: i64,
+    ) {
+        let beta = self.cfg.beta as i64;
+        let updates = self.updates;
+        let ids = self.ids;
+        let Inner::Exact {
+            cells,
+            cap_cells,
+            dead,
+            peak_cells,
+        } = &mut self.inner
+        else {
+            unreachable!("update_exact on a non-exact backend")
+        };
+        if *dead {
+            return;
+        }
+        let obs_on = sbc_obs::enabled();
+        let cap_before = if obs_on {
+            sbc_obs::counter!("stream.store.map_probes").incr();
+            cells.capacity()
+        } else {
+            0
+        };
+        // Single probe: the entry does the new-cell check, the
+        // update, and (via the occupied entry) the emptied-cell
+        // removal without re-hashing.
+        let len = cells.len();
+        let mut rec_entry = match cells.entry(cell_key) {
+            Entry::Vacant(v) => {
+                if len >= *cap_cells {
+                    let _ = v;
+                    *dead = true;
+                    cells.clear();
+                    cells.shrink_to_fit();
+                    sbc_obs::counter!("stream.store.kill.runaway_kill").incr();
+                    trace::event(TraceKind::StoreKill, "runaway_kill", ids, updates);
+                    return;
+                }
+                *peak_cells = (*peak_cells).max(len + 1);
+                let rec = v.insert(CellRec {
+                    count: 0,
+                    dirty: false,
+                    cell: cell.clone(),
+                    points: Key128Map::default(),
+                });
                 rec.count += delta;
                 debug_assert!(rec.count >= 0, "stream model: no over-deletion");
                 update_points(rec, p, point_key, delta, beta);
+                if obs_on && cells.capacity() != cap_before {
+                    sbc_obs::counter!("stream.store.map_resizes").incr();
+                    trace::instant("store.map_resize", ids, updates);
+                }
+                return; // a just-inserted record cannot net to zero
+            }
+            Entry::Occupied(o) => o,
+        };
+        let rec = rec_entry.get_mut();
+        rec.count += delta;
+        debug_assert!(rec.count >= 0, "stream model: no over-deletion");
+        update_points(rec, p, point_key, delta, beta);
+        if rec.count == 0 && rec.points.is_empty() {
+            rec_entry.remove();
+        }
+    }
+
+    /// Post-prelude update body for [`Inner::Arena`] — the same decision
+    /// sequence as [`Self::update_exact`] (cap kill before insert, peak
+    /// tracking, eviction after the point update, emptied-cell removal)
+    /// over the flat table. Cell keys are the low 64 bits of the packed
+    /// `u128` key, lossless by the constructor's packability gate.
+    fn update_arena(&mut self, point_key: u128, cell_key: u128, delta: i64) {
+        let beta = self.cfg.beta as i64;
+        let updates = self.updates;
+        let ids = self.ids;
+        let Inner::Arena {
+            table,
+            cap_cells,
+            dead,
+            peak_cells,
+        } = &mut self.inner
+        else {
+            unreachable!("update_arena on a non-arena backend")
+        };
+        if *dead {
+            return;
+        }
+        if sbc_obs::enabled() {
+            sbc_obs::counter!("stream.store.map_probes").incr();
+        }
+        debug_assert!(cell_key <= u64::MAX as u128, "arena cell keys fit u64");
+        let key = cell_key as u64;
+        match table.get_mut(key) {
+            Some(rec) => {
+                rec.count += delta;
+                debug_assert!(rec.count >= 0, "stream model: no over-deletion");
+                update_points_arena(rec, point_key, delta, beta);
                 if rec.count == 0 && rec.points.is_empty() {
-                    rec_entry.remove();
+                    table.remove(key);
                 }
             }
-            Inner::Sketch {
-                cell_sketch,
-                rows,
-                bucket_cols,
-                bucket_sparsity,
-                max_buckets,
-                dead,
-                seed,
-            } => {
-                if *dead {
+            None => {
+                let len = table.len();
+                if len >= *cap_cells {
+                    *dead = true;
+                    table.clear_shrink();
+                    sbc_obs::counter!("stream.store.kill.runaway_kill").incr();
+                    trace::event(TraceKind::StoreKill, "runaway_kill", ids, updates);
                     return;
                 }
-                cell_sketch.update(cell_key, delta);
-                let mut total_buckets = 0usize;
-                for (hash, buckets) in rows.iter_mut() {
-                    let idx = (hash.eval(cell_key) % *bucket_cols) as u32;
-                    let sparsity = *bucket_sparsity;
-                    let bucket = buckets
-                        .entry(idx)
-                        .or_insert_with(|| SSparseRecovery::new(sparsity, 2, seed));
-                    bucket.update(point_key, delta);
-                    total_buckets += buckets.len();
-                }
-                if total_buckets > *max_buckets * rows.len() {
-                    *dead = true;
-                    for (_, buckets) in rows.iter_mut() {
-                        buckets.clear();
-                        buckets.shrink_to_fit();
-                    }
-                    sbc_obs::counter!("stream.store.kill.sketch_overflow").incr();
-                    trace::event(
-                        TraceKind::StoreKill,
-                        "sketch_overflow",
-                        self.ids,
-                        self.updates,
-                    );
-                }
+                *peak_cells = (*peak_cells).max(len + 1);
+                let rec = table.insert_absent(
+                    key,
+                    ArenaRec {
+                        count: 0,
+                        dirty: false,
+                        points: Vec::new(),
+                    },
+                );
+                rec.count += delta;
+                debug_assert!(rec.count >= 0, "stream model: no over-deletion");
+                update_points_arena(rec, point_key, delta, beta);
+                // A just-inserted record cannot net to zero.
             }
+        }
+    }
+
+    /// Post-prelude update body for [`Inner::Sketch`].
+    fn update_sketch(&mut self, point_key: u128, cell_key: u128, delta: i64) {
+        let updates = self.updates;
+        let ids = self.ids;
+        let Inner::Sketch {
+            cell_sketch,
+            rows,
+            bucket_cols,
+            bucket_sparsity,
+            max_buckets,
+            dead,
+            seed,
+        } = &mut self.inner
+        else {
+            unreachable!("update_sketch on a non-sketch backend")
+        };
+        if *dead {
+            return;
+        }
+        cell_sketch.update(cell_key, delta);
+        let mut total_buckets = 0usize;
+        for (hash, buckets) in rows.iter_mut() {
+            let idx = (hash.eval(cell_key) % *bucket_cols) as u32;
+            let sparsity = *bucket_sparsity;
+            let bucket = buckets
+                .entry(idx)
+                .or_insert_with(|| SSparseRecovery::new(sparsity, 2, seed));
+            bucket.update(point_key, delta);
+            total_buckets += buckets.len();
+        }
+        if total_buckets > *max_buckets * rows.len() {
+            *dead = true;
+            for (_, buckets) in rows.iter_mut() {
+                buckets.clear();
+                buckets.shrink_to_fit();
+            }
+            sbc_obs::counter!("stream.store.kill.sketch_overflow").incr();
+            trace::event(TraceKind::StoreKill, "sketch_overflow", ids, updates);
         }
     }
 
@@ -535,6 +795,50 @@ impl Storing {
                             }
                         }
                     }
+                }
+                out_cells.sort_by(|a, b| a.0.cmp(&b.0));
+                small_points.sort_by(|a, b| a.0.cmp(&b.0));
+                dirty_small_cells.sort();
+                Ok(StoringOutput {
+                    cells: out_cells,
+                    small_points,
+                    dirty_small_cells,
+                })
+            }
+            Inner::Arena { table, dead, .. } => {
+                if *dead {
+                    return Err(StoringFail::Overflowed);
+                }
+                let live: Vec<(u64, &ArenaRec)> =
+                    table.iter().filter(|(_, r)| r.count > 0).collect();
+                if live.len() > self.cfg.alpha {
+                    return Err(StoringFail::TooManyCells {
+                        found: live.len(),
+                        alpha: self.cfg.alpha,
+                    });
+                }
+                let gp = self.grid.params();
+                let beta = self.cfg.beta as i64;
+                let mut out_cells = Vec::with_capacity(live.len());
+                let mut small_points = Vec::new();
+                let mut dirty_small_cells = Vec::new();
+                for (key, rec) in live {
+                    let cell = CellId::unpack(key as u128, self.level, gp.d)
+                        .expect("arena cell keys are valid packings");
+                    if rec.count <= beta {
+                        if rec.dirty {
+                            dirty_small_cells.push(cell.clone());
+                        } else {
+                            for &(pk, c) in &rec.points {
+                                if c > 0 {
+                                    let p = Point::unpack(pk, gp.delta, gp.d)
+                                        .expect("arena point keys are valid packings");
+                                    small_points.push((p, c));
+                                }
+                            }
+                        }
+                    }
+                    out_cells.push((cell, rec.count));
                 }
                 out_cells.sort_by(|a, b| a.0.cmp(&b.0));
                 small_points.sort_by(|a, b| a.0.cmp(&b.0));
@@ -620,7 +924,9 @@ impl Storing {
     /// Whether the structure has irrecoverably overflowed.
     pub fn is_dead(&self) -> bool {
         match &self.inner {
-            Inner::Exact { dead, .. } | Inner::Sketch { dead, .. } => *dead,
+            Inner::Exact { dead, .. } | Inner::Arena { dead, .. } | Inner::Sketch { dead, .. } => {
+                *dead
+            }
         }
     }
 
@@ -632,13 +938,17 @@ impl Storing {
             return Some(kind);
         }
         match &self.inner {
-            Inner::Exact { dead: true, .. } => Some(StoreDeath::RunawayKill),
+            Inner::Exact { dead: true, .. } | Inner::Arena { dead: true, .. } => {
+                Some(StoreDeath::RunawayKill)
+            }
             Inner::Sketch { dead: true, .. } => Some(StoreDeath::SketchOverflow),
             _ => None,
         }
     }
 
-    /// Measured bytes of state right now.
+    /// Measured bytes of state right now. Deterministic given the
+    /// logical state (never reads transient allocator capacities), so
+    /// space reports agree across ingest paths and checkpoint restores.
     pub fn stored_bytes(&self) -> usize {
         match &self.inner {
             Inner::Exact { cells, .. } => {
@@ -652,6 +962,24 @@ impl Storing {
                             + r.points.len() * (per_point + r.cell.coords.len() * 4)
                     })
                     .sum()
+            }
+            Inner::Arena {
+                table,
+                dead,
+                peak_cells,
+                ..
+            } => {
+                if *dead {
+                    return 0;
+                }
+                let per_cell = 8 + 8 + 1 + 24; // key + count + flag + vec header
+                let per_point = 16 + 8; // packed key + multiplicity
+                let slots = table.reported_capacity(*peak_cells) * 4;
+                slots
+                    + table
+                        .iter()
+                        .map(|(_, r)| per_cell + r.points.len() * per_point)
+                        .sum::<usize>()
             }
             Inner::Sketch {
                 cell_sketch, rows, ..
@@ -668,41 +996,94 @@ impl Storing {
         }
     }
 
-    /// Captures the exact backend's full dynamic state for
+    /// Arena-backend occupancy: `(deterministic slot capacity, live
+    /// entries)` summed into the space report's load-factor fields.
+    /// `None` for the other backends and for dead (freed) arenas.
+    pub fn arena_occupancy(&self) -> Option<(usize, usize)> {
+        match &self.inner {
+            Inner::Arena {
+                table,
+                dead: false,
+                peak_cells,
+                ..
+            } => Some((table.reported_capacity(*peak_cells), table.len())),
+            _ => None,
+        }
+    }
+
+    /// Captures the exact or arena backend's full dynamic state for
     /// checkpointing, with cells and per-cell points sorted by packed
-    /// key so the encoding is canonical. Returns `None` for the sketch
-    /// backend (not yet checkpointable; the builder surfaces this as an
+    /// key so the encoding is canonical — both backends produce the
+    /// *same* snapshot for the same logical state (the arena's packed
+    /// keys unpack to the cells and points the exact backend stores
+    /// directly). Returns `None` for the sketch backend (not yet
+    /// checkpointable; the builder surfaces this as an
     /// `UnsupportedBackend` checkpoint error).
     pub fn to_snapshot(&self) -> Option<StoringSnapshot> {
-        let Inner::Exact {
-            cells, peak_cells, ..
-        } = &self.inner
-        else {
-            return None;
+        let cell_snaps = match &self.inner {
+            Inner::Exact { cells, .. } => {
+                let mut snaps: Vec<(u128, CellSnapshot)> = cells
+                    .iter()
+                    .map(|(key, rec)| {
+                        let mut points: Vec<(u128, (Point, i64))> =
+                            rec.points.iter().map(|(k, v)| (*k, v.clone())).collect();
+                        points.sort_unstable_by_key(|(k, _)| *k);
+                        (
+                            *key,
+                            CellSnapshot {
+                                cell: rec.cell.clone(),
+                                count: rec.count,
+                                dirty: rec.dirty,
+                                points: points.into_iter().map(|(_, pv)| pv).collect(),
+                            },
+                        )
+                    })
+                    .collect();
+                snaps.sort_unstable_by_key(|(k, _)| *k);
+                snaps
+            }
+            Inner::Arena { table, .. } => {
+                let gp = self.grid.params();
+                let mut snaps: Vec<(u128, CellSnapshot)> = table
+                    .iter()
+                    .map(|(key, rec)| {
+                        let mut points: Vec<(u128, (Point, i64))> = rec
+                            .points
+                            .iter()
+                            .map(|&(pk, m)| {
+                                let p = Point::unpack(pk, gp.delta, gp.d)
+                                    .expect("arena point keys are valid packings");
+                                (pk, (p, m))
+                            })
+                            .collect();
+                        points.sort_unstable_by_key(|(k, _)| *k);
+                        let cell = CellId::unpack(key as u128, self.level, gp.d)
+                            .expect("arena cell keys are valid packings");
+                        (
+                            key as u128,
+                            CellSnapshot {
+                                cell,
+                                count: rec.count,
+                                dirty: rec.dirty,
+                                points: points.into_iter().map(|(_, pv)| pv).collect(),
+                            },
+                        )
+                    })
+                    .collect();
+                snaps.sort_unstable_by_key(|(k, _)| *k);
+                snaps
+            }
+            Inner::Sketch { .. } => return None,
         };
-        let mut cell_snaps: Vec<(u128, CellSnapshot)> = cells
-            .iter()
-            .map(|(key, rec)| {
-                let mut points: Vec<(u128, (Point, i64))> =
-                    rec.points.iter().map(|(k, v)| (*k, v.clone())).collect();
-                points.sort_unstable_by_key(|(k, _)| *k);
-                (
-                    *key,
-                    CellSnapshot {
-                        cell: rec.cell.clone(),
-                        count: rec.count,
-                        dirty: rec.dirty,
-                        points: points.into_iter().map(|(_, pv)| pv).collect(),
-                    },
-                )
-            })
-            .collect();
-        cell_snaps.sort_unstable_by_key(|(k, _)| *k);
+        let peak_cells = match &self.inner {
+            Inner::Exact { peak_cells, .. } | Inner::Arena { peak_cells, .. } => *peak_cells,
+            Inner::Sketch { .. } => unreachable!(),
+        };
         Some(StoringSnapshot {
             updates: self.updates,
             death: self.death(),
             injected: self.injected.is_some(),
-            peak_cells: *peak_cells as u64,
+            peak_cells: peak_cells as u64,
             cells: cell_snaps.into_iter().map(|(_, c)| c).collect(),
         })
     }
@@ -715,33 +1096,65 @@ impl Storing {
     /// leaves the store untouched) on the sketch backend.
     pub fn load_snapshot(&mut self, snap: &StoringSnapshot) -> bool {
         let delta = self.grid.params().delta;
-        let Inner::Exact {
-            cells,
-            dead,
-            peak_cells,
-            ..
-        } = &mut self.inner
-        else {
-            return false;
-        };
-        cells.clear();
-        for c in &snap.cells {
-            let mut points = Key128Map::default();
-            for (p, m) in &c.points {
-                points.insert(p.key128(delta), (p.clone(), *m));
+        let alpha = self.cfg.alpha;
+        match &mut self.inner {
+            Inner::Exact {
+                cells,
+                dead,
+                peak_cells,
+                ..
+            } => {
+                cells.clear();
+                for c in &snap.cells {
+                    let mut points = Key128Map::default();
+                    for (p, m) in &c.points {
+                        points.insert(p.key128(delta), (p.clone(), *m));
+                    }
+                    cells.insert(
+                        c.cell.key128(),
+                        CellRec {
+                            count: c.count,
+                            dirty: c.dirty,
+                            cell: c.cell.clone(),
+                            points,
+                        },
+                    );
+                }
+                *dead = snap.death.is_some();
+                *peak_cells = snap.peak_cells as usize;
             }
-            cells.insert(
-                c.cell.key128(),
-                CellRec {
-                    count: c.count,
-                    dirty: c.dirty,
-                    cell: c.cell.clone(),
-                    points,
-                },
-            );
+            Inner::Arena {
+                table,
+                dead,
+                peak_cells,
+                ..
+            } => {
+                *table = OpenTable::with_expected(alpha);
+                for c in &snap.cells {
+                    let key = c.cell.key128();
+                    debug_assert!(key <= u64::MAX as u128, "arena cell keys fit u64");
+                    let points: Vec<(u128, i64)> = c
+                        .points
+                        .iter()
+                        .map(|(p, m)| (p.key128(delta), *m))
+                        .collect();
+                    table.insert_absent(
+                        key as u64,
+                        ArenaRec {
+                            count: c.count,
+                            dirty: c.dirty,
+                            points,
+                        },
+                    );
+                }
+                *dead = snap.death.is_some();
+                if *dead {
+                    table.clear_shrink();
+                }
+                *peak_cells = snap.peak_cells as usize;
+            }
+            Inner::Sketch { .. } => return false,
         }
-        *dead = snap.death.is_some();
-        *peak_cells = snap.peak_cells as usize;
         self.updates = snap.updates;
         self.injected = if snap.injected { snap.death } else { None };
         true
@@ -775,12 +1188,12 @@ impl Storing {
     /// are positional per-store update counts, which each shard already
     /// advanced; the merged counter is their sum.
     pub fn merge_from(&mut self, other: &Storing) -> bool {
-        let (Inner::Exact { .. }, Inner::Exact { cells: ocells, .. }) = (&self.inner, &other.inner)
-        else {
+        if matches!(self.inner, Inner::Sketch { .. }) || matches!(other.inner, Inner::Sketch { .. })
+        {
             return false;
-        };
+        }
         let other_peak = match &other.inner {
-            Inner::Exact { peak_cells, .. } => *peak_cells,
+            Inner::Exact { peak_cells, .. } | Inner::Arena { peak_cells, .. } => *peak_cells,
             Inner::Sketch { .. } => unreachable!(),
         };
         let other_dead = other.is_dead();
@@ -788,84 +1201,221 @@ impl Storing {
         let beta = self.cfg.beta as i64;
         let updates = self.updates + other.updates;
         let ids = self.ids;
-        let Inner::Exact {
-            cells,
-            cap_cells,
-            dead,
-            peak_cells,
-        } = &mut self.inner
-        else {
-            return false;
-        };
+        let gp = self.grid.params();
+        let level = self.level;
         self.updates = updates;
-        *peak_cells = (*peak_cells).max(other_peak);
-        if *dead || other_dead {
-            if !*dead && self.injected.is_none() {
-                self.injected = other_injected;
-            }
-            *dead = true;
-            cells.clear();
-            cells.shrink_to_fit();
-            sbc_obs::counter!("stream.merge.dead_stores").incr();
-            return true;
-        }
-        for (key, orec) in ocells.iter() {
-            match cells.entry(*key) {
-                Entry::Vacant(v) => {
-                    v.insert(CellRec {
-                        count: orec.count,
-                        dirty: orec.dirty,
-                        cell: orec.cell.clone(),
-                        points: orec.points.clone(),
-                    });
-                }
-                Entry::Occupied(mut o) => {
-                    let rec = o.get_mut();
-                    rec.count += orec.count;
-                    if orec.dirty {
-                        rec.dirty = true;
+        match (&mut self.inner, &other.inner) {
+            (
+                Inner::Exact {
+                    cells,
+                    cap_cells,
+                    dead,
+                    peak_cells,
+                },
+                o,
+            ) => {
+                *peak_cells = (*peak_cells).max(other_peak);
+                if *dead || other_dead {
+                    if !*dead && self.injected.is_none() {
+                        self.injected = other_injected;
                     }
-                    if rec.dirty {
-                        rec.points.clear();
-                        rec.points.shrink_to_fit();
-                    } else {
-                        for (pk, (p, m)) in orec.points.iter() {
-                            match rec.points.entry(*pk) {
-                                Entry::Vacant(v) => {
-                                    if *m != 0 {
-                                        v.insert((p.clone(), *m));
-                                    }
-                                }
-                                Entry::Occupied(mut po) => {
-                                    po.get_mut().1 += *m;
-                                    if po.get().1 == 0 {
-                                        po.remove();
+                    *dead = true;
+                    cells.clear();
+                    cells.shrink_to_fit();
+                    sbc_obs::counter!("stream.merge.dead_stores").incr();
+                    return true;
+                }
+                // Unifies the two source representations: the exact side
+                // hands its records over directly; the arena side unpacks
+                // cells and points from their keys (same values, by the
+                // injectivity of the packings).
+                let mut merge_one = |key: u128,
+                                     ocount: i64,
+                                     odirty: bool,
+                                     opoints: &mut dyn Iterator<Item = (u128, Point, i64)>,
+                                     ocell: Option<&CellId>| {
+                    match cells.entry(key) {
+                        Entry::Vacant(v) => {
+                            let cell = match ocell {
+                                Some(c) => c.clone(),
+                                None => CellId::unpack(key, level, gp.d)
+                                    .expect("arena cell keys are valid packings"),
+                            };
+                            let mut points = Key128Map::default();
+                            for (pk, p, m) in opoints {
+                                points.insert(pk, (p, m));
+                            }
+                            v.insert(CellRec {
+                                count: ocount,
+                                dirty: odirty,
+                                cell,
+                                points,
+                            });
+                        }
+                        Entry::Occupied(mut o) => {
+                            let rec = o.get_mut();
+                            rec.count += ocount;
+                            if odirty {
+                                rec.dirty = true;
+                            }
+                            if rec.dirty {
+                                rec.points.clear();
+                                rec.points.shrink_to_fit();
+                            } else {
+                                for (pk, p, m) in opoints {
+                                    match rec.points.entry(pk) {
+                                        Entry::Vacant(v) => {
+                                            if m != 0 {
+                                                v.insert((p, m));
+                                            }
+                                        }
+                                        Entry::Occupied(mut po) => {
+                                            po.get_mut().1 += m;
+                                            if po.get().1 == 0 {
+                                                po.remove();
+                                            }
+                                        }
                                     }
                                 }
                             }
                         }
                     }
+                };
+                match o {
+                    Inner::Exact { cells: ocells, .. } => {
+                        for (key, orec) in ocells.iter() {
+                            let mut pts =
+                                orec.points.iter().map(|(pk, (p, m))| (*pk, p.clone(), *m));
+                            merge_one(*key, orec.count, orec.dirty, &mut pts, Some(&orec.cell));
+                        }
+                    }
+                    Inner::Arena { table: otable, .. } => {
+                        for (key, orec) in otable.iter() {
+                            let mut pts = orec.points.iter().map(|&(pk, m)| {
+                                let p = Point::unpack(pk, gp.delta, gp.d)
+                                    .expect("arena point keys are valid packings");
+                                (pk, p, m)
+                            });
+                            merge_one(key as u128, orec.count, orec.dirty, &mut pts, None);
+                        }
+                    }
+                    Inner::Sketch { .. } => unreachable!(),
+                }
+                // Post-pass: the eviction and emptied-cell rules over merged
+                // totals, then the occupancy cap over the merged cell set.
+                cells.retain(|_, rec| {
+                    if !rec.dirty && rec.count > 2 * beta.max(1) {
+                        rec.points.clear();
+                        rec.points.shrink_to_fit();
+                        rec.dirty = true;
+                    }
+                    rec.count != 0 || !rec.points.is_empty()
+                });
+                *peak_cells = (*peak_cells).max(cells.len());
+                sbc_obs::counter!("stream.merge.cells").add(cells.len() as u64);
+                if cells.len() > *cap_cells {
+                    *dead = true;
+                    cells.clear();
+                    cells.shrink_to_fit();
+                    sbc_obs::counter!("stream.store.kill.runaway_kill").incr();
+                    trace::event(TraceKind::StoreKill, "runaway_kill", ids, updates);
                 }
             }
-        }
-        // Post-pass: the eviction and emptied-cell rules over merged
-        // totals, then the occupancy cap over the merged cell set.
-        cells.retain(|_, rec| {
-            if !rec.dirty && rec.count > 2 * beta.max(1) {
-                rec.points.clear();
-                rec.points.shrink_to_fit();
-                rec.dirty = true;
+            (
+                Inner::Arena {
+                    table,
+                    cap_cells,
+                    dead,
+                    peak_cells,
+                },
+                o,
+            ) => {
+                *peak_cells = (*peak_cells).max(other_peak);
+                if *dead || other_dead {
+                    if !*dead && self.injected.is_none() {
+                        self.injected = other_injected;
+                    }
+                    *dead = true;
+                    table.clear_shrink();
+                    sbc_obs::counter!("stream.merge.dead_stores").incr();
+                    return true;
+                }
+                let mut merge_one =
+                    |key: u64,
+                     ocount: i64,
+                     odirty: bool,
+                     opoints: &mut dyn Iterator<Item = (u128, i64)>| {
+                        match table.get_mut(key) {
+                            None => {
+                                table.insert_absent(
+                                    key,
+                                    ArenaRec {
+                                        count: ocount,
+                                        dirty: odirty,
+                                        points: opoints.collect(),
+                                    },
+                                );
+                            }
+                            Some(rec) => {
+                                rec.count += ocount;
+                                if odirty {
+                                    rec.dirty = true;
+                                }
+                                if rec.dirty {
+                                    rec.points = Vec::new();
+                                } else {
+                                    for (pk, m) in opoints {
+                                        match rec.points.iter().position(|&(k, _)| k == pk) {
+                                            None => {
+                                                if m != 0 {
+                                                    rec.points.push((pk, m));
+                                                }
+                                            }
+                                            Some(i) => {
+                                                rec.points[i].1 += m;
+                                                if rec.points[i].1 == 0 {
+                                                    rec.points.swap_remove(i);
+                                                }
+                                            }
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    };
+                match o {
+                    Inner::Exact { cells: ocells, .. } => {
+                        for (key, orec) in ocells.iter() {
+                            debug_assert!(*key <= u64::MAX as u128, "arena cell keys fit u64");
+                            let mut pts = orec.points.iter().map(|(pk, (_, m))| (*pk, *m));
+                            merge_one(*key as u64, orec.count, orec.dirty, &mut pts);
+                        }
+                    }
+                    Inner::Arena { table: otable, .. } => {
+                        for (key, orec) in otable.iter() {
+                            let mut pts = orec.points.iter().copied();
+                            merge_one(key, orec.count, orec.dirty, &mut pts);
+                        }
+                    }
+                    Inner::Sketch { .. } => unreachable!(),
+                }
+                table.retain(|_, rec| {
+                    if !rec.dirty && rec.count > 2 * beta.max(1) {
+                        rec.points = Vec::new();
+                        rec.dirty = true;
+                    }
+                    rec.count != 0 || !rec.points.is_empty()
+                });
+                *peak_cells = (*peak_cells).max(table.len());
+                sbc_obs::counter!("stream.merge.cells").add(table.len() as u64);
+                if table.len() > *cap_cells {
+                    *dead = true;
+                    table.clear_shrink();
+                    sbc_obs::counter!("stream.store.kill.runaway_kill").incr();
+                    trace::event(TraceKind::StoreKill, "runaway_kill", ids, updates);
+                }
             }
-            rec.count != 0 || !rec.points.is_empty()
-        });
-        *peak_cells = (*peak_cells).max(cells.len());
-        sbc_obs::counter!("stream.merge.cells").add(cells.len() as u64);
-        if cells.len() > *cap_cells {
-            *dead = true;
-            cells.clear();
-            cells.shrink_to_fit();
-            sbc_obs::counter!("stream.store.kill.runaway_kill").incr();
-            trace::event(TraceKind::StoreKill, "runaway_kill", ids, updates);
+            (Inner::Sketch { .. }, _) => unreachable!(),
         }
         true
     }
@@ -967,7 +1517,11 @@ mod tests {
             rows: 3,
         };
         let mut rng = StdRng::seed_from_u64(4);
-        for backend in [Backend::Exact { cap_cells: 4096 }, Backend::Sketch] {
+        for backend in [
+            Backend::Exact { cap_cells: 4096 },
+            Backend::Arena { cap_cells: 4096 },
+            Backend::Sketch,
+        ] {
             let mut st = Storing::new(&grid, 6, cfg, backend, &mut rng);
             for p in &pts {
                 st.update(p, 1);
@@ -1073,6 +1627,265 @@ mod tests {
         assert!(out.small_points.is_empty(), "its points are not fabricated");
         assert_eq!(out.cells.len(), 1);
         assert_eq!(out.cells[0].1, 1, "count survives eviction");
+    }
+
+    #[test]
+    fn arena_backend_matches_ground_truth_under_deletions() {
+        let (got, want) = run_backend(Backend::Arena { cap_cells: 4096 });
+        assert_eq!(got.cells, want.cells);
+        assert_eq!(got.small_points, want.small_points);
+    }
+
+    /// Drives the exact and arena backends through the same churned
+    /// stream — inserts, a cell blown past 2β (eviction), deletions back
+    /// down — and pins every observable equal: finish output, canonical
+    /// snapshot, update count.
+    #[test]
+    fn arena_matches_exact_bitwise_under_churn() {
+        let (grid, pts) = setup();
+        let cfg = StoringConfig {
+            alpha: 256,
+            beta: 3,
+            rows: 4,
+        };
+        let mk = |backend| {
+            let mut rng = StdRng::seed_from_u64(9);
+            Storing::new(&grid, 4, cfg, backend, &mut rng)
+        };
+        let mut ex = mk(Backend::Exact { cap_cells: 4096 });
+        let mut ar = mk(Backend::Arena { cap_cells: 4096 });
+        let hot = Point::new(vec![5, 5]);
+        for st in [&mut ex, &mut ar] {
+            for p in &pts {
+                st.update(p, 1);
+            }
+            for _ in 0..10 {
+                st.update(&hot, 1); // past 2β: evicts the cell's points
+            }
+            for p in &pts[40..] {
+                st.update(p, -1);
+            }
+        }
+        assert_eq!(ex.update_count(), ar.update_count());
+        assert_eq!(ex.to_snapshot(), ar.to_snapshot());
+        assert_eq!(ex.finish(), ar.finish());
+    }
+
+    /// The key-only entry point must be bit-identical to the unpacked
+    /// one on both backends.
+    #[test]
+    fn update_packed_matches_update() {
+        let (grid, pts) = setup();
+        let cfg = StoringConfig {
+            alpha: 256,
+            beta: 8,
+            rows: 4,
+        };
+        let delta = grid.params().delta;
+        for backend in [
+            Backend::Exact { cap_cells: 4096 },
+            Backend::Arena { cap_cells: 4096 },
+        ] {
+            let mk = || {
+                let mut rng = StdRng::seed_from_u64(10);
+                Storing::new(&grid, 4, cfg, backend, &mut rng)
+            };
+            let (mut by_point, mut by_key) = (mk(), mk());
+            for p in &pts {
+                by_point.update(p, 1);
+                let cell_key = grid.cell_of(p, 4).key128();
+                by_key.update_packed(p.key128(delta), cell_key, 1);
+            }
+            assert_eq!(by_point.to_snapshot(), by_key.to_snapshot());
+            assert_eq!(by_point.finish(), by_key.finish());
+        }
+    }
+
+    #[test]
+    fn update_packed_many_matches_per_op_path() {
+        // The batched drain must be indistinguishable from per-op
+        // update_packed — including with churn (zero-removal), on the
+        // exact-backend fallback, and when the occupancy cap kills the
+        // store mid-batch (the update counter must keep advancing for
+        // the items after the kill).
+        let (grid, pts) = setup();
+        let delta = grid.params().delta;
+        let cfg = StoringConfig {
+            alpha: 256,
+            beta: 2,
+            rows: 4,
+        };
+        let ops: Vec<(u128, u128, i64)> = pts
+            .iter()
+            .flat_map(|p| {
+                let pk = p.key128(delta);
+                let ck = grid.cell_of(p, 4).key128();
+                [(pk, ck, 1), (pk, ck, 1), (pk, ck, -1)]
+            })
+            .collect();
+        for backend in [
+            Backend::Exact { cap_cells: 4096 },
+            Backend::Arena { cap_cells: 4096 },
+            Backend::Arena { cap_cells: 8 }, // cap-kill fires mid-batch
+        ] {
+            let mk = || {
+                let mut rng = StdRng::seed_from_u64(10);
+                Storing::new(&grid, 4, cfg, backend, &mut rng)
+            };
+            let (mut per_op, mut batched) = (mk(), mk());
+            for &(pk, ck, d) in &ops {
+                per_op.update_packed(pk, ck, d);
+            }
+            batched.update_packed_many(ops.iter().copied());
+            assert_eq!(per_op.to_snapshot(), batched.to_snapshot());
+            assert_eq!(per_op.finish(), batched.finish());
+            assert_eq!(per_op.is_dead(), batched.is_dead());
+        }
+    }
+
+    #[test]
+    fn arena_cap_kills_runaway_stream() {
+        let (grid, pts) = setup();
+        let cfg = StoringConfig {
+            alpha: 4,
+            beta: 2,
+            rows: 2,
+        };
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut st = Storing::new(&grid, 6, cfg, Backend::Arena { cap_cells: 8 }, &mut rng);
+        for p in &pts {
+            st.update(p, 1);
+        }
+        assert!(st.is_dead());
+        assert_eq!(st.death(), Some(StoreDeath::RunawayKill));
+        assert_eq!(st.finish().unwrap_err(), StoringFail::Overflowed);
+        assert!(st.stored_bytes() < 256);
+        assert_eq!(st.arena_occupancy(), None);
+    }
+
+    /// Snapshots restore across backends in both directions: an arena
+    /// snapshot loaded into an exact store (and vice versa) continues
+    /// bit-identically.
+    #[test]
+    fn arena_snapshot_restores_across_backends() {
+        let (grid, pts) = setup();
+        let cfg = StoringConfig {
+            alpha: 256,
+            beta: 4,
+            rows: 4,
+        };
+        let mk = |backend| {
+            let mut rng = StdRng::seed_from_u64(11);
+            Storing::new(&grid, 4, cfg, backend, &mut rng)
+        };
+        let exact = Backend::Exact { cap_cells: 4096 };
+        let arena = Backend::Arena { cap_cells: 4096 };
+        for (src, dst) in [(exact, arena), (arena, exact), (arena, arena)] {
+            let mut a = mk(src);
+            for p in &pts[..80] {
+                a.update(p, 1);
+            }
+            let snap = a.to_snapshot().expect("snapshot");
+            let mut b = mk(dst);
+            assert!(b.load_snapshot(&snap));
+            for p in &pts[80..] {
+                a.update(p, 1);
+                b.update(p, 1);
+            }
+            assert_eq!(a.to_snapshot(), b.to_snapshot());
+            assert_eq!(a.finish(), b.finish());
+        }
+    }
+
+    /// Merging produces the same result for every backend pairing,
+    /// including the post-merge eviction and emptied-cell rules.
+    #[test]
+    fn merge_identical_across_backend_pairings() {
+        let (grid, pts) = setup();
+        let cfg = StoringConfig {
+            alpha: 256,
+            beta: 3,
+            rows: 4,
+        };
+        let mk = |backend| {
+            let mut rng = StdRng::seed_from_u64(12);
+            Storing::new(&grid, 4, cfg, backend, &mut rng)
+        };
+        let exact = Backend::Exact { cap_cells: 4096 };
+        let arena = Backend::Arena { cap_cells: 4096 };
+        let fill = |st: &mut Storing, half: &[Point]| {
+            for p in half {
+                st.update(p, 1);
+            }
+            // Churn so merges see dirty cells and cancellations.
+            for p in &half[..half.len() / 3] {
+                st.update(p, -1);
+            }
+        };
+        let reference = {
+            let (mut l, mut r) = (mk(exact), mk(exact));
+            fill(&mut l, &pts[..60]);
+            fill(&mut r, &pts[60..]);
+            assert!(l.merge_from(&r));
+            (l.to_snapshot(), l.finish())
+        };
+        for (bl, br) in [(arena, arena), (arena, exact), (exact, arena)] {
+            let (mut l, mut r) = (mk(bl), mk(br));
+            fill(&mut l, &pts[..60]);
+            fill(&mut r, &pts[60..]);
+            assert!(l.merge_from(&r), "{bl:?} <- {br:?}");
+            assert_eq!(l.to_snapshot(), reference.0, "{bl:?} <- {br:?}");
+            assert_eq!(l.finish(), reference.1, "{bl:?} <- {br:?}");
+        }
+    }
+
+    /// A dead side poisons the merge identically for arena stores.
+    #[test]
+    fn merge_dead_side_poisons_arena() {
+        let (grid, pts) = setup();
+        let cfg = StoringConfig {
+            alpha: 4,
+            beta: 2,
+            rows: 2,
+        };
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut live = Storing::new(&grid, 6, cfg, Backend::Arena { cap_cells: 8 }, &mut rng);
+        let mut dead = Storing::new(&grid, 6, cfg, Backend::Arena { cap_cells: 8 }, &mut rng);
+        live.update(&pts[0], 1);
+        for p in &pts {
+            dead.update(p, 1);
+        }
+        assert!(dead.is_dead());
+        assert!(live.merge_from(&dead));
+        assert!(live.is_dead());
+        assert!(live.stored_bytes() < 256);
+    }
+
+    #[test]
+    fn arena_occupancy_reports_capacity_and_live_cells() {
+        let (grid, pts) = setup();
+        let cfg = StoringConfig {
+            alpha: 256,
+            beta: 8,
+            rows: 4,
+        };
+        let mut rng = StdRng::seed_from_u64(14);
+        let mut st = Storing::new(&grid, 4, cfg, Backend::Arena { cap_cells: 4096 }, &mut rng);
+        assert_eq!(
+            st.arena_occupancy(),
+            Some((st.arena_occupancy().unwrap().0, 0))
+        );
+        for p in &pts {
+            st.update(p, 1);
+        }
+        let (slots, live) = st.arena_occupancy().expect("arena backend");
+        assert!(live > 0);
+        assert!(slots >= live, "load factor below 1: {live}/{slots}");
+        assert!(live * 8 <= slots * 7, "within the ⅞ load bound");
+        // Exact backends report nothing.
+        let mut rng = StdRng::seed_from_u64(14);
+        let ex = Storing::new(&grid, 4, cfg, Backend::Exact { cap_cells: 4096 }, &mut rng);
+        assert_eq!(ex.arena_occupancy(), None);
     }
 
     #[test]

@@ -290,6 +290,68 @@ fn merge_node_checkpoint_mid_fold_is_invisible() {
 }
 
 #[test]
+fn checkpoints_are_canonical_across_kernels() {
+    // Snapshots capture *logical* state: the scalar and SIMD/arena
+    // ingest kernels must checkpoint to byte-identical snapshots at any
+    // cut, and a snapshot taken under one kernel must restore and
+    // resume under the other with the same observable results as an
+    // uninterrupted single-kernel run. Space reports are deliberately
+    // not compared across kernels — the byte-accounting formulas differ
+    // by backend (DESIGN.md §9).
+    use sbc_streaming::Kernel;
+    let p = params(7);
+    let ds = two_phase_dynamic(p.grid, 900, 600, 3, 21);
+    let mut rng = StdRng::seed_from_u64(21);
+    let ops = interleaved_stream(&ds.kept, &ds.churn, &mut rng);
+    let scalar = StreamParams {
+        kernel: Kernel::Scalar,
+        ..StreamParams::default()
+    };
+    let simd = StreamParams {
+        kernel: Kernel::Simd,
+        ..StreamParams::default()
+    };
+
+    let mut reference = build(&p, scalar, 21);
+    reference.process_all(&ops);
+    let ref_summaries = reference.export_summaries();
+    let ref_count = reference.net_count();
+    let ref_coreset = reference.finish().expect("reference coreset");
+
+    for cut in [1, ops.len() / 3, ops.len() / 2, ops.len()] {
+        let mut a = build(&p, scalar, 21);
+        a.process_all(&ops[..cut]);
+        let mut b = build(&p, simd, 21);
+        b.process_all(&ops[..cut]);
+        let bytes_a = a.checkpoint().expect("scalar checkpoints").to_bytes();
+        let bytes_b = b.checkpoint().expect("simd checkpoints").to_bytes();
+        assert_eq!(bytes_a, bytes_b, "snapshot bytes diverged at cut {cut}");
+
+        // Cross-kernel resume in both directions: the scalar half
+        // finishes on the SIMD kernel and vice versa.
+        for (bytes, resume_kernel) in [(&bytes_a, Kernel::Simd), (&bytes_b, Kernel::Scalar)] {
+            let mut snap = Snapshot::from_bytes(bytes).expect("round-trips");
+            snap.sparams.kernel = resume_kernel;
+            let mut resumed = StreamCoresetBuilder::restore(&snap).expect("restores");
+            resumed.process_all(&ops[cut..]);
+            assert_eq!(resumed.net_count(), ref_count, "cut {cut}");
+            assert_eq!(
+                resumed.export_summaries(),
+                ref_summaries,
+                "summaries diverged resuming on {resume_kernel:?} at cut {cut}"
+            );
+            let got = resumed.finish().expect("coreset");
+            assert_eq!(got.o, ref_coreset.o, "cut {cut}");
+            assert_eq!(
+                got.entries(),
+                ref_coreset.entries(),
+                "coreset diverged resuming on {resume_kernel:?} at cut {cut}"
+            );
+        }
+    }
+}
+
+#[test]
 fn encode_decode_encode_is_byte_identity() {
     let p = params(6);
     let pts = gaussian_mixture(p.grid, 800, 2, 0.05, 17);

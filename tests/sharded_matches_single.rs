@@ -207,6 +207,98 @@ fn sharded_deletion_streams_match_the_oracle_too() {
 }
 
 #[test]
+fn scalar_and_simd_kernels_are_bit_identical() {
+    // Kernel differential on every E1 family: the arena/SIMD batch
+    // kernels must reproduce the scalar reference path bit for bit
+    // across per-op, batched, and parallel-batched ingest, with a
+    // checkpoint cut mid-stream on top. Compared: net counts, exported
+    // summaries (cells, small points, rates), canonical store
+    // snapshots, and the finished coresets. Space reports are *not*
+    // compared — the two kernels lay the same logical state out
+    // differently and report different byte figures by design.
+    use sbc_streaming::{Kernel, Snapshot, StreamCoresetBuilder};
+    let faults = env_faults();
+    for (name, pts) in workloads() {
+        let ops = insertion_stream(&pts);
+        let mk = |kernel: Kernel, parallel: bool| {
+            let sp = StreamParams::builder()
+                .kernel(kernel)
+                .parallel(parallel)
+                .threads(2)
+                .faults(faults)
+                .build()
+                .unwrap();
+            let mut rng = StdRng::seed_from_u64(131);
+            StreamCoresetBuilder::new(params(2.0), sp, &mut rng)
+        };
+
+        // Scalar reference: per-op ingest, with a mid-stream checkpoint.
+        let mut reference = mk(Kernel::Scalar, false);
+        for op in &ops[..N / 2] {
+            reference.process(op);
+        }
+        let scalar_cut = reference.checkpoint().expect("scalar checkpoint");
+        for op in &ops[N / 2..] {
+            reference.process(op);
+        }
+        let ref_summaries = reference.export_summaries();
+
+        // SIMD kernels: per-op, batched, and parallel-batched, each cut
+        // at the same point.
+        for parallel in [false, true] {
+            let mut b = mk(Kernel::Simd, parallel);
+            b.process_all(&ops[..N / 2]);
+            let cut = b.checkpoint().expect("simd checkpoint");
+            assert_eq!(
+                cut.instances, scalar_cut.instances,
+                "{name} parallel={parallel}: mid-stream snapshots diverged"
+            );
+            assert_eq!(cut.net_count, scalar_cut.net_count);
+            b.process_all(&ops[N / 2..]);
+            assert_eq!(b.net_count(), reference.net_count());
+            assert_eq!(
+                b.export_summaries(),
+                ref_summaries,
+                "{name} parallel={parallel}: summaries diverged"
+            );
+        }
+        let mut simd_per_op = mk(Kernel::Simd, false);
+        for op in &ops {
+            simd_per_op.process(op);
+        }
+        assert_eq!(
+            simd_per_op.export_summaries(),
+            ref_summaries,
+            "{name}: per-op SIMD path diverged"
+        );
+
+        // Cross-kernel resume: a scalar builder's checkpoint, pushed
+        // through the byte codec (which drops the kernel field),
+        // restores onto this host's default kernel and must continue to
+        // the same final state.
+        let roundtrip = Snapshot::from_bytes(&scalar_cut.to_bytes()).expect("codec roundtrip");
+        let mut resumed = StreamCoresetBuilder::restore(&roundtrip).expect("restore");
+        resumed.process_all(&ops[N / 2..]);
+        assert_eq!(
+            resumed.export_summaries(),
+            ref_summaries,
+            "{name}: cross-kernel resume diverged"
+        );
+
+        // And the coresets themselves agree (fault-free only: a kill
+        // storm can leave nothing to assemble).
+        if faults == FaultPlan::NONE {
+            let a = reference.finish_ref().expect("scalar coreset");
+            let mut b = mk(Kernel::Simd, false);
+            b.process_all(&ops);
+            let b = b.finish_ref().expect("simd coreset");
+            assert_eq!(a.o, b.o, "{name}");
+            assert_eq!(a.entries(), b.entries(), "{name}: coresets diverged");
+        }
+    }
+}
+
+#[test]
 fn serial_and_parallel_sharded_ingest_are_bit_identical() {
     // Holds under fault injection too: fault decisions are pure
     // positional functions of (store, update index), and shard routing
