@@ -6,10 +6,17 @@
 //! default 64Ki-event ring the whole batched ingest may slow down by at
 //! most 5%.
 //!
-//! Run with `cargo bench --bench obs_overhead [--features obs]`. This is
-//! a plain `harness = false` guard (it asserts and exits non-zero on
-//! regression) rather than a Criterion tracker, because its job is a
-//! pass/fail bound, not a trend line.
+//! The memory-telemetry pillar gets the same treatment: this binary
+//! installs [`sbc_obs::alloc::TrackingAlloc`] globally (a passthrough
+//! unless built with `--features obs-alloc`), prices its bookkeeping at
+//! the *measured* alloc/dealloc pairs per ingest op, and holds that
+//! share under 1%; a `sbc_obs::timeline` sampler running at the default
+//! 250 ms cadence may slow the same ingest by at most 2%.
+//!
+//! Run with `cargo bench --bench obs_overhead [--features obs,obs-alloc]`.
+//! This is a plain `harness = false` guard (it asserts and exits
+//! non-zero on regression) rather than a Criterion tracker, because its
+//! job is a pass/fail bound, not a trend line.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -19,6 +26,12 @@ use sbc_geometry::GridParams;
 use sbc_streaming::model::insertion_stream;
 use sbc_streaming::{StreamCoresetBuilder, StreamParams};
 use std::time::Instant;
+
+/// Route the bench's own allocations through the tracking allocator so
+/// the "enabled" state under test is the real one (passthrough to
+/// `System` without the `obs-alloc` feature).
+#[global_allocator]
+static ALLOC: sbc_obs::alloc::TrackingAlloc = sbc_obs::alloc::TrackingAlloc;
 
 /// Generous bound on instrumentation call sites executed per ingest op
 /// (amortized): one sign tally plus, per batch of 4096 ops, the batch
@@ -132,4 +145,87 @@ fn main() {
         assert!(recorded > 0, "recording run captured no events");
     }
     println!("OK: 64Ki-ring recorder steady-state overhead is within the 5% budget");
+
+    // Tracking allocator, enabled but idle: `set_enabled(false)` mirrors
+    // the metric/tracing gates above (recording stops, the allocator
+    // stays installed), so the idle cost per alloc/dealloc pair is one
+    // relaxed load plus a header-flag write. Price that and charge it at
+    // the *measured* pair count per ingest op. The gate-open (recording)
+    // cost is printed informationally — it is a measurement mode, not an
+    // always-on tax, so it carries no budget.
+    let alloc_before = sbc_obs::alloc::snapshot();
+    let base_secs = ingest_secs(&params, &ops, 3);
+    let alloc_after = sbc_obs::alloc::snapshot();
+    let alloc_op_ns = base_secs * 1e9 / ops.len() as f64;
+    let pairs_per_op = if alloc_after.tracking {
+        let pairs = alloc_after
+            .total
+            .allocs
+            .saturating_sub(alloc_before.total.allocs) as f64
+            / 3.0;
+        pairs / ops.len() as f64
+    } else {
+        SITES_PER_OP // generous fallback when nothing counted the truth
+    };
+    let bench_pairs = 2_000_000u64;
+    let start = Instant::now();
+    for i in 0..bench_pairs {
+        sbc_obs::alloc::__bench_record_pair(std::hint::black_box(256 + (i & 0xFF)));
+    }
+    let active_pair_ns = start.elapsed().as_secs_f64() * 1e9 / bench_pairs as f64;
+    sbc_obs::alloc::set_enabled(false);
+    let start = Instant::now();
+    for i in 0..bench_pairs {
+        sbc_obs::alloc::__bench_record_pair(std::hint::black_box(256 + (i & 0xFF)));
+    }
+    let idle_pair_ns = start.elapsed().as_secs_f64() * 1e9 / bench_pairs as f64;
+    sbc_obs::alloc::set_enabled(true);
+    let alloc_overhead = pairs_per_op * idle_pair_ns / alloc_op_ns;
+    println!(
+        "alloc record pair: {idle_pair_ns:.3} ns idle, {active_pair_ns:.3} ns recording \
+         ({pairs_per_op:.2} pairs/op measured)"
+    );
+    println!(
+        "tracking-allocator idle share: {:.4}%",
+        alloc_overhead * 100.0
+    );
+    assert!(
+        alloc_overhead < 0.01,
+        "tracking-allocator enabled-but-idle overhead {:.3}% breaches the 1% budget \
+         ({idle_pair_ns:.3} ns/pair × {pairs_per_op:.2} pairs/op vs {alloc_op_ns:.1} ns/op)",
+        alloc_overhead * 100.0
+    );
+    println!("OK: tracking-allocator enabled-but-idle overhead is within the 1% budget");
+
+    // Timeline sampler at the default cadence: the whole ingest may
+    // slow down by at most 2% with a live sampler snapshotting RSS,
+    // counters and allocator attribution in the background.
+    let sampler = sbc_obs::timeline::Sampler::start(
+        std::time::Duration::from_millis(sbc_obs::timeline::DEFAULT_CADENCE_MS),
+        sbc_obs::timeline::DEFAULT_CAPACITY,
+        None,
+        None,
+    );
+    let sampled_secs = ingest_secs(&params, &ops, 3);
+    let timeline = sampler.stop();
+    let sampling_overhead = (sampled_secs / base_secs - 1.0).max(0.0);
+    println!(
+        "sampled ingest: {:.1} ns/op ({} samples taken)",
+        sampled_secs * 1e9 / ops.len() as f64,
+        timeline.len()
+    );
+    println!(
+        "sampler steady-state overhead: {:.2}%",
+        sampling_overhead * 100.0
+    );
+    assert!(
+        sampling_overhead < 0.02,
+        "default-cadence sampler overhead {:.2}% breaches the 2% budget",
+        sampling_overhead * 100.0
+    );
+    assert!(
+        !timeline.is_empty(),
+        "sampler took no samples during the ingest"
+    );
+    println!("OK: default-cadence sampler overhead is within the 2% budget");
 }

@@ -7,14 +7,24 @@
 //!   sections, per-path fields), or
 //! * a machine-independent throughput ratio (`speedup_vs_per_op` of the
 //!   batched paths, or the SIMD-vs-scalar `kernel_speedup`) regressed
-//!   by more than the tolerance (15%).
+//!   by more than the tolerance (15%), or
+//! * memory regressed: the telemetry section's `peak_bytes_per_point`
+//!   (peak measured bytes over the canonical 4k-point robustness run,
+//!   per point — deterministic, so it gates as tightly as the speed
+//!   ratios) grew past the baseline by more than the tolerance.
 //!
 //! Absolute ops/sec are *not* compared — they vary with the host — only
 //! the relative speedups of the batched paths over the per-op reference
 //! path measured in the same process.
 //!
-//! Usage: `cargo run -p sbc-bench --bin bench_guard -- <fresh.json> [<baseline.json>]`
-//! (the baseline defaults to the committed `BENCH_streaming.json`).
+//! With `--prom <file>` the guard also validates a Prometheus
+//! text-exposition artifact (e.g. the `.prom` sibling a `stream_bench
+//! --telemetry-out` run leaves behind) via
+//! [`sbc_obs::timeline::validate_prometheus`].
+//!
+//! Usage: `cargo run -p sbc-bench --bin bench_guard -- <fresh.json>
+//! [<baseline.json>] [--prom <file>]` (the baseline defaults to the
+//! committed `BENCH_streaming.json`).
 
 use sbc_obs::json::JsonValue;
 
@@ -22,8 +32,8 @@ use sbc_obs::json::JsonValue;
 const TOLERANCE: f64 = 0.15;
 
 /// Schema the fresh report must satisfy.
-const SCHEMA_VERSION: u64 = 4;
-const REQUIRED_TOP: [&str; 11] = [
+const SCHEMA_VERSION: u64 = 5;
+const REQUIRED_TOP: [&str; 12] = [
     "schema_version",
     "git_commit",
     "generated_at",
@@ -33,6 +43,7 @@ const REQUIRED_TOP: [&str; 11] = [
     "kernels",
     "sharding",
     "robustness",
+    "telemetry",
     "trace",
     "metrics",
 ];
@@ -161,7 +172,73 @@ fn check_schema(doc: &JsonValue, path: &str) -> Result<(), String> {
             return Err(format!("{path}: sharding.space_report missing \"{key}\""));
         }
     }
+    // Telemetry: memory-truth reconciliation plus the sampler/allocator
+    // overhead figures. `alloc_tracking` varies with the feature matrix
+    // (bool), everything else is numeric.
+    let telemetry = doc.get("telemetry").unwrap();
+    if telemetry
+        .get("alloc_tracking")
+        .and_then(JsonValue::as_bool)
+        .is_none()
+    {
+        return Err(format!(
+            "{path}: telemetry section missing boolean \"alloc_tracking\""
+        ));
+    }
+    for key in ["cadence_ms", "samples", "rss_peak_bytes"] {
+        if telemetry.get(key).and_then(JsonValue::as_f64).is_none() {
+            return Err(format!(
+                "{path}: telemetry section missing numeric \"{key}\""
+            ));
+        }
+    }
+    if telemetry
+        .get("alloc")
+        .and_then(|a| a.get("components"))
+        .is_none()
+    {
+        return Err(format!(
+            "{path}: telemetry.alloc missing per-component attribution"
+        ));
+    }
+    for key in [
+        "measured_bytes",
+        "peak_measured_bytes",
+        "expected_sketch_bytes",
+        "nominal_sketch_bytes",
+        "nominal_to_measured_ratio",
+        "peak_bytes_per_point",
+    ] {
+        if telemetry
+            .get("space")
+            .and_then(|s| s.get(key))
+            .and_then(JsonValue::as_f64)
+            .is_none()
+        {
+            return Err(format!("{path}: telemetry.space missing numeric \"{key}\""));
+        }
+    }
+    for key in ["alloc_pair_ns", "alloc_idle_pct", "sampling_pct"] {
+        if telemetry
+            .get("overhead")
+            .and_then(|o| o.get(key))
+            .and_then(JsonValue::as_f64)
+            .is_none()
+        {
+            return Err(format!(
+                "{path}: telemetry.overhead missing numeric \"{key}\""
+            ));
+        }
+    }
     Ok(())
+}
+
+/// `telemetry.space.peak_bytes_per_point` of a report, if present.
+fn peak_bytes_per_point(doc: &JsonValue) -> Option<f64> {
+    doc.get("telemetry")?
+        .get("space")?
+        .get("peak_bytes_per_point")?
+        .as_f64()
 }
 
 fn speedup(doc: &JsonValue, group: &str, path: &str) -> Option<f64> {
@@ -173,12 +250,25 @@ fn speedup(doc: &JsonValue, group: &str, path: &str) -> Option<f64> {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let fresh_path = args
-        .first()
-        .cloned()
-        .unwrap_or_else(|| fail("usage: bench_guard <fresh.json> [<baseline.json>]"));
-    let baseline_path = args
+    let mut positional: Vec<String> = Vec::new();
+    let mut prom_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--prom" => {
+                prom_path = Some(
+                    args.next()
+                        .unwrap_or_else(|| fail("--prom needs a file path")),
+                );
+            }
+            flag if flag.starts_with("--") => fail(&format!("unknown flag {flag}")),
+            p => positional.push(p.to_string()),
+        }
+    }
+    let fresh_path = positional.first().cloned().unwrap_or_else(|| {
+        fail("usage: bench_guard <fresh.json> [<baseline.json>] [--prom <file>]")
+    });
+    let baseline_path = positional
         .get(1)
         .cloned()
         .unwrap_or_else(|| format!("{}/../../BENCH_streaming.json", env!("CARGO_MANIFEST_DIR")));
@@ -243,8 +333,46 @@ fn main() {
             println!("bench_guard: kernels.kernel_speedup: {new:.3}x vs baseline {base:.3}x — ok");
         }
     }
+    // Memory gate: peak measured bytes per point on the canonical
+    // robustness run. Deterministic given logical state (the space
+    // report never reads transient allocator capacities), so it is
+    // host-independent like the ratios above — but it gates *upward*
+    // drift, not downward.
+    match peak_bytes_per_point(&baseline) {
+        None => {
+            // A pre-v5 baseline without the section cannot gate it.
+            println!(
+                "bench_guard: note: baseline lacks telemetry.space.peak_bytes_per_point, skipping"
+            );
+        }
+        Some(base) => {
+            let new = peak_bytes_per_point(&fresh)
+                .unwrap_or_else(|| fail("fresh report lacks telemetry.space.peak_bytes_per_point"));
+            let ceiling = base * (1.0 + TOLERANCE);
+            checked += 1;
+            if new > ceiling {
+                fail(&format!(
+                    "memory regression — peak_bytes_per_point {new:.1} exceeds {ceiling:.1} \
+                     (baseline {base:.1} + {:.0}%)",
+                    TOLERANCE * 100.0
+                ));
+            }
+            println!(
+                "bench_guard: telemetry.space.peak_bytes_per_point: {new:.1} vs baseline {base:.1} — ok"
+            );
+        }
+    }
     if checked == 0 {
         fail("baseline exposed no comparable speedup ratios");
+    }
+    // Optional Prometheus artifact validation (text exposition 0.0.4).
+    if let Some(pp) = prom_path {
+        let text = std::fs::read_to_string(&pp)
+            .unwrap_or_else(|e| fail(&format!("cannot read {pp}: {e}")));
+        match sbc_obs::timeline::validate_prometheus(&text) {
+            Ok(samples) => println!("bench_guard: {pp}: valid exposition ({samples} samples)"),
+            Err(msg) => fail(&format!("{pp}: invalid Prometheus exposition — {msg}")),
+        }
     }
     println!(
         "bench_guard: PASS ({checked} ratios within {:.0}%)",

@@ -35,11 +35,24 @@
 //! `"sharding"` in the JSON — alongside `threads_available`, since the
 //! ratio is only meaningful on a multicore host.
 //!
+//! The robustness and metrics passes also run under the **telemetry
+//! sampler** (`sbc_obs::timeline`): a background thread snapshots RSS,
+//! the metrics registry, and — with `--features obs-alloc`, which this
+//! bin turns into a process-wide [`sbc_obs::alloc::TrackingAlloc`] —
+//! per-component allocator attribution. `--telemetry-out <path>` tails
+//! the ring to a JSON file (atomically rewritten every tick, plus a
+//! Prometheus text-exposition sibling at `<path minus .json>.prom`)
+//! that `sbc-top` can watch live; `--telemetry-every <ms>` sets the
+//! cadence (default 250). The report always gains a `"telemetry"`
+//! section reconciling measured truth against the nominal space bound
+//! (`peak_bytes_per_point` is gated by `bench_guard`).
+//!
 //! Usage: `cargo run --release --bin stream_bench [--features obs] \
 //!            [-- <out.json>] [--metrics-out <metrics.json>] \
 //!            [--fault-profile <spec>] [--checkpoint-every <N>] \
 //!            [--checkpoint-out <ckpt.bin>] [--trace-out <t.trace.json>] \
-//!            [--trace-buffer-events <N>] [--shards <N>]`
+//!            [--trace-buffer-events <N>] [--shards <N>] \
+//!            [--telemetry-out <t.json>] [--telemetry-every <ms>]`
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -51,7 +64,13 @@ use sbc_obs::fault::FaultPlan;
 use sbc_streaming::model::{churn_stream, insertion_stream, StreamOp};
 use sbc_streaming::{Kernel, Snapshot, StreamCoresetBuilder, StreamParams};
 use std::fmt::Write as _;
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// Route every heap allocation through the tracking allocator: a
+/// zero-overhead passthrough to `System` unless the `obs-alloc` feature
+/// compiled the attribution paths in.
+#[global_allocator]
+static ALLOC: sbc_obs::alloc::TrackingAlloc = sbc_obs::alloc::TrackingAlloc;
 
 /// Reference throughput of the seed ingest path (per-op linear scan over
 /// the ladder with the SipHash-backed `Storing` maps, i.e. the code
@@ -319,6 +338,104 @@ fn robustness_pass(
     (builder.space_report(), taken, last_bytes)
 }
 
+/// `foo.json` → `foo.prom` (falls back to appending `.prom`): the
+/// Prometheus sibling written next to a `--telemetry-out` JSON tail.
+fn prom_sibling(path: &str) -> String {
+    format!("{}.prom", path.strip_suffix(".json").unwrap_or(path))
+}
+
+/// Best-of-`reps` seconds for one batched ingest of `ops` (untimed
+/// section; used to price the telemetry overheads below).
+fn ingest_secs(params: &CoresetParams, ops: &[StreamOp], reps: usize) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut b = StreamCoresetBuilder::new(params.clone(), StreamParams::default(), &mut rng);
+        let start = Instant::now();
+        b.process_all(ops);
+        best = best.min(start.elapsed().as_secs_f64());
+        std::hint::black_box(b.net_count());
+    }
+    best
+}
+
+/// Telemetry cost figures for the report (and for `obs_overhead`'s
+/// budgets): nanoseconds of allocator bookkeeping per recorded
+/// alloc/dealloc pair, the enabled-but-idle (gate closed) allocator
+/// share of one ingest op, and the slowdown of a full ingest with a
+/// default-cadence sampler running.
+struct OverheadFigures {
+    alloc_pair_ns: f64,
+    alloc_idle_pct: f64,
+    sampling_pct: f64,
+}
+
+/// Fallback bound on heap alloc/dealloc pairs per amortized ingest op,
+/// used when the tracking allocator is not installed to count the real
+/// figure (batched ingest allocates on table growth and batch assembly
+/// only).
+const ALLOC_PAIRS_PER_OP: f64 = 8.0;
+
+fn measure_overheads(params: &CoresetParams, ops: &[StreamOp], cadence_ms: u64) -> OverheadFigures {
+    let alloc_before = sbc_obs::alloc::snapshot();
+    let base_secs = ingest_secs(params, ops, 2);
+    let alloc_after = sbc_obs::alloc::snapshot();
+    let op_ns = base_secs * 1e9 / ops.len() as f64;
+
+    // Alloc/dealloc pairs per amortized op: counted by the tracking
+    // allocator across the two reps above when it is attributing,
+    // otherwise the generous static bound.
+    let pairs_per_op = if alloc_after.tracking {
+        let pairs = alloc_after
+            .total
+            .allocs
+            .saturating_sub(alloc_before.total.allocs) as f64
+            / 2.0;
+        pairs / ops.len() as f64
+    } else {
+        ALLOC_PAIRS_PER_OP
+    };
+
+    // Allocator bookkeeping, priced directly: the recording path for one
+    // alloc + dealloc of a mid-sized block (reported as alloc_pair_ns),
+    // and the gate-closed idle path — the permanent cost of leaving the
+    // allocator installed — which is what the 1% budget in obs_overhead
+    // covers. A no-op build measures ~0 for both (the hook compiles to
+    // nothing).
+    let pairs = 2_000_000u64;
+    let start = Instant::now();
+    for i in 0..pairs {
+        sbc_obs::alloc::__bench_record_pair(std::hint::black_box(256 + (i & 0xFF)));
+    }
+    let alloc_pair_ns = start.elapsed().as_secs_f64() * 1e9 / pairs as f64;
+    sbc_obs::alloc::set_enabled(false);
+    let start = Instant::now();
+    for i in 0..pairs {
+        sbc_obs::alloc::__bench_record_pair(std::hint::black_box(256 + (i & 0xFF)));
+    }
+    let idle_pair_ns = start.elapsed().as_secs_f64() * 1e9 / pairs as f64;
+    sbc_obs::alloc::set_enabled(true);
+    let alloc_idle_pct = pairs_per_op * idle_pair_ns / op_ns * 100.0;
+
+    // Sampling: the same ingest with a live sampler at the configured
+    // cadence (no file export — pricing the snapshots, not the disk).
+    let sampler = sbc_obs::timeline::Sampler::start(
+        Duration::from_millis(cadence_ms),
+        sbc_obs::timeline::DEFAULT_CAPACITY,
+        None,
+        None,
+    );
+    let sampled_secs = ingest_secs(params, ops, 2);
+    sampler.stop();
+    let sampling_pct = (sampled_secs / base_secs - 1.0).max(0.0) * 100.0;
+
+    OverheadFigures {
+        alloc_pair_ns,
+        alloc_idle_pct,
+        sampling_pct,
+    }
+}
+
 fn main() {
     let mut out_path: Option<String> = None;
     let mut metrics_out: Option<String> = None;
@@ -328,6 +445,8 @@ fn main() {
     let mut trace_out: Option<String> = None;
     let mut trace_buffer: Option<usize> = None;
     let mut shards = 8usize;
+    let mut telemetry_out: Option<String> = None;
+    let mut telemetry_every_ms = sbc_obs::timeline::DEFAULT_CADENCE_MS;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -369,6 +488,20 @@ fn main() {
                     .expect("--shards takes a positive integer");
                 assert!(shards > 0, "--shards takes a positive integer");
             }
+            "--telemetry-out" => {
+                telemetry_out = Some(args.next().expect("--telemetry-out needs a path"));
+            }
+            "--telemetry-every" => {
+                telemetry_every_ms = args
+                    .next()
+                    .expect("--telemetry-every needs a cadence in ms")
+                    .parse()
+                    .expect("--telemetry-every takes a positive integer");
+                assert!(
+                    telemetry_every_ms > 0,
+                    "--telemetry-every takes a positive integer"
+                );
+            }
             flag if flag.starts_with("--") => panic!("unknown flag {flag}"),
             path => out_path = Some(path.to_string()),
         }
@@ -393,7 +526,7 @@ fn main() {
     json.push_str("{\n");
     let _ = writeln!(
         json,
-        "  \"schema_version\": 4,\n  \"git_commit\": \"{}\",\n  \"generated_at\": \"{}\",",
+        "  \"schema_version\": 5,\n  \"git_commit\": \"{}\",\n  \"generated_at\": \"{}\",",
         git_commit(),
         sbc_obs::iso8601_utc_now()
     );
@@ -429,6 +562,22 @@ fn main() {
     sbc_obs::trace::set_crash_dir(Some(crash_dir));
     sbc_obs::trace::reset();
     sbc_obs::trace::set_enabled(true);
+
+    // Telemetry sampler: spans the robustness and metrics passes (never
+    // the timed section above). With `--telemetry-out` every tick
+    // atomically rewrites a JSON tail plus a Prometheus sibling that
+    // `sbc-top` (or a scraper) can watch mid-run; either way the final
+    // ring feeds the report's `"telemetry"` section.
+    let telemetry_json_path = telemetry_out.as_ref().map(std::path::PathBuf::from);
+    let telemetry_prom_path = telemetry_out
+        .as_ref()
+        .map(|p| std::path::PathBuf::from(prom_sibling(p)));
+    let sampler = sbc_obs::timeline::Sampler::start(
+        Duration::from_millis(telemetry_every_ms),
+        sbc_obs::timeline::DEFAULT_CAPACITY,
+        telemetry_json_path.clone(),
+        telemetry_prom_path.clone(),
+    );
 
     // Robustness pass (untimed): fault injection + checkpoint/restore
     // cycling. Its space report carries the canonical kill taxonomy —
@@ -468,6 +617,44 @@ fn main() {
     }
     sbc_obs::set_enabled(false);
     let snapshot = sbc_obs::snapshot();
+
+    // Wind down the sampler (final tick + export flush), then price the
+    // telemetry overheads on the now-quiet process.
+    let timeline = sampler.stop();
+    let overhead = measure_overheads(&params, &insert_ops, telemetry_every_ms);
+    let alloc_snap = sbc_obs::alloc::snapshot();
+    let rss_peak = timeline.samples().map(|s| s.rss_bytes).max().unwrap_or(0);
+    let peak_bytes_per_point = rep.peak_measured_bytes as f64 / n as f64;
+    println!(
+        "\ntelemetry: {} samples @ {telemetry_every_ms} ms (alloc tracking {}), \
+         rss peak {}, peak {:.0} measured B/point",
+        timeline.len(),
+        if alloc_snap.tracking { "on" } else { "off" },
+        sbc_streaming::human_bytes(rss_peak as usize),
+        peak_bytes_per_point
+    );
+    println!(
+        "  overhead: alloc pair {:.2} ns ({:.4}%/op idle), sampling {:.2}%",
+        overhead.alloc_pair_ns, overhead.alloc_idle_pct, overhead.sampling_pct
+    );
+    let _ = writeln!(
+        json,
+        "  \"telemetry\": {{\n    \"alloc_tracking\": {},\n    \"cadence_ms\": {telemetry_every_ms},\n    \"samples\": {},\n    \"rss_peak_bytes\": {rss_peak},\n    \"alloc\": {},\n    \"space\": {{\n      \"measured_bytes\": {},\n      \"peak_measured_bytes\": {},\n      \"expected_sketch_bytes\": {},\n      \"nominal_sketch_bytes\": {},\n      \"nominal_to_measured_ratio\": {:.3},\n      \"peak_bytes_per_point\": {peak_bytes_per_point:.1}\n    }},\n    \"overhead\": {{\n      \"alloc_pair_ns\": {:.3},\n      \"alloc_idle_pct\": {:.4},\n      \"sampling_pct\": {:.3}\n    }}\n  }},",
+        alloc_snap.tracking,
+        timeline.len(),
+        alloc_snap.to_json(),
+        rep.measured_bytes,
+        rep.peak_measured_bytes,
+        rep.expected_sketch_bytes,
+        rep.nominal_sketch_bytes,
+        rep.nominal_to_measured_ratio(),
+        overhead.alloc_pair_ns,
+        overhead.alloc_idle_pct,
+        overhead.sampling_pct,
+    );
+    if let (Some(jp), Some(pp)) = (&telemetry_json_path, &telemetry_prom_path) {
+        println!("wrote {} + {}", jp.display(), pp.display());
+    }
 
     sbc_obs::trace::set_enabled(false);
     let tsnap = sbc_obs::trace::snapshot();

@@ -62,9 +62,9 @@ fn bench_streaming_golden_file_agrees_with_space_report() {
 }
 
 #[test]
-fn bench_streaming_golden_file_matches_schema_v4() {
-    // The committed baseline must parse as JSON and carry the v4 schema
-    // (trace and kernels sections included) — the same shape
+fn bench_streaming_golden_file_matches_schema_v5() {
+    // The committed baseline must parse as JSON and carry the v5 schema
+    // (trace, kernels and telemetry sections included) — the same shape
     // `bench_guard` validates on fresh reports, so a drifting writer
     // cannot slip past CI.
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_streaming.json");
@@ -73,8 +73,8 @@ fn bench_streaming_golden_file_matches_schema_v4() {
     let doc = sbc_obs::json::JsonValue::parse(&text).expect("baseline parses as JSON");
     assert_eq!(
         doc.get("schema_version").and_then(|v| v.as_u64()),
-        Some(4),
-        "committed BENCH_streaming.json must be schema_version 4"
+        Some(5),
+        "committed BENCH_streaming.json must be schema_version 5"
     );
     for key in [
         "git_commit",
@@ -83,6 +83,7 @@ fn bench_streaming_golden_file_matches_schema_v4() {
         "kernels",
         "sharding",
         "robustness",
+        "telemetry",
         "trace",
         "metrics",
     ] {
@@ -155,6 +156,59 @@ fn bench_streaming_golden_file_matches_schema_v4() {
         assert!(
             sharding.get("space_report").unwrap().get(key).is_some(),
             "sharding.space_report missing \"{key}\""
+        );
+    }
+    // The telemetry section reconciles measured truth against the
+    // nominal bound; bench_guard gates peak_bytes_per_point, so the
+    // baseline must carry a positive value for it.
+    let telemetry = doc.get("telemetry").unwrap();
+    assert!(
+        telemetry
+            .get("alloc_tracking")
+            .and_then(|v| v.as_bool())
+            .is_some(),
+        "telemetry section lacks the alloc_tracking flag"
+    );
+    for key in ["cadence_ms", "samples", "rss_peak_bytes"] {
+        assert!(
+            telemetry.get(key).and_then(|v| v.as_f64()).is_some(),
+            "telemetry section missing numeric \"{key}\""
+        );
+    }
+    assert!(
+        telemetry
+            .get("alloc")
+            .and_then(|a| a.get("components"))
+            .is_some(),
+        "telemetry.alloc lacks per-component attribution"
+    );
+    let space = telemetry.get("space").expect("telemetry.space present");
+    for key in [
+        "measured_bytes",
+        "peak_measured_bytes",
+        "expected_sketch_bytes",
+        "nominal_sketch_bytes",
+        "nominal_to_measured_ratio",
+    ] {
+        assert!(
+            space.get(key).and_then(|v| v.as_f64()).is_some(),
+            "telemetry.space missing numeric \"{key}\""
+        );
+    }
+    assert!(
+        space
+            .get("peak_bytes_per_point")
+            .and_then(|v| v.as_f64())
+            .is_some_and(|v| v > 0.0),
+        "telemetry.space lacks a positive peak_bytes_per_point (the bench_guard memory gate)"
+    );
+    let overhead = telemetry
+        .get("overhead")
+        .expect("telemetry.overhead present");
+    for key in ["alloc_pair_ns", "alloc_idle_pct", "sampling_pct"] {
+        assert!(
+            overhead.get(key).and_then(|v| v.as_f64()).is_some(),
+            "telemetry.overhead missing numeric \"{key}\""
         );
     }
 }

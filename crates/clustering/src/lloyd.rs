@@ -36,6 +36,7 @@ pub fn lloyd(
     assert!(!points.is_empty() && !init.is_empty());
     sbc_obs::counter!("cluster.lloyd.runs").incr();
     let _span = sbc_obs::span!("cluster.lloyd.run_ns");
+    let _mem = sbc_obs::alloc::scope(sbc_obs::alloc::Component::Clustering);
     let _trace_span = sbc_obs::trace::span(
         "cluster.lloyd.run",
         sbc_obs::trace::CausalIds::NONE,

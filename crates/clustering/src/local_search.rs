@@ -60,6 +60,7 @@ pub fn local_search_kmedian<R: Rng + ?Sized>(
     assert!(!wps.is_empty());
     sbc_obs::counter!("cluster.local_search.runs").incr();
     let _span = sbc_obs::span!("cluster.local_search.run_ns");
+    let _mem = sbc_obs::alloc::scope(sbc_obs::alloc::Component::Clustering);
     let _trace_span = sbc_obs::trace::span(
         "cluster.local_search.run",
         sbc_obs::trace::CausalIds::NONE,

@@ -181,7 +181,10 @@ impl DistributedCoreset {
             shift: grid.shift().to_vec(),
             hash_seed,
         };
-        let bcast_bytes = to_bytes(&broadcast);
+        let bcast_bytes = {
+            let _mem = sbc_obs::alloc::scope(sbc_obs::alloc::Component::Wire);
+            to_bytes(&broadcast)
+        };
         stats.broadcast_bytes = (bcast_bytes.len() * s) as u64;
         stats.messages += s as u64;
         sbc_obs::counter!("dist.wire.broadcast_bytes").add(stats.broadcast_bytes);
@@ -195,6 +198,7 @@ impl DistributedCoreset {
             let mut builder =
                 StreamCoresetBuilder::with_grid(params.clone(), *sparams, machine_grid, &mut rng);
             builder.insert_batch(shard);
+            let _mem = sbc_obs::alloc::scope(sbc_obs::alloc::Component::Wire);
             to_bytes(&builder.export_summaries())
         };
 
@@ -308,6 +312,7 @@ fn send_envelope(
     stats: &mut CommStats,
     seen: &mut HashSet<(u32, u64)>,
 ) -> Result<Option<Vec<u8>>, u64> {
+    let _mem = sbc_obs::alloc::scope(sbc_obs::alloc::Component::Wire);
     let env_bytes = to_bytes(&env);
     sbc_obs::histogram!("dist.wire.upload_msg_bytes").record(env_bytes.len() as u64);
     let wire_ids = CausalIds::NONE.on_machine(env.machine as u16);

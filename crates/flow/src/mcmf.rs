@@ -123,6 +123,7 @@ impl MinCostFlow {
         assert!(s < self.adj.len() && t < self.adj.len() && s != t);
         sbc_obs::counter!("flow.mcmf.solves").incr();
         let _span = sbc_obs::span!("flow.mcmf.solve_ns");
+        let _mem = sbc_obs::alloc::scope(sbc_obs::alloc::Component::Flow);
         let _trace_span = sbc_obs::trace::span(
             "flow.mcmf.solve",
             sbc_obs::trace::CausalIds::NONE,

@@ -71,6 +71,7 @@ pub fn optimal_fractional_assignment_caps(
     assert!(caps.iter().all(|&c| c >= 0.0));
     sbc_obs::counter!("flow.transport.solves").incr();
     let _span = sbc_obs::span!("flow.transport.solve_ns");
+    let _mem = sbc_obs::alloc::scope(sbc_obs::alloc::Component::Flow);
     if let Some(w) = weights {
         assert_eq!(w.len(), n);
     }

@@ -86,6 +86,7 @@ impl<V> Default for OpenTable<V> {
 impl<V> OpenTable<V> {
     /// Creates a table pre-sized for about `expected` live entries.
     pub fn with_expected(expected: usize) -> Self {
+        let _mem = sbc_obs::alloc::scope(sbc_obs::alloc::Component::Arena);
         Self {
             slots: vec![EMPTY; slots_for(expected, 0)],
             entries: Vec::new(),
@@ -276,6 +277,7 @@ impl<V> OpenTable<V> {
     /// Reconstructs `slots` at `cap` from the dense entries.
     fn rebuild(&mut self, cap: usize) {
         debug_assert!(cap.is_power_of_two() && !over_load(self.entries.len(), cap));
+        let _mem = sbc_obs::alloc::scope(sbc_obs::alloc::Component::Arena);
         self.slots.clear();
         self.slots.resize(cap, EMPTY);
         self.tombs = 0;

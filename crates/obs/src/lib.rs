@@ -34,8 +34,10 @@
 //! feature on/off, enabled or idle, serial or parallel is bit-identical
 //! in every output (property-tested in `sbc-streaming`).
 
+pub mod alloc;
 pub mod fault;
 pub mod json;
+pub mod timeline;
 pub mod trace;
 
 use json::JsonValue;

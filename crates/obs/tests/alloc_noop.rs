@@ -1,0 +1,45 @@
+//! With the `obs-alloc` feature off, allocator tracking must vanish:
+//! scope guards are zero-sized, `TrackingAlloc` is a transparent
+//! passthrough, and snapshots stay zeroed no matter how much the
+//! process allocates. This binary installs the allocator globally, so
+//! merely linking it in the off state is itself part of the proof.
+#![cfg(not(feature = "obs-alloc"))]
+
+use sbc_obs::alloc::{self, Component, TrackingAlloc};
+
+#[global_allocator]
+static ALLOC: TrackingAlloc = TrackingAlloc;
+
+#[test]
+fn scope_guard_is_zero_sized() {
+    assert_eq!(std::mem::size_of::<alloc::ScopeGuard>(), 0);
+    assert_eq!(std::mem::size_of::<TrackingAlloc>(), 0);
+}
+
+#[test]
+fn tracking_stays_inert_under_allocation_pressure() {
+    let _guard = alloc::scope(Component::Arena);
+    let big: Vec<u64> = (0..65_536).collect();
+    assert_eq!(big.len(), 65_536);
+    assert!(!alloc::tracking_active());
+    let snap = alloc::snapshot();
+    assert!(!snap.tracking);
+    assert_eq!(snap.total.allocs, 0);
+    assert_eq!(snap.total.live_bytes, 0);
+    assert_eq!(snap.components.len(), alloc::NUM_COMPONENTS);
+    assert!(snap
+        .components
+        .iter()
+        .all(|(_, s)| *s == Default::default()));
+    assert!(snap.details.is_empty());
+    alloc::__bench_record_pair(1024);
+    assert_eq!(alloc::snapshot().total.allocs, 0);
+}
+
+#[test]
+fn detail_scope_is_inert_too() {
+    let _guard = alloc::scope_detail(Component::Sketches, 1, 3);
+    let v = vec![0u8; 4096];
+    assert_eq!(v.len(), 4096);
+    assert!(alloc::snapshot().details.is_empty());
+}

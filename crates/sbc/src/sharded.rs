@@ -28,7 +28,7 @@ use rand::{Rng, SeedableRng};
 use sbc_core::{Coreset, CoresetParams, ParamsError};
 use sbc_geometry::{GridHierarchy, Point};
 use sbc_obs::fault::splitmix64;
-use sbc_streaming::coreset_stream::ShardedSpaceReport;
+use sbc_streaming::coreset_stream::{ShardedSpaceReport, SpaceReport};
 use sbc_streaming::{Snapshot, StreamCoresetBuilder, StreamOp, StreamParams};
 
 use crate::SbcError;
@@ -161,8 +161,13 @@ impl ShardedIngest {
     /// Cross-shard space accounting: fleet totals plus the worst single
     /// shard (the E4 claim under sharding).
     pub fn space_report(&self) -> ShardedSpaceReport {
-        let reports: Vec<_> = self.builders.iter().map(|b| b.space_report()).collect();
-        ShardedSpaceReport::aggregate(&reports)
+        ShardedSpaceReport::aggregate(&self.shard_space_reports())
+    }
+
+    /// Per-shard space reports, in shard order (the inputs
+    /// [`Self::space_report`] aggregates).
+    pub fn shard_space_reports(&self) -> Vec<SpaceReport> {
+        self.builders.iter().map(|b| b.space_report()).collect()
     }
 
     /// Checkpoints one shard builder mid-stream (see
@@ -267,6 +272,10 @@ mod tests {
             "store_bytes",
             "nominal_sketch_bytes",
             "nominal_sketch_bytes_human",
+            "measured_bytes",
+            "peak_measured_bytes",
+            "expected_sketch_bytes",
+            "nominal_to_measured_ratio",
             "instances",
             "dead_stores",
             "live_stores",
@@ -283,6 +292,52 @@ mod tests {
                 "{key} must appear in both total and max_per_shard: {json}"
             );
         }
+    }
+
+    #[test]
+    fn max_per_shard_ratio_comes_from_the_worst_shards_own_pair() {
+        // Regression: a field-wise max of per-shard *ratios* (or a
+        // ratio of field-wise maxima) pairs one shard's numerator with
+        // another's denominator. The JSON's max_per_shard ratio must be
+        // exactly `worst.nominal / worst.measured` for the shard with
+        // the largest measured footprint.
+        let p = params();
+        let pts = gaussian_mixture(p.grid, 2000, 3, 0.04, 19);
+        let sp = StreamParams::builder().shards(4).build().unwrap();
+        let mut ingest = ShardedIngest::new(p, sp, 23).unwrap();
+        ingest.insert_batch(&pts);
+        let per_shard = ingest.shard_space_reports();
+        let rep = ingest.space_report();
+
+        let worst = per_shard
+            .iter()
+            .max_by_key(|r| r.measured_bytes)
+            .expect("4 shards");
+        assert_eq!(rep.max_shard_measured_bytes, worst.measured_bytes);
+        assert_eq!(
+            rep.max_shard_nominal_sketch_bytes,
+            worst.nominal_sketch_bytes
+        );
+
+        let doc = sbc_obs::json::JsonValue::parse(&rep.to_json().to_string()).unwrap();
+        let got = doc
+            .get("max_per_shard")
+            .and_then(|m| m.get("nominal_to_measured_ratio"))
+            .and_then(|v| v.as_f64())
+            .expect("max_per_shard carries a numeric ratio");
+        let want = worst.nominal_sketch_bytes as f64 / worst.measured_bytes as f64;
+        assert!(
+            (got - want).abs() <= want * 1e-9,
+            "max_per_shard ratio {got} != worst shard's own {want}"
+        );
+        // And the total's ratio is the summed pair, not a sum of ratios.
+        let total_got = doc
+            .get("total")
+            .and_then(|m| m.get("nominal_to_measured_ratio"))
+            .and_then(|v| v.as_f64())
+            .unwrap();
+        let total_want = rep.total.nominal_sketch_bytes as f64 / rep.total.measured_bytes as f64;
+        assert!((total_got - total_want).abs() <= total_want * 1e-9);
     }
 
     #[test]

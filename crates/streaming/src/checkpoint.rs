@@ -127,6 +127,7 @@ pub struct Snapshot {
 impl Snapshot {
     /// Serializes the snapshot with its magic/version header.
     pub fn to_bytes(&self) -> Vec<u8> {
+        let _mem = sbc_obs::alloc::scope(sbc_obs::alloc::Component::Checkpoint);
         let mut buf = Vec::new();
         buf.extend_from_slice(&MAGIC);
         VERSION.encode(&mut buf);
@@ -140,6 +141,7 @@ impl Snapshot {
         if buf.len() < MAGIC.len() || buf[..MAGIC.len()] != MAGIC {
             return Err(CheckpointError::BadMagic);
         }
+        let _mem = sbc_obs::alloc::scope(sbc_obs::alloc::Component::Checkpoint);
         let mut cursor = MAGIC.len();
         let version = u32::decode(buf, &mut cursor).ok_or(CheckpointError::Malformed)?;
         if version != VERSION {

@@ -37,6 +37,7 @@ use sbc_hash::KWiseHash;
 use sbc_obs::fault::{splitmix64, FaultPlan};
 use sbc_obs::json::JsonValue;
 use sbc_obs::trace::{self, CausalIds, TraceKind};
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Ops per ingest batch: large enough to amortize precompute and the
 /// parallel fork, small enough that the SoA buffer stays cache-friendly.
@@ -420,6 +421,24 @@ pub struct SpaceReport {
     /// is the fleet-wide load factor (≤ ⅞ by construction) — the
     /// baseline the memory-diet roadmap item diets against.
     pub arena_entries: usize,
+    /// Measured footprint right now: `hash_bytes + store_bytes`. The
+    /// denominator of `nominal_to_measured_ratio` — deterministic given
+    /// logical state, so it sums across shards and agrees across the
+    /// per-op, batched and parallel ingest paths.
+    pub measured_bytes: usize,
+    /// High-water mark of `measured_bytes` over this builder's life,
+    /// sampled at observation points (space reports and checkpoints)
+    /// only. Not serialized in snapshots — a restored builder restarts
+    /// its peak from the restored footprint.
+    pub peak_measured_bytes: usize,
+    /// Capacity-model bytes at *realized* occupancy: what the
+    /// actually-spawned stores reserve (power-of-two rounded tables at
+    /// their high-water marks; fully-allocated accounting only for the
+    /// genuinely fully-allocated sketch backend). Unlike
+    /// `nominal_sketch_bytes` — the worst-case config product that
+    /// lands in the 10^14 range — this tracks measured truth to within
+    /// a small constant factor.
+    pub expected_sketch_bytes: usize,
 }
 
 impl SpaceReport {
@@ -431,6 +450,25 @@ impl SpaceReport {
     /// accounting scaled to binary units so it stops drowning the real
     /// `store_bytes` signal) and `arena_load_factor`.
     pub fn to_json(&self) -> JsonValue {
+        self.to_json_with_ratio(self.nominal_to_measured_ratio())
+    }
+
+    /// How far the Lemma 4.2 worst-case accounting overstates measured
+    /// truth (`nominal_sketch_bytes / measured_bytes`; 0 when nothing
+    /// is measured). Derived, not stored, so the report itself stays
+    /// `Copy + Eq`.
+    pub fn nominal_to_measured_ratio(&self) -> f64 {
+        if self.measured_bytes == 0 {
+            0.0
+        } else {
+            self.nominal_sketch_bytes as f64 / self.measured_bytes as f64
+        }
+    }
+
+    /// Serialization body with an explicit ratio: the sharded
+    /// aggregate's `max_per_shard` view must report the max shard's
+    /// *own* ratio, not a ratio of field-wise maxima.
+    fn to_json_with_ratio(self, ratio: f64) -> JsonValue {
         let load = if self.arena_slots == 0 {
             0.0
         } else {
@@ -444,6 +482,10 @@ impl SpaceReport {
                 "nominal_sketch_bytes_human",
                 human_bytes(self.nominal_sketch_bytes),
             )
+            .field("measured_bytes", self.measured_bytes)
+            .field("peak_measured_bytes", self.peak_measured_bytes)
+            .field("expected_sketch_bytes", self.expected_sketch_bytes)
+            .field("nominal_to_measured_ratio", ratio)
             .field("instances", self.instances)
             .field("dead_stores", self.dead_stores)
             .field("live_stores", self.live_stores)
@@ -487,6 +529,14 @@ pub struct ShardedSpaceReport {
     pub max_per_shard: SpaceReport,
     /// Number of shards aggregated.
     pub shards: usize,
+    /// `nominal_sketch_bytes` of the shard with the largest measured
+    /// footprint — the numerator of `max_per_shard`'s ratio. A
+    /// field-wise max of per-shard *ratios* would pair one shard's
+    /// numerator with another's denominator, so the aggregate carries
+    /// the worst shard's own pair instead.
+    pub max_shard_nominal_sketch_bytes: usize,
+    /// `measured_bytes` of that same shard (the ratio's denominator).
+    pub max_shard_measured_bytes: usize,
 }
 
 impl ShardedSpaceReport {
@@ -507,9 +557,13 @@ impl ShardedSpaceReport {
             sketch_overflow: 0,
             arena_slots: 0,
             arena_entries: 0,
+            measured_bytes: 0,
+            peak_measured_bytes: 0,
+            expected_sketch_bytes: 0,
         };
         let mut total = zero;
         let mut max = zero;
+        let mut worst = &reports[0];
         for r in reports {
             total.hash_bytes += r.hash_bytes;
             total.store_bytes += r.store_bytes;
@@ -521,6 +575,9 @@ impl ShardedSpaceReport {
             total.sketch_overflow += r.sketch_overflow;
             total.arena_slots += r.arena_slots;
             total.arena_entries += r.arena_entries;
+            total.measured_bytes += r.measured_bytes;
+            total.peak_measured_bytes += r.peak_measured_bytes;
+            total.expected_sketch_bytes += r.expected_sketch_bytes;
             max.hash_bytes = max.hash_bytes.max(r.hash_bytes);
             max.store_bytes = max.store_bytes.max(r.store_bytes);
             max.nominal_sketch_bytes = max.nominal_sketch_bytes.max(r.nominal_sketch_bytes);
@@ -531,21 +588,39 @@ impl ShardedSpaceReport {
             max.sketch_overflow = max.sketch_overflow.max(r.sketch_overflow);
             max.arena_slots = max.arena_slots.max(r.arena_slots);
             max.arena_entries = max.arena_entries.max(r.arena_entries);
+            max.measured_bytes = max.measured_bytes.max(r.measured_bytes);
+            max.peak_measured_bytes = max.peak_measured_bytes.max(r.peak_measured_bytes);
+            max.expected_sketch_bytes = max.expected_sketch_bytes.max(r.expected_sketch_bytes);
+            if r.measured_bytes > worst.measured_bytes {
+                worst = r;
+            }
         }
         Self {
             total,
             max_per_shard: max,
             shards: reports.len(),
+            max_shard_nominal_sketch_bytes: worst.nominal_sketch_bytes,
+            max_shard_measured_bytes: worst.measured_bytes,
         }
     }
 
     /// Serializes both aggregates; each sub-object carries the same
-    /// 8-field golden schema as [`SpaceReport::to_json`].
+    /// golden schema as [`SpaceReport::to_json`]. `total`'s ratio is
+    /// computed from the summed numerator/denominator; `max_per_shard`'s
+    /// from the worst (largest-measured) shard's own pair.
     pub fn to_json(&self) -> JsonValue {
+        let max_ratio = if self.max_shard_measured_bytes == 0 {
+            0.0
+        } else {
+            self.max_shard_nominal_sketch_bytes as f64 / self.max_shard_measured_bytes as f64
+        };
         JsonValue::object()
             .field("shards", self.shards)
             .field("total", self.total.to_json())
-            .field("max_per_shard", self.max_per_shard.to_json())
+            .field(
+                "max_per_shard",
+                self.max_per_shard.to_json_with_ratio(max_ratio),
+            )
     }
 }
 
@@ -677,6 +752,14 @@ pub struct StreamCoresetBuilder {
     merge_depth: u32,
     rng: StdRng,
     metrics: IngestMetrics,
+    /// High-water mark of the measured footprint, updated only at
+    /// observation points (space reports, checkpoints) so the ingest
+    /// paths stay bit-identical whether or not anyone is watching.
+    /// Atomic for interior mutability under sharded (`Sync`) sharing;
+    /// deliberately NOT serialized in checkpoints — snapshot bytes stay
+    /// canonical and a restored builder restarts its peak from the
+    /// restored footprint.
+    peak_measured: AtomicUsize,
 }
 
 impl StreamCoresetBuilder {
@@ -719,6 +802,7 @@ impl StreamCoresetBuilder {
             merge_depth: 0,
             rng: StdRng::seed_from_u64(rng.gen()),
             metrics: IngestMetrics::new(l as usize),
+            peak_measured: AtomicUsize::new(0),
         }
     }
 
@@ -834,6 +918,10 @@ impl StreamCoresetBuilder {
         self.net_count += other.net_count;
         self.ops_seen += other.ops_seen;
         self.merge_depth = self.merge_depth.max(other.merge_depth) + 1;
+        self.peak_measured.fetch_max(
+            other.peak_measured.load(Ordering::Relaxed),
+            Ordering::Relaxed,
+        );
         sbc_obs::counter!("stream.merge.nodes").incr();
         sbc_obs::counter!("stream.merge.stores").add(stores);
         trace::event(
@@ -1036,6 +1124,7 @@ impl StreamCoresetBuilder {
         if ops.is_empty() {
             return;
         }
+        let _mem = sbc_obs::alloc::scope(sbc_obs::alloc::Component::Sketches);
         let base = self.ops_seen;
         self.ops_seen += ops.len() as u64;
         let _batch_span = trace::span(
@@ -1131,6 +1220,7 @@ impl StreamCoresetBuilder {
     }
 
     fn apply(&mut self, p: &Point, delta: i64) {
+        let _mem = sbc_obs::alloc::scope(sbc_obs::alloc::Component::Sketches);
         if delta > 0 {
             self.metrics.ops_inserted.incr();
         } else {
@@ -1199,6 +1289,7 @@ impl StreamCoresetBuilder {
             .sum();
         let mut store_bytes = 0usize;
         let mut nominal = 0usize;
+        let mut expected = 0usize;
         let mut live_stores = 0usize;
         let mut runaway_kill = 0usize;
         let mut sketch_overflow = 0usize;
@@ -1212,6 +1303,7 @@ impl StreamCoresetBuilder {
                 .chain(inst.hhat_stores.iter().flatten())
             {
                 store_bytes += st.stored_bytes();
+                expected += st.expected_bytes();
                 match st.death() {
                     Some(StoreDeath::RunawayKill) => runaway_kill += 1,
                     Some(StoreDeath::SketchOverflow) => sketch_overflow += 1,
@@ -1224,6 +1316,14 @@ impl StreamCoresetBuilder {
             }
             nominal += inst.nominal_bytes();
         }
+        let measured = hash_bytes + store_bytes;
+        // Observation point: fold this measurement into the high-water
+        // mark. fetch_max returns the previous peak, so the reported
+        // value covers both the history and right now.
+        let peak = self
+            .peak_measured
+            .fetch_max(measured, Ordering::Relaxed)
+            .max(measured);
         SpaceReport {
             hash_bytes,
             store_bytes,
@@ -1235,6 +1335,9 @@ impl StreamCoresetBuilder {
             sketch_overflow,
             arena_slots,
             arena_entries,
+            measured_bytes: measured,
+            peak_measured_bytes: peak,
+            expected_sketch_bytes: expected,
         }
     }
 
@@ -1254,6 +1357,11 @@ impl StreamCoresetBuilder {
     /// Fails with [`CheckpointError::UnsupportedBackend`] if any store
     /// uses the sketch backend.
     pub fn checkpoint(&self) -> Result<Snapshot, CheckpointError> {
+        // Checkpoints are observation points for the measured-space
+        // high-water mark (the report is discarded; the side effect is
+        // the peak fold). The peak itself is never serialized — the
+        // snapshot byte stream stays canonical.
+        let _ = self.space_report();
         let snap_store = |st: &Storing| st.to_snapshot().ok_or(CheckpointError::UnsupportedBackend);
         let mut instances = Vec::with_capacity(self.instances.len());
         for inst in &self.instances {
@@ -1399,6 +1507,7 @@ impl StreamCoresetBuilder {
             merge_depth: snap.merge_depth,
             rng: StdRng::from_state(snap.rng_state),
             metrics: IngestMetrics::new(l),
+            peak_measured: AtomicUsize::new(0),
         })
     }
 
@@ -1722,6 +1831,11 @@ impl OInstance {
             psi_thr.push(bernoulli_threshold(rate));
             let alpha = (sparams.alpha_factor * (kl + dpow * t.min(sparams.est_rate) + 8.0)).ceil()
                 as usize;
+            let _mem = sbc_obs::alloc::scope_detail(
+                sbc_obs::alloc::Component::Sketches,
+                trace::role::H,
+                level,
+            );
             h_stores.push(Storing::new(
                 grid,
                 level,
@@ -1749,6 +1863,11 @@ impl OInstance {
             let alpha_p = (sparams.alpha_factor
                 * (kl + dpow * t.min(sparams.est_rate / gamma) + 8.0))
                 .ceil() as usize;
+            let _mem = sbc_obs::alloc::scope_detail(
+                sbc_obs::alloc::Component::Sketches,
+                trace::role::HP,
+                level,
+            );
             hp_stores.push(Storing::new(
                 grid,
                 level,
@@ -1772,6 +1891,11 @@ impl OInstance {
                 let alpha_hat =
                     (sparams.alpha_factor * (kl + dpow * samples_per_cell + 8.0)).ceil() as usize;
                 let beta_hat = (8.0 * samples_per_cell + 32.0).ceil() as usize;
+                let _mem = sbc_obs::alloc::scope_detail(
+                    sbc_obs::alloc::Component::Sketches,
+                    trace::role::HHAT,
+                    level,
+                );
                 hhat_stores.push(Some(Storing::new(
                     grid,
                     level,

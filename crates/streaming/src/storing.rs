@@ -996,6 +996,62 @@ impl Storing {
         }
     }
 
+    /// Capacity-model bytes at *realized* occupancy: what a deployment
+    /// sized to this store's actual high-water marks reserves. Exact
+    /// and arena backends round their cell tables up to the power of
+    /// two covering `peak_cells` (hash-table style); the sketch backend
+    /// is genuinely fully allocated up front, so its reservation *is*
+    /// [`Self::nominal_sketch_bytes`]. Dead exact/arena stores freed
+    /// their memory and reserve nothing. Deterministic given logical
+    /// state, like [`Self::stored_bytes`] — the two bracket each other
+    /// within the power-of-two rounding slack, which the space tests
+    /// pin to a small constant factor.
+    pub fn expected_bytes(&self) -> usize {
+        match &self.inner {
+            Inner::Exact {
+                cells,
+                dead,
+                peak_cells,
+                ..
+            } => {
+                if *dead {
+                    return 0;
+                }
+                let per_cell = 16 + 8 + 1 + 24;
+                let per_point = 16 + 8 + 8;
+                let cap_cells = peak_cells.next_power_of_two().max(8);
+                cap_cells * per_cell
+                    + cells
+                        .values()
+                        .map(|r| {
+                            r.cell.coords.len() * 8
+                                + r.points.len() * (per_point + r.cell.coords.len() * 4)
+                        })
+                        .sum::<usize>()
+            }
+            Inner::Arena {
+                table,
+                dead,
+                peak_cells,
+                ..
+            } => {
+                if *dead {
+                    return 0;
+                }
+                let per_cell = 8 + 8 + 1 + 24;
+                let per_point = 16 + 8;
+                let slots = table.reported_capacity(*peak_cells) * 4;
+                slots
+                    + peak_cells.next_power_of_two().max(8) * per_cell
+                    + table
+                        .iter()
+                        .map(|(_, r)| r.points.len() * per_point)
+                        .sum::<usize>()
+            }
+            Inner::Sketch { .. } => Self::nominal_sketch_bytes(&self.cfg),
+        }
+    }
+
     /// Arena-backend occupancy: `(deterministic slot capacity, live
     /// entries)` summed into the space report's load-factor fields.
     /// `None` for the other backends and for dead (freed) arenas.
