@@ -32,8 +32,8 @@ use sbc_obs::json::JsonValue;
 const TOLERANCE: f64 = 0.15;
 
 /// Schema the fresh report must satisfy.
-const SCHEMA_VERSION: u64 = 5;
-const REQUIRED_TOP: [&str; 12] = [
+const SCHEMA_VERSION: u64 = 6;
+const REQUIRED_TOP: [&str; 13] = [
     "schema_version",
     "git_commit",
     "generated_at",
@@ -46,6 +46,26 @@ const REQUIRED_TOP: [&str; 12] = [
     "telemetry",
     "trace",
     "metrics",
+    "serving",
+];
+/// Numeric fields of the `serving` section (`serve_bench` output).
+const SERVING_NUMERIC: [&str; 16] = [
+    "protocol_version",
+    "tenants",
+    "ops_per_tenant",
+    "batch",
+    "shards",
+    "total_ops",
+    "aggregate_ops_per_sec",
+    "single_tenant_ops_per_sec",
+    "multi_tenant_efficiency",
+    "p50_admission_ns",
+    "p99_admission_ns",
+    "peak_bytes_per_tenant",
+    "identity_checks",
+    "evictions",
+    "restores",
+    "overloaded",
 ];
 const GROUPS: [&str; 2] = ["insert_only", "mixed_deletion_heavy"];
 const PATHS: [&str; 3] = ["per_op", "batched", "batched_parallel"];
@@ -230,7 +250,60 @@ fn check_schema(doc: &JsonValue, path: &str) -> Result<(), String> {
             ));
         }
     }
+    // Serving (v6): the multi-tenant service tier's load-generator
+    // report. Identity is a hard boolean; the latency percentiles are
+    // schema-checked but not ratio-gated (absolute ns is host truth).
+    let serving = doc.get("serving").unwrap();
+    for key in SERVING_NUMERIC {
+        if serving.get(key).and_then(JsonValue::as_f64).is_none() {
+            return Err(format!("{path}: serving section missing numeric \"{key}\""));
+        }
+    }
+    if serving
+        .get("coresets_bit_identical")
+        .and_then(JsonValue::as_bool)
+        .is_none()
+    {
+        return Err(format!(
+            "{path}: serving section missing boolean \"coresets_bit_identical\""
+        ));
+    }
+    for key in ["reject_overloaded", "shed_evictions"] {
+        if serving
+            .get("overload_drill")
+            .and_then(|d| d.get(key))
+            .and_then(JsonValue::as_f64)
+            .is_none()
+        {
+            return Err(format!(
+                "{path}: serving.overload_drill missing numeric \"{key}\""
+            ));
+        }
+    }
+    if serving
+        .get("faults")
+        .and_then(|f| f.get("profile"))
+        .and_then(JsonValue::as_str)
+        .is_none()
+    {
+        return Err(format!("{path}: serving.faults missing string \"profile\""));
+    }
+    for key in ["drops", "dups", "retries"] {
+        if serving
+            .get("faults")
+            .and_then(|f| f.get(key))
+            .and_then(JsonValue::as_f64)
+            .is_none()
+        {
+            return Err(format!("{path}: serving.faults missing numeric \"{key}\""));
+        }
+    }
     Ok(())
+}
+
+/// A numeric leaf of the `serving` section, if present.
+fn serving_num(doc: &JsonValue, key: &str) -> Option<f64> {
+    doc.get("serving")?.get(key)?.as_f64()
 }
 
 /// `telemetry.space.peak_bytes_per_point` of a report, if present.
@@ -361,6 +434,68 @@ fn main() {
                 "bench_guard: telemetry.space.peak_bytes_per_point: {new:.1} vs baseline {base:.1} — ok"
             );
         }
+    }
+    // Serving gates. Identity is unconditional: a fresh report claiming
+    // divergent coresets fails no matter what the baseline says.
+    if fresh
+        .get("serving")
+        .and_then(|s| s.get("coresets_bit_identical"))
+        .and_then(JsonValue::as_bool)
+        != Some(true)
+    {
+        fail("serving regression — coresets_bit_identical must be true");
+    }
+    println!("bench_guard: serving.coresets_bit_identical: true — ok");
+    // Multiplexing efficiency is a same-process ratio (N interleaved
+    // tenants vs one), gated downward like the speedups above.
+    match serving_num(&baseline, "multi_tenant_efficiency") {
+        None => {
+            // A pre-v6 baseline without the section cannot gate it.
+            println!("bench_guard: note: baseline lacks serving.multi_tenant_efficiency, skipping");
+        }
+        Some(base) => {
+            let new = serving_num(&fresh, "multi_tenant_efficiency")
+                .unwrap_or_else(|| fail("fresh report lacks serving.multi_tenant_efficiency"));
+            let floor = base * (1.0 - TOLERANCE);
+            checked += 1;
+            if new < floor {
+                fail(&format!(
+                    "serving regression — multi_tenant_efficiency {new:.3} is below {floor:.3} \
+                     (baseline {base:.3} − {:.0}%)",
+                    TOLERANCE * 100.0
+                ));
+            }
+            println!(
+                "bench_guard: serving.multi_tenant_efficiency: {new:.3} vs baseline {base:.3} — ok"
+            );
+        }
+    }
+    // Per-tenant peak footprint is deterministic given the schedule, so
+    // it gates upward drift like peak_bytes_per_point.
+    match serving_num(&baseline, "peak_bytes_per_tenant") {
+        None => {
+            println!("bench_guard: note: baseline lacks serving.peak_bytes_per_tenant, skipping");
+        }
+        Some(base) => {
+            let new = serving_num(&fresh, "peak_bytes_per_tenant")
+                .unwrap_or_else(|| fail("fresh report lacks serving.peak_bytes_per_tenant"));
+            let ceiling = base * (1.0 + TOLERANCE);
+            checked += 1;
+            if new > ceiling {
+                fail(&format!(
+                    "serving memory regression — peak_bytes_per_tenant {new:.1} exceeds \
+                     {ceiling:.1} (baseline {base:.1} + {:.0}%)",
+                    TOLERANCE * 100.0
+                ));
+            }
+            println!(
+                "bench_guard: serving.peak_bytes_per_tenant: {new:.1} vs baseline {base:.1} — ok"
+            );
+        }
+    }
+    // Admission latency is schema-pinned, sanity-checked, not gated.
+    if serving_num(&fresh, "p99_admission_ns").is_none_or(|p99| p99 <= 0.0) {
+        fail("fresh report lacks a positive serving.p99_admission_ns");
     }
     if checked == 0 {
         fail("baseline exposed no comparable speedup ratios");

@@ -62,19 +62,19 @@ fn bench_streaming_golden_file_agrees_with_space_report() {
 }
 
 #[test]
-fn bench_streaming_golden_file_matches_schema_v5() {
-    // The committed baseline must parse as JSON and carry the v5 schema
-    // (trace, kernels and telemetry sections included) — the same shape
-    // `bench_guard` validates on fresh reports, so a drifting writer
-    // cannot slip past CI.
+fn bench_streaming_golden_file_matches_schema_v6() {
+    // The committed baseline must parse as JSON and carry the v6 schema
+    // (trace, kernels, telemetry and serving sections included) — the
+    // same shape `bench_guard` validates on fresh reports, so a
+    // drifting writer cannot slip past CI.
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_streaming.json");
     let text = std::fs::read_to_string(path)
         .expect("BENCH_streaming.json must be checked in at the repo root");
     let doc = sbc_obs::json::JsonValue::parse(&text).expect("baseline parses as JSON");
     assert_eq!(
         doc.get("schema_version").and_then(|v| v.as_u64()),
-        Some(5),
-        "committed BENCH_streaming.json must be schema_version 5"
+        Some(6),
+        "committed BENCH_streaming.json must be schema_version 6"
     );
     for key in [
         "git_commit",
@@ -86,6 +86,7 @@ fn bench_streaming_golden_file_matches_schema_v5() {
         "telemetry",
         "trace",
         "metrics",
+        "serving",
     ] {
         assert!(doc.get(key).is_some(), "baseline missing \"{key}\" section");
     }
@@ -211,4 +212,91 @@ fn bench_streaming_golden_file_matches_schema_v5() {
             "telemetry.overhead missing numeric \"{key}\""
         );
     }
+    // The serving section (v6): serve_bench's multi-tenant report. The
+    // committed baseline must claim ≥1000 interleaved tenants with
+    // bit-identical served coresets — the service tier's acceptance
+    // bar — and carry the ratios bench_guard gates.
+    let serving = doc.get("serving").expect("serving section present");
+    assert!(
+        serving
+            .get("tenants")
+            .and_then(|v| v.as_u64())
+            .is_some_and(|t| t >= 1000),
+        "serving baseline must cover at least 1000 interleaved tenants"
+    );
+    assert_eq!(
+        serving
+            .get("coresets_bit_identical")
+            .and_then(|v| v.as_bool()),
+        Some(true),
+        "serving baseline must have bit-identical served coresets"
+    );
+    for key in [
+        "protocol_version",
+        "multi_tenant_efficiency",
+        "p50_admission_ns",
+        "p99_admission_ns",
+        "peak_bytes_per_tenant",
+        "identity_checks",
+        "evictions",
+        "restores",
+    ] {
+        assert!(
+            serving
+                .get(key)
+                .and_then(|v| v.as_f64())
+                .is_some_and(|v| v > 0.0),
+            "serving section missing positive numeric \"{key}\""
+        );
+    }
+    for key in ["reject_overloaded", "shed_evictions"] {
+        assert!(
+            serving
+                .get("overload_drill")
+                .and_then(|d| d.get(key))
+                .and_then(|v| v.as_f64())
+                .is_some(),
+            "serving.overload_drill missing numeric \"{key}\""
+        );
+    }
+    assert!(
+        serving
+            .get("faults")
+            .and_then(|f| f.get("profile"))
+            .and_then(|v| v.as_str())
+            .is_some(),
+        "serving.faults missing string \"profile\""
+    );
+}
+
+#[test]
+fn space_report_ratio_renders_null_when_nothing_is_measured() {
+    // Schema pin: a `SpaceReport` with no measured denominator must emit
+    // `"nominal_to_measured_ratio": null` — the key never disappears,
+    // and it must not render as 0.0 (which would read as "nominal is
+    // zero" to a ratio-gating consumer).
+    let report = sbc_streaming::SpaceReport {
+        hash_bytes: 0,
+        store_bytes: 0,
+        nominal_sketch_bytes: 1 << 20,
+        instances: 0,
+        dead_stores: 0,
+        live_stores: 0,
+        runaway_kill: 0,
+        sketch_overflow: 0,
+        arena_slots: 0,
+        arena_entries: 0,
+        measured_bytes: 0,
+        peak_measured_bytes: 0,
+        expected_sketch_bytes: 0,
+    };
+    let json = report.to_json().to_string();
+    assert!(
+        json.contains("\"nominal_to_measured_ratio\": null")
+            || json.contains("\"nominal_to_measured_ratio\":null"),
+        "no-denominator ratio must render as null, got {json}"
+    );
+    let doc = sbc_obs::json::JsonValue::parse(&json).expect("report JSON parses");
+    let ratio = doc.get("nominal_to_measured_ratio").expect("key present");
+    assert!(ratio.as_f64().is_none(), "ratio must be null, not a number");
 }

@@ -30,4 +30,4 @@
 pub mod protocol;
 pub mod wire;
 
-pub use protocol::{CommStats, DistributedCoreset};
+pub use protocol::{CommStats, DistributedCoreset, MergeFailure};

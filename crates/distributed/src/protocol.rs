@@ -70,6 +70,77 @@ impl CommStats {
     }
 }
 
+/// Typed failure of a per-role summary merge, replacing the ad-hoc
+/// free-form `String` errors that used to be formatted inline.
+///
+/// The wire/summary data model (`InstanceSummary`) still carries
+/// `Result<_, String>` — both ends of the wire run the same binary and
+/// the codec already round-trips strings — but every error string is
+/// now produced by [`MergeFailure::to_wire`], which prefixes a **stable
+/// numeric code** (`"E<code>: <detail>"`). Coordinators and tooling
+/// match on the code via [`MergeFailure::code_of_wire`] instead of
+/// substring-grepping prose. The codes live in the workspace error-code
+/// registry (see `sbc::api`): 300–399 is reserved for summary-merge
+/// failures.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MergeFailure {
+    /// A machine shipped a FAILed store for this role-level (code 300).
+    MachineStoreFailed(String),
+    /// The merged cell set exceeded the per-store cell budget α
+    /// (code 301).
+    AlphaExceeded {
+        /// Distinct non-empty cells after merging.
+        cells: usize,
+        /// The (minimum) per-machine cell budget.
+        alpha: usize,
+    },
+    /// Machines disagreed on whether the ĥ store exists at this level
+    /// (code 302).
+    InconsistentHhatPresence,
+}
+
+impl MergeFailure {
+    /// The stable numeric code carried on the wire.
+    pub fn code(&self) -> u16 {
+        match self {
+            MergeFailure::MachineStoreFailed(_) => 300,
+            MergeFailure::AlphaExceeded { .. } => 301,
+            MergeFailure::InconsistentHhatPresence => 302,
+        }
+    }
+
+    /// Renders the canonical wire form: `"E<code>: <detail>"`.
+    pub fn to_wire(&self) -> String {
+        format!("E{}: {self}", self.code())
+    }
+
+    /// Extracts the numeric code from a wire-form error string, if it
+    /// carries one (strings from pre-code builds do not).
+    pub fn code_of_wire(s: &str) -> Option<u16> {
+        let rest = s.strip_prefix('E')?;
+        let (digits, _) = rest.split_once(':')?;
+        digits.parse().ok()
+    }
+}
+
+impl std::fmt::Display for MergeFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MergeFailure::MachineStoreFailed(detail) => {
+                write!(f, "machine store failed: {detail}")
+            }
+            MergeFailure::AlphaExceeded { cells, alpha } => {
+                write!(f, "merged cells {cells} exceed α = {alpha}")
+            }
+            MergeFailure::InconsistentHhatPresence => {
+                write!(f, "inconsistent ĥ store presence")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MergeFailure {}
+
 /// The broadcast message (wire-encoded for accounting).
 struct Broadcast {
     shift: Vec<f64>,
@@ -488,7 +559,7 @@ pub fn merge_summaries(
                 .collect();
             if parts.len() != per_machine.len() {
                 inst.hhat
-                    .push(Some(Err("inconsistent ĥ store presence".into())));
+                    .push(Some(Err(MergeFailure::InconsistentHhatPresence.to_wire())));
                 continue;
             }
             inst.hhat
@@ -499,11 +570,23 @@ pub fn merge_summaries(
     Ok(merged)
 }
 
+/// Merges one role-level across machines. The summary data model keeps
+/// `String` errors on the wire, so the typed [`MergeFailure`] is
+/// converted via [`MergeFailure::to_wire`] at the boundary — callers
+/// (and crash dumps) still see the stable `E<code>` prefix.
 fn merge_role<'a>(
     grid: &GridHierarchy,
     level: i32,
     parts: impl Iterator<Item = &'a Result<RoleLevelSummary, String>>,
 ) -> Result<RoleLevelSummary, String> {
+    merge_role_typed(grid, level, parts).map_err(|e| e.to_wire())
+}
+
+fn merge_role_typed<'a>(
+    grid: &GridHierarchy,
+    level: i32,
+    parts: impl Iterator<Item = &'a Result<RoleLevelSummary, String>>,
+) -> Result<RoleLevelSummary, MergeFailure> {
     let mut cells: HashMap<sbc_geometry::CellId, i64> = HashMap::new();
     let mut points: Vec<(Point, i64)> = Vec::new();
     let mut dirty: Vec<sbc_geometry::CellId> = Vec::new();
@@ -512,7 +595,7 @@ fn merge_role<'a>(
     for part in parts {
         let part = part
             .as_ref()
-            .map_err(|e| format!("machine store failed: {e}"))?;
+            .map_err(|e| MergeFailure::MachineStoreFailed(e.clone()))?;
         beta = beta.min(part.beta);
         alpha = alpha.min(part.alpha);
         for (cell, cnt) in &part.cells {
@@ -522,7 +605,10 @@ fn merge_role<'a>(
         dirty.extend(part.dirty_small_cells.iter().cloned());
     }
     if cells.len() > alpha {
-        return Err(format!("merged cells {} exceed α = {alpha}", cells.len()));
+        return Err(MergeFailure::AlphaExceeded {
+            cells: cells.len(),
+            alpha,
+        });
     }
     // Global small-cell filter.
     let beta_i = beta as i64;
@@ -745,6 +831,52 @@ mod tests {
         let (c, sc) = DistributedCoreset::run_tree(&shards, &p, &dupy, 53).unwrap();
         assert!(sc.duplicates > 0);
         assert_eq!(a.entries(), c.entries(), "tree dedupe must absorb dups");
+    }
+
+    #[test]
+    fn merge_failure_codes_are_stable_and_wire_parseable() {
+        // The numeric codes are a wire contract (300-range reserved for
+        // summary-merge failures in the workspace registry): renumbering
+        // them breaks deployed coordinators, so they are pinned here.
+        let cases = [
+            (MergeFailure::MachineStoreFailed("boom".into()), 300),
+            (MergeFailure::AlphaExceeded { cells: 9, alpha: 4 }, 301),
+            (MergeFailure::InconsistentHhatPresence, 302),
+        ];
+        for (failure, code) in cases {
+            assert_eq!(failure.code(), code);
+            let wire = failure.to_wire();
+            assert!(wire.starts_with(&format!("E{code}: ")), "{wire}");
+            assert_eq!(MergeFailure::code_of_wire(&wire), Some(code));
+        }
+        // Pre-code strings (legacy summaries) parse to no code, not junk.
+        assert_eq!(MergeFailure::code_of_wire("machine store failed"), None);
+        assert_eq!(MergeFailure::code_of_wire("Everything: fine"), None);
+    }
+
+    #[test]
+    fn merged_alpha_violation_reports_the_typed_code() {
+        // Build two single-cell summaries whose union exceeds α = 1: the
+        // role-level must fail with the stable E301 wire form.
+        let grid_params = GridParams::from_log_delta(6, 2);
+        let mut rng = StdRng::seed_from_u64(5);
+        let grid = GridHierarchy::new(grid_params, &mut rng);
+        let mk = |x: u32| RoleLevelSummary {
+            cells: vec![(grid.cell_of(&Point::new(vec![x, x]), 5), 1)],
+            small_points: vec![],
+            beta: 0,
+            alpha: 1,
+            dirty_small_cells: vec![],
+        };
+        let a = Ok(mk(1));
+        let b = Ok(mk(40));
+        let merged = merge_role(&grid, 5, [&a, &b].into_iter());
+        let err = merged.expect_err("two cells cannot fit α = 1");
+        assert_eq!(
+            err,
+            MergeFailure::AlphaExceeded { cells: 2, alpha: 1 }.to_wire()
+        );
+        assert_eq!(MergeFailure::code_of_wire(&err), Some(301));
     }
 
     #[test]

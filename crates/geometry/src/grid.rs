@@ -104,6 +104,11 @@ impl CellId {
     /// For a level-`i` cell containing a point of `[Δ]^d` the index lies in
     /// `[−2^i, 2^i]`, so `i + 2` bits per coordinate (after offsetting by
     /// `2^i`) are always sufficient; level −1 needs one bit.
+    ///
+    /// Hidden from the documented surface: the packing is an ingest-kernel
+    /// implementation detail (arena table keys), not a stable identifier
+    /// format.
+    #[doc(hidden)]
     pub fn pack(&self) -> Option<u128> {
         let (width, offset): (u32, i64) = if self.level >= 0 {
             ((self.level + 2) as u32, 0)

@@ -58,6 +58,7 @@
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod api;
 mod sharded;
 
 pub use sbc_clustering as clustering;
@@ -69,6 +70,7 @@ pub use sbc_hash as hashing;
 pub use sbc_obs as obs;
 pub use sbc_streaming as streaming;
 
+pub use api::{ApiError, ApiRequest, ApiResponse, TenantSpec};
 pub use sbc_clustering::{capacitated_cost, capacitated_lloyd, CapacitatedSolution, CostReport};
 pub use sbc_core::{
     build_coreset, ConstantsProfile, Coreset, CoresetEntry, CoresetParams, CoresetParamsBuilder,
@@ -85,6 +87,7 @@ pub use sharded::ShardedIngest;
 
 /// Convenience prelude: the types nearly every program touches.
 pub mod prelude {
+    pub use crate::api::{ApiRequest, ApiResponse, TenantSpec};
     pub use crate::SbcError;
     pub use crate::ShardedIngest;
     pub use sbc_clustering::{capacitated_cost, capacitated_lloyd};
@@ -118,6 +121,27 @@ pub enum SbcError {
     /// Shard builders could not be merged ([`ShardedIngest`] /
     /// [`StreamCoresetBuilder::merge`]).
     Merge(MergeError),
+    /// The `sbc-serve` protocol failed (framing, negotiation, tenancy,
+    /// admission control) — see [`api::ApiError`].
+    Api(ApiError),
+}
+
+impl SbcError {
+    /// The stable numeric code for this error, following the workspace
+    /// registry: core variants own 101–105, [`api::ApiError`] owns the
+    /// 200 range, `sbc_distributed::MergeFailure` the 300 range. These
+    /// are a wire contract ([`api::ApiResponse::Error`]) — append-only,
+    /// never renumbered.
+    pub fn code(&self) -> u16 {
+        match self {
+            SbcError::Params(_) => 101,
+            SbcError::Build(_) => 102,
+            SbcError::Store(_) => 103,
+            SbcError::Checkpoint(_) => 104,
+            SbcError::Merge(_) => 105,
+            SbcError::Api(e) => e.code(),
+        }
+    }
 }
 
 impl std::fmt::Display for SbcError {
@@ -128,6 +152,7 @@ impl std::fmt::Display for SbcError {
             SbcError::Store(e) => write!(f, "summary structure failed: {e}"),
             SbcError::Checkpoint(e) => write!(f, "checkpoint error: {e}"),
             SbcError::Merge(e) => write!(f, "merge failed: {e}"),
+            SbcError::Api(e) => write!(f, "service protocol error: {e}"),
         }
     }
 }
@@ -140,6 +165,7 @@ impl std::error::Error for SbcError {
             SbcError::Store(e) => Some(e),
             SbcError::Checkpoint(e) => Some(e),
             SbcError::Merge(e) => Some(e),
+            SbcError::Api(e) => Some(e),
         }
     }
 }
@@ -173,6 +199,12 @@ impl From<MergeError> for SbcError {
     fn from(e: MergeError) -> Self {
         record_hard_error("error.merge");
         SbcError::Merge(e)
+    }
+}
+impl From<ApiError> for SbcError {
+    fn from(e: ApiError) -> Self {
+        record_hard_error("error.api");
+        SbcError::Api(e)
     }
 }
 
@@ -211,6 +243,22 @@ mod tests {
         assert!(msg.contains("invalid parameters"), "{msg}");
         use std::error::Error;
         assert!(err.source().is_some());
+    }
+
+    #[test]
+    fn error_codes_are_stable_across_the_registry() {
+        // 101–105: core variants. The API (200s) and distributed merge
+        // (300s) ranges are pinned in their own crates' tests; here we
+        // only check the fold-in delegates rather than collides.
+        let params_err = CoresetParams::builder(0, GridParams::from_log_delta(6, 2))
+            .build()
+            .map_err(SbcError::from)
+            .unwrap_err();
+        assert_eq!(params_err.code(), 101);
+        assert_eq!(SbcError::Checkpoint(CheckpointError::BadMagic).code(), 104);
+        let api_err = SbcError::from(ApiError::UnknownTenant { tenant: 3 });
+        assert_eq!(api_err.code(), 210);
+        assert!(matches!(api_err, SbcError::Api(_)));
     }
 
     #[test]

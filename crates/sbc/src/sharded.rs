@@ -196,6 +196,24 @@ impl ShardedIngest {
     pub fn finish(self) -> Result<Coreset, SbcError> {
         Ok(self.into_merged()?.finish()?)
     }
+
+    /// Emits the coreset of the stream *so far* without consuming the
+    /// ingest — the sharded counterpart of
+    /// [`StreamCoresetBuilder::finish_ref`], and what lets `sbc-serve`
+    /// answer live queries mid-stream.
+    ///
+    /// Each shard is cloned through its (bit-identical) checkpoint
+    /// round trip, then the clones run the normal merge tree and
+    /// assembly; the live builders are untouched, so continuing the
+    /// stream afterwards matches an uninterrupted run exactly.
+    pub fn finish_ref(&self) -> Result<Coreset, SbcError> {
+        let clones = self
+            .builders
+            .iter()
+            .map(|b| Ok(StreamCoresetBuilder::restore(&b.checkpoint()?)?))
+            .collect::<Result<Vec<_>, SbcError>>()?;
+        Ok(StreamCoresetBuilder::merge_many(clones)?.finish()?)
+    }
 }
 
 #[cfg(test)]
@@ -338,6 +356,27 @@ mod tests {
             .unwrap();
         let total_want = rep.total.nominal_sketch_bytes as f64 / rep.total.measured_bytes as f64;
         assert!((total_got - total_want).abs() <= total_want * 1e-9);
+    }
+
+    #[test]
+    fn finish_ref_matches_finish_and_does_not_perturb() {
+        let p = params();
+        let pts = gaussian_mixture(p.grid, 2000, 3, 0.04, 31);
+        let sp = StreamParams::builder().shards(4).build().unwrap();
+        let mut ingest = ShardedIngest::new(p, sp, 9).unwrap();
+        ingest.insert_batch(&pts[..1500]);
+        let mid = ingest.finish_ref().expect("mid-stream coreset");
+        assert!(!mid.is_empty());
+        // Querying must not perturb the continuing stream.
+        ingest.insert_batch(&pts[1500..]);
+        let queried = ingest.finish().expect("post-query finish");
+
+        let p2 = params();
+        let sp2 = StreamParams::builder().shards(4).build().unwrap();
+        let mut untouched = ShardedIngest::new(p2, sp2, 9).unwrap();
+        untouched.insert_batch(&pts);
+        let clean = untouched.finish().expect("uninterrupted finish");
+        assert_eq!(queried.entries(), clean.entries());
     }
 
     #[test]

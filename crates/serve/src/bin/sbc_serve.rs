@@ -1,0 +1,212 @@
+//! `sbc-serve` — the multi-tenant coreset server.
+//!
+//! Two modes:
+//!
+//! * **frame loop** (default): reads `SBCSRV1` request frames from
+//!   stdin and writes response frames to stdout until EOF or an
+//!   [`ApiRequest::Shutdown`] record — the transport a socket wrapper
+//!   or test harness drives;
+//! * **`--demo`**: self-driving multi-tenant load so the service has
+//!   something to show; pair with `--telemetry-out` and watch it live
+//!   from a second terminal with `sbc-top` (see the README quickstart).
+//!
+//! Usage:
+//!
+//! ```text
+//! sbc-serve [--budget-bytes N] [--max-tenants N] [--spill-dir PATH]
+//!           [--policy shed|reject] [--telemetry-out PATH] [--telemetry-every MS]
+//!           [--demo] [--tenants N] [--rounds N] [--seed S]
+//! ```
+
+use std::io::{Read, Write};
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use sbc::api::{ApiRequest, TenantSpec, FRAME_MAGIC};
+use sbc::GridParams;
+use sbc_serve::{Client, CoresetService, InProcess, OverloadPolicy, ServeConfig};
+
+#[global_allocator]
+static ALLOC: sbc_obs::alloc::TrackingAlloc = sbc_obs::alloc::TrackingAlloc;
+
+fn main() {
+    let mut config = ServeConfig::default();
+    let mut telemetry_out: Option<String> = None;
+    let mut telemetry_every_ms = sbc_obs::timeline::DEFAULT_CADENCE_MS;
+    let mut demo = false;
+    let mut tenants = 64usize;
+    let mut rounds = 0usize; // demo rounds; 0 = run until killed
+    let mut seed = 7u64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--budget-bytes" => {
+                config.budget_bytes = args
+                    .next()
+                    .expect("--budget-bytes needs a byte count")
+                    .parse()
+                    .expect("--budget-bytes takes an integer");
+            }
+            "--max-tenants" => {
+                config.max_tenants = args
+                    .next()
+                    .expect("--max-tenants needs a count")
+                    .parse()
+                    .expect("--max-tenants takes an integer");
+            }
+            "--spill-dir" => {
+                let dir = args.next().expect("--spill-dir needs a path");
+                std::fs::create_dir_all(&dir).expect("create spill dir");
+                config.spill_dir = Some(dir.into());
+            }
+            "--policy" => {
+                config.policy = match args.next().expect("--policy needs shed|reject").as_str() {
+                    "shed" => OverloadPolicy::Shed,
+                    "reject" => OverloadPolicy::Reject,
+                    other => panic!("unknown policy {other:?} (want shed|reject)"),
+                };
+            }
+            "--telemetry-out" => {
+                telemetry_out = Some(args.next().expect("--telemetry-out needs a path"));
+            }
+            "--telemetry-every" => {
+                telemetry_every_ms = args
+                    .next()
+                    .expect("--telemetry-every needs a cadence in ms")
+                    .parse()
+                    .expect("--telemetry-every takes a positive integer");
+            }
+            "--demo" => demo = true,
+            "--tenants" => {
+                tenants = args
+                    .next()
+                    .expect("--tenants needs a count")
+                    .parse()
+                    .expect("--tenants takes a positive integer");
+            }
+            "--rounds" => {
+                rounds = args
+                    .next()
+                    .expect("--rounds needs a count")
+                    .parse()
+                    .expect("--rounds takes an integer");
+            }
+            "--seed" => {
+                seed = args
+                    .next()
+                    .expect("--seed needs an integer")
+                    .parse()
+                    .expect("--seed takes an integer");
+            }
+            flag => panic!("unknown flag {flag}"),
+        }
+    }
+
+    let sampler = telemetry_out.as_ref().map(|path| {
+        sbc_obs::timeline::Sampler::start(
+            Duration::from_millis(telemetry_every_ms),
+            sbc_obs::timeline::DEFAULT_CAPACITY,
+            Some(path.into()),
+            None,
+        )
+    });
+
+    let service = CoresetService::new(config);
+    if demo {
+        run_demo(service, tenants, rounds, seed);
+    } else {
+        run_frame_loop(service);
+    }
+    if let Some(s) = sampler {
+        s.stop();
+    }
+}
+
+/// stdin/stdout frame loop: one response frame per request frame.
+fn run_frame_loop(mut service: CoresetService) {
+    let mut stdin = std::io::stdin().lock();
+    let mut stdout = std::io::stdout().lock();
+    loop {
+        // A frame is self-delimiting: 8B magic + u32 payload length.
+        let mut header = [0u8; 12];
+        match stdin.read_exact(&mut header) {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => break,
+            Err(e) => panic!("stdin: {e}"),
+        }
+        if header[..8] != FRAME_MAGIC {
+            // Answer the coded error the service produces for bad magic,
+            // then stop — the stream is not speaking our protocol.
+            let reply = service.handle_frame(&header);
+            stdout.write_all(&reply).expect("stdout");
+            stdout.flush().expect("stdout");
+            break;
+        }
+        let payload_len = u32::from_le_bytes(header[8..12].try_into().unwrap()) as usize;
+        let mut frame = header.to_vec();
+        frame.resize(12 + payload_len, 0);
+        stdin
+            .read_exact(&mut frame[12..])
+            .expect("stdin frame body");
+        let reply = service.handle_frame(&frame);
+        stdout.write_all(&reply).expect("stdout");
+        stdout.flush().expect("stdout");
+        if service.is_shutting_down() {
+            break;
+        }
+    }
+}
+
+/// Self-driving load: open `tenants` tenants, then loop rounds of mixed
+/// traffic (inserts, deletes, mid-stream queries, explicit evictions)
+/// through the real wire format.
+fn run_demo(service: CoresetService, tenants: usize, rounds: usize, seed: u64) {
+    let mut client = Client::new(InProcess::new(service));
+    client.hello().expect("version negotiation");
+    let spec = TenantSpec {
+        log_delta: 6,
+        ..TenantSpec::default()
+    };
+    let gp = GridParams::from_log_delta(spec.log_delta, spec.dims as usize);
+    for t in 0..tenants {
+        client
+            .open(
+                t as u64,
+                TenantSpec {
+                    seed: seed ^ t as u64,
+                    ..spec
+                },
+            )
+            .expect("open tenant");
+    }
+    eprintln!("sbc-serve demo: {tenants} tenants live; ctrl-c to stop");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut round = 0usize;
+    let mut live: Vec<Vec<sbc::Point>> = vec![Vec::new(); tenants];
+    while rounds == 0 || round < rounds {
+        for (t, held) in live.iter_mut().enumerate() {
+            let id = t as u64;
+            let batch: Vec<sbc::Point> =
+                sbc::geometry::dataset::gaussian_mixture(gp, 16, 2, 0.08, rng.gen());
+            client.insert(id, &batch).expect("insert");
+            held.extend(batch);
+            if held.len() > 64 {
+                let dead: Vec<sbc::Point> = held.drain(..16).collect();
+                client.delete(id, &dead).expect("delete");
+            }
+            if rng.gen_range(0..16u32) == 0 {
+                let (_o, points) = client.query(id).expect("query");
+                sbc_obs::counter!("serve.demo.coreset_points").add(points.len() as u64);
+            }
+            if rng.gen_range(0..64u32) == 0 {
+                client.evict(id).expect("evict");
+            }
+        }
+        round += 1;
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    // Exit through the protocol so the loop shape matches production.
+    let _ = client.call_batch(&[ApiRequest::Shutdown]);
+}

@@ -1,0 +1,458 @@
+//! `serve_bench` — the multi-tenant load generator behind the
+//! `"serving"` section of `BENCH_streaming.json`.
+//!
+//! Drives a [`CoresetService`] through the typed client (every op
+//! crosses the real `SBCSRV1` wire format) with ≥1000 interleaved
+//! tenants of mixed traffic — batched inserts, deletions, mid-stream
+//! coreset queries, explicit evictions with transparent restores — and
+//! reports **machine-independent ratios** next to the raw numbers:
+//!
+//! * `multi_tenant_efficiency` — aggregate ops/s with N interleaved
+//!   tenants over single-tenant ops/s on the identical per-tenant
+//!   schedule (the multiplexing overhead; gated by `bench_guard`);
+//! * `peak_bytes_per_tenant` — peak admission-control footprint per
+//!   tenant (deterministic; ceiling-gated);
+//! * `coresets_bit_identical` — sampled tenants' served coresets
+//!   compared entry-for-entry against locally rebuilt single-tenant
+//!   pipelines (must be `true`);
+//! * `p99_admission_ns` — admission-decision latency tail (reported,
+//!   schema-checked, not ratio-gated: absolute latency is
+//!   host-dependent).
+//!
+//! `--fault-profile` routes traffic through the [`Lossy`] transport
+//! (seeded envelope drops/duplicates + retries, deduplicated
+//! server-side); identity must still hold. `--merge-into` folds the
+//! section into an existing `BENCH_streaming.json`.
+
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use sbc::api::{CoresetPoint, ServerStatsReport, TenantSpec, PROTOCOL_VERSION};
+use sbc::obs::json::JsonValue;
+use sbc::prelude::*;
+use sbc::{Coreset, StreamCoresetBuilder};
+use sbc_serve::client::LossyStats;
+use sbc_serve::{Client, CoresetService, InProcess, Lossy, OverloadPolicy, ServeConfig, Transport};
+
+#[global_allocator]
+static ALLOC: sbc_obs::alloc::TrackingAlloc = sbc_obs::alloc::TrackingAlloc;
+
+/// One tenant's deterministic traffic schedule. Derived purely from
+/// `(spec.seed, ops, batch)`, so the bench can replay it against a
+/// local reference pipeline for the bit-identity check.
+struct Schedule {
+    spec: TenantSpec,
+    batches: Vec<Vec<Point>>,
+    /// The batch deleted again after all inserts (mixed traffic).
+    delete_batch: usize,
+}
+
+impl Schedule {
+    fn new(tenant: u64, base_seed: u64, shards: u32, ops: usize, batch: usize) -> Schedule {
+        let spec = TenantSpec {
+            shards,
+            seed: base_seed ^ tenant.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            ..TenantSpec::default()
+        };
+        let gp = GridParams::from_log_delta(spec.log_delta, spec.dims as usize);
+        let points = sbc::geometry::dataset::gaussian_mixture(gp, ops, 2, 0.08, spec.seed);
+        let batches: Vec<Vec<Point>> = points.chunks(batch.max(1)).map(<[Point]>::to_vec).collect();
+        Schedule {
+            spec,
+            delete_batch: batches.len() / 2,
+            batches,
+        }
+    }
+
+    /// Applies this schedule to a local reference pipeline and returns
+    /// its mid-stream coreset — the ground truth the served coreset
+    /// must match bit-for-bit.
+    fn reference_coreset(&self) -> Coreset {
+        // The same protocol-contract derivation the service uses — the
+        // whole point of `sbc::api::tenant_pipeline` being shared.
+        let (params, sp) = sbc::api::tenant_pipeline(&self.spec).expect("bench spec is valid");
+        if self.spec.shards <= 1 {
+            let mut rng = StdRng::seed_from_u64(self.spec.seed);
+            let mut b = StreamCoresetBuilder::new(params, sp, &mut rng);
+            for batch in &self.batches {
+                b.insert_batch(batch);
+            }
+            for p in &self.batches[self.delete_batch] {
+                b.delete(p);
+            }
+            b.finish_ref().expect("reference coreset")
+        } else {
+            let mut ingest =
+                ShardedIngest::new(params, sp, self.spec.seed).expect("bench spec is valid");
+            for batch in &self.batches {
+                ingest.insert_batch(batch);
+            }
+            for p in &self.batches[self.delete_batch] {
+                ingest.delete(p);
+            }
+            ingest.finish_ref().expect("reference coreset")
+        }
+    }
+}
+
+/// Runs every schedule to completion, interleaved round-robin batch by
+/// batch (tenant A's batch 2 lands between B's 1 and C's 3 — genuinely
+/// mixed multi-tenant traffic). Returns (applied ops, elapsed seconds).
+fn drive<T: Transport>(
+    client: &mut Client<T>,
+    schedules: &[Schedule],
+    query_every: usize,
+    evict_every: usize,
+) -> (u64, f64) {
+    let mut applied = 0u64;
+    let rounds = schedules.iter().map(|s| s.batches.len()).max().unwrap_or(0);
+    // Opens (builder construction, dominated by store preallocation) stay
+    // outside the timed window: the efficiency ratio compares steady-state
+    // traffic multiplexing, not N-vs-1 arena setup.
+    for (t, s) in schedules.iter().enumerate() {
+        client.open(t as u64, s.spec).expect("open tenant");
+    }
+    let t0 = Instant::now();
+    for round in 0..rounds {
+        for (t, s) in schedules.iter().enumerate() {
+            let id = t as u64;
+            if let Some(batch) = s.batches.get(round) {
+                client.insert(id, batch).expect("insert batch");
+                applied += batch.len() as u64;
+            }
+            // Mid-schedule mixed traffic, staggered by tenant id so the
+            // service sees queries/evictions between everyone's inserts.
+            if round == s.batches.len() / 2 {
+                if evict_every > 0 && t % evict_every == 0 {
+                    client.evict(id).expect("explicit evict");
+                }
+                if query_every > 0 && t % query_every == 0 {
+                    let (_o, pts) = client.query(id).expect("mid-stream query");
+                    assert!(!pts.is_empty() || s.batches.is_empty());
+                }
+            }
+        }
+    }
+    // Deletion pass: every tenant re-deletes one earlier batch (and an
+    // evicted tenant is transparently restored by it).
+    for (t, s) in schedules.iter().enumerate() {
+        let batch = &s.batches[s.delete_batch];
+        client.delete(t as u64, batch).expect("delete batch");
+        applied += batch.len() as u64;
+    }
+    (applied, t0.elapsed().as_secs_f64())
+}
+
+/// Queries `identity_checks` evenly spaced tenants through the wire and
+/// returns their served coresets for the identity comparison.
+fn sample_queries<T: Transport>(
+    client: &mut Client<T>,
+    schedules: &[Schedule],
+    identity_checks: usize,
+) -> Vec<(usize, Vec<CoresetPoint>)> {
+    let stride = (schedules.len() / identity_checks.max(1)).max(1);
+    (0..schedules.len())
+        .step_by(stride)
+        .take(identity_checks)
+        .map(|t| {
+            let (_o, pts) = client.query(t as u64).expect("identity query");
+            (t, pts)
+        })
+        .collect()
+}
+
+fn served_matches_reference(served: &[CoresetPoint], reference: &Coreset) -> bool {
+    let entries = reference.entries();
+    served.len() == entries.len()
+        && served.iter().zip(entries).all(|(s, e)| {
+            s.point == e.point
+                && s.weight.to_bits() == e.weight.to_bits()
+                && s.level == e.level
+                && s.part == e.part as u64
+        })
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((sorted.len() as f64 * p).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Small overload drill: a deliberately tiny budget, both policies.
+/// Returns (reject_overloaded, shed_evictions).
+fn overload_drill(schedules: &[Schedule], budget_bytes: usize) -> (u64, u64) {
+    let mut counts = [0u64; 2];
+    for (i, policy) in [OverloadPolicy::Reject, OverloadPolicy::Shed]
+        .into_iter()
+        .enumerate()
+    {
+        let service = CoresetService::new(ServeConfig {
+            budget_bytes,
+            policy,
+            ..ServeConfig::default()
+        });
+        let mut client = Client::new(InProcess::new(service));
+        client.hello().expect("hello");
+        for (t, s) in schedules.iter().enumerate().take(32) {
+            // Refusals (of opens and inserts alike) are the point of
+            // the drill; keep feeding regardless.
+            let _ = client.open(t as u64, s.spec);
+            for batch in &s.batches {
+                let _ = client.insert(t as u64, batch);
+            }
+        }
+        let stats = client.server_stats().expect("server stats");
+        counts[i] = match policy {
+            OverloadPolicy::Reject => stats.overloaded,
+            OverloadPolicy::Shed => stats.evictions,
+        };
+    }
+    (counts[0], counts[1])
+}
+
+#[allow(clippy::too_many_arguments)]
+fn serving_json(
+    tenants: usize,
+    ops_per_tenant: usize,
+    batch: usize,
+    shards: u32,
+    total_ops: u64,
+    aggregate_ops_per_sec: f64,
+    single_ops_per_sec: f64,
+    admission: &[u64],
+    peak_bytes_per_tenant: f64,
+    identical: bool,
+    identity_checks: usize,
+    stats: ServerStatsReport,
+    drill: (u64, u64),
+    fault_profile: &str,
+    lossy: Option<LossyStats>,
+) -> JsonValue {
+    let efficiency = if single_ops_per_sec > 0.0 {
+        aggregate_ops_per_sec / single_ops_per_sec
+    } else {
+        0.0
+    };
+    let faults = JsonValue::object()
+        .field("profile", fault_profile)
+        .field("drops", lossy.map_or(0, |l| l.drops))
+        .field("dups", lossy.map_or(0, |l| l.dups))
+        .field("retries", lossy.map_or(0, |l| l.retries));
+    JsonValue::object()
+        .field("protocol_version", u64::from(PROTOCOL_VERSION))
+        .field("tenants", tenants as u64)
+        .field("ops_per_tenant", ops_per_tenant as u64)
+        .field("batch", batch as u64)
+        .field("shards", u64::from(shards))
+        .field("total_ops", total_ops)
+        .field("aggregate_ops_per_sec", aggregate_ops_per_sec)
+        .field("single_tenant_ops_per_sec", single_ops_per_sec)
+        .field("multi_tenant_efficiency", efficiency)
+        .field("p50_admission_ns", percentile(admission, 0.50))
+        .field("p99_admission_ns", percentile(admission, 0.99))
+        .field("peak_bytes_per_tenant", peak_bytes_per_tenant)
+        .field("coresets_bit_identical", identical)
+        .field("identity_checks", identity_checks as u64)
+        .field("evictions", stats.evictions)
+        .field("restores", stats.restores)
+        .field("overloaded", stats.overloaded)
+        .field(
+            "overload_drill",
+            JsonValue::object()
+                .field("reject_overloaded", drill.0)
+                .field("shed_evictions", drill.1),
+        )
+        .field("faults", faults)
+}
+
+/// Replaces (or appends) the `"serving"` key of a parsed BENCH document,
+/// preserving every other key and their order. `JsonValue` has no
+/// mutation API, so the object is rebuilt pair-by-pair.
+fn merge_serving(doc: &JsonValue, serving: JsonValue) -> JsonValue {
+    let pairs = doc
+        .as_object()
+        .expect("BENCH file must be a JSON object at top level");
+    let mut out = JsonValue::object();
+    let mut replaced = false;
+    for (key, value) in pairs {
+        if key == "serving" {
+            out = out.field(key, serving.clone());
+            replaced = true;
+        } else {
+            out = out.field(key, value.clone());
+        }
+    }
+    if !replaced {
+        out = out.field("serving", serving);
+    }
+    out
+}
+
+fn main() {
+    let mut tenants = 1200usize;
+    let mut ops_per_tenant = 48usize;
+    let mut batch = 16usize;
+    let mut shards = 1u32;
+    let mut seed = 17u64;
+    let mut identity_checks = 3usize;
+    let mut fault_profile = "none".to_string();
+    let mut json_out: Option<String> = None;
+    let mut merge_into: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--tenants" => {
+                tenants = args
+                    .next()
+                    .expect("--tenants needs a count")
+                    .parse()
+                    .expect("--tenants takes a positive integer");
+                assert!(tenants > 0, "--tenants takes a positive integer");
+            }
+            "--ops-per-tenant" => {
+                ops_per_tenant = args
+                    .next()
+                    .expect("--ops-per-tenant needs a count")
+                    .parse()
+                    .expect("--ops-per-tenant takes a positive integer");
+                assert!(ops_per_tenant > 1, "--ops-per-tenant needs at least 2 ops");
+            }
+            "--batch" => {
+                batch = args
+                    .next()
+                    .expect("--batch needs a size")
+                    .parse()
+                    .expect("--batch takes a positive integer");
+                assert!(batch > 0, "--batch takes a positive integer");
+            }
+            "--shards" => {
+                shards = args
+                    .next()
+                    .expect("--shards needs a count")
+                    .parse()
+                    .expect("--shards takes a positive integer");
+                assert!(shards > 0, "--shards takes a positive integer");
+            }
+            "--seed" => {
+                seed = args
+                    .next()
+                    .expect("--seed needs an integer")
+                    .parse()
+                    .expect("--seed takes an integer");
+            }
+            "--identity-checks" => {
+                identity_checks = args
+                    .next()
+                    .expect("--identity-checks needs a count")
+                    .parse()
+                    .expect("--identity-checks takes an integer");
+            }
+            "--fault-profile" => {
+                fault_profile = args.next().expect("--fault-profile needs a profile name");
+            }
+            "--json" => json_out = Some(args.next().expect("--json needs a path")),
+            "--merge-into" => merge_into = Some(args.next().expect("--merge-into needs a path")),
+            flag => panic!("unknown flag {flag}"),
+        }
+    }
+    let plan = FaultPlan::parse(&fault_profile).unwrap_or_else(|e| panic!("{e}"));
+
+    let schedules: Vec<Schedule> = (0..tenants as u64)
+        .map(|t| Schedule::new(t, seed, shards, ops_per_tenant, batch))
+        .collect();
+
+    // Phase 1 — single-tenant baseline: tenant 0's schedule, alone.
+    let mut single = Client::new(InProcess::new(CoresetService::new(ServeConfig::default())));
+    single.hello().expect("hello");
+    let (single_ops, single_secs) = drive(&mut single, &schedules[..1], 1, 0);
+    let single_ops_per_sec = single_ops as f64 / single_secs;
+
+    // Phase 2 — the multi-tenant run, optionally through the lossy
+    // fault-replaying transport.
+    eprintln!(
+        "serve_bench: {tenants} tenants × {ops_per_tenant} ops (batch {batch}, shards {shards}, \
+         faults {fault_profile})"
+    );
+    let service = CoresetService::new(ServeConfig::default());
+    let (total_ops, multi_secs, admission, stats, lossy_stats, served);
+    if plan.is_active() {
+        let mut client = Client::new(Lossy::new(service, plan, 1));
+        client.hello().expect("hello");
+        let (ops, secs) = drive(&mut client, &schedules, 16, 64);
+        served = sample_queries(&mut client, &schedules, identity_checks);
+        let transport = client.transport_mut();
+        lossy_stats = Some(transport.stats);
+        let svc = transport.service_mut();
+        let mut ns = svc.take_admission_ns();
+        ns.sort_unstable();
+        (total_ops, multi_secs, admission, stats) = (ops, secs, ns, svc.server_stats());
+    } else {
+        let mut client = Client::new(InProcess::new(service));
+        client.hello().expect("hello");
+        let (ops, secs) = drive(&mut client, &schedules, 16, 64);
+        served = sample_queries(&mut client, &schedules, identity_checks);
+        lossy_stats = None;
+        let svc = client.transport_mut().service_mut();
+        let mut ns = svc.take_admission_ns();
+        ns.sort_unstable();
+        (total_ops, multi_secs, admission, stats) = (ops, secs, ns, svc.server_stats());
+    }
+    let aggregate_ops_per_sec = total_ops as f64 / multi_secs;
+
+    // Bit-identity: the served coresets against locally rebuilt
+    // single-tenant pipelines with the identical schedule.
+    let mut identical = true;
+    for (t, reply) in &served {
+        let reference = schedules[*t].reference_coreset();
+        if !served_matches_reference(reply, &reference) {
+            eprintln!("serve_bench: tenant {t} served coreset DIVERGED from reference");
+            identical = false;
+        }
+    }
+
+    let drill = overload_drill(&schedules, 256 * 1024);
+    let peak_bytes_per_tenant = stats.peak_measured_bytes as f64 / tenants as f64;
+
+    let serving = serving_json(
+        tenants,
+        ops_per_tenant,
+        batch,
+        shards,
+        total_ops,
+        aggregate_ops_per_sec,
+        single_ops_per_sec,
+        &admission,
+        peak_bytes_per_tenant,
+        identical,
+        served.len(),
+        stats,
+        drill,
+        &fault_profile,
+        lossy_stats,
+    );
+    eprintln!(
+        "serve_bench: {total_ops} ops in {multi_secs:.2}s ({aggregate_ops_per_sec:.0} ops/s, \
+         efficiency {:.3}, p99 admission {}ns, identical: {identical})",
+        aggregate_ops_per_sec / single_ops_per_sec,
+        percentile(&admission, 0.99),
+    );
+    assert!(identical, "served coresets must be bit-identical");
+
+    if let Some(path) = &merge_into {
+        let text =
+            std::fs::read_to_string(path).unwrap_or_else(|e| panic!("--merge-into {path}: {e}"));
+        let doc = JsonValue::parse(&text).unwrap_or_else(|e| panic!("--merge-into {path}: {e}"));
+        let merged = merge_serving(&doc, serving.clone());
+        std::fs::write(path, merged.render_pretty() + "\n").expect("write merged BENCH file");
+        eprintln!("serve_bench: merged \"serving\" into {path}");
+    }
+    if let Some(path) = &json_out {
+        let doc = JsonValue::object().field("serving", serving);
+        std::fs::write(path, doc.render_pretty() + "\n").expect("write JSON report");
+        eprintln!("serve_bench: wrote {path}");
+    }
+}

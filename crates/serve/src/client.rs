@@ -1,0 +1,328 @@
+//! The typed client over the `SBCSRV1` protocol, generic over a
+//! pluggable [`Transport`] — in-process for tests and the bench, lossy
+//! (seeded drop/duplicate faults with retries) for chaos runs, and a
+//! future socket transport without touching the typed layer.
+
+use sbc::api::{
+    frame_requests, unframe_responses, ApiError, ApiRequest, ApiResponse, CoresetPoint,
+    ServerStatsReport, TenantId, TenantSpec, TenantStats, MIN_SUPPORTED_VERSION, PROTOCOL_VERSION,
+};
+use sbc::distributed::wire::Envelope;
+use sbc::streaming::codec::{from_bytes, to_bytes};
+use sbc::{FaultPlan, Point, SbcError};
+
+use crate::service::CoresetService;
+
+/// Carries one request frame to a service and returns its response
+/// frame. Implementations own delivery semantics (retries, dedup);
+/// the typed [`Client`] above them only sees bytes-in/bytes-out.
+pub trait Transport {
+    /// Delivers `frame` and returns the matching response frame.
+    fn round_trip(&mut self, frame: &[u8]) -> Result<Vec<u8>, SbcError>;
+}
+
+/// Zero-copy-in-spirit transport: the service lives inside the client
+/// process, but every round trip still crosses the real byte format, so
+/// in-process tests exercise exactly what a socket would carry.
+pub struct InProcess {
+    service: CoresetService,
+}
+
+impl InProcess {
+    /// Wraps a service.
+    pub fn new(service: CoresetService) -> InProcess {
+        InProcess { service }
+    }
+
+    /// Direct access to the wrapped service (stats draining in benches).
+    pub fn service_mut(&mut self) -> &mut CoresetService {
+        &mut self.service
+    }
+}
+
+impl Transport for InProcess {
+    fn round_trip(&mut self, frame: &[u8]) -> Result<Vec<u8>, SbcError> {
+        Ok(self.service.handle_frame(frame))
+    }
+}
+
+/// Delivery counters a [`Lossy`] transport accumulates.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LossyStats {
+    /// Deliveries the fault plan swallowed (client retried).
+    pub drops: u64,
+    /// Deliveries the fault plan duplicated (service deduplicated).
+    pub dups: u64,
+    /// Extra attempts beyond the first, across all round trips.
+    pub retries: u64,
+}
+
+/// A transport that wraps every frame in a `(machine, seq)` envelope
+/// and replays a seeded [`FaultPlan`]'s drop/duplicate decisions against
+/// it — the same fault machinery the distributed protocol runs under.
+/// Dropped deliveries are retried with the **same** sequence number;
+/// duplicated deliveries hit the service twice. Either way the service's
+/// per-client dedup window keeps the observable behavior identical to a
+/// faultless run, which is exactly what the chaos proptests pin.
+pub struct Lossy {
+    service: CoresetService,
+    plan: FaultPlan,
+    machine: u32,
+    seq: u64,
+    deliveries: u64,
+    /// Accumulated delivery counters.
+    pub stats: LossyStats,
+}
+
+impl Lossy {
+    /// Wraps a service with fault-plan-driven delivery as `machine`.
+    pub fn new(service: CoresetService, plan: FaultPlan, machine: u32) -> Lossy {
+        Lossy {
+            service,
+            plan,
+            machine,
+            seq: 0,
+            deliveries: 0,
+            stats: LossyStats::default(),
+        }
+    }
+
+    /// Direct access to the wrapped service.
+    pub fn service_mut(&mut self) -> &mut CoresetService {
+        &mut self.service
+    }
+}
+
+impl Transport for Lossy {
+    fn round_trip(&mut self, frame: &[u8]) -> Result<Vec<u8>, SbcError> {
+        self.seq += 1;
+        let env_bytes = to_bytes(&Envelope {
+            machine: self.machine,
+            seq: self.seq,
+            payload: frame.to_vec(),
+        });
+        let max_attempts = self.plan.max_retries.max(1);
+        for attempt in 0..max_attempts {
+            if attempt > 0 {
+                self.stats.retries += 1;
+            }
+            let idx = self.deliveries;
+            self.deliveries += 1;
+            if self.plan.drops_delivery(idx) {
+                self.stats.drops += 1;
+                continue; // lost on the wire; retry with the same seq
+            }
+            if self.plan.duplicates_delivery(idx) {
+                self.stats.dups += 1;
+                let _ = self.service.handle_envelope(&env_bytes);
+            }
+            let reply_bytes = self.service.handle_envelope(&env_bytes);
+            let reply: Envelope = from_bytes(&reply_bytes).ok_or_else(|| ApiError::Transport {
+                message: "undecodable reply envelope".to_string(),
+            })?;
+            if reply.seq != self.seq {
+                return Err(ApiError::Transport {
+                    message: format!("reply seq {} for request seq {}", reply.seq, self.seq),
+                }
+                .into());
+            }
+            return Ok(reply.payload);
+        }
+        Err(ApiError::Transport {
+            message: format!("no delivery after {max_attempts} attempts"),
+        }
+        .into())
+    }
+}
+
+/// The typed client: one method per request kind, plus batched access.
+/// Every call crosses the wire format; coded
+/// [`ApiResponse::Error`]/[`ApiResponse::Overloaded`] records come back
+/// as [`SbcError::Api`] values carrying the peer's stable code.
+pub struct Client<T: Transport> {
+    transport: T,
+    version: Option<u32>,
+}
+
+impl<T: Transport> Client<T> {
+    /// Wraps a transport. Call [`Client::hello`] before anything else —
+    /// the convenience constructors on the concrete transports do.
+    pub fn new(transport: T) -> Client<T> {
+        Client {
+            transport,
+            version: None,
+        }
+    }
+
+    /// The negotiated protocol version, once [`Client::hello`] ran.
+    pub fn version(&self) -> Option<u32> {
+        self.version
+    }
+
+    /// The underlying transport (stats draining in benches).
+    pub fn transport_mut(&mut self) -> &mut T {
+        &mut self.transport
+    }
+
+    /// Sends a whole batch in one frame and returns the per-record
+    /// responses, in order.
+    pub fn call_batch(&mut self, requests: &[ApiRequest]) -> Result<Vec<ApiResponse>, SbcError> {
+        let reply = self.transport.round_trip(&frame_requests(requests))?;
+        let responses = unframe_responses(&reply)?;
+        if responses.len() != requests.len() {
+            // A frame-level failure legitimately collapses to a single
+            // error record; surface it as the coded error it carries.
+            if let [ApiResponse::Error { code, message }] = responses.as_slice() {
+                return Err(ApiError::Remote {
+                    code: *code,
+                    message: message.clone(),
+                }
+                .into());
+            }
+            return Err(ApiError::UnexpectedResponse {
+                message: format!(
+                    "{} responses for {} requests",
+                    responses.len(),
+                    requests.len()
+                ),
+            }
+            .into());
+        }
+        Ok(responses)
+    }
+
+    fn call(&mut self, request: ApiRequest) -> Result<ApiResponse, SbcError> {
+        let mut responses = self.call_batch(std::slice::from_ref(&request))?;
+        Ok(responses.remove(0))
+    }
+
+    /// Converts refusal/error records into coded errors; passes every
+    /// other record through.
+    fn ok(response: ApiResponse) -> Result<ApiResponse, SbcError> {
+        match response {
+            ApiResponse::Error { code, message } => Err(ApiError::Remote { code, message }.into()),
+            ApiResponse::Overloaded {
+                measured_bytes,
+                budget_bytes,
+            } => Err(ApiError::Overloaded {
+                measured_bytes,
+                budget_bytes,
+            }
+            .into()),
+            ApiResponse::Unsupported { tag } => Err(ApiError::Unsupported { tag }.into()),
+            other => Ok(other),
+        }
+    }
+
+    fn unexpected(response: &ApiResponse) -> SbcError {
+        ApiError::UnexpectedResponse {
+            message: format!("{response:?}"),
+        }
+        .into()
+    }
+
+    /// Negotiates the protocol version; must precede other calls.
+    pub fn hello(&mut self) -> Result<u32, SbcError> {
+        let resp = Self::ok(self.call(ApiRequest::Hello {
+            min_version: MIN_SUPPORTED_VERSION,
+            max_version: PROTOCOL_VERSION,
+        })?)?;
+        match resp {
+            ApiResponse::HelloAck { version } => {
+                self.version = Some(version);
+                Ok(version)
+            }
+            other => Err(Self::unexpected(&other)),
+        }
+    }
+
+    /// Opens (or transparently restores) a tenant. Returns whether a
+    /// restore happened.
+    pub fn open(&mut self, tenant: TenantId, spec: TenantSpec) -> Result<bool, SbcError> {
+        match Self::ok(self.call(ApiRequest::Open { tenant, spec })?)? {
+            ApiResponse::Opened { restored, .. } => Ok(restored),
+            other => Err(Self::unexpected(&other)),
+        }
+    }
+
+    /// Inserts a batch; returns the tenant's net count afterwards.
+    pub fn insert(&mut self, tenant: TenantId, points: &[Point]) -> Result<i64, SbcError> {
+        let req = ApiRequest::Insert {
+            tenant,
+            points: points.to_vec(),
+        };
+        match Self::ok(self.call(req)?)? {
+            ApiResponse::Applied { net_count, .. } => Ok(net_count),
+            other => Err(Self::unexpected(&other)),
+        }
+    }
+
+    /// Deletes a batch; returns the tenant's net count afterwards.
+    pub fn delete(&mut self, tenant: TenantId, points: &[Point]) -> Result<i64, SbcError> {
+        let req = ApiRequest::Delete {
+            tenant,
+            points: points.to_vec(),
+        };
+        match Self::ok(self.call(req)?)? {
+            ApiResponse::Applied { net_count, .. } => Ok(net_count),
+            other => Err(Self::unexpected(&other)),
+        }
+    }
+
+    /// The tenant's live coreset, mid-stream: `(o, points)`.
+    pub fn query(&mut self, tenant: TenantId) -> Result<(f64, Vec<CoresetPoint>), SbcError> {
+        match Self::ok(self.call(ApiRequest::Query { tenant })?)? {
+            ApiResponse::CoresetReply { o, points, .. } => Ok((o, points)),
+            other => Err(Self::unexpected(&other)),
+        }
+    }
+
+    /// Per-tenant accounting.
+    pub fn stats(&mut self, tenant: TenantId) -> Result<TenantStats, SbcError> {
+        match Self::ok(self.call(ApiRequest::Stats { tenant })?)? {
+            ApiResponse::StatsReply { stats, .. } => Ok(stats),
+            other => Err(Self::unexpected(&other)),
+        }
+    }
+
+    /// Full checkpoint bytes for external storage.
+    pub fn checkpoint(&mut self, tenant: TenantId) -> Result<Vec<u8>, SbcError> {
+        match Self::ok(self.call(ApiRequest::Checkpoint { tenant })?)? {
+            ApiResponse::CheckpointReply { bytes, .. } => Ok(bytes),
+            other => Err(Self::unexpected(&other)),
+        }
+    }
+
+    /// Evicts the tenant to the service's spill store; returns the blob
+    /// size.
+    pub fn evict(&mut self, tenant: TenantId) -> Result<u64, SbcError> {
+        match Self::ok(self.call(ApiRequest::Evict { tenant })?)? {
+            ApiResponse::Evicted { bytes, .. } => Ok(bytes),
+            other => Err(Self::unexpected(&other)),
+        }
+    }
+
+    /// Drops the tenant for good.
+    pub fn close(&mut self, tenant: TenantId) -> Result<(), SbcError> {
+        match Self::ok(self.call(ApiRequest::Close { tenant })?)? {
+            ApiResponse::Closed { .. } => Ok(()),
+            other => Err(Self::unexpected(&other)),
+        }
+    }
+
+    /// Whole-service accounting.
+    pub fn server_stats(&mut self) -> Result<ServerStatsReport, SbcError> {
+        match Self::ok(self.call(ApiRequest::ServerStats)?)? {
+            ApiResponse::ServerStatsReply { stats } => Ok(stats),
+            other => Err(Self::unexpected(&other)),
+        }
+    }
+
+    /// Asks the server loop to exit.
+    pub fn shutdown(&mut self) -> Result<(), SbcError> {
+        match Self::ok(self.call(ApiRequest::Shutdown)?)? {
+            ApiResponse::ShuttingDown => Ok(()),
+            other => Err(Self::unexpected(&other)),
+        }
+    }
+}

@@ -1,0 +1,734 @@
+//! The tenant-multiplexing service core: slot table, admission control,
+//! eviction/restore, and the frame/envelope entry points.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use sbc::api::{
+    frame_responses, negotiate, unframe_requests, ApiError, ApiRequest, ApiResponse, CoresetPoint,
+    ServerStatsReport, TenantId, TenantSpec, TenantStats,
+};
+use sbc::distributed::wire::Envelope;
+use sbc::streaming::codec::{from_bytes, to_bytes};
+use sbc::{
+    Coreset, CoresetParams, Point, SbcError, ShardedIngest, Snapshot, StreamCoresetBuilder,
+    StreamOp, StreamParams,
+};
+
+/// What to do with a mutating request that would run past the memory
+/// budget.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum OverloadPolicy {
+    /// Refuse with [`ApiResponse::Overloaded`] and apply nothing.
+    Reject,
+    /// First shed load — evict the fattest *other* tenants to the spill
+    /// store until back under budget — and refuse only if shedding
+    /// cannot get there.
+    #[default]
+    Shed,
+}
+
+/// Service configuration.
+#[derive(Clone, Debug, Default)]
+pub struct ServeConfig {
+    /// Memory budget over the sum of live tenants' `measured_bytes`
+    /// (0 = unlimited). The admission-control threshold.
+    pub budget_bytes: usize,
+    /// Cap on concurrently *known* tenants, live or evicted
+    /// (0 = unlimited).
+    pub max_tenants: usize,
+    /// Where evicted tenants spill. `None` keeps eviction blobs in
+    /// memory — useful for tests, useless for actually freeing the
+    /// budget's underlying RAM, so real deployments set a directory.
+    pub spill_dir: Option<PathBuf>,
+    /// Overload behavior. Defaults to [`OverloadPolicy::Shed`].
+    pub policy: OverloadPolicy,
+}
+
+/// One tenant's pipeline: a single builder, or a sharded ingest when the
+/// spec asked for horizontal composition.
+enum Backend {
+    // Boxed: a builder is ~600 bytes of inline ladder state, and the
+    // slot table holds thousands of these enums.
+    Single(Box<StreamCoresetBuilder>),
+    Sharded(ShardedIngest),
+}
+
+/// Derives the validated parameter pair from a wire spec, so a bad spec
+/// fails with a coded parameter error instead of a panic downstream. The
+/// derivation itself is [`sbc::api::tenant_pipeline`] — part of the
+/// protocol contract, shared with reference pipelines on the bench side.
+fn pipeline_params(spec: &TenantSpec) -> Result<(CoresetParams, StreamParams), SbcError> {
+    sbc::api::tenant_pipeline(spec)
+}
+
+impl Backend {
+    /// Builds a fresh pipeline. The construction mirrors what a
+    /// standalone caller writes (`StdRng::seed_from_u64(seed)` /
+    /// `ShardedIngest::new(…, seed)`), which is what makes a tenant's
+    /// coreset bit-identical to an equivalent single-tenant run.
+    fn build(spec: &TenantSpec) -> Result<Backend, SbcError> {
+        let (params, sparams) = pipeline_params(spec)?;
+        Ok(if spec.shards <= 1 {
+            let mut rng = StdRng::seed_from_u64(spec.seed);
+            Backend::Single(Box::new(StreamCoresetBuilder::new(
+                params, sparams, &mut rng,
+            )))
+        } else {
+            Backend::Sharded(ShardedIngest::new(params, sparams, spec.seed)?)
+        })
+    }
+
+    fn insert_batch(&mut self, points: &[Point]) {
+        match self {
+            Backend::Single(b) => b.insert_batch(points),
+            Backend::Sharded(s) => s.insert_batch(points),
+        }
+    }
+
+    fn delete_batch(&mut self, points: &[Point]) {
+        let ops: Vec<StreamOp> = points.iter().map(|p| StreamOp::Delete(p.clone())).collect();
+        match self {
+            Backend::Single(b) => b.process_all(&ops),
+            Backend::Sharded(s) => s.process_all(&ops),
+        }
+    }
+
+    fn net_count(&self) -> i64 {
+        match self {
+            Backend::Single(b) => b.net_count(),
+            Backend::Sharded(s) => s.net_count(),
+        }
+    }
+
+    fn ops_seen(&self) -> u64 {
+        match self {
+            Backend::Single(b) => b.ops_seen(),
+            Backend::Sharded(s) => s.ops_seen(),
+        }
+    }
+
+    fn measured_bytes(&self) -> usize {
+        match self {
+            Backend::Single(b) => b.space_report().measured_bytes,
+            Backend::Sharded(s) => s.space_report().total.measured_bytes,
+        }
+    }
+
+    fn finish_ref(&self) -> Result<Coreset, SbcError> {
+        match self {
+            Backend::Single(b) => Ok(b.finish_ref()?),
+            Backend::Sharded(s) => s.finish_ref(),
+        }
+    }
+
+    /// One checkpoint blob per shard (a single builder is one shard).
+    fn checkpoint_blobs(&self) -> Result<Vec<Vec<u8>>, SbcError> {
+        match self {
+            Backend::Single(b) => Ok(vec![b.checkpoint()?.to_bytes()]),
+            Backend::Sharded(s) => (0..s.shards())
+                .map(|i| Ok(s.checkpoint_shard(i)?.to_bytes()))
+                .collect(),
+        }
+    }
+
+    /// Inverse of [`Backend::checkpoint_blobs`]: bit-identical restore.
+    fn restore(spec: &TenantSpec, blobs: &[Vec<u8>]) -> Result<Backend, SbcError> {
+        if spec.shards <= 1 {
+            let [blob] = blobs else {
+                return Err(ApiError::EvictIo {
+                    message: format!("expected 1 shard blob, found {}", blobs.len()),
+                }
+                .into());
+            };
+            Ok(Backend::Single(Box::new(StreamCoresetBuilder::restore(
+                &Snapshot::from_bytes(blob)?,
+            )?)))
+        } else {
+            if blobs.len() != spec.shards as usize {
+                return Err(ApiError::EvictIo {
+                    message: format!(
+                        "expected {} shard blobs, found {}",
+                        spec.shards,
+                        blobs.len()
+                    ),
+                }
+                .into());
+            }
+            let mut ingest = match Backend::build(spec)? {
+                Backend::Sharded(s) => s,
+                Backend::Single(_) => unreachable!("shards > 1 builds a sharded backend"),
+            };
+            for (i, blob) in blobs.iter().enumerate() {
+                ingest.restore_shard(i, &Snapshot::from_bytes(blob)?)?;
+            }
+            Ok(Backend::Sharded(ingest))
+        }
+    }
+}
+
+/// Where an evicted tenant's checkpoint container lives.
+enum Spill {
+    Disk(PathBuf),
+    Memory(Vec<u8>),
+}
+
+struct Tenant {
+    spec: TenantSpec,
+    backend: Backend,
+    /// Cached `measured_bytes`, refreshed after every mutation — the
+    /// service's running total is the sum of these caches, so admission
+    /// control is O(1) per request instead of O(tenants) space walks.
+    measured: usize,
+    peak_measured: usize,
+}
+
+impl Tenant {
+    fn stats(&self, shards: u32) -> TenantStats {
+        TenantStats {
+            net_count: self.backend.net_count(),
+            ops_seen: self.backend.ops_seen(),
+            measured_bytes: self.measured as u64,
+            peak_measured_bytes: self.peak_measured as u64,
+            shards,
+            evicted: false,
+        }
+    }
+}
+
+enum Slot {
+    Live(Tenant),
+    Evicted {
+        spec: TenantSpec,
+        spill: Spill,
+        bytes: u64,
+    },
+}
+
+/// The multi-tenant service core.
+///
+/// Deliberately transport-free: [`CoresetService::handle_frame`] maps
+/// request bytes to response bytes, and the binaries/tests/bench wrap
+/// it in whatever I/O they need (stdin/stdout, in-process, the lossy
+/// fault-replaying transport).
+pub struct CoresetService {
+    config: ServeConfig,
+    slots: HashMap<TenantId, Slot>,
+    /// Sum of live tenants' cached `measured` (admission numerator).
+    total_measured: usize,
+    peak_measured: usize,
+    ops_total: u64,
+    overloaded: u64,
+    evictions: u64,
+    restores: u64,
+    shutting_down: bool,
+    /// Nanoseconds the admission decision took, per mutating request —
+    /// drained by [`CoresetService::take_admission_ns`] (serve_bench's
+    /// p99 source).
+    admission_ns: Vec<u64>,
+    /// Per-client `(last_seq, cached response envelope)` — the
+    /// idempotency window that makes duplicated/retried envelope
+    /// deliveries safe. One entry deep, matching the transport's
+    /// immediate-retry behavior.
+    dedup: HashMap<u32, (u64, Vec<u8>)>,
+}
+
+impl CoresetService {
+    /// Creates an empty service.
+    pub fn new(config: ServeConfig) -> CoresetService {
+        CoresetService {
+            config,
+            slots: HashMap::new(),
+            total_measured: 0,
+            peak_measured: 0,
+            ops_total: 0,
+            overloaded: 0,
+            evictions: 0,
+            restores: 0,
+            shutting_down: false,
+            admission_ns: Vec::new(),
+            dedup: HashMap::new(),
+        }
+    }
+
+    /// True once an [`ApiRequest::Shutdown`] has been handled; server
+    /// loops exit after finishing the current frame.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shutting_down
+    }
+
+    /// Whole-service accounting (also served as
+    /// [`ApiResponse::ServerStatsReply`]).
+    pub fn server_stats(&self) -> ServerStatsReport {
+        let (mut live, mut evicted) = (0u64, 0u64);
+        for slot in self.slots.values() {
+            match slot {
+                Slot::Live(_) => live += 1,
+                Slot::Evicted { .. } => evicted += 1,
+            }
+        }
+        ServerStatsReport {
+            tenants_live: live,
+            tenants_evicted: evicted,
+            measured_bytes: self.total_measured as u64,
+            peak_measured_bytes: self.peak_measured as u64,
+            budget_bytes: self.config.budget_bytes as u64,
+            ops_total: self.ops_total,
+            overloaded: self.overloaded,
+            evictions: self.evictions,
+            restores: self.restores,
+        }
+    }
+
+    /// Drains the recorded per-request admission-decision latencies.
+    pub fn take_admission_ns(&mut self) -> Vec<u64> {
+        std::mem::take(&mut self.admission_ns)
+    }
+
+    fn spill_path(&self, tenant: TenantId) -> Option<PathBuf> {
+        self.config
+            .spill_dir
+            .as_ref()
+            .map(|d| d.join(format!("tenant-{tenant}.sbct")))
+    }
+
+    /// Serializes and spills a live tenant, freeing its memory
+    /// accounting. Returns the blob size.
+    fn evict_tenant(&mut self, tenant: TenantId) -> Result<u64, SbcError> {
+        let Some(Slot::Live(t)) = self.slots.get(&tenant) else {
+            return Err(ApiError::UnknownTenant { tenant }.into());
+        };
+        let container = to_bytes(&(t.spec, t.backend.checkpoint_blobs()?));
+        let bytes = container.len() as u64;
+        let spill = match self.spill_path(tenant) {
+            Some(path) => {
+                std::fs::write(&path, &container).map_err(|e| ApiError::EvictIo {
+                    message: format!("{}: {e}", path.display()),
+                })?;
+                Spill::Disk(path)
+            }
+            None => Spill::Memory(container),
+        };
+        let Some(Slot::Live(t)) = self.slots.remove(&tenant) else {
+            unreachable!("checked live above");
+        };
+        self.total_measured -= t.measured;
+        self.slots.insert(
+            tenant,
+            Slot::Evicted {
+                spec: t.spec,
+                spill,
+                bytes,
+            },
+        );
+        self.evictions += 1;
+        sbc_obs::counter!("serve.evictions").incr();
+        Ok(bytes)
+    }
+
+    /// Makes a tenant live, restoring it from its spill if needed.
+    /// `Ok(restored)` tells whether a restore happened.
+    fn ensure_live(&mut self, tenant: TenantId) -> Result<bool, SbcError> {
+        match self.slots.get(&tenant) {
+            Some(Slot::Live(_)) => return Ok(false),
+            None => return Err(ApiError::UnknownTenant { tenant }.into()),
+            Some(Slot::Evicted { .. }) => {}
+        }
+        let Some(Slot::Evicted { spec, spill, .. }) = self.slots.remove(&tenant) else {
+            unreachable!("checked evicted above");
+        };
+        let container = match &spill {
+            Spill::Disk(path) => std::fs::read(path).map_err(|e| ApiError::EvictIo {
+                message: format!("{}: {e}", path.display()),
+            })?,
+            Spill::Memory(bytes) => bytes.clone(),
+        };
+        let (stored_spec, blobs): (TenantSpec, Vec<Vec<u8>>) =
+            from_bytes(&container).ok_or_else(|| ApiError::EvictIo {
+                message: format!("tenant {tenant}: undecodable spill container"),
+            })?;
+        debug_assert_eq!(stored_spec, spec, "spill container spec drifted");
+        let backend = match Backend::restore(&stored_spec, &blobs) {
+            Ok(b) => b,
+            Err(e) => {
+                // Put the slot back so the tenant is not lost to a
+                // transient I/O failure.
+                self.slots.insert(
+                    tenant,
+                    Slot::Evicted {
+                        spec,
+                        spill,
+                        bytes: container.len() as u64,
+                    },
+                );
+                return Err(e);
+            }
+        };
+        if let Spill::Disk(path) = &spill {
+            let _ = std::fs::remove_file(path);
+        }
+        let measured = backend.measured_bytes();
+        self.total_measured += measured;
+        self.peak_measured = self.peak_measured.max(self.total_measured);
+        self.slots.insert(
+            tenant,
+            Slot::Live(Tenant {
+                spec: stored_spec,
+                backend,
+                measured,
+                peak_measured: measured,
+            }),
+        );
+        self.restores += 1;
+        sbc_obs::counter!("serve.restores").incr();
+        Ok(true)
+    }
+
+    /// The admission decision for a mutating request touching `exempt`.
+    /// Returns the refusal response when the request must not proceed.
+    /// Always records how long the decision took.
+    fn admit(&mut self, exempt: TenantId) -> Option<ApiResponse> {
+        let t0 = Instant::now();
+        let verdict = self.admit_inner(exempt);
+        self.admission_ns.push(t0.elapsed().as_nanos() as u64);
+        if verdict.is_some() {
+            self.overloaded += 1;
+            sbc_obs::counter!("serve.overloaded").incr();
+        }
+        verdict
+    }
+
+    fn admit_inner(&mut self, exempt: TenantId) -> Option<ApiResponse> {
+        let budget = self.config.budget_bytes;
+        if budget == 0 || self.total_measured < budget {
+            return None;
+        }
+        if self.config.policy == OverloadPolicy::Shed {
+            // Evict fattest-first until back under budget. The target
+            // tenant is exempt — evicting it to admit its own request
+            // would just force an immediate restore.
+            while self.total_measured >= budget {
+                let victim = self
+                    .slots
+                    .iter()
+                    .filter_map(|(id, slot)| match slot {
+                        Slot::Live(t) if *id != exempt => Some((*id, t.measured)),
+                        _ => None,
+                    })
+                    .max_by_key(|&(id, measured)| (measured, id));
+                match victim {
+                    Some((id, _)) => {
+                        if self.evict_tenant(id).is_err() {
+                            break;
+                        }
+                    }
+                    None => break,
+                }
+            }
+            if self.total_measured < budget {
+                return None;
+            }
+        }
+        Some(ApiResponse::Overloaded {
+            measured_bytes: self.total_measured as u64,
+            budget_bytes: budget as u64,
+        })
+    }
+
+    /// Refreshes one live tenant's cached footprint and the running
+    /// totals after a mutation.
+    fn remeasure(&mut self, tenant: TenantId) {
+        if let Some(Slot::Live(t)) = self.slots.get_mut(&tenant) {
+            let now = t.backend.measured_bytes();
+            t.peak_measured = t.peak_measured.max(now);
+            self.total_measured = self.total_measured - t.measured + now;
+            t.measured = now;
+            self.peak_measured = self.peak_measured.max(self.total_measured);
+        }
+    }
+
+    fn err(e: SbcError) -> ApiResponse {
+        ApiResponse::Error {
+            code: e.code(),
+            message: e.to_string(),
+        }
+    }
+
+    /// Handles one request record.
+    pub fn handle(&mut self, req: &ApiRequest) -> ApiResponse {
+        sbc_obs::counter!("serve.requests").incr();
+        match req {
+            ApiRequest::Hello {
+                min_version,
+                max_version,
+            } => match negotiate(*min_version, *max_version) {
+                Ok(version) => ApiResponse::HelloAck { version },
+                Err(e) => Self::err(e.into()),
+            },
+            ApiRequest::Open { tenant, spec } => self.open(*tenant, *spec),
+            ApiRequest::Insert { tenant, points } => self.mutate(*tenant, points, false),
+            ApiRequest::Delete { tenant, points } => self.mutate(*tenant, points, true),
+            ApiRequest::Query { tenant } => self.query(*tenant),
+            ApiRequest::Stats { tenant } => self.stats(*tenant),
+            ApiRequest::Checkpoint { tenant } => self.checkpoint(*tenant),
+            ApiRequest::Evict { tenant } => self.evict(*tenant),
+            ApiRequest::Close { tenant } => self.close(*tenant),
+            ApiRequest::ServerStats => ApiResponse::ServerStatsReply {
+                stats: self.server_stats(),
+            },
+            ApiRequest::Shutdown => {
+                self.shutting_down = true;
+                ApiResponse::ShuttingDown
+            }
+            ApiRequest::Unknown { tag } => ApiResponse::Unsupported { tag: *tag },
+        }
+    }
+
+    fn open(&mut self, tenant: TenantId, spec: TenantSpec) -> ApiResponse {
+        enum Known {
+            LiveSame,
+            EvictedSame,
+            SpecMismatch,
+            Absent,
+        }
+        let known = match self.slots.get(&tenant) {
+            Some(Slot::Live(t)) if t.spec == spec => Known::LiveSame,
+            Some(Slot::Evicted { spec: old, .. }) if *old == spec => Known::EvictedSame,
+            Some(_) => Known::SpecMismatch,
+            None => Known::Absent,
+        };
+        match known {
+            // Idempotent re-open (retried frame).
+            Known::LiveSame => {
+                return ApiResponse::Opened {
+                    tenant,
+                    restored: false,
+                }
+            }
+            Known::EvictedSame => {
+                return match self.ensure_live(tenant) {
+                    Ok(_) => ApiResponse::Opened {
+                        tenant,
+                        restored: true,
+                    },
+                    Err(e) => Self::err(e),
+                }
+            }
+            Known::SpecMismatch => return Self::err(ApiError::TenantExists { tenant }.into()),
+            Known::Absent => {}
+        }
+        if self.config.max_tenants > 0 && self.slots.len() >= self.config.max_tenants {
+            self.overloaded += 1;
+            return ApiResponse::Overloaded {
+                measured_bytes: self.total_measured as u64,
+                budget_bytes: self.config.budget_bytes as u64,
+            };
+        }
+        if let Some(refusal) = self.admit(tenant) {
+            return refusal;
+        }
+        let backend = match Backend::build(&spec) {
+            Ok(b) => b,
+            Err(e) => return Self::err(e),
+        };
+        let measured = backend.measured_bytes();
+        self.total_measured += measured;
+        self.peak_measured = self.peak_measured.max(self.total_measured);
+        self.slots.insert(
+            tenant,
+            Slot::Live(Tenant {
+                spec,
+                backend,
+                measured,
+                peak_measured: measured,
+            }),
+        );
+        sbc_obs::counter!("serve.tenants.opened").incr();
+        ApiResponse::Opened {
+            tenant,
+            restored: false,
+        }
+    }
+
+    fn mutate(&mut self, tenant: TenantId, points: &[Point], delete: bool) -> ApiResponse {
+        if let Err(e) = self.ensure_live(tenant) {
+            return Self::err(e);
+        }
+        if let Some(refusal) = self.admit(tenant) {
+            return refusal;
+        }
+        let Some(Slot::Live(t)) = self.slots.get_mut(&tenant) else {
+            unreachable!("ensure_live succeeded");
+        };
+        let dims = t.spec.dims as usize;
+        if let Some(bad) = points.iter().find(|p| p.coords().len() != dims) {
+            return Self::err(
+                ApiError::InvalidPoints {
+                    message: format!(
+                        "tenant {tenant} is {dims}-dimensional, got a {}-dimensional point",
+                        bad.coords().len()
+                    ),
+                }
+                .into(),
+            );
+        }
+        if delete {
+            t.backend.delete_batch(points);
+        } else {
+            t.backend.insert_batch(points);
+        }
+        let net_count = t.backend.net_count();
+        self.ops_total += points.len() as u64;
+        sbc_obs::counter!("serve.ops").add(points.len() as u64);
+        self.remeasure(tenant);
+        ApiResponse::Applied {
+            tenant,
+            applied: points.len() as u64,
+            net_count,
+        }
+    }
+
+    fn query(&mut self, tenant: TenantId) -> ApiResponse {
+        if let Err(e) = self.ensure_live(tenant) {
+            return Self::err(e);
+        }
+        let Some(Slot::Live(t)) = self.slots.get(&tenant) else {
+            unreachable!("ensure_live succeeded");
+        };
+        match t.backend.finish_ref() {
+            Ok(cs) => ApiResponse::CoresetReply {
+                tenant,
+                o: cs.o,
+                points: cs
+                    .entries()
+                    .iter()
+                    .map(|e| CoresetPoint {
+                        point: e.point.clone(),
+                        weight: e.weight,
+                        level: e.level,
+                        part: e.part as u64,
+                    })
+                    .collect(),
+            },
+            Err(e) => Self::err(e),
+        }
+    }
+
+    fn stats(&mut self, tenant: TenantId) -> ApiResponse {
+        // Stats must not force a restore — observability stays cheap.
+        match self.slots.get(&tenant) {
+            Some(Slot::Live(t)) => ApiResponse::StatsReply {
+                tenant,
+                stats: t.stats(t.spec.shards.max(1)),
+            },
+            Some(Slot::Evicted { spec, .. }) => ApiResponse::StatsReply {
+                tenant,
+                stats: TenantStats {
+                    shards: spec.shards.max(1),
+                    evicted: true,
+                    ..TenantStats::default()
+                },
+            },
+            None => Self::err(ApiError::UnknownTenant { tenant }.into()),
+        }
+    }
+
+    fn checkpoint(&mut self, tenant: TenantId) -> ApiResponse {
+        if let Err(e) = self.ensure_live(tenant) {
+            return Self::err(e);
+        }
+        let Some(Slot::Live(t)) = self.slots.get(&tenant) else {
+            unreachable!("ensure_live succeeded");
+        };
+        match t.backend.checkpoint_blobs() {
+            Ok(blobs) => ApiResponse::CheckpointReply {
+                tenant,
+                bytes: to_bytes(&(t.spec, blobs)),
+            },
+            Err(e) => Self::err(e),
+        }
+    }
+
+    fn evict(&mut self, tenant: TenantId) -> ApiResponse {
+        match self.slots.get(&tenant) {
+            Some(Slot::Evicted { bytes, .. }) => {
+                // Idempotent re-evict (retried frame).
+                let bytes = *bytes;
+                ApiResponse::Evicted { tenant, bytes }
+            }
+            Some(Slot::Live(_)) => match self.evict_tenant(tenant) {
+                Ok(bytes) => ApiResponse::Evicted { tenant, bytes },
+                Err(e) => Self::err(e),
+            },
+            None => Self::err(ApiError::UnknownTenant { tenant }.into()),
+        }
+    }
+
+    fn close(&mut self, tenant: TenantId) -> ApiResponse {
+        match self.slots.remove(&tenant) {
+            Some(Slot::Live(t)) => {
+                self.total_measured -= t.measured;
+                ApiResponse::Closed { tenant }
+            }
+            Some(Slot::Evicted { spill, .. }) => {
+                if let Spill::Disk(path) = spill {
+                    let _ = std::fs::remove_file(path);
+                }
+                ApiResponse::Closed { tenant }
+            }
+            None => Self::err(ApiError::UnknownTenant { tenant }.into()),
+        }
+    }
+
+    /// Maps one request frame to one response frame, record-for-record.
+    /// Frame-level decode failures produce a single coded error record.
+    pub fn handle_frame(&mut self, frame: &[u8]) -> Vec<u8> {
+        match unframe_requests(frame) {
+            Ok(reqs) => {
+                let resps: Vec<ApiResponse> = reqs.iter().map(|r| self.handle(r)).collect();
+                frame_responses(&resps)
+            }
+            Err(e) => frame_responses(&[ApiResponse::Error {
+                code: e.code(),
+                message: e.to_string(),
+            }]),
+        }
+    }
+
+    /// Envelope entry point for lossy transports: a `(machine, seq)`
+    /// wrapper around a frame, answered with a same-`seq` envelope. A
+    /// re-delivery of the machine's last sequence number is answered
+    /// from cache **without re-applying the frame** — duplicate and
+    /// retried deliveries are idempotent.
+    pub fn handle_envelope(&mut self, envelope_bytes: &[u8]) -> Vec<u8> {
+        let Some(env) = from_bytes::<Envelope>(envelope_bytes) else {
+            let frame = frame_responses(&[ApiResponse::Error {
+                code: ApiError::Truncated.code(),
+                message: "undecodable envelope".to_string(),
+            }]);
+            return to_bytes(&Envelope {
+                machine: 0,
+                seq: 0,
+                payload: frame,
+            });
+        };
+        if let Some((last_seq, cached)) = self.dedup.get(&env.machine) {
+            if *last_seq == env.seq {
+                sbc_obs::counter!("serve.dedup_hits").incr();
+                return cached.clone();
+            }
+        }
+        let frame = self.handle_frame(&env.payload);
+        let reply = to_bytes(&Envelope {
+            machine: 0,
+            seq: env.seq,
+            payload: frame,
+        });
+        self.dedup.insert(env.machine, (env.seq, reply.clone()));
+        reply
+    }
+}

@@ -1,0 +1,130 @@
+//! Property: a tenant that is evicted, transparently restored, and
+//! continued is **bit-identical** to one that was never interrupted —
+//! across serial / batched / sharded / parallel pipelines, and with the
+//! traffic routed through the lossy fault-replaying transport (seeded
+//! envelope drops and duplicates, retried client-side, deduplicated
+//! server-side).
+
+use proptest::prelude::*;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use sbc::api::{tenant_pipeline, CoresetPoint, TenantSpec};
+use sbc::{FaultPlan, GridParams, Point, ShardedIngest, StreamCoresetBuilder};
+use sbc_serve::{Client, CoresetService, InProcess, Lossy, ServeConfig, Transport};
+
+/// The uninterrupted ground truth: the same spec and ops, applied to a
+/// local pipeline with no service, no eviction, no faults.
+fn local_reference(spec: &TenantSpec, batches: &[Vec<Point>]) -> (f64, Vec<CoresetPoint>) {
+    let (params, sparams) = tenant_pipeline(spec).expect("spec is valid");
+    let cs = if spec.shards <= 1 {
+        let mut rng = StdRng::seed_from_u64(spec.seed);
+        let mut b = StreamCoresetBuilder::new(params, sparams, &mut rng);
+        for batch in batches {
+            b.insert_batch(batch);
+        }
+        b.finish_ref().expect("reference")
+    } else {
+        let mut ingest = ShardedIngest::new(params, sparams, spec.seed).expect("spec is valid");
+        for batch in batches {
+            ingest.insert_batch(batch);
+        }
+        ingest.finish_ref().expect("reference")
+    };
+    let points = cs
+        .entries()
+        .iter()
+        .map(|e| CoresetPoint {
+            point: e.point.clone(),
+            weight: e.weight,
+            level: e.level,
+            part: e.part as u64,
+        })
+        .collect();
+    (cs.o, points)
+}
+
+/// Feeds the batches through a client, evicting after `evict_after`
+/// batches (the next insert restores transparently), and returns the
+/// final served coreset.
+fn serve<T: Transport>(
+    client: &mut Client<T>,
+    spec: TenantSpec,
+    batches: &[Vec<Point>],
+    evict_after: Option<usize>,
+) -> (f64, Vec<CoresetPoint>) {
+    client.hello().expect("hello");
+    client.open(42, spec).expect("open");
+    for (i, batch) in batches.iter().enumerate() {
+        client.insert(42, batch).expect("insert batch");
+        if evict_after == Some(i) {
+            client.evict(42).expect("evict mid-stream");
+            // While evicted, stats answer cheaply and honestly.
+            assert!(client.stats(42).expect("stats").evicted);
+        }
+    }
+    client.query(42).expect("final query")
+}
+
+fn spec_strategy() -> impl Strategy<Value = TenantSpec> {
+    (0usize..3, any::<bool>(), any::<u64>()).prop_map(|(shard_idx, parallel, seed)| {
+        let shards = [1u32, 2, 4][shard_idx];
+        TenantSpec {
+            shards,
+            parallel: parallel && shards > 1,
+            seed,
+            ..TenantSpec::default()
+        }
+    })
+}
+
+const PROFILES: [&str; 4] = ["none", "drop8@3", "dup8@5", "chaos@7"];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn evicted_restored_continued_tenants_are_bit_identical(
+        spec in spec_strategy(),
+        ops in 24usize..72,
+        batch in 4usize..12,
+        evict_slot in 0usize..8,
+        data_seed in any::<u64>(),
+        profile_idx in 0usize..4,
+    ) {
+        let profile = PROFILES[profile_idx];
+        let gp = GridParams::from_log_delta(spec.log_delta, spec.dims as usize);
+        let points = sbc::geometry::dataset::gaussian_mixture(gp, ops, 2, 0.08, data_seed);
+        let batches: Vec<Vec<Point>> =
+            points.chunks(batch).map(<[Point]>::to_vec).collect();
+        let evict_after = Some(evict_slot % batches.len());
+
+        let reference = local_reference(&spec, &batches);
+
+        // Uninterrupted, faultless service run.
+        let mut plain = Client::new(InProcess::new(CoresetService::new(ServeConfig::default())));
+        let uninterrupted = serve(&mut plain, spec, &batches, None);
+        prop_assert_eq!(&uninterrupted, &reference,
+            "service must serve the local pipeline's exact coreset");
+
+        // Evicted + restored mid-stream, through the lossy transport.
+        let plan = FaultPlan::parse(profile).expect("known profile");
+        let mut lossy = Client::new(Lossy::new(
+            CoresetService::new(ServeConfig::default()),
+            plan,
+            1,
+        ));
+        let interrupted = serve(&mut lossy, spec, &batches, evict_after);
+        prop_assert_eq!(&interrupted, &reference,
+            "evict→restore→continue under {} diverged", profile);
+
+        // The chaos profiles actually exercised the fault machinery.
+        let stats = lossy.transport_mut().stats;
+        match profile {
+            "drop8@3" => prop_assert!(stats.drops > 0 || batches.len() < 4),
+            "dup8@5" => prop_assert!(stats.dups > 0 || batches.len() < 4),
+            _ => {}
+        }
+    }
+}

@@ -35,6 +35,11 @@ pub trait Decode: Sized {
 }
 
 /// Encodes a value into a fresh buffer.
+///
+/// Hidden from the documented surface: callers outside the workspace
+/// should speak the framed protocols built on top (checkpoints, the
+/// distributed wire, `sbc::api`), not raw unversioned values.
+#[doc(hidden)]
 pub fn to_bytes<T: Encode>(v: &T) -> Vec<u8> {
     let mut buf = Vec::new();
     v.encode(&mut buf);
@@ -42,6 +47,10 @@ pub fn to_bytes<T: Encode>(v: &T) -> Vec<u8> {
 }
 
 /// Decodes a value from a full buffer, requiring all bytes be consumed.
+///
+/// Hidden from the documented surface for the same reason as
+/// [`to_bytes`].
+#[doc(hidden)]
 pub fn from_bytes<T: Decode>(buf: &[u8]) -> Option<T> {
     let mut cursor = 0;
     let v = T::decode(buf, &mut cursor)?;

@@ -450,13 +450,16 @@ impl SpaceReport {
     /// accounting scaled to binary units so it stops drowning the real
     /// `store_bytes` signal) and `arena_load_factor`.
     pub fn to_json(&self) -> JsonValue {
-        self.to_json_with_ratio(self.nominal_to_measured_ratio())
+        let ratio = (self.measured_bytes > 0).then(|| self.nominal_to_measured_ratio());
+        self.to_json_with_ratio(ratio)
     }
 
     /// How far the Lemma 4.2 worst-case accounting overstates measured
     /// truth (`nominal_sketch_bytes / measured_bytes`; 0 when nothing
     /// is measured). Derived, not stored, so the report itself stays
-    /// `Copy + Eq`.
+    /// `Copy + Eq`. The JSON form renders the nothing-measured case as
+    /// `null`, not `0.0` — a zero ratio would read as "nominal is zero"
+    /// and the key must stay schema-stable either way.
     pub fn nominal_to_measured_ratio(&self) -> f64 {
         if self.measured_bytes == 0 {
             0.0
@@ -467,8 +470,14 @@ impl SpaceReport {
 
     /// Serialization body with an explicit ratio: the sharded
     /// aggregate's `max_per_shard` view must report the max shard's
-    /// *own* ratio, not a ratio of field-wise maxima.
-    fn to_json_with_ratio(self, ratio: f64) -> JsonValue {
+    /// *own* ratio, not a ratio of field-wise maxima. `None` (no
+    /// measured denominator) renders as JSON `null` so the key never
+    /// disappears from the schema.
+    fn to_json_with_ratio(self, ratio: Option<f64>) -> JsonValue {
+        let ratio = match ratio {
+            Some(r) => JsonValue::from(r),
+            None => JsonValue::Null,
+        };
         let load = if self.arena_slots == 0 {
             0.0
         } else {
@@ -609,11 +618,9 @@ impl ShardedSpaceReport {
     /// computed from the summed numerator/denominator; `max_per_shard`'s
     /// from the worst (largest-measured) shard's own pair.
     pub fn to_json(&self) -> JsonValue {
-        let max_ratio = if self.max_shard_measured_bytes == 0 {
-            0.0
-        } else {
+        let max_ratio = (self.max_shard_measured_bytes > 0).then(|| {
             self.max_shard_nominal_sketch_bytes as f64 / self.max_shard_measured_bytes as f64
-        };
+        });
         JsonValue::object()
             .field("shards", self.shards)
             .field("total", self.total.to_json())

@@ -49,4 +49,10 @@ pub use coreset_stream::{
 pub use merge::{EpsSchedule, MergeError};
 pub use model::{insert_delete_stream, insertion_stream, StreamOp};
 pub use sparse::{OneSparse, SSparseRecovery};
-pub use storing::{Storing, StoringConfig, StoringFail, StoringOutput};
+pub use storing::StoringFail;
+// Internal summary-structure machinery. Re-exported for the workspace's
+// own tests and benches, but not part of the supported surface (the
+// `sbc` facade's `public_api.txt` golden test pins what is) — reach for
+// `StreamCoresetBuilder` / `Snapshot` instead.
+#[doc(hidden)]
+pub use storing::{Storing, StoringConfig, StoringOutput};
