@@ -65,6 +65,20 @@ pub const PROTOCOL_VERSION: u32 = 1;
 /// Lowest protocol version this build still accepts.
 pub const MIN_SUPPORTED_VERSION: u32 = 1;
 
+/// Largest `log_delta` a [`TenantSpec`] may carry (the grid contract:
+/// `Δ = 2^L` with `L ≤ 40`).
+pub const MAX_LOG_DELTA: u32 = 40;
+
+/// Largest point dimensionality a [`TenantSpec`] may carry. A cap, not
+/// a library limit: a wire-supplied `dims` sizes per-point and
+/// per-level allocations, so the protocol bounds it.
+pub const MAX_DIMS: u32 = 1024;
+
+/// Largest shard count a [`TenantSpec`] may carry. Every shard is a
+/// full builder (~5 MB under the serving profile), so the protocol
+/// bounds what one `Open` record can make the service allocate.
+pub const MAX_SHARDS: u32 = 64;
+
 /// Tenants are named by caller-chosen 64-bit ids.
 pub type TenantId = u64;
 
@@ -135,6 +149,28 @@ impl Default for TenantSpec {
 pub fn tenant_pipeline(
     spec: &TenantSpec,
 ) -> Result<(crate::CoresetParams, crate::StreamParams), crate::SbcError> {
+    // The wire-level bounds are checked here, before the grid/params
+    // constructors whose assertions assume already-validated inputs — a
+    // hostile `Open` record must produce a coded error, never a panic
+    // or an unbounded allocation.
+    if spec.log_delta > MAX_LOG_DELTA {
+        return Err(ApiError::InvalidSpec {
+            message: format!("log_delta {} exceeds {MAX_LOG_DELTA}", spec.log_delta),
+        }
+        .into());
+    }
+    if spec.dims == 0 || spec.dims > MAX_DIMS {
+        return Err(ApiError::InvalidSpec {
+            message: format!("dims {} outside 1..={MAX_DIMS}", spec.dims),
+        }
+        .into());
+    }
+    if spec.shards > MAX_SHARDS {
+        return Err(ApiError::InvalidSpec {
+            message: format!("shards {} exceeds {MAX_SHARDS}", spec.shards),
+        }
+        .into());
+    }
     let gp = crate::GridParams::from_log_delta(spec.log_delta, spec.dims as usize);
     let params = crate::CoresetParams::builder(spec.k as usize, gp).build()?;
     let sparams = crate::StreamParams::builder()
@@ -712,6 +748,15 @@ pub enum ApiError {
         /// Zero-based record index within the frame.
         index: u32,
     },
+    /// A frame's claimed payload length exceeds the receiver's
+    /// configured maximum — refused before the payload is read, so an
+    /// untrusted header cannot force an allocation (code 204).
+    FrameTooLarge {
+        /// The header's claimed payload length.
+        payload_len: u64,
+        /// The receiver's configured maximum.
+        max: u64,
+    },
     /// No protocol version is spoken by both sides (code 203).
     VersionUnsupported {
         /// Peer's lowest supported version.
@@ -739,6 +784,13 @@ pub enum ApiError {
     /// dimensionality); nothing from the batch was applied (code 213).
     InvalidPoints {
         /// What was wrong with the batch.
+        message: String,
+    },
+    /// A [`TenantSpec`] carried out-of-bounds parameters
+    /// ([`MAX_LOG_DELTA`] / [`MAX_DIMS`] / [`MAX_SHARDS`]); no tenant
+    /// was created (code 214).
+    InvalidSpec {
+        /// Which bound the spec violated.
         message: String,
     },
     /// Admission control refused the request (code 220; normally
@@ -788,10 +840,12 @@ impl ApiError {
             ApiError::Truncated => 201,
             ApiError::MalformedRecord { .. } => 202,
             ApiError::VersionUnsupported { .. } => 203,
+            ApiError::FrameTooLarge { .. } => 204,
             ApiError::UnknownTenant { .. } => 210,
             ApiError::TenantExists { .. } => 211,
             ApiError::EvictIo { .. } => 212,
             ApiError::InvalidPoints { .. } => 213,
+            ApiError::InvalidSpec { .. } => 214,
             ApiError::Overloaded { .. } => 220,
             ApiError::Unsupported { .. } => 221,
             ApiError::Transport { .. } => 230,
@@ -809,6 +863,11 @@ impl std::fmt::Display for ApiError {
             ApiError::MalformedRecord { index } => {
                 write!(f, "malformed record at index {index}")
             }
+            ApiError::FrameTooLarge { payload_len, max } => write!(
+                f,
+                "frame payload of {payload_len} bytes exceeds the \
+                 {max}-byte maximum"
+            ),
             ApiError::VersionUnsupported { min, max } => write!(
                 f,
                 "no common protocol version (peer speaks {min}..={max}, \
@@ -822,6 +881,7 @@ impl std::fmt::Display for ApiError {
                 write!(f, "tenant spill/restore I/O failed: {message}")
             }
             ApiError::InvalidPoints { message } => write!(f, "invalid points: {message}"),
+            ApiError::InvalidSpec { message } => write!(f, "invalid tenant spec: {message}"),
             ApiError::Overloaded {
                 measured_bytes,
                 budget_bytes,
@@ -1119,6 +1179,57 @@ mod tests {
     }
 
     #[test]
+    fn out_of_bounds_specs_fail_coded_not_panicking() {
+        // These values reach `tenant_pipeline` straight off the wire;
+        // each must come back as a coded InvalidSpec, never trip the
+        // grid constructor's assertions or size an allocation.
+        let cases = [
+            TenantSpec {
+                log_delta: MAX_LOG_DELTA + 1,
+                ..TenantSpec::default()
+            },
+            TenantSpec {
+                log_delta: u32::MAX,
+                ..TenantSpec::default()
+            },
+            TenantSpec {
+                dims: 0,
+                ..TenantSpec::default()
+            },
+            TenantSpec {
+                dims: MAX_DIMS + 1,
+                ..TenantSpec::default()
+            },
+            TenantSpec {
+                shards: MAX_SHARDS + 1,
+                ..TenantSpec::default()
+            },
+            TenantSpec {
+                shards: u32::MAX,
+                ..TenantSpec::default()
+            },
+        ];
+        for spec in cases {
+            let err = tenant_pipeline(&spec).expect_err("out-of-bounds spec");
+            assert_eq!(err.code(), 214, "{spec:?} → {err}");
+        }
+        // The documented bounds themselves are accepted (shards at the
+        // cap only builds lazily service-side, so validate params only).
+        assert!(tenant_pipeline(&TenantSpec {
+            log_delta: MAX_LOG_DELTA,
+            ..TenantSpec::default()
+        })
+        .is_ok());
+        // k = 0 is caught by the params builder, also coded (101).
+        let err = tenant_pipeline(&TenantSpec {
+            k: 0,
+            ..TenantSpec::default()
+        })
+        .expect_err("k = 0");
+        assert_eq!(err.code(), 101);
+    }
+
+    #[test]
     fn negotiation_picks_the_highest_common_version() {
         assert_eq!(negotiate(1, 1), Ok(1));
         assert_eq!(negotiate(1, 99), Ok(PROTOCOL_VERSION));
@@ -1132,11 +1243,18 @@ mod tests {
     fn api_error_codes_are_stable() {
         // The 200-range is a wire contract; renumbering breaks deployed
         // clients. 300+ belongs to sbc_distributed::MergeFailure.
-        let cases: [(ApiError, u16); 12] = [
+        let cases: [(ApiError, u16); 14] = [
             (ApiError::BadMagic, 200),
             (ApiError::Truncated, 201),
             (ApiError::MalformedRecord { index: 0 }, 202),
             (ApiError::VersionUnsupported { min: 2, max: 3 }, 203),
+            (
+                ApiError::FrameTooLarge {
+                    payload_len: 1 << 32,
+                    max: 1 << 20,
+                },
+                204,
+            ),
             (ApiError::UnknownTenant { tenant: 1 }, 210),
             (ApiError::TenantExists { tenant: 1 }, 211),
             (
@@ -1150,6 +1268,12 @@ mod tests {
                     message: String::new(),
                 },
                 213,
+            ),
+            (
+                ApiError::InvalidSpec {
+                    message: String::new(),
+                },
+                214,
             ),
             (
                 ApiError::Overloaded {

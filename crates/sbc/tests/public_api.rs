@@ -17,7 +17,7 @@
 use sbc::api::{
     frame_requests, frame_responses, negotiate, tenant_pipeline, unframe_requests,
     unframe_responses, CoresetPoint, ServerStatsReport, TenantId, TenantStats, FRAME_MAGIC,
-    MIN_SUPPORTED_VERSION, PROTOCOL_VERSION,
+    MAX_DIMS, MAX_LOG_DELTA, MAX_SHARDS, MIN_SUPPORTED_VERSION, PROTOCOL_VERSION,
 };
 #[allow(unused_imports)]
 use sbc::{api, clustering, core, distributed, flow, geometry, hashing, obs, prelude, streaming};
@@ -39,6 +39,9 @@ const SURFACE: &[&str] = &[
     "sbc::api::ApiResponse",
     "sbc::api::CoresetPoint",
     "sbc::api::FRAME_MAGIC",
+    "sbc::api::MAX_DIMS",
+    "sbc::api::MAX_LOG_DELTA",
+    "sbc::api::MAX_SHARDS",
     "sbc::api::MIN_SUPPORTED_VERSION",
     "sbc::api::PROTOCOL_VERSION",
     "sbc::api::ServerStatsReport",

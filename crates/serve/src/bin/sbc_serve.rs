@@ -14,7 +14,8 @@
 //!
 //! ```text
 //! sbc-serve [--budget-bytes N] [--max-tenants N] [--spill-dir PATH]
-//!           [--policy shed|reject] [--telemetry-out PATH] [--telemetry-every MS]
+//!           [--policy shed|reject] [--max-frame-bytes N]
+//!           [--telemetry-out PATH] [--telemetry-every MS]
 //!           [--demo] [--tenants N] [--rounds N] [--seed S]
 //! ```
 
@@ -24,15 +25,21 @@ use std::time::Duration;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use sbc::api::{ApiRequest, TenantSpec, FRAME_MAGIC};
+use sbc::api::{frame_responses, ApiError, ApiRequest, ApiResponse, TenantSpec, FRAME_MAGIC};
 use sbc::GridParams;
 use sbc_serve::{Client, CoresetService, InProcess, OverloadPolicy, ServeConfig};
+
+/// Default cap on a request frame's payload. The header's length field
+/// is untrusted input: without a cap a 12-byte header claiming ~4 GiB
+/// forces the allocation before any protocol validation runs.
+const DEFAULT_MAX_FRAME_BYTES: usize = 64 << 20;
 
 #[global_allocator]
 static ALLOC: sbc_obs::alloc::TrackingAlloc = sbc_obs::alloc::TrackingAlloc;
 
 fn main() {
     let mut config = ServeConfig::default();
+    let mut max_frame_bytes = DEFAULT_MAX_FRAME_BYTES;
     let mut telemetry_out: Option<String> = None;
     let mut telemetry_every_ms = sbc_obs::timeline::DEFAULT_CADENCE_MS;
     let mut demo = false;
@@ -67,6 +74,14 @@ fn main() {
                     "reject" => OverloadPolicy::Reject,
                     other => panic!("unknown policy {other:?} (want shed|reject)"),
                 };
+            }
+            "--max-frame-bytes" => {
+                max_frame_bytes = args
+                    .next()
+                    .expect("--max-frame-bytes needs a byte count")
+                    .parse()
+                    .expect("--max-frame-bytes takes a positive integer");
+                assert!(max_frame_bytes > 0, "--max-frame-bytes must be positive");
             }
             "--telemetry-out" => {
                 telemetry_out = Some(args.next().expect("--telemetry-out needs a path"));
@@ -117,21 +132,33 @@ fn main() {
     if demo {
         run_demo(service, tenants, rounds, seed);
     } else {
-        run_frame_loop(service);
+        run_frame_loop(
+            service,
+            std::io::stdin().lock(),
+            std::io::stdout().lock(),
+            max_frame_bytes,
+        );
     }
     if let Some(s) = sampler {
         s.stop();
     }
 }
 
-/// stdin/stdout frame loop: one response frame per request frame.
-fn run_frame_loop(mut service: CoresetService) {
-    let mut stdin = std::io::stdin().lock();
-    let mut stdout = std::io::stdout().lock();
+/// stdin/stdout frame loop: one response frame per request frame. A
+/// header claiming more than `max_frame_bytes` of payload is answered
+/// with a coded `FrameTooLarge` error and closes the connection —
+/// nothing is allocated or read for it, and with the payload unread
+/// there is no resynchronizing the stream anyway.
+fn run_frame_loop<R: Read, W: Write>(
+    mut service: CoresetService,
+    mut input: R,
+    mut output: W,
+    max_frame_bytes: usize,
+) {
     loop {
         // A frame is self-delimiting: 8B magic + u32 payload length.
         let mut header = [0u8; 12];
-        match stdin.read_exact(&mut header) {
+        match input.read_exact(&mut header) {
             Ok(()) => {}
             Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => break,
             Err(e) => panic!("stdin: {e}"),
@@ -140,19 +167,32 @@ fn run_frame_loop(mut service: CoresetService) {
             // Answer the coded error the service produces for bad magic,
             // then stop — the stream is not speaking our protocol.
             let reply = service.handle_frame(&header);
-            stdout.write_all(&reply).expect("stdout");
-            stdout.flush().expect("stdout");
+            output.write_all(&reply).expect("stdout");
+            output.flush().expect("stdout");
             break;
         }
         let payload_len = u32::from_le_bytes(header[8..12].try_into().unwrap()) as usize;
+        if payload_len > max_frame_bytes {
+            let err = ApiError::FrameTooLarge {
+                payload_len: payload_len as u64,
+                max: max_frame_bytes as u64,
+            };
+            let reply = frame_responses(&[ApiResponse::Error {
+                code: err.code(),
+                message: err.to_string(),
+            }]);
+            output.write_all(&reply).expect("stdout");
+            output.flush().expect("stdout");
+            break;
+        }
         let mut frame = header.to_vec();
         frame.resize(12 + payload_len, 0);
-        stdin
+        input
             .read_exact(&mut frame[12..])
             .expect("stdin frame body");
         let reply = service.handle_frame(&frame);
-        stdout.write_all(&reply).expect("stdout");
-        stdout.flush().expect("stdout");
+        output.write_all(&reply).expect("stdout");
+        output.flush().expect("stdout");
         if service.is_shutting_down() {
             break;
         }
@@ -209,4 +249,67 @@ fn run_demo(service: CoresetService, tenants: usize, rounds: usize, seed: u64) {
     }
     // Exit through the protocol so the loop shape matches production.
     let _ = client.call_batch(&[ApiRequest::Shutdown]);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbc::api::{frame_requests, unframe_responses};
+
+    fn loop_over(input: &[u8], max_frame_bytes: usize) -> Vec<u8> {
+        let mut out = Vec::new();
+        run_frame_loop(
+            CoresetService::new(ServeConfig::default()),
+            input,
+            &mut out,
+            max_frame_bytes,
+        );
+        out
+    }
+
+    #[test]
+    fn frame_loop_serves_and_shuts_down() {
+        let mut input = frame_requests(&[ApiRequest::ServerStats]);
+        input.extend_from_slice(&frame_requests(&[ApiRequest::Shutdown]));
+        let out = loop_over(&input, DEFAULT_MAX_FRAME_BYTES);
+        // Two reply frames, back to back; the second acknowledges the
+        // shutdown that ended the loop.
+        let magic_at: Vec<usize> = (0..out.len().saturating_sub(7))
+            .filter(|&i| out[i..i + 8] == FRAME_MAGIC)
+            .collect();
+        assert_eq!(magic_at.len(), 2, "two reply frames");
+        let first = unframe_responses(&out[..magic_at[1]]).expect("first reply");
+        assert!(matches!(first[0], ApiResponse::ServerStatsReply { .. }));
+        let second = unframe_responses(&out[magic_at[1]..]).expect("second reply");
+        assert!(matches!(second[0], ApiResponse::ShuttingDown));
+    }
+
+    #[test]
+    fn oversized_header_is_refused_without_allocating() {
+        // An adversarial header claiming u32::MAX bytes of payload: the
+        // loop must answer a coded FrameTooLarge (204) and close, not
+        // resize a buffer to the claimed length.
+        let mut input = FRAME_MAGIC.to_vec();
+        input.extend_from_slice(&u32::MAX.to_le_bytes());
+        // Trailing garbage the loop must never reach for.
+        input.extend_from_slice(&[0u8; 64]);
+        let out = loop_over(&input, 1 << 20);
+        let resps = unframe_responses(&out).expect("reply frame");
+        assert!(
+            matches!(resps.as_slice(), [ApiResponse::Error { code: 204, .. }]),
+            "{resps:?}"
+        );
+    }
+
+    #[test]
+    fn at_cap_frames_still_serve() {
+        let frame = frame_requests(&[ApiRequest::ServerStats]);
+        let payload_len = frame.len() - 12;
+        let out = loop_over(&frame, payload_len);
+        let resps = unframe_responses(&out).expect("reply frame");
+        assert!(matches!(
+            resps.as_slice(),
+            [ApiResponse::ServerStatsReply { .. }]
+        ));
+    }
 }

@@ -1,7 +1,7 @@
 //! The tenant-multiplexing service core: slot table, admission control,
 //! eviction/restore, and the frame/envelope entry points.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::path::PathBuf;
 use std::time::Instant;
 
@@ -206,6 +206,11 @@ enum Slot {
         spec: TenantSpec,
         spill: Spill,
         bytes: u64,
+        /// The tenant's `measured_bytes` at eviction time. Restores are
+        /// bit-identical, so this is exactly the footprint a restore
+        /// brings back — the headroom the admission decision charges
+        /// *before* restoring.
+        measured: usize,
     },
 }
 
@@ -226,16 +231,34 @@ pub struct CoresetService {
     evictions: u64,
     restores: u64,
     shutting_down: bool,
-    /// Nanoseconds the admission decision took, per mutating request —
-    /// drained by [`CoresetService::take_admission_ns`] (serve_bench's
-    /// p99 source).
+    /// Nanoseconds the admission decision took, per admitted-or-refused
+    /// request — drained by [`CoresetService::take_admission_ns`]
+    /// (serve_bench's p99 source). A bounded ring: once
+    /// [`ADMISSION_NS_CAP`] samples accumulate undrained, the oldest
+    /// are overwritten, so a production loop that never drains cannot
+    /// grow the service without bound.
     admission_ns: Vec<u64>,
+    /// Overwrite cursor into `admission_ns` once the ring is full.
+    admission_ns_at: usize,
     /// Per-client `(last_seq, cached response envelope)` — the
     /// idempotency window that makes duplicated/retried envelope
-    /// deliveries safe. One entry deep, matching the transport's
-    /// immediate-retry behavior.
+    /// deliveries safe. One entry deep per machine, matching the
+    /// transport's immediate-retry behavior, and bounded to
+    /// [`DEDUP_MAX_MACHINES`] machines (first-seen FIFO eviction via
+    /// `dedup_order`): a peer cycling machine ids can displace idle
+    /// windows but never grow the map without bound. A displaced
+    /// machine merely loses its dedup window — the same contract as a
+    /// brand-new peer.
     dedup: HashMap<u32, (u64, Vec<u8>)>,
+    /// First-seen order of `dedup` keys, for FIFO displacement.
+    dedup_order: VecDeque<u32>,
 }
+
+/// Capacity of the admission-latency ring ([`CoresetService::take_admission_ns`]).
+const ADMISSION_NS_CAP: usize = 64 * 1024;
+
+/// Most distinct envelope machines the dedup window tracks at once.
+const DEDUP_MAX_MACHINES: usize = 1024;
 
 impl CoresetService {
     /// Creates an empty service.
@@ -251,7 +274,9 @@ impl CoresetService {
             restores: 0,
             shutting_down: false,
             admission_ns: Vec::new(),
+            admission_ns_at: 0,
             dedup: HashMap::new(),
+            dedup_order: VecDeque::new(),
         }
     }
 
@@ -284,9 +309,21 @@ impl CoresetService {
         }
     }
 
-    /// Drains the recorded per-request admission-decision latencies.
+    /// Drains the recorded per-request admission-decision latencies
+    /// (the most recent [`ADMISSION_NS_CAP`] decisions — older samples
+    /// are overwritten, not accumulated).
     pub fn take_admission_ns(&mut self) -> Vec<u64> {
+        self.admission_ns_at = 0;
         std::mem::take(&mut self.admission_ns)
+    }
+
+    fn record_admission_ns(&mut self, ns: u64) {
+        if self.admission_ns.len() < ADMISSION_NS_CAP {
+            self.admission_ns.push(ns);
+        } else {
+            self.admission_ns[self.admission_ns_at] = ns;
+            self.admission_ns_at = (self.admission_ns_at + 1) % ADMISSION_NS_CAP;
+        }
     }
 
     fn spill_path(&self, tenant: TenantId) -> Option<PathBuf> {
@@ -323,6 +360,7 @@ impl CoresetService {
                 spec: t.spec,
                 spill,
                 bytes,
+                measured: t.measured,
             },
         );
         self.evictions += 1;
@@ -338,7 +376,13 @@ impl CoresetService {
             None => return Err(ApiError::UnknownTenant { tenant }.into()),
             Some(Slot::Evicted { .. }) => {}
         }
-        let Some(Slot::Evicted { spec, spill, .. }) = self.slots.remove(&tenant) else {
+        let Some(Slot::Evicted {
+            spec,
+            spill,
+            measured: measured_hint,
+            ..
+        }) = self.slots.remove(&tenant)
+        else {
             unreachable!("checked evicted above");
         };
         let container = match &spill {
@@ -363,6 +407,7 @@ impl CoresetService {
                         spec,
                         spill,
                         bytes: container.len() as u64,
+                        measured: measured_hint,
                     },
                 );
                 return Err(e);
@@ -392,9 +437,27 @@ impl CoresetService {
     /// Returns the refusal response when the request must not proceed.
     /// Always records how long the decision took.
     fn admit(&mut self, exempt: TenantId) -> Option<ApiResponse> {
+        self.admit_with(exempt, 0)
+    }
+
+    /// The admission decision for a request about to restore `tenant`
+    /// from its spill: the evicted footprint is charged as incoming
+    /// bytes *before* the restore, so an evicted tenant cannot be
+    /// brought back past the budget (the restore-on-demand path would
+    /// otherwise bypass admission control entirely). A no-op when the
+    /// tenant is live or unknown.
+    fn admit_restore(&mut self, tenant: TenantId) -> Option<ApiResponse> {
+        let incoming = match self.slots.get(&tenant) {
+            Some(Slot::Evicted { measured, .. }) => *measured,
+            _ => return None,
+        };
+        self.admit_with(tenant, incoming)
+    }
+
+    fn admit_with(&mut self, exempt: TenantId, incoming: usize) -> Option<ApiResponse> {
         let t0 = Instant::now();
-        let verdict = self.admit_inner(exempt);
-        self.admission_ns.push(t0.elapsed().as_nanos() as u64);
+        let verdict = self.admit_inner(exempt, incoming);
+        self.record_admission_ns(t0.elapsed().as_nanos() as u64);
         if verdict.is_some() {
             self.overloaded += 1;
             sbc_obs::counter!("serve.overloaded").incr();
@@ -402,16 +465,31 @@ impl CoresetService {
         verdict
     }
 
-    fn admit_inner(&mut self, exempt: TenantId) -> Option<ApiResponse> {
+    /// `incoming` is the known footprint the request is about to add
+    /// (a restore's evicted bytes; 0 for the admit-then-measure paths).
+    /// With `incoming` known the check is exact (`total + incoming`
+    /// must fit); without it the service admits while strictly under
+    /// budget and measures afterwards.
+    fn admit_inner(&mut self, exempt: TenantId, incoming: usize) -> Option<ApiResponse> {
         let budget = self.config.budget_bytes;
-        if budget == 0 || self.total_measured < budget {
+        if budget == 0 {
+            return None;
+        }
+        let over = |total: usize| {
+            if incoming > 0 {
+                total.saturating_add(incoming) > budget
+            } else {
+                total >= budget
+            }
+        };
+        if !over(self.total_measured) {
             return None;
         }
         if self.config.policy == OverloadPolicy::Shed {
             // Evict fattest-first until back under budget. The target
             // tenant is exempt — evicting it to admit its own request
             // would just force an immediate restore.
-            while self.total_measured >= budget {
+            while over(self.total_measured) {
                 let victim = self
                     .slots
                     .iter()
@@ -429,7 +507,7 @@ impl CoresetService {
                     None => break,
                 }
             }
-            if self.total_measured < budget {
+            if !over(self.total_measured) {
                 return None;
             }
         }
@@ -510,13 +588,16 @@ impl CoresetService {
                 }
             }
             Known::EvictedSame => {
+                if let Some(refusal) = self.admit_restore(tenant) {
+                    return refusal;
+                }
                 return match self.ensure_live(tenant) {
                     Ok(_) => ApiResponse::Opened {
                         tenant,
                         restored: true,
                     },
                     Err(e) => Self::err(e),
-                }
+                };
             }
             Known::SpecMismatch => return Self::err(ApiError::TenantExists { tenant }.into()),
             Known::Absent => {}
@@ -555,6 +636,12 @@ impl CoresetService {
     }
 
     fn mutate(&mut self, tenant: TenantId, points: &[Point], delete: bool) -> ApiResponse {
+        // An evicted target's footprint is admitted *before* the
+        // restore pulls it back into memory; the refusal leaves the
+        // tenant on disk and the budget intact.
+        if let Some(refusal) = self.admit_restore(tenant) {
+            return refusal;
+        }
         if let Err(e) = self.ensure_live(tenant) {
             return Self::err(e);
         }
@@ -593,6 +680,12 @@ impl CoresetService {
     }
 
     fn query(&mut self, tenant: TenantId) -> ApiResponse {
+        // Reads on a live tenant are never refused, but a read that
+        // must *restore* grows the service and goes through the same
+        // restore admission as mutations.
+        if let Some(refusal) = self.admit_restore(tenant) {
+            return refusal;
+        }
         if let Err(e) = self.ensure_live(tenant) {
             return Self::err(e);
         }
@@ -638,6 +731,9 @@ impl CoresetService {
     }
 
     fn checkpoint(&mut self, tenant: TenantId) -> ApiResponse {
+        if let Some(refusal) = self.admit_restore(tenant) {
+            return refusal;
+        }
         if let Err(e) = self.ensure_live(tenant) {
             return Self::err(e);
         }
@@ -728,6 +824,17 @@ impl CoresetService {
             seq: env.seq,
             payload: frame,
         });
+        if !self.dedup.contains_key(&env.machine) {
+            if self.dedup_order.len() >= DEDUP_MAX_MACHINES {
+                // Displace the longest-known machine — a client-chosen
+                // id cycling through fresh values evicts idle windows
+                // instead of growing the map.
+                if let Some(oldest) = self.dedup_order.pop_front() {
+                    self.dedup.remove(&oldest);
+                }
+            }
+            self.dedup_order.push_back(env.machine);
+        }
         self.dedup.insert(env.machine, (env.seq, reply.clone()));
         reply
     }

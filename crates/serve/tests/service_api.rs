@@ -160,9 +160,115 @@ fn shed_policy_evicts_the_fattest_other_tenant() {
     assert!(!c.stats(2).expect("stats").evicted);
     let stats = c.server_stats().expect("server stats");
     assert_eq!(stats.evictions, 1);
-    // Tenant 1 still answers — queries restore transparently (and skip
-    // admission control: reads never shed).
+    // Tenant 1 still answers — its query runs restore admission (the
+    // known incoming footprint), sheds tenant 2 to make room, and
+    // restores transparently.
     let (_o, served) = c.query(1).expect("query restores");
+    assert!(!served.is_empty());
+    let stats = c.server_stats().expect("server stats");
+    assert_eq!(stats.restores, 1);
+    assert_eq!(stats.evictions, 2, "the restore shed tenant 2");
+}
+
+#[test]
+fn hostile_specs_are_refused_coded_and_do_not_kill_the_server() {
+    // Wire-supplied spec values must never reach the asserting grid
+    // constructor: each bad Open answers a coded InvalidSpec (214) and
+    // the service keeps serving afterwards.
+    let mut c = client(ServeConfig::default());
+    let bad_specs = [
+        TenantSpec {
+            log_delta: 41,
+            ..TenantSpec::default()
+        },
+        TenantSpec {
+            log_delta: u32::MAX,
+            ..TenantSpec::default()
+        },
+        TenantSpec {
+            dims: 0,
+            ..TenantSpec::default()
+        },
+        TenantSpec {
+            dims: u32::MAX,
+            ..TenantSpec::default()
+        },
+        TenantSpec {
+            shards: u32::MAX,
+            ..TenantSpec::default()
+        },
+    ];
+    for (i, spec) in bad_specs.into_iter().enumerate() {
+        let err = c.open(i as u64, spec).expect_err("hostile spec");
+        assert_eq!(code(&err), 214, "{spec:?}");
+        let err = c.stats(i as u64).expect_err("no tenant was created");
+        assert_eq!(code(&err), 210);
+    }
+    // k = 0 fails in the params builder — coded too, different range.
+    let err = c
+        .open(
+            9,
+            TenantSpec {
+                k: 0,
+                ..TenantSpec::default()
+            },
+        )
+        .expect_err("k = 0");
+    assert_eq!(code(&err), 101);
+    // The service survived all of it.
+    c.open(10, TenantSpec::default()).expect("still serving");
+    assert_eq!(c.server_stats().expect("server stats").tenants_live, 1);
+}
+
+#[test]
+fn restore_on_demand_respects_the_budget() {
+    // Under Reject, a request that would restore an evicted tenant past
+    // the budget is refused *before* the restore — the tenant stays on
+    // disk and total measured bytes stay put, instead of every evicted
+    // tenant's next request growing the service arbitrarily past budget.
+    let spec = TenantSpec::default();
+    let (params, sparams) = tenant_pipeline(&spec).unwrap();
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let one = StreamCoresetBuilder::new(params, sparams, &mut rng)
+        .space_report()
+        .measured_bytes;
+
+    let mut c = client(ServeConfig {
+        budget_bytes: one + one / 2,
+        policy: OverloadPolicy::Reject,
+        ..ServeConfig::default()
+    });
+    c.open(1, spec).expect("open 1");
+    c.insert(1, &points(&spec, 16, 1)).expect("feed 1");
+    c.evict(1).expect("evict 1");
+    c.open(2, TenantSpec { seed: 2, ..spec }).expect("open 2");
+    let occupied = c.server_stats().expect("server stats").measured_bytes;
+
+    // Tenant 2 occupies ~`one` bytes; restoring tenant 1 (> `one`) would
+    // run past the 1.5×`one` budget. Every restore path must refuse.
+    let err = c.insert(1, &points(&spec, 4, 2)).expect_err("insert");
+    assert_eq!(code(&err), 220);
+    let err = c.query(1).expect_err("query must not restore past budget");
+    assert_eq!(code(&err), 220);
+    let err = c.checkpoint(1).expect_err("checkpoint must not restore");
+    assert_eq!(code(&err), 220);
+    let err = c.open(1, spec).expect_err("re-open must not restore");
+    assert_eq!(code(&err), 220);
+
+    let stats = c.server_stats().expect("server stats");
+    assert_eq!(stats.restores, 0, "nothing was restored");
+    assert_eq!(
+        stats.measured_bytes, occupied,
+        "refused restores must not grow the footprint"
+    );
+    assert!(
+        c.stats(1).expect("stats").evicted,
+        "tenant 1 stayed on disk"
+    );
+
+    // Freeing the budget makes the same restore admissible again.
+    c.close(2).expect("close 2");
+    let (_o, served) = c.query(1).expect("query restores once there is room");
     assert!(!served.is_empty());
     assert_eq!(c.server_stats().expect("server stats").restores, 1);
 }
@@ -325,6 +431,48 @@ fn envelope_redelivery_is_answered_from_cache_without_reapplying() {
         resps.as_slice(),
         [ApiResponse::Error { code: 201, .. }]
     ));
+}
+
+#[test]
+fn dedup_window_is_bounded_across_machine_id_cycling() {
+    // A peer cycling fresh machine ids must not grow the dedup map
+    // without bound: past the window's capacity the oldest machines are
+    // displaced (losing only their idempotency window — the same
+    // contract as a brand-new peer).
+    let mut service = CoresetService::new(ServeConfig::default());
+    let spec = TenantSpec::default();
+    service.handle(&ApiRequest::Open { tenant: 1, spec });
+    let insert = to_bytes(&Envelope {
+        machine: 1,
+        seq: 1,
+        payload: frame_requests(&[ApiRequest::Insert {
+            tenant: 1,
+            points: points(&spec, 4, 1),
+        }]),
+    });
+    service.handle_envelope(&insert);
+    // Within the window: redelivery is answered from cache.
+    service.handle_envelope(&insert);
+    let net = |service: &mut CoresetService| match service.handle(&ApiRequest::Stats { tenant: 1 })
+    {
+        ApiResponse::StatsReply { stats, .. } => stats.net_count,
+        other => panic!("unexpected {other:?}"),
+    };
+    assert_eq!(net(&mut service), 4, "in-window redelivery deduplicated");
+
+    // Cycle enough distinct machine ids to displace machine 1 (the
+    // window holds 1024 machines).
+    for m in 2..=1025u32 {
+        service.handle_envelope(&to_bytes(&Envelope {
+            machine: m,
+            seq: 1,
+            payload: frame_requests(&[ApiRequest::ServerStats]),
+        }));
+    }
+    // Machine 1's window is gone: the redelivery re-applies, exactly as
+    // a first delivery from an unknown peer would.
+    service.handle_envelope(&insert);
+    assert_eq!(net(&mut service), 8, "displaced window re-applies");
 }
 
 #[test]
