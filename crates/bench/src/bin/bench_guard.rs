@@ -31,9 +31,14 @@ use sbc_obs::json::JsonValue;
 /// Maximum tolerated relative drop in a speedup ratio.
 const TOLERANCE: f64 = 0.15;
 
+/// Maximum tolerated service-observability overhead: with the `obs`
+/// feature compiled in, the instrumented drive must keep at least this
+/// fraction of the uninstrumented drive's throughput (<2% overhead).
+const OBS_OVERHEAD_FLOOR: f64 = 0.98;
+
 /// Schema the fresh report must satisfy.
-const SCHEMA_VERSION: u64 = 6;
-const REQUIRED_TOP: [&str; 13] = [
+const SCHEMA_VERSION: u64 = 7;
+const REQUIRED_TOP: [&str; 14] = [
     "schema_version",
     "git_commit",
     "generated_at",
@@ -47,9 +52,10 @@ const REQUIRED_TOP: [&str; 13] = [
     "trace",
     "metrics",
     "serving",
+    "service_obs",
 ];
 /// Numeric fields of the `serving` section (`serve_bench` output).
-const SERVING_NUMERIC: [&str; 16] = [
+const SERVING_NUMERIC: [&str; 18] = [
     "protocol_version",
     "tenants",
     "ops_per_tenant",
@@ -61,11 +67,24 @@ const SERVING_NUMERIC: [&str; 16] = [
     "multi_tenant_efficiency",
     "p50_admission_ns",
     "p99_admission_ns",
+    "p999_admission_ns",
+    "admission_samples",
     "peak_bytes_per_tenant",
     "identity_checks",
     "evictions",
     "restores",
     "overloaded",
+];
+/// Numeric fields of the `service_obs` section (`serve_bench` output).
+const SERVICE_OBS_NUMERIC: [&str; 8] = [
+    "metrics_disabled_ops_per_sec",
+    "metrics_enabled_ops_per_sec",
+    "overhead_ratio",
+    "p50_request_ns",
+    "p99_request_ns",
+    "p999_request_ns",
+    "request_samples",
+    "slow_dumps",
 ];
 const GROUPS: [&str; 2] = ["insert_only", "mixed_deletion_heavy"];
 const PATHS: [&str; 3] = ["per_op", "batched", "batched_parallel"];
@@ -298,6 +317,25 @@ fn check_schema(doc: &JsonValue, path: &str) -> Result<(), String> {
             return Err(format!("{path}: serving.faults missing numeric \"{key}\""));
         }
     }
+    // Service observability (v7): the instrumentation-overhead
+    // comparison and the SLO-histogram percentiles.
+    let service_obs = doc.get("service_obs").unwrap();
+    if service_obs
+        .get("feature_enabled")
+        .and_then(JsonValue::as_bool)
+        .is_none()
+    {
+        return Err(format!(
+            "{path}: service_obs section missing boolean \"feature_enabled\""
+        ));
+    }
+    for key in SERVICE_OBS_NUMERIC {
+        if service_obs.get(key).and_then(JsonValue::as_f64).is_none() {
+            return Err(format!(
+                "{path}: service_obs section missing numeric \"{key}\""
+            ));
+        }
+    }
     Ok(())
 }
 
@@ -496,6 +534,35 @@ fn main() {
     // Admission latency is schema-pinned, sanity-checked, not gated.
     if serving_num(&fresh, "p99_admission_ns").is_none_or(|p99| p99 <= 0.0) {
         fail("fresh report lacks a positive serving.p99_admission_ns");
+    }
+    // Observability overhead: an instrumented drive vs an uninstrumented
+    // one in the same process — a machine-independent ratio. Only gated
+    // when the `obs` feature was compiled in (otherwise both drives ran
+    // the same no-op build and the ratio is pure noise around 1.0).
+    let obs_on = fresh
+        .get("service_obs")
+        .and_then(|s| s.get("feature_enabled"))
+        .and_then(JsonValue::as_bool)
+        == Some(true);
+    if obs_on {
+        let ratio = fresh
+            .get("service_obs")
+            .and_then(|s| s.get("overhead_ratio"))
+            .and_then(JsonValue::as_f64)
+            .unwrap_or_else(|| fail("fresh report lacks service_obs.overhead_ratio"));
+        checked += 1;
+        if ratio < OBS_OVERHEAD_FLOOR {
+            fail(&format!(
+                "observability overhead — service_obs.overhead_ratio {ratio:.3} is below \
+                 {OBS_OVERHEAD_FLOOR:.2} (instrumented serving lost more than {:.0}% throughput)",
+                (1.0 - OBS_OVERHEAD_FLOOR) * 100.0
+            ));
+        }
+        println!(
+            "bench_guard: service_obs.overhead_ratio: {ratio:.3} (floor {OBS_OVERHEAD_FLOOR:.2}) — ok"
+        );
+    } else {
+        println!("bench_guard: note: service_obs.feature_enabled false, overhead not gated");
     }
     if checked == 0 {
         fail("baseline exposed no comparable speedup ratios");

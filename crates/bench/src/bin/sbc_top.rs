@@ -8,6 +8,12 @@
 //! counter deltas across the ring, the ladder prune's per-role
 //! hit-rates, and the store kill taxonomy.
 //!
+//! When the producer is `sbc-serve` (or any embedder of
+//! `sbc_obs::svc`), the `svc.*` counters in the tail light up a
+//! service view: live/evicted tenant gauges, spill bytes, admission
+//! refusals, restore storms, and a per-tenant table (ops/s over the
+//! ring window, errors, bytes, p99 latency, lifecycle state).
+//!
 //! The file is re-read on every refresh — `sbc-top` holds no state
 //! between frames, so it can attach to a run that is already in flight
 //! and survives the producer restarting. A missing or half-written
@@ -172,7 +178,72 @@ fn render(doc: &JsonValue, path: &str) -> Option<String> {
     } else {
         out.push_str("\nallocator attribution off (rebuild with --features obs-alloc)\n");
     }
+
+    render_service(&mut out, &latest, &oldest, dt);
     Some(out)
+}
+
+/// The service-plane view: gauges plus a per-tenant table, parsed from
+/// the `svc.*` counters a serving-tier producer publishes into the
+/// timeline. Silent when the producer exports no service metrics.
+fn render_service(out: &mut String, latest: &Frame, oldest: &Frame, dt: f64) {
+    if !latest.counters.iter().any(|(n, _)| n.starts_with("svc.")) {
+        return;
+    }
+    let _ = writeln!(
+        out,
+        "\nservice  {} live / {} evicted tenants   spill {}   rejects {}   sheds {}",
+        latest.counter("svc.tenants.live"),
+        latest.counter("svc.tenants.evicted"),
+        human(latest.counter("svc.spill.bytes")),
+        latest.counter("svc.admission.rejects"),
+        latest.counter("svc.admission.sheds"),
+    );
+    let _ = writeln!(
+        out,
+        "         restores {} ({} storms)   slow-request dumps {}   tracked {} (+{} untracked)",
+        latest.counter("svc.restores"),
+        latest.counter("svc.restore.storms"),
+        latest.counter("svc.slow.dumps"),
+        latest.counter("svc.tenants.tracked"),
+        latest.counter("svc.tenants.untracked"),
+    );
+
+    // Per-tenant rows out of the sampled `svc.tenant.<id>.<field>`
+    // counters; ops/s is a delta across the retained ring window.
+    let mut rows: Vec<(u64, u64)> = latest
+        .counters
+        .iter()
+        .filter_map(|(n, ops)| {
+            let rest = n.strip_prefix("svc.tenant.")?;
+            let (id, field) = rest.split_once('.')?;
+            (field == "ops").then_some(())?;
+            Some((id.parse::<u64>().ok()?, *ops))
+        })
+        .collect();
+    if rows.is_empty() {
+        return;
+    }
+    rows.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    let _ = writeln!(
+        out,
+        "\n{:<10} {:>10} {:>8} {:>12} {:>12} {:>8}",
+        "TENANT", "OPS/S", "ERRORS", "BYTES", "P99", "STATE"
+    );
+    for (id, ops) in rows.iter().take(16) {
+        let field = |f: &str| format!("svc.tenant.{id}.{f}");
+        let d = ops.saturating_sub(oldest.counter(&field("ops")));
+        let ops_per_sec = if dt > 0.0 { d as f64 / dt } else { 0.0 };
+        let state = sbc_obs::svc::TenantState::from_code(latest.counter(&field("state")))
+            .map_or("?", sbc_obs::svc::TenantState::as_str);
+        let _ = writeln!(
+            out,
+            "{id:<10} {ops_per_sec:>10.1} {:>8} {:>12} {:>9.2}ms {state:>8}",
+            latest.counter(&field("errors")),
+            human(latest.counter(&field("bytes"))),
+            latest.counter(&field("p99_ns")) as f64 / 1e6,
+        );
+    }
 }
 
 fn main() {

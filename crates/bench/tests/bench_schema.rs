@@ -62,19 +62,19 @@ fn bench_streaming_golden_file_agrees_with_space_report() {
 }
 
 #[test]
-fn bench_streaming_golden_file_matches_schema_v6() {
-    // The committed baseline must parse as JSON and carry the v6 schema
-    // (trace, kernels, telemetry and serving sections included) — the
-    // same shape `bench_guard` validates on fresh reports, so a
-    // drifting writer cannot slip past CI.
+fn bench_streaming_golden_file_matches_schema_v7() {
+    // The committed baseline must parse as JSON and carry the v7 schema
+    // (trace, kernels, telemetry, serving and service_obs sections
+    // included) — the same shape `bench_guard` validates on fresh
+    // reports, so a drifting writer cannot slip past CI.
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_streaming.json");
     let text = std::fs::read_to_string(path)
         .expect("BENCH_streaming.json must be checked in at the repo root");
     let doc = sbc_obs::json::JsonValue::parse(&text).expect("baseline parses as JSON");
     assert_eq!(
         doc.get("schema_version").and_then(|v| v.as_u64()),
-        Some(6),
-        "committed BENCH_streaming.json must be schema_version 6"
+        Some(7),
+        "committed BENCH_streaming.json must be schema_version 7"
     );
     for key in [
         "git_commit",
@@ -87,6 +87,7 @@ fn bench_streaming_golden_file_matches_schema_v6() {
         "trace",
         "metrics",
         "serving",
+        "service_obs",
     ] {
         assert!(doc.get(key).is_some(), "baseline missing \"{key}\" section");
     }
@@ -236,6 +237,8 @@ fn bench_streaming_golden_file_matches_schema_v6() {
         "multi_tenant_efficiency",
         "p50_admission_ns",
         "p99_admission_ns",
+        "p999_admission_ns",
+        "admission_samples",
         "peak_bytes_per_tenant",
         "identity_checks",
         "evictions",
@@ -266,6 +269,40 @@ fn bench_streaming_golden_file_matches_schema_v6() {
             .and_then(|v| v.as_str())
             .is_some(),
         "serving.faults missing string \"profile\""
+    );
+    // The service_obs section (v7): the instrumentation-overhead
+    // comparison bench_guard gates, plus the SLO-histogram percentiles.
+    let service_obs = doc.get("service_obs").expect("service_obs present");
+    assert!(
+        service_obs
+            .get("feature_enabled")
+            .and_then(|v| v.as_bool())
+            .is_some(),
+        "service_obs lacks the feature_enabled flag"
+    );
+    for key in [
+        "metrics_disabled_ops_per_sec",
+        "metrics_enabled_ops_per_sec",
+        "overhead_ratio",
+        "p50_request_ns",
+        "p99_request_ns",
+        "p999_request_ns",
+        "request_samples",
+    ] {
+        assert!(
+            service_obs
+                .get(key)
+                .and_then(|v| v.as_f64())
+                .is_some_and(|v| v > 0.0),
+            "service_obs section missing positive numeric \"{key}\""
+        );
+    }
+    assert!(
+        service_obs
+            .get("slow_dumps")
+            .and_then(|v| v.as_f64())
+            .is_some(),
+        "service_obs section missing numeric \"slow_dumps\""
     );
 }
 

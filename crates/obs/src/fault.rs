@@ -34,6 +34,9 @@ pub mod site {
     pub const MSG_DROP: u64 = 0x51ee_7e57_0002;
     /// A coordinator-bound message delivery being duplicated.
     pub const MSG_DUP: u64 = 0x51ee_7e57_0003;
+    /// The service plane's seeded slow-request dump probe
+    /// ([`crate::svc::slow_probe_hit`]).
+    pub const SLOW_REQUEST: u64 = 0x51ee_7e57_0004;
 }
 
 /// Which terminal state an injected store fault forces.

@@ -206,18 +206,27 @@ pub fn reset() {
     }
 }
 
-/// Folds a previously exported snapshot back into the live registry
-/// (names are interned as needed, values added on top of whatever is
-/// already recorded). Checkpoint restore uses this so metrics carried in
-/// a snapshot survive a process restart; merging respects the runtime
-/// enable flag the same way direct recording does.
+/// Folds a previously exported snapshot back into the live registry:
+/// names are interned as needed and every value is raised to *at least*
+/// its snapshot reading (`fetch_max`, not `fetch_add`). Checkpoint
+/// restore uses this so metrics carried in a snapshot survive a process
+/// restart; merging respects the runtime enable flag the same way
+/// direct recording does.
+///
+/// The monotonic fold is what makes the two restore scenarios both
+/// come out right. In a fresh process the registry reads zero, so max
+/// restores the snapshot's values exactly. In the *same* process — a
+/// service evicting a tenant to disk and restoring it minutes later —
+/// the registry has only grown since the snapshot was cut, so max is a
+/// no-op; an additive merge here would re-count the entire registry on
+/// every restore and explode exponentially under eviction churn.
 pub fn merge_snapshot(snap: &MetricsSnapshot) {
     if !enabled() {
         return;
     }
     for (name, v) in &snap.counters {
         if *v > 0 {
-            counter(name).0.value.fetch_add(*v, Ordering::Relaxed);
+            counter(name).0.value.fetch_max(*v, Ordering::Relaxed);
         }
     }
     for (name, h) in &snap.histograms {
@@ -225,10 +234,10 @@ pub fn merge_snapshot(snap: &MetricsSnapshot) {
             continue;
         }
         let inner = histogram(name).0;
-        inner.count.fetch_add(h.count, Ordering::Relaxed);
-        inner.sum.fetch_add(h.sum, Ordering::Relaxed);
+        inner.count.fetch_max(h.count, Ordering::Relaxed);
+        inner.sum.fetch_max(h.sum, Ordering::Relaxed);
         for &(ub, c) in &h.buckets {
-            inner.buckets[bucket_index(ub)].fetch_add(c, Ordering::Relaxed);
+            inner.buckets[bucket_index(ub)].fetch_max(c, Ordering::Relaxed);
         }
     }
 }

@@ -37,6 +37,7 @@
 pub mod alloc;
 pub mod fault;
 pub mod json;
+pub mod svc;
 pub mod timeline;
 pub mod trace;
 
@@ -107,6 +108,25 @@ impl HistogramSnapshot {
         } else {
             self.sum as f64 / self.count as f64
         }
+    }
+
+    /// The `q`-quantile (`0.0..=1.0`) as the inclusive upper bound of
+    /// the bucket holding the ceil-rank sample — the same conservative
+    /// rounding `serve_bench` uses for exact samples, quantized to the
+    /// power-of-two grid. Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for &(upper, n) in &self.buckets {
+            seen += n;
+            if seen >= rank {
+                return upper;
+            }
+        }
+        self.buckets.last().map(|&(u, _)| u).unwrap_or(0)
     }
 }
 

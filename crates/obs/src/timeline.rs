@@ -97,15 +97,20 @@ impl Timeline {
         self.cadence_ms = ms;
     }
 
-    /// Takes a sample now: metrics registry, allocator attribution, RSS.
+    /// Takes a sample now: metrics registry, allocator attribution,
+    /// RSS, and the service plane's gauges + per-tenant rows (empty
+    /// unless `sbc-serve` is publishing them).
     pub fn sample(&mut self) -> &Sample {
         let snap = crate::snapshot();
+        let mut counters = snap.counters;
+        counters.extend(crate::svc::sampled_counters());
+        counters.sort_by(|a, b| a.0.cmp(&b.0));
         let sample = Sample {
             seq: self.next_seq,
             elapsed_ms: self.start.elapsed().as_millis() as u64,
             rss_bytes: rss_bytes(),
             alloc: crate::alloc::snapshot(),
-            counters: snap.counters,
+            counters,
         };
         self.next_seq += 1;
         if self.samples.len() == self.capacity {

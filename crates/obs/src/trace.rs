@@ -687,6 +687,32 @@ mod recorder {
         write_crash(&dir, label, reason)
     }
 
+    /// Writes `<stem>.json` to the configured crash directory (if any)
+    /// with the given reason and the last [`DEFAULT_CRASH_EVENTS`]
+    /// events. Unlike [`crash_dump_now`] the stem is used verbatim
+    /// (after sanitizing to `[A-Za-z0-9_-]`, so slow-request stems like
+    /// `slow-7-42` keep their hyphens) with no `crash-` prefix, and the
+    /// dump is never deduplicated. Returns `true` if a file was written.
+    pub fn dump_named(stem: &str, reason: &str) -> bool {
+        let Some(dir) = crash_dir().lock().unwrap().clone() else {
+            return false;
+        };
+        let snap = snapshot();
+        let report = crash_report(&snap, reason, DEFAULT_CRASH_EVENTS);
+        let sanitized: String = stem
+            .chars()
+            .map(|c| {
+                if c.is_ascii_alphanumeric() || c == '-' || c == '_' {
+                    c
+                } else {
+                    '_'
+                }
+            })
+            .collect();
+        let path = dir.join(format!("{sanitized}.json"));
+        std::fs::write(&path, report.render_pretty()).is_ok()
+    }
+
     /// Fault-triggered dump: first firing per label only, so a chaos
     /// profile killing dozens of stores leaves one representative dump
     /// per taxonomy instead of flooding the directory.
@@ -782,11 +808,17 @@ mod recorder {
     pub fn crash_dump_now(_label: &str, _reason: &str) -> bool {
         false
     }
+
+    /// No-op; never writes.
+    #[inline(always)]
+    pub fn dump_named(_stem: &str, _reason: &str) -> bool {
+        false
+    }
 }
 
 pub use recorder::{
-    capacity, crash_dump_now, enabled, event, instant, reset, set_capacity, set_crash_dir,
-    set_enabled, snapshot, span, TraceSpan,
+    capacity, crash_dump_now, dump_named, enabled, event, instant, reset, set_capacity,
+    set_crash_dir, set_enabled, snapshot, span, TraceSpan,
 };
 
 #[cfg(test)]

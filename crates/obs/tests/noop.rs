@@ -142,4 +142,38 @@ mod enabled_side {
             Some(80_000)
         );
     }
+
+    #[test]
+    fn merge_snapshot_is_a_monotonic_fold_not_an_add() {
+        let _g = GUARD.lock().unwrap();
+        sbc_obs::reset();
+        sbc_obs::set_enabled(true);
+        sbc_obs::counter!("obs.test.merge.c").add(5);
+        sbc_obs::histogram!("obs.test.merge.h").record(100);
+        let cut = sbc_obs::snapshot();
+
+        // Same-process restore: the registry has grown since the cut, so
+        // folding the old snapshot back must be a no-op — an additive
+        // merge would re-count the cut and explode under eviction churn.
+        sbc_obs::counter!("obs.test.merge.c").add(3);
+        sbc_obs::histogram!("obs.test.merge.h").record(100);
+        sbc_obs::merge_snapshot(&cut);
+        let now = sbc_obs::snapshot();
+        assert_eq!(now.counter("obs.test.merge.c"), Some(8));
+        assert_eq!(now.histogram("obs.test.merge.h").unwrap().count, 2);
+
+        // Fresh-process restore (registry reads zero): the fold brings
+        // every metric back to exactly its snapshot reading.
+        sbc_obs::reset();
+        sbc_obs::merge_snapshot(&cut);
+        let restored = sbc_obs::snapshot();
+        assert_eq!(restored.counter("obs.test.merge.c"), Some(5));
+        let h = restored.histogram("obs.test.merge.h").unwrap();
+        assert_eq!((h.count, h.sum), (1, 100));
+        assert_eq!(
+            h.buckets,
+            cut.histogram("obs.test.merge.h").unwrap().buckets
+        );
+        sbc_obs::set_enabled(false);
+    }
 }

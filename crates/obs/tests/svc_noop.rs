@@ -1,0 +1,83 @@
+//! Pins the zero-cost contract of `sbc_obs::svc` with the `obs` feature
+//! compiled OUT: every handle is a ZST, every entry point a no-op, and
+//! the slow-request trigger can never fire no matter how it is armed —
+//! the inertness half of the service-observability contract (the live
+//! half runs in `crates/serve/tests/service_obs.rs`).
+//!
+//! Run: `cargo test -p sbc-obs --test svc_noop` (default features).
+
+#![cfg(not(feature = "obs"))]
+
+use std::mem::size_of;
+
+use sbc_obs::svc::{self, Gauge, RequestClass, RequestId, RequestTag, SlowRequestConfig};
+
+#[test]
+fn request_timer_is_zero_sized_and_reads_zero() {
+    assert_eq!(size_of::<svc::RequestTimer>(), 0);
+    let t = svc::RequestTimer::start();
+    assert_eq!(t.elapsed_ns(), 0);
+}
+
+#[test]
+fn slow_request_trigger_never_fires_even_when_fully_armed() {
+    // Arm everything a live build would need: a crash dir, an enabled
+    // trace flag, a zero threshold (fires on any latency) and a
+    // probe-every-request config. The no-op build must still refuse.
+    let dir = std::env::temp_dir().join("sbc-svc-noop-dumps");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    sbc_obs::trace::set_enabled(true);
+    sbc_obs::trace::set_crash_dir(Some(dir.clone()));
+    svc::set_slow_request(SlowRequestConfig {
+        threshold_ns: 1,
+        probe_seed: 7,
+        probe_every: 1,
+        max_dumps: u64::MAX,
+    });
+    assert_eq!(
+        svc::slow_request_config(),
+        SlowRequestConfig::DISABLED,
+        "no-op build cannot install a slow-request config"
+    );
+    for seq in 0..64 {
+        let rid = RequestId::for_tenant(seq % 5, seq);
+        assert!(
+            !svc::maybe_dump_slow(rid, u64::MAX),
+            "no-op build must never dump"
+        );
+    }
+    assert_eq!(svc::slow_dumps(), 0);
+    let leaked: Vec<_> = std::fs::read_dir(&dir).unwrap().collect();
+    assert!(
+        leaked.is_empty(),
+        "no-op build wrote dump files: {leaked:?}"
+    );
+    sbc_obs::trace::set_crash_dir(None);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn metrics_surface_is_inert_even_when_asked_to_enable() {
+    sbc_obs::set_enabled(true);
+    assert!(!svc::metrics_active(), "no-op build cannot enable metrics");
+    let rid = RequestId::for_tenant(3, 9);
+    svc::observe_request(RequestClass::Single, RequestTag::Insert, rid, 1234, None);
+    svc::observe_request(
+        RequestClass::Sharded,
+        RequestTag::Query,
+        rid,
+        5678,
+        Some(210),
+    );
+    svc::observe_tenant_state(3, svc::TenantState::Live, 4096);
+    svc::observe_restore(rid);
+    svc::set_gauge(Gauge::TenantsLive, 42);
+    assert_eq!(svc::gauge(Gauge::TenantsLive), 0, "gauges never store");
+    assert!(
+        svc::sampled_counters().is_empty(),
+        "nothing is ever sampled"
+    );
+    let snap = sbc_obs::snapshot();
+    assert!(snap.is_empty(), "nothing registers in the registry");
+}

@@ -336,6 +336,72 @@ impl Decode for ServerStatsReport {
     }
 }
 
+/// Machine-readable liveness snapshot returned by
+/// [`ApiRequest::Health`] — the scrape surface a probe or load balancer
+/// reads without touching tenant state. All fields are observational;
+/// none feed back into service decisions.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HealthReport {
+    /// Milliseconds since the service started.
+    pub uptime_ms: u64,
+    /// Records handled over the service's life (every decoded request,
+    /// including refused and unsupported ones).
+    pub requests_total: u64,
+    /// Frames or envelopes that failed to decode (bad magic, truncated,
+    /// malformed record).
+    pub frame_errors: u64,
+    /// Tenants resident in memory.
+    pub tenants_live: u64,
+    /// Tenants currently evicted to disk.
+    pub tenants_evicted: u64,
+    /// Sum of live tenants' measured bytes.
+    pub measured_bytes: u64,
+    /// The configured memory budget (0 = unlimited).
+    pub budget_bytes: u64,
+    /// Bytes of budget left before admission control bites
+    /// (`u64::MAX` when the budget is unlimited).
+    pub budget_headroom_bytes: u64,
+    /// Bytes parked in the spill directory by evicted tenants.
+    pub spill_bytes: u64,
+    /// Requests refused with [`ApiResponse::Overloaded`].
+    pub overloaded: u64,
+    /// Whether a shutdown has been requested.
+    pub shutting_down: bool,
+}
+
+impl Encode for HealthReport {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.uptime_ms.encode(buf);
+        self.requests_total.encode(buf);
+        self.frame_errors.encode(buf);
+        self.tenants_live.encode(buf);
+        self.tenants_evicted.encode(buf);
+        self.measured_bytes.encode(buf);
+        self.budget_bytes.encode(buf);
+        self.budget_headroom_bytes.encode(buf);
+        self.spill_bytes.encode(buf);
+        self.overloaded.encode(buf);
+        self.shutting_down.encode(buf);
+    }
+}
+impl Decode for HealthReport {
+    fn decode(buf: &[u8], cursor: &mut usize) -> Option<Self> {
+        Some(HealthReport {
+            uptime_ms: u64::decode(buf, cursor)?,
+            requests_total: u64::decode(buf, cursor)?,
+            frame_errors: u64::decode(buf, cursor)?,
+            tenants_live: u64::decode(buf, cursor)?,
+            tenants_evicted: u64::decode(buf, cursor)?,
+            measured_bytes: u64::decode(buf, cursor)?,
+            budget_bytes: u64::decode(buf, cursor)?,
+            budget_headroom_bytes: u64::decode(buf, cursor)?,
+            spill_bytes: u64::decode(buf, cursor)?,
+            overloaded: u64::decode(buf, cursor)?,
+            shutting_down: bool::decode(buf, cursor)?,
+        })
+    }
+}
+
 /// One request record. Tags are a wire contract — append, never renumber.
 #[derive(Clone, Debug, PartialEq)]
 pub enum ApiRequest {
@@ -398,6 +464,11 @@ pub enum ApiRequest {
     ServerStats,
     /// Ask the server loop to exit after this frame (tag 10).
     Shutdown,
+    /// Machine-readable health snapshot — uptime, frame errors, budget
+    /// headroom (tag 11). Additive: servers predating it answer
+    /// [`ApiResponse::Unsupported`], and its empty body lets old peers
+    /// skip it by length prefix.
+    Health,
     /// A tag this build does not know — answered with
     /// [`ApiResponse::Unsupported`], never an error. Decode-only.
     Unknown {
@@ -497,6 +568,12 @@ pub enum ApiResponse {
     },
     /// Acknowledges [`ApiRequest::Shutdown`] (tag 12).
     ShuttingDown,
+    /// Health snapshot (tag 13). Old clients decode this as
+    /// [`ApiResponse::Unknown`] and skip the body by length prefix.
+    HealthReply {
+        /// The snapshot.
+        report: HealthReport,
+    },
     /// A tag this build does not know. Decode-only.
     Unknown {
         /// The unrecognized tag.
@@ -552,6 +629,7 @@ impl Encode for ApiRequest {
             }
             ApiRequest::ServerStats => 9u16.encode(buf),
             ApiRequest::Shutdown => 10u16.encode(buf),
+            ApiRequest::Health => 11u16.encode(buf),
             // Lossy by design: an Unknown round-trips as its bare tag
             // (there is no body to preserve — it was skipped on decode).
             ApiRequest::Unknown { tag } => tag.encode(buf),
@@ -596,6 +674,7 @@ impl Decode for ApiRequest {
             },
             9 => ApiRequest::ServerStats,
             10 => ApiRequest::Shutdown,
+            11 => ApiRequest::Health,
             tag => ApiRequest::Unknown { tag },
         })
     }
@@ -670,6 +749,10 @@ impl Encode for ApiResponse {
                 tag.encode(buf);
             }
             ApiResponse::ShuttingDown => 12u16.encode(buf),
+            ApiResponse::HealthReply { report } => {
+                13u16.encode(buf);
+                report.encode(buf);
+            }
             ApiResponse::Unknown { tag } => tag.encode(buf),
         }
     }
@@ -726,6 +809,9 @@ impl Decode for ApiResponse {
                 tag: u16::decode(buf, cursor)?,
             },
             12 => ApiResponse::ShuttingDown,
+            13 => ApiResponse::HealthReply {
+                report: HealthReport::decode(buf, cursor)?,
+            },
             tag => ApiResponse::Unknown { tag },
         })
     }
@@ -1019,6 +1105,7 @@ mod tests {
             ApiRequest::Close { tenant: 7 },
             ApiRequest::ServerStats,
             ApiRequest::Shutdown,
+            ApiRequest::Health,
         ]
     }
 
@@ -1091,6 +1178,21 @@ mod tests {
             },
             ApiResponse::Unsupported { tag: 99 },
             ApiResponse::ShuttingDown,
+            ApiResponse::HealthReply {
+                report: HealthReport {
+                    uptime_ms: 1234,
+                    requests_total: 56,
+                    frame_errors: 1,
+                    tenants_live: 3,
+                    tenants_evicted: 2,
+                    measured_bytes: 4096,
+                    budget_bytes: 1 << 20,
+                    budget_headroom_bytes: (1 << 20) - 4096,
+                    spill_bytes: 512,
+                    overloaded: 4,
+                    shutting_down: false,
+                },
+            },
         ];
         let frame = frame_responses(&resps);
         let back = unframe_responses(&frame).expect("own frame decodes");
@@ -1139,6 +1241,104 @@ mod tests {
                 ApiRequest::Stats { tenant: 2 },
             ]
         );
+    }
+
+    /// A request record as decoded by a build that predates the
+    /// `Health` tag (11): anything ≥ 11 is unknown and its body is
+    /// left to the length-prefix skip, exactly like the real decoder's
+    /// catch-all arm.
+    struct PreHealthRequest(ApiRequest);
+    impl Decode for PreHealthRequest {
+        fn decode(buf: &[u8], cursor: &mut usize) -> Option<Self> {
+            let mut peek = *cursor;
+            let tag = u16::decode(buf, &mut peek)?;
+            if tag >= 11 {
+                *cursor = peek;
+                return Some(PreHealthRequest(ApiRequest::Unknown { tag }));
+            }
+            ApiRequest::decode(buf, cursor).map(PreHealthRequest)
+        }
+    }
+
+    /// A response record as decoded by a build that predates the
+    /// `HealthReply` tag (13).
+    struct PreHealthResponse(ApiResponse);
+    impl Decode for PreHealthResponse {
+        fn decode(buf: &[u8], cursor: &mut usize) -> Option<Self> {
+            let mut peek = *cursor;
+            let tag = u16::decode(buf, &mut peek)?;
+            if tag >= 13 {
+                *cursor = peek;
+                return Some(PreHealthResponse(ApiResponse::Unknown { tag }));
+            }
+            ApiResponse::decode(buf, cursor).map(PreHealthResponse)
+        }
+    }
+
+    #[test]
+    fn old_server_skips_health_in_a_multi_record_frame() {
+        // New client → old server: a frame interleaving Health (tag 11,
+        // negotiated as additive) between data records. The pre-Health
+        // decoder must answer the unknown record without losing the
+        // trailing ones in the same frame.
+        let frame = frame_requests(&[
+            ApiRequest::Query { tenant: 1 },
+            ApiRequest::Health,
+            ApiRequest::Stats { tenant: 2 },
+            ApiRequest::Health,
+        ]);
+        let back: Vec<ApiRequest> = unframe_records::<PreHealthRequest>(&frame, |r| {
+            matches!(r.0, ApiRequest::Unknown { .. })
+        })
+        .expect("old decoder keeps the frame")
+        .into_iter()
+        .map(|r| r.0)
+        .collect();
+        assert_eq!(
+            back,
+            vec![
+                ApiRequest::Query { tenant: 1 },
+                ApiRequest::Unknown { tag: 11 },
+                ApiRequest::Stats { tenant: 2 },
+                ApiRequest::Unknown { tag: 11 },
+            ]
+        );
+    }
+
+    #[test]
+    fn old_client_skips_health_reply_body_by_length_prefix() {
+        // New server → old client: HealthReply (tag 13) carries an
+        // 85-byte body the old build cannot parse. The length prefix
+        // must carry the decoder over it to the trailing records.
+        let report = HealthReport {
+            uptime_ms: 99,
+            requests_total: 7,
+            budget_headroom_bytes: u64::MAX,
+            ..HealthReport::default()
+        };
+        let frame = frame_responses(&[
+            ApiResponse::Closed { tenant: 4 },
+            ApiResponse::HealthReply { report },
+            ApiResponse::ShuttingDown,
+        ]);
+        let back: Vec<ApiResponse> = unframe_records::<PreHealthResponse>(&frame, |r| {
+            matches!(r.0, ApiResponse::Unknown { .. })
+        })
+        .expect("old decoder keeps the frame")
+        .into_iter()
+        .map(|r| r.0)
+        .collect();
+        assert_eq!(
+            back,
+            vec![
+                ApiResponse::Closed { tenant: 4 },
+                ApiResponse::Unknown { tag: 13 },
+                ApiResponse::ShuttingDown,
+            ]
+        );
+        // The new build decodes the same frame in full, of course.
+        let new = unframe_responses(&frame).expect("new decoder");
+        assert_eq!(new[1], ApiResponse::HealthReply { report });
     }
 
     #[test]

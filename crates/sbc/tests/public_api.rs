@@ -16,8 +16,8 @@
 #[allow(unused_imports)]
 use sbc::api::{
     frame_requests, frame_responses, negotiate, tenant_pipeline, unframe_requests,
-    unframe_responses, CoresetPoint, ServerStatsReport, TenantId, TenantStats, FRAME_MAGIC,
-    MAX_DIMS, MAX_LOG_DELTA, MAX_SHARDS, MIN_SUPPORTED_VERSION, PROTOCOL_VERSION,
+    unframe_responses, CoresetPoint, HealthReport, ServerStatsReport, TenantId, TenantStats,
+    FRAME_MAGIC, MAX_DIMS, MAX_LOG_DELTA, MAX_SHARDS, MIN_SUPPORTED_VERSION, PROTOCOL_VERSION,
 };
 #[allow(unused_imports)]
 use sbc::{api, clustering, core, distributed, flow, geometry, hashing, obs, prelude, streaming};
@@ -39,6 +39,7 @@ const SURFACE: &[&str] = &[
     "sbc::api::ApiResponse",
     "sbc::api::CoresetPoint",
     "sbc::api::FRAME_MAGIC",
+    "sbc::api::HealthReport",
     "sbc::api::MAX_DIMS",
     "sbc::api::MAX_LOG_DELTA",
     "sbc::api::MAX_SHARDS",

@@ -16,8 +16,20 @@
 //! sbc-serve [--budget-bytes N] [--max-tenants N] [--spill-dir PATH]
 //!           [--policy shed|reject] [--max-frame-bytes N]
 //!           [--telemetry-out PATH] [--telemetry-every MS]
+//!           [--slow-ms N] [--slow-dump-dir PATH]
 //!           [--demo] [--tenants N] [--rounds N] [--seed S]
 //! ```
+//!
+//! `--telemetry-out PATH` turns the metrics registry on and writes the
+//! rolling JSON timeline to `PATH` plus a Prometheus exposition to the
+//! sibling `PATH` with a `.prom` extension. A `--demo` run re-validates
+//! that exposition at shutdown and exits nonzero if it is malformed, so
+//! CI catches exposition drift the moment it happens. `--slow-ms N`
+//! arms the slow-request trigger: any request slower than `N` ms dumps
+//! the flight-recorder ring to `slow-<tenant>-<seq>.json` under
+//! `--slow-dump-dir` (default: the working directory), bounded by the
+//! library's dump budget so an aggressive threshold on a busy server
+//! exhausts the budget rather than the disk.
 
 use std::io::{Read, Write};
 use std::time::Duration;
@@ -42,6 +54,8 @@ fn main() {
     let mut max_frame_bytes = DEFAULT_MAX_FRAME_BYTES;
     let mut telemetry_out: Option<String> = None;
     let mut telemetry_every_ms = sbc_obs::timeline::DEFAULT_CADENCE_MS;
+    let mut slow_ms = 0u64;
+    let mut slow_dump_dir: Option<String> = None;
     let mut demo = false;
     let mut tenants = 64usize;
     let mut rounds = 0usize; // demo rounds; 0 = run until killed
@@ -93,6 +107,18 @@ fn main() {
                     .parse()
                     .expect("--telemetry-every takes a positive integer");
             }
+            "--slow-ms" => {
+                slow_ms = args
+                    .next()
+                    .expect("--slow-ms needs a duration in ms")
+                    .parse()
+                    .expect("--slow-ms takes a positive integer");
+            }
+            "--slow-dump-dir" => {
+                let dir = args.next().expect("--slow-dump-dir needs a path");
+                std::fs::create_dir_all(&dir).expect("create slow-dump dir");
+                slow_dump_dir = Some(dir);
+            }
             "--demo" => demo = true,
             "--tenants" => {
                 tenants = args
@@ -119,14 +145,33 @@ fn main() {
         }
     }
 
+    // Telemetry implies metrics: the sampler would otherwise export an
+    // empty registry. The exposition lands next to the JSON timeline so
+    // one flag wires up both scrape formats.
+    let prom_out = telemetry_out
+        .as_ref()
+        .map(|path| std::path::Path::new(path).with_extension("prom"));
     let sampler = telemetry_out.as_ref().map(|path| {
+        sbc_obs::set_enabled(true);
         sbc_obs::timeline::Sampler::start(
             Duration::from_millis(telemetry_every_ms),
             sbc_obs::timeline::DEFAULT_CAPACITY,
             Some(path.into()),
-            None,
+            prom_out.clone(),
         )
     });
+    if slow_ms > 0 || slow_dump_dir.is_some() {
+        sbc_obs::trace::set_enabled(true);
+        if let Some(dir) = &slow_dump_dir {
+            sbc_obs::trace::set_crash_dir(Some(dir.into()));
+        }
+        sbc_obs::svc::set_slow_request(sbc_obs::svc::SlowRequestConfig {
+            threshold_ns: slow_ms.saturating_mul(1_000_000),
+            probe_seed: seed,
+            probe_every: 0,
+            max_dumps: 0, // the library's default budget
+        });
+    }
 
     let service = CoresetService::new(config);
     if demo {
@@ -141,6 +186,18 @@ fn main() {
     }
     if let Some(s) = sampler {
         s.stop();
+    }
+    // A demo run doubles as a self-check of the scrape surface: the
+    // exposition the sampler just flushed must parse, or the process
+    // fails loudly instead of publishing garbage for scrapers.
+    if demo {
+        if let Some(prom) = &prom_out {
+            let body = std::fs::read_to_string(prom).unwrap_or_default();
+            if let Err(e) = sbc_obs::timeline::validate_prometheus(&body) {
+                eprintln!("sbc-serve: malformed Prometheus exposition at {prom:?}: {e}");
+                std::process::exit(1);
+            }
+        }
     }
 }
 

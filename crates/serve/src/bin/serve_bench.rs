@@ -19,10 +19,20 @@
 //!   schema-checked, not ratio-gated: absolute latency is
 //!   host-dependent).
 //!
+//! The bench also emits a `"service_obs"` section: an interleaved
+//! best-of comparison of the same multi-tenant drive with service
+//! metrics off vs on (`overhead_ratio`, gated ≥ 0.98 by `bench_guard`
+//! when the `obs` feature is compiled in), plus request-latency
+//! percentiles from the per-tenant SLO histograms. `--prom PATH`
+//! writes (and validates) one Prometheus exposition of the final
+//! instrumented run; `--slow-dump-dir PATH` arms the deterministic
+//! slow-request probe for one extra untimed run so CI can archive a
+//! `slow-<tenant>-<seq>.json` flight-recorder dump.
+//!
 //! `--fault-profile` routes traffic through the [`Lossy`] transport
 //! (seeded envelope drops/duplicates + retries, deduplicated
 //! server-side); identity must still hold. `--merge-into` folds the
-//! section into an existing `BENCH_streaming.json`.
+//! sections into an existing `BENCH_streaming.json`.
 
 use std::time::Instant;
 
@@ -254,6 +264,8 @@ fn serving_json(
         .field("multi_tenant_efficiency", efficiency)
         .field("p50_admission_ns", percentile(admission, 0.50))
         .field("p99_admission_ns", percentile(admission, 0.99))
+        .field("p999_admission_ns", percentile(admission, 0.999))
+        .field("admission_samples", admission.len() as u64)
         .field("peak_bytes_per_tenant", peak_bytes_per_tenant)
         .field("coresets_bit_identical", identical)
         .field("identity_checks", identity_checks as u64)
@@ -269,27 +281,108 @@ fn serving_json(
         .field("faults", faults)
 }
 
-/// Replaces (or appends) the `"serving"` key of a parsed BENCH document,
+/// Replaces (or appends) one top-level key of a parsed BENCH document,
 /// preserving every other key and their order. `JsonValue` has no
 /// mutation API, so the object is rebuilt pair-by-pair.
-fn merge_serving(doc: &JsonValue, serving: JsonValue) -> JsonValue {
+fn merge_section(doc: &JsonValue, key: &str, section: JsonValue) -> JsonValue {
     let pairs = doc
         .as_object()
         .expect("BENCH file must be a JSON object at top level");
     let mut out = JsonValue::object();
     let mut replaced = false;
-    for (key, value) in pairs {
-        if key == "serving" {
-            out = out.field(key, serving.clone());
+    for (k, value) in pairs {
+        if k == key {
+            out = out.field(k, section.clone());
             replaced = true;
         } else {
-            out = out.field(key, value.clone());
+            out = out.field(k, value.clone());
         }
     }
     if !replaced {
-        out = out.field("serving", serving);
+        out = out.field(key, section);
     }
     out
+}
+
+/// One observability-overhead drive: fresh service, the same schedule
+/// subset, with the *service-plane* recorders in the given state. The
+/// global metrics flag is on for both legs — the backend pipeline's own
+/// instrumentation costs the same on each side, so the ratio isolates
+/// exactly what this PR's service plane adds. Returns ops/s. Resets the
+/// global registries first so the final enabled run leaves exactly one
+/// drive's worth of SLO data behind for the percentile report and the
+/// `--prom` export.
+fn obs_drive(schedules: &[Schedule], metrics_on: bool) -> f64 {
+    sbc_obs::reset();
+    sbc_obs::svc::reset();
+    sbc_obs::set_enabled(true);
+    sbc_obs::svc::set_metrics_enabled(metrics_on);
+    let mut client = Client::new(InProcess::new(CoresetService::new(ServeConfig::default())));
+    client.hello().expect("hello");
+    let (ops, secs) = drive(&mut client, schedules, 16, 64);
+    sbc_obs::set_enabled(false);
+    sbc_obs::svc::set_metrics_enabled(true);
+    ops as f64 / secs
+}
+
+/// The `"service_obs"` section: the instrumentation-overhead comparison
+/// plus request-latency percentiles out of the per-tenant SLO
+/// histograms. Runs are interleaved (off, on, off, on, …) and best-of
+/// so a transient stall on one side doesn't masquerade as overhead.
+fn service_obs_json(schedules: &[Schedule], shards: u32, slow_dump_dir: Option<&str>) -> JsonValue {
+    // Feature probe: with `obs` compiled out the flag can never stick,
+    // so the ratio below compares two identical no-op builds.
+    sbc_obs::set_enabled(true);
+    let feature_enabled = sbc_obs::svc::metrics_active();
+    sbc_obs::set_enabled(false);
+
+    let subset = &schedules[..schedules.len().min(256)];
+    let mut off = 0.0f64;
+    let mut on = 0.0f64;
+    for _ in 0..3 {
+        off = off.max(obs_drive(subset, false));
+        on = on.max(obs_drive(subset, true));
+    }
+    let overhead_ratio = if off > 0.0 { on / off } else { 0.0 };
+
+    // The last enabled drive's insert-latency histogram (the dominant
+    // request kind in the schedule).
+    let class = if shards > 1 { "sharded" } else { "single" };
+    let name = format!("svc.latency.{class}.insert");
+    let snap = sbc_obs::snapshot();
+    let hist = snap.histogram(&name).cloned().unwrap_or_default();
+
+    // One extra untimed instrumented run with the deterministic
+    // slow-request probe armed, purely to produce a dump artifact. The
+    // probe rate is sized to the run: a 32-tenant drive issues a few
+    // hundred requests, so 1-in-64 guarantees several dumps while a
+    // production-ish 1-in-512 would leave a small smoke run empty.
+    if let Some(dir) = slow_dump_dir {
+        std::fs::create_dir_all(dir).expect("create slow-dump dir");
+        sbc_obs::trace::set_enabled(true);
+        sbc_obs::trace::set_crash_dir(Some(dir.into()));
+        sbc_obs::svc::set_slow_request(sbc_obs::svc::SlowRequestConfig {
+            threshold_ns: 0,
+            probe_seed: 0x5b0c,
+            probe_every: 64,
+            max_dumps: 0,
+        });
+        let _ = obs_drive(&subset[..subset.len().min(32)], true);
+        sbc_obs::svc::set_slow_request(sbc_obs::svc::SlowRequestConfig::DISABLED);
+        sbc_obs::trace::set_enabled(false);
+        sbc_obs::trace::set_crash_dir(None);
+    }
+
+    JsonValue::object()
+        .field("feature_enabled", feature_enabled)
+        .field("metrics_disabled_ops_per_sec", off)
+        .field("metrics_enabled_ops_per_sec", on)
+        .field("overhead_ratio", overhead_ratio)
+        .field("p50_request_ns", hist.quantile(0.50))
+        .field("p99_request_ns", hist.quantile(0.99))
+        .field("p999_request_ns", hist.quantile(0.999))
+        .field("request_samples", hist.count)
+        .field("slow_dumps", sbc_obs::svc::slow_dumps())
 }
 
 fn main() {
@@ -302,6 +395,8 @@ fn main() {
     let mut fault_profile = "none".to_string();
     let mut json_out: Option<String> = None;
     let mut merge_into: Option<String> = None;
+    let mut prom_out: Option<String> = None;
+    let mut slow_dump_dir: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -356,6 +451,10 @@ fn main() {
             }
             "--json" => json_out = Some(args.next().expect("--json needs a path")),
             "--merge-into" => merge_into = Some(args.next().expect("--merge-into needs a path")),
+            "--prom" => prom_out = Some(args.next().expect("--prom needs a path")),
+            "--slow-dump-dir" => {
+                slow_dump_dir = Some(args.next().expect("--slow-dump-dir needs a path"));
+            }
             flag => panic!("unknown flag {flag}"),
         }
     }
@@ -442,16 +541,56 @@ fn main() {
     );
     assert!(identical, "served coresets must be bit-identical");
 
+    // Phase 3 — the observability-overhead comparison (and, when the
+    // prom export is requested, one validated scrape of the SLO data
+    // the final instrumented drive left behind).
+    let service_obs = service_obs_json(&schedules, shards, slow_dump_dir.as_deref());
+    eprintln!(
+        "serve_bench: service_obs overhead ratio {:.3} (p99 request {}ns, feature {})",
+        service_obs
+            .get("overhead_ratio")
+            .and_then(JsonValue::as_f64)
+            .unwrap_or(0.0),
+        service_obs
+            .get("p99_request_ns")
+            .and_then(JsonValue::as_u64)
+            .unwrap_or(0),
+        if service_obs
+            .get("feature_enabled")
+            .and_then(JsonValue::as_bool)
+            == Some(true)
+        {
+            "on"
+        } else {
+            "off"
+        },
+    );
+    if let Some(path) = &prom_out {
+        // `svc::sampled_counters` is gated on the live flag; flip it on
+        // just long enough to scrape what the instrumented run recorded.
+        sbc_obs::set_enabled(true);
+        let mut tl = sbc_obs::timeline::Timeline::new(4);
+        tl.sample();
+        let text = tl.prometheus();
+        sbc_obs::set_enabled(false);
+        sbc_obs::timeline::validate_prometheus(&text).expect("exposition must validate");
+        std::fs::write(path, text).expect("write Prometheus exposition");
+        eprintln!("serve_bench: wrote {path}");
+    }
+
     if let Some(path) = &merge_into {
         let text =
             std::fs::read_to_string(path).unwrap_or_else(|e| panic!("--merge-into {path}: {e}"));
         let doc = JsonValue::parse(&text).unwrap_or_else(|e| panic!("--merge-into {path}: {e}"));
-        let merged = merge_serving(&doc, serving.clone());
+        let merged = merge_section(&doc, "serving", serving.clone());
+        let merged = merge_section(&merged, "service_obs", service_obs.clone());
         std::fs::write(path, merged.render_pretty() + "\n").expect("write merged BENCH file");
-        eprintln!("serve_bench: merged \"serving\" into {path}");
+        eprintln!("serve_bench: merged \"serving\" + \"service_obs\" into {path}");
     }
     if let Some(path) = &json_out {
-        let doc = JsonValue::object().field("serving", serving);
+        let doc = JsonValue::object()
+            .field("serving", serving)
+            .field("service_obs", service_obs);
         std::fs::write(path, doc.render_pretty() + "\n").expect("write JSON report");
         eprintln!("serve_bench: wrote {path}");
     }

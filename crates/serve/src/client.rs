@@ -5,7 +5,8 @@
 
 use sbc::api::{
     frame_requests, unframe_responses, ApiError, ApiRequest, ApiResponse, CoresetPoint,
-    ServerStatsReport, TenantId, TenantSpec, TenantStats, MIN_SUPPORTED_VERSION, PROTOCOL_VERSION,
+    HealthReport, ServerStatsReport, TenantId, TenantSpec, TenantStats, MIN_SUPPORTED_VERSION,
+    PROTOCOL_VERSION,
 };
 use sbc::distributed::wire::Envelope;
 use sbc::streaming::codec::{from_bytes, to_bytes};
@@ -314,6 +315,14 @@ impl<T: Transport> Client<T> {
     pub fn server_stats(&mut self) -> Result<ServerStatsReport, SbcError> {
         match Self::ok(self.call(ApiRequest::ServerStats)?)? {
             ApiResponse::ServerStatsReply { stats } => Ok(stats),
+            other => Err(Self::unexpected(&other)),
+        }
+    }
+
+    /// Liveness/readiness snapshot for scrapers and load balancers.
+    pub fn health(&mut self) -> Result<HealthReport, SbcError> {
+        match Self::ok(self.call(ApiRequest::Health)?)? {
+            ApiResponse::HealthReply { report } => Ok(report),
             other => Err(Self::unexpected(&other)),
         }
     }

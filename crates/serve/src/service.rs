@@ -10,7 +10,7 @@ use rand::SeedableRng;
 
 use sbc::api::{
     frame_responses, negotiate, unframe_requests, ApiError, ApiRequest, ApiResponse, CoresetPoint,
-    ServerStatsReport, TenantId, TenantSpec, TenantStats,
+    HealthReport, ServerStatsReport, TenantId, TenantSpec, TenantStats,
 };
 use sbc::distributed::wire::Envelope;
 use sbc::streaming::codec::{from_bytes, to_bytes};
@@ -18,6 +18,8 @@ use sbc::{
     Coreset, CoresetParams, Point, SbcError, ShardedIngest, Snapshot, StreamCoresetBuilder,
     StreamOp, StreamParams,
 };
+use sbc_obs::svc::{self, RequestClass, RequestId, RequestTag, TenantState};
+use sbc_obs::trace;
 
 /// What to do with a mutating request that would run past the memory
 /// budget.
@@ -230,6 +232,25 @@ pub struct CoresetService {
     overloaded: u64,
     evictions: u64,
     restores: u64,
+    /// Evictions forced by the shed admission policy (a subset of
+    /// `evictions`).
+    shed_evictions: u64,
+    /// Live slots, maintained at every lifecycle transition so
+    /// [`CoresetService::server_stats`] and the per-request gauge
+    /// publish are O(1) instead of O(tenants) slot walks.
+    live_tenants: u64,
+    /// Evicted slots (same maintenance).
+    evicted_tenants: u64,
+    /// Bytes currently parked in spill containers by evicted tenants.
+    spill_bytes: u64,
+    /// Frames/envelopes that failed to decode (bad magic, truncated,
+    /// malformed record).
+    frame_errors: u64,
+    /// Records handled — the [`RequestId::seq`] source and the health
+    /// report's `requests_total`.
+    request_seq: u64,
+    /// Service start time (the health report's uptime).
+    started: Instant,
     shutting_down: bool,
     /// Nanoseconds the admission decision took, per admitted-or-refused
     /// request — drained by [`CoresetService::take_admission_ns`]
@@ -272,6 +293,13 @@ impl CoresetService {
             overloaded: 0,
             evictions: 0,
             restores: 0,
+            shed_evictions: 0,
+            live_tenants: 0,
+            evicted_tenants: 0,
+            spill_bytes: 0,
+            frame_errors: 0,
+            request_seq: 0,
+            started: Instant::now(),
             shutting_down: false,
             admission_ns: Vec::new(),
             admission_ns_at: 0,
@@ -289,16 +317,24 @@ impl CoresetService {
     /// Whole-service accounting (also served as
     /// [`ApiResponse::ServerStatsReply`]).
     pub fn server_stats(&self) -> ServerStatsReport {
-        let (mut live, mut evicted) = (0u64, 0u64);
-        for slot in self.slots.values() {
-            match slot {
-                Slot::Live(_) => live += 1,
-                Slot::Evicted { .. } => evicted += 1,
+        #[cfg(debug_assertions)]
+        {
+            let (mut live, mut evicted) = (0u64, 0u64);
+            for slot in self.slots.values() {
+                match slot {
+                    Slot::Live(_) => live += 1,
+                    Slot::Evicted { .. } => evicted += 1,
+                }
             }
+            debug_assert_eq!(
+                (live, evicted),
+                (self.live_tenants, self.evicted_tenants),
+                "maintained tenant counts drifted from the slot table"
+            );
         }
         ServerStatsReport {
-            tenants_live: live,
-            tenants_evicted: evicted,
+            tenants_live: self.live_tenants,
+            tenants_evicted: self.evicted_tenants,
             measured_bytes: self.total_measured as u64,
             peak_measured_bytes: self.peak_measured as u64,
             budget_bytes: self.config.budget_bytes as u64,
@@ -306,6 +342,30 @@ impl CoresetService {
             overloaded: self.overloaded,
             evictions: self.evictions,
             restores: self.restores,
+        }
+    }
+
+    /// Machine-readable liveness snapshot (also served as
+    /// [`ApiResponse::HealthReply`]). Purely observational — nothing in
+    /// it feeds back into service decisions.
+    pub fn health_report(&self) -> HealthReport {
+        let budget = self.config.budget_bytes as u64;
+        HealthReport {
+            uptime_ms: self.started.elapsed().as_millis() as u64,
+            requests_total: self.request_seq,
+            frame_errors: self.frame_errors,
+            tenants_live: self.live_tenants,
+            tenants_evicted: self.evicted_tenants,
+            measured_bytes: self.total_measured as u64,
+            budget_bytes: budget,
+            budget_headroom_bytes: if budget == 0 {
+                u64::MAX
+            } else {
+                budget.saturating_sub(self.total_measured as u64)
+            },
+            spill_bytes: self.spill_bytes,
+            overloaded: self.overloaded,
+            shutting_down: self.shutting_down,
         }
     }
 
@@ -363,19 +423,24 @@ impl CoresetService {
                 measured: t.measured,
             },
         );
+        self.live_tenants -= 1;
+        self.evicted_tenants += 1;
+        self.spill_bytes += bytes;
         self.evictions += 1;
         sbc_obs::counter!("serve.evictions").incr();
+        svc::observe_tenant_state(tenant, TenantState::Evicted, bytes);
         Ok(bytes)
     }
 
     /// Makes a tenant live, restoring it from its spill if needed.
     /// `Ok(restored)` tells whether a restore happened.
-    fn ensure_live(&mut self, tenant: TenantId) -> Result<bool, SbcError> {
+    fn ensure_live(&mut self, tenant: TenantId, rid: RequestId) -> Result<bool, SbcError> {
         match self.slots.get(&tenant) {
             Some(Slot::Live(_)) => return Ok(false),
             None => return Err(ApiError::UnknownTenant { tenant }.into()),
             Some(Slot::Evicted { .. }) => {}
         }
+        let _restore_span = trace::span("svc.restore", rid.causal(), 0);
         let Some(Slot::Evicted {
             spec,
             spill,
@@ -428,16 +493,21 @@ impl CoresetService {
                 peak_measured: measured,
             }),
         );
+        self.evicted_tenants -= 1;
+        self.live_tenants += 1;
+        self.spill_bytes -= container.len() as u64;
         self.restores += 1;
         sbc_obs::counter!("serve.restores").incr();
+        svc::observe_restore(rid);
+        svc::observe_tenant_state(tenant, TenantState::Live, measured as u64);
         Ok(true)
     }
 
     /// The admission decision for a mutating request touching `exempt`.
     /// Returns the refusal response when the request must not proceed.
     /// Always records how long the decision took.
-    fn admit(&mut self, exempt: TenantId) -> Option<ApiResponse> {
-        self.admit_with(exempt, 0)
+    fn admit(&mut self, exempt: TenantId, rid: RequestId) -> Option<ApiResponse> {
+        self.admit_with(exempt, 0, rid)
     }
 
     /// The admission decision for a request about to restore `tenant`
@@ -446,15 +516,21 @@ impl CoresetService {
     /// brought back past the budget (the restore-on-demand path would
     /// otherwise bypass admission control entirely). A no-op when the
     /// tenant is live or unknown.
-    fn admit_restore(&mut self, tenant: TenantId) -> Option<ApiResponse> {
+    fn admit_restore(&mut self, tenant: TenantId, rid: RequestId) -> Option<ApiResponse> {
         let incoming = match self.slots.get(&tenant) {
             Some(Slot::Evicted { measured, .. }) => *measured,
             _ => return None,
         };
-        self.admit_with(tenant, incoming)
+        self.admit_with(tenant, incoming, rid)
     }
 
-    fn admit_with(&mut self, exempt: TenantId, incoming: usize) -> Option<ApiResponse> {
+    fn admit_with(
+        &mut self,
+        exempt: TenantId,
+        incoming: usize,
+        rid: RequestId,
+    ) -> Option<ApiResponse> {
+        let _admit_span = trace::span("svc.admit", rid.causal(), incoming as u64);
         let t0 = Instant::now();
         let verdict = self.admit_inner(exempt, incoming);
         self.record_admission_ns(t0.elapsed().as_nanos() as u64);
@@ -503,6 +579,7 @@ impl CoresetService {
                         if self.evict_tenant(id).is_err() {
                             break;
                         }
+                        self.shed_evictions += 1;
                     }
                     None => break,
                 }
@@ -526,6 +603,7 @@ impl CoresetService {
             self.total_measured = self.total_measured - t.measured + now;
             t.measured = now;
             self.peak_measured = self.peak_measured.max(self.total_measured);
+            svc::observe_tenant_state(tenant, TenantState::Live, now as u64);
         }
     }
 
@@ -536,9 +614,43 @@ impl CoresetService {
         }
     }
 
-    /// Handles one request record.
+    /// Handles one request record: assigns it a [`RequestId`], opens
+    /// the `svc.request` span (the root of the request's causal chain
+    /// in the flight recorder), dispatches, then publishes SLO
+    /// telemetry and the slow-request trigger. All of it is
+    /// observational — the response is exactly what the dispatch chose,
+    /// bit for bit, in every feature state.
     pub fn handle(&mut self, req: &ApiRequest) -> ApiResponse {
         sbc_obs::counter!("serve.requests").incr();
+        self.request_seq += 1;
+        let rid = match Self::request_tenant(req) {
+            Some(tenant) => RequestId::for_tenant(tenant, self.request_seq),
+            None => RequestId::service(self.request_seq),
+        };
+        let tag = Self::request_tag(req);
+        // Class is read before dispatch so a Close still reports under
+        // the tenant's class, not the now-empty slot's.
+        let class = svc::metrics_active().then(|| self.request_class(rid));
+        let timer = svc::RequestTimer::start();
+        let span = trace::span("svc.request", rid.causal(), tag as u64);
+        let resp = self.dispatch(req, rid);
+        let error_code = Self::response_error(&resp);
+        trace::instant(
+            "svc.response",
+            rid.causal(),
+            u64::from(error_code.unwrap_or(0)),
+        );
+        drop(span);
+        let elapsed_ns = timer.elapsed_ns();
+        if let Some(class) = class {
+            svc::observe_request(class, tag, rid, elapsed_ns, error_code);
+            self.publish_gauges();
+        }
+        svc::maybe_dump_slow(rid, elapsed_ns);
+        resp
+    }
+
+    fn dispatch(&mut self, req: &ApiRequest, rid: RequestId) -> ApiResponse {
         match req {
             ApiRequest::Hello {
                 min_version,
@@ -547,12 +659,12 @@ impl CoresetService {
                 Ok(version) => ApiResponse::HelloAck { version },
                 Err(e) => Self::err(e.into()),
             },
-            ApiRequest::Open { tenant, spec } => self.open(*tenant, *spec),
-            ApiRequest::Insert { tenant, points } => self.mutate(*tenant, points, false),
-            ApiRequest::Delete { tenant, points } => self.mutate(*tenant, points, true),
-            ApiRequest::Query { tenant } => self.query(*tenant),
+            ApiRequest::Open { tenant, spec } => self.open(*tenant, *spec, rid),
+            ApiRequest::Insert { tenant, points } => self.mutate(*tenant, points, false, rid),
+            ApiRequest::Delete { tenant, points } => self.mutate(*tenant, points, true, rid),
+            ApiRequest::Query { tenant } => self.query(*tenant, rid),
             ApiRequest::Stats { tenant } => self.stats(*tenant),
-            ApiRequest::Checkpoint { tenant } => self.checkpoint(*tenant),
+            ApiRequest::Checkpoint { tenant } => self.checkpoint(*tenant, rid),
             ApiRequest::Evict { tenant } => self.evict(*tenant),
             ApiRequest::Close { tenant } => self.close(*tenant),
             ApiRequest::ServerStats => ApiResponse::ServerStatsReply {
@@ -562,11 +674,90 @@ impl CoresetService {
                 self.shutting_down = true;
                 ApiResponse::ShuttingDown
             }
+            ApiRequest::Health => ApiResponse::HealthReply {
+                report: self.health_report(),
+            },
             ApiRequest::Unknown { tag } => ApiResponse::Unsupported { tag: *tag },
         }
     }
 
-    fn open(&mut self, tenant: TenantId, spec: TenantSpec) -> ApiResponse {
+    /// The tenant a request addresses, if any.
+    fn request_tenant(req: &ApiRequest) -> Option<TenantId> {
+        match req {
+            ApiRequest::Open { tenant, .. }
+            | ApiRequest::Insert { tenant, .. }
+            | ApiRequest::Delete { tenant, .. }
+            | ApiRequest::Query { tenant }
+            | ApiRequest::Stats { tenant }
+            | ApiRequest::Checkpoint { tenant }
+            | ApiRequest::Evict { tenant }
+            | ApiRequest::Close { tenant } => Some(*tenant),
+            ApiRequest::Hello { .. }
+            | ApiRequest::ServerStats
+            | ApiRequest::Shutdown
+            | ApiRequest::Health
+            | ApiRequest::Unknown { .. } => None,
+        }
+    }
+
+    /// Histogram key for the request's wire tag.
+    fn request_tag(req: &ApiRequest) -> RequestTag {
+        match req {
+            ApiRequest::Hello { .. } => RequestTag::Hello,
+            ApiRequest::Open { .. } => RequestTag::Open,
+            ApiRequest::Insert { .. } => RequestTag::Insert,
+            ApiRequest::Delete { .. } => RequestTag::Delete,
+            ApiRequest::Query { .. } => RequestTag::Query,
+            ApiRequest::Stats { .. } => RequestTag::Stats,
+            ApiRequest::Checkpoint { .. } => RequestTag::Checkpoint,
+            ApiRequest::Evict { .. } => RequestTag::Evict,
+            ApiRequest::Close { .. } => RequestTag::Close,
+            ApiRequest::ServerStats => RequestTag::ServerStats,
+            ApiRequest::Shutdown => RequestTag::Shutdown,
+            ApiRequest::Health => RequestTag::Health,
+            ApiRequest::Unknown { .. } => RequestTag::Unknown,
+        }
+    }
+
+    /// The wire error code a response carries, if it is a refusal or
+    /// failure (the stable 200–231 registry; `Overloaded` and
+    /// `Unsupported` map to their coded equivalents 220/221).
+    fn response_error(resp: &ApiResponse) -> Option<u16> {
+        match resp {
+            ApiResponse::Error { code, .. } => Some(*code),
+            ApiResponse::Overloaded { .. } => Some(220),
+            ApiResponse::Unsupported { .. } => Some(221),
+            _ => None,
+        }
+    }
+
+    /// Histogram class for the request's tenant: sharded specs pay a
+    /// merge on query, so their tails are tracked separately. Unknown
+    /// and service-scoped requests count as single.
+    fn request_class(&self, rid: RequestId) -> RequestClass {
+        let shards = match self.slots.get(&rid.tenant) {
+            Some(Slot::Live(t)) => t.spec.shards,
+            Some(Slot::Evicted { spec, .. }) => spec.shards,
+            None => 1,
+        };
+        if shards > 1 {
+            RequestClass::Sharded
+        } else {
+            RequestClass::Single
+        }
+    }
+
+    /// Publishes the service gauges off the O(1) maintained fields.
+    fn publish_gauges(&self) {
+        svc::set_gauge(svc::Gauge::TenantsLive, self.live_tenants);
+        svc::set_gauge(svc::Gauge::TenantsEvicted, self.evicted_tenants);
+        svc::set_gauge(svc::Gauge::SpillBytes, self.spill_bytes);
+        svc::set_gauge(svc::Gauge::AdmissionRejects, self.overloaded);
+        svc::set_gauge(svc::Gauge::AdmissionSheds, self.shed_evictions);
+        svc::set_gauge(svc::Gauge::Restores, self.restores);
+    }
+
+    fn open(&mut self, tenant: TenantId, spec: TenantSpec, rid: RequestId) -> ApiResponse {
         enum Known {
             LiveSame,
             EvictedSame,
@@ -588,10 +779,10 @@ impl CoresetService {
                 }
             }
             Known::EvictedSame => {
-                if let Some(refusal) = self.admit_restore(tenant) {
+                if let Some(refusal) = self.admit_restore(tenant, rid) {
                     return refusal;
                 }
-                return match self.ensure_live(tenant) {
+                return match self.ensure_live(tenant, rid) {
                     Ok(_) => ApiResponse::Opened {
                         tenant,
                         restored: true,
@@ -609,7 +800,7 @@ impl CoresetService {
                 budget_bytes: self.config.budget_bytes as u64,
             };
         }
-        if let Some(refusal) = self.admit(tenant) {
+        if let Some(refusal) = self.admit(tenant, rid) {
             return refusal;
         }
         let backend = match Backend::build(&spec) {
@@ -628,24 +819,32 @@ impl CoresetService {
                 peak_measured: measured,
             }),
         );
+        self.live_tenants += 1;
         sbc_obs::counter!("serve.tenants.opened").incr();
+        svc::observe_tenant_state(tenant, TenantState::Live, measured as u64);
         ApiResponse::Opened {
             tenant,
             restored: false,
         }
     }
 
-    fn mutate(&mut self, tenant: TenantId, points: &[Point], delete: bool) -> ApiResponse {
+    fn mutate(
+        &mut self,
+        tenant: TenantId,
+        points: &[Point],
+        delete: bool,
+        rid: RequestId,
+    ) -> ApiResponse {
         // An evicted target's footprint is admitted *before* the
         // restore pulls it back into memory; the refusal leaves the
         // tenant on disk and the budget intact.
-        if let Some(refusal) = self.admit_restore(tenant) {
+        if let Some(refusal) = self.admit_restore(tenant, rid) {
             return refusal;
         }
-        if let Err(e) = self.ensure_live(tenant) {
+        if let Err(e) = self.ensure_live(tenant, rid) {
             return Self::err(e);
         }
-        if let Some(refusal) = self.admit(tenant) {
+        if let Some(refusal) = self.admit(tenant, rid) {
             return refusal;
         }
         let Some(Slot::Live(t)) = self.slots.get_mut(&tenant) else {
@@ -663,6 +862,7 @@ impl CoresetService {
                 .into(),
             );
         }
+        let _backend_span = trace::span("svc.backend", rid.causal(), points.len() as u64);
         if delete {
             t.backend.delete_batch(points);
         } else {
@@ -679,19 +879,20 @@ impl CoresetService {
         }
     }
 
-    fn query(&mut self, tenant: TenantId) -> ApiResponse {
+    fn query(&mut self, tenant: TenantId, rid: RequestId) -> ApiResponse {
         // Reads on a live tenant are never refused, but a read that
         // must *restore* grows the service and goes through the same
         // restore admission as mutations.
-        if let Some(refusal) = self.admit_restore(tenant) {
+        if let Some(refusal) = self.admit_restore(tenant, rid) {
             return refusal;
         }
-        if let Err(e) = self.ensure_live(tenant) {
+        if let Err(e) = self.ensure_live(tenant, rid) {
             return Self::err(e);
         }
         let Some(Slot::Live(t)) = self.slots.get(&tenant) else {
             unreachable!("ensure_live succeeded");
         };
+        let _backend_span = trace::span("svc.backend", rid.causal(), 0);
         match t.backend.finish_ref() {
             Ok(cs) => ApiResponse::CoresetReply {
                 tenant,
@@ -730,16 +931,17 @@ impl CoresetService {
         }
     }
 
-    fn checkpoint(&mut self, tenant: TenantId) -> ApiResponse {
-        if let Some(refusal) = self.admit_restore(tenant) {
+    fn checkpoint(&mut self, tenant: TenantId, rid: RequestId) -> ApiResponse {
+        if let Some(refusal) = self.admit_restore(tenant, rid) {
             return refusal;
         }
-        if let Err(e) = self.ensure_live(tenant) {
+        if let Err(e) = self.ensure_live(tenant, rid) {
             return Self::err(e);
         }
         let Some(Slot::Live(t)) = self.slots.get(&tenant) else {
             unreachable!("ensure_live succeeded");
         };
+        let _backend_span = trace::span("svc.backend", rid.causal(), 0);
         match t.backend.checkpoint_blobs() {
             Ok(blobs) => ApiResponse::CheckpointReply {
                 tenant,
@@ -768,12 +970,17 @@ impl CoresetService {
         match self.slots.remove(&tenant) {
             Some(Slot::Live(t)) => {
                 self.total_measured -= t.measured;
+                self.live_tenants -= 1;
+                svc::observe_tenant_state(tenant, TenantState::Closed, 0);
                 ApiResponse::Closed { tenant }
             }
-            Some(Slot::Evicted { spill, .. }) => {
+            Some(Slot::Evicted { spill, bytes, .. }) => {
+                self.evicted_tenants -= 1;
+                self.spill_bytes -= bytes;
                 if let Spill::Disk(path) = spill {
                     let _ = std::fs::remove_file(path);
                 }
+                svc::observe_tenant_state(tenant, TenantState::Closed, 0);
                 ApiResponse::Closed { tenant }
             }
             None => Self::err(ApiError::UnknownTenant { tenant }.into()),
@@ -788,10 +995,14 @@ impl CoresetService {
                 let resps: Vec<ApiResponse> = reqs.iter().map(|r| self.handle(r)).collect();
                 frame_responses(&resps)
             }
-            Err(e) => frame_responses(&[ApiResponse::Error {
-                code: e.code(),
-                message: e.to_string(),
-            }]),
+            Err(e) => {
+                self.frame_errors += 1;
+                sbc_obs::counter!("serve.frame_errors").incr();
+                frame_responses(&[ApiResponse::Error {
+                    code: e.code(),
+                    message: e.to_string(),
+                }])
+            }
         }
     }
 
@@ -802,6 +1013,8 @@ impl CoresetService {
     /// retried deliveries are idempotent.
     pub fn handle_envelope(&mut self, envelope_bytes: &[u8]) -> Vec<u8> {
         let Some(env) = from_bytes::<Envelope>(envelope_bytes) else {
+            self.frame_errors += 1;
+            sbc_obs::counter!("serve.frame_errors").incr();
             let frame = frame_responses(&[ApiResponse::Error {
                 code: ApiError::Truncated.code(),
                 message: "undecodable envelope".to_string(),

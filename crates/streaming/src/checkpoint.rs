@@ -119,8 +119,12 @@ pub struct Snapshot {
     pub rng_state: [u64; 4],
     /// Per-`o`-instance store states, ascending `o`.
     pub instances: Vec<InstanceCheckpoint>,
-    /// Metrics registry at checkpoint time (empty when `obs` is off);
-    /// merged back on restore so counters survive the restart.
+    /// Metrics registry at checkpoint time, merged back on restore so
+    /// counters survive the restart. Empty unless recording was enabled
+    /// when the checkpoint was cut: the registry is process-global, so
+    /// an unguarded capture would leak the host's unrelated lazy
+    /// registrations into the byte stream and break checkpoint
+    /// canonicality across hosts and feature states.
     pub metrics: MetricsSnapshot,
 }
 

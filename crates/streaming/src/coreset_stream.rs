@@ -1409,7 +1409,17 @@ impl StreamCoresetBuilder {
             merge_depth: self.merge_depth,
             rng_state: self.rng.state(),
             instances,
-            metrics: sbc_obs::snapshot(),
+            // The registry is process-global and registers names lazily
+            // even while recording is off, so capturing it unguarded
+            // would leak whatever the host process happened to register
+            // into the byte stream — the same builder would checkpoint
+            // different bytes in different hosts. Only a recording run
+            // has counter values worth carrying across the restart.
+            metrics: if sbc_obs::enabled() {
+                sbc_obs::snapshot()
+            } else {
+                sbc_obs::MetricsSnapshot::default()
+            },
         })
     }
 
@@ -1418,8 +1428,10 @@ impl StreamCoresetBuilder {
     /// rebuilt from the embedded parameters (they are pure functions of
     /// them), then every store's state is loaded back; the snapshot's
     /// metrics are merged into the registry so counters survive the
-    /// restart (callers resuming in the *same* process should
-    /// [`sbc_obs::reset`] first to avoid double counting).
+    /// restart. The merge is a monotonic fold (every metric is raised
+    /// to at least its snapshot reading), so restoring in the *same*
+    /// process — eviction churn in a serving tier — never double
+    /// counts.
     pub fn restore(snap: &Snapshot) -> Result<Self, CheckpointError> {
         let params = snap.params.clone();
         let sparams = snap.sparams;
