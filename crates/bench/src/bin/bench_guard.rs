@@ -36,9 +36,17 @@ const TOLERANCE: f64 = 0.15;
 /// fraction of the uninstrumented drive's throughput (<2% overhead).
 const OBS_OVERHEAD_FLOOR: f64 = 0.98;
 
+/// Absolute ceiling on the migration cutover's p99. Unlike the other
+/// latency fields this IS gated despite being host truth: a cutover is
+/// a handful of in-memory round trips over a frozen snapshot, so even
+/// a slow CI box clears 250ms by orders of magnitude — and a protocol
+/// bug that makes cutover wait on something (a re-ship, a retry storm)
+/// blows straight past it.
+const CUTOVER_P99_CEILING_NS: f64 = 250_000_000.0;
+
 /// Schema the fresh report must satisfy.
-const SCHEMA_VERSION: u64 = 7;
-const REQUIRED_TOP: [&str; 14] = [
+const SCHEMA_VERSION: u64 = 8;
+const REQUIRED_TOP: [&str; 15] = [
     "schema_version",
     "git_commit",
     "generated_at",
@@ -53,6 +61,7 @@ const REQUIRED_TOP: [&str; 14] = [
     "metrics",
     "serving",
     "service_obs",
+    "migration",
 ];
 /// Numeric fields of the `serving` section (`serve_bench` output).
 const SERVING_NUMERIC: [&str; 18] = [
@@ -85,6 +94,23 @@ const SERVICE_OBS_NUMERIC: [&str; 8] = [
     "p999_request_ns",
     "request_samples",
     "slow_dumps",
+];
+/// Numeric fields of the `migration` section (`serve_bench` output).
+const MIGRATION_NUMERIC: [&str; 14] = [
+    "fleet_servers",
+    "tenants",
+    "chunk_bytes",
+    "migrations",
+    "drained",
+    "cutovers",
+    "chunks",
+    "replayed_ops",
+    "replay_queue_peak",
+    "replay_queue_max_ops",
+    "aborts",
+    "p50_cutover_ns",
+    "p99_cutover_ns",
+    "identity_checks",
 ];
 const GROUPS: [&str; 2] = ["insert_only", "mixed_deletion_heavy"];
 const PATHS: [&str; 3] = ["per_op", "batched", "batched_parallel"];
@@ -336,7 +362,40 @@ fn check_schema(doc: &JsonValue, path: &str) -> Result<(), String> {
             ));
         }
     }
+    // Migration (v8): the 3-server fleet's live-migration report.
+    let migration = doc.get("migration").unwrap();
+    for key in MIGRATION_NUMERIC {
+        if migration.get(key).and_then(JsonValue::as_f64).is_none() {
+            return Err(format!(
+                "{path}: migration section missing numeric \"{key}\""
+            ));
+        }
+    }
+    if migration
+        .get("coresets_bit_identical")
+        .and_then(JsonValue::as_bool)
+        .is_none()
+    {
+        return Err(format!(
+            "{path}: migration section missing boolean \"coresets_bit_identical\""
+        ));
+    }
+    if migration
+        .get("faults")
+        .and_then(|f| f.get("profile"))
+        .and_then(JsonValue::as_str)
+        .is_none()
+    {
+        return Err(format!(
+            "{path}: migration.faults missing string \"profile\""
+        ));
+    }
     Ok(())
+}
+
+/// A numeric leaf of the `migration` section, if present.
+fn migration_num(doc: &JsonValue, key: &str) -> Option<f64> {
+    doc.get("migration")?.get(key)?.as_f64()
 }
 
 /// A numeric leaf of the `serving` section, if present.
@@ -564,6 +623,48 @@ fn main() {
     } else {
         println!("bench_guard: note: service_obs.feature_enabled false, overhead not gated");
     }
+    // Migration gates (v8). Identity after live migration is the
+    // protocol's whole correctness claim — unconditional, like the
+    // serving identity bit.
+    if fresh
+        .get("migration")
+        .and_then(|m| m.get("coresets_bit_identical"))
+        .and_then(JsonValue::as_bool)
+        != Some(true)
+    {
+        fail("migration regression — coresets_bit_identical must be true");
+    }
+    println!("bench_guard: migration.coresets_bit_identical: true — ok");
+    // A migration report with no committed cutovers proved nothing.
+    if migration_num(&fresh, "cutovers").is_none_or(|c| c < 1.0) {
+        fail("migration regression — report carries no committed cutovers");
+    }
+    // Cutover tail: absolute ceiling (see CUTOVER_P99_CEILING_NS).
+    let p99 = migration_num(&fresh, "p99_cutover_ns")
+        .unwrap_or_else(|| fail("fresh report lacks migration.p99_cutover_ns"));
+    checked += 1;
+    if p99 > CUTOVER_P99_CEILING_NS {
+        fail(&format!(
+            "migration regression — p99_cutover_ns {p99:.0} exceeds the \
+             {CUTOVER_P99_CEILING_NS:.0}ns ceiling"
+        ));
+    }
+    println!(
+        "bench_guard: migration.p99_cutover_ns: {p99:.0} (ceiling {CUTOVER_P99_CEILING_NS:.0}) — ok"
+    );
+    // The replay queue must respect its own advertised bound: a peak
+    // past replay_queue_max_ops means the overflow refusal is broken.
+    let peak = migration_num(&fresh, "replay_queue_peak")
+        .unwrap_or_else(|| fail("fresh report lacks migration.replay_queue_peak"));
+    let bound = migration_num(&fresh, "replay_queue_max_ops")
+        .unwrap_or_else(|| fail("fresh report lacks migration.replay_queue_max_ops"));
+    checked += 1;
+    if peak > bound {
+        fail(&format!(
+            "migration regression — replay_queue_peak {peak:.0} exceeds its bound {bound:.0}"
+        ));
+    }
+    println!("bench_guard: migration.replay_queue_peak: {peak:.0} (bound {bound:.0}) — ok");
     if checked == 0 {
         fail("baseline exposed no comparable speedup ratios");
     }

@@ -526,7 +526,7 @@ fn main() {
     json.push_str("{\n");
     let _ = writeln!(
         json,
-        "  \"schema_version\": 7,\n  \"git_commit\": \"{}\",\n  \"generated_at\": \"{}\",",
+        "  \"schema_version\": 8,\n  \"git_commit\": \"{}\",\n  \"generated_at\": \"{}\",",
         git_commit(),
         sbc_obs::iso8601_utc_now()
     );

@@ -62,19 +62,19 @@ fn bench_streaming_golden_file_agrees_with_space_report() {
 }
 
 #[test]
-fn bench_streaming_golden_file_matches_schema_v7() {
-    // The committed baseline must parse as JSON and carry the v7 schema
-    // (trace, kernels, telemetry, serving and service_obs sections
-    // included) — the same shape `bench_guard` validates on fresh
-    // reports, so a drifting writer cannot slip past CI.
+fn bench_streaming_golden_file_matches_schema_v8() {
+    // The committed baseline must parse as JSON and carry the v8 schema
+    // (trace, kernels, telemetry, serving, service_obs and migration
+    // sections included) — the same shape `bench_guard` validates on
+    // fresh reports, so a drifting writer cannot slip past CI.
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_streaming.json");
     let text = std::fs::read_to_string(path)
         .expect("BENCH_streaming.json must be checked in at the repo root");
     let doc = sbc_obs::json::JsonValue::parse(&text).expect("baseline parses as JSON");
     assert_eq!(
         doc.get("schema_version").and_then(|v| v.as_u64()),
-        Some(7),
-        "committed BENCH_streaming.json must be schema_version 7"
+        Some(8),
+        "committed BENCH_streaming.json must be schema_version 8"
     );
     for key in [
         "git_commit",
@@ -88,6 +88,7 @@ fn bench_streaming_golden_file_matches_schema_v7() {
         "metrics",
         "serving",
         "service_obs",
+        "migration",
     ] {
         assert!(doc.get(key).is_some(), "baseline missing \"{key}\" section");
     }
@@ -303,6 +304,69 @@ fn bench_streaming_golden_file_matches_schema_v7() {
             .and_then(|v| v.as_f64())
             .is_some(),
         "service_obs section missing numeric \"slow_dumps\""
+    );
+    // The migration section (v8): the fleet live-migration report. The
+    // baseline must claim committed cutovers with bit-identical
+    // migrated coresets, a replay queue that genuinely carried ops and
+    // stayed inside its advertised bound — the hard gates bench_guard
+    // re-checks on every fresh report.
+    let migration = doc.get("migration").expect("migration section present");
+    assert_eq!(
+        migration
+            .get("coresets_bit_identical")
+            .and_then(|v| v.as_bool()),
+        Some(true),
+        "migration baseline must have bit-identical migrated coresets"
+    );
+    for key in [
+        "fleet_servers",
+        "tenants",
+        "chunk_bytes",
+        "migrations",
+        "cutovers",
+        "chunks",
+        "replayed_ops",
+        "replay_queue_peak",
+        "replay_queue_max_ops",
+        "p50_cutover_ns",
+        "p99_cutover_ns",
+        "identity_checks",
+    ] {
+        assert!(
+            migration
+                .get(key)
+                .and_then(|v| v.as_f64())
+                .is_some_and(|v| v > 0.0),
+            "migration section missing positive numeric \"{key}\""
+        );
+    }
+    for key in ["drained", "aborts"] {
+        assert!(
+            migration.get(key).and_then(|v| v.as_f64()).is_some(),
+            "migration section missing numeric \"{key}\""
+        );
+    }
+    let (peak, bound) = (
+        migration
+            .get("replay_queue_peak")
+            .and_then(|v| v.as_u64())
+            .unwrap(),
+        migration
+            .get("replay_queue_max_ops")
+            .and_then(|v| v.as_u64())
+            .unwrap(),
+    );
+    assert!(
+        peak <= bound,
+        "migration baseline's replay_queue_peak {peak} exceeds its bound {bound}"
+    );
+    assert!(
+        migration
+            .get("faults")
+            .and_then(|f| f.get("profile"))
+            .and_then(|v| v.as_str())
+            .is_some(),
+        "migration.faults missing string \"profile\""
     );
 }
 

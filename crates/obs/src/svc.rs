@@ -127,12 +127,17 @@ pub enum RequestTag {
     ServerStats = 9,
     Shutdown = 10,
     Health = 11,
-    Unknown = 12,
+    MigrateOut = 12,
+    MigrateChunk = 13,
+    MigrateDrain = 14,
+    CutOver = 15,
+    MigrateAbort = 16,
+    Unknown = 17,
 }
 
 impl RequestTag {
     /// Number of tags (histogram-table dimension).
-    pub const COUNT: usize = 13;
+    pub const COUNT: usize = 18;
 
     /// Stable lowercase name used in metric paths.
     pub fn as_str(self) -> &'static str {
@@ -149,7 +154,48 @@ impl RequestTag {
             RequestTag::ServerStats => "server_stats",
             RequestTag::Shutdown => "shutdown",
             RequestTag::Health => "health",
+            RequestTag::MigrateOut => "migrate_out",
+            RequestTag::MigrateChunk => "migrate_chunk",
+            RequestTag::MigrateDrain => "migrate_drain",
+            RequestTag::CutOver => "cutover",
+            RequestTag::MigrateAbort => "migrate_abort",
             RequestTag::Unknown => "unknown",
+        }
+    }
+}
+
+/// Migration lifecycle events counted under the `svc.migration.*`
+/// series — the fleet-level view of tenant relocation (how many froze,
+/// how many chunks and replayed ops crossed the wire, how many
+/// cutovers committed vs aborted).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MigrationEvent {
+    /// A source froze a tenant's snapshot and armed its replay queue.
+    Out,
+    /// A receiver accepted one checkpoint chunk.
+    Chunk,
+    /// A receiver completed a bit-identical restore of a migrated
+    /// tenant.
+    In,
+    /// Point-operations drained from a frozen source's replay queue.
+    Replayed,
+    /// A source atomically flipped ownership to a peer.
+    CutOver,
+    /// A source abandoned an in-progress migration, keeping the tenant
+    /// local.
+    Aborted,
+}
+
+impl MigrationEvent {
+    /// Stable counter path the event is counted under.
+    pub fn counter_name(self) -> &'static str {
+        match self {
+            MigrationEvent::Out => "svc.migration.out",
+            MigrationEvent::Chunk => "svc.migration.chunks",
+            MigrationEvent::In => "svc.migration.in",
+            MigrationEvent::Replayed => "svc.migration.replayed_ops",
+            MigrationEvent::CutOver => "svc.migration.cutovers",
+            MigrationEvent::Aborted => "svc.migration.aborts",
         }
     }
 }
@@ -342,6 +388,11 @@ mod imp {
             "svc.latency.single.server_stats",
             "svc.latency.single.shutdown",
             "svc.latency.single.health",
+            "svc.latency.single.migrate_out",
+            "svc.latency.single.migrate_chunk",
+            "svc.latency.single.migrate_drain",
+            "svc.latency.single.cutover",
+            "svc.latency.single.migrate_abort",
             "svc.latency.single.unknown",
         ],
         [
@@ -357,6 +408,11 @@ mod imp {
             "svc.latency.sharded.server_stats",
             "svc.latency.sharded.shutdown",
             "svc.latency.sharded.health",
+            "svc.latency.sharded.migrate_out",
+            "svc.latency.sharded.migrate_chunk",
+            "svc.latency.sharded.migrate_drain",
+            "svc.latency.sharded.cutover",
+            "svc.latency.sharded.migrate_abort",
             "svc.latency.sharded.unknown",
         ],
     ];
@@ -364,7 +420,7 @@ mod imp {
     static LATENCY: [[OnceLock<crate::Histogram>; RequestTag::COUNT]; RequestClass::COUNT] =
         [const { [const { OnceLock::new() }; RequestTag::COUNT] }; RequestClass::COUNT];
 
-    /// Stable counter path for a wire error code: known 200–231 codes
+    /// Stable counter path for a wire error code: known 200–246 codes
     /// get their own series, anything else folds into
     /// `svc.error.other` so a buggy peer cannot explode the registry.
     fn error_counter_name(code: u16) -> &'static str {
@@ -383,6 +439,13 @@ mod imp {
             221 => "svc.error.221",
             230 => "svc.error.230",
             231 => "svc.error.231",
+            240 => "svc.error.240",
+            241 => "svc.error.241",
+            242 => "svc.error.242",
+            243 => "svc.error.243",
+            244 => "svc.error.244",
+            245 => "svc.error.245",
+            246 => "svc.error.246",
             _ => "svc.error.other",
         }
     }
@@ -544,6 +607,17 @@ mod imp {
         if st.run == STORM_RUN {
             RESTORE_STORMS.fetch_add(1, Ordering::Relaxed);
         }
+    }
+
+    /// Counts a migration lifecycle event (by `amount` — 1 for
+    /// discrete events, the op count for [`MigrationEvent::Replayed`])
+    /// under its `svc.migration.*` series. No-op unless metrics are
+    /// enabled.
+    pub fn observe_migration(event: MigrationEvent, amount: u64) {
+        if amount == 0 || !metrics_active() {
+            return;
+        }
+        crate::counter(event.counter_name()).add(amount);
     }
 
     /// Sets a gauge to a point-in-time value.
@@ -750,6 +824,10 @@ mod imp {
 
     /// No-op.
     #[inline(always)]
+    pub fn observe_migration(_event: MigrationEvent, _amount: u64) {}
+
+    /// No-op.
+    #[inline(always)]
     pub fn set_gauge(_gauge: Gauge, _value: u64) {}
 
     /// Always `0` in a no-op build.
@@ -858,9 +936,20 @@ mod tests {
 
     #[test]
     fn tag_and_class_names_are_stable() {
-        assert_eq!(RequestTag::COUNT, 13);
+        assert_eq!(RequestTag::COUNT, 18);
         assert_eq!(RequestTag::Health as usize, 11);
+        assert_eq!(RequestTag::MigrateOut as usize, 12);
+        assert_eq!(RequestTag::MigrateAbort as usize, 16);
+        assert_eq!(RequestTag::CutOver.as_str(), "cutover");
         assert_eq!(RequestTag::Unknown.as_str(), "unknown");
+        assert_eq!(
+            MigrationEvent::CutOver.counter_name(),
+            "svc.migration.cutovers"
+        );
+        assert_eq!(
+            MigrationEvent::Replayed.counter_name(),
+            "svc.migration.replayed_ops"
+        );
         assert_eq!(RequestClass::Sharded.as_str(), "sharded");
         assert_eq!(Gauge::SpillBytes.name(), "svc.spill.bytes");
         assert_eq!(TenantState::from_code(1), Some(TenantState::Evicted));

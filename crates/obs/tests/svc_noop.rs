@@ -72,6 +72,8 @@ fn metrics_surface_is_inert_even_when_asked_to_enable() {
     );
     svc::observe_tenant_state(3, svc::TenantState::Live, 4096);
     svc::observe_restore(rid);
+    svc::observe_migration(svc::MigrationEvent::Out, 1);
+    svc::observe_migration(svc::MigrationEvent::Replayed, 128);
     svc::set_gauge(Gauge::TenantsLive, 42);
     assert_eq!(svc::gauge(Gauge::TenantsLive), 0, "gauges never store");
     assert!(

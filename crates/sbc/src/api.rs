@@ -79,6 +79,13 @@ pub const MAX_DIMS: u32 = 1024;
 /// bounds what one `Open` record can make the service allocate.
 pub const MAX_SHARDS: u32 = 64;
 
+/// Largest payload one [`ApiRequest::ChunkedCheckpoint`] record may
+/// carry. Migration streams a tenant's checkpoint as a sequence of
+/// bounded chunks so a single record never forces a receiver
+/// allocation anywhere near `--max-frame-bytes`; a header claiming
+/// more is refused with [`ApiError::ChunkTooLarge`].
+pub const MAX_MIGRATION_CHUNK_BYTES: u32 = 4 << 20;
+
 /// Tenants are named by caller-chosen 64-bit ids.
 pub type TenantId = u64;
 
@@ -402,6 +409,33 @@ impl Decode for HealthReport {
     }
 }
 
+/// One stream operation buffered by a migrating source while its
+/// snapshot is in flight, drained by [`ApiRequest::DrainReplay`] and
+/// re-applied on the target **in arrival order** — what makes the
+/// migrated coreset bit-identical to a never-migrated twin.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ReplayOp {
+    /// `true` for a delete batch, `false` for an insert batch.
+    pub delete: bool,
+    /// The batch's points, exactly as the client sent them.
+    pub points: Vec<Point>,
+}
+
+impl Encode for ReplayOp {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.delete.encode(buf);
+        self.points.encode(buf);
+    }
+}
+impl Decode for ReplayOp {
+    fn decode(buf: &[u8], cursor: &mut usize) -> Option<Self> {
+        Some(ReplayOp {
+            delete: bool::decode(buf, cursor)?,
+            points: Vec::decode(buf, cursor)?,
+        })
+    }
+}
+
 /// One request record. Tags are a wire contract — append, never renumber.
 #[derive(Clone, Debug, PartialEq)]
 pub enum ApiRequest {
@@ -469,6 +503,73 @@ pub enum ApiRequest {
     /// [`ApiResponse::Unsupported`], and its empty body lets old peers
     /// skip it by length prefix.
     Health,
+    /// Begin migrating a tenant off this server (tag 12): freeze its
+    /// checkpoint at a **seq barrier**, arm the replay queue (ops that
+    /// arrive while the snapshot is in flight are double-buffered:
+    /// applied locally *and* queued for the target), and answer
+    /// [`ApiResponse::MigrateManifest`]. Idempotent while the
+    /// migration is in progress. Like every migration tag, additive:
+    /// a pre-v8 peer skips the body by length prefix and answers
+    /// [`ApiResponse::Unsupported`], and the coordinator falls back to
+    /// keeping the tenant local.
+    MigrateOut {
+        /// The tenant to freeze.
+        tenant: TenantId,
+        /// Requested chunk payload size (bounded by
+        /// [`MAX_MIGRATION_CHUNK_BYTES`]).
+        chunk_bytes: u32,
+    },
+    /// Deliver one chunk of a migrating tenant's checkpoint to the
+    /// receiving peer, strictly in order (tag 13). The first chunk
+    /// admission-charges `measured_bytes` on the receiver (the same
+    /// budget gate a restore pays); the last chunk triggers the
+    /// bit-identical restore.
+    ChunkedCheckpoint {
+        /// The tenant being migrated in.
+        tenant: TenantId,
+        /// The tenant's pipeline spec (validated before restore).
+        spec: TenantSpec,
+        /// Zero-based chunk index.
+        chunk: u32,
+        /// Total chunks in this transfer.
+        total_chunks: u32,
+        /// Total container bytes across all chunks.
+        total_bytes: u64,
+        /// The tenant's measured footprint at the seq barrier — what
+        /// the receiver's admission control charges before accepting.
+        measured_bytes: u64,
+        /// This chunk's container bytes.
+        payload: Vec<u8>,
+    },
+    /// Drain up to `max_ops` buffered stream operations from a frozen
+    /// source so the coordinator can re-apply them on the target
+    /// (tag 14). Answered with [`ApiResponse::ReplayBatch`].
+    DrainReplay {
+        /// The migrating tenant.
+        tenant: TenantId,
+        /// Upper bound on point-operations returned (whole batches;
+        /// at least one batch when the queue is non-empty).
+        max_ops: u32,
+    },
+    /// Atomically flip ownership: the source drops the tenant and
+    /// answers [`ApiResponse::Moved`] redirects for it from now on
+    /// (tag 15). Refused with [`ApiError::ReplayPending`] while the
+    /// replay queue is non-empty — the barrier that makes cutover
+    /// lossless.
+    CutOver {
+        /// The migrating tenant.
+        tenant: TenantId,
+        /// The peer server now owning the tenant.
+        peer: u32,
+    },
+    /// Abandon an in-progress migration and keep the tenant local
+    /// (tag 16). Lossless by construction: ops were double-applied to
+    /// the live backend the whole time, so aborting just drops the
+    /// frozen snapshot and queue.
+    MigrateAbort {
+        /// The migrating tenant.
+        tenant: TenantId,
+    },
     /// A tag this build does not know — answered with
     /// [`ApiResponse::Unsupported`], never an error. Decode-only.
     Unknown {
@@ -574,6 +675,65 @@ pub enum ApiResponse {
         /// The snapshot.
         report: HealthReport,
     },
+    /// The frozen tenant's transfer manifest, answering
+    /// [`ApiRequest::MigrateOut`] (tag 14).
+    MigrateManifest {
+        /// The frozen tenant.
+        tenant: TenantId,
+        /// Its pipeline spec (echoed into every chunk).
+        spec: TenantSpec,
+        /// Chunks the coordinator must ship.
+        total_chunks: u32,
+        /// Total container bytes across all chunks.
+        total_bytes: u64,
+        /// The tenant's measured footprint at the barrier.
+        measured_bytes: u64,
+        /// The source's request sequence number at freeze time — every
+        /// op with a later seq is double-buffered into the replay
+        /// queue.
+        seq_barrier: u64,
+    },
+    /// One chunk accepted by the receiver (tag 15).
+    ChunkAck {
+        /// The tenant being migrated in.
+        tenant: TenantId,
+        /// The acknowledged chunk index.
+        chunk: u32,
+        /// Container bytes buffered so far (equals `total_bytes` once
+        /// the final chunk lands and the restore has run).
+        received_bytes: u64,
+    },
+    /// Buffered stream operations drained from a frozen source,
+    /// answering [`ApiRequest::DrainReplay`] (tag 16).
+    ReplayBatch {
+        /// The migrating tenant.
+        tenant: TenantId,
+        /// The drained batches, in arrival order.
+        ops: Vec<ReplayOp>,
+        /// Point-operations still queued after this batch.
+        remaining: u64,
+    },
+    /// Migration finished, answering [`ApiRequest::CutOver`]
+    /// (`committed`) or [`ApiRequest::MigrateAbort`] (`!committed`)
+    /// (tag 17).
+    MigrateAck {
+        /// The tenant.
+        tenant: TenantId,
+        /// `true` if ownership flipped to `peer`, `false` if the
+        /// tenant stayed local.
+        committed: bool,
+        /// The owning peer after cutover (0 on abort).
+        peer: u32,
+    },
+    /// Redirect: this server no longer owns the tenant; retry at
+    /// `peer` (tag 18). Clients that cannot follow see it as the coded
+    /// error [`ApiError::Moved`].
+    Moved {
+        /// The tenant.
+        tenant: TenantId,
+        /// The server it was migrated to.
+        peer: u32,
+    },
     /// A tag this build does not know. Decode-only.
     Unknown {
         /// The unrecognized tag.
@@ -630,6 +790,46 @@ impl Encode for ApiRequest {
             ApiRequest::ServerStats => 9u16.encode(buf),
             ApiRequest::Shutdown => 10u16.encode(buf),
             ApiRequest::Health => 11u16.encode(buf),
+            ApiRequest::MigrateOut {
+                tenant,
+                chunk_bytes,
+            } => {
+                12u16.encode(buf);
+                tenant.encode(buf);
+                chunk_bytes.encode(buf);
+            }
+            ApiRequest::ChunkedCheckpoint {
+                tenant,
+                spec,
+                chunk,
+                total_chunks,
+                total_bytes,
+                measured_bytes,
+                payload,
+            } => {
+                13u16.encode(buf);
+                tenant.encode(buf);
+                spec.encode(buf);
+                chunk.encode(buf);
+                total_chunks.encode(buf);
+                total_bytes.encode(buf);
+                measured_bytes.encode(buf);
+                payload.encode(buf);
+            }
+            ApiRequest::DrainReplay { tenant, max_ops } => {
+                14u16.encode(buf);
+                tenant.encode(buf);
+                max_ops.encode(buf);
+            }
+            ApiRequest::CutOver { tenant, peer } => {
+                15u16.encode(buf);
+                tenant.encode(buf);
+                peer.encode(buf);
+            }
+            ApiRequest::MigrateAbort { tenant } => {
+                16u16.encode(buf);
+                tenant.encode(buf);
+            }
             // Lossy by design: an Unknown round-trips as its bare tag
             // (there is no body to preserve — it was skipped on decode).
             ApiRequest::Unknown { tag } => tag.encode(buf),
@@ -675,6 +875,30 @@ impl Decode for ApiRequest {
             9 => ApiRequest::ServerStats,
             10 => ApiRequest::Shutdown,
             11 => ApiRequest::Health,
+            12 => ApiRequest::MigrateOut {
+                tenant: u64::decode(buf, cursor)?,
+                chunk_bytes: u32::decode(buf, cursor)?,
+            },
+            13 => ApiRequest::ChunkedCheckpoint {
+                tenant: u64::decode(buf, cursor)?,
+                spec: TenantSpec::decode(buf, cursor)?,
+                chunk: u32::decode(buf, cursor)?,
+                total_chunks: u32::decode(buf, cursor)?,
+                total_bytes: u64::decode(buf, cursor)?,
+                measured_bytes: u64::decode(buf, cursor)?,
+                payload: Vec::decode(buf, cursor)?,
+            },
+            14 => ApiRequest::DrainReplay {
+                tenant: u64::decode(buf, cursor)?,
+                max_ops: u32::decode(buf, cursor)?,
+            },
+            15 => ApiRequest::CutOver {
+                tenant: u64::decode(buf, cursor)?,
+                peer: u32::decode(buf, cursor)?,
+            },
+            16 => ApiRequest::MigrateAbort {
+                tenant: u64::decode(buf, cursor)?,
+            },
             tag => ApiRequest::Unknown { tag },
         })
     }
@@ -753,6 +977,57 @@ impl Encode for ApiResponse {
                 13u16.encode(buf);
                 report.encode(buf);
             }
+            ApiResponse::MigrateManifest {
+                tenant,
+                spec,
+                total_chunks,
+                total_bytes,
+                measured_bytes,
+                seq_barrier,
+            } => {
+                14u16.encode(buf);
+                tenant.encode(buf);
+                spec.encode(buf);
+                total_chunks.encode(buf);
+                total_bytes.encode(buf);
+                measured_bytes.encode(buf);
+                seq_barrier.encode(buf);
+            }
+            ApiResponse::ChunkAck {
+                tenant,
+                chunk,
+                received_bytes,
+            } => {
+                15u16.encode(buf);
+                tenant.encode(buf);
+                chunk.encode(buf);
+                received_bytes.encode(buf);
+            }
+            ApiResponse::ReplayBatch {
+                tenant,
+                ops,
+                remaining,
+            } => {
+                16u16.encode(buf);
+                tenant.encode(buf);
+                ops.encode(buf);
+                remaining.encode(buf);
+            }
+            ApiResponse::MigrateAck {
+                tenant,
+                committed,
+                peer,
+            } => {
+                17u16.encode(buf);
+                tenant.encode(buf);
+                committed.encode(buf);
+                peer.encode(buf);
+            }
+            ApiResponse::Moved { tenant, peer } => {
+                18u16.encode(buf);
+                tenant.encode(buf);
+                peer.encode(buf);
+            }
             ApiResponse::Unknown { tag } => tag.encode(buf),
         }
     }
@@ -811,6 +1086,33 @@ impl Decode for ApiResponse {
             12 => ApiResponse::ShuttingDown,
             13 => ApiResponse::HealthReply {
                 report: HealthReport::decode(buf, cursor)?,
+            },
+            14 => ApiResponse::MigrateManifest {
+                tenant: u64::decode(buf, cursor)?,
+                spec: TenantSpec::decode(buf, cursor)?,
+                total_chunks: u32::decode(buf, cursor)?,
+                total_bytes: u64::decode(buf, cursor)?,
+                measured_bytes: u64::decode(buf, cursor)?,
+                seq_barrier: u64::decode(buf, cursor)?,
+            },
+            15 => ApiResponse::ChunkAck {
+                tenant: u64::decode(buf, cursor)?,
+                chunk: u32::decode(buf, cursor)?,
+                received_bytes: u64::decode(buf, cursor)?,
+            },
+            16 => ApiResponse::ReplayBatch {
+                tenant: u64::decode(buf, cursor)?,
+                ops: Vec::decode(buf, cursor)?,
+                remaining: u64::decode(buf, cursor)?,
+            },
+            17 => ApiResponse::MigrateAck {
+                tenant: u64::decode(buf, cursor)?,
+                committed: bool::decode(buf, cursor)?,
+                peer: u32::decode(buf, cursor)?,
+            },
+            18 => ApiResponse::Moved {
+                tenant: u64::decode(buf, cursor)?,
+                peer: u32::decode(buf, cursor)?,
             },
             tag => ApiResponse::Unknown { tag },
         })
@@ -906,6 +1208,70 @@ pub enum ApiError {
         /// What was received instead.
         message: String,
     },
+    /// A migration lifecycle request ([`ApiRequest::DrainReplay`] /
+    /// [`ApiRequest::CutOver`] / [`ApiRequest::MigrateAbort`])
+    /// addressed a tenant with no migration in progress (code 240).
+    NotMigrating {
+        /// The tenant id.
+        tenant: TenantId,
+    },
+    /// The request conflicts with an in-progress migration — e.g. an
+    /// `Evict` would drop the frozen snapshot and replay queue, or a
+    /// chunk addressed a tenant still assembling (code 241).
+    MigrationInProgress {
+        /// The tenant id.
+        tenant: TenantId,
+    },
+    /// A [`ApiRequest::ChunkedCheckpoint`] arrived out of sequence, or
+    /// its header disagrees with the transfer's manifest (code 242).
+    /// The duplicate of the most recently accepted chunk is re-acked
+    /// idempotently instead (retransmission tolerance).
+    ChunkOutOfOrder {
+        /// The tenant id.
+        tenant: TenantId,
+        /// The chunk index the receiver expected next.
+        expected: u32,
+        /// The chunk index the record carried.
+        got: u32,
+    },
+    /// A chunk header claimed more bytes than the receiver will buffer
+    /// — per-chunk ([`MAX_MIGRATION_CHUNK_BYTES`]) or per-transfer
+    /// (the service's migration byte cap). Refused before any
+    /// allocation (code 243).
+    ChunkTooLarge {
+        /// The claimed byte count.
+        claimed: u64,
+        /// The receiver's bound.
+        max: u64,
+    },
+    /// The migrating source's replay queue is full; the mutation was
+    /// **not** applied. Drain (or cut over / abort) before sending
+    /// more (code 244).
+    ReplayOverflow {
+        /// The tenant id.
+        tenant: TenantId,
+        /// Point-operations queued.
+        queued: u64,
+        /// The queue's configured bound.
+        cap: u64,
+    },
+    /// [`ApiRequest::CutOver`] arrived while buffered ops remain; the
+    /// coordinator must drain the replay queue first (code 245).
+    ReplayPending {
+        /// The tenant id.
+        tenant: TenantId,
+        /// Point-operations still queued.
+        queued: u64,
+    },
+    /// The tenant was migrated away; retry at `peer` (code 246; the
+    /// coded form of [`ApiResponse::Moved`] for clients that do not
+    /// follow redirects).
+    Moved {
+        /// The tenant id.
+        tenant: TenantId,
+        /// The server now owning it.
+        peer: u32,
+    },
     /// A coded failure relayed verbatim from the peer — the client-side
     /// mirror of [`ApiResponse::Error`]. Not a code of its own:
     /// [`ApiError::code`] returns the relayed code, so matching on
@@ -936,6 +1302,13 @@ impl ApiError {
             ApiError::Unsupported { .. } => 221,
             ApiError::Transport { .. } => 230,
             ApiError::UnexpectedResponse { .. } => 231,
+            ApiError::NotMigrating { .. } => 240,
+            ApiError::MigrationInProgress { .. } => 241,
+            ApiError::ChunkOutOfOrder { .. } => 242,
+            ApiError::ChunkTooLarge { .. } => 243,
+            ApiError::ReplayOverflow { .. } => 244,
+            ApiError::ReplayPending { .. } => 245,
+            ApiError::Moved { .. } => 246,
             ApiError::Remote { code, .. } => *code,
         }
     }
@@ -982,6 +1355,42 @@ impl std::fmt::Display for ApiError {
             ApiError::Transport { message } => write!(f, "transport failed: {message}"),
             ApiError::UnexpectedResponse { message } => {
                 write!(f, "unexpected response: {message}")
+            }
+            ApiError::NotMigrating { tenant } => {
+                write!(f, "tenant {tenant} has no migration in progress")
+            }
+            ApiError::MigrationInProgress { tenant } => {
+                write!(f, "tenant {tenant} has a migration in progress")
+            }
+            ApiError::ChunkOutOfOrder {
+                tenant,
+                expected,
+                got,
+            } => write!(
+                f,
+                "tenant {tenant}: chunk {got} out of order (expected {expected})"
+            ),
+            ApiError::ChunkTooLarge { claimed, max } => write!(
+                f,
+                "chunk header claims {claimed} bytes, exceeding the \
+                 {max}-byte bound"
+            ),
+            ApiError::ReplayOverflow {
+                tenant,
+                queued,
+                cap,
+            } => write!(
+                f,
+                "tenant {tenant}: replay queue full ({queued} ops \
+                 against a {cap}-op bound); drain before mutating"
+            ),
+            ApiError::ReplayPending { tenant, queued } => write!(
+                f,
+                "tenant {tenant}: {queued} replay ops still queued; \
+                 drain before cutover"
+            ),
+            ApiError::Moved { tenant, peer } => {
+                write!(f, "tenant {tenant} moved to peer {peer}")
             }
             ApiError::Remote { code, message } => write!(f, "peer error E{code}: {message}"),
         }
@@ -1106,6 +1515,25 @@ mod tests {
             ApiRequest::ServerStats,
             ApiRequest::Shutdown,
             ApiRequest::Health,
+            ApiRequest::MigrateOut {
+                tenant: 7,
+                chunk_bytes: 1 << 16,
+            },
+            ApiRequest::ChunkedCheckpoint {
+                tenant: 7,
+                spec: TenantSpec::default(),
+                chunk: 1,
+                total_chunks: 3,
+                total_bytes: 300,
+                measured_bytes: 4096,
+                payload: vec![9, 9, 9],
+            },
+            ApiRequest::DrainReplay {
+                tenant: 7,
+                max_ops: 128,
+            },
+            ApiRequest::CutOver { tenant: 7, peer: 2 },
+            ApiRequest::MigrateAbort { tenant: 7 },
         ]
     }
 
@@ -1193,6 +1621,39 @@ mod tests {
                     shutting_down: false,
                 },
             },
+            ApiResponse::MigrateManifest {
+                tenant: 7,
+                spec: TenantSpec::default(),
+                total_chunks: 3,
+                total_bytes: 300,
+                measured_bytes: 4096,
+                seq_barrier: 17,
+            },
+            ApiResponse::ChunkAck {
+                tenant: 7,
+                chunk: 1,
+                received_bytes: 200,
+            },
+            ApiResponse::ReplayBatch {
+                tenant: 7,
+                ops: vec![
+                    ReplayOp {
+                        delete: false,
+                        points: vec![Point::new(vec![1, 2])],
+                    },
+                    ReplayOp {
+                        delete: true,
+                        points: vec![Point::new(vec![3, 4])],
+                    },
+                ],
+                remaining: 1,
+            },
+            ApiResponse::MigrateAck {
+                tenant: 7,
+                committed: true,
+                peer: 2,
+            },
+            ApiResponse::Moved { tenant: 7, peer: 2 },
         ];
         let frame = frame_responses(&resps);
         let back = unframe_responses(&frame).expect("own frame decodes");
@@ -1341,6 +1802,119 @@ mod tests {
         assert_eq!(new[1], ApiResponse::HealthReply { report });
     }
 
+    /// A request record as decoded by a v7 build that predates the
+    /// migration tags (12–16): anything ≥ 12 is unknown, its body left
+    /// to the length-prefix skip.
+    struct PreMigrationRequest(ApiRequest);
+    impl Decode for PreMigrationRequest {
+        fn decode(buf: &[u8], cursor: &mut usize) -> Option<Self> {
+            let mut peek = *cursor;
+            let tag = u16::decode(buf, &mut peek)?;
+            if tag >= 12 {
+                *cursor = peek;
+                return Some(PreMigrationRequest(ApiRequest::Unknown { tag }));
+            }
+            ApiRequest::decode(buf, cursor).map(PreMigrationRequest)
+        }
+    }
+
+    /// A response record as decoded by a v7 build that predates the
+    /// migration reply tags (14–18).
+    struct PreMigrationResponse(ApiResponse);
+    impl Decode for PreMigrationResponse {
+        fn decode(buf: &[u8], cursor: &mut usize) -> Option<Self> {
+            let mut peek = *cursor;
+            let tag = u16::decode(buf, &mut peek)?;
+            if tag >= 14 {
+                *cursor = peek;
+                return Some(PreMigrationResponse(ApiResponse::Unknown { tag }));
+            }
+            ApiResponse::decode(buf, cursor).map(PreMigrationResponse)
+        }
+    }
+
+    #[test]
+    fn old_server_skips_migration_records_by_length_prefix() {
+        // New coordinator → old target: a MigrateOut and a fat chunk
+        // interleaved with data records. The v7 decoder must surface
+        // them as Unknown (which the service answers Unsupported, and
+        // the coordinator turns into a keep-local fallback) without
+        // losing the rest of the frame.
+        let frame = frame_requests(&[
+            ApiRequest::Query { tenant: 1 },
+            ApiRequest::MigrateOut {
+                tenant: 1,
+                chunk_bytes: 1 << 16,
+            },
+            ApiRequest::ChunkedCheckpoint {
+                tenant: 1,
+                spec: TenantSpec::default(),
+                chunk: 0,
+                total_chunks: 1,
+                total_bytes: 4,
+                measured_bytes: 64,
+                payload: vec![1, 2, 3, 4],
+            },
+            ApiRequest::CutOver { tenant: 1, peer: 3 },
+            ApiRequest::Stats { tenant: 2 },
+        ]);
+        let back: Vec<ApiRequest> = unframe_records::<PreMigrationRequest>(&frame, |r| {
+            matches!(r.0, ApiRequest::Unknown { .. })
+        })
+        .expect("old decoder keeps the frame")
+        .into_iter()
+        .map(|r| r.0)
+        .collect();
+        assert_eq!(
+            back,
+            vec![
+                ApiRequest::Query { tenant: 1 },
+                ApiRequest::Unknown { tag: 12 },
+                ApiRequest::Unknown { tag: 13 },
+                ApiRequest::Unknown { tag: 15 },
+                ApiRequest::Stats { tenant: 2 },
+            ]
+        );
+    }
+
+    #[test]
+    fn old_client_skips_migration_replies_by_length_prefix() {
+        // New server → old client: a manifest and a Moved redirect in
+        // the middle of a frame the v7 build otherwise understands.
+        let frame = frame_responses(&[
+            ApiResponse::Closed { tenant: 4 },
+            ApiResponse::MigrateManifest {
+                tenant: 4,
+                spec: TenantSpec::default(),
+                total_chunks: 2,
+                total_bytes: 128,
+                measured_bytes: 4096,
+                seq_barrier: 9,
+            },
+            ApiResponse::Moved { tenant: 4, peer: 1 },
+            ApiResponse::ShuttingDown,
+        ]);
+        let back: Vec<ApiResponse> = unframe_records::<PreMigrationResponse>(&frame, |r| {
+            matches!(r.0, ApiResponse::Unknown { .. })
+        })
+        .expect("old decoder keeps the frame")
+        .into_iter()
+        .map(|r| r.0)
+        .collect();
+        assert_eq!(
+            back,
+            vec![
+                ApiResponse::Closed { tenant: 4 },
+                ApiResponse::Unknown { tag: 14 },
+                ApiResponse::Unknown { tag: 18 },
+                ApiResponse::ShuttingDown,
+            ]
+        );
+        // The new build decodes the same frame in full.
+        let new = unframe_responses(&frame).expect("new decoder");
+        assert_eq!(new[2], ApiResponse::Moved { tenant: 4, peer: 1 });
+    }
+
     #[test]
     fn framing_rejects_garbage() {
         assert_eq!(unframe_requests(b"short"), Err(ApiError::Truncated));
@@ -1443,7 +2017,7 @@ mod tests {
     fn api_error_codes_are_stable() {
         // The 200-range is a wire contract; renumbering breaks deployed
         // clients. 300+ belongs to sbc_distributed::MergeFailure.
-        let cases: [(ApiError, u16); 14] = [
+        let cases: [(ApiError, u16); 21] = [
             (ApiError::BadMagic, 200),
             (ApiError::Truncated, 201),
             (ApiError::MalformedRecord { index: 0 }, 202),
@@ -1495,6 +2069,39 @@ mod tests {
                 },
                 231,
             ),
+            (ApiError::NotMigrating { tenant: 1 }, 240),
+            (ApiError::MigrationInProgress { tenant: 1 }, 241),
+            (
+                ApiError::ChunkOutOfOrder {
+                    tenant: 1,
+                    expected: 2,
+                    got: 5,
+                },
+                242,
+            ),
+            (
+                ApiError::ChunkTooLarge {
+                    claimed: 1 << 40,
+                    max: 4 << 20,
+                },
+                243,
+            ),
+            (
+                ApiError::ReplayOverflow {
+                    tenant: 1,
+                    queued: 100,
+                    cap: 100,
+                },
+                244,
+            ),
+            (
+                ApiError::ReplayPending {
+                    tenant: 1,
+                    queued: 3,
+                },
+                245,
+            ),
+            (ApiError::Moved { tenant: 1, peer: 2 }, 246),
         ];
         for (err, code) in cases {
             assert_eq!(err.code(), code, "{err}");

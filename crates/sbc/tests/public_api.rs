@@ -16,8 +16,9 @@
 #[allow(unused_imports)]
 use sbc::api::{
     frame_requests, frame_responses, negotiate, tenant_pipeline, unframe_requests,
-    unframe_responses, CoresetPoint, HealthReport, ServerStatsReport, TenantId, TenantStats,
-    FRAME_MAGIC, MAX_DIMS, MAX_LOG_DELTA, MAX_SHARDS, MIN_SUPPORTED_VERSION, PROTOCOL_VERSION,
+    unframe_responses, CoresetPoint, HealthReport, ReplayOp, ServerStatsReport, TenantId,
+    TenantStats, FRAME_MAGIC, MAX_DIMS, MAX_LOG_DELTA, MAX_MIGRATION_CHUNK_BYTES, MAX_SHARDS,
+    MIN_SUPPORTED_VERSION, PROTOCOL_VERSION,
 };
 #[allow(unused_imports)]
 use sbc::{api, clustering, core, distributed, flow, geometry, hashing, obs, prelude, streaming};
@@ -42,9 +43,11 @@ const SURFACE: &[&str] = &[
     "sbc::api::HealthReport",
     "sbc::api::MAX_DIMS",
     "sbc::api::MAX_LOG_DELTA",
+    "sbc::api::MAX_MIGRATION_CHUNK_BYTES",
     "sbc::api::MAX_SHARDS",
     "sbc::api::MIN_SUPPORTED_VERSION",
     "sbc::api::PROTOCOL_VERSION",
+    "sbc::api::ReplayOp",
     "sbc::api::ServerStatsReport",
     "sbc::api::TenantId",
     "sbc::api::TenantSpec",

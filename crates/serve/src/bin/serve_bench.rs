@@ -44,7 +44,10 @@ use sbc::obs::json::JsonValue;
 use sbc::prelude::*;
 use sbc::{Coreset, StreamCoresetBuilder};
 use sbc_serve::client::LossyStats;
-use sbc_serve::{Client, CoresetService, InProcess, Lossy, OverloadPolicy, ServeConfig, Transport};
+use sbc_serve::{
+    Client, CoresetService, Fleet, InProcess, Lossy, OverloadPolicy, ServeConfig, Transport,
+    REPLAY_QUEUE_MAX_OPS,
+};
 
 #[global_allocator]
 static ALLOC: sbc_obs::alloc::TrackingAlloc = sbc_obs::alloc::TrackingAlloc;
@@ -278,6 +281,119 @@ fn serving_json(
                 .field("reject_overloaded", drill.0)
                 .field("shed_evictions", drill.1),
         )
+        .field("faults", faults)
+}
+
+/// The `"migration"` section: a 3-server in-memory fleet, every tenant
+/// live-migrated mid-stream (the next insert lands inside the frozen
+/// window, so the replay queue genuinely carries ops) and one server
+/// drained at the end — with the served coresets compared bit-for-bit
+/// against locally rebuilt never-migrated pipelines. `bench_guard`
+/// hard-gates the identity bit, ceilings the cutover p99, and checks
+/// the replay-queue peak against its bound.
+fn migration_json(schedules: &[Schedule], fault_profile: &str) -> JsonValue {
+    const SERVERS: [u32; 3] = [1, 2, 3];
+    const CHUNK_BYTES: u32 = 4096;
+    let subset = &schedules[..schedules.len().min(64)];
+    let plan = FaultPlan::parse(fault_profile).unwrap_or_else(|e| panic!("{e}"));
+    let mut fleet = Fleet::new(plan);
+    for id in SERVERS {
+        fleet.insert_server(id, Box::new(CoresetService::new(ServeConfig::default())));
+    }
+    for (t, s) in subset.iter().enumerate() {
+        fleet.open(t as u64, s.spec).expect("open tenant");
+    }
+
+    // The interleaved drive, with a live migration wrapped around every
+    // tenant's middle batch: freeze + ship before it, drain + cut over
+    // after it.
+    let mut cutover_ns: Vec<u64> = Vec::new();
+    let mut migrations = 0u64;
+    let rounds = subset.iter().map(|s| s.batches.len()).max().unwrap_or(0);
+    for round in 0..rounds {
+        for (t, s) in subset.iter().enumerate() {
+            let id = t as u64;
+            let migrate_here = round == s.batches.len() / 2;
+            if migrate_here {
+                let from = fleet.owner(id).expect("owner");
+                let to =
+                    SERVERS[(SERVERS.iter().position(|&x| x == from).unwrap() + 1) % SERVERS.len()];
+                assert!(
+                    fleet
+                        .migrate_begin(id, to, CHUNK_BYTES)
+                        .expect("migrate_begin"),
+                    "no old peers, no budgets: the snapshot must land"
+                );
+            }
+            if let Some(batch) = s.batches.get(round) {
+                fleet.insert(id, batch).expect("insert batch");
+            }
+            if migrate_here {
+                let t0 = Instant::now();
+                let report = fleet.migrate_finish(id).expect("migrate_finish");
+                cutover_ns.push(t0.elapsed().as_nanos() as u64);
+                assert!(report.committed, "in-memory cutover must commit");
+                migrations += 1;
+            }
+        }
+    }
+    for (t, s) in subset.iter().enumerate() {
+        fleet
+            .delete(t as u64, &s.batches[s.delete_batch])
+            .expect("delete batch");
+    }
+
+    // Decommission drill: drain one server, rebalancing its tenants
+    // across the shrunken ring.
+    let drained = fleet
+        .drain(SERVERS[2], CHUNK_BYTES)
+        .expect("drain")
+        .iter()
+        .filter(|r| r.committed)
+        .count() as u64;
+
+    // Bit-identity after 1–2 migrations per tenant: every served
+    // coreset against its never-migrated local reference.
+    let mut identical = true;
+    for (t, s) in subset.iter().enumerate() {
+        let (_o, pts) = fleet.query(t as u64).expect("identity query");
+        if !served_matches_reference(&pts, &s.reference_coreset()) {
+            eprintln!("serve_bench: migrated tenant {t} DIVERGED from reference");
+            identical = false;
+        }
+    }
+
+    cutover_ns.sort_unstable();
+    let stats = fleet.migration_stats();
+    let faults = JsonValue::object()
+        .field("profile", fault_profile)
+        .field("drops", fleet.stats.drops)
+        .field("dups", fleet.stats.dups)
+        .field("retries", fleet.stats.retries);
+    eprintln!(
+        "serve_bench: migration {} tenants × {migrations} cutovers + {drained} drained \
+         (p99 cutover {}ns, replay peak {}, identical: {identical})",
+        subset.len(),
+        percentile(&cutover_ns, 0.99),
+        stats.replay_queue_peak,
+    );
+    assert!(identical, "migrated coresets must be bit-identical");
+    JsonValue::object()
+        .field("fleet_servers", SERVERS.len() as u64)
+        .field("tenants", subset.len() as u64)
+        .field("chunk_bytes", u64::from(CHUNK_BYTES))
+        .field("migrations", migrations)
+        .field("drained", drained)
+        .field("cutovers", stats.cutovers)
+        .field("chunks", stats.chunks_in)
+        .field("replayed_ops", stats.replayed_ops)
+        .field("replay_queue_peak", stats.replay_queue_peak)
+        .field("replay_queue_max_ops", REPLAY_QUEUE_MAX_OPS)
+        .field("aborts", stats.aborts)
+        .field("p50_cutover_ns", percentile(&cutover_ns, 0.50))
+        .field("p99_cutover_ns", percentile(&cutover_ns, 0.99))
+        .field("coresets_bit_identical", identical)
+        .field("identity_checks", subset.len() as u64)
         .field("faults", faults)
 }
 
@@ -565,6 +681,10 @@ fn main() {
             "off"
         },
     );
+    // Phase 4 — the 3-server fleet: live migrations mid-stream, a
+    // drain/rebalance, and the migrated-vs-reference identity check.
+    let migration = migration_json(&schedules, &fault_profile);
+
     if let Some(path) = &prom_out {
         // `svc::sampled_counters` is gated on the live flag; flip it on
         // just long enough to scrape what the instrumented run recorded.
@@ -584,13 +704,15 @@ fn main() {
         let doc = JsonValue::parse(&text).unwrap_or_else(|e| panic!("--merge-into {path}: {e}"));
         let merged = merge_section(&doc, "serving", serving.clone());
         let merged = merge_section(&merged, "service_obs", service_obs.clone());
+        let merged = merge_section(&merged, "migration", migration.clone());
         std::fs::write(path, merged.render_pretty() + "\n").expect("write merged BENCH file");
-        eprintln!("serve_bench: merged \"serving\" + \"service_obs\" into {path}");
+        eprintln!("serve_bench: merged \"serving\" + \"service_obs\" + \"migration\" into {path}");
     }
     if let Some(path) = &json_out {
         let doc = JsonValue::object()
             .field("serving", serving)
-            .field("service_obs", service_obs);
+            .field("service_obs", service_obs)
+            .field("migration", migration);
         std::fs::write(path, doc.render_pretty() + "\n").expect("write JSON report");
         eprintln!("serve_bench: wrote {path}");
     }

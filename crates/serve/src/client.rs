@@ -5,8 +5,8 @@
 
 use sbc::api::{
     frame_requests, unframe_responses, ApiError, ApiRequest, ApiResponse, CoresetPoint,
-    HealthReport, ServerStatsReport, TenantId, TenantSpec, TenantStats, MIN_SUPPORTED_VERSION,
-    PROTOCOL_VERSION,
+    HealthReport, ReplayOp, ServerStatsReport, TenantId, TenantSpec, TenantStats,
+    MIN_SUPPORTED_VERSION, PROTOCOL_VERSION,
 };
 use sbc::distributed::wire::Envelope;
 use sbc::streaming::codec::{from_bytes, to_bytes};
@@ -211,6 +211,7 @@ impl<T: Transport> Client<T> {
             }
             .into()),
             ApiResponse::Unsupported { tag } => Err(ApiError::Unsupported { tag }.into()),
+            ApiResponse::Moved { tenant, peer } => Err(ApiError::Moved { tenant, peer }.into()),
             other => Ok(other),
         }
     }
@@ -334,4 +335,113 @@ impl<T: Transport> Client<T> {
             other => Err(Self::unexpected(&other)),
         }
     }
+
+    /// Freezes a tenant for outbound migration and returns the
+    /// transfer manifest. Idempotent while the migration is pending.
+    pub fn migrate_out(
+        &mut self,
+        tenant: TenantId,
+        chunk_bytes: u32,
+    ) -> Result<MigrationManifest, SbcError> {
+        let req = ApiRequest::MigrateOut {
+            tenant,
+            chunk_bytes,
+        };
+        match Self::ok(self.call(req)?)? {
+            ApiResponse::MigrateManifest {
+                spec,
+                total_chunks,
+                total_bytes,
+                measured_bytes,
+                seq_barrier,
+                ..
+            } => Ok(MigrationManifest {
+                spec,
+                total_chunks,
+                total_bytes,
+                measured_bytes,
+                seq_barrier,
+            }),
+            other => Err(Self::unexpected(&other)),
+        }
+    }
+
+    /// Delivers one checkpoint chunk to a receiving peer; returns the
+    /// bytes it has buffered so far.
+    #[allow(clippy::too_many_arguments)]
+    pub fn send_chunk(
+        &mut self,
+        tenant: TenantId,
+        spec: TenantSpec,
+        chunk: u32,
+        total_chunks: u32,
+        total_bytes: u64,
+        measured_bytes: u64,
+        payload: Vec<u8>,
+    ) -> Result<u64, SbcError> {
+        let req = ApiRequest::ChunkedCheckpoint {
+            tenant,
+            spec,
+            chunk,
+            total_chunks,
+            total_bytes,
+            measured_bytes,
+            payload,
+        };
+        match Self::ok(self.call(req)?)? {
+            ApiResponse::ChunkAck { received_bytes, .. } => Ok(received_bytes),
+            other => Err(Self::unexpected(&other)),
+        }
+    }
+
+    /// Drains buffered replay batches from a frozen source:
+    /// `(batches, points_still_queued)`.
+    pub fn drain_replay(
+        &mut self,
+        tenant: TenantId,
+        max_ops: u32,
+    ) -> Result<(Vec<ReplayOp>, u64), SbcError> {
+        let req = ApiRequest::DrainReplay { tenant, max_ops };
+        match Self::ok(self.call(req)?)? {
+            ApiResponse::ReplayBatch { ops, remaining, .. } => Ok((ops, remaining)),
+            other => Err(Self::unexpected(&other)),
+        }
+    }
+
+    /// Flips ownership of a drained tenant to `peer`.
+    pub fn cut_over(&mut self, tenant: TenantId, peer: u32) -> Result<(), SbcError> {
+        match Self::ok(self.call(ApiRequest::CutOver { tenant, peer })?)? {
+            ApiResponse::MigrateAck {
+                committed: true, ..
+            } => Ok(()),
+            other => Err(Self::unexpected(&other)),
+        }
+    }
+
+    /// Abandons an in-progress migration; the tenant stays local on
+    /// the source (losslessly) or is discarded on a receiver.
+    pub fn migrate_abort(&mut self, tenant: TenantId) -> Result<(), SbcError> {
+        match Self::ok(self.call(ApiRequest::MigrateAbort { tenant })?)? {
+            ApiResponse::MigrateAck {
+                committed: false, ..
+            } => Ok(()),
+            other => Err(Self::unexpected(&other)),
+        }
+    }
+}
+
+/// A frozen tenant's transfer manifest, as returned by
+/// [`Client::migrate_out`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MigrationManifest {
+    /// The tenant's pipeline spec (echoed into every chunk).
+    pub spec: TenantSpec,
+    /// Chunks the coordinator must ship.
+    pub total_chunks: u32,
+    /// Total container bytes across all chunks.
+    pub total_bytes: u64,
+    /// The tenant's measured footprint at the seq barrier.
+    pub measured_bytes: u64,
+    /// The source's request seq at freeze time.
+    pub seq_barrier: u64,
 }

@@ -1,0 +1,712 @@
+//! The in-memory fleet: a consistent-hash router over tenant ids, a
+//! redirect-following coordinator, and the live-migration driver that
+//! ships a frozen tenant's chunked checkpoint from one
+//! [`CoresetService`] to another over the lossy envelope layer.
+//!
+//! The pieces compose bottom-up:
+//!
+//! * [`FleetRouter`] — a pure consistent-hash ring
+//!   ([`VNODES_PER_SERVER`] vnodes per server, `splitmix64` points).
+//!   Routing is a function of the server-id set and the tenant id
+//!   alone, so two processes that agree on membership agree on every
+//!   placement without talking to each other.
+//! * [`FleetServer`] — the byte-level server surface the fleet drives
+//!   (`handle_envelope`). Implemented by [`CoresetService`]; tests
+//!   implement it for version shims to prove old-peer interop.
+//! * [`Fleet`] — owns the servers, routes typed requests, follows
+//!   [`ApiResponse::Moved`] redirects transparently, and drives the
+//!   migration protocol: freeze at the seq barrier
+//!   ([`Fleet::migrate_begin`]), ship chunks, drain+replay the
+//!   double-buffered ops, and atomically cut over
+//!   ([`Fleet::migrate_finish`]). Every byte crosses the same
+//!   `SBCSRV1`-in-envelope wire a socket would carry, through the
+//!   seeded [`FaultPlan`] drop/duplicate machinery.
+//!
+//! A peer that predates the migration tags answers `Unsupported` (it
+//! skips the record body by length prefix); the driver then aborts and
+//! the tenant stays local — fleet churn can strand a tenant on an old
+//! server, but it can never lose one.
+
+use std::collections::HashMap;
+
+use sbc::api::{
+    frame_requests, unframe_responses, ApiError, ApiRequest, ApiResponse, TenantId, TenantSpec,
+};
+use sbc::distributed::wire::Envelope;
+use sbc::streaming::codec::{from_bytes, to_bytes};
+use sbc::{FaultPlan, SbcError};
+use sbc_obs::fault::splitmix64;
+
+use crate::client::LossyStats;
+use crate::service::{CoresetService, MigrationStats};
+
+/// Virtual nodes each server contributes to the ring. 64 keeps the
+/// per-server share within a few percent of uniform at fleet sizes the
+/// service tier targets, while a membership change still rehashes only
+/// the vnode arcs the departed server owned.
+pub const VNODES_PER_SERVER: u32 = 64;
+
+/// Most [`ApiResponse::Moved`] redirects one routed call will chase
+/// before giving up — bounds pathological redirect cycles.
+const MAX_REDIRECT_HOPS: u32 = 4;
+
+/// Domain-separation salt for tenant hashes (vs vnode points).
+const TENANT_SALT: u64 = 0x7465_6e61_6e74_5f68; // "tenant_h"
+
+/// A consistent-hash ring over server ids: each server owns
+/// [`VNODES_PER_SERVER`] points, a tenant routes to the first point at
+/// or after its hash (wrapping). Pure — the ring is a deterministic
+/// function of the membership set, so any process that knows the
+/// membership computes identical placements.
+#[derive(Clone, Debug, Default)]
+pub struct FleetRouter {
+    servers: Vec<u32>,
+    /// `(point, server)` sorted by point. Points are `splitmix64` of
+    /// the (server, vnode) pair; splitmix64 is a bijection, so
+    /// distinct pairs can never collide into a tie.
+    ring: Vec<(u64, u32)>,
+}
+
+impl FleetRouter {
+    /// Builds a ring over `servers` (duplicates ignored).
+    pub fn new(servers: &[u32]) -> FleetRouter {
+        let mut router = FleetRouter::default();
+        for &s in servers {
+            router.add_server(s);
+        }
+        router
+    }
+
+    /// The current membership, in insertion order.
+    pub fn servers(&self) -> &[u32] {
+        &self.servers
+    }
+
+    /// Adds a server (no-op if already present).
+    pub fn add_server(&mut self, id: u32) {
+        if self.servers.contains(&id) {
+            return;
+        }
+        self.servers.push(id);
+        for v in 0..VNODES_PER_SERVER {
+            self.ring
+                .push((splitmix64((u64::from(v) << 32) | u64::from(id)), id));
+        }
+        self.ring.sort_unstable();
+    }
+
+    /// Removes a server (no-op if absent). Only the departed server's
+    /// vnode arcs change hands — every other placement is untouched.
+    pub fn remove_server(&mut self, id: u32) {
+        self.servers.retain(|&s| s != id);
+        self.ring.retain(|&(_, s)| s != id);
+    }
+
+    /// The server owning `tenant`, or `None` on an empty ring.
+    pub fn route(&self, tenant: TenantId) -> Option<u32> {
+        if self.ring.is_empty() {
+            return None;
+        }
+        let h = splitmix64(tenant ^ TENANT_SALT);
+        let at = self.ring.partition_point(|&(point, _)| point < h);
+        let (_, server) = self.ring[if at == self.ring.len() { 0 } else { at }];
+        Some(server)
+    }
+}
+
+/// The byte-level surface the fleet drives: one envelope in, one
+/// envelope out — exactly what a socket peer would expose. Implemented
+/// by [`CoresetService`]; tests implement it for old-version shims.
+pub trait FleetServer {
+    /// Handles one `(machine, seq)`-enveloped request frame.
+    fn handle_envelope(&mut self, envelope_bytes: &[u8]) -> Vec<u8>;
+
+    /// Local read of chunk `index` of a frozen tenant's outbound
+    /// snapshot — the source-driven shipping path. Servers that do not
+    /// speak the migration protocol have none.
+    fn outbound_chunk(&self, tenant: TenantId, index: u32) -> Option<Vec<u8>> {
+        let _ = (tenant, index);
+        None
+    }
+
+    /// Point-in-time migration counters, when this server tracks them
+    /// (benches aggregate these fleet-wide).
+    fn migration_stats(&self) -> Option<MigrationStats> {
+        None
+    }
+}
+
+impl FleetServer for CoresetService {
+    fn handle_envelope(&mut self, envelope_bytes: &[u8]) -> Vec<u8> {
+        CoresetService::handle_envelope(self, envelope_bytes)
+    }
+
+    fn outbound_chunk(&self, tenant: TenantId, index: u32) -> Option<Vec<u8>> {
+        CoresetService::outbound_chunk(self, tenant, index)
+    }
+
+    fn migration_stats(&self) -> Option<MigrationStats> {
+        Some(CoresetService::migration_stats(self))
+    }
+}
+
+/// The outcome of one [`Fleet::migrate`] (or `migrate_begin` +
+/// `migrate_finish`) run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MigrationReport {
+    /// The migrated tenant.
+    pub tenant: TenantId,
+    /// The source server.
+    pub from: u32,
+    /// The intended target server.
+    pub to: u32,
+    /// Checkpoint chunks shipped.
+    pub chunks: u32,
+    /// Point-operations drained from the replay queue and re-applied
+    /// on the target.
+    pub replayed_ops: u64,
+    /// `true` if ownership flipped to `to`; `false` if the transfer
+    /// fell back to keeping the tenant on `from` (old peer, admission
+    /// refusal) — never data loss either way.
+    pub committed: bool,
+}
+
+/// One pending transfer the coordinator is mid-way through.
+struct InFlight {
+    from: u32,
+    to: u32,
+    spec: TenantSpec,
+    chunks: u32,
+}
+
+/// A multi-process-shaped fleet in one address space: every request —
+/// data-plane and migration-plane alike — crosses the envelope wire
+/// format through the seeded fault plan, so tests and the bench drive
+/// exactly the byte exchanges a socketed deployment would see.
+pub struct Fleet {
+    servers: HashMap<u32, Box<dyn FleetServer>>,
+    router: FleetRouter,
+    plan: FaultPlan,
+    /// Per-server next envelope seq (each server deduplicates per
+    /// machine, and the fleet is one machine to all of them).
+    seqs: HashMap<u32, u64>,
+    machine: u32,
+    /// Global delivery counter indexing the fault plan.
+    deliveries: u64,
+    /// Learned ownership: seeded by the router at open, updated by
+    /// committed cutovers and observed redirects.
+    placement: HashMap<TenantId, u32>,
+    in_flight: HashMap<TenantId, InFlight>,
+    /// Accumulated delivery-fault counters.
+    pub stats: LossyStats,
+}
+
+impl Fleet {
+    /// An empty fleet delivering through `plan` as envelope machine 1.
+    pub fn new(plan: FaultPlan) -> Fleet {
+        Fleet {
+            servers: HashMap::new(),
+            router: FleetRouter::default(),
+            plan,
+            seqs: HashMap::new(),
+            machine: 1,
+            deliveries: 0,
+            placement: HashMap::new(),
+            in_flight: HashMap::new(),
+            stats: LossyStats::default(),
+        }
+    }
+
+    /// Adds a server process to the fleet and the ring.
+    pub fn insert_server(&mut self, id: u32, server: Box<dyn FleetServer>) {
+        self.servers.insert(id, server);
+        self.router.add_server(id);
+    }
+
+    /// The membership router (placement inspection in tests/benches).
+    pub fn router(&self) -> &FleetRouter {
+        &self.router
+    }
+
+    /// The server currently believed to own `tenant`.
+    pub fn owner(&self, tenant: TenantId) -> Option<u32> {
+        self.placement
+            .get(&tenant)
+            .copied()
+            .or_else(|| self.router.route(tenant))
+    }
+
+    /// Direct access to one server (stats draining in benches; the
+    /// concrete type is whatever was inserted).
+    pub fn server_mut(&mut self, id: u32) -> Option<&mut (dyn FleetServer + '_)> {
+        self.servers.get_mut(&id).map(|b| &mut **b as _)
+    }
+
+    /// Fleet-wide migration counters: the field-wise sum over servers
+    /// (`replay_queue_peak` takes the max — it is a high-water mark).
+    pub fn migration_stats(&self) -> MigrationStats {
+        let mut total = MigrationStats::default();
+        for server in self.servers.values() {
+            let Some(s) = server.migration_stats() else {
+                continue;
+            };
+            total.migrations_out += s.migrations_out;
+            total.migrations_in += s.migrations_in;
+            total.chunks_in += s.chunks_in;
+            total.cutovers += s.cutovers;
+            total.aborts += s.aborts;
+            total.replayed_ops += s.replayed_ops;
+            total.replay_queue_peak = total.replay_queue_peak.max(s.replay_queue_peak);
+        }
+        total
+    }
+
+    /// One lossy envelope round trip to `server`: same-seq retries on
+    /// drops, duplicate deliveries absorbed by the server's dedup
+    /// window — the [`crate::client::Lossy`] delivery contract, fleet-wide.
+    fn round_trip(&mut self, server: u32, frame: &[u8]) -> Result<Vec<u8>, SbcError> {
+        let seq = {
+            let s = self.seqs.entry(server).or_insert(0);
+            *s += 1;
+            *s
+        };
+        let env_bytes = to_bytes(&Envelope {
+            machine: self.machine,
+            seq,
+            payload: frame.to_vec(),
+        });
+        let target = self
+            .servers
+            .get_mut(&server)
+            .ok_or_else(|| ApiError::Transport {
+                message: format!("no server {server} in the fleet"),
+            })?;
+        let max_attempts = self.plan.max_retries.max(1);
+        for attempt in 0..max_attempts {
+            if attempt > 0 {
+                self.stats.retries += 1;
+            }
+            let idx = self.deliveries;
+            self.deliveries += 1;
+            if self.plan.drops_delivery(idx) {
+                self.stats.drops += 1;
+                continue;
+            }
+            if self.plan.duplicates_delivery(idx) {
+                self.stats.dups += 1;
+                let _ = target.handle_envelope(&env_bytes);
+            }
+            let reply_bytes = target.handle_envelope(&env_bytes);
+            let reply: Envelope = from_bytes(&reply_bytes).ok_or_else(|| ApiError::Transport {
+                message: "undecodable reply envelope".to_string(),
+            })?;
+            if reply.seq != seq {
+                return Err(ApiError::Transport {
+                    message: format!("reply seq {} for request seq {seq}", reply.seq),
+                }
+                .into());
+            }
+            return Ok(reply.payload);
+        }
+        Err(ApiError::Transport {
+            message: format!("no delivery after {max_attempts} attempts"),
+        }
+        .into())
+    }
+
+    /// One typed record to a specific server.
+    fn call(&mut self, server: u32, request: &ApiRequest) -> Result<ApiResponse, SbcError> {
+        let frame = frame_requests(std::slice::from_ref(request));
+        let reply = self.round_trip(server, &frame)?;
+        let mut responses = unframe_responses(&reply)?;
+        if responses.len() != 1 {
+            if let [ApiResponse::Error { code, message }] = responses.as_slice() {
+                return Err(ApiError::Remote {
+                    code: *code,
+                    message: message.clone(),
+                }
+                .into());
+            }
+            return Err(ApiError::UnexpectedResponse {
+                message: format!("{} responses for 1 request", responses.len()),
+            }
+            .into());
+        }
+        Ok(responses.remove(0))
+    }
+
+    /// Routes a tenant-scoped record to its owner, chasing
+    /// [`ApiResponse::Moved`] redirects (and learning from them) up to
+    /// [`MAX_REDIRECT_HOPS`] times.
+    fn call_routed(
+        &mut self,
+        tenant: TenantId,
+        request: &ApiRequest,
+    ) -> Result<ApiResponse, SbcError> {
+        let mut server = self.owner(tenant).ok_or_else(|| ApiError::Transport {
+            message: "empty fleet".to_string(),
+        })?;
+        for _ in 0..=MAX_REDIRECT_HOPS {
+            match self.call(server, request)? {
+                ApiResponse::Moved { peer, .. } => {
+                    self.placement.insert(tenant, peer);
+                    server = peer;
+                }
+                other => return Ok(other),
+            }
+        }
+        Err(ApiError::Transport {
+            message: format!("tenant {tenant}: redirect chase exceeded {MAX_REDIRECT_HOPS} hops"),
+        }
+        .into())
+    }
+
+    /// Converts refusal records to coded errors (the [`crate::Client`]
+    /// contract, minus `Moved`, which `call_routed` consumes).
+    fn ok(response: ApiResponse) -> Result<ApiResponse, SbcError> {
+        match response {
+            ApiResponse::Error { code, message } => Err(ApiError::Remote { code, message }.into()),
+            ApiResponse::Overloaded {
+                measured_bytes,
+                budget_bytes,
+            } => Err(ApiError::Overloaded {
+                measured_bytes,
+                budget_bytes,
+            }
+            .into()),
+            ApiResponse::Unsupported { tag } => Err(ApiError::Unsupported { tag }.into()),
+            ApiResponse::Moved { tenant, peer } => Err(ApiError::Moved { tenant, peer }.into()),
+            other => Ok(other),
+        }
+    }
+
+    fn unexpected(response: &ApiResponse) -> SbcError {
+        ApiError::UnexpectedResponse {
+            message: format!("{response:?}"),
+        }
+        .into()
+    }
+
+    /// Opens `tenant` on the server the ring routes it to.
+    pub fn open(&mut self, tenant: TenantId, spec: TenantSpec) -> Result<bool, SbcError> {
+        let server = self.owner(tenant).ok_or_else(|| ApiError::Transport {
+            message: "empty fleet".to_string(),
+        })?;
+        self.placement.insert(tenant, server);
+        match Self::ok(self.call_routed(tenant, &ApiRequest::Open { tenant, spec })?)? {
+            ApiResponse::Opened { restored, .. } => Ok(restored),
+            other => Err(Self::unexpected(&other)),
+        }
+    }
+
+    /// Inserts a batch wherever the tenant lives; follows redirects.
+    pub fn insert(&mut self, tenant: TenantId, points: &[sbc::Point]) -> Result<i64, SbcError> {
+        let req = ApiRequest::Insert {
+            tenant,
+            points: points.to_vec(),
+        };
+        match Self::ok(self.call_routed(tenant, &req)?)? {
+            ApiResponse::Applied { net_count, .. } => Ok(net_count),
+            other => Err(Self::unexpected(&other)),
+        }
+    }
+
+    /// Deletes a batch wherever the tenant lives; follows redirects.
+    pub fn delete(&mut self, tenant: TenantId, points: &[sbc::Point]) -> Result<i64, SbcError> {
+        let req = ApiRequest::Delete {
+            tenant,
+            points: points.to_vec(),
+        };
+        match Self::ok(self.call_routed(tenant, &req)?)? {
+            ApiResponse::Applied { net_count, .. } => Ok(net_count),
+            other => Err(Self::unexpected(&other)),
+        }
+    }
+
+    /// The tenant's live coreset: `(o, points)`. Follows redirects.
+    pub fn query(
+        &mut self,
+        tenant: TenantId,
+    ) -> Result<(f64, Vec<sbc::api::CoresetPoint>), SbcError> {
+        match Self::ok(self.call_routed(tenant, &ApiRequest::Query { tenant })?)? {
+            ApiResponse::CoresetReply { o, points, .. } => Ok((o, points)),
+            other => Err(Self::unexpected(&other)),
+        }
+    }
+
+    /// Full checkpoint bytes, wherever the tenant lives.
+    pub fn checkpoint(&mut self, tenant: TenantId) -> Result<Vec<u8>, SbcError> {
+        match Self::ok(self.call_routed(tenant, &ApiRequest::Checkpoint { tenant })?)? {
+            ApiResponse::CheckpointReply { bytes, .. } => Ok(bytes),
+            other => Err(Self::unexpected(&other)),
+        }
+    }
+
+    /// Closes the tenant wherever it lives (tombstones included).
+    pub fn close(&mut self, tenant: TenantId) -> Result<(), SbcError> {
+        match Self::ok(self.call_routed(tenant, &ApiRequest::Close { tenant })?)? {
+            ApiResponse::Closed { .. } => {
+                self.placement.remove(&tenant);
+                Ok(())
+            }
+            other => Err(Self::unexpected(&other)),
+        }
+    }
+
+    /// Phase one of a migration: freeze the tenant on its owner and
+    /// ship every checkpoint chunk to `to`. Returns `Ok(true)` when
+    /// the snapshot landed (traffic may now interleave — it is
+    /// double-buffered — until [`Fleet::migrate_finish`]), `Ok(false)`
+    /// when the transfer fell back to keeping the tenant local (old
+    /// peer or admission refusal on either side; lossless).
+    pub fn migrate_begin(
+        &mut self,
+        tenant: TenantId,
+        to: u32,
+        chunk_bytes: u32,
+    ) -> Result<bool, SbcError> {
+        let from = self.owner(tenant).ok_or_else(|| ApiError::Transport {
+            message: "empty fleet".to_string(),
+        })?;
+        if from == to {
+            return Ok(false);
+        }
+        let manifest = match self.call(
+            from,
+            &ApiRequest::MigrateOut {
+                tenant,
+                chunk_bytes,
+            },
+        )? {
+            ApiResponse::MigrateManifest {
+                spec,
+                total_chunks,
+                total_bytes,
+                measured_bytes,
+                ..
+            } => (spec, total_chunks, total_bytes, measured_bytes),
+            // The source predates the migration protocol: nothing was
+            // frozen, the tenant simply stays put.
+            ApiResponse::Unsupported { .. } => return Ok(false),
+            other => {
+                return Err(match Self::ok(other) {
+                    Ok(r) => Self::unexpected(&r),
+                    Err(e) => e,
+                })
+            }
+        };
+        let (spec, total_chunks, total_bytes, measured_bytes) = manifest;
+        for chunk in 0..total_chunks {
+            let Some(payload) = self
+                .servers
+                .get(&from)
+                .and_then(|s| s.outbound_chunk(tenant, chunk))
+            else {
+                self.abort_on(from, tenant);
+                return Err(ApiError::Transport {
+                    message: format!("tenant {tenant}: frozen chunk {chunk} unreadable"),
+                }
+                .into());
+            };
+            let req = ApiRequest::ChunkedCheckpoint {
+                tenant,
+                spec,
+                chunk,
+                total_chunks,
+                total_bytes,
+                measured_bytes,
+                payload,
+            };
+            match self.call(to, &req)? {
+                ApiResponse::ChunkAck { .. } => {}
+                // The target cannot take the tenant (old build, or its
+                // admission budget is full): unfreeze the source and
+                // keep the tenant where it is.
+                ApiResponse::Unsupported { .. } | ApiResponse::Overloaded { .. } => {
+                    self.abort_on(from, tenant);
+                    return Ok(false);
+                }
+                other => {
+                    self.abort_on(from, tenant);
+                    self.abort_on(to, tenant);
+                    return Err(match Self::ok(other) {
+                        Ok(r) => Self::unexpected(&r),
+                        Err(e) => e,
+                    });
+                }
+            }
+        }
+        self.in_flight.insert(
+            tenant,
+            InFlight {
+                from,
+                to,
+                spec,
+                chunks: total_chunks,
+            },
+        );
+        Ok(true)
+    }
+
+    /// Best-effort abort of a pending transfer on one server.
+    fn abort_on(&mut self, server: u32, tenant: TenantId) {
+        let _ = self.call(server, &ApiRequest::MigrateAbort { tenant });
+    }
+
+    /// Abandons a transfer started by [`Fleet::migrate_begin`]:
+    /// discards the receiver's half-assembled state and unfreezes the
+    /// source. Lossless — the source double-applied every op while
+    /// frozen, so it is already current.
+    pub fn abort(&mut self, tenant: TenantId) -> Result<(), SbcError> {
+        let Some(InFlight { from, to, .. }) = self.in_flight.remove(&tenant) else {
+            return Err(ApiError::Transport {
+                message: format!("tenant {tenant}: no transfer in flight"),
+            }
+            .into());
+        };
+        // A fully-shipped snapshot is already a live copy on the
+        // receiver; a partial one is still assembling. Discard either.
+        self.abort_on(to, tenant);
+        let _ = self.call(to, &ApiRequest::Close { tenant });
+        match Self::ok(self.call(from, &ApiRequest::MigrateAbort { tenant })?)? {
+            ApiResponse::MigrateAck {
+                committed: false, ..
+            } => Ok(()),
+            other => Err(Self::unexpected(&other)),
+        }
+    }
+
+    /// Whole-service accounting for one member.
+    pub fn server_stats(&mut self, server: u32) -> Result<sbc::api::ServerStatsReport, SbcError> {
+        match Self::ok(self.call(server, &ApiRequest::ServerStats)?)? {
+            ApiResponse::ServerStatsReply { stats } => Ok(stats),
+            other => Err(Self::unexpected(&other)),
+        }
+    }
+
+    /// Phase two: drain the source's replay queue into the target,
+    /// then cut over. The drain loops until the queue is empty, so the
+    /// cutover's `ReplayPending` barrier can only pass losslessly.
+    pub fn migrate_finish(&mut self, tenant: TenantId) -> Result<MigrationReport, SbcError> {
+        let Some(InFlight {
+            from,
+            to,
+            spec,
+            chunks,
+        }) = self.in_flight.remove(&tenant)
+        else {
+            return Err(ApiError::Transport {
+                message: format!("tenant {tenant}: no transfer in flight"),
+            }
+            .into());
+        };
+        let _ = spec;
+        let mut replayed = 0u64;
+        loop {
+            let resp = Self::ok(self.call(
+                from,
+                &ApiRequest::DrainReplay {
+                    tenant,
+                    max_ops: 4096,
+                },
+            )?)?;
+            let ApiResponse::ReplayBatch { ops, remaining, .. } = resp else {
+                return Err(Self::unexpected(&resp));
+            };
+            if ops.is_empty() && remaining == 0 {
+                break;
+            }
+            for op in ops {
+                replayed += op.points.len() as u64;
+                let req = if op.delete {
+                    ApiRequest::Delete {
+                        tenant,
+                        points: op.points,
+                    }
+                } else {
+                    ApiRequest::Insert {
+                        tenant,
+                        points: op.points,
+                    }
+                };
+                match Self::ok(self.call(to, &req)?)? {
+                    ApiResponse::Applied { .. } => {}
+                    other => return Err(Self::unexpected(&other)),
+                }
+            }
+            if remaining == 0 {
+                break;
+            }
+        }
+        match Self::ok(self.call(from, &ApiRequest::CutOver { tenant, peer: to })?)? {
+            ApiResponse::MigrateAck {
+                committed: true, ..
+            } => {}
+            other => return Err(Self::unexpected(&other)),
+        }
+        self.placement.insert(tenant, to);
+        Ok(MigrationReport {
+            tenant,
+            from,
+            to,
+            chunks,
+            replayed_ops: replayed,
+            committed: true,
+        })
+    }
+
+    /// Migrates a tenant end-to-end: freeze, ship, drain, cut over. A
+    /// lossless fallback (old peer, admission refusal) reports
+    /// `committed: false` with the tenant still serving on its source.
+    pub fn migrate(
+        &mut self,
+        tenant: TenantId,
+        to: u32,
+        chunk_bytes: u32,
+    ) -> Result<MigrationReport, SbcError> {
+        let from = self.owner(tenant).ok_or_else(|| ApiError::Transport {
+            message: "empty fleet".to_string(),
+        })?;
+        if !self.migrate_begin(tenant, to, chunk_bytes)? {
+            return Ok(MigrationReport {
+                tenant,
+                from,
+                to,
+                chunks: 0,
+                replayed_ops: 0,
+                committed: false,
+            });
+        }
+        self.migrate_finish(tenant)
+    }
+
+    /// Drains a server for decommission: removes it from the ring,
+    /// then migrates every tenant it owns to wherever the shrunken
+    /// ring routes them. Fallbacks (`committed: false`) leave those
+    /// tenants serving on the drained server — reported, never lost.
+    pub fn drain(
+        &mut self,
+        server: u32,
+        chunk_bytes: u32,
+    ) -> Result<Vec<MigrationReport>, SbcError> {
+        self.router.remove_server(server);
+        let mut owned: Vec<TenantId> = self
+            .placement
+            .iter()
+            .filter(|&(_, s)| *s == server)
+            .map(|(t, _)| *t)
+            .collect();
+        owned.sort_unstable();
+        let mut reports = Vec::with_capacity(owned.len());
+        for tenant in owned {
+            let to = self
+                .router
+                .route(tenant)
+                .ok_or_else(|| ApiError::Transport {
+                    message: "drained the last server".to_string(),
+                })?;
+            reports.push(self.migrate(tenant, to, chunk_bytes)?);
+        }
+        Ok(reports)
+    }
+}

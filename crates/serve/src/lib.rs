@@ -39,7 +39,11 @@
 #![deny(unsafe_code)]
 
 pub mod client;
+pub mod fleet;
 pub mod service;
 
-pub use client::{Client, InProcess, Lossy, Transport};
-pub use service::{CoresetService, OverloadPolicy, ServeConfig};
+pub use client::{Client, InProcess, Lossy, MigrationManifest, Transport};
+pub use fleet::{Fleet, FleetRouter, FleetServer, MigrationReport, VNODES_PER_SERVER};
+pub use service::{
+    CoresetService, MigrationStats, OverloadPolicy, ServeConfig, REPLAY_QUEUE_MAX_OPS,
+};

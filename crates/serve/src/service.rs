@@ -10,7 +10,8 @@ use rand::SeedableRng;
 
 use sbc::api::{
     frame_responses, negotiate, unframe_requests, ApiError, ApiRequest, ApiResponse, CoresetPoint,
-    HealthReport, ServerStatsReport, TenantId, TenantSpec, TenantStats,
+    HealthReport, ReplayOp, ServerStatsReport, TenantId, TenantSpec, TenantStats,
+    MAX_MIGRATION_CHUNK_BYTES,
 };
 use sbc::distributed::wire::Envelope;
 use sbc::streaming::codec::{from_bytes, to_bytes};
@@ -18,7 +19,7 @@ use sbc::{
     Coreset, CoresetParams, Point, SbcError, ShardedIngest, Snapshot, StreamCoresetBuilder,
     StreamOp, StreamParams,
 };
-use sbc_obs::svc::{self, RequestClass, RequestId, RequestTag, TenantState};
+use sbc_obs::svc::{self, MigrationEvent, RequestClass, RequestId, RequestTag, TenantState};
 use sbc_obs::trace;
 
 /// What to do with a mutating request that would run past the memory
@@ -49,6 +50,11 @@ pub struct ServeConfig {
     pub spill_dir: Option<PathBuf>,
     /// Overload behavior. Defaults to [`OverloadPolicy::Shed`].
     pub policy: OverloadPolicy,
+    /// Cap on one inbound migration transfer's total container bytes
+    /// (0 = [`DEFAULT_MAX_MIGRATION_BYTES`]). A hostile
+    /// `ChunkedCheckpoint` header claiming more is refused before any
+    /// buffering.
+    pub max_migration_bytes: usize,
 }
 
 /// One tenant's pipeline: a single builder, or a sharded ingest when the
@@ -179,6 +185,21 @@ enum Spill {
     Memory(Vec<u8>),
 }
 
+/// Frozen outbound state of a tenant mid-migration: the snapshot split
+/// into chunks at the seq barrier, plus the replay queue of ops that
+/// arrived after the barrier (double-buffered — also applied to the
+/// live backend, so local reads stay fresh and an abort loses nothing).
+struct MigrationOut {
+    chunks: Vec<Vec<u8>>,
+    total_bytes: u64,
+    measured_bytes: u64,
+    seq_barrier: u64,
+    replay: VecDeque<ReplayOp>,
+    /// Point-operations currently queued (bounded by
+    /// [`REPLAY_QUEUE_MAX_OPS`]).
+    queued_ops: u64,
+}
+
 struct Tenant {
     spec: TenantSpec,
     backend: Backend,
@@ -187,6 +208,8 @@ struct Tenant {
     /// control is O(1) per request instead of O(tenants) space walks.
     measured: usize,
     peak_measured: usize,
+    /// `Some` while this tenant is frozen for outbound migration.
+    migration: Option<MigrationOut>,
 }
 
 impl Tenant {
@@ -213,6 +236,26 @@ enum Slot {
         /// brings back — the headroom the admission decision charges
         /// *before* restoring.
         measured: usize,
+    },
+    /// Inbound migration in progress: checkpoint chunks assembling in
+    /// order. The manifest's `measured_bytes` was charged against the
+    /// budget when chunk 0 was admitted (the same reservation a restore
+    /// pays), and is released when the final chunk restores — or the
+    /// transfer is aborted/closed.
+    Restoring {
+        spec: TenantSpec,
+        total_chunks: u32,
+        total_bytes: u64,
+        /// The admission reservation charged into `total_measured`.
+        measured: usize,
+        next_chunk: u32,
+        buf: Vec<u8>,
+    },
+    /// Tombstone after cutover: the tenant now lives on `peer`, and
+    /// every data request is answered with a [`ApiResponse::Moved`]
+    /// redirect. `Close` removes the tombstone.
+    Moved {
+        peer: u32,
     },
 }
 
@@ -273,6 +316,8 @@ pub struct CoresetService {
     dedup: HashMap<u32, (u64, Vec<u8>)>,
     /// First-seen order of `dedup` keys, for FIFO displacement.
     dedup_order: VecDeque<u32>,
+    /// Migration counters (see [`MigrationStats`]).
+    migration: MigrationStats,
 }
 
 /// Capacity of the admission-latency ring ([`CoresetService::take_admission_ns`]).
@@ -280,6 +325,38 @@ const ADMISSION_NS_CAP: usize = 64 * 1024;
 
 /// Most distinct envelope machines the dedup window tracks at once.
 const DEDUP_MAX_MACHINES: usize = 1024;
+
+/// Default cap on one inbound migration transfer's container bytes
+/// ([`ServeConfig::max_migration_bytes`] = 0).
+pub const DEFAULT_MAX_MIGRATION_BYTES: usize = 64 << 20;
+
+/// Bound on point-operations buffered in a migrating tenant's replay
+/// queue. A mutation that would overflow it is refused with
+/// [`ApiError::ReplayOverflow`] (nothing applied) — the queue is the
+/// only unbounded-growth risk the double-buffer protocol introduces,
+/// so it is capped and the cutover latency gate in `bench_guard` keeps
+/// the drain loop honest.
+pub const REPLAY_QUEUE_MAX_OPS: u64 = 64 * 1024;
+
+/// Point-in-time migration counters, drained by fleet benches and the
+/// oracle tests via [`CoresetService::migration_stats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MigrationStats {
+    /// Outbound freezes ([`ApiRequest::MigrateOut`] accepted).
+    pub migrations_out: u64,
+    /// Inbound restores completed (final chunk accepted and restored).
+    pub migrations_in: u64,
+    /// Checkpoint chunks accepted inbound.
+    pub chunks_in: u64,
+    /// Ownership flips committed ([`ApiRequest::CutOver`] accepted).
+    pub cutovers: u64,
+    /// Migrations abandoned ([`ApiRequest::MigrateAbort`] accepted).
+    pub aborts: u64,
+    /// Point-operations drained from replay queues.
+    pub replayed_ops: u64,
+    /// High-water mark of any tenant's replay queue (point-operations).
+    pub replay_queue_peak: u64,
+}
 
 impl CoresetService {
     /// Creates an empty service.
@@ -305,6 +382,22 @@ impl CoresetService {
             admission_ns_at: 0,
             dedup: HashMap::new(),
             dedup_order: VecDeque::new(),
+            migration: MigrationStats::default(),
+        }
+    }
+
+    /// Point-in-time migration counters.
+    pub fn migration_stats(&self) -> MigrationStats {
+        self.migration
+    }
+
+    /// The effective cap on one inbound migration transfer's container
+    /// bytes.
+    fn migration_byte_cap(&self) -> u64 {
+        if self.config.max_migration_bytes == 0 {
+            DEFAULT_MAX_MIGRATION_BYTES as u64
+        } else {
+            self.config.max_migration_bytes as u64
         }
     }
 
@@ -324,6 +417,8 @@ impl CoresetService {
                 match slot {
                     Slot::Live(_) => live += 1,
                     Slot::Evicted { .. } => evicted += 1,
+                    // Assembling transfers and tombstones are neither.
+                    Slot::Restoring { .. } | Slot::Moved { .. } => {}
                 }
             }
             debug_assert_eq!(
@@ -438,6 +533,13 @@ impl CoresetService {
         match self.slots.get(&tenant) {
             Some(Slot::Live(_)) => return Ok(false),
             None => return Err(ApiError::UnknownTenant { tenant }.into()),
+            Some(Slot::Restoring { .. }) => {
+                return Err(ApiError::MigrationInProgress { tenant }.into())
+            }
+            Some(Slot::Moved { peer }) => {
+                let peer = *peer;
+                return Err(ApiError::Moved { tenant, peer }.into());
+            }
             Some(Slot::Evicted { .. }) => {}
         }
         let _restore_span = trace::span("svc.restore", rid.causal(), 0);
@@ -491,6 +593,7 @@ impl CoresetService {
                 backend,
                 measured,
                 peak_measured: measured,
+                migration: None,
             }),
         );
         self.evicted_tenants -= 1;
@@ -564,13 +667,17 @@ impl CoresetService {
         if self.config.policy == OverloadPolicy::Shed {
             // Evict fattest-first until back under budget. The target
             // tenant is exempt — evicting it to admit its own request
-            // would just force an immediate restore.
+            // would just force an immediate restore. Frozen (migrating)
+            // tenants are also exempt: evicting one would drop its
+            // snapshot and replay queue mid-transfer.
             while over(self.total_measured) {
                 let victim = self
                     .slots
                     .iter()
                     .filter_map(|(id, slot)| match slot {
-                        Slot::Live(t) if *id != exempt => Some((*id, t.measured)),
+                        Slot::Live(t) if *id != exempt && t.migration.is_none() => {
+                            Some((*id, t.measured))
+                        }
                         _ => None,
                     })
                     .max_by_key(|&(id, measured)| (measured, id));
@@ -677,6 +784,31 @@ impl CoresetService {
             ApiRequest::Health => ApiResponse::HealthReply {
                 report: self.health_report(),
             },
+            ApiRequest::MigrateOut {
+                tenant,
+                chunk_bytes,
+            } => self.migrate_out(*tenant, *chunk_bytes, rid),
+            ApiRequest::ChunkedCheckpoint {
+                tenant,
+                spec,
+                chunk,
+                total_chunks,
+                total_bytes,
+                measured_bytes,
+                payload,
+            } => self.chunk_in(
+                *tenant,
+                spec,
+                *chunk,
+                *total_chunks,
+                *total_bytes,
+                *measured_bytes,
+                payload,
+                rid,
+            ),
+            ApiRequest::DrainReplay { tenant, max_ops } => self.drain_replay(*tenant, *max_ops),
+            ApiRequest::CutOver { tenant, peer } => self.cut_over(*tenant, *peer, rid),
+            ApiRequest::MigrateAbort { tenant } => self.migrate_abort(*tenant),
             ApiRequest::Unknown { tag } => ApiResponse::Unsupported { tag: *tag },
         }
     }
@@ -691,7 +823,12 @@ impl CoresetService {
             | ApiRequest::Stats { tenant }
             | ApiRequest::Checkpoint { tenant }
             | ApiRequest::Evict { tenant }
-            | ApiRequest::Close { tenant } => Some(*tenant),
+            | ApiRequest::Close { tenant }
+            | ApiRequest::MigrateOut { tenant, .. }
+            | ApiRequest::ChunkedCheckpoint { tenant, .. }
+            | ApiRequest::DrainReplay { tenant, .. }
+            | ApiRequest::CutOver { tenant, .. }
+            | ApiRequest::MigrateAbort { tenant } => Some(*tenant),
             ApiRequest::Hello { .. }
             | ApiRequest::ServerStats
             | ApiRequest::Shutdown
@@ -715,18 +852,25 @@ impl CoresetService {
             ApiRequest::ServerStats => RequestTag::ServerStats,
             ApiRequest::Shutdown => RequestTag::Shutdown,
             ApiRequest::Health => RequestTag::Health,
+            ApiRequest::MigrateOut { .. } => RequestTag::MigrateOut,
+            ApiRequest::ChunkedCheckpoint { .. } => RequestTag::MigrateChunk,
+            ApiRequest::DrainReplay { .. } => RequestTag::MigrateDrain,
+            ApiRequest::CutOver { .. } => RequestTag::CutOver,
+            ApiRequest::MigrateAbort { .. } => RequestTag::MigrateAbort,
             ApiRequest::Unknown { .. } => RequestTag::Unknown,
         }
     }
 
     /// The wire error code a response carries, if it is a refusal or
-    /// failure (the stable 200–231 registry; `Overloaded` and
-    /// `Unsupported` map to their coded equivalents 220/221).
+    /// failure (the stable 200–246 registry; `Overloaded`,
+    /// `Unsupported` and `Moved` map to their coded equivalents
+    /// 220/221/246).
     fn response_error(resp: &ApiResponse) -> Option<u16> {
         match resp {
             ApiResponse::Error { code, .. } => Some(*code),
             ApiResponse::Overloaded { .. } => Some(220),
             ApiResponse::Unsupported { .. } => Some(221),
+            ApiResponse::Moved { .. } => Some(246),
             _ => None,
         }
     }
@@ -737,8 +881,8 @@ impl CoresetService {
     fn request_class(&self, rid: RequestId) -> RequestClass {
         let shards = match self.slots.get(&rid.tenant) {
             Some(Slot::Live(t)) => t.spec.shards,
-            Some(Slot::Evicted { spec, .. }) => spec.shards,
-            None => 1,
+            Some(Slot::Evicted { spec, .. }) | Some(Slot::Restoring { spec, .. }) => spec.shards,
+            Some(Slot::Moved { .. }) | None => 1,
         };
         if shards > 1 {
             RequestClass::Sharded
@@ -757,7 +901,26 @@ impl CoresetService {
         svc::set_gauge(svc::Gauge::Restores, self.restores);
     }
 
+    /// The redirect for a tombstoned tenant, if this id has moved.
+    /// Checked before every tenant-scoped operation so clients are
+    /// steered to the owning peer instead of hitting `UnknownTenant`.
+    fn check_moved(&self, tenant: TenantId) -> Option<ApiResponse> {
+        match self.slots.get(&tenant) {
+            Some(Slot::Moved { peer }) => Some(ApiResponse::Moved {
+                tenant,
+                peer: *peer,
+            }),
+            _ => None,
+        }
+    }
+
     fn open(&mut self, tenant: TenantId, spec: TenantSpec, rid: RequestId) -> ApiResponse {
+        if let Some(resp) = self.check_moved(tenant) {
+            return resp;
+        }
+        if let Some(Slot::Restoring { .. }) = self.slots.get(&tenant) {
+            return Self::err(ApiError::MigrationInProgress { tenant }.into());
+        }
         enum Known {
             LiveSame,
             EvictedSame,
@@ -817,6 +980,7 @@ impl CoresetService {
                 backend,
                 measured,
                 peak_measured: measured,
+                migration: None,
             }),
         );
         self.live_tenants += 1;
@@ -835,6 +999,9 @@ impl CoresetService {
         delete: bool,
         rid: RequestId,
     ) -> ApiResponse {
+        if let Some(resp) = self.check_moved(tenant) {
+            return resp;
+        }
         // An evicted target's footprint is admitted *before* the
         // restore pulls it back into memory; the refusal leaves the
         // tenant on disk and the budget intact.
@@ -862,14 +1029,42 @@ impl CoresetService {
                 .into(),
             );
         }
+        // A frozen (migrating) tenant double-buffers: the batch must
+        // also fit the replay queue, and the capacity check happens
+        // *before* anything is applied, so a refused batch leaves both
+        // buffers untouched.
+        if let Some(m) = t.migration.as_ref() {
+            let incoming = points.len() as u64;
+            if m.queued_ops + incoming > REPLAY_QUEUE_MAX_OPS {
+                let queued = m.queued_ops;
+                return Self::err(
+                    ApiError::ReplayOverflow {
+                        tenant,
+                        queued,
+                        cap: REPLAY_QUEUE_MAX_OPS,
+                    }
+                    .into(),
+                );
+            }
+        }
         let _backend_span = trace::span("svc.backend", rid.causal(), points.len() as u64);
         if delete {
             t.backend.delete_batch(points);
         } else {
             t.backend.insert_batch(points);
         }
+        let mut queued_now = 0;
+        if let Some(m) = t.migration.as_mut() {
+            m.replay.push_back(ReplayOp {
+                delete,
+                points: points.to_vec(),
+            });
+            m.queued_ops += points.len() as u64;
+            queued_now = m.queued_ops;
+        }
         let net_count = t.backend.net_count();
         self.ops_total += points.len() as u64;
+        self.migration.replay_queue_peak = self.migration.replay_queue_peak.max(queued_now);
         sbc_obs::counter!("serve.ops").add(points.len() as u64);
         self.remeasure(tenant);
         ApiResponse::Applied {
@@ -880,6 +1075,9 @@ impl CoresetService {
     }
 
     fn query(&mut self, tenant: TenantId, rid: RequestId) -> ApiResponse {
+        if let Some(resp) = self.check_moved(tenant) {
+            return resp;
+        }
         // Reads on a live tenant are never refused, but a read that
         // must *restore* grows the service and goes through the same
         // restore admission as mutations.
@@ -927,11 +1125,21 @@ impl CoresetService {
                     ..TenantStats::default()
                 },
             },
+            Some(Slot::Restoring { .. }) => {
+                Self::err(ApiError::MigrationInProgress { tenant }.into())
+            }
+            Some(Slot::Moved { peer }) => ApiResponse::Moved {
+                tenant,
+                peer: *peer,
+            },
             None => Self::err(ApiError::UnknownTenant { tenant }.into()),
         }
     }
 
     fn checkpoint(&mut self, tenant: TenantId, rid: RequestId) -> ApiResponse {
+        if let Some(resp) = self.check_moved(tenant) {
+            return resp;
+        }
         if let Some(refusal) = self.admit_restore(tenant, rid) {
             return refusal;
         }
@@ -958,9 +1166,22 @@ impl CoresetService {
                 let bytes = *bytes;
                 ApiResponse::Evicted { tenant, bytes }
             }
+            // Evicting a frozen tenant would drop its snapshot and
+            // replay queue mid-transfer; the coordinator must abort or
+            // cut over first.
+            Some(Slot::Live(t)) if t.migration.is_some() => {
+                Self::err(ApiError::MigrationInProgress { tenant }.into())
+            }
             Some(Slot::Live(_)) => match self.evict_tenant(tenant) {
                 Ok(bytes) => ApiResponse::Evicted { tenant, bytes },
                 Err(e) => Self::err(e),
+            },
+            Some(Slot::Restoring { .. }) => {
+                Self::err(ApiError::MigrationInProgress { tenant }.into())
+            }
+            Some(Slot::Moved { peer }) => ApiResponse::Moved {
+                tenant,
+                peer: *peer,
             },
             None => Self::err(ApiError::UnknownTenant { tenant }.into()),
         }
@@ -983,8 +1204,515 @@ impl CoresetService {
                 svc::observe_tenant_state(tenant, TenantState::Closed, 0);
                 ApiResponse::Closed { tenant }
             }
+            // Closing a half-assembled transfer releases its admission
+            // reservation; closing a tombstone just forgets the
+            // redirect.
+            Some(Slot::Restoring { measured, .. }) => {
+                self.total_measured -= measured;
+                svc::observe_tenant_state(tenant, TenantState::Closed, 0);
+                ApiResponse::Closed { tenant }
+            }
+            Some(Slot::Moved { .. }) => {
+                svc::observe_tenant_state(tenant, TenantState::Closed, 0);
+                ApiResponse::Closed { tenant }
+            }
             None => Self::err(ApiError::UnknownTenant { tenant }.into()),
         }
+    }
+
+    /// Freezes a tenant for outbound migration: checkpoints it at the
+    /// current request seq (the **seq barrier**), splits the container
+    /// into `chunk_bytes`-sized chunks, and arms the replay queue.
+    /// Until cutover or abort, mutations are double-buffered — applied
+    /// locally *and* queued — so the tenant stays fully readable and an
+    /// abort loses nothing.
+    fn migrate_out(&mut self, tenant: TenantId, chunk_bytes: u32, rid: RequestId) -> ApiResponse {
+        if let Some(resp) = self.check_moved(tenant) {
+            return resp;
+        }
+        if chunk_bytes == 0 {
+            return Self::err(
+                ApiError::InvalidSpec {
+                    message: "chunk_bytes must be positive".to_string(),
+                }
+                .into(),
+            );
+        }
+        if chunk_bytes > MAX_MIGRATION_CHUNK_BYTES {
+            return Self::err(
+                ApiError::ChunkTooLarge {
+                    claimed: u64::from(chunk_bytes),
+                    max: u64::from(MAX_MIGRATION_CHUNK_BYTES),
+                }
+                .into(),
+            );
+        }
+        // Idempotent re-freeze (retried frame): answer the existing
+        // manifest without re-checkpointing.
+        if let Some(Slot::Live(t)) = self.slots.get(&tenant) {
+            if let Some(m) = &t.migration {
+                return ApiResponse::MigrateManifest {
+                    tenant,
+                    spec: t.spec,
+                    total_chunks: m.chunks.len() as u32,
+                    total_bytes: m.total_bytes,
+                    measured_bytes: m.measured_bytes,
+                    seq_barrier: m.seq_barrier,
+                };
+            }
+        }
+        // An evicted tenant is restored first (charged like any other
+        // restore) — the wire ships the same container either way, but
+        // freezing a live backend is what arms the replay queue.
+        if let Some(refusal) = self.admit_restore(tenant, rid) {
+            return refusal;
+        }
+        if let Err(e) = self.ensure_live(tenant, rid) {
+            return Self::err(e);
+        }
+        let _span = trace::span("svc.migrate.out", rid.causal(), u64::from(chunk_bytes));
+        let cap = self.migration_byte_cap();
+        let seq_barrier = self.request_seq;
+        let Some(Slot::Live(t)) = self.slots.get_mut(&tenant) else {
+            unreachable!("ensure_live succeeded");
+        };
+        let blobs = match t.backend.checkpoint_blobs() {
+            Ok(b) => b,
+            Err(e) => return Self::err(e),
+        };
+        let container = to_bytes(&(t.spec, blobs));
+        let total_bytes = container.len() as u64;
+        if total_bytes > cap {
+            return Self::err(
+                ApiError::ChunkTooLarge {
+                    claimed: total_bytes,
+                    max: cap,
+                }
+                .into(),
+            );
+        }
+        let chunks: Vec<Vec<u8>> = container
+            .chunks(chunk_bytes as usize)
+            .map(<[u8]>::to_vec)
+            .collect();
+        let total_chunks = chunks.len() as u32;
+        let measured_bytes = t.measured as u64;
+        let spec = t.spec;
+        t.migration = Some(MigrationOut {
+            chunks,
+            total_bytes,
+            measured_bytes,
+            seq_barrier,
+            replay: VecDeque::new(),
+            queued_ops: 0,
+        });
+        self.migration.migrations_out += 1;
+        svc::observe_migration(MigrationEvent::Out, 1);
+        ApiResponse::MigrateManifest {
+            tenant,
+            spec,
+            total_chunks,
+            total_bytes,
+            measured_bytes,
+            seq_barrier,
+        }
+    }
+
+    /// One chunk of an inbound transfer. Chunk 0 admits the tenant
+    /// (charging the manifest's `measured_bytes` as a budget
+    /// reservation, exactly like a restore); the final chunk decodes
+    /// the assembled container and restores it bit-identically.
+    #[allow(clippy::too_many_arguments)]
+    fn chunk_in(
+        &mut self,
+        tenant: TenantId,
+        spec: &TenantSpec,
+        chunk: u32,
+        total_chunks: u32,
+        total_bytes: u64,
+        measured_bytes: u64,
+        payload: &[u8],
+        rid: RequestId,
+    ) -> ApiResponse {
+        let _span = trace::span("svc.migrate.in", rid.causal(), u64::from(chunk));
+        // Header sanity before any state is touched — hostile sizes are
+        // refused without buffering a byte.
+        let cap = self.migration_byte_cap();
+        if total_bytes > cap {
+            return Self::err(
+                ApiError::ChunkTooLarge {
+                    claimed: total_bytes,
+                    max: cap,
+                }
+                .into(),
+            );
+        }
+        if payload.len() as u64 > u64::from(MAX_MIGRATION_CHUNK_BYTES) {
+            return Self::err(
+                ApiError::ChunkTooLarge {
+                    claimed: payload.len() as u64,
+                    max: u64::from(MAX_MIGRATION_CHUNK_BYTES),
+                }
+                .into(),
+            );
+        }
+        if total_chunks == 0 || chunk >= total_chunks {
+            return Self::err(
+                ApiError::ChunkOutOfOrder {
+                    tenant,
+                    expected: 0,
+                    got: chunk,
+                }
+                .into(),
+            );
+        }
+        // Chunk 0 supersedes a stale tombstone: the fleet is moving the
+        // tenant *back* here, so the old redirect is obsolete routing
+        // state. Mid-transfer chunks still redirect (below).
+        if chunk == 0 {
+            if let Some(Slot::Moved { .. }) = self.slots.get(&tenant) {
+                self.slots.remove(&tenant);
+            }
+        }
+        match self.slots.get(&tenant) {
+            Some(Slot::Moved { peer }) => {
+                let peer = *peer;
+                return ApiResponse::Moved { tenant, peer };
+            }
+            Some(Slot::Live(_)) | Some(Slot::Evicted { .. }) => {
+                return Self::err(ApiError::TenantExists { tenant }.into())
+            }
+            Some(Slot::Restoring { .. }) => {}
+            None => {
+                // First contact must be chunk 0 — a mid-transfer chunk
+                // for an unknown tenant is a lost or reordered start.
+                if chunk != 0 {
+                    return Self::err(
+                        ApiError::ChunkOutOfOrder {
+                            tenant,
+                            expected: 0,
+                            got: chunk,
+                        }
+                        .into(),
+                    );
+                }
+                if let Err(e) = pipeline_params(spec) {
+                    return Self::err(e);
+                }
+                if self.config.max_tenants > 0 && self.slots.len() >= self.config.max_tenants {
+                    self.overloaded += 1;
+                    return ApiResponse::Overloaded {
+                        measured_bytes: self.total_measured as u64,
+                        budget_bytes: self.config.budget_bytes as u64,
+                    };
+                }
+                // Admit the manifest's footprint up front and hold it
+                // as a reservation for the whole transfer — a migration
+                // storm cannot stack inbound tenants past the budget
+                // (the restore-budget guarantee, extended to fleets).
+                let measured = measured_bytes as usize;
+                if let Some(refusal) = self.admit_with(tenant, measured, rid) {
+                    return refusal;
+                }
+                self.total_measured += measured;
+                self.peak_measured = self.peak_measured.max(self.total_measured);
+                self.slots.insert(
+                    tenant,
+                    Slot::Restoring {
+                        spec: *spec,
+                        total_chunks,
+                        total_bytes,
+                        measured,
+                        next_chunk: 0,
+                        buf: Vec::new(),
+                    },
+                );
+            }
+        }
+        let Some(Slot::Restoring {
+            spec: sspec,
+            total_chunks: tc,
+            total_bytes: tb,
+            measured,
+            next_chunk,
+            buf,
+        }) = self.slots.get_mut(&tenant)
+        else {
+            unreachable!("slot inserted or matched Restoring above");
+        };
+        // Every chunk re-states the manifest; a drifting header means
+        // two transfers are interleaving and the chunk is refused.
+        if *tc != total_chunks || *tb != total_bytes || *sspec != *spec || {
+            let reserved = *measured as u64;
+            reserved != measured_bytes
+        } {
+            let expected = *next_chunk;
+            return Self::err(
+                ApiError::ChunkOutOfOrder {
+                    tenant,
+                    expected,
+                    got: chunk,
+                }
+                .into(),
+            );
+        }
+        // Idempotent re-ack of the chunk just applied (retried frame).
+        if chunk.wrapping_add(1) == *next_chunk {
+            let received_bytes = buf.len() as u64;
+            return ApiResponse::ChunkAck {
+                tenant,
+                chunk,
+                received_bytes,
+            };
+        }
+        if chunk != *next_chunk {
+            let expected = *next_chunk;
+            return Self::err(
+                ApiError::ChunkOutOfOrder {
+                    tenant,
+                    expected,
+                    got: chunk,
+                }
+                .into(),
+            );
+        }
+        let claimed = (buf.len() + payload.len()) as u64;
+        if claimed > total_bytes {
+            return Self::err(
+                ApiError::ChunkTooLarge {
+                    claimed,
+                    max: total_bytes,
+                }
+                .into(),
+            );
+        }
+        buf.extend_from_slice(payload);
+        *next_chunk += 1;
+        let received_bytes = buf.len() as u64;
+        let done = *next_chunk == total_chunks;
+        self.migration.chunks_in += 1;
+        svc::observe_migration(MigrationEvent::Chunk, 1);
+        if !done {
+            return ApiResponse::ChunkAck {
+                tenant,
+                chunk,
+                received_bytes,
+            };
+        }
+        // Final chunk: swap the reservation for the restored backend's
+        // actual footprint. A failed decode drops the transfer entirely
+        // (slot and reservation) — the source still owns the tenant.
+        let Some(Slot::Restoring {
+            spec: sspec,
+            measured,
+            buf,
+            ..
+        }) = self.slots.remove(&tenant)
+        else {
+            unreachable!("matched Restoring above");
+        };
+        self.total_measured -= measured;
+        if received_bytes != total_bytes {
+            return Self::err(
+                ApiError::EvictIo {
+                    message: format!(
+                        "tenant {tenant}: migration container ended at \
+                         {received_bytes} of {total_bytes} bytes"
+                    ),
+                }
+                .into(),
+            );
+        }
+        let Some((stored_spec, blobs)) = from_bytes::<(TenantSpec, Vec<Vec<u8>>)>(&buf) else {
+            return Self::err(
+                ApiError::EvictIo {
+                    message: format!("tenant {tenant}: undecodable migration container"),
+                }
+                .into(),
+            );
+        };
+        if stored_spec != sspec {
+            return Self::err(
+                ApiError::EvictIo {
+                    message: format!("tenant {tenant}: migration container spec mismatch"),
+                }
+                .into(),
+            );
+        }
+        let backend = match Backend::restore(&stored_spec, &blobs) {
+            Ok(b) => b,
+            Err(e) => return Self::err(e),
+        };
+        let measured_now = backend.measured_bytes();
+        self.total_measured += measured_now;
+        self.peak_measured = self.peak_measured.max(self.total_measured);
+        self.slots.insert(
+            tenant,
+            Slot::Live(Tenant {
+                spec: stored_spec,
+                backend,
+                measured: measured_now,
+                peak_measured: measured_now,
+                migration: None,
+            }),
+        );
+        self.live_tenants += 1;
+        self.migration.migrations_in += 1;
+        svc::observe_migration(MigrationEvent::In, 1);
+        svc::observe_tenant_state(tenant, TenantState::Live, measured_now as u64);
+        ApiResponse::ChunkAck {
+            tenant,
+            chunk,
+            received_bytes,
+        }
+    }
+
+    /// Drains buffered replay batches from a frozen source — whole
+    /// batches, at least one when the queue is non-empty, up to
+    /// `max_ops` points total.
+    fn drain_replay(&mut self, tenant: TenantId, max_ops: u32) -> ApiResponse {
+        let (ops, drained, remaining) = match self.slots.get_mut(&tenant) {
+            Some(Slot::Live(t)) => match t.migration.as_mut() {
+                Some(m) => {
+                    let mut ops = Vec::new();
+                    let mut drained = 0u64;
+                    while let Some(front) = m.replay.front() {
+                        let n = front.points.len() as u64;
+                        if !ops.is_empty() && drained + n > u64::from(max_ops) {
+                            break;
+                        }
+                        drained += n;
+                        let Some(batch) = m.replay.pop_front() else {
+                            unreachable!("front() was Some");
+                        };
+                        ops.push(batch);
+                    }
+                    m.queued_ops -= drained;
+                    (ops, drained, m.queued_ops)
+                }
+                None => return Self::err(ApiError::NotMigrating { tenant }.into()),
+            },
+            Some(Slot::Restoring { .. }) => {
+                return Self::err(ApiError::MigrationInProgress { tenant }.into())
+            }
+            Some(Slot::Moved { peer }) => {
+                let peer = *peer;
+                return ApiResponse::Moved { tenant, peer };
+            }
+            Some(Slot::Evicted { .. }) => {
+                return Self::err(ApiError::NotMigrating { tenant }.into())
+            }
+            None => return Self::err(ApiError::UnknownTenant { tenant }.into()),
+        };
+        self.migration.replayed_ops += drained;
+        svc::observe_migration(MigrationEvent::Replayed, drained);
+        ApiResponse::ReplayBatch {
+            tenant,
+            ops,
+            remaining,
+        }
+    }
+
+    /// Atomically flips ownership to `peer`: refused while replay ops
+    /// remain (the lossless barrier), then the live slot becomes a
+    /// redirect tombstone.
+    fn cut_over(&mut self, tenant: TenantId, peer: u32, rid: RequestId) -> ApiResponse {
+        match self.slots.get(&tenant) {
+            // Idempotent re-cutover (retried frame).
+            Some(Slot::Moved { peer: p }) => {
+                let peer = *p;
+                return ApiResponse::MigrateAck {
+                    tenant,
+                    committed: true,
+                    peer,
+                };
+            }
+            Some(Slot::Restoring { .. }) => {
+                return Self::err(ApiError::MigrationInProgress { tenant }.into())
+            }
+            Some(Slot::Evicted { .. }) => {
+                return Self::err(ApiError::NotMigrating { tenant }.into())
+            }
+            Some(Slot::Live(t)) => match &t.migration {
+                None => return Self::err(ApiError::NotMigrating { tenant }.into()),
+                Some(m) if m.queued_ops > 0 => {
+                    let queued = m.queued_ops;
+                    return Self::err(ApiError::ReplayPending { tenant, queued }.into());
+                }
+                Some(_) => {}
+            },
+            None => return Self::err(ApiError::UnknownTenant { tenant }.into()),
+        }
+        let Some(Slot::Live(t)) = self.slots.remove(&tenant) else {
+            unreachable!("checked live above");
+        };
+        trace::instant("svc.cutover", rid.causal(), u64::from(peer));
+        self.total_measured -= t.measured;
+        self.live_tenants -= 1;
+        self.slots.insert(tenant, Slot::Moved { peer });
+        self.migration.cutovers += 1;
+        svc::observe_migration(MigrationEvent::CutOver, 1);
+        svc::observe_tenant_state(tenant, TenantState::Closed, 0);
+        ApiResponse::MigrateAck {
+            tenant,
+            committed: true,
+            peer,
+        }
+    }
+
+    /// Abandons an in-progress migration. On the source this is
+    /// lossless — ops were double-applied all along, so dropping the
+    /// frozen snapshot and queue keeps the tenant current. On a
+    /// receiver it discards the half-assembled transfer and releases
+    /// its reservation.
+    fn migrate_abort(&mut self, tenant: TenantId) -> ApiResponse {
+        enum Kind {
+            Out,
+            In,
+            NotMigrating,
+            Moved(u32),
+            Absent,
+        }
+        let kind = match self.slots.get(&tenant) {
+            Some(Slot::Live(t)) if t.migration.is_some() => Kind::Out,
+            Some(Slot::Live(_)) | Some(Slot::Evicted { .. }) => Kind::NotMigrating,
+            Some(Slot::Restoring { .. }) => Kind::In,
+            Some(Slot::Moved { peer }) => Kind::Moved(*peer),
+            None => Kind::Absent,
+        };
+        match kind {
+            Kind::Out => {
+                if let Some(Slot::Live(t)) = self.slots.get_mut(&tenant) {
+                    t.migration = None;
+                }
+            }
+            Kind::In => {
+                if let Some(Slot::Restoring { measured, .. }) = self.slots.remove(&tenant) {
+                    self.total_measured -= measured;
+                }
+            }
+            Kind::Moved(peer) => return ApiResponse::Moved { tenant, peer },
+            Kind::NotMigrating => return Self::err(ApiError::NotMigrating { tenant }.into()),
+            Kind::Absent => return Self::err(ApiError::UnknownTenant { tenant }.into()),
+        }
+        self.migration.aborts += 1;
+        svc::observe_migration(MigrationEvent::Aborted, 1);
+        ApiResponse::MigrateAck {
+            tenant,
+            committed: false,
+            peer: 0,
+        }
+    }
+
+    /// Reads chunk `index` of a frozen tenant's outbound snapshot. The
+    /// source-side coordinator ships these to the receiver as
+    /// [`ApiRequest::ChunkedCheckpoint`] records; the read is indexed
+    /// (not popping) so a lost delivery can be re-read and re-sent.
+    pub fn outbound_chunk(&self, tenant: TenantId, index: u32) -> Option<Vec<u8>> {
+        let Some(Slot::Live(t)) = self.slots.get(&tenant) else {
+            return None;
+        };
+        t.migration.as_ref()?.chunks.get(index as usize).cloned()
     }
 
     /// Maps one request frame to one response frame, record-for-record.

@@ -1,0 +1,232 @@
+//! Properties of the consistent-hash [`FleetRouter`] and of migration
+//! storms against receiver admission budgets:
+//!
+//! * membership changes move a near-minimal set of tenants — adding a
+//!   server only *gains* tenants, removing one only moves *its*
+//!   tenants;
+//! * routing is a pure function of the membership set — any process
+//!   that built the ring in any order computes identical placements;
+//! * a migration storm aimed at a budgeted receiver falls back
+//!   losslessly once admission refuses (the PR 8 restore-budget
+//!   regression, now on the migration path).
+
+use std::collections::BTreeSet;
+
+use proptest::prelude::*;
+
+use sbc::api::TenantSpec;
+use sbc::{FaultPlan, GridParams};
+use sbc_serve::{
+    CoresetService, Fleet, FleetRouter, OverloadPolicy, ServeConfig, VNODES_PER_SERVER,
+};
+
+fn servers_strategy() -> impl Strategy<Value = Vec<u32>> {
+    prop::collection::vec(0u32..10_000, 2..8).prop_map(|mut ids| {
+        ids.sort_unstable();
+        ids.dedup();
+        if ids.len() < 2 {
+            ids.push(ids[0] + 1);
+        }
+        ids
+    })
+}
+
+const TENANTS: u64 = 256;
+
+fn placements(router: &FleetRouter) -> Vec<u32> {
+    (0..TENANTS)
+        .map(|t| router.route(t).expect("non-empty ring"))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Adding a server moves tenants *only onto the new server*, and
+    /// the moved set stays near the 1/(n+1) minimum — `VNODES_PER_SERVER`
+    /// arcs keep the variance small enough for a 3x ceiling.
+    #[test]
+    fn adding_a_server_gains_a_minimal_set(servers in servers_strategy(), added in 10_000u32..20_000) {
+        let mut router = FleetRouter::new(&servers);
+        let before = placements(&router);
+        router.add_server(added);
+        let after = placements(&router);
+
+        let mut moved = 0u64;
+        for (b, a) in before.iter().zip(&after) {
+            if a != b {
+                prop_assert_eq!(*a, added, "movement must target the added server only");
+                moved += 1;
+            }
+        }
+        let n_after = servers.len() as u64 + 1;
+        let ceiling = 3 * TENANTS / n_after + 8;
+        prop_assert!(
+            moved <= ceiling,
+            "moved {moved} of {TENANTS} tenants to 1 of {n_after} servers (ceiling {ceiling})"
+        );
+    }
+
+    /// Removing a server moves *only* the tenants it owned; everyone
+    /// else keeps their placement bit-for-bit.
+    #[test]
+    fn removing_a_server_strands_no_one_else(servers in servers_strategy(), victim_idx in any::<usize>()) {
+        let router_full = FleetRouter::new(&servers);
+        let before = placements(&router_full);
+        let victim = servers[victim_idx % servers.len()];
+
+        let mut router = router_full.clone();
+        router.remove_server(victim);
+        let after = placements(&router);
+
+        for (t, (b, a)) in before.iter().zip(&after).enumerate() {
+            prop_assert_ne!(*a, victim, "tenant {} routed to a removed server", t);
+            if *b != victim {
+                prop_assert_eq!(a, b, "tenant {} moved without cause", t);
+            }
+        }
+    }
+
+    /// The ring is a pure function of the membership *set*: rotations,
+    /// reversals, and add/remove churn that end at the same set route
+    /// every tenant identically — the cross-process determinism the
+    /// fleet's redirect protocol leans on.
+    #[test]
+    fn routing_is_deterministic_across_processes(servers in servers_strategy(), rot in any::<usize>()) {
+        let canonical = placements(&FleetRouter::new(&servers));
+
+        let mut rotated = servers.clone();
+        rotated.rotate_left(rot % servers.len());
+        prop_assert_eq!(&placements(&FleetRouter::new(&rotated)), &canonical);
+
+        let mut reversed = servers.clone();
+        reversed.reverse();
+        prop_assert_eq!(&placements(&FleetRouter::new(&reversed)), &canonical);
+
+        // A router that took a detour: extra members added, then
+        // removed again. Same final set, same ring.
+        let mut churned = FleetRouter::new(&servers);
+        for ghost in 90_000u32..90_004 {
+            churned.add_server(ghost);
+        }
+        for ghost in 90_000u32..90_004 {
+            churned.remove_server(ghost);
+        }
+        prop_assert_eq!(&placements(&churned), &canonical);
+    }
+
+    /// Every server's vnode count is exact, so shares can't silently
+    /// drift as membership churns.
+    #[test]
+    fn every_member_keeps_its_vnode_arcs(servers in servers_strategy()) {
+        let router = FleetRouter::new(&servers);
+        let members: BTreeSet<u32> = router.servers().iter().copied().collect();
+        prop_assert_eq!(members.len(), servers.len());
+        // Route enough tenants that each member almost surely owns
+        // at least one — a smoke check that no server's arcs vanished.
+        let owners: BTreeSet<u32> = (0..4096u64)
+            .map(|t| router.route(t).expect("non-empty"))
+            .collect();
+        prop_assert_eq!(owners.len(), servers.len(),
+            "some server owns no tenants out of 4096 — arcs lost? {} vnodes/server",
+            VNODES_PER_SERVER);
+    }
+}
+
+/// A migration storm into a budgeted `Reject` receiver: admissions
+/// succeed until the receiver's `measured_bytes` budget is exhausted,
+/// then fall back with `committed: false` — and every tenant, moved or
+/// not, keeps serving its exact pre-storm coreset.
+#[test]
+fn migration_storm_respects_receiver_admission_budget() {
+    const SERVERS: [u32; 3] = [1, 2, 3];
+    const RECEIVER: u32 = 2;
+    const N_TENANTS: u64 = 8;
+
+    let spec = TenantSpec::default();
+    let gp = GridParams::from_log_delta(spec.log_delta, spec.dims as usize);
+
+    // Pass 1 (unbudgeted): learn how many bytes one tenant measures.
+    let per_tenant = {
+        let mut fleet = Fleet::new(FaultPlan::parse("none").expect("profile"));
+        for id in SERVERS {
+            fleet.insert_server(id, Box::new(CoresetService::new(ServeConfig::default())));
+        }
+        fleet.open(0, spec).expect("open");
+        let pts = sbc::geometry::dataset::gaussian_mixture(gp, 48, 2, 0.08, 7);
+        fleet.insert(0, &pts).expect("insert");
+        let owner = fleet.owner(0).expect("owner");
+        fleet.server_stats(owner).expect("stats").measured_bytes
+    };
+    assert!(per_tenant > 0);
+
+    // Pass 2: the receiver gets a budget with room for its own tenants
+    // plus ~2 incoming, and refuses (never sheds) past it.
+    let mut fleet = Fleet::new(FaultPlan::parse("chaos@11").expect("profile"));
+    let probe = FleetRouter::new(&SERVERS);
+    let resident = (0..N_TENANTS)
+        .filter(|&t| probe.route(t) == Some(RECEIVER))
+        .count() as u64;
+    let budget = ((resident + 2) * per_tenant + per_tenant / 2) as usize;
+    for id in SERVERS {
+        let cfg = if id == RECEIVER {
+            ServeConfig {
+                budget_bytes: budget,
+                policy: OverloadPolicy::Reject,
+                ..ServeConfig::default()
+            }
+        } else {
+            ServeConfig::default()
+        };
+        fleet.insert_server(id, Box::new(CoresetService::new(cfg)));
+    }
+
+    let mut references = Vec::new();
+    for t in 0..N_TENANTS {
+        fleet.open(t, spec).expect("open");
+        let pts = sbc::geometry::dataset::gaussian_mixture(gp, 48, 2, 0.08, 100 + t);
+        fleet.insert(t, &pts).expect("insert");
+        references.push(fleet.query(t).expect("query"));
+    }
+
+    // The storm: shove every tenant at the budgeted receiver.
+    let mut committed = 0u64;
+    let mut fallbacks = 0u64;
+    for t in 0..N_TENANTS {
+        let report = fleet.migrate(t, RECEIVER, 512).expect("storm migrate");
+        if report.committed {
+            committed += 1;
+            assert_eq!(fleet.owner(t), Some(RECEIVER));
+        } else {
+            fallbacks += 1;
+        }
+    }
+    assert!(
+        committed >= 1,
+        "the budget left room for at least one admission"
+    );
+    assert!(
+        fallbacks >= 1,
+        "the budget must refuse part of the storm (committed {committed})"
+    );
+
+    // Lossless either way: every tenant still serves its exact
+    // pre-storm coreset, wherever it ended up.
+    for t in 0..N_TENANTS {
+        assert_eq!(
+            fleet.query(t).expect("post-storm query"),
+            references[t as usize],
+            "tenant {t} diverged during the storm"
+        );
+    }
+
+    // And the receiver never blew its budget.
+    let stats = fleet.server_stats(RECEIVER).expect("receiver stats");
+    assert!(
+        stats.measured_bytes <= stats.budget_bytes,
+        "receiver measured {} > budget {}",
+        stats.measured_bytes,
+        stats.budget_bytes
+    );
+    assert_eq!(stats.budget_bytes, budget as u64);
+}

@@ -1,0 +1,223 @@
+//! The migration oracle: a tenant live-migrated across a 3-server
+//! fleet 1–4 times mid-stream — at proptest-chosen cut points, with
+//! traffic interleaved into the frozen window so the replay queue
+//! genuinely carries ops — is **bit-identical** to a never-migrated
+//! twin: same `finish_ref` coreset, same canonical checkpoint bytes.
+//! Exercised across serial / sharded / parallel pipelines and the
+//! none / drop8 / dup8 / chaos fault profiles.
+
+use proptest::prelude::*;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use sbc::api::{tenant_pipeline, CoresetPoint, TenantSpec};
+use sbc::{FaultPlan, GridParams, Point, ShardedIngest, StreamCoresetBuilder};
+use sbc_obs::fault::splitmix64;
+use sbc_serve::{Client, CoresetService, Fleet, InProcess, ServeConfig};
+
+const TENANT: u64 = 42;
+const SERVERS: [u32; 3] = [1, 2, 3];
+
+/// The uninterrupted ground truth: the same spec and ops, applied to a
+/// local pipeline with no service, no fleet, no faults.
+fn local_reference(spec: &TenantSpec, batches: &[Vec<Point>]) -> (f64, Vec<CoresetPoint>) {
+    let (params, sparams) = tenant_pipeline(spec).expect("spec is valid");
+    let cs = if spec.shards <= 1 {
+        let mut rng = StdRng::seed_from_u64(spec.seed);
+        let mut b = StreamCoresetBuilder::new(params, sparams, &mut rng);
+        for batch in batches {
+            b.insert_batch(batch);
+        }
+        b.finish_ref().expect("reference")
+    } else {
+        let mut ingest = ShardedIngest::new(params, sparams, spec.seed).expect("spec is valid");
+        for batch in batches {
+            ingest.insert_batch(batch);
+        }
+        ingest.finish_ref().expect("reference")
+    };
+    let points = cs
+        .entries()
+        .iter()
+        .map(|e| CoresetPoint {
+            point: e.point.clone(),
+            weight: e.weight,
+            level: e.level,
+            part: e.part as u64,
+        })
+        .collect();
+    (cs.o, points)
+}
+
+/// The never-migrated twin: one plain in-process service, same spec
+/// and batches. Returns `(query, canonical checkpoint bytes)`.
+fn twin_run(spec: TenantSpec, batches: &[Vec<Point>]) -> ((f64, Vec<CoresetPoint>), Vec<u8>) {
+    let mut twin = Client::new(InProcess::new(CoresetService::new(ServeConfig::default())));
+    twin.hello().expect("hello");
+    twin.open(TENANT, spec).expect("open");
+    for batch in batches {
+        twin.insert(TENANT, batch).expect("insert");
+    }
+    let query = twin.query(TENANT).expect("query");
+    let ckpt = twin.checkpoint(TENANT).expect("checkpoint");
+    (query, ckpt)
+}
+
+fn spec_strategy() -> impl Strategy<Value = TenantSpec> {
+    (0usize..3, any::<bool>(), any::<u64>()).prop_map(|(shard_idx, parallel, seed)| {
+        let shards = [1u32, 2, 4][shard_idx];
+        TenantSpec {
+            shards,
+            parallel: parallel && shards > 1,
+            seed,
+            ..TenantSpec::default()
+        }
+    })
+}
+
+const PROFILES: [&str; 4] = ["none", "drop8@3", "dup8@5", "chaos@7"];
+
+/// The batch indices at which a migration freezes, derived
+/// deterministically from the proptest seed: sorted, deduplicated, so
+/// 1–4 distinct cut points.
+fn cut_points(cut_seed: u64, migrations: usize, batches: usize) -> Vec<usize> {
+    let mut cuts: Vec<usize> = (0..migrations)
+        .map(|k| (splitmix64(cut_seed ^ k as u64) % batches as u64) as usize)
+        .collect();
+    cuts.sort_unstable();
+    cuts.dedup();
+    cuts
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The tentpole oracle: migrate mid-stream 1–4 times, interleaving
+    /// a batch into every frozen window, and compare the final coreset
+    /// *and* the canonical checkpoint bytes against the unmigrated
+    /// twin, bit for bit.
+    #[test]
+    fn migrated_tenants_are_bit_identical(
+        spec in spec_strategy(),
+        ops in 24usize..72,
+        batch in 4usize..12,
+        migrations in 1usize..=4,
+        chunk_bytes in 64u32..2048,
+        cut_seed in any::<u64>(),
+        data_seed in any::<u64>(),
+        profile_idx in 0usize..4,
+    ) {
+        let profile = PROFILES[profile_idx];
+        let gp = GridParams::from_log_delta(spec.log_delta, spec.dims as usize);
+        let points = sbc::geometry::dataset::gaussian_mixture(gp, ops, 2, 0.08, data_seed);
+        let batches: Vec<Vec<Point>> =
+            points.chunks(batch).map(<[Point]>::to_vec).collect();
+        let cuts = cut_points(cut_seed, migrations, batches.len());
+
+        let reference = local_reference(&spec, &batches);
+        let (twin_query, twin_ckpt) = twin_run(spec, &batches);
+        prop_assert_eq!(&twin_query, &reference,
+            "unmigrated service must serve the local pipeline's exact coreset");
+
+        let plan = FaultPlan::parse(profile).expect("known profile");
+        let mut fleet = Fleet::new(plan);
+        for id in SERVERS {
+            fleet.insert_server(id, Box::new(CoresetService::new(ServeConfig::default())));
+        }
+        fleet.open(TENANT, spec).expect("open");
+
+        let mut committed = 0u64;
+        let mut frozen_points = 0u64;
+        for (i, b) in batches.iter().enumerate() {
+            let migrate_here = cuts.contains(&i);
+            if migrate_here {
+                // Freeze on the current owner, ship the snapshot, but
+                // do NOT finish yet: the next insert lands inside the
+                // frozen window and rides the replay queue.
+                let from = fleet.owner(TENANT).expect("owner");
+                let to = SERVERS[(SERVERS.iter().position(|&s| s == from).unwrap() + 1)
+                    % SERVERS.len()];
+                prop_assert!(
+                    fleet.migrate_begin(TENANT, to, chunk_bytes).expect("begin"),
+                    "no old peers and no budgets: the snapshot must land"
+                );
+            }
+            fleet.insert(TENANT, b).expect("insert");
+            if migrate_here {
+                frozen_points += b.len() as u64;
+                let report = fleet.migrate_finish(TENANT).expect("finish");
+                prop_assert!(report.committed);
+                prop_assert!(report.chunks >= 1);
+                prop_assert!(report.replayed_ops >= b.len() as u64,
+                    "the interleaved batch must ride the replay queue");
+                committed += 1;
+            }
+        }
+
+        let fleet_query = fleet.query(TENANT).expect("query");
+        prop_assert_eq!(&fleet_query, &reference,
+            "{}x-migrated tenant diverged from the local reference under {}",
+            cuts.len(), profile);
+        let fleet_ckpt = fleet.checkpoint(TENANT).expect("checkpoint");
+        prop_assert_eq!(&fleet_ckpt, &twin_ckpt,
+            "canonical checkpoint bytes diverged after migration under {}", profile);
+
+        let stats = fleet.migration_stats();
+        prop_assert_eq!(stats.cutovers, committed);
+        prop_assert_eq!(stats.migrations_out, committed);
+        prop_assert_eq!(stats.migrations_in, committed);
+        prop_assert_eq!(stats.aborts, 0);
+        prop_assert!(stats.replayed_ops >= frozen_points);
+        prop_assert!(stats.replay_queue_peak >= 1);
+
+        // The chaos profiles actually exercised the fault machinery.
+        let delivery = fleet.stats;
+        match profile {
+            "drop8@3" => prop_assert!(delivery.drops > 0),
+            "dup8@5" => prop_assert!(delivery.dups > 0),
+            _ => {}
+        }
+    }
+
+    /// Abort is lossless in every fault state: freeze, interleave
+    /// traffic, abandon — the tenant keeps serving on the source with
+    /// nothing missing.
+    #[test]
+    fn aborted_migrations_lose_nothing(
+        spec in spec_strategy(),
+        ops in 24usize..48,
+        data_seed in any::<u64>(),
+        profile_idx in 0usize..4,
+    ) {
+        let profile = PROFILES[profile_idx];
+        let gp = GridParams::from_log_delta(spec.log_delta, spec.dims as usize);
+        let points = sbc::geometry::dataset::gaussian_mixture(gp, ops, 2, 0.08, data_seed);
+        let batches: Vec<Vec<Point>> = points.chunks(8).map(<[Point]>::to_vec).collect();
+        let reference = local_reference(&spec, &batches);
+
+        let plan = FaultPlan::parse(profile).expect("known profile");
+        let mut fleet = Fleet::new(plan);
+        for id in SERVERS {
+            fleet.insert_server(id, Box::new(CoresetService::new(ServeConfig::default())));
+        }
+        fleet.open(TENANT, spec).expect("open");
+        let from = fleet.owner(TENANT).expect("owner");
+        let to = SERVERS[(SERVERS.iter().position(|&s| s == from).unwrap() + 1) % SERVERS.len()];
+
+        for (i, b) in batches.iter().enumerate() {
+            if i == 1 {
+                prop_assert!(fleet.migrate_begin(TENANT, to, 256).expect("begin"));
+            }
+            fleet.insert(TENANT, b).expect("insert");
+        }
+        // Abandon: ops were double-applied the whole time, so the
+        // source is already current. Discard the receiver's half too.
+        fleet.abort(TENANT).expect("abort");
+        let aborted_query = fleet.query(TENANT).expect("query");
+        prop_assert_eq!(&aborted_query, &reference,
+            "abort lost ops under {}", profile);
+        prop_assert_eq!(fleet.owner(TENANT), Some(from), "tenant stayed local");
+        prop_assert_eq!(fleet.migration_stats().cutovers, 0);
+    }
+}

@@ -1,0 +1,233 @@
+//! Old-peer interop, both directions: a v7 build predates the
+//! migration tags (requests 12–16, responses 14–18), so it decodes
+//! them as `Unknown` — skipping each body by the record's length
+//! prefix — and answers [`ApiResponse::Unsupported`]. The coordinator
+//! must turn that into a lossless keep-local fallback whether the
+//! *target* or the *source* is the old binary. (The codec-level skip
+//! itself is pinned by the `PreMigration*` decoders in `sbc::api`'s
+//! tests; this file proves the fleet-level consequences.)
+
+use sbc::api::{
+    frame_requests, frame_responses, unframe_requests, unframe_responses, ApiRequest, ApiResponse,
+    TenantSpec,
+};
+use sbc::distributed::wire::Envelope;
+use sbc::streaming::codec::{from_bytes, to_bytes};
+use sbc::{FaultPlan, GridParams, Point};
+use sbc_serve::{Client, CoresetService, Fleet, FleetRouter, FleetServer, InProcess, ServeConfig};
+
+/// Remap base pushing migration tags into a range *no* build knows, so
+/// the wrapped (current) service decodes them exactly the way a v7
+/// decoder would: `Unknown { tag }`, body skipped by length prefix.
+const V7_UNKNOWN: u16 = 0x8000;
+
+/// A v7-era peer: every migration-tagged record in, `Unsupported` out,
+/// all other traffic served for real — with the envelope dedup window
+/// (same `(machine, seq)` retries) behaving identically to a real old
+/// binary's.
+struct V7Peer {
+    inner: CoresetService,
+}
+
+impl V7Peer {
+    fn new() -> V7Peer {
+        V7Peer {
+            inner: CoresetService::new(ServeConfig::default()),
+        }
+    }
+
+    fn pre_migration_view(req: ApiRequest) -> ApiRequest {
+        let tag = match req {
+            ApiRequest::MigrateOut { .. } => 12,
+            ApiRequest::ChunkedCheckpoint { .. } => 13,
+            ApiRequest::DrainReplay { .. } => 14,
+            ApiRequest::CutOver { .. } => 15,
+            ApiRequest::MigrateAbort { .. } => 16,
+            other => return other,
+        };
+        ApiRequest::Unknown {
+            tag: V7_UNKNOWN | tag,
+        }
+    }
+
+    fn original_tag(resp: ApiResponse) -> ApiResponse {
+        match resp {
+            ApiResponse::Unsupported { tag } if tag & V7_UNKNOWN != 0 => ApiResponse::Unsupported {
+                tag: tag & !V7_UNKNOWN,
+            },
+            other => other,
+        }
+    }
+}
+
+impl FleetServer for V7Peer {
+    fn handle_envelope(&mut self, envelope_bytes: &[u8]) -> Vec<u8> {
+        // Decode failures and unframeable payloads take the real
+        // service's error paths untouched.
+        let Some(env) = from_bytes::<Envelope>(envelope_bytes) else {
+            return self.inner.handle_envelope(envelope_bytes);
+        };
+        let Ok(requests) = unframe_requests(&env.payload) else {
+            return self.inner.handle_envelope(envelope_bytes);
+        };
+        let as_v7: Vec<ApiRequest> = requests.into_iter().map(Self::pre_migration_view).collect();
+        let reply = self.inner.handle_envelope(&to_bytes(&Envelope {
+            machine: env.machine,
+            seq: env.seq,
+            payload: frame_requests(&as_v7),
+        }));
+        let Some(reply_env) = from_bytes::<Envelope>(&reply) else {
+            return reply;
+        };
+        let Ok(responses) = unframe_responses(&reply_env.payload) else {
+            return reply;
+        };
+        let restored: Vec<ApiResponse> = responses.into_iter().map(Self::original_tag).collect();
+        to_bytes(&Envelope {
+            machine: reply_env.machine,
+            seq: reply_env.seq,
+            payload: frame_responses(&restored),
+        })
+    }
+    // No `outbound_chunk`, no `migration_stats`: a v7 binary has
+    // neither — the trait defaults say `None` for both.
+}
+
+const NEW_SERVER: u32 = 1;
+const OLD_SERVER: u32 = 2;
+const PROFILES: [&str; 4] = ["none", "drop8@3", "dup8@5", "chaos@7"];
+
+/// A tenant id the ring places on `want` in the 2-server fleet.
+fn tenant_on(want: u32) -> u64 {
+    let probe = FleetRouter::new(&[NEW_SERVER, OLD_SERVER]);
+    (0..u64::MAX)
+        .find(|&t| probe.route(t) == Some(want))
+        .expect("some tenant routes everywhere")
+}
+
+fn mixed_fleet(profile: &str) -> Fleet {
+    let mut fleet = Fleet::new(FaultPlan::parse(profile).expect("known profile"));
+    fleet.insert_server(
+        NEW_SERVER,
+        Box::new(CoresetService::new(ServeConfig::default())),
+    );
+    fleet.insert_server(OLD_SERVER, Box::new(V7Peer::new()));
+    fleet
+}
+
+/// What the tenant should serve after `pre` + `post`, computed on an
+/// uninvolved single service.
+fn expected(
+    spec: TenantSpec,
+    tenant: u64,
+    pre: &[Point],
+    post: &[Point],
+) -> (f64, Vec<sbc::api::CoresetPoint>) {
+    let mut twin = Client::new(InProcess::new(CoresetService::new(ServeConfig::default())));
+    twin.open(tenant, spec).expect("open");
+    twin.insert(tenant, pre).expect("insert");
+    twin.insert(tenant, post).expect("insert");
+    twin.query(tenant).expect("query")
+}
+
+fn points(spec: TenantSpec, n: usize, seed: u64) -> Vec<Point> {
+    let gp = GridParams::from_log_delta(spec.log_delta, spec.dims as usize);
+    sbc::geometry::dataset::gaussian_mixture(gp, n, 2, 0.08, seed)
+}
+
+/// Direction 1 — old *target*: the new source freezes and ships chunk
+/// 0, the v7 target answers `Unsupported`, and the coordinator aborts
+/// back to a local, unfrozen, fully-current tenant.
+#[test]
+fn migrating_onto_an_old_peer_falls_back_losslessly() {
+    for profile in PROFILES {
+        let spec = TenantSpec::default();
+        let tenant = tenant_on(NEW_SERVER);
+        let (pre, post) = (points(spec, 40, 3), points(spec, 24, 4));
+
+        let mut fleet = mixed_fleet(profile);
+        fleet.open(tenant, spec).expect("open");
+        fleet.insert(tenant, &pre).expect("insert");
+
+        let report = fleet
+            .migrate(tenant, OLD_SERVER, 512)
+            .expect("fallback is Ok, not Err");
+        assert!(!report.committed, "a v7 target cannot commit ({profile})");
+        assert_eq!(
+            fleet.owner(tenant),
+            Some(NEW_SERVER),
+            "tenant stays local ({profile})"
+        );
+
+        // The source unfroze: mutations apply directly again, and the
+        // stream picks up exactly where it left off.
+        fleet.insert(tenant, &post).expect("post-fallback insert");
+        assert_eq!(
+            fleet.query(tenant).expect("query"),
+            expected(spec, tenant, &pre, &post),
+            "data lost migrating onto an old peer under {profile}"
+        );
+
+        let stats = fleet.migration_stats();
+        assert_eq!(stats.migrations_out, 1, "the source did freeze");
+        assert_eq!(stats.aborts, 1, "…and was aborted back");
+        assert_eq!(stats.cutovers, 0);
+        assert_eq!(stats.migrations_in, 0, "the v7 peer restored nothing");
+    }
+}
+
+/// Direction 2 — old *source*: `MigrateOut` itself is unsupported, so
+/// nothing ever freezes; the coordinator reports an uncommitted
+/// fallback and the tenant never misses a beat on the old server.
+#[test]
+fn migrating_off_an_old_peer_falls_back_losslessly() {
+    for profile in PROFILES {
+        let spec = TenantSpec::default();
+        let tenant = tenant_on(OLD_SERVER);
+        let (pre, post) = (points(spec, 40, 5), points(spec, 24, 6));
+
+        let mut fleet = mixed_fleet(profile);
+        fleet.open(tenant, spec).expect("open");
+        fleet.insert(tenant, &pre).expect("insert");
+
+        let report = fleet
+            .migrate(tenant, NEW_SERVER, 512)
+            .expect("fallback is Ok, not Err");
+        assert!(!report.committed, "a v7 source cannot freeze ({profile})");
+        assert_eq!(fleet.owner(tenant), Some(OLD_SERVER));
+
+        fleet.insert(tenant, &post).expect("post-fallback insert");
+        assert_eq!(
+            fleet.query(tenant).expect("query"),
+            expected(spec, tenant, &pre, &post),
+            "data lost migrating off an old peer under {profile}"
+        );
+
+        // Nothing migration-shaped happened anywhere.
+        let stats = fleet.migration_stats();
+        assert_eq!(stats.migrations_out, 0);
+        assert_eq!(stats.migrations_in, 0);
+        assert_eq!(stats.aborts, 0);
+        assert_eq!(stats.cutovers, 0);
+    }
+}
+
+/// Draining a mixed fleet never loses the tenants the old peer can't
+/// hand over: they are reported `committed: false` and keep serving.
+#[test]
+fn draining_a_mixed_fleet_reports_stuck_tenants_instead_of_losing_them() {
+    let spec = TenantSpec::default();
+    let tenant = tenant_on(OLD_SERVER);
+    let pre = points(spec, 32, 9);
+
+    let mut fleet = mixed_fleet("none");
+    fleet.open(tenant, spec).expect("open");
+    fleet.insert(tenant, &pre).expect("insert");
+    let before = fleet.query(tenant).expect("query");
+
+    let reports = fleet.drain(OLD_SERVER, 512).expect("drain");
+    assert_eq!(reports.len(), 1);
+    assert!(!reports[0].committed, "a v7 source cannot be drained");
+    assert_eq!(fleet.owner(tenant), Some(OLD_SERVER), "still serving there");
+    assert_eq!(fleet.query(tenant).expect("query"), before);
+}

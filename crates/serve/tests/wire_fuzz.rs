@@ -1,0 +1,337 @@
+//! Hostile-wire robustness for the migration record tags (the serve
+//! half of `wire_fuzz` — the codec half lives in
+//! `crates/distributed/tests/wire_fuzz.rs`): truncated chunks,
+//! out-of-order and replayed `ChunkedCheckpoint`s, `CutOver` for
+//! unknown tenants, and oversized chunk headers must all answer coded
+//! errors in the 24x range — never panic, and never buffer past the
+//! configured migration byte cap no matter what the headers claim.
+
+use proptest::prelude::*;
+
+use sbc::api::{
+    frame_requests, unframe_responses, ApiRequest, ApiResponse, TenantSpec,
+    MAX_MIGRATION_CHUNK_BYTES,
+};
+use sbc::streaming::codec::to_bytes;
+use sbc::Point;
+use sbc_serve::{CoresetService, ServeConfig};
+
+/// A service with a deliberately tiny migration byte cap, so hostile
+/// `total_bytes` claims are cheap to refuse and easy to assert on.
+const MIGRATION_CAP: usize = 64 * 1024;
+
+fn service() -> CoresetService {
+    CoresetService::new(ServeConfig {
+        max_migration_bytes: MIGRATION_CAP,
+        ..ServeConfig::default()
+    })
+}
+
+fn one(svc: &mut CoresetService, req: ApiRequest) -> ApiResponse {
+    let reply = svc.handle_frame(&frame_requests(std::slice::from_ref(&req)));
+    let mut responses = unframe_responses(&reply).expect("service frames are well-formed");
+    assert_eq!(responses.len(), 1);
+    responses.remove(0)
+}
+
+fn error_code(resp: &ApiResponse) -> Option<u16> {
+    match resp {
+        ApiResponse::Error { code, .. } => Some(*code),
+        _ => None,
+    }
+}
+
+fn chunk(
+    tenant: u64,
+    spec: TenantSpec,
+    chunk: u32,
+    total_chunks: u32,
+    total_bytes: u64,
+    payload: Vec<u8>,
+) -> ApiRequest {
+    ApiRequest::ChunkedCheckpoint {
+        tenant,
+        spec,
+        chunk,
+        total_chunks,
+        total_bytes,
+        measured_bytes: 0,
+        payload,
+    }
+}
+
+#[test]
+fn migration_lifecycle_requests_for_unknown_tenants_are_coded() {
+    let mut svc = service();
+    for req in [
+        ApiRequest::CutOver { tenant: 9, peer: 2 },
+        ApiRequest::DrainReplay {
+            tenant: 9,
+            max_ops: 64,
+        },
+        ApiRequest::MigrateAbort { tenant: 9 },
+        ApiRequest::MigrateOut {
+            tenant: 9,
+            chunk_bytes: 256,
+        },
+    ] {
+        assert_eq!(error_code(&one(&mut svc, req)), Some(210), "UnknownTenant");
+    }
+}
+
+#[test]
+fn migration_lifecycle_on_a_tenant_that_is_not_migrating_is_240() {
+    let mut svc = service();
+    let spec = TenantSpec::default();
+    assert!(matches!(
+        one(&mut svc, ApiRequest::Open { tenant: 7, spec }),
+        ApiResponse::Opened { .. }
+    ));
+    for req in [
+        ApiRequest::CutOver { tenant: 7, peer: 2 },
+        ApiRequest::DrainReplay {
+            tenant: 7,
+            max_ops: 64,
+        },
+        ApiRequest::MigrateAbort { tenant: 7 },
+    ] {
+        assert_eq!(error_code(&one(&mut svc, req)), Some(240), "NotMigrating");
+    }
+}
+
+#[test]
+fn out_of_order_and_replayed_chunks_are_coded_not_corrupting() {
+    let mut svc = service();
+    let spec = TenantSpec::default();
+
+    // A mid-transfer chunk for a tenant nobody started: 242.
+    let resp = one(&mut svc, chunk(5, spec, 3, 8, 1024, vec![0u8; 64]));
+    assert_eq!(error_code(&resp), Some(242), "chunk out of order");
+
+    // Start a (bogus-payload) transfer properly with chunk 0…
+    let resp = one(&mut svc, chunk(5, spec, 0, 3, 192, vec![1u8; 64]));
+    assert!(matches!(resp, ApiResponse::ChunkAck { chunk: 0, .. }));
+
+    // …a replayed chunk 0 re-acks idempotently…
+    let resp = one(&mut svc, chunk(5, spec, 0, 3, 192, vec![1u8; 64]));
+    assert!(
+        matches!(
+            resp,
+            ApiResponse::ChunkAck {
+                chunk: 0,
+                received_bytes: 64,
+                ..
+            }
+        ),
+        "replayed chunk must re-ack, got {resp:?}"
+    );
+
+    // …skipping ahead is refused…
+    let resp = one(&mut svc, chunk(5, spec, 2, 3, 192, vec![1u8; 64]));
+    assert_eq!(error_code(&resp), Some(242));
+
+    // …and a drifting header (different total) is refused too.
+    let resp = one(&mut svc, chunk(5, spec, 1, 4, 192, vec![1u8; 64]));
+    assert_eq!(error_code(&resp), Some(242));
+}
+
+#[test]
+fn oversized_chunk_headers_are_refused_before_buffering() {
+    let mut svc = service();
+    let spec = TenantSpec::default();
+
+    // A total_bytes claim past the configured cap: 243, no slot made.
+    let resp = one(
+        &mut svc,
+        chunk(6, spec, 0, 1, (MIGRATION_CAP as u64) + 1, vec![0u8; 8]),
+    );
+    assert_eq!(error_code(&resp), Some(243), "ChunkTooLarge");
+
+    // A payload past the per-chunk protocol bound: 243.
+    let fat = vec![0u8; MAX_MIGRATION_CHUNK_BYTES as usize + 1];
+    let resp = one(&mut svc, chunk(6, spec, 0, 64, 32 * 1024, fat));
+    assert_eq!(error_code(&resp), Some(243));
+
+    // A payload overrunning its own total_bytes claim: 243, and the
+    // transfer slot survives for the coordinator to abort.
+    let resp = one(&mut svc, chunk(6, spec, 0, 2, 96, vec![0u8; 64]));
+    assert!(matches!(resp, ApiResponse::ChunkAck { .. }));
+    let resp = one(&mut svc, chunk(6, spec, 1, 2, 96, vec![0u8; 64]));
+    assert_eq!(error_code(&resp), Some(243));
+    assert!(matches!(
+        one(&mut svc, ApiRequest::MigrateAbort { tenant: 6 }),
+        ApiResponse::MigrateAck {
+            committed: false,
+            ..
+        }
+    ));
+
+    // Zero or out-of-range chunk counts: 242.
+    let resp = one(&mut svc, chunk(8, spec, 0, 0, 64, vec![0u8; 8]));
+    assert_eq!(error_code(&resp), Some(242));
+    let resp = one(&mut svc, chunk(8, spec, 9, 4, 64, vec![0u8; 8]));
+    assert_eq!(error_code(&resp), Some(242));
+
+    // MigrateOut with hostile chunk sizing: coded, never panicking.
+    let t = 11;
+    assert!(matches!(
+        one(
+            &mut svc,
+            ApiRequest::Open {
+                tenant: t,
+                spec: TenantSpec::default()
+            }
+        ),
+        ApiResponse::Opened { .. }
+    ));
+    let resp = one(
+        &mut svc,
+        ApiRequest::MigrateOut {
+            tenant: t,
+            chunk_bytes: 0,
+        },
+    );
+    assert_eq!(
+        error_code(&resp),
+        Some(214),
+        "zero chunk size is a bad spec"
+    );
+    let resp = one(
+        &mut svc,
+        ApiRequest::MigrateOut {
+            tenant: t,
+            chunk_bytes: MAX_MIGRATION_CHUNK_BYTES + 1,
+        },
+    );
+    assert_eq!(error_code(&resp), Some(243));
+}
+
+/// A frozen tenant's buffered state is bounded: past
+/// `REPLAY_QUEUE_MAX_OPS` queued points, mutations are refused with
+/// 244 and nothing is applied (the response and the tenant's op count
+/// both say so).
+#[test]
+fn replay_queue_overflow_refuses_without_applying() {
+    let mut svc = service();
+    let spec = TenantSpec::default();
+    assert!(matches!(
+        one(&mut svc, ApiRequest::Open { tenant: 3, spec }),
+        ApiResponse::Opened { .. }
+    ));
+    let p = Point::new(vec![1, 2]);
+    assert!(matches!(
+        one(
+            &mut svc,
+            ApiRequest::Insert {
+                tenant: 3,
+                points: vec![p.clone()]
+            }
+        ),
+        ApiResponse::Applied { .. }
+    ));
+    assert!(matches!(
+        one(
+            &mut svc,
+            ApiRequest::MigrateOut {
+                tenant: 3,
+                chunk_bytes: 4096
+            }
+        ),
+        ApiResponse::MigrateManifest { .. }
+    ));
+    // One batch bigger than the whole queue bound: refused atomically.
+    let flood: Vec<Point> = (0..(sbc_serve::REPLAY_QUEUE_MAX_OPS + 1))
+        .map(|_| p.clone())
+        .collect();
+    let resp = one(
+        &mut svc,
+        ApiRequest::Insert {
+            tenant: 3,
+            points: flood,
+        },
+    );
+    assert_eq!(error_code(&resp), Some(244), "ReplayOverflow");
+    let resp = one(&mut svc, ApiRequest::Stats { tenant: 3 });
+    let ApiResponse::StatsReply { stats, .. } = resp else {
+        panic!("stats reply expected, got {resp:?}");
+    };
+    assert_eq!(stats.ops_seen, 1, "refused batch must not be applied");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Truncating a real migration frame at any byte never panics the
+    /// service: it answers a coded framing error (and counts it), or —
+    /// when the truncation happens to land on a record boundary — the
+    /// shorter frame's records are simply handled.
+    #[test]
+    fn truncated_migration_frames_never_panic(cut in 0usize..512, fill in any::<u8>()) {
+        let reqs = [
+            ApiRequest::MigrateOut { tenant: 1, chunk_bytes: 128 },
+            chunk(2, TenantSpec::default(), 0, 2, 256, vec![fill; 96]),
+            ApiRequest::CutOver { tenant: 3, peer: 2 },
+            ApiRequest::DrainReplay { tenant: 4, max_ops: 32 },
+            ApiRequest::MigrateAbort { tenant: 5 },
+        ];
+        let frame = frame_requests(&reqs);
+        let mut svc = service();
+        let cut = cut % frame.len();
+        let reply = svc.handle_frame(&frame[..cut]);
+        let responses = unframe_responses(&reply).expect("reply frames decode");
+        prop_assert!(!responses.is_empty());
+    }
+
+    /// Arbitrary garbage — raw, and wrapped in a valid envelope — never
+    /// panics the entry points, and hostile length headers never force
+    /// an allocation: the reply is always a well-formed frame.
+    #[test]
+    fn garbage_bytes_never_panic_the_entry_points(
+        bytes in prop::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let mut svc = service();
+        let reply = svc.handle_frame(&bytes);
+        prop_assert!(unframe_responses(&reply).is_ok());
+        let env = to_bytes(&sbc::distributed::wire::Envelope {
+            machine: 7,
+            seq: 1,
+            payload: bytes,
+        });
+        let _ = svc.handle_envelope(&env);
+    }
+
+    /// Hostile `ChunkedCheckpoint` headers with arbitrary sizes and
+    /// indices always answer a *coded* record (24x, a framing code, or
+    /// an ack for the benign corner), never panic, and never grow the
+    /// buffered transfer past the migration cap.
+    #[test]
+    fn hostile_chunk_headers_answer_coded_errors(
+        tenant in 0u64..4,
+        idx in any::<u32>(),
+        total in any::<u32>(),
+        total_bytes in any::<u64>(),
+        payload_len in 0usize..2048,
+    ) {
+        let mut svc = service();
+        let req = chunk(
+            tenant,
+            TenantSpec::default(),
+            idx,
+            total,
+            total_bytes,
+            vec![0xA5; payload_len],
+        );
+        match one(&mut svc, req) {
+            ApiResponse::ChunkAck { received_bytes, .. } => {
+                prop_assert!(received_bytes <= MIGRATION_CAP as u64);
+            }
+            ApiResponse::Error { code, .. } => {
+                prop_assert!(
+                    (240..=246).contains(&code) || (200..=214).contains(&code),
+                    "unexpected code {code}"
+                );
+            }
+            other => prop_assert!(false, "unexpected response {other:?}"),
+        }
+    }
+}
